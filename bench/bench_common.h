@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared glue for the experiment-reproduction benches: run a workload on
+ * a SoC under the Strober flow and collect the numbers the paper's
+ * tables/figures report. Each bench binary prints one experiment.
+ */
+
+#ifndef STROBER_BENCH_BENCH_COMMON_H
+#define STROBER_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <string>
+
+#include "core/energy_sim.h"
+#include "cores/soc.h"
+#include "cores/soc_driver.h"
+#include "util/logging.h"
+#include "workloads/workloads.h"
+
+namespace strober {
+namespace bench {
+
+/** Everything one (core, workload) Strober evaluation produces. */
+struct StroberRun
+{
+    core::RunStats run;
+    uint64_t commits = 0;
+    uint32_t exitCode = 0;
+    bool finished = false;
+};
+
+/** Phase-1 fast simulation of @p wl on @p es (driver owned here). */
+inline StroberRun
+runFastPhase(core::EnergySimulator &es, const rtl::Design &soc,
+             const workloads::Workload &wl)
+{
+    cores::SocDriver driver(soc, wl.program);
+    StroberRun out;
+    out.run = es.run(driver, wl.maxCycles);
+    out.commits = driver.commitsSeen();
+    out.exitCode = driver.exitCode();
+    out.finished = driver.done();
+    if (!out.finished)
+        fatal("workload '%s' did not finish in %llu cycles",
+              wl.name.c_str(), (unsigned long long)wl.maxCycles);
+    if (wl.expectedExit != 0 && out.exitCode != wl.expectedExit)
+        fatal("workload '%s' checksum mismatch: 0x%x != 0x%x",
+              wl.name.c_str(), out.exitCode, wl.expectedExit);
+    return out;
+}
+
+inline void
+banner(const char *what)
+{
+    std::printf("==============================================================="
+                "=\n%s\n"
+                "==============================================================="
+                "=\n",
+                what);
+}
+
+} // namespace bench
+} // namespace strober
+
+#endif // STROBER_BENCH_BENCH_COMMON_H

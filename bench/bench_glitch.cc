@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Ablation: detailed-timing (glitch-aware) vs zero-delay activity. The
+ * paper replays snapshots on a commercial gate-level simulator with
+ * "very detailed timing"; this bench quantifies what that detail buys —
+ * the glitch power invisible to a zero-delay evaluator — by running the
+ * same workload window through both gate-level simulators and the power
+ * analysis.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/harness.h"
+#include "gate/placement.h"
+#include "gate/synthesis.h"
+#include "gate/timed_sim.h"
+#include "power/power_analysis.h"
+
+using namespace strober;
+
+namespace {
+
+double
+now()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation: zero-delay vs delay-annotated (glitch) "
+                  "activity, rocket running dgemm");
+    rtl::Design soc = cores::buildSoc(cores::SocConfig::rocket());
+    workloads::Workload wl = workloads::dgemm();
+    gate::SynthesisResult synth = gate::synthesize(soc);
+    gate::Placement pl = gate::place(synth.netlist);
+    const uint64_t window = 2000;
+
+    // Zero-delay run.
+    cores::SocDriver d1(soc, wl.program);
+    core::GateHarness fast(synth.netlist);
+    fast.simulator().clearActivity();
+    double t0 = now();
+    core::runLoop(fast, d1, window);
+    double fastSec = now() - t0;
+    gate::ActivityReport fastAct{fast.simulator().toggleCounts(),
+                                 fast.simulator().macroStats(),
+                                 fast.simulator().activityCycles()};
+
+    // Delay-annotated run (same stimulus by construction).
+    cores::SocDriver d2(soc, wl.program);
+    gate::TimedGateSimulator timed(synth.netlist);
+    timed.clearActivity();
+    /** Adapts TimedGateSimulator to the harness protocol. */
+    class TimedHarness : public core::TargetHarness
+    {
+      public:
+        TimedHarness(gate::TimedGateSimulator &s, size_t numOutputs)
+            : sim(s), outs(numOutputs, 0)
+        {
+        }
+        void
+        setInput(size_t port, uint64_t v) override
+        {
+            sim.pokePort(port, v);
+        }
+        uint64_t getOutput(size_t port) const override
+        {
+            return outs[port];
+        }
+        void
+        clock() override
+        {
+            for (size_t o = 0; o < outs.size(); ++o)
+                outs[o] = sim.peekPort(o);
+            sim.step();
+        }
+        uint64_t cycles() const override { return sim.cycle(); }
+
+      private:
+        gate::TimedGateSimulator &sim;
+        std::vector<uint64_t> outs;
+    };
+    TimedHarness th(timed, synth.netlist.outputs().size());
+    t0 = now();
+    core::runLoop(th, d2, window);
+    double timedSec = now() - t0;
+    gate::ActivityReport timedAct{timed.toggleCounts(),
+                                  timed.macroStats(),
+                                  timed.activityCycles()};
+
+    power::PowerReport fastRep =
+        power::analyzePower(synth.netlist, pl, fastAct, 1e9);
+    power::PowerReport timedRep =
+        power::analyzePower(synth.netlist, pl, timedAct, 1e9);
+
+    uint64_t fastToggles = 0, timedToggles = 0;
+    for (size_t i = 0; i < fastAct.netToggles.size(); ++i) {
+        fastToggles += fastAct.netToggles[i];
+        timedToggles += timedAct.netToggles[i];
+    }
+
+    std::printf("%-24s %14s %14s\n", "", "zero-delay", "delay-annotated");
+    std::printf("%-24s %14llu %14llu\n", "net transitions",
+                (unsigned long long)fastToggles,
+                (unsigned long long)timedToggles);
+    std::printf("%-24s %14.3f %14.3f\n", "power (mW)",
+                fastRep.totalWatts() * 1e3, timedRep.totalWatts() * 1e3);
+    std::printf("%-24s %14.1f %14.1f\n", "sim rate (Hz)",
+                window / fastSec, window / timedSec);
+    std::printf("\nglitch surplus: +%.1f%% transitions -> +%.1f%% power "
+                "(glitches concentrate on low-capacitance arithmetic "
+                "nets, while clock + leakage dominate the total — the "
+                "reason zero-delay replay is an acceptable default).\n"
+                "relative speed: event-driven/levelized = %.2fx "
+                "(event-driven wins at low activity, loses under heavy "
+                "switching).\n",
+                100.0 * (static_cast<double>(timedToggles) /
+                             static_cast<double>(fastToggles) - 1.0),
+                100.0 * (timedRep.totalWatts() / fastRep.totalWatts() -
+                         1.0),
+                fastSec / timedSec);
+    return 0;
+}

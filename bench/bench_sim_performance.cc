@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Table III (paper Section V-B): simulation-performance evaluation on
+ * the two-way BOOM-like core — target cycles, reservoir record counts,
+ * and fast-simulation time with and without snapshot sampling, for the
+ * three case-study workloads. The paper's point: reservoir sampling's
+ * record count grows only logarithmically, so the sampling overhead
+ * fades for long runs. (Paper runs 0.5-73 B cycles on an FPGA; these
+ * runs are scaled down, but the record-count law and the
+ * with/without-sampling contrast are cycle-count independent.)
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "stats/sampling.h"
+
+using namespace strober;
+
+int
+main()
+{
+    bench::banner("Table III: simulation performance (BOOM-2w)");
+    rtl::Design soc = cores::buildSoc(cores::SocConfig::boom2w());
+
+    workloads::Workload wls[] = {
+        workloads::linuxbootLike(24),
+        workloads::coremarkLite(40),
+        workloads::gccLike(40),
+    };
+
+    std::printf("%-12s %14s %9s %9s %12s %12s %10s\n", "benchmark",
+                "cycles", "records", "expected", "t_sample(s)",
+                "t_nosample(s)", "overhead");
+
+    for (const workloads::Workload &wl : wls) {
+        core::EnergySimulator::Config cfg;
+        cfg.sampleSize = 30;
+        cfg.replayLength = 128;
+
+        // With sampling.
+        core::EnergySimulator withS(soc, cfg);
+        bench::StroberRun a = bench::runFastPhase(withS, soc, wl);
+
+        // Without sampling.
+        cfg.samplingEnabled = false;
+        core::EnergySimulator withoutS(soc, cfg);
+        bench::StroberRun b = bench::runFastPhase(withoutS, soc, wl);
+
+        double expected = stats::ReservoirSampler<int>::expectedRecords(
+            30, a.run.targetCycles / 128);
+        std::printf("%-12s %14llu %9llu %9.0f %12.2f %12.2f %9.1f%%\n",
+                    wl.name.c_str(),
+                    (unsigned long long)a.run.targetCycles,
+                    (unsigned long long)a.run.recordCount, expected,
+                    a.run.wallSeconds, b.run.wallSeconds,
+                    100.0 * (a.run.wallSeconds - b.run.wallSeconds) /
+                        b.run.wallSeconds);
+    }
+
+    std::printf("\nhost-cycle accounting with sampling (scan read-out + "
+                "I/O service stalls):\n");
+    {
+        workloads::Workload wl = workloads::linuxbootLike(24);
+        core::EnergySimulator::Config cfg;
+        core::EnergySimulator es(soc, cfg);
+        bench::StroberRun r = bench::runFastPhase(es, soc, wl);
+        std::printf("  linuxboot: %llu target cycles -> %llu host cycles "
+                    "(%.2fx)\n",
+                    (unsigned long long)r.run.targetCycles,
+                    (unsigned long long)r.run.hostCycles,
+                    static_cast<double>(r.run.hostCycles) /
+                        static_cast<double>(r.run.targetCycles));
+    }
+    std::printf("\npaper Table III (for reference): 0.5-73 B cycles, "
+                "980-1497 records, sampling overhead shrinking with run "
+                "length (gcc: 344 vs 312 min).\n");
+    return 0;
+}

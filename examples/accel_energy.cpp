@@ -1,0 +1,138 @@
+/**
+ * @file
+ * "Arbitrary RTL" demo: Strober on an application-specific accelerator
+ * rather than a processor (the paper stresses the methodology is not
+ * processor-specific). The target is a streaming dot-product accelerator
+ * with a MAC datapath annotated for register retiming — so this example
+ * also exercises the Section IV-C3 replay warm-up on a non-CPU design.
+ */
+
+#include <cstdio>
+
+#include "core/energy_sim.h"
+#include "rtl/builder.h"
+#include "stats/rng.h"
+
+using namespace strober;
+
+namespace {
+
+/** Streaming dot-product: consumes (a, b, last) and emits sums. */
+rtl::Design
+buildDotAccel()
+{
+    rtl::Builder b("dot_accel");
+    rtl::Signal valid = b.input("in_valid", 1);
+    rtl::Signal a = b.input("in_a", 16);
+    rtl::Signal x = b.input("in_b", 16);
+    rtl::Signal last = b.input("in_last", 1);
+
+    b.pushScope("mac");
+    // 2-stage retimed multiply feeding an accumulator.
+    rtl::Signal prod = a * x; // 32-bit product
+    rtl::Signal p1 = b.reg("p1", 32, 0);
+    b.next(p1, prod);
+    rtl::Signal p2 = b.reg("p2", 32, 0);
+    b.next(p2, p1);
+    b.annotateRetimed("pipe", 2, {a, x}, p2, {p1, p2});
+
+    // Valid/last ride alongside, outside the retimed region.
+    rtl::Signal v1 = b.reg("v1", 1, 0);
+    b.next(v1, valid);
+    rtl::Signal v2 = b.reg("v2", 1, 0);
+    b.next(v2, v1);
+    rtl::Signal l1 = b.reg("l1", 1, 0);
+    b.next(l1, valid & last);
+    rtl::Signal l2 = b.reg("l2", 1, 0);
+    b.next(l2, l1);
+
+    b.popScope();
+    b.pushScope("acc");
+    rtl::Signal acc = b.reg("acc", 32, 0);
+    rtl::Signal sum = acc + p2;
+    b.next(acc, b.mux(l2, b.lit(0, 32), sum), v2);
+    rtl::Signal result = b.reg("result", 32, 0);
+    b.next(result, sum, v2 & l2);
+    rtl::Signal outValid = b.reg("out_valid", 1, 0);
+    b.next(outValid, v2 & l2);
+    b.popScope();
+
+    b.output("out_valid", outValid);
+    b.output("out_sum", result);
+    return b.finish();
+}
+
+/** Streams random vectors of random length 4..36. */
+class StreamDriver : public core::HostDriver
+{
+  public:
+    explicit StreamDriver(uint64_t vectors) : remaining(vectors) {}
+
+    void
+    drive(core::TargetHarness &h) override
+    {
+        if (h.getOutput(0)) // out_valid
+            checksum += static_cast<uint32_t>(h.getOutput(1));
+        bool fire = rng.nextBounded(4) != 0; // 75% occupancy
+        h.setInput(0, fire);
+        h.setInput(1, rng.nextBounded(1 << 16));
+        h.setInput(2, rng.nextBounded(1 << 16));
+        bool lastBeat = fire && beat + 1 >= length;
+        h.setInput(3, lastBeat);
+        if (fire) {
+            if (lastBeat) {
+                beat = 0;
+                length = 4 + rng.nextBounded(33);
+                if (remaining > 0)
+                    --remaining;
+            } else {
+                ++beat;
+            }
+        }
+    }
+
+    bool done() const override { return remaining == 0; }
+
+    uint32_t checksum = 0;
+
+  private:
+    stats::Rng rng{7};
+    uint64_t remaining;
+    unsigned beat = 0;
+    unsigned length = 16;
+};
+
+} // namespace
+
+int
+main()
+{
+    rtl::Design accel = buildDotAccel();
+    core::EnergySimulator::Config cfg;
+    cfg.sampleSize = 30;
+    cfg.replayLength = 128;
+    core::EnergySimulator strober(accel, cfg);
+
+    StreamDriver driver(30000);
+    core::RunStats run = strober.run(driver, 5'000'000);
+    core::EnergyReport report = strober.estimate();
+
+    const gate::SynthesisStats &synth = strober.synthesis().stats;
+    std::printf("accelerator: %llu gates (%llu retimed flops), "
+                "%.0f um^2\n",
+                (unsigned long long)synth.liveGates,
+                (unsigned long long)synth.retimedDffCount,
+                strober.synthesis().netlist.totalAreaUm2());
+    std::printf("ran %llu cycles; %zu snapshots replayed, %llu "
+                "mismatches\n",
+                (unsigned long long)run.targetCycles, report.snapshots,
+                (unsigned long long)report.replayMismatches);
+    std::printf("average power %.3f mW +/- %.3f (99%% CI)\n",
+                report.averagePower.mean * 1e3,
+                report.averagePower.halfWidth * 1e3);
+    for (const core::GroupEstimate &g : report.groups) {
+        std::printf("  %-16s %8.3f mW\n", g.group.c_str(),
+                    g.power.mean * 1e3);
+    }
+    return report.replayMismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Design-space exploration — the paper's motivating use case (Section I,
+ * Section VI): evaluate performance, power, energy and area for several
+ * processor configurations running the same workload, and print the
+ * resulting trade-off table. With Strober this takes minutes per point
+ * instead of the years a full gate-level simulation would need.
+ */
+
+#include <cstdio>
+
+#include "core/energy_sim.h"
+#include "cores/soc.h"
+#include "cores/soc_driver.h"
+#include "workloads/workloads.h"
+
+using namespace strober;
+
+int
+main()
+{
+    workloads::Workload wl = workloads::coremarkLite();
+    std::printf("workload: %s (expected checksum 0x%x)\n\n",
+                wl.name.c_str(), wl.expectedExit);
+    std::printf("%-10s %10s %8s %10s %12s %12s %10s\n", "config",
+                "cycles", "CPI", "power(mW)", "EPI(pJ/inst)", "area(um2)",
+                "gates");
+
+    for (const cores::SocConfig &cfg :
+         {cores::SocConfig::rocket(), cores::SocConfig::boom1w(),
+          cores::SocConfig::boom2w()}) {
+        rtl::Design soc = cores::buildSoc(cfg);
+
+        core::EnergySimulator::Config ecfg;
+        ecfg.sampleSize = 20;
+        ecfg.replayLength = 128;
+        core::EnergySimulator strober(soc, ecfg);
+
+        cores::SocDriver driver(soc, wl.program);
+        core::RunStats run = strober.run(driver, wl.maxCycles);
+        if (driver.exitCode() != wl.expectedExit) {
+            std::printf("%s: WRONG CHECKSUM 0x%x\n", cfg.name.c_str(),
+                        driver.exitCode());
+            return 1;
+        }
+        core::EnergyReport report = strober.estimate();
+
+        double instructions =
+            static_cast<double>(driver.commitsSeen());
+        double cpi = static_cast<double>(run.targetCycles) / instructions;
+        double watts = report.averagePower.mean;
+        double epi = watts / ecfg.clockHz *
+                     static_cast<double>(run.targetCycles) /
+                     instructions * 1e12;
+        std::printf("%-10s %10llu %8.2f %10.2f %12.2f %12.0f %10llu\n",
+                    cfg.name.c_str(),
+                    (unsigned long long)run.targetCycles, cpi,
+                    watts * 1e3, epi,
+                    strober.synthesis().netlist.totalAreaUm2(),
+                    (unsigned long long)strober.synthesis().stats
+                        .liveGates);
+    }
+    std::printf("\n(each row: cycle-exact fast simulation + %d-snapshot "
+                "gate-level power estimate)\n", 20);
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Distributed replay: the paper replays snapshots "on multiple instances
+ * of gate-level simulation in parallel" — across machines in practice.
+ * This example splits the flow the same way: a *capture* phase runs the
+ * fast simulation and serializes every sampled snapshot to a file, and a
+ * *farm* phase (which could run anywhere) loads each file, replays it at
+ * gate level, and posts back one power number; the "frontend" then only
+ * aggregates scalars.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "core/energy_sim.h"
+#include "cores/soc.h"
+#include "cores/soc_driver.h"
+#include "fame/snapshot_io.h"
+#include "gate/placement.h"
+#include "gate/replay.h"
+#include "gate/synthesis.h"
+#include "power/power_analysis.h"
+#include "stats/sampling.h"
+#include "workloads/workloads.h"
+
+using namespace strober;
+
+int
+main()
+{
+    namespace fs = std::filesystem;
+    fs::path dir = fs::temp_directory_path() / "strober_farm";
+    fs::create_directories(dir);
+
+    rtl::Design soc = cores::buildSoc(cores::SocConfig::rocket());
+    workloads::Workload wl = workloads::qsortWl();
+
+    // ---- Capture phase (the "FPGA host") -------------------------------
+    core::EnergySimulator::Config cfg;
+    cfg.sampleSize = 16;
+    cfg.replayLength = 128;
+    core::EnergySimulator strober(soc, cfg);
+    cores::SocDriver driver(soc, wl.program);
+    core::RunStats run = strober.run(driver, wl.maxCycles);
+    std::printf("capture: %llu cycles, exit 0x%x\n",
+                (unsigned long long)run.targetCycles, driver.exitCode());
+
+    std::vector<fs::path> files;
+    for (const fame::ReplayableSnapshot *snap :
+         strober.sampler().snapshots()) {
+        fs::path file =
+            dir / ("snap_" + std::to_string(snap->cycle()) + ".strb");
+        std::ofstream out(file, std::ios::binary);
+        fame::writeSnapshot(out, strober.sampler().chains(), *snap);
+        files.push_back(file);
+    }
+    std::printf("wrote %zu snapshot files to %s\n", files.size(),
+                dir.c_str());
+
+    // ---- Farm phase (could be other machines) ---------------------------
+    gate::SynthesisResult synth = gate::synthesize(soc);
+    gate::Placement placed = gate::place(synth.netlist);
+    gate::MatchTable table =
+        gate::matchDesigns(soc, synth.netlist, synth.guide);
+    fame::Fame1Design fd = fame::fame1Transform(soc);
+    fame::ScanChains chains(fd.design);
+
+    stats::SampleStats watts;
+    gate::GateSimulator gsim(synth.netlist);
+    for (const fs::path &file : files) {
+        std::ifstream in(file, std::ios::binary);
+        fame::ReplayableSnapshot snap = fame::readSnapshot(in, chains);
+        gate::GateReplayResult r =
+            gate::replayOnGate(gsim, soc, table, snap);
+        if (!r.ok())
+            fatal("replay of %s failed: %s", file.c_str(),
+                  r.firstMismatch.c_str());
+        power::PowerReport p = power::analyzePower(synth.netlist, placed,
+                                                   r.activity, 1e9);
+        watts.add(p.totalWatts());
+        std::printf("  %s -> %.3f mW\n", file.filename().c_str(),
+                    p.totalWatts() * 1e3);
+    }
+
+    // ---- Aggregation -----------------------------------------------------
+    stats::Estimate est =
+        watts.estimate(0.99, run.targetCycles / cfg.replayLength);
+    std::printf("\nfarm estimate: %.3f mW +/- %.3f (99%% CI) from %zu "
+                "replayed files\n",
+                est.mean * 1e3, est.halfWidth * 1e3, files.size());
+
+    for (const fs::path &file : files)
+        fs::remove(file);
+    return 0;
+}

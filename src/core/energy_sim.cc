@@ -1,0 +1,210 @@
+#include "core/energy_sim.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace strober {
+namespace core {
+
+namespace {
+
+double
+nowSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+EnergySimulator::EnergySimulator(const rtl::Design &target, Config config)
+    : dsn(target), cfg(config), fame(fame::fame1Transform(target))
+{
+    resetSampling();
+}
+
+void
+EnergySimulator::resetSampling()
+{
+    fame::SnapshotSampler::Config scfg;
+    scfg.sampleSize = cfg.sampleSize;
+    scfg.replayLength = cfg.replayLength;
+    scfg.seed = cfg.seed;
+    scfg.enabled = cfg.samplingEnabled;
+    snapSampler = std::make_unique<fame::SnapshotSampler>(fame, scfg);
+    fameHarness = std::make_unique<FameHarness>(fame, snapSampler.get());
+    lastRunCycles = 0;
+}
+
+RunStats
+EnergySimulator::run(HostDriver &driver, uint64_t maxCycles)
+{
+    RunStats stats;
+    double start = nowSeconds();
+    fame::TokenSimulator &tsim = fameHarness->tokenSim();
+    uint64_t nextService = cfg.hostServiceInterval;
+    while (!driver.done() && tsim.targetCycles() < maxCycles) {
+        driver.drive(*fameHarness);
+        fameHarness->clock();
+        if (cfg.hostServiceInterval &&
+            tsim.targetCycles() >= nextService) {
+            tsim.addHostStallCycles(cfg.hostServiceStall);
+            nextService += cfg.hostServiceInterval;
+        }
+    }
+    stats.wallSeconds = nowSeconds() - start;
+    stats.targetCycles = tsim.targetCycles();
+    stats.hostCycles = tsim.hostCycles();
+    stats.recordCount = snapSampler->recordCount();
+    stats.intervalsSeen = snapSampler->intervalsSeen();
+    stats.simulatedHz = stats.wallSeconds > 0
+                            ? static_cast<double>(stats.targetCycles) /
+                                  stats.wallSeconds
+                            : 0;
+    lastRunCycles = stats.targetCycles;
+    return stats;
+}
+
+void
+EnergySimulator::buildAsicFlow()
+{
+    if (synth)
+        return;
+    synth = std::make_unique<gate::SynthesisResult>(gate::synthesize(dsn));
+    placed = std::make_unique<gate::Placement>(gate::place(synth->netlist));
+    match = std::make_unique<gate::MatchTable>(
+        gate::matchDesigns(dsn, synth->netlist, synth->guide));
+}
+
+const gate::SynthesisResult &
+EnergySimulator::synthesis()
+{
+    buildAsicFlow();
+    return *synth;
+}
+
+const gate::Placement &
+EnergySimulator::placement()
+{
+    buildAsicFlow();
+    return *placed;
+}
+
+const gate::MatchTable &
+EnergySimulator::matchTable()
+{
+    buildAsicFlow();
+    return *match;
+}
+
+EnergyReport
+EnergySimulator::estimate()
+{
+    buildAsicFlow();
+    EnergyReport report;
+
+    auto snapshots = snapSampler->snapshots();
+    if (snapshots.empty())
+        fatal("no complete snapshots; run a workload with sampling "
+              "enabled first");
+
+    report.population = lastRunCycles / cfg.replayLength;
+    report.snapshots = snapshots.size();
+
+    double start = nowSeconds();
+
+    // Snapshots are independent (paper Section III-B), so fan the
+    // replays out over P gate-level simulator instances.
+    unsigned parallel = std::max(1u, cfg.parallelReplays);
+    parallel = std::min<unsigned>(parallel, snapshots.size());
+    struct SnapResult
+    {
+        uint64_t mismatches = 0;
+        std::string firstMismatch;
+        uint64_t cycle = 0;
+        double modeledLoadSeconds = 0;
+        double totalWatts = 0;
+        std::vector<std::pair<std::string, double>> groups;
+    };
+    std::vector<SnapResult> results(snapshots.size());
+
+    auto worker = [&](unsigned workerIdx) {
+        gate::GateSimulator gsim(synth->netlist);
+        for (size_t i = workerIdx; i < snapshots.size(); i += parallel) {
+            const fame::ReplayableSnapshot *snap = snapshots[i];
+            gate::GateReplayResult r = gate::replayOnGate(
+                gsim, dsn, *match, *snap, cfg.loader);
+            SnapResult &out = results[i];
+            out.mismatches = r.outputMismatches;
+            out.firstMismatch = r.firstMismatch;
+            out.cycle = snap->cycle();
+            out.modeledLoadSeconds = r.load.modeledSeconds;
+            power::PowerReport p = power::analyzePower(
+                synth->netlist, *placed, r.activity, cfg.clockHz);
+            out.totalWatts = p.totalWatts();
+            for (const power::GroupPower &g : p.groups)
+                out.groups.emplace_back(g.group, g.total());
+        }
+    };
+    if (parallel == 1) {
+        worker(0);
+    } else {
+        std::vector<std::thread> threads;
+        for (unsigned t = 0; t < parallel; ++t)
+            threads.emplace_back(worker, t);
+        for (std::thread &t : threads)
+            t.join();
+    }
+
+    stats::SampleStats totalPower;
+    std::map<std::string, stats::SampleStats> groupPower;
+    for (const SnapResult &r : results) {
+        report.replayMismatches += r.mismatches;
+        if (r.mismatches) {
+            warn("snapshot at cycle %llu failed replay verification: %s",
+                 (unsigned long long)r.cycle, r.firstMismatch.c_str());
+        }
+        report.modeledLoadSeconds += r.modeledLoadSeconds;
+        totalPower.add(r.totalWatts);
+        for (const auto &[name, watts] : r.groups)
+            groupPower[name].add(watts);
+    }
+    report.replayWallSeconds = nowSeconds() - start;
+
+    uint64_t population = std::max<uint64_t>(report.population,
+                                             snapshots.size());
+    report.averagePower = totalPower.estimate(cfg.confidence, population);
+    for (auto &[name, samples] : groupPower) {
+        GroupEstimate g;
+        g.group = name;
+        g.power = samples.estimate(cfg.confidence, population);
+        report.groups.push_back(std::move(g));
+    }
+    return report;
+}
+
+power::PowerReport
+measureGroundTruth(EnergySimulator &sim, HostDriver &driver,
+                   uint64_t maxCycles)
+{
+    const gate::SynthesisResult &synth = sim.synthesis();
+    GateHarness harness(synth.netlist);
+    harness.simulator().clearActivity();
+    runLoop(harness, driver, maxCycles);
+    if (harness.cycles() == 0)
+        fatal("ground-truth run executed zero cycles");
+    gate::ActivityReport activity{
+        harness.simulator().toggleCounts(),
+        harness.simulator().macroStats(),
+        harness.simulator().activityCycles()};
+    return power::analyzePower(synth.netlist, sim.placement(), activity,
+                               sim.config().clockHz);
+}
+
+} // namespace core
+} // namespace strober

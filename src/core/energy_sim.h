@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The Strober energy-simulation flow (paper Sections III-B, IV): the
+ * public entry point a user hands an arbitrary rtl::Design plus a
+ * HostDriver, and gets back a workload-specific average-power estimate
+ * with confidence intervals.
+ *
+ * Pipeline:
+ *  1. FAME1-transform the design; run it fast under the host driver while
+ *     reservoir-sampling replayable snapshots (performance measurement is
+ *     cycle-exact — it IS the RTL).
+ *  2. Push the same design through the ASIC flow: synthesis → placement →
+ *     RTL/gate matching (this is independent of step 1 and cached).
+ *  3. Replay every snapshot on the gate-level simulator, verify its
+ *     outputs against the trace, run power analysis on its activity.
+ *  4. Aggregate: sample mean + confidence interval over the population of
+ *     all L-cycle intervals of the run (Section III-A estimators).
+ */
+
+#ifndef STROBER_CORE_ENERGY_SIM_H
+#define STROBER_CORE_ENERGY_SIM_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/harness.h"
+#include "fame/fame1.h"
+#include "fame/sampler.h"
+#include "gate/matching.h"
+#include "gate/placement.h"
+#include "gate/replay.h"
+#include "gate/state_loader.h"
+#include "gate/synthesis.h"
+#include "power/power_analysis.h"
+#include "stats/sampling.h"
+
+namespace strober {
+namespace core {
+
+/** Performance results of the fast simulation phase. */
+struct RunStats
+{
+    uint64_t targetCycles = 0;
+    uint64_t hostCycles = 0;       //!< incl. sampling + service stalls
+    uint64_t recordCount = 0;      //!< reservoir record events
+    uint64_t intervalsSeen = 0;    //!< population size N (in L-intervals)
+    double wallSeconds = 0;        //!< measured wall-clock of the phase
+    double simulatedHz = 0;        //!< targetCycles / wallSeconds
+};
+
+/** Mean + CI for one hierarchy group (Figure 9a bars + error bounds). */
+struct GroupEstimate
+{
+    std::string group;
+    stats::Estimate power; //!< watts
+};
+
+/** Final energy report. */
+struct EnergyReport
+{
+    stats::Estimate averagePower;   //!< watts, with CI (Eq. 7)
+    std::vector<GroupEstimate> groups;
+    uint64_t population = 0;        //!< N (number of L-intervals)
+    size_t snapshots = 0;           //!< n actually replayed
+    uint64_t replayMismatches = 0;  //!< must be 0 for a valid estimate
+    double replayWallSeconds = 0;
+    double modeledLoadSeconds = 0;  //!< Section IV-C2 loader accounting
+
+    /** Energy per cycle in joules (power / clock). */
+    double energyPerCycle(double clockHz) const
+    {
+        return averagePower.mean / clockHz;
+    }
+};
+
+/** End-to-end sample-based energy simulation of one design. */
+class EnergySimulator
+{
+  public:
+    struct Config
+    {
+        size_t sampleSize = 30;
+        unsigned replayLength = 128;
+        uint64_t seed = 0x5eed5eedULL;
+        double confidence = 0.99;
+        double clockHz = 1e9;           //!< target clock (paper: 1 GHz)
+        bool samplingEnabled = true;
+        gate::LoaderKind loader = gate::LoaderKind::FastVpi;
+        /** Host-service stall modeling: every @p hostServiceInterval
+         *  target cycles the host services target I/O, costing
+         *  @p hostServiceStall stalled host cycles (paper Section V-B:
+         *  stalls every 256 cycles). */
+        uint64_t hostServiceInterval = 256;
+        uint64_t hostServiceStall = 16;
+        /** Snapshots are independent; replay them on this many parallel
+         *  gate-level simulator instances (paper Section III-B / IV-E's
+         *  P). */
+        unsigned parallelReplays = 1;
+    };
+
+    EnergySimulator(const rtl::Design &target, Config config);
+
+    /** Phase 1: fast simulation with sampling. */
+    RunStats run(HostDriver &driver, uint64_t maxCycles);
+
+    /** Phases 2-4: ASIC flow (cached), replay, power aggregation. */
+    EnergyReport estimate();
+
+    /** Re-arm phase 1 for another workload on the same design. */
+    void resetSampling();
+
+    // --- Component access (benches, tests, examples) --------------------
+    const fame::Fame1Design &fameDesign() const { return fame; }
+    FameHarness &harness() { return *fameHarness; }
+    fame::SnapshotSampler &sampler() { return *snapSampler; }
+    const gate::SynthesisResult &synthesis();
+    const gate::Placement &placement();
+    const gate::MatchTable &matchTable();
+    const Config &config() const { return cfg; }
+    const rtl::Design &target() const { return dsn; }
+
+  private:
+    const rtl::Design &dsn;
+    Config cfg;
+    fame::Fame1Design fame;
+    std::unique_ptr<fame::SnapshotSampler> snapSampler;
+    std::unique_ptr<FameHarness> fameHarness;
+
+    // Lazily-built ASIC-flow products.
+    std::unique_ptr<gate::SynthesisResult> synth;
+    std::unique_ptr<gate::Placement> placed;
+    std::unique_ptr<gate::MatchTable> match;
+
+    uint64_t lastRunCycles = 0;
+
+    void buildAsicFlow();
+};
+
+/**
+ * Ground truth (Figure 8 validation): run the whole workload at gate
+ * level and return the exact average-power report. Slow by construction.
+ */
+power::PowerReport measureGroundTruth(EnergySimulator &sim,
+                                      HostDriver &driver,
+                                      uint64_t maxCycles);
+
+} // namespace core
+} // namespace strober
+
+#endif // STROBER_CORE_ENERGY_SIM_H

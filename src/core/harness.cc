@@ -1,0 +1,102 @@
+#include "core/harness.h"
+
+#include "util/logging.h"
+
+namespace strober {
+namespace core {
+
+uint64_t
+runLoop(TargetHarness &harness, HostDriver &driver, uint64_t maxCycles)
+{
+    while (!driver.done() && harness.cycles() < maxCycles) {
+        driver.drive(harness);
+        harness.clock();
+    }
+    return harness.cycles();
+}
+
+RtlHarness::RtlHarness(const rtl::Design &design) : dsn(design), sim(design)
+{
+    lastOutputs.assign(design.outputs().size(), 0);
+}
+
+void
+RtlHarness::setInput(size_t port, uint64_t value)
+{
+    sim.poke(dsn.inputs().at(port), value);
+}
+
+uint64_t
+RtlHarness::getOutput(size_t port) const
+{
+    return lastOutputs.at(port);
+}
+
+void
+RtlHarness::clock()
+{
+    for (size_t o = 0; o < dsn.outputs().size(); ++o)
+        lastOutputs[o] = sim.peek(dsn.outputs()[o].node);
+    sim.step();
+}
+
+GateHarness::GateHarness(const gate::GateNetlist &netlist) : sim(netlist)
+{
+    lastOutputs.assign(netlist.outputs().size(), 0);
+}
+
+void
+GateHarness::setInput(size_t port, uint64_t value)
+{
+    sim.pokePort(port, value);
+}
+
+uint64_t
+GateHarness::getOutput(size_t port) const
+{
+    return lastOutputs.at(port);
+}
+
+void
+GateHarness::clock()
+{
+    for (size_t o = 0; o < sim.netlist().outputs().size(); ++o)
+        lastOutputs[o] = sim.peekPort(o);
+    sim.step();
+}
+
+FameHarness::FameHarness(const fame::Fame1Design &fame,
+                         fame::SnapshotSampler *sampler)
+    : tsim(fame), snapSampler(sampler)
+{
+    pendingInputs.assign(fame.targetInputs.size(), 0);
+    lastOutputs.assign(fame.targetOutputs.size(), 0);
+}
+
+void
+FameHarness::setInput(size_t port, uint64_t value)
+{
+    pendingInputs.at(port) = value;
+}
+
+uint64_t
+FameHarness::getOutput(size_t port) const
+{
+    return lastOutputs.at(port);
+}
+
+void
+FameHarness::clock()
+{
+    if (snapSampler)
+        snapSampler->poll(tsim);
+    for (size_t i = 0; i < pendingInputs.size(); ++i)
+        tsim.enqueueInput(i, pendingInputs[i]);
+    if (!tsim.tryStep())
+        panic("lock-step FAME harness failed to fire");
+    for (size_t o = 0; o < lastOutputs.size(); ++o)
+        lastOutputs[o] = tsim.dequeueOutput(o);
+}
+
+} // namespace core
+} // namespace strober

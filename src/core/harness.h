@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Target harnesses: one host-driver protocol over three execution
+ * backends. A HostDriver (the "software side" of the simulation — memory
+ * system, I/O devices) talks to the target through the same port-level
+ * interface whether the target runs on
+ *   - the fast word-level RTL interpreter (RtlHarness),
+ *   - the FAME1 token simulator with snapshot sampling (FameHarness), or
+ *   - the detailed gate-level simulator (GateHarness, used for ground
+ *     truth in the Figure-8 validation).
+ *
+ * Per-cycle contract: the driver calls setInput() for the upcoming
+ * target cycle (it may inspect the previous cycle's outputs with
+ * getOutput()), the run loop calls clock(), and the outputs observed
+ * during that cycle become visible to the next drive() call.
+ */
+
+#ifndef STROBER_CORE_HARNESS_H
+#define STROBER_CORE_HARNESS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "fame/sampler.h"
+#include "fame/token_sim.h"
+#include "gate/gate_sim.h"
+#include "sim/simulator.h"
+
+namespace strober {
+namespace core {
+
+/** Port-level view of a running target. */
+class TargetHarness
+{
+  public:
+    virtual ~TargetHarness() = default;
+
+    /** Drive input port @p port for the upcoming cycle. */
+    virtual void setInput(size_t port, uint64_t value) = 0;
+    /** Output port value observed during the last clocked cycle. */
+    virtual uint64_t getOutput(size_t port) const = 0;
+    /** Advance one target cycle. */
+    virtual void clock() = 0;
+    /** Target cycles executed. */
+    virtual uint64_t cycles() const = 0;
+};
+
+/** The host-side model: memory system, I/O devices, completion check. */
+class HostDriver
+{
+  public:
+    virtual ~HostDriver() = default;
+    /** Set this cycle's inputs (may read last cycle's outputs). */
+    virtual void drive(TargetHarness &harness) = 0;
+    /** @return true when the target program has finished. */
+    virtual bool done() const = 0;
+};
+
+/** Run @p driver against @p harness. @return target cycles executed. */
+uint64_t runLoop(TargetHarness &harness, HostDriver &driver,
+                 uint64_t maxCycles);
+
+/** Harness over the fast RTL interpreter. */
+class RtlHarness : public TargetHarness
+{
+  public:
+    explicit RtlHarness(const rtl::Design &design);
+
+    void setInput(size_t port, uint64_t value) override;
+    uint64_t getOutput(size_t port) const override;
+    void clock() override;
+    uint64_t cycles() const override { return sim.cycle(); }
+
+    sim::Simulator &simulator() { return sim; }
+
+  private:
+    const rtl::Design &dsn;
+    sim::Simulator sim;
+    std::vector<uint64_t> lastOutputs;
+};
+
+/** Harness over the gate-level simulator (ground-truth runs). */
+class GateHarness : public TargetHarness
+{
+  public:
+    explicit GateHarness(const gate::GateNetlist &netlist);
+
+    void setInput(size_t port, uint64_t value) override;
+    uint64_t getOutput(size_t port) const override;
+    void clock() override;
+    uint64_t cycles() const override { return sim.cycle(); }
+
+    gate::GateSimulator &simulator() { return sim; }
+
+  private:
+    gate::GateSimulator sim;
+    std::vector<uint64_t> lastOutputs;
+};
+
+/** Harness over the FAME1 token simulator with snapshot sampling. */
+class FameHarness : public TargetHarness
+{
+  public:
+    FameHarness(const fame::Fame1Design &fame,
+                fame::SnapshotSampler *sampler);
+
+    void setInput(size_t port, uint64_t value) override;
+    uint64_t getOutput(size_t port) const override;
+    void clock() override;
+    uint64_t cycles() const override { return tsim.targetCycles(); }
+
+    fame::TokenSimulator &tokenSim() { return tsim; }
+
+  private:
+    fame::TokenSimulator tsim;
+    fame::SnapshotSampler *snapSampler; //!< may be null
+    std::vector<uint64_t> pendingInputs;
+    std::vector<uint64_t> lastOutputs;
+};
+
+} // namespace core
+} // namespace strober
+
+#endif // STROBER_CORE_HARNESS_H

@@ -1,0 +1,47 @@
+#include "core/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace strober {
+namespace core {
+
+PerfModelResult
+evaluatePerfModel(const PerfModelParams &p)
+{
+    if (p.sampleSize == 0 || p.replayLength == 0 || p.totalCycles == 0)
+        fatal("perf model needs positive N, n and L");
+
+    PerfModelResult r;
+    double n = static_cast<double>(p.sampleSize);
+    double bigN = static_cast<double>(p.totalCycles);
+    double l = static_cast<double>(p.replayLength);
+
+    r.tRun = bigN / p.fpgaSimHz;
+    double intervalsPerSample = bigN / l / n;
+    r.expectedRecords =
+        intervalsPerSample > 1.0 ? 2.0 * n * std::log(intervalsPerSample)
+                                 : n;
+    r.tSample = p.recordSeconds * r.expectedRecords;
+    r.tFpgaSim = r.tRun + r.tSample;
+
+    r.tReplay = n *
+                (p.loadSeconds + l / p.gateSimHz +
+                 p.powerAnalysisSeconds) /
+                static_cast<double>(p.parallelReplays);
+
+    r.tOverall = std::max(p.fpgaSynthSeconds + r.tFpgaSim,
+                          p.asicFlowSeconds) +
+                 r.tReplay;
+
+    r.tMicroarchSim = bigN / p.uarchSimHz;
+    r.tGateLevelSim = bigN / p.gateSimHz;
+    r.speedupVsMicroarch = r.tMicroarchSim / r.tOverall;
+    r.speedupVsGateLevel = r.tGateLevelSim / r.tOverall;
+    return r;
+}
+
+} // namespace core
+} // namespace strober

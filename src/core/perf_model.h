@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The analytic simulation-performance model of paper Section IV-E:
+ *
+ *   T_overall = max(T_FPGAsyn + T_FPGAsim, T_ASIC) + T_replay
+ *   T_FPGAsim = N / K_f + T_rec * 2 n ln(N / (n L))
+ *   T_replay  = n (T_load + L / K_g + T_power) / P
+ *
+ * Defaults reproduce the paper's worked example for the two-way BOOM
+ * processor: 100 B cycles, n = 100 snapshots of L = 1000 cycles, 10
+ * parallel gate-level instances -> ~9.4 hours overall, vs ~3.86 days on
+ * a 300 kHz microarchitectural software simulator and ~264 years on
+ * 12 Hz gate-level simulation.
+ */
+
+#ifndef STROBER_CORE_PERF_MODEL_H
+#define STROBER_CORE_PERF_MODEL_H
+
+#include <cstdint>
+
+namespace strober {
+namespace core {
+
+/** Inputs to the Section IV-E model (times in seconds, rates in Hz). */
+struct PerfModelParams
+{
+    double fpgaSynthSeconds = 3600;     //!< T_FPGAsyn (~1 h for BOOM-2w)
+    double fpgaSimHz = 3.6e6;           //!< K_f
+    double gateSimHz = 12;              //!< K_g
+    double recordSeconds = 1.3;         //!< T_rec per snapshot read-out
+    double loadSeconds = 3;             //!< T_load per snapshot
+    double powerAnalysisSeconds = 150;  //!< T_power per snapshot
+    double asicFlowSeconds = 3.5 * 3600; //!< T_ASIC (syn+pnr+formal)
+    double uarchSimHz = 300e3;          //!< software simulator baseline
+
+    uint64_t totalCycles = 100'000'000'000ull; //!< N
+    uint64_t sampleSize = 100;                 //!< n
+    uint64_t replayLength = 1000;              //!< L
+    unsigned parallelReplays = 10;             //!< P
+};
+
+/** Model outputs (seconds unless noted). */
+struct PerfModelResult
+{
+    double tRun = 0;        //!< N / K_f
+    double tSample = 0;     //!< T_rec * 2 n ln(N/(nL))
+    double tFpgaSim = 0;    //!< tRun + tSample
+    double tReplay = 0;
+    double tOverall = 0;
+    double expectedRecords = 0;     //!< 2 n ln(N/(nL))
+    double tMicroarchSim = 0;       //!< N / uarchSimHz
+    double tGateLevelSim = 0;       //!< N / gateSimHz
+    double speedupVsMicroarch = 0;  //!< tMicroarchSim / tOverall
+    double speedupVsGateLevel = 0;  //!< tGateLevelSim / tOverall
+};
+
+/** Evaluate the model. */
+PerfModelResult evaluatePerfModel(const PerfModelParams &params);
+
+} // namespace core
+} // namespace strober
+
+#endif // STROBER_CORE_PERF_MODEL_H

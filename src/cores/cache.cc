@@ -1,0 +1,194 @@
+#include "cores/cache.h"
+
+#include "cores/rtl_util.h"
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace strober {
+namespace cores {
+
+CacheIO
+buildCache(Builder &b, const std::string &name, uint32_t sizeBytes,
+           const CacheInputs &in, unsigned ways)
+{
+    if (!isPow2(sizeBytes) || sizeBytes < 64)
+        fatal("cache size must be a power of two >= 64");
+    if (ways != 1 && ways != 2)
+        fatal("cache supports 1 or 2 ways");
+    constexpr unsigned kLineBytes = 8;
+    const uint32_t numSets = sizeBytes / kLineBytes / ways;
+    if (numSets < 2)
+        fatal("cache too small for %u ways", ways);
+    const unsigned idxBits = clog2(numSets);
+    const unsigned offBits = clog2(kLineBytes); // 3
+    const unsigned tagBits = 32 - idxBits - offBits;
+
+    rtl::Scope scope(b, name);
+
+    // FSM states.
+    enum : uint64_t { kReady = 0, kWbReq = 1, kRefillReq = 2, kWait = 3 };
+    Signal state = b.reg("state", 2, kReady);
+
+    Signal idx = in.reqAddr.bits(offBits + idxBits - 1, offBits);
+    Signal tag = in.reqAddr.bits(31, offBits + idxBits);
+    Signal wordSel = in.reqAddr.bit(2); // which 32-bit word of the line
+
+    // Per-way arrays (meta split like the paper's "meta+data" vs
+    // "control" breakdown).
+    struct Way
+    {
+        rtl::MemHandle data, tag, valid, dirty;
+        Signal line, lineTag, lineValid, lineDirty, hit;
+    };
+    std::vector<Way> way(ways);
+    {
+        rtl::Scope meta(b, "arrays");
+        for (unsigned w = 0; w < ways; ++w) {
+            std::string suffix =
+                ways == 1 ? "" : "_w" + std::to_string(w);
+            way[w].data = b.mem("data" + suffix, 64, numSets, false);
+            way[w].tag = b.mem("tag" + suffix, tagBits, numSets, false);
+            way[w].valid = b.mem("valid" + suffix, 1, numSets, false);
+            way[w].dirty = b.mem("dirty" + suffix, 1, numSets, false);
+        }
+    }
+    for (unsigned w = 0; w < ways; ++w) {
+        way[w].line = b.memRead(way[w].data, idx);
+        way[w].lineTag = b.memRead(way[w].tag, idx);
+        way[w].lineValid = b.memRead(way[w].valid, idx);
+        way[w].lineDirty = b.memRead(way[w].dirty, idx);
+        way[w].hit = way[w].lineValid & eq(way[w].lineTag, tag);
+    }
+
+    // LRU (2-way): lru[set] = way to evict next.
+    rtl::MemHandle lruMem;
+    Signal lruVictim;
+    if (ways == 2) {
+        rtl::Scope meta(b, "arrays");
+        lruMem = b.mem("lru", 1, numSets, false);
+        lruVictim = b.memRead(lruMem, idx);
+    }
+
+    Signal ready = eqImm(state, kReady);
+    Signal anyHit = way[0].hit;
+    if (ways == 2)
+        anyHit = anyHit | way[1].hit;
+    Signal hit = in.reqValid & ready & anyHit;
+    Signal miss = in.reqValid & ready & !anyHit;
+
+    // Victim way selection: prefer an invalid way, else LRU.
+    Signal victimWay =
+        ways == 2
+            ? muxChain(b, lruVictim,
+                       {{!way[0].lineValid, b.lit(0, 1)},
+                        {!way[1].lineValid, b.lit(1, 1)}})
+            : b.lit(0, 1);
+
+    // --- Hit datapath -----------------------------------------------------
+    Signal hitLine = way[0].line;
+    Signal hitWay = b.lit(0, 1);
+    if (ways == 2) {
+        hitLine = b.mux(way[1].hit, way[1].line, way[0].line);
+        hitWay = way[1].hit;
+    }
+    Signal loWord = hitLine.bits(31, 0);
+    Signal hiWord = hitLine.bits(63, 32);
+    Signal readWord = b.mux(wordSel, hiWord, loWord);
+
+    // Byte-merged store word.
+    std::vector<Signal> mergedBytes;
+    for (unsigned byte = 4; byte-- > 0;) {
+        Signal oldB = readWord.bits(byte * 8 + 7, byte * 8);
+        Signal newB = in.reqWdata.bits(byte * 8 + 7, byte * 8);
+        mergedBytes.push_back(b.mux(in.reqWstrb.bit(byte), newB, oldB));
+    }
+    Signal mergedWord = b.catAll(mergedBytes);
+    Signal mergedLine = b.mux(wordSel, b.cat(mergedWord, loWord),
+                              b.cat(hiWord, mergedWord));
+
+    Signal writeHit = hit & in.reqWrite;
+    for (unsigned w = 0; w < ways; ++w) {
+        Signal thisWay =
+            ways == 2 ? eq(hitWay, b.lit(w, 1)) : b.lit(1, 1);
+        b.memWrite(way[w].data, idx, mergedLine, writeHit & thisWay);
+        b.memWrite(way[w].dirty, idx, b.lit(1, 1), writeHit & thisWay);
+    }
+    if (ways == 2) {
+        // On a hit, the other way becomes the eviction candidate.
+        b.memWrite(lruMem, idx, !hitWay, hit);
+    }
+
+    // --- Miss handling ----------------------------------------------------
+    Signal missIdx = regEn(b, "miss_idx", idxBits, idx, miss);
+    Signal missTag = regEn(b, "miss_tag", tagBits, tag, miss);
+    Signal missWay = regEn(b, "miss_way", 1, victimWay, miss);
+    Signal victimTag = ways == 2 ? b.mux(victimWay, way[1].lineTag,
+                                         way[0].lineTag)
+                                 : way[0].lineTag;
+    Signal victimLine =
+        ways == 2 ? b.mux(victimWay, way[1].line, way[0].line)
+                  : way[0].line;
+    Signal victimTagR = regEn(b, "victim_tag", tagBits, victimTag, miss);
+    Signal victimLineR = regEn(b, "victim_line", 64, victimLine, miss);
+    Signal victimValid = ways == 2 ? b.mux(victimWay, way[1].lineValid,
+                                           way[0].lineValid)
+                                   : way[0].lineValid;
+    Signal victimDirty = ways == 2 ? b.mux(victimWay, way[1].lineDirty,
+                                           way[0].lineDirty)
+                                   : way[0].lineDirty;
+    Signal needWb = victimValid & victimDirty;
+
+    Signal inWb = eqImm(state, kWbReq);
+    Signal inRefillReq = eqImm(state, kRefillReq);
+    Signal inWait = eqImm(state, kWait);
+
+    Signal memReqValid = inWb | inRefillReq;
+    Signal wbAddr =
+        b.catAll({victimTagR, missIdx, b.lit(0, offBits)}); // 32 bits
+    Signal refillAddr =
+        b.catAll({missTag, missIdx, b.lit(0, offBits)});
+    Signal memReqAddr = b.mux(inWb, wbAddr, refillAddr);
+
+    Signal accepted = memReqValid & in.memReqReady;
+    Signal refillDone = inWait & in.memRespValid;
+
+    Signal stateNext = b.wire("state_next", 2);
+    b.assign(stateNext,
+             muxChain(b, state,
+                      {{miss, b.mux(needWb, b.lit(kWbReq, 2),
+                                    b.lit(kRefillReq, 2))},
+                       {inWb & accepted, b.lit(kRefillReq, 2)},
+                       {inRefillReq & accepted, b.lit(kWait, 2)},
+                       {refillDone, b.lit(kReady, 2)}}));
+    b.next(state, stateNext);
+
+    // Refill writes into the chosen victim way.
+    for (unsigned w = 0; w < ways; ++w) {
+        Signal thisWay =
+            ways == 2 ? eq(missWay, b.lit(w, 1)) : b.lit(1, 1);
+        Signal en = refillDone & thisWay;
+        b.memWrite(way[w].data, missIdx, in.memRespData, en);
+        b.memWrite(way[w].tag, missIdx, missTag, en);
+        b.memWrite(way[w].valid, missIdx, b.lit(1, 1), en);
+        b.memWrite(way[w].dirty, missIdx, b.lit(0, 1), en);
+    }
+    if (ways == 2) {
+        // The refilled way was just used: evict the other one next.
+        b.memWrite(lruMem, missIdx, !missWay, refillDone);
+    }
+
+    CacheIO out;
+    out.respValid = hit;
+    out.respData = readWord;
+    out.respLine = hitLine;
+    out.busy = !ready;
+    out.missEvent = miss;
+    out.memReqValid = memReqValid;
+    out.memReqAddr = memReqAddr;
+    out.memReqWrite = inWb;
+    out.memReqWdata = victimLineR;
+    return out;
+}
+
+} // namespace cores
+} // namespace strober

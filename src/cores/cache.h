@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Blocking, direct-mapped, write-back, write-allocate L1 cache generator
+ * (the paper's Rocket-style 16 KiB I$/D$, simplified to single-cycle-hit
+ * arrays; see DESIGN.md substitutions). Lines are 8 bytes; the memory
+ * side speaks a line-wide valid/ready request channel with a one-shot
+ * response, which the SoC maps onto the host DRAM model.
+ */
+
+#ifndef STROBER_CORES_CACHE_H
+#define STROBER_CORES_CACHE_H
+
+#include <string>
+
+#include "rtl/builder.h"
+
+namespace strober {
+namespace cores {
+
+using rtl::Builder;
+using rtl::Signal;
+
+/** Core- and memory-side inputs of one cache instance. */
+struct CacheInputs
+{
+    Signal reqValid;   //!< core request valid (held until respValid)
+    Signal reqAddr;    //!< 32-bit byte address (word aligned)
+    Signal reqWrite;   //!< 1 = store
+    Signal reqWdata;   //!< 32-bit store data
+    Signal reqWstrb;   //!< 4-bit byte strobes within the word
+    Signal memReqReady;  //!< memory accepts our request this cycle
+    Signal memRespValid; //!< refill data valid this cycle
+    Signal memRespData;  //!< 64-bit line data
+};
+
+/** Outputs of one cache instance. */
+struct CacheIO
+{
+    Signal respValid;   //!< request completes this cycle (hit)
+    Signal respData;    //!< 32-bit load data (valid with respValid)
+    Signal respLine;    //!< full 64-bit line (2-wide fetch)
+    Signal busy;        //!< miss handling in progress
+    Signal missEvent;   //!< one-cycle pulse when a miss begins
+    Signal memReqValid; //!< line request to memory
+    Signal memReqAddr;  //!< line-aligned byte address
+    Signal memReqWrite; //!< 1 = write-back
+    Signal memReqWdata; //!< 64-bit write-back line
+};
+
+/**
+ * Build a cache named @p name of @p sizeBytes (power of two).
+ * @p ways selects the associativity (1 = direct-mapped, 2 = two-way
+ * with LRU replacement).
+ */
+CacheIO buildCache(Builder &b, const std::string &name, uint32_t sizeBytes,
+                   const CacheInputs &in, unsigned ways = 1);
+
+} // namespace cores
+} // namespace strober
+
+#endif // STROBER_CORES_CACHE_H

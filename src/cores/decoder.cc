@@ -1,0 +1,100 @@
+#include "cores/decoder.h"
+
+#include "cores/exec_units.h"
+#include "cores/rtl_util.h"
+
+namespace strober {
+namespace cores {
+
+DecodedCtrl
+buildDecoder(Builder &b, const std::string &name, Signal inst)
+{
+    rtl::Scope scope(b, name);
+    DecodedCtrl c;
+
+    Signal opcode = inst.bits(6, 0);
+    c.funct3 = inst.bits(14, 12);
+    Signal funct7 = inst.bits(31, 25);
+    c.rd = inst.bits(11, 7);
+    c.rs1 = inst.bits(19, 15);
+    c.rs2 = inst.bits(24, 20);
+
+    Signal isLui = eqImm(opcode, 0x37);
+    Signal isAuipc = eqImm(opcode, 0x17);
+    c.isJal = eqImm(opcode, 0x6f);
+    c.isJalr = eqImm(opcode, 0x67);
+    c.isBranch = eqImm(opcode, 0x63);
+    c.isLoad = eqImm(opcode, 0x03);
+    c.isStore = eqImm(opcode, 0x23);
+    Signal isOpImm = eqImm(opcode, 0x13);
+    Signal isOp = eqImm(opcode, 0x33);
+    Signal isSystem = eqImm(opcode, 0x73);
+    c.isMem = c.isLoad | c.isStore;
+
+    Signal isMulDiv = isOp & eqImm(funct7, 0x01);
+    c.isMul = isMulDiv & !c.funct3.bit(2);
+    c.isDiv = isMulDiv & c.funct3.bit(2);
+    c.mulMode = c.funct3.bits(1, 0);
+    c.divSigned = !c.funct3.bit(0);
+    c.divRem = c.funct3.bit(1);
+
+    c.isCsr = isSystem & eqImm(c.funct3, 2);
+    // csrSel maps {cycle, instret, cycleh, instreth, hpm3, hpm4}.
+    Signal csr = inst.bits(31, 20);
+    Signal isInstret = eqImm(csr.bits(6, 0), 0x02);
+    Signal isHigh = csr.bit(7);
+    Signal base = b.pad(b.cat(isHigh, isInstret), 3);
+    c.csrSel = muxChain(b, base,
+                        {{eqImm(csr.bits(6, 0), 0x03), b.lit(4, 3)},
+                         {eqImm(csr.bits(6, 0), 0x04), b.lit(5, 3)}});
+    c.isEcall = isSystem & eqImm(c.funct3, 0) & eqImm(inst.bits(31, 20), 0);
+
+    // --- Immediates -----------------------------------------------------
+    Signal immI = b.sext(inst.bits(31, 20), 32);
+    Signal immS =
+        b.sext(b.cat(inst.bits(31, 25), inst.bits(11, 7)), 32);
+    Signal immB = b.sext(
+        b.catAll({inst.bit(31), inst.bit(7), inst.bits(30, 25),
+                  inst.bits(11, 8), b.lit(0, 1)}),
+        32);
+    Signal immU = b.cat(inst.bits(31, 12), b.lit(0, 12));
+    Signal immJ = b.sext(
+        b.catAll({inst.bit(31), inst.bits(19, 12), inst.bit(20),
+                  inst.bits(30, 21), b.lit(0, 1)}),
+        32);
+    c.imm = muxChain(b, immI,
+                     {{c.isStore, immS},
+                      {c.isBranch, immB},
+                      {isLui | isAuipc, immU},
+                      {c.isJal, immJ}});
+
+    // --- ALU function -----------------------------------------------------
+    // For OP/OP-IMM: funct3 selects; bit30 selects sub/sra where legal.
+    Signal bit30 = inst.bit(30);
+    Signal aluFromF3 = b.select(
+        c.funct3,
+        {b.mux(isOp & bit30, b.lit(kAluSub, 4), b.lit(kAluAdd, 4)), // 0
+         b.lit(kAluSll, 4),                                         // 1
+         b.lit(kAluSlt, 4),                                         // 2
+         b.lit(kAluSltu, 4),                                        // 3
+         b.lit(kAluXor, 4),                                         // 4
+         b.mux(bit30, b.lit(kAluSra, 4), b.lit(kAluSrl, 4)),        // 5
+         b.lit(kAluOr, 4),                                          // 6
+         b.lit(kAluAnd, 4)});                                       // 7
+    c.aluFn = muxChain(b, b.lit(kAluAdd, 4),
+                       {{isLui, b.lit(kAluPassB, 4)},
+                        {isOp | isOpImm, aluFromF3}});
+    c.aluUseImm = (!isOp) & (!c.isBranch);
+    c.aluUsePc = isAuipc;
+
+    c.usesRs1 = (isOp | isOpImm | c.isMem | c.isBranch | c.isJalr) &
+                !eqImm(c.rs1, 0);
+    c.usesRs2 = (isOp | c.isStore | c.isBranch) & !eqImm(c.rs2, 0);
+    c.writesRd = (isLui | isAuipc | c.isJal | c.isJalr | c.isLoad | isOp |
+                  isOpImm | c.isCsr) &
+                 !eqImm(c.rd, 0);
+    return c;
+}
+
+} // namespace cores
+} // namespace strober

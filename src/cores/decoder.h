@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Combinational RV32IM instruction decoder generator, shared by the
+ * in-order and out-of-order core generators.
+ */
+
+#ifndef STROBER_CORES_DECODER_H
+#define STROBER_CORES_DECODER_H
+
+#include <string>
+
+#include "rtl/builder.h"
+
+namespace strober {
+namespace cores {
+
+using rtl::Builder;
+using rtl::Signal;
+
+/** Decoded control bundle (all combinational). */
+struct DecodedCtrl
+{
+    Signal rd, rs1, rs2;  //!< 5-bit register specifiers
+    Signal imm;           //!< 32-bit sign-extended immediate
+    Signal funct3;        //!< 3 bits
+    Signal aluFn;         //!< 4-bit AluFn select
+    Signal aluUseImm;     //!< op2 = imm (else rs2)
+    Signal aluUsePc;      //!< op1 = pc (auipc)
+    Signal usesRs1, usesRs2, writesRd;
+    Signal isBranch, isJal, isJalr;
+    Signal isLoad, isStore;
+    Signal isMul, isDiv;  //!< M extension split by unit
+    Signal mulMode;       //!< 2-bit MulMode
+    Signal divSigned, divRem;
+    Signal isCsr;         //!< csrrs rd, csr, x0
+    /** 3-bit CSR select: 0 cycle, 1 instret, 2 cycleh, 3 instreth,
+     *  4 hpmcounter3 (I$ misses), 5 hpmcounter4 (D$ misses). */
+    Signal csrSel;
+    Signal isEcall;
+    Signal isMem;         //!< load | store
+};
+
+/** Decode @p inst (32 bits). */
+DecodedCtrl buildDecoder(Builder &b, const std::string &name, Signal inst);
+
+} // namespace cores
+} // namespace strober
+
+#endif // STROBER_CORES_DECODER_H

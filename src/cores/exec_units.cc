@@ -1,0 +1,165 @@
+#include "cores/exec_units.h"
+
+#include "cores/rtl_util.h"
+
+namespace strober {
+namespace cores {
+
+Signal
+buildAlu(Builder &b, const std::string &name, Signal fn, Signal op1,
+         Signal op2)
+{
+    rtl::Scope scope(b, name);
+    Signal shamt = op2.bits(4, 0);
+    std::vector<Signal> results = {
+        op1 + op2,                                   // add
+        op1 - op2,                                   // sub
+        shl(op1, b.pad(shamt, 32)),                  // sll
+        b.pad(lts(op1, op2), 32),                    // slt
+        b.pad(ltu(op1, op2), 32),                    // sltu
+        op1 ^ op2,                                   // xor
+        shru(op1, b.pad(shamt, 32)),                 // srl
+        sra(op1, b.pad(shamt, 32)),                  // sra
+        op1 | op2,                                   // or
+        op1 & op2,                                   // and
+        op2,                                         // passb (lui)
+    };
+    while (results.size() < 16)
+        results.push_back(results[0]);
+    return b.select(fn, results);
+}
+
+Signal
+buildBranchUnit(Builder &b, const std::string &name, Signal funct3,
+                Signal rs1, Signal rs2)
+{
+    rtl::Scope scope(b, name);
+    Signal eqS = eq(rs1, rs2);
+    Signal ltS = lts(rs1, rs2);
+    Signal ltuS = ltu(rs1, rs2);
+    std::vector<Signal> taken = {
+        eqS,        // beq
+        !eqS,       // bne
+        eqS,        // (unused f3=2)
+        eqS,        // (unused f3=3)
+        ltS,        // blt
+        !ltS,       // bge
+        ltuS,       // bltu
+        !ltuS,      // bgeu
+    };
+    return b.select(funct3, taken);
+}
+
+MulPipe
+buildMulPipe(Builder &b, const std::string &name, Signal a, Signal x,
+             Signal mode, Signal inValid)
+{
+    rtl::Scope scope(b, name);
+
+    // Full 32x32 -> 64 unsigned product plus signed corrections:
+    //   signedHigh = high(P) - (a<0 ? x : 0) - (x<0 ? a : 0)
+    Signal prod = a * x; // 64 bits
+    Signal lo = prod.bits(31, 0);
+    Signal hi = prod.bits(63, 32);
+
+    Signal aNeg = a.bit(31);
+    Signal xNeg = x.bit(31);
+    Signal useA = aNeg & (eqImm(mode, kMulHigh) | eqImm(mode, kMulHighSU));
+    Signal useB = xNeg & eqImm(mode, kMulHigh);
+    Signal corrA = b.mux(useA, x, b.lit(0, 32));
+    Signal corrB = b.mux(useB, a, b.lit(0, 32));
+    Signal adjHigh = hi - corrA - corrB;
+    Signal result = b.mux(eqImm(mode, kMulLow), lo, adjHigh);
+
+    // Three pipeline registers; synthesis retimes them into the cone.
+    Signal r1 = b.reg("r1", 32, 0);
+    b.next(r1, result);
+    Signal r2 = b.reg("r2", 32, 0);
+    b.next(r2, r1);
+    Signal r3 = b.reg("r3", 32, 0);
+    b.next(r3, r2);
+    b.annotateRetimed("datapath", 3, {a, x, mode}, r3, {r1, r2, r3});
+
+    // The valid chain lives outside the retimed region.
+    Signal v1 = b.reg("v1", 1, 0);
+    b.next(v1, inValid);
+    Signal v2 = b.reg("v2", 1, 0);
+    b.next(v2, v1);
+    Signal v3 = b.reg("v3", 1, 0);
+    b.next(v3, v2);
+
+    MulPipe out;
+    out.result = r3;
+    out.outValid = v3;
+    out.latency = 3;
+    return out;
+}
+
+DivUnit
+buildDivider(Builder &b, const std::string &name, Signal start, Signal a,
+             Signal x, Signal isSigned, Signal wantRem, Signal kill)
+{
+    rtl::Scope scope(b, name);
+    Signal zero32 = b.lit(0, 32);
+
+    Signal busy = b.reg("busy", 1, 0);
+    Signal cnt = b.reg("cnt", 6, 0);
+    Signal remR = b.reg("rem", 33, 0);
+    Signal quoR = b.reg("quo", 32, 0);
+    Signal bReg = b.reg("b", 32, 0);
+    Signal negQ = b.reg("neg_q", 1, 0);
+    Signal negR = b.reg("neg_r", 1, 0);
+    Signal remSel = b.reg("rem_sel", 1, 0);
+    Signal bZeroR = b.reg("b_zero", 1, 0);
+    Signal aOrig = b.reg("a_orig", 32, 0);
+
+    Signal accept = start & !busy;
+
+    // Operand setup: absolute values for signed division.
+    Signal aNeg = isSigned & a.bit(31);
+    Signal xNeg = isSigned & x.bit(31);
+    Signal absA = b.mux(aNeg, zero32 - a, a);
+    Signal absB = b.mux(xNeg, zero32 - x, x);
+
+    // One restoring-division step per cycle.
+    Signal shifted = b.cat(remR.bits(31, 0), quoR.bit(31)); // 33 bits
+    Signal bWide = b.pad(bReg, 33);
+    Signal geq = geu(shifted, bWide);
+    Signal remNext = b.mux(geq, shifted - bWide, shifted);
+    Signal quoNext = b.cat(quoR.bits(30, 0), geq); // shift in result bit
+
+    Signal stepping = busy & !eqImm(cnt, 0);
+    Signal lastStep = busy & eqImm(cnt, 1);
+
+    b.next(busy, (accept | busy) & !lastStep & !kill);
+    b.next(cnt, b.mux(accept, b.lit(32, 6), cnt - b.lit(1, 6)),
+           accept | stepping);
+    b.next(remR, b.mux(accept, b.lit(0, 33), remNext), accept | stepping);
+    // The quotient register doubles as the dividend shifter: seed it with
+    // |a| and shift the remainder/quotient pair 32 times.
+    b.next(quoR, b.mux(accept, absA, quoNext), accept | stepping);
+    b.next(bReg, absB, accept);
+    b.next(negQ, aNeg ^ xNeg, accept);
+    b.next(negR, aNeg, accept);
+    b.next(remSel, wantRem, accept);
+    b.next(bZeroR, eqImm(x, 0), accept);
+    b.next(aOrig, a, accept);
+
+    Signal done = b.reg("done", 1, 0);
+    b.next(done, lastStep & !kill);
+
+    Signal q = b.mux(negQ & !bZeroR, zero32 - quoR, quoR);
+    Signal r = remR.bits(31, 0);
+    Signal rSigned = b.mux(negR, zero32 - r, r);
+    Signal divRes = b.mux(bZeroR, b.lit(0xffffffff, 32), q);
+    Signal remRes = b.mux(bZeroR, aOrig, rSigned);
+
+    DivUnit out;
+    out.busy = busy;
+    out.done = done;
+    out.result = b.mux(remSel, remRes, divRes);
+    return out;
+}
+
+} // namespace cores
+} // namespace strober

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Execution units shared by the in-order and out-of-order cores: the
+ * integer ALU, branch condition unit, a 3-stage pipelined multiplier
+ * (annotated for register retiming, the paper's Section IV-C3 case), and
+ * an iterative 32-cycle divider.
+ */
+
+#ifndef STROBER_CORES_EXEC_UNITS_H
+#define STROBER_CORES_EXEC_UNITS_H
+
+#include <string>
+
+#include "rtl/builder.h"
+
+namespace strober {
+namespace cores {
+
+using rtl::Builder;
+using rtl::Signal;
+
+/** ALU function select values (width 4). */
+enum AluFn : uint64_t {
+    kAluAdd = 0,
+    kAluSub = 1,
+    kAluSll = 2,
+    kAluSlt = 3,
+    kAluSltu = 4,
+    kAluXor = 5,
+    kAluSrl = 6,
+    kAluSra = 7,
+    kAluOr = 8,
+    kAluAnd = 9,
+    kAluPassB = 10, //!< lui
+};
+
+/** Combinational 32-bit ALU. */
+Signal buildAlu(Builder &b, const std::string &name, Signal fn, Signal op1,
+                Signal op2);
+
+/** Branch-taken condition for funct3 (beq/bne/blt/bge/bltu/bgeu). */
+Signal buildBranchUnit(Builder &b, const std::string &name, Signal funct3,
+                       Signal rs1, Signal rs2);
+
+/** Multiplier mode select (width 2). */
+enum MulMode : uint64_t {
+    kMulLow = 0,   //!< mul
+    kMulHigh = 1,  //!< mulh
+    kMulHighSU = 2, //!< mulhsu
+    kMulHighU = 3, //!< mulhu
+};
+
+/** Pipelined multiplier outputs. */
+struct MulPipe
+{
+    Signal result;   //!< 32-bit result, valid when outValid
+    Signal outValid; //!< inValid delayed by the pipeline latency
+    unsigned latency = 3;
+};
+
+/**
+ * Build the 3-stage multiplier. The datapath (a full 32x32 array product
+ * plus signed-correction) is computed combinationally and followed by
+ * three pipeline registers annotated as a retiming region, so synthesis
+ * re-cuts it into balanced stages — exactly the FPU-style scenario the
+ * paper's replay warm-up exists for.
+ */
+MulPipe buildMulPipe(Builder &b, const std::string &name, Signal a,
+                     Signal x, Signal mode, Signal inValid);
+
+/** Iterative divider outputs. */
+struct DivUnit
+{
+    Signal busy;    //!< high while dividing
+    Signal done;    //!< one-cycle pulse with the result
+    Signal result;  //!< quotient or remainder per wantRem
+};
+
+/**
+ * Build the restoring divider: ~34 cycles per operation. @p start is
+ * accepted when not busy; @p kill squashes an in-flight operation
+ * (branch-mispredict recovery in the OoO core).
+ */
+DivUnit buildDivider(Builder &b, const std::string &name, Signal start,
+                     Signal a, Signal x, Signal isSigned, Signal wantRem,
+                     Signal kill);
+
+} // namespace cores
+} // namespace strober
+
+#endif // STROBER_CORES_EXEC_UNITS_H

@@ -1,0 +1,369 @@
+/**
+ * @file
+ * The "rocket-like" target: a classic 5-stage (F/D/X/M/W) in-order RV32IM
+ * pipeline with full bypassing, a one-cycle load-use bubble, branches
+ * resolved in X (not-taken fetch policy, two-bubble taken penalty), a
+ * 3-stage retime-annotated multiplier, an iterative divider, and 16 KiB
+ * blocking L1 caches.
+ */
+
+#include "cores/cache.h"
+#include "cores/decoder.h"
+#include "cores/exec_units.h"
+#include "cores/rtl_util.h"
+#include "cores/soc.h"
+#include "cores/soc_internal.h"
+
+namespace strober {
+namespace cores {
+
+rtl::Design
+buildRocketSoc(const SocConfig &config)
+{
+    Builder b(config.name);
+    MemWires mem = makeMemWires(b);
+
+    Signal zero32 = b.lit(0, 32);
+    Signal zero1 = b.lit(0, 1);
+
+    // =====================================================================
+    // Pipeline registers.
+    // =====================================================================
+    b.pushScope("core");
+
+    b.pushScope("fetch");
+    Signal pc = b.reg("pc", 32, 0);
+    Signal fdValid = b.reg("fd_valid", 1, 0);
+    Signal fdPc = b.reg("fd_pc", 32, 0);
+    Signal fdInst = b.reg("fd_inst", 32, 0x13); // nop
+    b.popScope();
+
+    b.pushScope("decode");
+    Signal dxValid = b.reg("dx_valid", 1, 0);
+    Signal dxPc = b.reg("dx_pc", 32, 0);
+    Signal dxInst = b.reg("dx_inst", 32, 0x13);
+    Signal dxRs1 = b.reg("dx_rs1", 5, 0);
+    Signal dxRs2 = b.reg("dx_rs2", 5, 0);
+    Signal dxRd = b.reg("dx_rd", 5, 0);
+    Signal dxImm = b.reg("dx_imm", 32, 0);
+    Signal dxAluFn = b.reg("dx_alu_fn", 4, 0);
+    Signal dxAluUseImm = b.reg("dx_alu_use_imm", 1, 0);
+    Signal dxAluUsePc = b.reg("dx_alu_use_pc", 1, 0);
+    Signal dxWritesRd = b.reg("dx_writes_rd", 1, 0);
+    Signal dxIsBranch = b.reg("dx_is_branch", 1, 0);
+    Signal dxIsJal = b.reg("dx_is_jal", 1, 0);
+    Signal dxIsJalr = b.reg("dx_is_jalr", 1, 0);
+    Signal dxIsLoad = b.reg("dx_is_load", 1, 0);
+    Signal dxIsStore = b.reg("dx_is_store", 1, 0);
+    Signal dxIsMul = b.reg("dx_is_mul", 1, 0);
+    Signal dxIsDiv = b.reg("dx_is_div", 1, 0);
+    Signal dxIsCsr = b.reg("dx_is_csr", 1, 0);
+    Signal dxIsEcall = b.reg("dx_is_ecall", 1, 0);
+    Signal dxFunct3 = b.reg("dx_funct3", 3, 0);
+    Signal dxMulMode = b.reg("dx_mul_mode", 2, 0);
+    Signal dxDivSigned = b.reg("dx_div_signed", 1, 0);
+    Signal dxDivRem = b.reg("dx_div_rem", 1, 0);
+    Signal dxCsrSel = b.reg("dx_csr_sel", 3, 0);
+    b.popScope();
+
+    b.pushScope("execute");
+    Signal xmValid = b.reg("xm_valid", 1, 0);
+    Signal xmPc = b.reg("xm_pc", 32, 0);
+    Signal xmInst = b.reg("xm_inst", 32, 0x13);
+    Signal xmRd = b.reg("xm_rd", 5, 0);
+    Signal xmWritesRd = b.reg("xm_writes_rd", 1, 0);
+    Signal xmResult = b.reg("xm_result", 32, 0);
+    Signal xmIsLoad = b.reg("xm_is_load", 1, 0);
+    Signal xmIsStore = b.reg("xm_is_store", 1, 0);
+    Signal xmIsMmio = b.reg("xm_is_mmio", 1, 0);
+    Signal xmIsCsr = b.reg("xm_is_csr", 1, 0);
+    Signal xmIsEcall = b.reg("xm_is_ecall", 1, 0);
+    Signal xmAddr = b.reg("xm_addr", 32, 0);
+    Signal xmWdata = b.reg("xm_wdata", 32, 0);
+    Signal xmWstrb = b.reg("xm_wstrb", 4, 0);
+    Signal xmFunct3 = b.reg("xm_funct3", 3, 0);
+    // Multi-cycle op bookkeeping.
+    Signal xIssued = b.reg("x_issued", 1, 0);
+    Signal xDone = b.reg("x_done", 1, 0);
+    Signal xRes = b.reg("x_res", 32, 0);
+    b.popScope();
+
+    b.pushScope("writeback");
+    Signal mwValid = b.reg("mw_valid", 1, 0);
+    Signal mwPc = b.reg("mw_pc", 32, 0);
+    Signal mwInst = b.reg("mw_inst", 32, 0x13);
+    Signal mwRd = b.reg("mw_rd", 5, 0);
+    Signal mwWen = b.reg("mw_wen", 1, 0);
+    Signal mwWdata = b.reg("mw_wdata", 32, 0);
+    Signal mwIsCsr = b.reg("mw_is_csr", 1, 0);
+    b.popScope();
+
+    b.pushScope("csr");
+    Signal cycleCtr = b.reg("cycle", 64, 0);
+    Signal instretCtr = b.reg("instret", 64, 0);
+    Signal imissCtr = b.reg("imiss", 32, 0);
+    Signal dmissCtr = b.reg("dmiss", 32, 0);
+    Signal halted = b.reg("halted", 1, 0);
+    b.next(cycleCtr, cycleCtr + b.lit(1, 64));
+    b.popScope();
+
+    b.popScope(); // core
+
+    // =====================================================================
+    // Instruction cache (fetch side).
+    // =====================================================================
+    CacheInputs icIn;
+    icIn.reqValid = !halted;
+    icIn.reqAddr = pc;
+    icIn.reqWrite = zero1;
+    icIn.reqWdata = zero32;
+    icIn.reqWstrb = b.lit(0, 4);
+    icIn.memReqReady = mem.iReqReady;
+    icIn.memRespValid = mem.iRespValid;
+    icIn.memRespData = mem.respData;
+    CacheIO icache = buildCache(b, "icache", config.icacheBytes, icIn, config.cacheWays);
+    Signal ihit = icache.respValid;
+    Signal fetchedInst = icache.respData;
+
+    // =====================================================================
+    // Decode stage.
+    // =====================================================================
+    b.pushScope("core");
+    DecodedCtrl dec = buildDecoder(b, "decode/dec", fdInst);
+
+    // Architectural register file, read in X so a stalled instruction
+    // always sees retired results (2R1W would go stale across long D$
+    // misses; see the bypass network below for in-flight producers).
+    b.pushScope("regfile");
+    rtl::MemHandle rf = b.mem("rf", 32, 32, false);
+    Signal rfWen = mwValid & mwWen;
+    b.memWrite(rf, mwRd, mwWdata, rfWen);
+    b.popScope();
+
+    // =====================================================================
+    // Execute stage.
+    // =====================================================================
+    b.pushScope("execute");
+    auto operandRead = [&](Signal rs) {
+        b.pushScope("regfile");
+        Signal raw = b.memRead(rf, rs);
+        b.popScope();
+        Signal fromW = mwValid & mwWen & eq(mwRd, rs);
+        Signal fromM = xmValid & xmWritesRd & !xmIsLoad & eq(xmRd, rs);
+        Signal val = muxChain(b, raw, {{fromM, xmResult},
+                                       {fromW, mwWdata}});
+        return b.mux(eqImm(rs, 0), zero32, val);
+    };
+    Signal op1 = operandRead(dxRs1);
+    Signal op2 = operandRead(dxRs2);
+    Signal aluOp1 = b.mux(dxAluUsePc, dxPc, op1);
+    Signal aluOp2 = b.mux(dxAluUseImm, dxImm, op2);
+    Signal aluRes = buildAlu(b, "alu", dxAluFn, aluOp1, aluOp2);
+    Signal brTaken = buildBranchUnit(b, "branch", dxFunct3, op1, op2);
+    Signal csrVal = b.select(dxCsrSel,
+                             {cycleCtr.bits(31, 0), instretCtr.bits(31, 0),
+                              cycleCtr.bits(63, 32),
+                              instretCtr.bits(63, 32), imissCtr,
+                              dmissCtr});
+
+    // Multi-cycle units: issue once per instruction occupancy of X.
+    Signal mulStart = dxValid & dxIsMul & !xIssued;
+    MulPipe mul = buildMulPipe(b, "mul", op1, op2, dxMulMode, mulStart);
+    Signal divStart = dxValid & dxIsDiv & !xIssued;
+    DivUnit div = buildDivider(b, "div", divStart, op1, op2, dxDivSigned,
+                               dxDivRem, zero1);
+    Signal unitDone = mul.outValid | div.done;
+    Signal unitRes = b.mux(div.done, div.result, mul.result);
+    b.next(xRes, unitRes, unitDone);
+
+    Signal xIsMulti = dxValid & (dxIsMul | dxIsDiv);
+    Signal xWait = xIsMulti & !(xDone | unitDone);
+
+    // Branch targets and redirect decision (resolved in X).
+    Signal brTarget = dxPc + dxImm;
+    Signal jalrTarget = (op1 + dxImm) & b.lit(0xfffffffe, 32);
+    Signal takenJump =
+        dxValid & (dxIsJal | dxIsJalr | (dxIsBranch & brTaken));
+    Signal redirectTarget = b.mux(dxIsJalr, jalrTarget, brTarget);
+
+    // Store alignment.
+    Signal byteOff = aluRes.bits(1, 0);
+    Signal shiftBits = b.pad(b.cat(byteOff, b.lit(0, 3)), 32);
+    Signal storeData = shl(op2, shiftBits);
+    Signal strbByte = shl(b.lit(1, 4), b.pad(byteOff, 4));
+    Signal strbHalf = shl(b.lit(3, 4), b.pad(byteOff, 4));
+    Signal wstrb = b.select(dxFunct3.bits(1, 0),
+                            {strbByte, strbHalf, b.lit(0xf, 4),
+                             b.lit(0xf, 4)});
+    Signal isMmioAddr = eqImm(aluRes.bits(31, 28), 0x4);
+
+    Signal xResult = muxChain(
+        b, aluRes,
+        {{dxIsMul | dxIsDiv, b.mux(unitDone, unitRes, xRes)},
+         {dxIsCsr, csrVal},
+         {dxIsJal | dxIsJalr, dxPc + b.lit(4, 32)}});
+    b.popScope(); // execute
+    b.popScope(); // core
+
+    // =====================================================================
+    // Memory stage: data cache + MMIO.
+    // =====================================================================
+    Signal dReqValid = xmValid & (xmIsLoad | xmIsStore) & !xmIsMmio;
+    CacheInputs dcIn;
+    dcIn.reqValid = dReqValid;
+    dcIn.reqAddr = b.cat(xmAddr.bits(31, 2), b.lit(0, 2));
+    dcIn.reqWrite = xmIsStore;
+    dcIn.reqWdata = xmWdata;
+    dcIn.reqWstrb = xmWstrb;
+    dcIn.memReqReady = mem.dReqReady;
+    dcIn.memRespValid = mem.dRespValid;
+    dcIn.memRespData = mem.respData;
+    CacheIO dcache = buildCache(b, "dcache", config.dcacheBytes, dcIn, config.cacheWays);
+
+    b.pushScope("core");
+    b.pushScope("mem");
+    Signal mStall = dReqValid & !dcache.respValid;
+
+    // Load data extraction.
+    Signal mByteOff = xmAddr.bits(1, 0);
+    Signal mShift = b.pad(b.cat(mByteOff, b.lit(0, 3)), 32);
+    Signal rawWord = shru(dcache.respData, mShift);
+    Signal loadByte = b.mux(xmFunct3.bit(2), b.pad(rawWord.bits(7, 0), 32),
+                            b.sext(rawWord.bits(7, 0), 32));
+    Signal loadHalf = b.mux(xmFunct3.bit(2), b.pad(rawWord.bits(15, 0), 32),
+                            b.sext(rawWord.bits(15, 0), 32));
+    Signal loadRes = b.select(xmFunct3.bits(1, 0),
+                              {loadByte, loadHalf, rawWord, rawWord});
+    Signal mmioFire = xmValid & xmIsStore & xmIsMmio;
+    Signal haltFire = xmValid & xmIsEcall & !mStall;
+    b.next(halted, halted | haltFire);
+    b.popScope(); // mem
+
+    // =====================================================================
+    // Pipeline control.
+    // =====================================================================
+    b.pushScope("control");
+    Signal loadUse = dxValid & dxIsLoad & fdValid &
+                     ((dec.usesRs1 & eq(dec.rs1, dxRd)) |
+                      (dec.usesRs2 & eq(dec.rs2, dxRd)));
+    Signal xAdv = dxValid & !xWait & !mStall;
+    Signal redirect = takenJump & !xWait & !mStall;
+    Signal dxHold = mStall | xWait;
+    Signal fdHold = dxHold | loadUse;
+
+    // PC.
+    Signal pcPlus4 = pc + b.lit(4, 32);
+    Signal pcNext = muxChain(b, pc,
+                             {{redirect, redirectTarget},
+                              {fdHold | halted, pc},
+                              {ihit, pcPlus4}});
+    // Redirect has priority over holds: the held fetch is wrong-path.
+    b.next(pc, b.mux(redirect, redirectTarget, pcNext));
+
+    // F/D.
+    Signal fdKill = redirect | haltFire;
+    b.next(fdValid,
+           b.mux(fdKill, zero1,
+                 b.mux(fdHold, fdValid, ihit & !halted)));
+    Signal fdTake = (!fdKill) & (!fdHold) & ihit;
+    b.next(fdPc, pc, fdTake);
+    b.next(fdInst, fetchedInst, fdTake);
+
+    // D/X.
+    Signal dxKill = redirect | haltFire;
+    Signal dxTake = !dxHold;
+    b.next(dxValid,
+           b.mux(dxKill, zero1,
+                 b.mux(dxHold, dxValid, fdValid & !loadUse)));
+    Signal dEn = dxTake & fdValid & !loadUse;
+    b.next(dxPc, fdPc, dEn);
+    b.next(dxInst, fdInst, dEn);
+    b.next(dxRs1, dec.rs1, dEn);
+    b.next(dxRs2, dec.rs2, dEn);
+    b.next(dxRd, dec.rd, dEn);
+    b.next(dxImm, dec.imm, dEn);
+    b.next(dxAluFn, dec.aluFn, dEn);
+    b.next(dxAluUseImm, dec.aluUseImm, dEn);
+    b.next(dxAluUsePc, dec.aluUsePc, dEn);
+    b.next(dxWritesRd, dec.writesRd, dEn);
+    b.next(dxIsBranch, dec.isBranch, dEn);
+    b.next(dxIsJal, dec.isJal, dEn);
+    b.next(dxIsJalr, dec.isJalr, dEn);
+    b.next(dxIsLoad, dec.isLoad, dEn);
+    b.next(dxIsStore, dec.isStore, dEn);
+    b.next(dxIsMul, dec.isMul, dEn);
+    b.next(dxIsDiv, dec.isDiv, dEn);
+    b.next(dxIsCsr, dec.isCsr, dEn);
+    b.next(dxIsEcall, dec.isEcall, dEn);
+    b.next(dxFunct3, dec.funct3, dEn);
+    b.next(dxMulMode, dec.mulMode, dEn);
+    b.next(dxDivSigned, dec.divSigned, dEn);
+    b.next(dxDivRem, dec.divRem, dEn);
+    b.next(dxCsrSel, dec.csrSel, dEn);
+
+    // X bookkeeping: issued/done flags are cleared when the instruction
+    // leaves X so back-to-back multi-cycle ops restart cleanly.
+    b.next(xIssued, (xIssued | mulStart | divStart) & !xAdv);
+    b.next(xDone, (xDone | unitDone) & !xAdv);
+
+    // X/M.
+    Signal xmEn = !mStall;
+    b.next(xmValid,
+           b.mux(mStall, xmValid, xAdv & !haltFire));
+    Signal xLatch = xmEn & xAdv;
+    b.next(xmPc, dxPc, xLatch);
+    b.next(xmInst, dxInst, xLatch);
+    b.next(xmRd, dxRd, xLatch);
+    b.next(xmWritesRd, dxWritesRd, xLatch);
+    b.next(xmResult, xResult, xLatch);
+    b.next(xmIsLoad, dxIsLoad, xLatch);
+    b.next(xmIsStore, dxIsStore, xLatch);
+    b.next(xmIsMmio, isMmioAddr & (dxIsLoad | dxIsStore), xLatch);
+    b.next(xmIsCsr, dxIsCsr, xLatch);
+    b.next(xmIsEcall, dxIsEcall, xLatch);
+    b.next(xmAddr, aluRes, xLatch);
+    b.next(xmWdata, storeData, xLatch);
+    b.next(xmWstrb, wstrb, xLatch);
+    b.next(xmFunct3, dxFunct3, xLatch);
+
+    // M/W.
+    Signal mComplete = xmValid & !mStall;
+    b.next(mwValid, mComplete);
+    b.next(mwPc, xmPc, mComplete);
+    b.next(mwInst, xmInst, mComplete);
+    b.next(mwRd, xmRd, mComplete);
+    b.next(mwWen, xmWritesRd, mComplete);
+    b.next(mwWdata,
+           b.mux(xmIsLoad & !xmIsMmio, loadRes, xmResult), mComplete);
+    b.next(mwIsCsr, xmIsCsr, mComplete);
+
+    b.next(instretCtr, instretCtr + b.lit(1, 64), mwValid);
+    b.next(imissCtr, imissCtr + b.lit(1, 32), icache.missEvent);
+    b.next(dmissCtr, dmissCtr + b.lit(1, 32), dcache.missEvent);
+    b.popScope(); // control
+    b.popScope(); // core
+
+    // =====================================================================
+    // Uncore: arbiter, MMIO port, commit trace.
+    // =====================================================================
+    buildMemArbiter(b, mem, icache, dcache);
+    b.output("mmio_valid", mmioFire);
+    b.output("mmio_addr", xmAddr);
+    b.output("mmio_wdata", xmWdata);
+    b.output("halted", halted);
+
+    CommitInfo commit;
+    commit.valid = mwValid;
+    commit.pc = mwPc;
+    commit.inst = mwInst;
+    commit.wen = mwWen;
+    commit.rd = mwRd;
+    commit.wdata = mwWdata;
+    commit.isCsr = mwIsCsr;
+    emitCommitPort(b, 0, commit);
+
+    return b.finish();
+}
+
+} // namespace cores
+} // namespace strober

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Small reusable RTL idioms for the core generators: enabled registers,
+ * one-hot helpers, and circular-pointer arithmetic. These are plain
+ * functions over the builder EDSL (the moral equivalent of a Chisel
+ * utility library).
+ */
+
+#ifndef STROBER_CORES_RTL_UTIL_H
+#define STROBER_CORES_RTL_UTIL_H
+
+#include <vector>
+
+#include "rtl/builder.h"
+
+namespace strober {
+namespace cores {
+
+using rtl::Builder;
+using rtl::Signal;
+
+/** Register that captures @p next only when @p en is set. */
+inline Signal
+regEn(Builder &b, const std::string &name, unsigned width, Signal next,
+      Signal en, uint64_t init = 0)
+{
+    Signal r = b.reg(name, width, init);
+    b.next(r, next, en);
+    return r;
+}
+
+/** mux over signals with same-width literal default. */
+inline Signal
+muxChain(Builder &b, Signal def,
+         const std::vector<std::pair<Signal, Signal>> &cases)
+{
+    Signal acc = def;
+    for (size_t i = cases.size(); i-- > 0;)
+        acc = b.mux(cases[i].first, cases[i].second, acc);
+    return acc;
+}
+
+/** Circular "younger than" for ROB-style indices: is @p x strictly
+ *  younger (further from head) than @p y, given the current @p head.
+ *  All operands share the same width. */
+inline Signal
+youngerThan(Builder & /*b*/, Signal x, Signal y, Signal head)
+{
+    // Distance from head; larger distance = younger.
+    Signal dx = x - head;
+    Signal dy = y - head;
+    return ltu(dy, dx);
+}
+
+/** Is @p x within the live window [head, head+count) of a circular
+ *  buffer with pointer width w. */
+inline Signal
+inWindow(Builder &b, Signal x, Signal head, Signal count)
+{
+    Signal dx = b.pad(x - head, count.width());
+    return ltu(dx, count);
+}
+
+} // namespace cores
+} // namespace strober
+
+#endif // STROBER_CORES_RTL_UTIL_H

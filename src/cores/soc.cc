@@ -1,0 +1,139 @@
+#include "cores/soc.h"
+
+#include "cores/rtl_util.h"
+#include "cores/soc_internal.h"
+#include "util/logging.h"
+
+namespace strober {
+namespace cores {
+
+SocConfig
+SocConfig::rocket()
+{
+    SocConfig c;
+    c.kind = Kind::InOrder;
+    c.name = "rocket";
+    return c;
+}
+
+SocConfig
+SocConfig::boom1w()
+{
+    SocConfig c;
+    c.kind = Kind::OutOfOrder;
+    c.name = "boom1w";
+    c.fetchWidth = 1;
+    c.issueWidth = 1;
+    c.issueSlots = 12;
+    c.robSize = 24;
+    c.physRegs = 64;
+    return c;
+}
+
+SocConfig
+SocConfig::boom2w()
+{
+    SocConfig c;
+    c.kind = Kind::OutOfOrder;
+    c.name = "boom2w";
+    c.fetchWidth = 2;
+    c.issueWidth = 2;
+    c.issueSlots = 16;
+    c.robSize = 32;
+    c.physRegs = 72;
+    return c;
+}
+
+unsigned
+commitSlots(const SocConfig &config)
+{
+    return config.kind == SocConfig::Kind::InOrder ? 1 : config.issueWidth;
+}
+
+MemWires
+makeMemWires(Builder &b)
+{
+    MemWires w;
+    w.iReqReady = b.wire("imem_ready", 1);
+    w.iRespValid = b.wire("imem_resp_valid", 1);
+    w.dReqReady = b.wire("dmem_ready", 1);
+    w.dRespValid = b.wire("dmem_resp_valid", 1);
+    w.respData = b.wire("mem_resp_data_w", 64);
+    return w;
+}
+
+void
+buildMemArbiter(Builder &b, MemWires &wires, const CacheIO &icache,
+                const CacheIO &dcache)
+{
+    // Top-level port names must stay unscoped.
+    Signal extReady = b.input("mem_req_ready", 1);
+    Signal extRespValid = b.input("mem_resp_valid", 1);
+    Signal extRespData = b.input("mem_resp_data", 64);
+
+    b.pushScope("uncore");
+
+    // Owner of the outstanding read: 0 none, 1 I$, 2 D$.
+    Signal owner = b.reg("owner", 2, 0);
+    Signal free = eqImm(owner, 0);
+
+    Signal pickD = dcache.memReqValid;
+    Signal anyReq = dcache.memReqValid | icache.memReqValid;
+    Signal reqValid = free & anyReq;
+    Signal reqWrite =
+        b.mux(pickD, dcache.memReqWrite, icache.memReqWrite);
+    Signal accept = reqValid & extReady;
+
+    Signal ownerNext = muxChain(
+        b, owner,
+        {{accept & !reqWrite,
+          b.mux(pickD, b.lit(2, 2), b.lit(1, 2))},
+         {extRespValid, b.lit(0, 2)}});
+    b.next(owner, ownerNext);
+
+    b.popScope(); // back to top level for the port names
+    b.output("mem_req_valid", reqValid);
+    b.output("mem_req_addr",
+             b.mux(pickD, dcache.memReqAddr, icache.memReqAddr));
+    b.output("mem_req_write", reqWrite);
+    b.output("mem_req_wdata",
+             b.mux(pickD, dcache.memReqWdata, icache.memReqWdata));
+
+    b.assign(wires.dReqReady, accept & pickD);
+    b.assign(wires.iReqReady, accept & !pickD);
+    b.assign(wires.dRespValid, extRespValid & eqImm(owner, 2));
+    b.assign(wires.iRespValid, extRespValid & eqImm(owner, 1));
+    b.assign(wires.respData, extRespData);
+}
+
+void
+emitCommitPort(Builder &b, unsigned slot, const CommitInfo &commit)
+{
+    std::string p = "commit" + std::to_string(slot) + "_";
+    b.output(p + "valid", commit.valid);
+    b.output(p + "pc", commit.pc);
+    b.output(p + "inst", commit.inst);
+    b.output(p + "wen", commit.wen);
+    b.output(p + "rd", commit.rd);
+    b.output(p + "wdata", commit.wdata);
+    b.output(p + "is_csr", commit.isCsr);
+}
+
+// Implemented in rocket.cc / boom.cc.
+rtl::Design buildRocketSoc(const SocConfig &config);
+rtl::Design buildBoomSoc(const SocConfig &config);
+
+rtl::Design
+buildSoc(const SocConfig &config)
+{
+    switch (config.kind) {
+      case SocConfig::Kind::InOrder:
+        return buildRocketSoc(config);
+      case SocConfig::Kind::OutOfOrder:
+        return buildBoomSoc(config);
+    }
+    fatal("unknown core kind");
+}
+
+} // namespace cores
+} // namespace strober

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * SoC generator: a RISC-V core (in-order "rocket-like" or out-of-order
+ * "boom-like"), 16 KiB L1 instruction and data caches, a memory-port
+ * arbiter and an MMIO port, assembled into one rtl::Design whose
+ * top-level I/O is serviced by the host (SocDriver) — exactly the
+ * paper's Rocket-Chip-on-Strober arrangement where main memory and I/O
+ * devices live on the host side of the FAME1 boundary.
+ *
+ * Top-level ports (all SoCs):
+ *   inputs:  mem_req_ready, mem_resp_valid, mem_resp_data(64)
+ *   outputs: mem_req_valid, mem_req_addr(32), mem_req_write,
+ *            mem_req_wdata(64), mmio_valid, mmio_addr(32),
+ *            mmio_wdata(32), halted,
+ *            commit<k>_valid/pc/inst/wen/rd/wdata/is_csr for each commit
+ *            slot k in [0, issueWidth)
+ */
+
+#ifndef STROBER_CORES_SOC_H
+#define STROBER_CORES_SOC_H
+
+#include <string>
+
+#include "rtl/ir.h"
+
+namespace strober {
+namespace cores {
+
+/** Table-II style processor parameters. */
+struct SocConfig
+{
+    enum class Kind { InOrder, OutOfOrder };
+    Kind kind = Kind::InOrder;
+    std::string name = "rocket";
+    unsigned fetchWidth = 1;   //!< OoO only (1 or 2)
+    unsigned issueWidth = 1;   //!< OoO only (1 or 2)
+    unsigned issueSlots = 12;  //!< OoO issue-window entries
+    unsigned robSize = 24;     //!< OoO reorder-buffer entries
+    unsigned physRegs = 64;    //!< OoO physical registers
+    unsigned storeQueue = 4;   //!< OoO store-queue entries
+    uint32_t icacheBytes = 16 * 1024;
+    uint32_t dcacheBytes = 16 * 1024;
+    unsigned cacheWays = 1; //!< L1 associativity (1 or 2)
+
+    /** The paper's three evaluated configurations (Table II). */
+    static SocConfig rocket();
+    static SocConfig boom1w();
+    static SocConfig boom2w();
+};
+
+/** Number of commit-trace slots the SoC exposes. */
+unsigned commitSlots(const SocConfig &config);
+
+/** Build the complete SoC design. */
+rtl::Design buildSoc(const SocConfig &config);
+
+} // namespace cores
+} // namespace strober
+
+#endif // STROBER_CORES_SOC_H

@@ -1,0 +1,217 @@
+#include "cores/soc_driver.h"
+
+#include "isa/encoding.h"
+#include "isa/memmap.h"
+#include "util/logging.h"
+
+namespace strober {
+namespace cores {
+
+namespace {
+
+int
+outputIndex(const rtl::Design &d, const std::string &name)
+{
+    int idx = d.findOutput(name);
+    if (idx < 0)
+        fatal("SoC design has no output '%s'", name.c_str());
+    return idx;
+}
+
+} // namespace
+
+SocDriver::SocDriver(const rtl::Design &soc, const isa::Program &program,
+                     Config config)
+    : cfg(config), ram(config.ramBytes, 0), dramTiming(config.dram)
+{
+    if (program.base + program.sizeBytes() > ram.size())
+        fatal("program does not fit in driver RAM");
+    for (size_t i = 0; i < program.words.size(); ++i) {
+        uint32_t w = program.words[i];
+        size_t a = program.base + 4 * i;
+        ram[a] = static_cast<uint8_t>(w);
+        ram[a + 1] = static_cast<uint8_t>(w >> 8);
+        ram[a + 2] = static_cast<uint8_t>(w >> 16);
+        ram[a + 3] = static_cast<uint8_t>(w >> 24);
+    }
+    if (cfg.checkCommits) {
+        iss = std::make_unique<isa::Iss>(cfg.ramBytes);
+        iss->loadProgram(program);
+    }
+
+    outReqValid = outputIndex(soc, "mem_req_valid");
+    outReqAddr = outputIndex(soc, "mem_req_addr");
+    outReqWrite = outputIndex(soc, "mem_req_write");
+    outReqWdata = outputIndex(soc, "mem_req_wdata");
+    outMmioValid = outputIndex(soc, "mmio_valid");
+    outMmioAddr = outputIndex(soc, "mmio_addr");
+    outMmioWdata = outputIndex(soc, "mmio_wdata");
+    outHalted = outputIndex(soc, "halted");
+    for (unsigned slot = 0;; ++slot) {
+        std::string p = "commit" + std::to_string(slot) + "_";
+        if (soc.findOutput(p + "valid") < 0)
+            break;
+        CommitPorts c;
+        c.valid = outputIndex(soc, p + "valid");
+        c.pc = outputIndex(soc, p + "pc");
+        c.inst = outputIndex(soc, p + "inst");
+        c.wen = outputIndex(soc, p + "wen");
+        c.rd = outputIndex(soc, p + "rd");
+        c.wdata = outputIndex(soc, p + "wdata");
+        c.isCsr = outputIndex(soc, p + "is_csr");
+        commitPorts.push_back(c);
+    }
+    if (commitPorts.empty())
+        fatal("SoC exposes no commit ports");
+
+    auto inputIndex = [&](const std::string &name) {
+        for (size_t i = 0; i < soc.inputs().size(); ++i) {
+            if (soc.node(soc.inputs()[i]).name == name)
+                return static_cast<int>(i);
+        }
+        fatal("SoC design has no input '%s'", name.c_str());
+    };
+    inReqReady = inputIndex("mem_req_ready");
+    inRespValid = inputIndex("mem_resp_valid");
+    inRespData = inputIndex("mem_resp_data");
+}
+
+SocDriver::SocDriver(const rtl::Design &soc, const isa::Program &program)
+    : SocDriver(soc, program, Config())
+{
+}
+
+uint64_t
+SocDriver::readLine(uint32_t addr) const
+{
+    uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+        uint32_t a = addr + i;
+        uint8_t byte = a < ram.size() ? ram[a] : 0;
+        v |= static_cast<uint64_t>(byte) << (8 * i);
+    }
+    return v;
+}
+
+void
+SocDriver::writeLine(uint32_t addr, uint64_t data)
+{
+    for (unsigned i = 0; i < 8; ++i) {
+        uint32_t a = addr + i;
+        if (a < ram.size())
+            ram[a] = static_cast<uint8_t>(data >> (8 * i));
+    }
+}
+
+void
+SocDriver::handleMmio(uint32_t addr, uint32_t data)
+{
+    if (addr == isa::kMmioExit) {
+        finished = true;
+        exitValue = data;
+    } else if (addr == isa::kMmioPutchar) {
+        consoleOut += static_cast<char>(data & 0xff);
+    }
+}
+
+void
+SocDriver::checkCommit(uint32_t pc, uint32_t inst, bool wen, unsigned rd,
+                       uint32_t wdata, bool isCsr)
+{
+    if (!iss)
+        return;
+    if (iss->halted())
+        fatal("core committed pc 0x%08x after the ISS halted", pc);
+    isa::Commit expect = iss->step();
+    if (expect.pc != pc || expect.inst != inst)
+        fatal("commit divergence: core pc 0x%08x inst 0x%08x (%s), "
+              "ISS pc 0x%08x inst 0x%08x (%s) after %llu commits",
+              pc, inst, isa::disassemble(inst).c_str(), expect.pc,
+              expect.inst, isa::disassemble(expect.inst).c_str(),
+              (unsigned long long)commitCount);
+    if (isCsr) {
+        // Timing-dependent CSR read: adopt the core's value so later
+        // instructions that consume it stay in lock step.
+        if (wen)
+            iss->setReg(rd, wdata);
+        return;
+    }
+    if (expect.wroteRd != wen ||
+        (wen && (expect.rd != rd || expect.rdValue != wdata))) {
+        fatal("commit divergence at pc 0x%08x (%s): core wen=%d rd=%u "
+              "wdata=0x%08x, ISS wen=%d rd=%u wdata=0x%08x",
+              pc, isa::disassemble(inst).c_str(), wen, rd, wdata,
+              expect.wroteRd, expect.rd, expect.rdValue);
+    }
+}
+
+void
+SocDriver::drive(core::TargetHarness &h)
+{
+    // --- Inspect last cycle's outputs -----------------------------------
+    if (h.getOutput(static_cast<size_t>(outHalted))) {
+        finished = true;
+        // Exit code convention for ecall-halts: none (0).
+    }
+    if (h.getOutput(static_cast<size_t>(outMmioValid))) {
+        handleMmio(
+            static_cast<uint32_t>(h.getOutput(static_cast<size_t>(
+                outMmioAddr))),
+            static_cast<uint32_t>(h.getOutput(static_cast<size_t>(
+                outMmioWdata))));
+    }
+    for (const CommitPorts &c : commitPorts) {
+        if (!h.getOutput(static_cast<size_t>(c.valid)))
+            continue;
+        ++commitCount;
+        // Once the program has requested exit, the target legitimately
+        // commits a few trailing instructions; stop checking.
+        if (finished)
+            continue;
+        checkCommit(
+            static_cast<uint32_t>(h.getOutput(static_cast<size_t>(c.pc))),
+            static_cast<uint32_t>(h.getOutput(static_cast<size_t>(c.inst))),
+            h.getOutput(static_cast<size_t>(c.wen)) != 0,
+            static_cast<unsigned>(h.getOutput(static_cast<size_t>(c.rd))),
+            static_cast<uint32_t>(
+                h.getOutput(static_cast<size_t>(c.wdata))),
+            h.getOutput(static_cast<size_t>(c.isCsr)) != 0);
+    }
+
+    // --- Memory channel ---------------------------------------------------
+    bool respNow = false;
+    if (busy) {
+        if (countdown > 0)
+            --countdown;
+        if (countdown == 0) {
+            if (pendingRead)
+                respNow = true;
+            busy = false;
+        }
+    } else if (readyPresented &&
+               h.getOutput(static_cast<size_t>(outReqValid))) {
+        // The request presented last cycle was accepted.
+        uint32_t addr = static_cast<uint32_t>(
+            h.getOutput(static_cast<size_t>(outReqAddr)));
+        bool isWrite = h.getOutput(static_cast<size_t>(outReqWrite)) != 0;
+        unsigned latency = dramTiming.access(addr, isWrite);
+        if (isWrite) {
+            writeLine(addr, h.getOutput(static_cast<size_t>(outReqWdata)));
+            pendingRead = false;
+        } else {
+            pendingData = readLine(addr);
+            pendingRead = true;
+        }
+        busy = true;
+        countdown = latency;
+    }
+
+    bool readyNext = !busy;
+    h.setInput(static_cast<size_t>(inReqReady), readyNext ? 1 : 0);
+    h.setInput(static_cast<size_t>(inRespValid), respNow ? 1 : 0);
+    h.setInput(static_cast<size_t>(inRespData), respNow ? pendingData : 0);
+    readyPresented = readyNext;
+}
+
+} // namespace cores
+} // namespace strober

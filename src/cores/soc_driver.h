@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Host-side driver for the generated SoCs: services the memory channel
+ * through the LPDDR2 timing/power model, implements the MMIO devices
+ * (console, exit), and optionally checks the core's commit trace against
+ * the golden ISS instruction by instruction. This is the "target I/O
+ * devices are mapped to software on the host" half of the paper's FAME1
+ * decoupling (Section V-B).
+ */
+
+#ifndef STROBER_CORES_SOC_DRIVER_H
+#define STROBER_CORES_SOC_DRIVER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/harness.h"
+#include "dram/dram_model.h"
+#include "isa/assembler.h"
+#include "isa/iss.h"
+#include "rtl/ir.h"
+
+namespace strober {
+namespace cores {
+
+/** Host driver for one SoC design + workload. */
+class SocDriver : public core::HostDriver
+{
+  public:
+    struct Config
+    {
+        uint32_t ramBytes = 1 << 20;
+        dram::DramConfig dram;
+        /** Verify the commit trace against the golden ISS (fatal on the
+         *  first divergence). */
+        bool checkCommits = false;
+    };
+
+    SocDriver(const rtl::Design &soc, const isa::Program &program,
+              Config config);
+    SocDriver(const rtl::Design &soc, const isa::Program &program);
+
+    void drive(core::TargetHarness &harness) override;
+    bool done() const override { return finished; }
+
+    bool exited() const { return finished; }
+    uint32_t exitCode() const { return exitValue; }
+    const std::string &console() const { return consoleOut; }
+    uint64_t commitsSeen() const { return commitCount; }
+    const dram::DramModel &dramModel() const { return dramTiming; }
+    dram::DramModel &dramModel() { return dramTiming; }
+
+  private:
+    Config cfg;
+    std::vector<uint8_t> ram;
+    dram::DramModel dramTiming;
+    std::unique_ptr<isa::Iss> iss;
+
+    bool finished = false;
+    uint32_t exitValue = 0;
+    std::string consoleOut;
+    uint64_t commitCount = 0;
+
+    // Memory-channel state.
+    bool busy = false;
+    bool pendingRead = false;
+    uint64_t pendingData = 0;
+    unsigned countdown = 0;
+    bool readyPresented = false;
+
+    // Output port indices (resolved by name at construction).
+    int outReqValid, outReqAddr, outReqWrite, outReqWdata;
+    int outMmioValid, outMmioAddr, outMmioWdata, outHalted;
+    struct CommitPorts
+    {
+        int valid, pc, inst, wen, rd, wdata, isCsr;
+    };
+    std::vector<CommitPorts> commitPorts;
+    int inReqReady, inRespValid, inRespData;
+
+    uint64_t readLine(uint32_t addr) const;
+    void writeLine(uint32_t addr, uint64_t data);
+    void handleMmio(uint32_t addr, uint32_t data);
+    void checkCommit(uint32_t pc, uint32_t inst, bool wen, unsigned rd,
+                     uint32_t wdata, bool isCsr);
+};
+
+} // namespace cores
+} // namespace strober
+
+#endif // STROBER_CORES_SOC_DRIVER_H

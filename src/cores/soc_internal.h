@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared plumbing between the core generators: the I$/D$ memory-port
+ * arbiter (one request in flight, D$ priority) and the commit-trace port
+ * emitter. Internal to src/cores.
+ */
+
+#ifndef STROBER_CORES_SOC_INTERNAL_H
+#define STROBER_CORES_SOC_INTERNAL_H
+
+#include "cores/cache.h"
+#include "rtl/builder.h"
+
+namespace strober {
+namespace cores {
+
+/** Wires the caches consume before the arbiter exists. */
+struct MemWires
+{
+    Signal iReqReady, iRespValid;
+    Signal dReqReady, dRespValid;
+    Signal respData; //!< shared 64-bit refill data
+};
+
+/** Create the (unassigned) memory-side wires for the cache builders. */
+MemWires makeMemWires(Builder &b);
+
+/**
+ * Build the memory arbiter: creates the top-level mem_* ports, routes
+ * requests (D$ wins ties), tracks the single outstanding read and
+ * assigns all MemWires.
+ */
+void buildMemArbiter(Builder &b, MemWires &wires, const CacheIO &icache,
+                     const CacheIO &dcache);
+
+/** One commit-trace slot. */
+struct CommitInfo
+{
+    Signal valid, pc, inst, wen, rd, wdata, isCsr;
+};
+
+/** Emit the commit<slot>_* output ports. */
+void emitCommitPort(Builder &b, unsigned slot, const CommitInfo &commit);
+
+} // namespace cores
+} // namespace strober
+
+#endif // STROBER_CORES_SOC_INTERNAL_H

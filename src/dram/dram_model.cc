@@ -1,0 +1,94 @@
+#include "dram/dram_model.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace strober {
+namespace dram {
+
+DramModel::DramModel(DramConfig config) : cfg(config)
+{
+    if (!isPow2(cfg.banks) || !isPow2(cfg.burstBytes) ||
+        !isPow2(cfg.rowBytes) || cfg.rowBytes < cfg.burstBytes) {
+        fatal("DRAM banks, burst and row sizes must be powers of two");
+    }
+    openRows.assign(cfg.banks, -1);
+}
+
+unsigned
+DramModel::bankOf(uint64_t byteAddr) const
+{
+    // Bank-interleaved: adjacent bursts land in different banks.
+    return static_cast<unsigned>((byteAddr / cfg.burstBytes) %
+                                 cfg.banks);
+}
+
+uint64_t
+DramModel::rowOf(uint64_t byteAddr) const
+{
+    uint64_t burstsPerRow = cfg.rowBytes / cfg.burstBytes;
+    return (byteAddr / cfg.burstBytes / cfg.banks / burstsPerRow) %
+           cfg.rowsPerBank;
+}
+
+unsigned
+DramModel::access(uint64_t byteAddr, bool isWrite)
+{
+    unsigned bank = bankOf(byteAddr);
+    int64_t row = static_cast<int64_t>(rowOf(byteAddr));
+
+    unsigned latency = cfg.baseLatencyCycles;
+    if (openRows[bank] != row) {
+        // Open-page policy: a different row forces precharge + activate.
+        ++counts.activations;
+        openRows[bank] = row;
+        latency += cfg.rowMissExtraCycles;
+    } else {
+        ++counts.rowHits;
+    }
+    if (isWrite)
+        ++counts.writes;
+    else
+        ++counts.reads;
+    return latency;
+}
+
+DramPowerBreakdown
+dramPower(const DramCounters &counters, uint64_t elapsedCpuCycles,
+          double cpuClockHz, DramPowerParams p)
+{
+    if (elapsedCpuCycles == 0)
+        fatal("DRAM power over an empty window");
+    double seconds = static_cast<double>(elapsedCpuCycles) / cpuClockHz;
+
+    DramPowerBreakdown out;
+    // Background: active standby on both rails (open-page keeps banks
+    // active), plus a refresh overhead fraction.
+    out.background = p.vdd1 * p.idd3n1 + p.vdd2 * p.idd3n2;
+    out.refresh = out.background * p.refreshFraction;
+
+    // Activate/precharge: (IDD0 - IDD3N) for tRC per activation.
+    double actSeconds =
+        static_cast<double>(counters.activations) * p.trcCycles /
+        p.dramClockHz;
+    double actFraction = std::min(1.0, actSeconds / seconds);
+    out.activate = (p.vdd1 * (p.idd01 - p.idd3n1) +
+                    p.vdd2 * (p.idd02 - p.idd3n2)) *
+                   actFraction;
+
+    // Read/write burst power scaled by bus occupancy.
+    double readSeconds = static_cast<double>(counters.reads) *
+                         p.burstCycles / p.dramClockHz;
+    double writeSeconds = static_cast<double>(counters.writes) *
+                          p.burstCycles / p.dramClockHz;
+    out.read = p.vdd2 * (p.idd4r2 - p.idd3n2) *
+               std::min(1.0, readSeconds / seconds);
+    out.write = p.vdd2 * (p.idd4w2 - p.idd3n2) *
+                std::min(1.0, writeSeconds / seconds);
+    return out;
+}
+
+} // namespace dram
+} // namespace strober

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * LPDDR2-S4 DRAM model (paper Section IV-D).
+ *
+ * Strober estimates DRAM power from counters attached to the memory
+ * request port: with a known physical address mapping (bank-interleaved),
+ * a known controller policy (open page) and the request stream, the
+ * DRAM's internal operations — row activations, reads, writes — are
+ * fully determined, and a Micron-spreadsheet-style calculator turns the
+ * operation counts into average power. This module implements the
+ * address mapping, the per-bank open-row state machine, the counters,
+ * the (configurable-latency) timing model the FAME1 memory channel uses,
+ * and the power calculator.
+ *
+ * Electrical constants are representative of the Micron LPDDR2 SDRAM S4
+ * datasheet (8 banks, 16K rows/bank); only consistency matters for the
+ * experiments.
+ */
+
+#ifndef STROBER_DRAM_DRAM_MODEL_H
+#define STROBER_DRAM_DRAM_MODEL_H
+
+#include <cstdint>
+#include <vector>
+
+namespace strober {
+namespace dram {
+
+/** Geometry, mapping and timing knobs. */
+struct DramConfig
+{
+    unsigned banks = 8;
+    uint64_t rowsPerBank = 16 * 1024; //!< 16K rows (paper Section IV-D)
+    unsigned burstBytes = 32;         //!< bytes moved per access
+    unsigned rowBytes = 2048;         //!< row (page) size per bank
+    /** Base access latency in CPU cycles (paper Table II uses 100). */
+    unsigned baseLatencyCycles = 100;
+    /** Extra cycles when the access needs a row activation (page miss). */
+    unsigned rowMissExtraCycles = 40;
+    /** CPU clock the latency numbers are expressed in. */
+    double cpuClockHz = 1e9;
+};
+
+/** Operation counters (the paper's port-attached counters). */
+struct DramCounters
+{
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t activations = 0;
+    uint64_t rowHits = 0;
+};
+
+/**
+ * Bank/row state machine with open-page policy and bank-interleaved
+ * mapping: bank = addr[burst+2 : burst], row = top bits.
+ */
+class DramModel
+{
+  public:
+    explicit DramModel(DramConfig config = DramConfig());
+
+    const DramConfig &config() const { return cfg; }
+
+    /**
+     * Issue one access. Updates the open-row state and counters.
+     * @return the access latency in CPU cycles.
+     */
+    unsigned access(uint64_t byteAddr, bool isWrite);
+
+    const DramCounters &counters() const { return counts; }
+    void clearCounters() { counts = DramCounters{}; }
+
+    /** Bank index for @p byteAddr under the interleaved mapping. */
+    unsigned bankOf(uint64_t byteAddr) const;
+    /** Row index within its bank. */
+    uint64_t rowOf(uint64_t byteAddr) const;
+    /** Currently open row in @p bank (-1 if none). */
+    int64_t openRow(unsigned bank) const { return openRows[bank]; }
+
+  private:
+    DramConfig cfg;
+    DramCounters counts;
+    std::vector<int64_t> openRows;
+};
+
+/** Representative LPDDR2-S4 electrical parameters (two-rail). */
+struct DramPowerParams
+{
+    double vdd1 = 1.8;   //!< core supply
+    double vdd2 = 1.2;   //!< logic/IO supply
+    // Current draws in amperes (datasheet-style IDD values).
+    double idd3n1 = 1.2e-3;  //!< active standby, VDD1 rail
+    double idd3n2 = 8.0e-3;  //!< active standby, VDD2 rail
+    double idd01 = 4.0e-3;   //!< activate-precharge average, VDD1
+    double idd02 = 20.0e-3;  //!< activate-precharge average, VDD2
+    double idd4r2 = 120.0e-3; //!< burst read, VDD2
+    double idd4w2 = 130.0e-3; //!< burst write, VDD2
+    /** DRAM core clock used to convert per-access occupancy to time. */
+    double dramClockHz = 400e6;
+    /** Cycles a burst occupies the array (BL/2 for LPDDR2 BL8 at DDR). */
+    double burstCycles = 4.0;
+    /** Activate-to-activate window (tRC) in DRAM cycles. */
+    double trcCycles = 24.0;
+    /** Refresh overhead as a fraction of background power. */
+    double refreshFraction = 0.05;
+};
+
+/** Average-power breakdown from counters over an elapsed window. */
+struct DramPowerBreakdown
+{
+    double background = 0;
+    double activate = 0;
+    double read = 0;
+    double write = 0;
+    double refresh = 0;
+    double total() const
+    {
+        return background + activate + read + write + refresh;
+    }
+};
+
+/**
+ * The Micron-spreadsheet-style power calculation: operation counts plus
+ * elapsed wall-target time in, average watts out.
+ */
+DramPowerBreakdown dramPower(const DramCounters &counters,
+                             uint64_t elapsedCpuCycles, double cpuClockHz,
+                             DramPowerParams params = DramPowerParams());
+
+} // namespace dram
+} // namespace strober
+
+#endif // STROBER_DRAM_DRAM_MODEL_H

@@ -1,0 +1,69 @@
+#include "fame/fame1.h"
+
+#include "util/logging.h"
+
+namespace strober {
+namespace fame {
+
+using rtl::Design;
+using rtl::kNoNode;
+using rtl::Node;
+using rtl::NodeId;
+using rtl::Op;
+
+Fame1Design
+fame1Transform(const rtl::Design &target)
+{
+    Fame1Design out;
+    out.design = target; // deep copy; state indices preserved
+    Design &d = out.design;
+
+    if (d.findInput("host_en") != kNoNode)
+        fatal("design already has a host_en input; is it FAME1-transformed "
+              "twice?");
+
+    Node en;
+    en.op = Op::Input;
+    en.width = 1;
+    en.name = "host_en";
+    en.aux = static_cast<uint32_t>(d.inputs().size());
+    out.hostEnable = d.addNode(std::move(en));
+    d.inputs().push_back(out.hostEnable);
+
+    auto gate = [&](NodeId oldEn) -> NodeId {
+        if (oldEn == kNoNode)
+            return out.hostEnable;
+        Node andNode;
+        andNode.op = Op::And;
+        andNode.width = 1;
+        andNode.args[0] = oldEn;
+        andNode.args[1] = out.hostEnable;
+        return d.addNode(std::move(andNode));
+    };
+
+    for (rtl::RegInfo &r : d.regs())
+        r.en = gate(r.en);
+    for (rtl::MemInfo &m : d.mems()) {
+        for (rtl::MemWritePort &w : m.writes)
+            w.en = gate(w.en);
+        if (m.syncRead) {
+            for (rtl::MemReadPort &p : m.reads)
+                p.en = gate(p.en);
+        }
+    }
+
+    // Record the channelized target ports (everything except host_en).
+    for (NodeId id : target.inputs()) {
+        const Node &n = target.node(id);
+        out.targetInputs.push_back({n.name, n.width, id});
+    }
+    for (const rtl::OutputPort &o : target.outputs())
+        out.targetOutputs.push_back({o.name, target.node(o.node).width,
+                                     o.node});
+
+    d.check();
+    return out;
+}
+
+} // namespace fame
+} // namespace strober

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The FAME1 transform (paper Section IV-B1, Figure 3).
+ *
+ * Given an arbitrary target design, produce a token-based simulator
+ * design: a single host-enable input gates every state element (the
+ * "globally enabled mux before each register" of Figure 3 — gating the
+ * write enable is logically identical to muxing the register's own output
+ * back in, and is how the FIRRTL/MIDAS implementation does it too). The
+ * host fires the simulator for one target cycle only when every input
+ * channel has a token and every output channel has space; stalled host
+ * cycles leave all target state frozen.
+ */
+
+#ifndef STROBER_FAME_FAME1_H
+#define STROBER_FAME_FAME1_H
+
+#include <string>
+#include <vector>
+
+#include "rtl/ir.h"
+
+namespace strober {
+namespace fame {
+
+/** A target I/O port as seen by the token channels. */
+struct PortInfo
+{
+    std::string name;
+    unsigned width = 0;
+    rtl::NodeId node = rtl::kNoNode; //!< node in the *transformed* design
+};
+
+/** Result of the FAME1 transform. */
+struct Fame1Design
+{
+    rtl::Design design;              //!< transformed design
+    rtl::NodeId hostEnable = rtl::kNoNode; //!< the added host_en input
+    std::vector<PortInfo> targetInputs;    //!< original inputs (channelized)
+    std::vector<PortInfo> targetOutputs;   //!< original outputs
+};
+
+/**
+ * Apply the FAME1 transform to @p target. The returned design contains
+ * the same registers and memories at the same indices (a property the
+ * scan chains rely on), one extra input named "host_en", and AND gates
+ * folding host_en into every state-element enable.
+ */
+Fame1Design fame1Transform(const rtl::Design &target);
+
+} // namespace fame
+} // namespace strober
+
+#endif // STROBER_FAME_FAME1_H

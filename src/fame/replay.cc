@@ -1,0 +1,49 @@
+#include "fame/replay.h"
+
+#include "sim/simulator.h"
+#include "util/logging.h"
+
+namespace strober {
+namespace fame {
+
+ReplayResult
+replayOnRtl(const rtl::Design &target, const ScanChains &chains,
+            const ReplayableSnapshot &snap)
+{
+    if (!snap.complete)
+        fatal("replaying an incomplete snapshot (trace not finished)");
+
+    sim::Simulator sim(target);
+    chains.restore(sim, snap.state);
+
+    ReplayResult result;
+    for (size_t t = 0; t < snap.inputTrace.size(); ++t) {
+        const auto &inputs = snap.inputTrace[t];
+        if (inputs.size() != target.inputs().size())
+            fatal("snapshot trace has %zu inputs, design has %zu",
+                  inputs.size(), target.inputs().size());
+        for (size_t i = 0; i < inputs.size(); ++i)
+            sim.poke(target.inputs()[i], inputs[i]);
+
+        const auto &expected = snap.outputTrace[t];
+        for (size_t o = 0; o < target.outputs().size(); ++o) {
+            uint64_t got = sim.peek(target.outputs()[o].node);
+            if (got != expected[o]) {
+                ++result.outputMismatches;
+                if (result.firstMismatch.empty()) {
+                    result.firstMismatch = strfmt(
+                        "cycle +%zu output '%s': got 0x%llx expected 0x%llx",
+                        t, target.outputs()[o].name.c_str(),
+                        (unsigned long long)got,
+                        (unsigned long long)expected[o]);
+                }
+            }
+        }
+        sim.step();
+        ++result.cyclesReplayed;
+    }
+    return result;
+}
+
+} // namespace fame
+} // namespace strober

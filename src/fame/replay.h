@@ -1,0 +1,42 @@
+/**
+ * @file
+ * RTL-level snapshot replay: load a replayable snapshot into a fresh
+ * simulator of the *original* target design, drive the recorded input
+ * tokens, and verify the outputs against the recorded output tokens
+ * (paper Section III-B: "outputs are verified against the output values
+ * of the design"). The gate-level variant lives in src/gate/replay.
+ */
+
+#ifndef STROBER_FAME_REPLAY_H
+#define STROBER_FAME_REPLAY_H
+
+#include <string>
+
+#include "fame/token_sim.h"
+#include "rtl/ir.h"
+
+namespace strober {
+namespace fame {
+
+/** Outcome of replaying one snapshot. */
+struct ReplayResult
+{
+    uint64_t cyclesReplayed = 0;
+    uint64_t outputMismatches = 0;
+    std::string firstMismatch; //!< human-readable diagnostic, if any
+
+    bool ok() const { return outputMismatches == 0; }
+};
+
+/**
+ * Replay @p snap on an RTL simulation of @p target. @p chains must have
+ * been built over a design with identical state layout (the FAME1
+ * transform preserves it).
+ */
+ReplayResult replayOnRtl(const rtl::Design &target, const ScanChains &chains,
+                         const ReplayableSnapshot &snap);
+
+} // namespace fame
+} // namespace strober
+
+#endif // STROBER_FAME_REPLAY_H

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Reservoir-sampled snapshot capture over a running token simulation
+ * (paper Section III-B).
+ *
+ * The population is the stream of disjoint L-cycle intervals of the
+ * target's execution; its length is unknown a priori, so the sampler
+ * keeps a uniform n-subset via reservoir sampling. Each recorded interval
+ * costs one scan-chain read-out plus L cycles of I/O tracing; element k
+ * is recorded with probability n/k, so the overhead fades as the run
+ * grows (Table III).
+ */
+
+#ifndef STROBER_FAME_SAMPLER_H
+#define STROBER_FAME_SAMPLER_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fame/scan_chain.h"
+#include "fame/token_sim.h"
+#include "stats/sampling.h"
+
+namespace strober {
+namespace fame {
+
+/** Captures a reservoir of replayable snapshots from a TokenSimulator. */
+class SnapshotSampler
+{
+  public:
+    struct Config
+    {
+        size_t sampleSize = 30;       //!< n
+        unsigned replayLength = 128;  //!< L
+        uint64_t seed = 0x5eed5eedULL;
+        bool enabled = true;          //!< false = measure-only runs
+    };
+
+    SnapshotSampler(const Fame1Design &fame, Config config)
+        : cfg(config), chainMeta(fame.design),
+          reservoir(config.sampleSize, config.seed)
+    {
+    }
+
+    /**
+     * Call once per host cycle, *before* TokenSimulator::tryStep(). At
+     * each L-cycle interval boundary this offers the interval to the
+     * reservoir and, when recorded, captures a snapshot into its slot.
+     */
+    void
+    poll(TokenSimulator &tsim)
+    {
+        if (!cfg.enabled)
+            return;
+        uint64_t cycle = tsim.targetCycles();
+        uint64_t interval = cycle / cfg.replayLength;
+        if (cycle % cfg.replayLength != 0 || interval < nextInterval)
+            return;
+        nextInterval = interval + 1;
+        long slot = reservoir.offer();
+        if (slot < 0)
+            return;
+        auto &slotPtr = reservoir.sample()[static_cast<size_t>(slot)];
+        if (!slotPtr)
+            slotPtr = std::make_unique<ReplayableSnapshot>();
+        tsim.captureSnapshot(chainMeta, slotPtr.get(), cfg.replayLength);
+    }
+
+    const ScanChains &chains() const { return chainMeta; }
+    const Config &config() const { return cfg; }
+
+    /** Complete snapshots collected (incomplete trailing trace dropped). */
+    std::vector<const ReplayableSnapshot *>
+    snapshots() const
+    {
+        std::vector<const ReplayableSnapshot *> out;
+        for (const auto &p : reservoir.sample()) {
+            if (p && p->complete)
+                out.push_back(p.get());
+        }
+        return out;
+    }
+
+    /** Number of record events (Table III "Record Counts"). */
+    uint64_t recordCount() const { return reservoir.recordCount(); }
+    /** Number of interval boundaries offered so far. */
+    uint64_t intervalsSeen() const { return reservoir.elementsSeen(); }
+
+  private:
+    Config cfg;
+    ScanChains chainMeta;
+    stats::ReservoirSampler<std::unique_ptr<ReplayableSnapshot>> reservoir;
+    uint64_t nextInterval = 0;
+};
+
+} // namespace fame
+} // namespace strober
+
+#endif // STROBER_FAME_SAMPLER_H

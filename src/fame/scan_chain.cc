@@ -1,0 +1,139 @@
+#include "fame/scan_chain.h"
+
+#include "util/bitstream.h"
+#include "util/logging.h"
+
+namespace strober {
+namespace fame {
+
+ScanChains::ScanChains(const rtl::Design &design) : dsn(design)
+{
+    for (const rtl::RegInfo &r : dsn.regs())
+        regBits += dsn.node(r.node).width;
+    for (const rtl::MemInfo &m : dsn.mems()) {
+        if (m.syncRead)
+            regBits += static_cast<uint64_t>(m.width) * m.reads.size();
+        ramBits += static_cast<uint64_t>(m.width) * m.depth;
+    }
+}
+
+uint64_t
+ScanChains::captureHostCycles(unsigned daisyWidth) const
+{
+    if (daisyWidth == 0)
+        fatal("daisy width must be positive");
+    // Register chain: one shift beat per bit, read out daisyWidth bits per
+    // host word. RAM chains: one beat per word for address generation plus
+    // the shift-out of that word.
+    uint64_t beats = (regBits + daisyWidth - 1) / daisyWidth;
+    for (const rtl::MemInfo &m : dsn.mems()) {
+        uint64_t wordBeats = (m.width + daisyWidth - 1) / daisyWidth;
+        beats += m.depth * (1 + wordBeats);
+    }
+    return beats;
+}
+
+std::vector<uint64_t>
+ScanChains::scanOut(const sim::Simulator &simulator) const
+{
+    BitWriter w;
+    for (size_t i = 0; i < dsn.regs().size(); ++i) {
+        w.put(simulator.regValue(i),
+              dsn.node(dsn.regs()[i].node).width);
+    }
+    for (size_t mi = 0; mi < dsn.mems().size(); ++mi) {
+        const rtl::MemInfo &m = dsn.mems()[mi];
+        if (!m.syncRead)
+            continue;
+        for (size_t p = 0; p < m.reads.size(); ++p)
+            w.put(simulator.syncReadData(mi, p), m.width);
+    }
+    for (size_t mi = 0; mi < dsn.mems().size(); ++mi) {
+        const rtl::MemInfo &m = dsn.mems()[mi];
+        for (uint64_t a = 0; a < m.depth; ++a)
+            w.put(simulator.memWord(mi, a), m.width);
+    }
+    return w.take();
+}
+
+StateSnapshot
+ScanChains::decode(const std::vector<uint64_t> &bits) const
+{
+    BitReader r(bits);
+    StateSnapshot s;
+    s.regValues.reserve(dsn.regs().size());
+    for (const rtl::RegInfo &reg : dsn.regs())
+        s.regValues.push_back(r.get(dsn.node(reg.node).width));
+
+    s.syncReadData.resize(dsn.mems().size());
+    for (size_t mi = 0; mi < dsn.mems().size(); ++mi) {
+        const rtl::MemInfo &m = dsn.mems()[mi];
+        if (!m.syncRead)
+            continue;
+        for (size_t p = 0; p < m.reads.size(); ++p)
+            s.syncReadData[mi].push_back(r.get(m.width));
+    }
+
+    s.memContents.resize(dsn.mems().size());
+    for (size_t mi = 0; mi < dsn.mems().size(); ++mi) {
+        const rtl::MemInfo &m = dsn.mems()[mi];
+        s.memContents[mi].reserve(m.depth);
+        for (uint64_t a = 0; a < m.depth; ++a)
+            s.memContents[mi].push_back(r.get(m.width));
+    }
+    if (r.bitsRead() != totalBits())
+        panic("scan chain decode consumed %llu of %llu bits",
+              (unsigned long long)r.bitsRead(),
+              (unsigned long long)totalBits());
+    return s;
+}
+
+std::vector<uint64_t>
+ScanChains::encode(const StateSnapshot &state) const
+{
+    BitWriter w;
+    for (size_t i = 0; i < dsn.regs().size(); ++i)
+        w.put(state.regValues.at(i), dsn.node(dsn.regs()[i].node).width);
+    for (size_t mi = 0; mi < dsn.mems().size(); ++mi) {
+        const rtl::MemInfo &m = dsn.mems()[mi];
+        if (!m.syncRead)
+            continue;
+        for (size_t p = 0; p < m.reads.size(); ++p)
+            w.put(state.syncReadData.at(mi).at(p), m.width);
+    }
+    for (size_t mi = 0; mi < dsn.mems().size(); ++mi) {
+        const rtl::MemInfo &m = dsn.mems()[mi];
+        for (uint64_t a = 0; a < m.depth; ++a)
+            w.put(state.memContents.at(mi).at(a), m.width);
+    }
+    return w.take();
+}
+
+void
+ScanChains::restore(sim::Simulator &simulator,
+                    const StateSnapshot &state) const
+{
+    for (size_t i = 0; i < dsn.regs().size(); ++i)
+        simulator.setRegValue(i, state.regValues.at(i));
+    for (size_t mi = 0; mi < dsn.mems().size(); ++mi) {
+        const rtl::MemInfo &m = dsn.mems()[mi];
+        if (m.syncRead) {
+            for (size_t p = 0; p < m.reads.size(); ++p)
+                simulator.setSyncReadData(mi, p,
+                                          state.syncReadData.at(mi).at(p));
+        }
+        for (uint64_t a = 0; a < m.depth; ++a)
+            simulator.setMemWord(mi, a, state.memContents.at(mi).at(a));
+    }
+}
+
+StateSnapshot
+ScanChains::capture(const sim::Simulator &simulator, uint64_t cycle) const
+{
+    StateSnapshot s = decode(scanOut(simulator));
+    s.cycle = cycle;
+    return s;
+}
+
+} // namespace fame
+} // namespace strober

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Scan-chain state snapshotting (paper Section IV-B2, Figure 3).
+ *
+ * Strober reads a design's full state off the FPGA through inserted scan
+ * chains: a register chain that latches every flip-flop, and per-RAM
+ * chains that sweep an address generator across each memory, copying one
+ * word per readout beat. We reproduce the same data path: a snapshot is
+ * serialized to (and restored from) the exact packed bit string the
+ * chains would shift out, in chain order, and the chain geometry gives
+ * the host-cycle cost of a capture (which feeds Table III's sampling
+ * overhead and the Section IV-E performance model).
+ */
+
+#ifndef STROBER_FAME_SCAN_CHAIN_H
+#define STROBER_FAME_SCAN_CHAIN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "rtl/ir.h"
+#include "sim/simulator.h"
+
+namespace strober {
+namespace fame {
+
+/**
+ * The decoded content of one replayable RTL snapshot's *state* part
+ * (the I/O trace part lives in ReplayableSnapshot; see token_sim.h).
+ */
+struct StateSnapshot
+{
+    uint64_t cycle = 0;                             //!< capture cycle
+    std::vector<uint64_t> regValues;                //!< by register index
+    std::vector<std::vector<uint64_t>> memContents; //!< by memory index
+    std::vector<std::vector<uint64_t>> syncReadData; //!< [mem][port]
+};
+
+/**
+ * Chain geometry for one design plus serialize/deserialize/restore.
+ * Chain order: registers (design order), then each memory's sync
+ * read-data registers, then each memory's contents in address order.
+ */
+class ScanChains
+{
+  public:
+    explicit ScanChains(const rtl::Design &design);
+
+    /** Flip-flop chain length in bits (registers + sync read data). */
+    uint64_t regChainBits() const { return regBits; }
+    /** Total RAM chain bits across all memories. */
+    uint64_t ramChainBits() const { return ramBits; }
+    uint64_t totalBits() const { return regBits + ramBits; }
+
+    /**
+     * Host cycles needed to shift one snapshot out through @p daisyWidth
+     * parallel chains (the paper reads chains out through the host
+     * interface word by word).
+     */
+    uint64_t captureHostCycles(unsigned daisyWidth = 32) const;
+
+    /** Shift the simulator's state out as a packed chain bit stream. */
+    std::vector<uint64_t> scanOut(const sim::Simulator &simulator) const;
+
+    /** Decode a chain bit stream into structured state. */
+    StateSnapshot decode(const std::vector<uint64_t> &bits) const;
+
+    /** Encode structured state back into a chain bit stream. */
+    std::vector<uint64_t> encode(const StateSnapshot &state) const;
+
+    /** Load structured state into a simulator (RTL-level replay). */
+    void restore(sim::Simulator &simulator, const StateSnapshot &state) const;
+
+    /** Capture convenience: scanOut + decode + stamp cycle. */
+    StateSnapshot capture(const sim::Simulator &simulator,
+                          uint64_t cycle) const;
+
+  private:
+    const rtl::Design &dsn;
+    uint64_t regBits = 0;
+    uint64_t ramBits = 0;
+};
+
+} // namespace fame
+} // namespace strober
+
+#endif // STROBER_FAME_SCAN_CHAIN_H

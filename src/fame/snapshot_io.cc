@@ -1,0 +1,147 @@
+#include "fame/snapshot_io.h"
+
+#include <istream>
+#include <ostream>
+
+#include "util/logging.h"
+
+namespace strober {
+namespace fame {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x53545242534e5031ull; // "STRBSNP1"
+constexpr uint32_t kVersion = 1;
+
+void
+putU64(std::ostream &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.put(static_cast<char>(v >> (8 * i)));
+}
+
+uint64_t
+getU64(std::istream &in)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+        int c = in.get();
+        if (c < 0)
+            fatal("snapshot stream truncated");
+        v |= static_cast<uint64_t>(c & 0xff) << (8 * i);
+    }
+    return v;
+}
+
+void
+putVec(std::ostream &out, const std::vector<uint64_t> &v)
+{
+    putU64(out, v.size());
+    for (uint64_t x : v)
+        putU64(out, x);
+}
+
+std::vector<uint64_t>
+getVec(std::istream &in)
+{
+    uint64_t n = getU64(in);
+    if (n > (1ull << 32))
+        fatal("snapshot stream corrupt (vector length %llu)",
+              (unsigned long long)n);
+    std::vector<uint64_t> v(n);
+    for (uint64_t &x : v)
+        x = getU64(in);
+    return v;
+}
+
+} // namespace
+
+void
+writeSnapshot(std::ostream &out, const ScanChains &chains,
+              const ReplayableSnapshot &snap)
+{
+    if (!snap.complete)
+        fatal("refusing to serialize an incomplete snapshot");
+    putU64(out, kMagic);
+    putU64(out, kVersion);
+    putU64(out, chains.totalBits());
+    putU64(out, snap.state.cycle);
+
+    // State as the scan-chain bit stream.
+    putVec(out, chains.encode(snap.state));
+
+    // I/O traces.
+    putU64(out, snap.inputTrace.size());
+    putU64(out, snap.inputTrace.empty() ? 0 : snap.inputTrace[0].size());
+    for (const auto &cycleTokens : snap.inputTrace)
+        for (uint64_t t : cycleTokens)
+            putU64(out, t);
+    putU64(out, snap.outputTrace.empty() ? 0 : snap.outputTrace[0].size());
+    for (const auto &cycleTokens : snap.outputTrace)
+        for (uint64_t t : cycleTokens)
+            putU64(out, t);
+
+    // Retiming histories.
+    putU64(out, snap.retimeHistory.size());
+    for (const auto &region : snap.retimeHistory) {
+        putU64(out, region.size());
+        putU64(out, region.empty() ? 0 : region[0].size());
+        for (const auto &cycleVals : region)
+            for (uint64_t v : cycleVals)
+                putU64(out, v);
+    }
+}
+
+ReplayableSnapshot
+readSnapshot(std::istream &in, const ScanChains &chains)
+{
+    if (getU64(in) != kMagic)
+        fatal("not a strober snapshot (bad magic)");
+    if (getU64(in) != kVersion)
+        fatal("unsupported snapshot version");
+    uint64_t bits = getU64(in);
+    if (bits != chains.totalBits())
+        fatal("snapshot was captured from a different design "
+              "(%llu state bits, design has %llu)",
+              (unsigned long long)bits,
+              (unsigned long long)chains.totalBits());
+
+    ReplayableSnapshot snap;
+    uint64_t cycle = getU64(in);
+    snap.state = chains.decode(getVec(in));
+    snap.state.cycle = cycle;
+
+    uint64_t length = getU64(in);
+    uint64_t numInputs = getU64(in);
+    snap.inputTrace.resize(length);
+    for (auto &cycleTokens : snap.inputTrace) {
+        cycleTokens.resize(numInputs);
+        for (uint64_t &t : cycleTokens)
+            t = getU64(in);
+    }
+    uint64_t numOutputs = getU64(in);
+    snap.outputTrace.resize(length);
+    for (auto &cycleTokens : snap.outputTrace) {
+        cycleTokens.resize(numOutputs);
+        for (uint64_t &t : cycleTokens)
+            t = getU64(in);
+    }
+
+    uint64_t regions = getU64(in);
+    snap.retimeHistory.resize(regions);
+    for (auto &region : snap.retimeHistory) {
+        uint64_t depth = getU64(in);
+        uint64_t width = getU64(in);
+        region.resize(depth);
+        for (auto &cycleVals : region) {
+            cycleVals.resize(width);
+            for (uint64_t &v : cycleVals)
+                v = getU64(in);
+        }
+    }
+    snap.complete = true;
+    return snap;
+}
+
+} // namespace fame
+} // namespace strober

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Binary serialization of replayable RTL snapshots. The paper replays
+ * snapshots "on multiple instances of gate-level simulation in
+ * parallel" — in practice on other machines, which requires snapshots
+ * to exist as files. The format is versioned and self-describing enough
+ * to detect design mismatches at load time (state-bit count, port
+ * counts).
+ */
+
+#ifndef STROBER_FAME_SNAPSHOT_IO_H
+#define STROBER_FAME_SNAPSHOT_IO_H
+
+#include <iosfwd>
+
+#include "fame/scan_chain.h"
+#include "fame/token_sim.h"
+
+namespace strober {
+namespace fame {
+
+/**
+ * Write @p snap to @p out. @p chains supplies the state geometry so the
+ * state part is stored as the scan-chain bit stream.
+ */
+void writeSnapshot(std::ostream &out, const ScanChains &chains,
+                   const ReplayableSnapshot &snap);
+
+/**
+ * Read a snapshot written by writeSnapshot. Calls fatal() on a magic,
+ * version or geometry mismatch.
+ */
+ReplayableSnapshot readSnapshot(std::istream &in, const ScanChains &chains);
+
+} // namespace fame
+} // namespace strober
+
+#endif // STROBER_FAME_SNAPSHOT_IO_H

@@ -1,0 +1,146 @@
+#include "fame/token_sim.h"
+
+#include "util/logging.h"
+
+namespace strober {
+namespace fame {
+
+TokenSimulator::TokenSimulator(const Fame1Design &fame)
+    : TokenSimulator(fame, Config())
+{
+}
+
+TokenSimulator::TokenSimulator(const Fame1Design &fame, Config config)
+    : fd(fame), cfg(config), sim(fame.design)
+{
+    inputChannels.resize(fd.targetInputs.size());
+    outputChannels.resize(fd.targetOutputs.size());
+    retimeRings.resize(fd.design.retimeRegions().size());
+}
+
+bool
+TokenSimulator::canEnqueue(size_t port) const
+{
+    return inputChannels[port].size() < cfg.channelCapacity;
+}
+
+void
+TokenSimulator::enqueueInput(size_t port, uint64_t token)
+{
+    if (!canEnqueue(port))
+        fatal("input channel '%s' overflow",
+              fd.targetInputs[port].name.c_str());
+    inputChannels[port].push_back(token);
+}
+
+size_t
+TokenSimulator::outputAvailable(size_t port) const
+{
+    return outputChannels[port].size();
+}
+
+uint64_t
+TokenSimulator::dequeueOutput(size_t port)
+{
+    if (outputChannels[port].empty())
+        fatal("output channel '%s' underflow",
+              fd.targetOutputs[port].name.c_str());
+    uint64_t token = outputChannels[port].front();
+    outputChannels[port].pop_front();
+    return token;
+}
+
+void
+TokenSimulator::recordRetimeInputs()
+{
+    const auto &regions = fd.design.retimeRegions();
+    for (size_t ri = 0; ri < regions.size(); ++ri) {
+        const rtl::RetimeRegion &region = regions[ri];
+        std::vector<uint64_t> inputs;
+        inputs.reserve(region.inputs.size());
+        for (rtl::NodeId id : region.inputs)
+            inputs.push_back(sim.peek(id));
+        auto &ring = retimeRings[ri];
+        ring.push_back(std::move(inputs));
+        while (ring.size() > region.latency)
+            ring.pop_front();
+    }
+}
+
+bool
+TokenSimulator::tryStep()
+{
+    ++hostCycleCount;
+
+    bool ready = true;
+    for (const auto &ch : inputChannels)
+        ready = ready && !ch.empty();
+    for (const auto &ch : outputChannels)
+        ready = ready && ch.size() < cfg.channelCapacity;
+    if (!ready) {
+        // Stall: target state frozen (host_en = 0); nothing to evaluate.
+        return false;
+    }
+
+    std::vector<uint64_t> inTokens(inputChannels.size());
+    for (size_t i = 0; i < inputChannels.size(); ++i) {
+        inTokens[i] = inputChannels[i].front();
+        inputChannels[i].pop_front();
+        sim.poke(fd.targetInputs[i].node, inTokens[i]);
+    }
+    sim.poke(fd.hostEnable, 1);
+
+    // Record the retiming-region inputs *entering* this cycle.
+    recordRetimeInputs();
+
+    // Observe outputs for this cycle, then commit the edge.
+    std::vector<uint64_t> outTokens(outputChannels.size());
+    for (size_t i = 0; i < outputChannels.size(); ++i) {
+        outTokens[i] = sim.peek(fd.targetOutputs[i].node);
+        outputChannels[i].push_back(outTokens[i]);
+    }
+    sim.step();
+    ++firedCycles;
+
+    if (activeSnap) {
+        activeSnap->inputTrace.push_back(std::move(inTokens));
+        activeSnap->outputTrace.push_back(std::move(outTokens));
+        if (--remainingTrace == 0) {
+            activeSnap->complete = true;
+            activeSnap = nullptr;
+        }
+    }
+    return true;
+}
+
+void
+TokenSimulator::captureSnapshot(const ScanChains &chains,
+                                ReplayableSnapshot *snap,
+                                unsigned replayLength)
+{
+    if (activeSnap)
+        fatal("snapshot capture while a trace is still recording");
+    if (replayLength == 0)
+        fatal("replay length must be positive");
+
+    *snap = ReplayableSnapshot{};
+    snap->state = chains.capture(sim, firedCycles);
+
+    // The paper stalls the target while chains shift out (Section V-B).
+    hostCycleCount += chains.captureHostCycles();
+
+    const auto &regions = fd.design.retimeRegions();
+    snap->retimeHistory.resize(regions.size());
+    for (size_t ri = 0; ri < regions.size(); ++ri) {
+        snap->retimeHistory[ri].assign(retimeRings[ri].begin(),
+                                       retimeRings[ri].end());
+    }
+
+    snap->inputTrace.reserve(replayLength);
+    snap->outputTrace.reserve(replayLength);
+    activeSnap = snap;
+    remainingTrace = replayLength;
+}
+
+} // namespace fame
+} // namespace strober

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Token-based (synchronous-dataflow) simulation of a FAME1-transformed
+ * design, plus replayable-snapshot capture (paper Sections III-B, IV-B).
+ *
+ * Every target I/O port is wrapped in a bounded token channel. The
+ * simulated target advances one cycle only when every input channel has a
+ * token and every output channel has space; otherwise the host cycle is a
+ * stall with all target state frozen (host_en = 0). This is the decoupling
+ * that lets the paper host the memory system and I/O devices outside the
+ * FPGA fabric.
+ *
+ * A replayable RTL snapshot is (a) the scan-chain state at some cycle c,
+ * (b) the I/O token trace for cycles [c, c+L), and (c) for each annotated
+ * retiming region, the region-input history for cycles [c-n, c) needed to
+ * warm the retimed registers before replay (Section IV-C3).
+ */
+
+#ifndef STROBER_FAME_TOKEN_SIM_H
+#define STROBER_FAME_TOKEN_SIM_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "fame/fame1.h"
+#include "fame/scan_chain.h"
+#include "sim/simulator.h"
+
+namespace strober {
+namespace fame {
+
+/** A complete replayable RTL snapshot. */
+struct ReplayableSnapshot
+{
+    StateSnapshot state;
+    /** Input tokens per replay cycle: inputTrace[t][port]. */
+    std::vector<std::vector<uint64_t>> inputTrace;
+    /** Expected output tokens per replay cycle: outputTrace[t][port]. */
+    std::vector<std::vector<uint64_t>> outputTrace;
+    /** Region-input history: retimeHistory[region][t][input], t over the
+     *  n cycles immediately before the capture cycle (oldest first). */
+    std::vector<std::vector<std::vector<uint64_t>>> retimeHistory;
+    bool complete = false; //!< trace fully collected
+
+    uint64_t cycle() const { return state.cycle; }
+    uint64_t replayLength() const { return inputTrace.size(); }
+};
+
+/** Executes a Fame1Design under token-channel flow control. */
+class TokenSimulator
+{
+  public:
+    struct Config
+    {
+        size_t channelCapacity = 8;
+    };
+
+    explicit TokenSimulator(const Fame1Design &fame);
+    TokenSimulator(const Fame1Design &fame, Config config);
+
+    const Fame1Design &fame() const { return fd; }
+    sim::Simulator &simulator() { return sim; }
+
+    size_t numInputs() const { return fd.targetInputs.size(); }
+    size_t numOutputs() const { return fd.targetOutputs.size(); }
+
+    /** @return true if input channel @p port can accept a token. */
+    bool canEnqueue(size_t port) const;
+    /** Push one token into input channel @p port (fatal when full). */
+    void enqueueInput(size_t port, uint64_t token);
+    /** Tokens waiting in output channel @p port. */
+    size_t outputAvailable(size_t port) const;
+    /** Pop one token from output channel @p port (fatal when empty). */
+    uint64_t dequeueOutput(size_t port);
+
+    /**
+     * Advance one host cycle. Fires the target for one cycle if all input
+     * tokens are present and all output channels have space; otherwise
+     * stalls with state frozen. @return true if the target advanced.
+     */
+    bool tryStep();
+
+    uint64_t targetCycles() const { return firedCycles; }
+    uint64_t hostCycles() const { return hostCycleCount; }
+    /** Account extra stalled host cycles (host-side device service). */
+    void addHostStallCycles(uint64_t cycles) { hostCycleCount += cycles; }
+
+    // --- Snapshot capture --------------------------------------------------
+    /**
+     * Capture the scan-chain state and retime history into @p snap and
+     * start recording the next @p replayLength fired cycles of I/O into
+     * its trace. Accounts the scan read-out as stalled host cycles.
+     * Only one recording may be active at a time.
+     */
+    void captureSnapshot(const ScanChains &chains, ReplayableSnapshot *snap,
+                         unsigned replayLength);
+
+    /** @return true while a snapshot trace is still being recorded. */
+    bool recording() const { return activeSnap != nullptr; }
+
+  private:
+    const Fame1Design &fd;
+    Config cfg;
+    sim::Simulator sim;
+    std::vector<std::deque<uint64_t>> inputChannels;
+    std::vector<std::deque<uint64_t>> outputChannels;
+    uint64_t firedCycles = 0;
+    uint64_t hostCycleCount = 0;
+
+    // Retiming support: per-region ring of recent input values.
+    std::vector<std::deque<std::vector<uint64_t>>> retimeRings;
+
+    ReplayableSnapshot *activeSnap = nullptr;
+    unsigned remainingTrace = 0;
+
+    void recordRetimeInputs();
+};
+
+} // namespace fame
+} // namespace strober
+
+#endif // STROBER_FAME_TOKEN_SIM_H

@@ -1,0 +1,43 @@
+#include "gate/cell_library.h"
+
+#include "util/logging.h"
+
+namespace strober {
+namespace gate {
+
+const CellSpec &
+cellSpec(CellType type)
+{
+    // Representative 45 nm numbers: caps in fF, internal energy in fJ per
+    // output transition, leakage in nW, area in um^2, delay in ps.
+    static const CellSpec specs[] = {
+        {"PI",     0, 0.0, 0.00, 0.0,  0.0,  0.0},
+        {"TIE0",   0, 0.0, 0.00, 0.4,  0.5,  0.0},
+        {"TIE1",   0, 0.0, 0.00, 0.4,  0.5,  0.0},
+        {"BUF_X1", 1, 1.0, 0.60, 1.2,  1.1,  35.0},
+        {"INV_X1", 1, 1.0, 0.45, 1.0,  0.8,  20.0},
+        {"AND2_X1", 2, 1.1, 0.85, 1.6, 1.6,  45.0},
+        {"OR2_X1",  2, 1.1, 0.85, 1.6, 1.6,  45.0},
+        {"NAND2_X1", 2, 1.0, 0.55, 1.3, 1.1, 30.0},
+        {"NOR2_X1",  2, 1.0, 0.55, 1.3, 1.1, 32.0},
+        {"XOR2_X1",  2, 1.8, 1.40, 2.2, 2.4, 60.0},
+        {"XNOR2_X1", 2, 1.8, 1.40, 2.2, 2.4, 60.0},
+        {"MUX2_X1",  3, 1.4, 1.20, 2.0, 2.7, 55.0},
+        {"DFF_X1",   1, 1.2, 2.80, 3.5, 4.5, 90.0},
+        {"MACRO_Q",  0, 0.0, 0.00, 0.0, 0.0,  0.0},
+    };
+    unsigned idx = static_cast<unsigned>(type);
+    if (idx >= sizeof(specs) / sizeof(specs[0]))
+        panic("unknown cell type %u", idx);
+    return specs[idx];
+}
+
+const LibraryConstants &
+libraryConstants()
+{
+    static const LibraryConstants constants;
+    return constants;
+}
+
+} // namespace gate
+} // namespace strober

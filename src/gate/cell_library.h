@@ -1,0 +1,74 @@
+/**
+ * @file
+ * A small standard-cell library: the repository's stand-in for the TSMC
+ * 45 nm library the paper synthesizes into. Per-cell electrical numbers
+ * (input capacitance, internal switching energy, leakage, area, delay)
+ * are representative of a generic 45 nm process at 1.0 V — the power
+ * analysis only needs them to be *consistent*, since every experiment
+ * compares estimates produced through the same library.
+ */
+
+#ifndef STROBER_GATE_CELL_LIBRARY_H
+#define STROBER_GATE_CELL_LIBRARY_H
+
+#include <cstdint>
+
+namespace strober {
+namespace gate {
+
+/** Cell kinds in the gate netlist. */
+enum class CellType : uint8_t {
+    PrimaryInput, //!< not a cell; a top-level input bit
+    Tie0,         //!< constant 0 driver
+    Tie1,         //!< constant 1 driver
+    Buf,
+    Inv,
+    And2,
+    Or2,
+    Nand2,
+    Nor2,
+    Xor2,
+    Xnor2,
+    Mux2,         //!< inputs: sel, a (sel=1), b (sel=0)
+    Dff,          //!< inputs: d; state element
+    MacroOut,     //!< one data bit of an SRAM macro read port
+};
+
+/** Electrical and physical characteristics of one cell type. */
+struct CellSpec
+{
+    const char *name;
+    unsigned numInputs;
+    double inputCapFf;     //!< capacitance per input pin (fF)
+    double internalEnFj;   //!< internal energy per output toggle (fJ)
+    double leakageNw;      //!< leakage power (nW)
+    double areaUm2;        //!< cell area (um^2)
+    double delayPs;        //!< nominal propagation delay (ps)
+};
+
+/** @return the characteristics of @p type. */
+const CellSpec &cellSpec(CellType type);
+
+/** Library-level constants. */
+struct LibraryConstants
+{
+    double vdd = 1.0;            //!< supply (V)
+    double wireCapFfPerUm = 0.2; //!< routed wire capacitance per um
+    /** SRAM macro energies (pJ per access) and leakage, scaled by bits. */
+    double sramReadPjPerBit = 0.012;
+    double sramWritePjPerBit = 0.016;
+    double sramLeakNwPerBit = 0.008;
+    double sramAreaUm2PerBit = 0.6;
+    /** Clock network: effective switched capacitance per flip-flop
+     *  (clock pin + its share of the buffer tree and clock wiring),
+     *  toggling every cycle regardless of data activity. */
+    double clockCapFfPerDff = 2.4;
+};
+
+/** @return the process constants used by placement and power analysis. */
+const LibraryConstants &libraryConstants();
+
+} // namespace gate
+} // namespace strober
+
+#endif // STROBER_GATE_CELL_LIBRARY_H

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Gate-level simulator with switching-activity collection — the
+ * repository's substitute for VCS driving a post-layout netlist (paper
+ * Figure 5). Deliberately detailed (every net of every bit-blasted gate
+ * is evaluated and toggle-counted each cycle), which is what makes it
+ * orders of magnitude slower than the word-level fast simulator and
+ * reproduces the speed gap the sampling methodology exploits.
+ *
+ * Activity semantics: zero-delay, one evaluation per cycle; a net's
+ * toggle count increments whenever its settled value differs from the
+ * previous cycle's settled value. SRAM macros count read and write
+ * accesses instead (their energy is per-access, as in real flows).
+ */
+
+#ifndef STROBER_GATE_GATE_SIM_H
+#define STROBER_GATE_GATE_SIM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "gate/netlist.h"
+
+namespace strober {
+namespace gate {
+
+/** Per-macro access counters. */
+struct MacroStats
+{
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+};
+
+/** Cycle-based two-valued gate-level simulator. */
+class GateSimulator
+{
+  public:
+    explicit GateSimulator(const GateNetlist &netlist);
+
+    const GateNetlist &netlist() const { return nl; }
+
+    /** DFFs to their init values, macros to zero, counters cleared. */
+    void reset();
+
+    /** Drive input port @p idx with @p value (bit-sliced onto PI nets). */
+    void pokePort(size_t idx, uint64_t value);
+    /** Read output port @p idx (evaluates if stale). */
+    uint64_t peekPort(size_t idx);
+
+    void evalComb();
+    void step(uint64_t n = 1);
+    uint64_t cycle() const { return cycleCount; }
+
+    /** Per-net toggle counts since the last clearActivity(). */
+    const std::vector<uint64_t> &toggleCounts() const { return toggles; }
+    const std::vector<MacroStats> &macroStats() const { return macroAcc; }
+    /** Cycles elapsed since the last clearActivity(). */
+    uint64_t activityCycles() const { return cycleCount - activityStart; }
+    void clearActivity();
+
+    /** Gate evaluations executed (simulation-rate reporting). */
+    uint64_t gateEvals() const { return evalCount; }
+
+    /** Collect per-net time-at-1 (SAIF T0/T1); costs ~one pass/cycle. */
+    void enableDutyTracking() { dutyTracking = true; }
+    /** Cycles each net spent at 1 since clearActivity (empty unless
+     *  duty tracking is enabled). */
+    const std::vector<uint64_t> &highCycles() const { return highTime; }
+
+    // --- State access (loaders / verification) -------------------------
+    bool dffValue(NetId net) const { return values[net] != 0; }
+    void setDff(NetId net, bool value);
+    uint64_t macroWord(size_t macroIdx, uint64_t addr) const;
+    void setMacroWord(size_t macroIdx, uint64_t addr, uint64_t value);
+    /** Registered read data of a sync macro port. */
+    uint64_t macroReadData(size_t macroIdx, size_t port) const;
+    void setMacroReadData(size_t macroIdx, size_t port, uint64_t value);
+
+    // --- Forcing (retiming warm-up) --------------------------------------
+    /** Override a net's value during evaluation until released. */
+    void forceNet(NetId net, bool value);
+    void releaseForces();
+
+  private:
+    const GateNetlist &nl;
+    std::vector<uint8_t> values;
+    std::vector<uint64_t> toggles;
+    std::vector<uint64_t> highTime;
+    bool dutyTracking = false;
+    std::vector<int8_t> forces; //!< -1 none, else forced value
+    std::vector<NetId> forcedNets;
+    bool anyForce = false;
+    std::vector<std::vector<uint64_t>> macroContents;
+    std::vector<MacroStats> macroAcc;
+    std::vector<uint8_t> dffPending;
+    std::vector<std::vector<uint8_t>> syncReadPending; //!< [macro][port*w+b]
+    std::vector<NetId> combOrder;
+    uint64_t cycleCount = 0;
+    uint64_t activityStart = 0;
+    uint64_t evalCount = 0;
+    bool combStale = true;
+
+    void compileOrder();
+    uint64_t busValue(const std::vector<NetId> &bitNets) const;
+    void setBus(const std::vector<NetId> &bitNets, uint64_t value,
+                bool countToggles);
+};
+
+} // namespace gate
+} // namespace strober
+
+#endif // STROBER_GATE_GATE_SIM_H

@@ -1,0 +1,146 @@
+#include "gate/matching.h"
+
+#include <algorithm>
+
+#include "gate/gate_sim.h"
+#include "sim/simulator.h"
+#include "stats/rng.h"
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace strober {
+namespace gate {
+
+MatchTable
+matchDesigns(const rtl::Design &target, const GateNetlist &netlist,
+             const SynthesisGuide &guide, MatchConfig config)
+{
+    MatchTable table;
+    table.regToDff.resize(target.regs().size());
+    table.regRetimed.assign(target.regs().size(), false);
+    table.regVerified.assign(target.regs().size(), false);
+
+    bool hasRetiming = !netlist.retime().empty();
+    if (config.autoStimulus && hasRetiming)
+        config.randomStimulus = false;
+
+    // --- Build candidates from the synthesis guide ----------------------
+    for (size_t i = 0; i < target.regs().size(); ++i) {
+        if (guide.regRetimed.at(i)) {
+            table.regRetimed[i] = true;
+            ++table.retimedRegs;
+            continue;
+        }
+        const rtl::Node &n = target.node(target.regs()[i].node);
+        const auto &names = guide.regDffNames.at(i);
+        if (names.size() != n.width)
+            fatal("guide for register '%s' names %zu DFFs, width is %u",
+                  n.name.c_str(), names.size(), n.width);
+        std::vector<NetId> nets;
+        for (const std::string &name : names) {
+            NetId net = netlist.findDff(name);
+            if (net == kNoNet)
+                fatal("guide names unknown DFF '%s'", name.c_str());
+            nets.push_back(net);
+        }
+        table.regToDff[i] = std::move(nets);
+        ++table.matchedRegs;
+    }
+
+    table.memToMacro.resize(target.mems().size(), -1);
+    for (size_t mi = 0; mi < target.mems().size(); ++mi) {
+        int macro = netlist.findMacro(guide.memMacroNames.at(mi));
+        if (macro < 0)
+            fatal("guide names unknown macro '%s'",
+                  guide.memMacroNames[mi].c_str());
+        table.memToMacro[mi] = macro;
+    }
+
+    // --- Verify by lock-step co-simulation ------------------------------
+    sim::Simulator rtlSim(target);
+    GateSimulator gateSim(netlist);
+    stats::Rng rng(config.seed);
+
+    unsigned settle = 0;
+    for (const RetimeNetInfo &r : netlist.retime())
+        settle = std::max(settle, r.latency);
+
+    std::vector<uint64_t> outputDisagreements(target.outputs().size(), 0);
+    std::vector<uint64_t> trajectoryMismatch(target.regs().size(), 0);
+
+    for (unsigned cycle = 0; cycle < config.verifyCycles; ++cycle) {
+        for (size_t i = 0; i < target.inputs().size(); ++i) {
+            const rtl::Node &in = target.node(target.inputs()[i]);
+            uint64_t v = config.randomStimulus
+                             ? truncate(rng.next(), in.width)
+                             : 0;
+            rtlSim.poke(target.inputs()[i], v);
+            gateSim.pokePort(i, v);
+        }
+        if (cycle >= settle) {
+            for (size_t o = 0; o < target.outputs().size(); ++o) {
+                uint64_t want = rtlSim.peek(target.outputs()[o].node);
+                if (gateSim.peekPort(o) != want)
+                    ++outputDisagreements[o];
+            }
+        }
+        rtlSim.step();
+        gateSim.step();
+
+        for (size_t i = 0; i < target.regs().size(); ++i) {
+            if (table.regRetimed[i])
+                continue;
+            uint64_t rv = rtlSim.regValue(i);
+            const auto &nets = table.regToDff[i];
+            for (size_t b = 0; b < nets.size(); ++b) {
+                if (gateSim.dffValue(nets[b]) != static_cast<bool>(
+                        bit(rv, static_cast<unsigned>(b)))) {
+                    ++trajectoryMismatch[i];
+                    break;
+                }
+            }
+        }
+    }
+
+    // Memory contents must also agree at the end of the run.
+    bool memAgree = true;
+    for (size_t mi = 0; mi < target.mems().size(); ++mi) {
+        const rtl::MemInfo &m = target.mems()[mi];
+        size_t macro = static_cast<size_t>(table.memToMacro[mi]);
+        for (uint64_t a = 0; a < m.depth && memAgree; ++a) {
+            if (rtlSim.memWord(mi, a) != gateSim.macroWord(macro, a))
+                memAgree = false;
+        }
+    }
+
+    for (size_t i = 0; i < target.regs().size(); ++i) {
+        if (table.regRetimed[i])
+            continue;
+        if (trajectoryMismatch[i] == 0) {
+            table.regVerified[i] = true;
+            ++table.verifiedRegs;
+        } else if (hasRetiming) {
+            warn("match verification inconclusive for register '%s' "
+                 "(downstream of a retimed region; replay checking covers "
+                 "it)", target.node(target.regs()[i].node).name.c_str());
+        } else {
+            fatal("matched register '%s' failed trajectory verification",
+                  target.node(target.regs()[i].node).name.c_str());
+        }
+    }
+
+    uint64_t totalOutputMismatch = 0;
+    for (uint64_t d : outputDisagreements)
+        totalOutputMismatch += d;
+    table.outputsEquivalent = totalOutputMismatch == 0 && memAgree;
+    if (!table.outputsEquivalent && !hasRetiming)
+        fatal("RTL and gate netlist are not equivalent "
+              "(%llu output disagreements, memories %s)",
+              (unsigned long long)totalOutputMismatch,
+              memAgree ? "agree" : "disagree");
+
+    return table;
+}
+
+} // namespace gate
+} // namespace strober

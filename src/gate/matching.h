@@ -1,0 +1,81 @@
+/**
+ * @file
+ * RTL-to-gate matching — the repository's Formality substitute (paper
+ * Section IV-C1).
+ *
+ * Synthesis mangles and uniquifies names, so RTL register names cannot be
+ * used directly to initialize gate-level state. As in the paper's flow,
+ * the synthesis tool emits guide information about the renames it
+ * performed (SynthesisGuide, like DC's .svf), and the matching step
+ * builds the name-mapping table from it — then *verifies* the mapping by
+ * co-simulating the RTL and gate netlists from reset with shared stimulus
+ * and checking that every matched (register bit, DFF) pair follows the
+ * same trajectory and all outputs agree.
+ *
+ * Registers dissolved by retiming have no gate counterpart; they are
+ * recorded as retimed and handled by the replay warm-up instead.
+ */
+
+#ifndef STROBER_GATE_MATCHING_H
+#define STROBER_GATE_MATCHING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "gate/netlist.h"
+#include "gate/synthesis.h"
+#include "rtl/ir.h"
+
+namespace strober {
+namespace gate {
+
+/** The verified RTL-state to gate-state mapping table. */
+struct MatchTable
+{
+    /** Per RTL register: per bit, the matched DFF net (empty if retimed). */
+    std::vector<std::vector<NetId>> regToDff;
+    /** Per RTL register: dissolved by retiming (load skipped; replay
+     *  warm-up recovers it). */
+    std::vector<bool> regRetimed;
+    /** Per RTL register: trajectory-verified during matching. */
+    std::vector<bool> regVerified;
+    /** Per RTL memory: macro index in the gate netlist. */
+    std::vector<int> memToMacro;
+
+    uint64_t matchedRegs = 0;
+    uint64_t retimedRegs = 0;
+    uint64_t verifiedRegs = 0;
+    /** Outputs agreed on every compared verification cycle. */
+    bool outputsEquivalent = false;
+};
+
+struct MatchConfig
+{
+    unsigned verifyCycles = 128;  //!< co-simulation length
+    uint64_t seed = 0xf0f0f0f0ULL;
+    /**
+     * Drive random input stimulus during verification. Designs with
+     * retimed regions should verify with quiescent (zero) inputs instead,
+     * because retiming changes the first-latency-cycles behaviour of the
+     * region (replay output checking provides the strong guarantee
+     * there); matchDesigns picks this automatically unless overridden.
+     */
+    bool randomStimulus = true;
+    bool autoStimulus = true; //!< pick stimulus mode from retime presence
+};
+
+/**
+ * Build and verify the match table between @p target and @p netlist using
+ * the synthesis @p guide. Calls fatal() if a guided candidate fails
+ * verification (that would be a synthesis bug); registers that cannot be
+ * verified due to retiming influence are flagged unverified with a
+ * warning.
+ */
+MatchTable matchDesigns(const rtl::Design &target, const GateNetlist &netlist,
+                        const SynthesisGuide &guide,
+                        MatchConfig config = MatchConfig());
+
+} // namespace gate
+} // namespace strober
+
+#endif // STROBER_GATE_MATCHING_H

@@ -1,0 +1,147 @@
+#include "gate/netlist.h"
+
+#include <deque>
+
+#include "util/logging.h"
+
+namespace strober {
+namespace gate {
+
+uint32_t
+GateNetlist::addGroup(const std::string &path)
+{
+    auto it = groupIndex.find(path);
+    if (it != groupIndex.end())
+        return it->second;
+    uint32_t idx = static_cast<uint32_t>(groups.size());
+    groups.push_back(path);
+    groupIndex[path] = idx;
+    return idx;
+}
+
+NetId
+GateNetlist::findDff(const std::string &name) const
+{
+    if (dffByName.empty()) {
+        for (NetId id : dffNets)
+            dffByName[nodes[id].name] = id;
+    }
+    auto it = dffByName.find(name);
+    return it == dffByName.end() ? kNoNet : it->second;
+}
+
+int
+GateNetlist::findInput(const std::string &name) const
+{
+    for (size_t i = 0; i < inputPorts.size(); ++i) {
+        if (inputPorts[i].name == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int
+GateNetlist::findOutput(const std::string &name) const
+{
+    for (size_t i = 0; i < outputPorts.size(); ++i) {
+        if (outputPorts[i].name == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int
+GateNetlist::findMacro(const std::string &name) const
+{
+    for (size_t i = 0; i < macroMems.size(); ++i) {
+        if (macroMems[i].name == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+uint64_t
+GateNetlist::liveGateCount() const
+{
+    uint64_t count = 0;
+    for (const GateNode &n : nodes) {
+        if (!n.dead && n.type != CellType::PrimaryInput &&
+            n.type != CellType::MacroOut) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+double
+GateNetlist::totalAreaUm2() const
+{
+    double area = 0.0;
+    for (const GateNode &n : nodes) {
+        if (!n.dead)
+            area += cellSpec(n.type).areaUm2;
+    }
+    const LibraryConstants &lib = libraryConstants();
+    for (const MacroMem &m : macroMems)
+        area += lib.sramAreaUm2PerBit * static_cast<double>(m.width) *
+                static_cast<double>(m.depth);
+    return area;
+}
+
+void
+GateNetlist::sweepDeadGates()
+{
+    std::vector<bool> live(nodes.size(), false);
+    std::deque<NetId> work;
+
+    auto markRoot = [&](NetId id) {
+        if (id != kNoNet && !live[id]) {
+            live[id] = true;
+            work.push_back(id);
+        }
+    };
+
+    for (const BitPort &p : outputPorts)
+        for (NetId id : p.bits)
+            markRoot(id);
+    // All state is observable through scan/snapshot loading, so DFFs and
+    // macro port connections keep their fanin cones alive.
+    for (NetId id : dffNets)
+        markRoot(id);
+    for (const MacroMem &m : macroMems) {
+        for (const auto &r : m.reads) {
+            for (NetId id : r.addr)
+                markRoot(id);
+            for (NetId id : r.data)
+                markRoot(id);
+            markRoot(r.en);
+        }
+        for (const auto &w : m.writes) {
+            for (NetId id : w.addr)
+                markRoot(id);
+            for (NetId id : w.data)
+                markRoot(id);
+            markRoot(w.en);
+        }
+    }
+
+    while (!work.empty()) {
+        NetId id = work.front();
+        work.pop_front();
+        const GateNode &n = nodes[id];
+        for (NetId in : n.in) {
+            if (in != kNoNet && !live[in]) {
+                live[in] = true;
+                work.push_back(in);
+            }
+        }
+    }
+
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        if (!live[i] && nodes[i].type != CellType::PrimaryInput)
+            nodes[i].dead = true;
+    }
+}
+
+} // namespace gate
+} // namespace strober

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Structural gate-level netlist: the output of synthesis (src/gate/
+ * synthesis.h) and the input to placement, matching, gate-level
+ * simulation and power analysis.
+ *
+ * Conventions:
+ *  - One node per net; the node index IS the net id. Every node is either
+ *    a primary-input bit, a tie cell, a combinational cell, a flip-flop,
+ *    or one data bit of an SRAM macro read port.
+ *  - Memories are SRAM macros (as in a real ASIC flow), with word-level
+ *    contents and per-access energy, not flop arrays.
+ *  - Node names are post-synthesis (mangled/uniquified) names; instance
+ *    grouping for power/area breakdown is by @ref GateNode::group, an
+ *    index into groupNames() derived from the RTL hierarchy.
+ */
+
+#ifndef STROBER_GATE_NETLIST_H
+#define STROBER_GATE_NETLIST_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gate/cell_library.h"
+
+namespace strober {
+namespace gate {
+
+using NetId = uint32_t;
+constexpr NetId kNoNet = UINT32_MAX;
+
+/** One gate (and the net it drives). */
+struct GateNode
+{
+    CellType type = CellType::Tie0;
+    NetId in[3] = {kNoNet, kNoNet, kNoNet};
+    uint32_t group = 0;   //!< index into GateNetlist::groupNames()
+    uint32_t aux = 0;     //!< MacroOut: (macro << 16)|(port << 8)|bit
+    bool init = false;    //!< Dff reset value
+    bool dead = false;    //!< swept by dead-gate elimination
+    std::string name;     //!< post-synthesis name (Dffs and macros only)
+};
+
+/** A word-level port of the netlist (bundle of bit nets, LSB first). */
+struct BitPort
+{
+    std::string name;
+    std::vector<NetId> bits;
+};
+
+/** An SRAM macro. */
+struct MacroMem
+{
+    std::string name;
+    unsigned width = 0;
+    uint64_t depth = 0;
+    bool syncRead = false;
+    uint32_t group = 0;
+
+    struct ReadPort
+    {
+        std::vector<NetId> addr;
+        std::vector<NetId> data; //!< MacroOut nodes
+        NetId en = kNoNet;       //!< kNoNet = always enabled
+    };
+    struct WritePort
+    {
+        std::vector<NetId> addr;
+        std::vector<NetId> data;
+        NetId en = kNoNet;
+    };
+    std::vector<ReadPort> reads;
+    std::vector<WritePort> writes;
+    /** Reset contents (mirrors rtl::MemInfo::init). */
+    std::vector<uint64_t> init;
+};
+
+/** Register-retiming bookkeeping exported by synthesis for replay. */
+struct RetimeNetInfo
+{
+    std::string name;
+    unsigned latency = 0;
+    /** Gate nets of each region input (one bit vector per RTL input). */
+    std::vector<std::vector<NetId>> inputNets;
+    /** Names of the retimed DFFs synthesis inserted. */
+    std::vector<std::string> dffNames;
+};
+
+/** A complete gate-level netlist. */
+class GateNetlist
+{
+  public:
+    NetId
+    addNode(GateNode node)
+    {
+        nodes.push_back(std::move(node));
+        return static_cast<NetId>(nodes.size() - 1);
+    }
+
+    const GateNode &node(NetId id) const { return nodes[id]; }
+    GateNode &node(NetId id) { return nodes[id]; }
+    size_t numNodes() const { return nodes.size(); }
+
+    std::vector<BitPort> &inputs() { return inputPorts; }
+    const std::vector<BitPort> &inputs() const { return inputPorts; }
+    std::vector<BitPort> &outputs() { return outputPorts; }
+    const std::vector<BitPort> &outputs() const { return outputPorts; }
+
+    std::vector<MacroMem> &macros() { return macroMems; }
+    const std::vector<MacroMem> &macros() const { return macroMems; }
+
+    std::vector<RetimeNetInfo> &retime() { return retimeInfos; }
+    const std::vector<RetimeNetInfo> &retime() const { return retimeInfos; }
+
+    /** Register an instance-path group; @return its index. */
+    uint32_t addGroup(const std::string &path);
+    const std::vector<std::string> &groupNames() const { return groups; }
+
+    /** All Dff nets, in creation order. */
+    const std::vector<NetId> &dffs() const { return dffNets; }
+    void noteDff(NetId id) { dffNets.push_back(id); }
+
+    /** Find a Dff net by its post-synthesis name; kNoNet if absent. */
+    NetId findDff(const std::string &name) const;
+
+    int findInput(const std::string &name) const;
+    int findOutput(const std::string &name) const;
+    int findMacro(const std::string &name) const;
+
+    /** Live (non-dead) gate count, by cell type and total. */
+    uint64_t liveGateCount() const;
+    /** Total cell area (um^2), live gates + macros. */
+    double totalAreaUm2() const;
+
+    /** Mark gates not reachable from outputs/state as dead. */
+    void sweepDeadGates();
+
+  private:
+    std::vector<GateNode> nodes;
+    std::vector<BitPort> inputPorts;
+    std::vector<BitPort> outputPorts;
+    std::vector<MacroMem> macroMems;
+    std::vector<RetimeNetInfo> retimeInfos;
+    std::vector<std::string> groups;
+    std::map<std::string, uint32_t> groupIndex;
+    std::vector<NetId> dffNets;
+    mutable std::map<std::string, NetId> dffByName; //!< lazy cache
+};
+
+} // namespace gate
+} // namespace strober
+
+#endif // STROBER_GATE_NETLIST_H

@@ -1,0 +1,148 @@
+#include "gate/placement.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace strober {
+namespace gate {
+
+double
+Placement::totalWireCapFf() const
+{
+    double total = 0;
+    for (double c : netWireCapFf)
+        total += c;
+    return total;
+}
+
+Placement
+place(const GateNetlist &nl)
+{
+    const LibraryConstants &lib = libraryConstants();
+    Placement p;
+
+    // --- Block areas by hierarchy group --------------------------------
+    size_t numGroups = nl.groupNames().size();
+    p.blocks.resize(numGroups);
+    for (size_t g = 0; g < numGroups; ++g)
+        p.blocks[g].name = nl.groupNames()[g];
+
+    for (NetId id = 0; id < nl.numNodes(); ++id) {
+        const GateNode &n = nl.node(id);
+        if (n.dead || n.type == CellType::PrimaryInput ||
+            n.type == CellType::MacroOut) {
+            continue;
+        }
+        BlockPlacement &blk = p.blocks[n.group];
+        blk.areaUm2 += cellSpec(n.type).areaUm2;
+        ++blk.gates;
+    }
+    for (const MacroMem &m : nl.macros()) {
+        BlockPlacement &blk = p.blocks[m.group];
+        uint64_t bits = static_cast<uint64_t>(m.width) * m.depth;
+        blk.areaUm2 += lib.sramAreaUm2PerBit * static_cast<double>(bits);
+        blk.macroBits += bits;
+    }
+
+    double totalArea = 0;
+    for (const BlockPlacement &b : p.blocks)
+        totalArea += b.areaUm2;
+    double dieArea = totalArea / p.utilization;
+    double die = std::sqrt(std::max(dieArea, 1.0));
+    p.dieWidthUm = die;
+    p.dieHeightUm = die;
+
+    // --- Shelf-pack blocks, largest first -------------------------------
+    std::vector<size_t> order(numGroups);
+    for (size_t i = 0; i < numGroups; ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return p.blocks[a].areaUm2 > p.blocks[b].areaUm2;
+    });
+
+    double cursorX = 0, cursorY = 0, shelfH = 0;
+    for (size_t gi : order) {
+        BlockPlacement &blk = p.blocks[gi];
+        double blockArea = blk.areaUm2 / p.utilization;
+        double w = std::sqrt(std::max(blockArea, 1.0));
+        double h = w;
+        if (cursorX + w > die + 1e-9) {
+            cursorX = 0;
+            cursorY += shelfH;
+            shelfH = 0;
+        }
+        blk.x0 = cursorX;
+        blk.y0 = cursorY;
+        blk.x1 = cursorX + w;
+        blk.y1 = cursorY + h;
+        cursorX += w;
+        shelfH = std::max(shelfH, h);
+    }
+    p.dieHeightUm = std::max(die, cursorY + shelfH);
+
+    // --- Row placement of gates inside their block ----------------------
+    p.gateX.assign(nl.numNodes(), 0.0f);
+    p.gateY.assign(nl.numNodes(), 0.0f);
+    std::vector<uint32_t> blockFill(numGroups, 0);
+    std::vector<uint32_t> blockCols(numGroups, 1);
+    for (size_t g = 0; g < numGroups; ++g) {
+        const BlockPlacement &blk = p.blocks[g];
+        double w = blk.x1 - blk.x0;
+        // Rough site pitch: average cell ~1.5 um wide.
+        blockCols[g] = std::max(1u, static_cast<uint32_t>(w / 1.5));
+    }
+    for (NetId id = 0; id < nl.numNodes(); ++id) {
+        const GateNode &n = nl.node(id);
+        if (n.dead)
+            continue;
+        if (n.type == CellType::PrimaryInput) {
+            // Pads along the bottom edge.
+            p.gateX[id] = static_cast<float>((id % 997) * die / 997.0);
+            p.gateY[id] = 0.0f;
+            continue;
+        }
+        const BlockPlacement &blk = p.blocks[n.group];
+        uint32_t slot = blockFill[n.group]++;
+        uint32_t cols = blockCols[n.group];
+        double x = blk.x0 + (slot % cols) * 1.5 + 0.75;
+        double y = blk.y0 + (slot / cols) * 1.5 + 0.75;
+        p.gateX[id] = static_cast<float>(std::min(x, blk.x1));
+        p.gateY[id] = static_cast<float>(std::min(y, blk.y1));
+    }
+
+    // --- Half-perimeter wire length per net -----------------------------
+    p.netWireCapFf.assign(nl.numNodes(), 0.0);
+    std::vector<float> minX(nl.numNodes()), maxX(nl.numNodes());
+    std::vector<float> minY(nl.numNodes()), maxY(nl.numNodes());
+    for (NetId id = 0; id < nl.numNodes(); ++id) {
+        minX[id] = maxX[id] = p.gateX[id];
+        minY[id] = maxY[id] = p.gateY[id];
+    }
+    auto extend = [&](NetId net, NetId sink) {
+        minX[net] = std::min(minX[net], p.gateX[sink]);
+        maxX[net] = std::max(maxX[net], p.gateX[sink]);
+        minY[net] = std::min(minY[net], p.gateY[sink]);
+        maxY[net] = std::max(maxY[net], p.gateY[sink]);
+    };
+    for (NetId id = 0; id < nl.numNodes(); ++id) {
+        const GateNode &n = nl.node(id);
+        if (n.dead)
+            continue;
+        for (NetId in : n.in) {
+            if (in != kNoNet)
+                extend(in, id);
+        }
+    }
+    for (NetId id = 0; id < nl.numNodes(); ++id) {
+        if (nl.node(id).dead)
+            continue;
+        double hpwl = (maxX[id] - minX[id]) + (maxY[id] - minY[id]);
+        p.netWireCapFf[id] = hpwl * lib.wireCapFfPerUm;
+    }
+    return p;
+}
+
+} // namespace gate
+} // namespace strober

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Floorplanning and placement — the repository's IC Compiler substitute
+ * (paper Figure 5, Figure 6). Instances are clustered by their RTL
+ * hierarchy group into rectangular blocks packed onto a near-square die;
+ * per-net wire capacitance is estimated from half-perimeter wire length.
+ * The power analysis consumes the wire capacitances; the Figure-6 bench
+ * prints the block floorplan.
+ */
+
+#ifndef STROBER_GATE_PLACEMENT_H
+#define STROBER_GATE_PLACEMENT_H
+
+#include <string>
+#include <vector>
+
+#include "gate/netlist.h"
+
+namespace strober {
+namespace gate {
+
+/** One placed hierarchy block. */
+struct BlockPlacement
+{
+    std::string name;
+    double areaUm2 = 0;
+    double x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+    uint64_t gates = 0;
+    uint64_t macroBits = 0;
+};
+
+/** Placement result: per-net wire caps and the block floorplan. */
+struct Placement
+{
+    double dieWidthUm = 0;
+    double dieHeightUm = 0;
+    double utilization = 0.7; //!< placement density target
+    std::vector<BlockPlacement> blocks;      //!< by group index
+    std::vector<double> netWireCapFf;        //!< per net (driver-indexed)
+    std::vector<float> gateX, gateY;         //!< per gate location
+
+    double totalWireCapFf() const;
+};
+
+/** Place @p netlist and estimate wire parasitics. */
+Placement place(const GateNetlist &netlist);
+
+} // namespace gate
+} // namespace strober
+
+#endif // STROBER_GATE_PLACEMENT_H

@@ -1,0 +1,94 @@
+#include "gate/replay.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace strober {
+namespace gate {
+
+GateReplayResult
+replayOnGate(GateSimulator &gsim, const rtl::Design &target,
+             const MatchTable &table, const fame::ReplayableSnapshot &snap,
+             LoaderKind loader)
+{
+    if (!snap.complete)
+        fatal("replaying an incomplete snapshot");
+    const GateNetlist &nl = gsim.netlist();
+
+    GateReplayResult result;
+    gsim.reset();
+
+    // --- Retiming warm-up (Section IV-C3) --------------------------------
+    // Force every region's inputs with its captured history so the moved
+    // registers reach the values they must hold at the capture cycle.
+    unsigned maxLat = 0;
+    for (const RetimeNetInfo &r : nl.retime())
+        maxLat = std::max(maxLat, r.latency);
+    if (maxLat > 0) {
+        if (snap.retimeHistory.size() != nl.retime().size())
+            fatal("snapshot retime history does not match the netlist");
+        for (unsigned t = 0; t < maxLat; ++t) {
+            for (size_t ri = 0; ri < nl.retime().size(); ++ri) {
+                const RetimeNetInfo &region = nl.retime()[ri];
+                const auto &history = snap.retimeHistory[ri];
+                // The last `latency` warm-up cycles carry this region's
+                // history; earlier cycles hold its oldest value.
+                unsigned lat = region.latency;
+                size_t idx = 0;
+                if (t + lat >= maxLat && !history.empty()) {
+                    idx = std::min(history.size() - 1,
+                                   static_cast<size_t>(t + lat - maxLat));
+                }
+                if (history.empty())
+                    continue;
+                const std::vector<uint64_t> &values = history[idx];
+                for (size_t in = 0; in < region.inputNets.size(); ++in) {
+                    const std::vector<NetId> &nets = region.inputNets[in];
+                    uint64_t v = values.at(in);
+                    for (size_t b = 0; b < nets.size(); ++b)
+                        gsim.forceNet(nets[b], bit(v, b));
+                }
+            }
+            gsim.step();
+        }
+        gsim.releaseForces();
+    }
+
+    // --- State loading ----------------------------------------------------
+    result.load = loadState(gsim, target, table, snap.state, loader);
+
+    // --- Drive the I/O trace and verify outputs --------------------------
+    gsim.clearActivity();
+    for (size_t t = 0; t < snap.inputTrace.size(); ++t) {
+        const auto &inputs = snap.inputTrace[t];
+        for (size_t i = 0; i < inputs.size(); ++i)
+            gsim.pokePort(i, inputs[i]);
+
+        const auto &expected = snap.outputTrace[t];
+        for (size_t o = 0; o < nl.outputs().size(); ++o) {
+            uint64_t got = gsim.peekPort(o);
+            if (got != expected[o]) {
+                ++result.outputMismatches;
+                if (result.firstMismatch.empty()) {
+                    result.firstMismatch = strfmt(
+                        "cycle +%zu output '%s': got 0x%llx expected 0x%llx",
+                        t, nl.outputs()[o].name.c_str(),
+                        (unsigned long long)got,
+                        (unsigned long long)expected[o]);
+                }
+            }
+        }
+        gsim.step();
+        ++result.cyclesReplayed;
+    }
+
+    result.activity.netToggles = gsim.toggleCounts();
+    result.activity.macroAccesses = gsim.macroStats();
+    result.activity.cycles = gsim.activityCycles();
+    return result;
+}
+
+} // namespace gate
+} // namespace strober

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Gate-level snapshot replay (paper Sections III-B, IV-C): warm the
+ * retimed regions by forcing their inputs from the captured history,
+ * load the RTL state through the matching table, drive the recorded
+ * input tokens for L cycles while verifying every output token, and
+ * collect the switching activity the power analysis consumes.
+ */
+
+#ifndef STROBER_GATE_REPLAY_H
+#define STROBER_GATE_REPLAY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fame/token_sim.h"
+#include "gate/gate_sim.h"
+#include "gate/matching.h"
+#include "gate/state_loader.h"
+
+namespace strober {
+namespace gate {
+
+/** Activity extracted from one replay (the "SAIF" of this flow). */
+struct ActivityReport
+{
+    std::vector<uint64_t> netToggles;
+    std::vector<MacroStats> macroAccesses;
+    uint64_t cycles = 0;
+};
+
+/** Result of replaying one snapshot at gate level. */
+struct GateReplayResult
+{
+    uint64_t cyclesReplayed = 0;
+    uint64_t outputMismatches = 0;
+    std::string firstMismatch;
+    LoadReport load;
+    ActivityReport activity;
+
+    bool ok() const { return outputMismatches == 0; }
+};
+
+/**
+ * Replay @p snap on @p gsim. The simulator is reset first; snapshots are
+ * independent, so callers may reuse one simulator across replays (or use
+ * several in parallel processes, as the paper does).
+ */
+GateReplayResult replayOnGate(GateSimulator &gsim, const rtl::Design &target,
+                              const MatchTable &table,
+                              const fame::ReplayableSnapshot &snap,
+                              LoaderKind loader = LoaderKind::FastVpi);
+
+} // namespace gate
+} // namespace strober
+
+#endif // STROBER_GATE_REPLAY_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * SAIF (Switching Activity Interchange Format) emission. In the paper's
+ * flow, VCS writes a SAIF file per replayed snapshot and PrimeTime PX
+ * consumes it ("We provide the switching activity interface format
+ * (SAIF) files to the power analysis tool", Section IV-E) — the format
+ * also being what makes the power-analysis time independent of the
+ * replay length. This module renders an ActivityReport as a standard
+ * backward-SAIF file so external power tools could consume this flow's
+ * activity directly.
+ *
+ * Duty cycles (T0/T1) require per-net high-time, which the gate
+ * simulator collects only when duty tracking is enabled
+ * (GateSimulator::enableDutyTracking); otherwise T0/T1 are split evenly
+ * and only TC (toggle counts) carries information.
+ */
+
+#ifndef STROBER_GATE_SAIF_H
+#define STROBER_GATE_SAIF_H
+
+#include <string>
+
+#include "gate/netlist.h"
+#include "gate/replay.h"
+
+namespace strober {
+namespace gate {
+
+struct SaifOptions
+{
+    std::string designName = "top";
+    double clockHz = 1e9;
+    /** Per-net cycles-at-1, parallel to nets; empty = assume 50/50. */
+    const std::vector<uint64_t> *highCycles = nullptr;
+    /** Skip nets with zero toggles to keep files small. */
+    bool omitQuiet = false;
+};
+
+/** Render @p activity as a SAIF 2.0 document. */
+std::string writeSaif(const GateNetlist &netlist,
+                      const ActivityReport &activity,
+                      const SaifOptions &options);
+
+} // namespace gate
+} // namespace strober
+
+#endif // STROBER_GATE_SAIF_H

@@ -1,0 +1,64 @@
+#include "gate/state_loader.h"
+
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace strober {
+namespace gate {
+
+double
+loaderCommandRate(LoaderKind kind)
+{
+    switch (kind) {
+      case LoaderKind::SlowScript:
+        return 400.0;
+      case LoaderKind::FastVpi:
+        return 20000.0;
+    }
+    return 0.0;
+}
+
+LoadReport
+loadState(GateSimulator &gsim, const rtl::Design &target,
+          const MatchTable &table, const fame::StateSnapshot &state,
+          LoaderKind kind)
+{
+    LoadReport report;
+
+    for (size_t i = 0; i < target.regs().size(); ++i) {
+        unsigned width = target.node(target.regs()[i].node).width;
+        if (table.regRetimed[i]) {
+            report.skippedRetimed += width;
+            continue;
+        }
+        uint64_t value = state.regValues.at(i);
+        const auto &nets = table.regToDff[i];
+        for (unsigned b = 0; b < width; ++b) {
+            gsim.setDff(nets[b], bit(value, b));
+            ++report.commands; // one deposit command per flip-flop
+        }
+    }
+
+    for (size_t mi = 0; mi < target.mems().size(); ++mi) {
+        const rtl::MemInfo &m = target.mems()[mi];
+        size_t macro = static_cast<size_t>(table.memToMacro[mi]);
+        for (uint64_t a = 0; a < m.depth; ++a) {
+            gsim.setMacroWord(macro, a, state.memContents.at(mi).at(a));
+            ++report.commands; // one word per command
+        }
+        if (m.syncRead) {
+            for (size_t p = 0; p < m.reads.size(); ++p) {
+                gsim.setMacroReadData(macro, p,
+                                      state.syncReadData.at(mi).at(p));
+                ++report.commands;
+            }
+        }
+    }
+
+    report.modeledSeconds =
+        static_cast<double>(report.commands) / loaderCommandRate(kind);
+    return report;
+}
+
+} // namespace gate
+} // namespace strober

@@ -1,0 +1,1064 @@
+#include "gate/synthesis.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace strober {
+namespace gate {
+
+namespace {
+
+using rtl::Design;
+using rtl::kNoNode;
+using rtl::NodeId;
+using rtl::Op;
+
+/** Sanitize an RTL hierarchical name into an ASIC-style instance name. */
+std::string
+mangle(const std::string &rtlName)
+{
+    std::string out;
+    out.reserve(rtlName.size());
+    for (char c : rtlName)
+        out += (c == '/' ? '_' : c);
+    return out;
+}
+
+class Synthesizer
+{
+  public:
+    explicit Synthesizer(const Design &design) : d(design) {}
+
+    SynthesisResult
+    run()
+    {
+        computeRegions();
+        createLeaves();
+        lowerAll();
+        connectState();
+        buildOutputs();
+        retimeRegions();
+        uint64_t preSweep = result.netlist.liveGateCount();
+        result.netlist.sweepDeadGates();
+        result.stats.sweptGates = preSweep - result.netlist.liveGateCount();
+        result.stats.liveGates = result.netlist.liveGateCount();
+        result.stats.dffCount = result.netlist.dffs().size();
+        return std::move(result);
+    }
+
+  private:
+    const Design &d;
+    SynthesisResult result;
+    GateNetlist &nl = result.netlist;
+
+    std::vector<std::vector<NetId>> bits; //!< per RTL node, LSB first
+    NetId tie0Net = kNoNet;
+    NetId tie1Net = kNoNet;
+    std::map<NetId, NetId> invCache; //!< net -> its inverse
+
+    /** region index per RTL node (-1 = none). */
+    std::vector<int32_t> regionOf;
+    /** region index per gate (-1 = none). */
+    std::vector<int32_t> gateRegion;
+    int32_t currentRegion = -1;
+    uint32_t currentGroup = 0;
+
+    std::map<std::string, unsigned> nameUniq;
+
+    // ------------------------------------------------------------------
+    // Gate-construction helpers with constant folding.
+    // ------------------------------------------------------------------
+
+    bool isTie0(NetId n) const { return nl.node(n).type == CellType::Tie0; }
+    bool isTie1(NetId n) const { return nl.node(n).type == CellType::Tie1; }
+
+    NetId
+    newGate(CellType type, NetId a = kNoNet, NetId b = kNoNet,
+            NetId c = kNoNet)
+    {
+        GateNode g;
+        g.type = type;
+        g.in[0] = a;
+        g.in[1] = b;
+        g.in[2] = c;
+        g.group = currentGroup;
+        NetId id = nl.addNode(std::move(g));
+        gateRegion.push_back(currentRegion);
+        return id;
+    }
+
+    NetId
+    tie0()
+    {
+        if (tie0Net == kNoNet) {
+            int32_t saved = currentRegion;
+            currentRegion = -1;
+            tie0Net = newGate(CellType::Tie0);
+            currentRegion = saved;
+        }
+        return tie0Net;
+    }
+
+    NetId
+    tie1()
+    {
+        if (tie1Net == kNoNet) {
+            int32_t saved = currentRegion;
+            currentRegion = -1;
+            tie1Net = newGate(CellType::Tie1);
+            currentRegion = saved;
+        }
+        return tie1Net;
+    }
+
+    NetId tieBit(bool v) { return v ? tie1() : tie0(); }
+
+    NetId
+    mkInv(NetId a)
+    {
+        if (isTie0(a))
+            return tie1();
+        if (isTie1(a))
+            return tie0();
+        auto it = invCache.find(a);
+        if (it != invCache.end())
+            return it->second;
+        // inv(inv(x)) == x
+        if (nl.node(a).type == CellType::Inv)
+            return nl.node(a).in[0];
+        NetId id = newGate(CellType::Inv, a);
+        invCache[a] = id;
+        return id;
+    }
+
+    NetId
+    mkAnd(NetId a, NetId b)
+    {
+        if (isTie0(a) || isTie0(b)) {
+            ++result.stats.foldedGates;
+            return tie0();
+        }
+        if (isTie1(a)) {
+            ++result.stats.foldedGates;
+            return b;
+        }
+        if (isTie1(b) || a == b) {
+            ++result.stats.foldedGates;
+            return a;
+        }
+        return newGate(CellType::And2, a, b);
+    }
+
+    NetId
+    mkOr(NetId a, NetId b)
+    {
+        if (isTie1(a) || isTie1(b)) {
+            ++result.stats.foldedGates;
+            return tie1();
+        }
+        if (isTie0(a)) {
+            ++result.stats.foldedGates;
+            return b;
+        }
+        if (isTie0(b) || a == b) {
+            ++result.stats.foldedGates;
+            return a;
+        }
+        return newGate(CellType::Or2, a, b);
+    }
+
+    NetId
+    mkXor(NetId a, NetId b)
+    {
+        if (a == b) {
+            ++result.stats.foldedGates;
+            return tie0();
+        }
+        if (isTie0(a)) {
+            ++result.stats.foldedGates;
+            return b;
+        }
+        if (isTie0(b)) {
+            ++result.stats.foldedGates;
+            return a;
+        }
+        if (isTie1(a)) {
+            ++result.stats.foldedGates;
+            return mkInv(b);
+        }
+        if (isTie1(b)) {
+            ++result.stats.foldedGates;
+            return mkInv(a);
+        }
+        return newGate(CellType::Xor2, a, b);
+    }
+
+    /** mux: sel ? a : b */
+    NetId
+    mkMux(NetId sel, NetId a, NetId b)
+    {
+        if (a == b) {
+            ++result.stats.foldedGates;
+            return a;
+        }
+        if (isTie1(sel)) {
+            ++result.stats.foldedGates;
+            return a;
+        }
+        if (isTie0(sel)) {
+            ++result.stats.foldedGates;
+            return b;
+        }
+        if (isTie1(a) && isTie0(b)) {
+            ++result.stats.foldedGates;
+            return sel;
+        }
+        if (isTie0(a) && isTie1(b)) {
+            ++result.stats.foldedGates;
+            return mkInv(sel);
+        }
+        return newGate(CellType::Mux2, sel, a, b);
+    }
+
+    /** Full adder; @return sum net, sets @p cout. */
+    NetId
+    fullAdder(NetId a, NetId b, NetId cin, NetId &cout)
+    {
+        NetId axb = mkXor(a, b);
+        NetId sum = mkXor(axb, cin);
+        cout = mkOr(mkAnd(a, b), mkAnd(axb, cin));
+        return sum;
+    }
+
+    /** Ripple add a + b + cin; vectors equal width. @p cout optional. */
+    std::vector<NetId>
+    rippleAdd(const std::vector<NetId> &a, const std::vector<NetId> &b,
+              NetId cin, NetId *coutOut = nullptr)
+    {
+        std::vector<NetId> sum(a.size());
+        NetId carry = cin;
+        for (size_t i = 0; i < a.size(); ++i) {
+            NetId cout;
+            sum[i] = fullAdder(a[i], b[i], carry, cout);
+            carry = cout;
+        }
+        if (coutOut)
+            *coutOut = carry;
+        return sum;
+    }
+
+    std::vector<NetId>
+    invertAll(const std::vector<NetId> &a)
+    {
+        std::vector<NetId> out(a.size());
+        for (size_t i = 0; i < a.size(); ++i)
+            out[i] = mkInv(a[i]);
+        return out;
+    }
+
+    NetId
+    orReduce(const std::vector<NetId> &a)
+    {
+        NetId acc = tie0();
+        for (NetId n : a)
+            acc = mkOr(acc, n);
+        return acc;
+    }
+
+    NetId
+    andReduce(const std::vector<NetId> &a)
+    {
+        NetId acc = tie1();
+        for (NetId n : a)
+            acc = mkAnd(acc, n);
+        return acc;
+    }
+
+    NetId
+    xorReduce(const std::vector<NetId> &a)
+    {
+        NetId acc = tie0();
+        for (NetId n : a)
+            acc = mkXor(acc, n);
+        return acc;
+    }
+
+    /** a < b (unsigned): not carry-out of a + ~b + 1. */
+    NetId
+    lessUnsigned(const std::vector<NetId> &a, const std::vector<NetId> &b)
+    {
+        NetId cout = kNoNet;
+        rippleAdd(a, invertAll(b), tie1(), &cout);
+        return mkInv(cout);
+    }
+
+    // ------------------------------------------------------------------
+    // Region computation (retiming).
+    // ------------------------------------------------------------------
+
+    void
+    computeRegions()
+    {
+        regionOf.assign(d.numNodes(), -1);
+        for (size_t ri = 0; ri < d.retimeRegions().size(); ++ri) {
+            const rtl::RetimeRegion &region = d.retimeRegions()[ri];
+            std::vector<bool> isInput(d.numNodes(), false);
+            for (NodeId in : region.inputs)
+                isInput[in] = true;
+            std::vector<bool> isRegionReg(d.numNodes(), false);
+            for (NodeId r : region.regs)
+                isRegionReg[r] = true;
+
+            std::vector<NodeId> stack{region.output};
+            std::vector<bool> seen(d.numNodes(), false);
+            while (!stack.empty()) {
+                NodeId id = stack.back();
+                stack.pop_back();
+                if (seen[id] || isInput[id])
+                    continue;
+                seen[id] = true;
+                const rtl::Node &n = d.node(id);
+                if (n.op == Op::Reg) {
+                    if (!isRegionReg[id])
+                        continue; // external register: a region source
+                    const rtl::RegInfo &info = d.regs()[n.aux];
+                    if (info.en != kNoNode &&
+                        d.node(info.en).name != "host_en") {
+                        fatal("retime region '%s': register '%s' has an "
+                              "enable; regions must be free-running",
+                              region.name.c_str(), n.name.c_str());
+                    }
+                    regionOf[id] = static_cast<int32_t>(ri);
+                    stack.push_back(info.next);
+                    continue;
+                }
+                if (n.op == Op::Input || n.op == Op::Const ||
+                    n.op == Op::MemRead) {
+                    continue; // sources; constants stay unregioned
+                }
+                regionOf[id] = static_cast<int32_t>(ri);
+                for (unsigned i = 0; i < rtl::opArity(n.op); ++i)
+                    stack.push_back(n.args[i]);
+            }
+            for (NodeId r : region.regs) {
+                if (!seen[r])
+                    fatal("retime region '%s': register '%s' is not in the "
+                          "output cone", region.name.c_str(),
+                          d.node(r).name.c_str());
+            }
+            // Region registers other than the output must not feed logic
+            // outside the region (their values cease to exist).
+            for (NodeId id = 0; id < d.numNodes(); ++id) {
+                if (regionOf[id] == static_cast<int32_t>(ri) ||
+                    id == region.output) {
+                    continue;
+                }
+                const rtl::Node &n = d.node(id);
+                for (unsigned i = 0; i < rtl::opArity(n.op); ++i) {
+                    NodeId arg = n.args[i];
+                    if (arg != region.output && isRegionReg[arg])
+                        fatal("retime region '%s': internal register '%s' "
+                              "is used outside the region",
+                              region.name.c_str(),
+                              d.node(arg).name.c_str());
+                }
+            }
+        }
+    }
+
+    /** Topological order where region registers follow their next-state. */
+    std::vector<NodeId>
+    levelizeForSynthesis()
+    {
+        size_t n = d.numNodes();
+        std::vector<uint32_t> pending(n, 0);
+        std::vector<std::vector<NodeId>> users(n);
+
+        auto deps = [&](NodeId id, auto &&visit) {
+            const rtl::Node &node = d.node(id);
+            if (node.op == Op::Reg) {
+                if (regionOf[id] >= 0)
+                    visit(d.regs()[node.aux].next); // dissolved register
+                return;
+            }
+            if (node.op == Op::MemRead) {
+                uint32_t memIdx = node.aux >> 16;
+                uint32_t portIdx = node.aux & 0xffff;
+                const rtl::MemInfo &m = d.mems()[memIdx];
+                if (!m.syncRead)
+                    visit(m.reads[portIdx].addr);
+                return;
+            }
+            for (unsigned i = 0; i < rtl::opArity(node.op); ++i)
+                visit(node.args[i]);
+        };
+
+        for (NodeId id = 0; id < n; ++id) {
+            deps(id, [&](NodeId dep) {
+                ++pending[id];
+                users[dep].push_back(id);
+            });
+        }
+        std::vector<NodeId> order, ready;
+        order.reserve(n);
+        for (NodeId id = 0; id < n; ++id) {
+            if (pending[id] == 0)
+                ready.push_back(id);
+        }
+        while (!ready.empty()) {
+            NodeId id = ready.back();
+            ready.pop_back();
+            order.push_back(id);
+            for (NodeId u : users[id]) {
+                if (--pending[u] == 0)
+                    ready.push_back(u);
+            }
+        }
+        if (order.size() != n)
+            fatal("retime region is not feed-forward (cycle through a "
+                  "dissolved register)");
+        return order;
+    }
+
+    // ------------------------------------------------------------------
+    // Leaf creation (pass 1).
+    // ------------------------------------------------------------------
+
+    uint32_t
+    groupOf(const rtl::Node &n)
+    {
+        return nl.addGroup(n.scope.empty() ? "top" : n.scope);
+    }
+
+    std::string
+    uniquify(const std::string &base)
+    {
+        unsigned &count = nameUniq[base];
+        std::string name =
+            count == 0 ? base : base + "_" + std::to_string(count);
+        ++count;
+        return name;
+    }
+
+    void
+    createLeaves()
+    {
+        bits.assign(d.numNodes(), {});
+        gateRegion.reserve(d.numNodes() * 8);
+        result.guide.regDffNames.resize(d.regs().size());
+        result.guide.regRetimed.assign(d.regs().size(), false);
+        result.guide.memMacroNames.resize(d.mems().size());
+
+        // Primary inputs.
+        for (NodeId id : d.inputs()) {
+            const rtl::Node &n = d.node(id);
+            BitPort port;
+            port.name = n.name;
+            currentGroup = groupOf(n);
+            currentRegion = -1;
+            for (unsigned b = 0; b < n.width; ++b) {
+                GateNode g;
+                g.type = CellType::PrimaryInput;
+                g.group = currentGroup;
+                g.name = mangle(n.name) + "[" + std::to_string(b) + "]";
+                NetId net = nl.addNode(std::move(g));
+                gateRegion.push_back(-1);
+                port.bits.push_back(net);
+            }
+            bits[id] = port.bits;
+            nl.inputs().push_back(std::move(port));
+        }
+
+        // Flip-flops for non-retimed registers.
+        for (size_t i = 0; i < d.regs().size(); ++i) {
+            const rtl::RegInfo &r = d.regs()[i];
+            NodeId id = r.node;
+            if (regionOf[id] >= 0) {
+                result.guide.regRetimed[i] = true;
+                continue; // dissolved by retiming
+            }
+            const rtl::Node &n = d.node(id);
+            currentGroup = groupOf(n);
+            currentRegion = -1;
+            std::string base = uniquify(mangle(n.name) + "_reg");
+            std::vector<NetId> q(n.width);
+            for (unsigned b = 0; b < n.width; ++b) {
+                GateNode g;
+                g.type = CellType::Dff;
+                g.group = currentGroup;
+                g.init = bit(r.init, b);
+                g.name = base + "_" + std::to_string(b) + "_";
+                std::string dffName = g.name;
+                NetId net = nl.addNode(std::move(g));
+                gateRegion.push_back(-1);
+                nl.noteDff(net);
+                result.guide.regDffNames[i].push_back(std::move(dffName));
+                q[b] = net;
+            }
+            bits[id] = std::move(q);
+        }
+
+        // SRAM macros; sync read-port data bits are state nodes.
+        for (size_t mi = 0; mi < d.mems().size(); ++mi) {
+            const rtl::MemInfo &m = d.mems()[mi];
+            MacroMem macro;
+            macro.name = uniquify(mangle(m.name) + "_macro");
+            macro.width = m.width;
+            macro.depth = m.depth;
+            macro.syncRead = m.syncRead;
+            macro.group = nl.addGroup(m.name);
+            macro.reads.resize(m.reads.size());
+            macro.writes.resize(m.writes.size());
+            macro.init = m.init;
+            result.guide.memMacroNames[mi] = macro.name;
+            for (size_t p = 0; p < m.reads.size(); ++p) {
+                const rtl::MemReadPort &port = m.reads[p];
+                std::vector<NetId> q(m.width);
+                for (unsigned b = 0; b < m.width; ++b) {
+                    GateNode g;
+                    g.type = CellType::MacroOut;
+                    g.group = macro.group;
+                    g.aux = (static_cast<uint32_t>(mi) << 16) |
+                            (static_cast<uint32_t>(p) << 8) | b;
+                    g.name = macro.name + "_q" + std::to_string(p) + "[" +
+                             std::to_string(b) + "]";
+                    NetId net = nl.addNode(std::move(g));
+                    gateRegion.push_back(-1);
+                    q[b] = net;
+                }
+                macro.reads[p].data = q;
+                bits[port.data] = std::move(q);
+            }
+            nl.macros().push_back(std::move(macro));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Combinational lowering (pass 2).
+    // ------------------------------------------------------------------
+
+    void
+    lowerAll()
+    {
+        for (NodeId id : levelizeForSynthesis()) {
+            const rtl::Node &n = d.node(id);
+            if (!bits[id].empty())
+                continue; // leaf created in pass 1
+            currentGroup = groupOf(n);
+            currentRegion = regionOf[id];
+            lower(id, n);
+            if (bits[id].size() != n.width)
+                panic("lowering '%s' (%s): produced %zu bits, want %u",
+                      n.name.c_str(), rtl::opName(n.op), bits[id].size(),
+                      n.width);
+        }
+    }
+
+    void
+    lower(NodeId id, const rtl::Node &n)
+    {
+        auto A = [&]() -> const std::vector<NetId> & {
+            return bits[n.args[0]];
+        };
+        auto B = [&]() -> const std::vector<NetId> & {
+            return bits[n.args[1]];
+        };
+
+        switch (n.op) {
+          case Op::Const: {
+            std::vector<NetId> v(n.width);
+            for (unsigned b = 0; b < n.width; ++b)
+                v[b] = tieBit(bit(n.imm, b));
+            bits[id] = std::move(v);
+            return;
+          }
+          case Op::Reg:
+            // Dissolved (retimed) register: pass through its next-state.
+            bits[id] = bits[d.regs()[n.aux].next];
+            return;
+          case Op::MemRead: {
+            // Async read: materialize MacroOut bits now (addr is lowered).
+            uint32_t mi = n.aux >> 16;
+            uint32_t p = n.aux & 0xffff;
+            MacroMem &macro = nl.macros()[mi];
+            std::vector<NetId> q(n.width);
+            for (unsigned b = 0; b < n.width; ++b) {
+                GateNode g;
+                g.type = CellType::MacroOut;
+                g.group = macro.group;
+                g.aux = (mi << 16) | (p << 8) | b;
+                g.name = macro.name + "_q" + std::to_string(p) + "[" +
+                         std::to_string(b) + "]";
+                NetId net = nl.addNode(std::move(g));
+                gateRegion.push_back(-1);
+                q[b] = net;
+            }
+            macro.reads[p].data = q;
+            bits[id] = std::move(q);
+            return;
+          }
+          case Op::Not:
+            bits[id] = invertAll(A());
+            return;
+          case Op::Neg: {
+            // -a = ~a + 1
+            std::vector<NetId> zero(n.width, tie0());
+            bits[id] = rippleAdd(invertAll(A()), zero, tie1());
+            return;
+          }
+          case Op::RedOr:
+            bits[id] = {orReduce(A())};
+            return;
+          case Op::RedAnd:
+            bits[id] = {andReduce(A())};
+            return;
+          case Op::RedXor:
+            bits[id] = {xorReduce(A())};
+            return;
+          case Op::SExt: {
+            std::vector<NetId> v = A();
+            NetId sign = v.back();
+            while (v.size() < n.width)
+                v.push_back(sign);
+            bits[id] = std::move(v);
+            return;
+          }
+          case Op::Pad: {
+            std::vector<NetId> v = A();
+            while (v.size() < n.width)
+                v.push_back(tie0());
+            bits[id] = std::move(v);
+            return;
+          }
+          case Op::Bits: {
+            const std::vector<NetId> &a = A();
+            std::vector<NetId> v;
+            for (unsigned b = n.bitsLo(); b <= n.bitsHi(); ++b)
+                v.push_back(a[b]);
+            bits[id] = std::move(v);
+            return;
+          }
+          case Op::Add:
+            bits[id] = rippleAdd(A(), B(), tie0());
+            return;
+          case Op::Sub:
+            bits[id] = rippleAdd(A(), invertAll(B()), tie1());
+            return;
+          case Op::Mul:
+            bits[id] = lowerMul(A(), B(), n.width);
+            return;
+          case Op::Divu:
+          case Op::Remu:
+            bits[id] = lowerDiv(A(), B(), n.op == Op::Remu);
+            return;
+          case Op::And: {
+            std::vector<NetId> v(n.width);
+            for (unsigned b = 0; b < n.width; ++b)
+                v[b] = mkAnd(A()[b], B()[b]);
+            bits[id] = std::move(v);
+            return;
+          }
+          case Op::Or: {
+            std::vector<NetId> v(n.width);
+            for (unsigned b = 0; b < n.width; ++b)
+                v[b] = mkOr(A()[b], B()[b]);
+            bits[id] = std::move(v);
+            return;
+          }
+          case Op::Xor: {
+            std::vector<NetId> v(n.width);
+            for (unsigned b = 0; b < n.width; ++b)
+                v[b] = mkXor(A()[b], B()[b]);
+            bits[id] = std::move(v);
+            return;
+          }
+          case Op::Shl:
+            bits[id] = lowerShift(A(), B(), /*right=*/false, kNoNet);
+            return;
+          case Op::Shru:
+            bits[id] = lowerShift(A(), B(), /*right=*/true, kNoNet);
+            return;
+          case Op::Sra:
+            bits[id] = lowerShift(A(), B(), /*right=*/true, A().back());
+            return;
+          case Op::Eq:
+            bits[id] = {mkInv(neBit(A(), B()))};
+            return;
+          case Op::Ne:
+            bits[id] = {neBit(A(), B())};
+            return;
+          case Op::Ltu:
+            bits[id] = {lessUnsigned(A(), B())};
+            return;
+          case Op::Lts: {
+            // Flip sign bits, then unsigned compare.
+            std::vector<NetId> a = A(), b = B();
+            a.back() = mkInv(a.back());
+            b.back() = mkInv(b.back());
+            bits[id] = {lessUnsigned(a, b)};
+            return;
+          }
+          case Op::Cat: {
+            std::vector<NetId> v = B(); // low part
+            for (NetId bitNet : A())
+                v.push_back(bitNet);
+            bits[id] = std::move(v);
+            return;
+          }
+          case Op::Mux: {
+            NetId sel = bits[n.args[0]][0];
+            const std::vector<NetId> &t = bits[n.args[1]];
+            const std::vector<NetId> &f = bits[n.args[2]];
+            std::vector<NetId> v(n.width);
+            for (unsigned b = 0; b < n.width; ++b)
+                v[b] = mkMux(sel, t[b], f[b]);
+            bits[id] = std::move(v);
+            return;
+          }
+          case Op::Input:
+            panic("input should have been created in pass 1");
+        }
+    }
+
+    NetId
+    neBit(const std::vector<NetId> &a, const std::vector<NetId> &b)
+    {
+        std::vector<NetId> diffs(a.size());
+        for (size_t i = 0; i < a.size(); ++i)
+            diffs[i] = mkXor(a[i], b[i]);
+        return orReduce(diffs);
+    }
+
+    std::vector<NetId>
+    lowerMul(const std::vector<NetId> &a, const std::vector<NetId> &b,
+             unsigned width)
+    {
+        // Shift-add array multiplier over the full product width.
+        std::vector<NetId> acc(width, tie0());
+        for (size_t i = 0; i < b.size() && i < width; ++i) {
+            std::vector<NetId> pp(width, tie0());
+            for (size_t j = 0; j < a.size() && i + j < width; ++j)
+                pp[i + j] = mkAnd(a[j], b[i]);
+            acc = rippleAdd(acc, pp, tie0());
+        }
+        return acc;
+    }
+
+    std::vector<NetId>
+    lowerDiv(const std::vector<NetId> &a, const std::vector<NetId> &b,
+             bool wantRemainder)
+    {
+        // Combinational restoring divider, one conditional-subtract row
+        // per quotient bit (MSB first).
+        size_t w = a.size();
+        std::vector<NetId> rem(w, tie0());
+        std::vector<NetId> quot(w, tie0());
+        for (size_t i = w; i-- > 0;) {
+            // rem = (rem << 1) | a[i]
+            std::vector<NetId> shifted(w);
+            shifted[0] = a[i];
+            for (size_t j = 1; j < w; ++j)
+                shifted[j] = rem[j - 1];
+            NetId msbOut = rem[w - 1]; // shifted-out bit (must join compare)
+            // Compare {msbOut, shifted} >= b  <=>  NOT ({msbOut,shifted} < b)
+            std::vector<NetId> wide = shifted;
+            wide.push_back(msbOut);
+            std::vector<NetId> bWide = b;
+            bWide.push_back(tie0());
+            NetId less = lessUnsigned(wide, bWide);
+            NetId geq = mkInv(less);
+            // diff = shifted - b (only valid when geq)
+            std::vector<NetId> diff =
+                rippleAdd(shifted, invertAll(b), tie1());
+            for (size_t j = 0; j < w; ++j)
+                rem[j] = mkMux(geq, diff[j], shifted[j]);
+            quot[i] = geq;
+        }
+        // RISC-V x/0 semantics: quotient all-ones, remainder = dividend.
+        NetId bZero = mkInv(orReduce(b));
+        std::vector<NetId> out(w);
+        for (size_t j = 0; j < w; ++j) {
+            out[j] = wantRemainder ? mkMux(bZero, a[j], rem[j])
+                                   : mkMux(bZero, tie1(), quot[j]);
+        }
+        return out;
+    }
+
+    std::vector<NetId>
+    lowerShift(const std::vector<NetId> &a, const std::vector<NetId> &amt,
+               bool right, NetId fill)
+    {
+        size_t w = a.size();
+        NetId fillNet = fill == kNoNet ? tie0() : fill;
+        unsigned stages = clog2(w);
+        std::vector<NetId> cur = a;
+        for (unsigned s = 0; s < stages && s < amt.size(); ++s) {
+            uint64_t dist = 1ULL << s;
+            std::vector<NetId> shifted(w);
+            for (size_t i = 0; i < w; ++i) {
+                size_t src;
+                bool inRange;
+                if (right) {
+                    src = i + dist;
+                    inRange = src < w;
+                } else {
+                    inRange = i >= dist;
+                    src = inRange ? i - dist : 0;
+                }
+                shifted[i] = inRange ? cur[src] : fillNet;
+            }
+            std::vector<NetId> next(w);
+            for (size_t i = 0; i < w; ++i)
+                next[i] = mkMux(amt[s], shifted[i], cur[i]);
+            cur = std::move(next);
+        }
+        // Any amount bit beyond the barrel range forces fill.
+        NetId big = tie0();
+        for (size_t s = stages; s < amt.size(); ++s)
+            big = mkOr(big, amt[s]);
+        if (!isTie0(big)) {
+            for (size_t i = 0; i < w; ++i)
+                cur[i] = mkMux(big, fillNet, cur[i]);
+        }
+        return cur;
+    }
+
+    // ------------------------------------------------------------------
+    // State connection (pass 3).
+    // ------------------------------------------------------------------
+
+    void
+    connectState()
+    {
+        for (size_t i = 0; i < d.regs().size(); ++i) {
+            const rtl::RegInfo &r = d.regs()[i];
+            if (regionOf[r.node] >= 0)
+                continue; // dissolved
+            const rtl::Node &n = d.node(r.node);
+            currentGroup = groupOf(n);
+            currentRegion = -1;
+            const std::vector<NetId> &q = bits[r.node];
+            const std::vector<NetId> &next = bits[r.next];
+            NetId en = r.en == kNoNode ? kNoNet : bits[r.en][0];
+            for (unsigned b = 0; b < n.width; ++b) {
+                NetId dNet = next[b];
+                if (en != kNoNet)
+                    dNet = mkMux(en, next[b], q[b]); // enable -> D-mux
+                nl.node(q[b]).in[0] = dNet;
+            }
+        }
+
+        for (size_t mi = 0; mi < d.mems().size(); ++mi) {
+            const rtl::MemInfo &m = d.mems()[mi];
+            MacroMem &macro = nl.macros()[mi];
+            for (size_t p = 0; p < m.reads.size(); ++p) {
+                macro.reads[p].addr = bits[m.reads[p].addr];
+                macro.reads[p].en = m.reads[p].en == kNoNode
+                                        ? kNoNet
+                                        : bits[m.reads[p].en][0];
+            }
+            for (size_t p = 0; p < m.writes.size(); ++p) {
+                macro.writes[p].addr = bits[m.writes[p].addr];
+                macro.writes[p].data = bits[m.writes[p].data];
+                macro.writes[p].en = m.writes[p].en == kNoNode
+                                         ? kNoNet
+                                         : bits[m.writes[p].en][0];
+            }
+        }
+    }
+
+    void
+    buildOutputs()
+    {
+        for (const rtl::OutputPort &o : d.outputs()) {
+            BitPort port;
+            port.name = o.name;
+            port.bits = bits[o.node];
+            nl.outputs().push_back(std::move(port));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Retiming insertion (pass 4).
+    // ------------------------------------------------------------------
+
+    void
+    retimeRegions()
+    {
+        for (size_t ri = 0; ri < d.retimeRegions().size(); ++ri)
+            retimeOne(static_cast<int32_t>(ri), d.retimeRegions()[ri]);
+    }
+
+    void
+    retimeOne(int32_t ri, const rtl::RetimeRegion &region)
+    {
+        RetimeNetInfo info;
+        info.name = region.name;
+        info.latency = region.latency;
+        for (NodeId in : region.inputs)
+            info.inputNets.push_back(bits[in]);
+
+        // Region gates in creation order are topologically sorted.
+        std::vector<NetId> regionGates;
+        std::vector<uint32_t> depth(nl.numNodes(), 0);
+        uint32_t maxDepth = 0;
+        for (NetId g = 0; g < nl.numNodes(); ++g) {
+            if (gateRegion[g] != ri)
+                continue;
+            regionGates.push_back(g);
+            uint32_t dIn = 0;
+            for (NetId in : nl.node(g).in) {
+                if (in != kNoNet)
+                    dIn = std::max(dIn, depth[in]);
+            }
+            depth[g] = dIn + 1;
+            maxDepth = std::max(maxDepth, depth[g]);
+        }
+
+        auto stageOf = [&](NetId net) -> uint32_t {
+            if (gateRegion[net] != ri)
+                return 0;
+            return std::min<uint64_t>(
+                region.latency,
+                static_cast<uint64_t>(depth[net]) * (region.latency + 1) /
+                    (maxDepth + 1));
+        };
+
+        // Memoized per-source pipeline chains.
+        std::map<NetId, std::vector<NetId>> chains;
+        unsigned dffCounter = 0;
+        auto delayed = [&](NetId src, uint32_t k) -> NetId {
+            if (k == 0)
+                return src;
+            std::vector<NetId> &chain = chains[src];
+            while (chain.size() < k) {
+                GateNode g;
+                g.type = CellType::Dff;
+                g.group = nl.addGroup(region.name);
+                g.init = false;
+                g.name = mangle(region.name) + "_rt_reg_" +
+                         std::to_string(dffCounter++) + "_";
+                g.in[0] = chain.empty() ? src : chain.back();
+                NetId net = nl.addNode(std::move(g));
+                gateRegion.push_back(-1); // chains are not re-retimed
+                nl.noteDff(net);
+                info.dffNames.push_back(nl.node(net).name);
+                chain.push_back(net);
+            }
+            return chain[k - 1];
+        };
+
+        // Insert DFFs on stage-crossing edges inside the region. Note:
+        // delayed() appends nodes, so re-fetch the gate after each call
+        // rather than holding a reference into the node vector.
+        for (NetId g : regionGates) {
+            uint32_t sg = stageOf(g);
+            for (unsigned pin = 0; pin < 3; ++pin) {
+                NetId in = nl.node(g).in[pin];
+                if (in == kNoNet)
+                    continue;
+                uint32_t sp = stageOf(in);
+                if (sg > sp) {
+                    NetId replacement = delayed(in, sg - sp);
+                    nl.node(g).in[pin] = replacement;
+                }
+            }
+        }
+
+        // Pad region outputs up to the full latency and repoint all
+        // external users.
+        const std::vector<NetId> outBits = bits[region.output];
+        std::map<NetId, NetId> outputRewrite;
+        for (NetId o : outBits) {
+            uint32_t k = region.latency - stageOf(o);
+            if (k > 0)
+                outputRewrite[o] = delayed(o, k);
+        }
+        if (!outputRewrite.empty())
+            rewriteUsers(outputRewrite, ri);
+        if (!outputRewrite.empty()) {
+            // Keep the RTL->net map coherent so later consumers of the
+            // region output (including later retimed regions recording
+            // their input nets) see the padded nets.
+            for (std::vector<NetId> &nodeBits : bits) {
+                for (NetId &bitNet : nodeBits) {
+                    auto it = outputRewrite.find(bitNet);
+                    if (it != outputRewrite.end())
+                        bitNet = it->second;
+                }
+            }
+        }
+
+        nl.retime().push_back(std::move(info));
+    }
+
+    /** Repoint every non-region user of the rewritten nets. */
+    void
+    rewriteUsers(const std::map<NetId, NetId> &rewrite, int32_t ri)
+    {
+        // Nets in the replacement chains must keep their original inputs.
+        std::vector<bool> isChainDff(nl.numNodes(), false);
+        for (const auto &[from, to] : rewrite) {
+            // Walk back the chain from `to` to `from`.
+            NetId cur = to;
+            while (cur != from && nl.node(cur).type == CellType::Dff) {
+                isChainDff[cur] = true;
+                cur = nl.node(cur).in[0];
+            }
+        }
+
+        auto fix = [&](NetId &net) {
+            auto it = rewrite.find(net);
+            if (it != rewrite.end())
+                net = it->second;
+        };
+
+        for (NetId g = 0; g < nl.numNodes(); ++g) {
+            if (isChainDff[g] || gateRegion[g] == ri)
+                continue;
+            for (NetId &in : nl.node(g).in) {
+                if (in != kNoNet)
+                    fix(in);
+            }
+        }
+        for (BitPort &p : nl.outputs())
+            for (NetId &bitNet : p.bits)
+                fix(bitNet);
+        for (MacroMem &m : nl.macros()) {
+            for (auto &r : m.reads) {
+                for (NetId &a : r.addr)
+                    fix(a);
+                if (r.en != kNoNet)
+                    fix(r.en);
+            }
+            for (auto &w : m.writes) {
+                for (NetId &a : w.addr)
+                    fix(a);
+                for (NetId &dn : w.data)
+                    fix(dn);
+                if (w.en != kNoNet)
+                    fix(w.en);
+            }
+        }
+    }
+};
+
+} // namespace
+
+SynthesisResult
+synthesize(const rtl::Design &target)
+{
+    Synthesizer synth(target);
+    SynthesisResult result = synth.run();
+    uint64_t retimed = 0;
+    for (const RetimeNetInfo &r : result.netlist.retime())
+        retimed += r.dffNames.size();
+    result.stats.retimedDffCount = retimed;
+    return result;
+}
+
+} // namespace gate
+} // namespace strober

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Logic synthesis: lower a word-level rtl::Design to a structural gate
+ * netlist over the cell library (the repository's Design Compiler
+ * substitute; paper Figure 5).
+ *
+ * What it does, and why each piece matters to the Strober flow:
+ *  - Bit-blasts word operations (ripple-carry adders, array multiplier,
+ *    restoring divider, barrel shifters, mux/logic per bit).
+ *  - Folds constants and sweeps dead gates (so gate names cannot be
+ *    derived from RTL names positionally — the reason the matching step
+ *    exists).
+ *  - Mangles and uniquifies flip-flop names the way ASIC tools do
+ *    ("core/fetch/pc" -> "core_fetch_pc_reg_3_"), and emits a guide file
+ *    (like DC's .svf) recording the renames; the matcher *verifies* every
+ *    guided candidate rather than trusting it (paper Section IV-C1).
+ *  - Maps rtl memories to SRAM macros (not flop arrays), as a real flow
+ *    would.
+ *  - Retimes annotated pipeline regions: the RTL pipeline registers are
+ *    dissolved and new register rows are inserted at delay-balanced cuts
+ *    of the bit-level cone, so no gate DFF corresponds to those RTL
+ *    registers (paper Section IV-C3) — snapshot replay must warm them by
+ *    forcing the region inputs instead.
+ */
+
+#ifndef STROBER_GATE_SYNTHESIS_H
+#define STROBER_GATE_SYNTHESIS_H
+
+#include <string>
+#include <vector>
+
+#include "gate/netlist.h"
+#include "rtl/ir.h"
+
+namespace strober {
+namespace gate {
+
+/**
+ * Synthesis guide info ("svf"): the rename records the synthesis tool
+ * hands to the formal-verification tool. Candidates only — the matcher
+ * must verify them.
+ */
+struct SynthesisGuide
+{
+    /** Per RTL register: post-synthesis DFF names, LSB first. Empty when
+     *  the register was dissolved by retiming. */
+    std::vector<std::vector<std::string>> regDffNames;
+    /** Per RTL register: true if dissolved by retiming. */
+    std::vector<bool> regRetimed;
+    /** Per RTL memory: macro instance name. */
+    std::vector<std::string> memMacroNames;
+};
+
+/** Synthesis statistics (reported by benches). */
+struct SynthesisStats
+{
+    uint64_t foldedGates = 0;   //!< constant-folded / strength-reduced
+    uint64_t sweptGates = 0;    //!< removed by dead-gate elimination
+    uint64_t liveGates = 0;
+    uint64_t dffCount = 0;
+    uint64_t retimedDffCount = 0;
+};
+
+/** Result bundle of one synthesis run. */
+struct SynthesisResult
+{
+    GateNetlist netlist;
+    SynthesisGuide guide;
+    SynthesisStats stats;
+};
+
+/** Synthesize @p target (the original, non-FAME design). */
+SynthesisResult synthesize(const rtl::Design &target);
+
+} // namespace gate
+} // namespace strober
+
+#endif // STROBER_GATE_SYNTHESIS_H

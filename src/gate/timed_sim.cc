@@ -1,0 +1,314 @@
+#include "gate/timed_sim.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace strober {
+namespace gate {
+
+namespace {
+
+/** Integer propagation delay in picoseconds for queue ordering. */
+uint32_t
+delayPsOf(CellType type)
+{
+    return static_cast<uint32_t>(cellSpec(type).delayPs);
+}
+
+constexpr uint32_t kMacroReadDelayPs = 250;
+
+} // namespace
+
+TimedGateSimulator::TimedGateSimulator(const GateNetlist &netlist)
+    : nl(netlist)
+{
+    fanout.resize(nl.numNodes());
+    for (NetId id = 0; id < nl.numNodes(); ++id) {
+        const GateNode &g = nl.node(id);
+        if (g.dead)
+            continue;
+        switch (g.type) {
+          case CellType::PrimaryInput:
+          case CellType::Tie0:
+          case CellType::Tie1:
+          case CellType::Dff:
+          case CellType::MacroOut:
+            break;
+          default:
+            for (NetId in : g.in) {
+                if (in != kNoNet)
+                    fanout[in].push_back(id);
+            }
+            break;
+        }
+    }
+    // Async macro read data depends on its port's address nets.
+    for (size_t mi = 0; mi < nl.macros().size(); ++mi) {
+        const MacroMem &m = nl.macros()[mi];
+        if (m.syncRead)
+            continue;
+        for (const auto &port : m.reads) {
+            for (NetId a : port.addr) {
+                for (NetId dataNet : port.data)
+                    fanout[a].push_back(dataNet);
+            }
+        }
+    }
+    reset();
+}
+
+void
+TimedGateSimulator::reset()
+{
+    values.assign(nl.numNodes(), 0);
+    toggles.assign(nl.numNodes(), 0);
+    dirty.assign(nl.numNodes(), 0);
+    for (NetId id = 0; id < nl.numNodes(); ++id) {
+        const GateNode &g = nl.node(id);
+        if (g.type == CellType::Tie1)
+            values[id] = 1;
+        else if (g.type == CellType::Dff)
+            values[id] = g.init;
+    }
+    macroContents.clear();
+    syncReadPending.clear();
+    for (const MacroMem &m : nl.macros()) {
+        macroContents.emplace_back(m.depth, 0);
+        for (size_t i = 0; i < m.init.size(); ++i)
+            macroContents.back()[i] = m.init[i];
+        syncReadPending.emplace_back(m.reads.size() * m.width, 0);
+    }
+    macroAcc.assign(nl.macros().size(), MacroStats{});
+    dffPending.assign(nl.numNodes(), 0);
+    cycleCount = 0;
+    activityStart = 0;
+    eventCount = 0;
+    pendingSources.clear();
+    // Settle the reset state once (without counting its activity).
+    for (NetId id = 0; id < nl.numNodes(); ++id) {
+        if (!nl.node(id).dead)
+            pendingSources.push_back(id);
+    }
+    settle();
+    clearActivity();
+}
+
+void
+TimedGateSimulator::pokePort(size_t idx, uint64_t value)
+{
+    const BitPort &p = nl.inputs().at(idx);
+    for (size_t b = 0; b < p.bits.size(); ++b) {
+        uint8_t v = (value >> b) & 1;
+        if (values[p.bits[b]] != v) {
+            values[p.bits[b]] = v;
+            ++toggles[p.bits[b]];
+            pendingSources.push_back(p.bits[b]);
+            settled = false;
+        }
+    }
+}
+
+uint64_t
+TimedGateSimulator::busValue(const std::vector<NetId> &bits) const
+{
+    uint64_t v = 0;
+    for (size_t b = 0; b < bits.size(); ++b)
+        v |= static_cast<uint64_t>(values[bits[b]] & 1) << b;
+    return v;
+}
+
+uint8_t
+TimedGateSimulator::evalGate(NetId id) const
+{
+    const GateNode &g = nl.node(id);
+    switch (g.type) {
+      case CellType::Buf:
+        return values[g.in[0]];
+      case CellType::Inv:
+        return values[g.in[0]] ^ 1;
+      case CellType::And2:
+        return values[g.in[0]] & values[g.in[1]];
+      case CellType::Or2:
+        return values[g.in[0]] | values[g.in[1]];
+      case CellType::Nand2:
+        return (values[g.in[0]] & values[g.in[1]]) ^ 1;
+      case CellType::Nor2:
+        return (values[g.in[0]] | values[g.in[1]]) ^ 1;
+      case CellType::Xor2:
+        return values[g.in[0]] ^ values[g.in[1]];
+      case CellType::Xnor2:
+        return values[g.in[0]] ^ values[g.in[1]] ^ 1;
+      case CellType::Mux2:
+        return values[g.in[0]] ? values[g.in[1]] : values[g.in[2]];
+      case CellType::MacroOut: {
+        uint32_t mi = g.aux >> 16;
+        uint32_t port = (g.aux >> 8) & 0xff;
+        uint32_t bitIdx = g.aux & 0xff;
+        const MacroMem &m = nl.macros()[mi];
+        uint64_t addr = busValue(m.reads[port].addr);
+        uint64_t word = addr < m.depth ? macroContents[mi][addr] : 0;
+        return static_cast<uint8_t>((word >> bitIdx) & 1);
+      }
+      default:
+        panic("evalGate on a non-combinational node");
+    }
+}
+
+void
+TimedGateSimulator::settle()
+{
+    // Min-heap of (time_ps, net) evaluation events.
+    using Event = std::pair<uint32_t, NetId>;
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        queue;
+
+    auto scheduleFanout = [&](NetId src, uint32_t now) {
+        for (NetId g : fanout[src]) {
+            uint32_t delay = nl.node(g).type == CellType::MacroOut
+                                 ? kMacroReadDelayPs
+                                 : delayPsOf(nl.node(g).type);
+            queue.push({now + delay, g});
+        }
+    };
+
+    for (NetId src : pendingSources)
+        scheduleFanout(src, 0);
+    pendingSources.clear();
+
+    while (!queue.empty()) {
+        auto [now, id] = queue.top();
+        queue.pop();
+        ++eventCount;
+        const GateNode &g = nl.node(id);
+        if (g.dead)
+            continue;
+        if (g.type == CellType::MacroOut &&
+            nl.macros()[g.aux >> 16].syncRead) {
+            continue; // state, not combinational
+        }
+        uint8_t out = evalGate(id);
+        if (out != values[id]) {
+            values[id] = out;
+            ++toggles[id];
+            scheduleFanout(id, now);
+        }
+    }
+    settled = true;
+}
+
+uint64_t
+TimedGateSimulator::peekPort(size_t idx)
+{
+    if (!settled)
+        settle();
+    return busValue(nl.outputs().at(idx).bits);
+}
+
+void
+TimedGateSimulator::step(uint64_t n)
+{
+    for (uint64_t k = 0; k < n; ++k) {
+        if (!settled)
+            settle();
+
+        for (NetId id : nl.dffs())
+            dffPending[id] = values[nl.node(id).in[0]];
+
+        for (size_t mi = 0; mi < nl.macros().size(); ++mi) {
+            const MacroMem &m = nl.macros()[mi];
+            if (m.syncRead) {
+                for (size_t p = 0; p < m.reads.size(); ++p) {
+                    const auto &port = m.reads[p];
+                    bool en = port.en == kNoNet || values[port.en];
+                    if (!en)
+                        continue;
+                    uint64_t addr = busValue(port.addr);
+                    uint64_t word =
+                        addr < m.depth ? macroContents[mi][addr] : 0;
+                    for (unsigned b = 0; b < m.width; ++b)
+                        syncReadPending[mi][p * m.width + b] =
+                            static_cast<uint8_t>((word >> b) & 1);
+                    ++macroAcc[mi].reads;
+                }
+            } else {
+                macroAcc[mi].reads += m.reads.size();
+            }
+        }
+        for (size_t mi = 0; mi < nl.macros().size(); ++mi) {
+            const MacroMem &m = nl.macros()[mi];
+            for (const auto &port : m.writes) {
+                bool en = port.en == kNoNet || values[port.en];
+                if (!en)
+                    continue;
+                uint64_t addr = busValue(port.addr);
+                if (addr < m.depth)
+                    macroContents[mi][addr] = busValue(port.data);
+                ++macroAcc[mi].writes;
+            }
+        }
+
+        for (NetId id : nl.dffs()) {
+            if (values[id] != dffPending[id]) {
+                values[id] = dffPending[id];
+                ++toggles[id];
+                pendingSources.push_back(id);
+                settled = false;
+            }
+        }
+        for (size_t mi = 0; mi < nl.macros().size(); ++mi) {
+            const MacroMem &m = nl.macros()[mi];
+            if (!m.syncRead)
+                continue;
+            for (size_t p = 0; p < m.reads.size(); ++p) {
+                const auto &port = m.reads[p];
+                bool en = port.en == kNoNet || values[port.en];
+                if (!en)
+                    continue;
+                for (unsigned b = 0; b < m.width; ++b) {
+                    NetId net = port.data[b];
+                    uint8_t v = syncReadPending[mi][p * m.width + b];
+                    if (values[net] != v) {
+                        values[net] = v;
+                        ++toggles[net];
+                        pendingSources.push_back(net);
+                        settled = false;
+                    }
+                }
+            }
+        }
+        // Macro CONTENT changes can alter async read data even when no
+        // address net toggled; re-schedule async data bits.
+        for (size_t mi = 0; mi < nl.macros().size(); ++mi) {
+            const MacroMem &m = nl.macros()[mi];
+            if (m.syncRead)
+                continue;
+            for (const auto &port : m.reads) {
+                for (NetId dataNet : port.data) {
+                    uint8_t v = evalGate(dataNet);
+                    if (values[dataNet] != v) {
+                        values[dataNet] = v;
+                        ++toggles[dataNet];
+                        pendingSources.push_back(dataNet);
+                        settled = false;
+                    }
+                }
+            }
+        }
+
+        ++cycleCount;
+    }
+}
+
+void
+TimedGateSimulator::clearActivity()
+{
+    std::fill(toggles.begin(), toggles.end(), 0);
+    macroAcc.assign(nl.macros().size(), MacroStats{});
+    activityStart = cycleCount;
+}
+
+} // namespace gate
+} // namespace strober

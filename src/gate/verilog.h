@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Structural Verilog export of a synthesized gate netlist. The paper's
+ * flow hands a Verilog netlist between every CAD tool (Figure 5); this
+ * exporter makes the internal netlist consumable by external tools
+ * (simulators, equivalence checkers, or a real PrimeTime run) — gates as
+ * primitive instances, flip-flops as always-blocks, SRAM macros as
+ * behavioral arrays.
+ */
+
+#ifndef STROBER_GATE_VERILOG_H
+#define STROBER_GATE_VERILOG_H
+
+#include <string>
+
+#include "gate/netlist.h"
+
+namespace strober {
+namespace gate {
+
+/** Render @p netlist as a self-contained Verilog module. */
+std::string writeVerilog(const GateNetlist &netlist,
+                         const std::string &moduleName);
+
+} // namespace gate
+} // namespace strober
+
+#endif // STROBER_GATE_VERILOG_H

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * A small two-pass RV32IM assembler: enough to write the paper's
+ * microbenchmarks and case-study workloads as readable assembly inside
+ * the repository (the paper uses the RISC-V GCC toolchain, which is not
+ * available offline; the assembler is the substitution).
+ *
+ * Supported syntax:
+ *  - labels        `loop:` (own line or before an instruction)
+ *  - comments      `# ...` or `// ...` to end of line
+ *  - directives    `.word v[, v...]`, `.space nbytes`, `.align nbytes`,
+ *                  `.org addr`
+ *  - registers     x0..x31 and ABI names (zero, ra, sp, a0.., s0.., t0..)
+ *  - all RV32IM instructions (see isa/encoding.h)
+ *  - pseudo-ops    nop, li, la, mv, not, neg, seqz, snez, j, jr, call,
+ *                  ret, beqz, bnez, bltz, bgez, bgtz, blez, bgt, ble,
+ *                  bgtu, bleu, csrr, rdcycle, rdinstret
+ *
+ * `li`/`la` with a label or out-of-range immediate always expand to
+ * exactly two instructions (lui+addi) so that label addresses are stable
+ * across passes.
+ */
+
+#ifndef STROBER_ISA_ASSEMBLER_H
+#define STROBER_ISA_ASSEMBLER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace strober {
+namespace isa {
+
+/** An assembled, loadable program image. */
+struct Program
+{
+    uint32_t base = 0;                //!< load address of words[0]
+    uint32_t entry = 0;               //!< initial PC
+    std::vector<uint32_t> words;      //!< contiguous 32-bit image
+    std::map<std::string, uint32_t> symbols; //!< label -> address
+
+    uint32_t sizeBytes() const
+    {
+        return static_cast<uint32_t>(words.size() * 4);
+    }
+    /** Address of a label (fatal if absent). */
+    uint32_t symbol(const std::string &name) const;
+};
+
+/**
+ * Assemble @p source at load address @p base. Calls fatal() with the
+ * offending line on any syntax or range error.
+ */
+Program assemble(const std::string &source, uint32_t base = 0);
+
+} // namespace isa
+} // namespace strober
+
+#endif // STROBER_ISA_ASSEMBLER_H

@@ -1,0 +1,329 @@
+#include "isa/encoding.h"
+
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace strober {
+namespace isa {
+
+namespace {
+
+// Major opcode fields (bits [6:0]).
+constexpr unsigned kOpLui = 0x37;
+constexpr unsigned kOpAuipc = 0x17;
+constexpr unsigned kOpJal = 0x6f;
+constexpr unsigned kOpJalr = 0x67;
+constexpr unsigned kOpBranch = 0x63;
+constexpr unsigned kOpLoad = 0x03;
+constexpr unsigned kOpStore = 0x23;
+constexpr unsigned kOpImm = 0x13;
+constexpr unsigned kOpReg = 0x33;
+constexpr unsigned kOpSystem = 0x73;
+constexpr unsigned kOpFence = 0x0f;
+
+} // namespace
+
+bool
+DecodedInst::writesRd() const
+{
+    switch (op) {
+      case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
+      case Opcode::Bge: case Opcode::Bltu: case Opcode::Bgeu:
+      case Opcode::Sb: case Opcode::Sh: case Opcode::Sw:
+      case Opcode::Fence: case Opcode::Ecall: case Opcode::Illegal:
+        return false;
+      default:
+        return rd != 0;
+    }
+}
+
+uint32_t
+encodeR(unsigned funct7, unsigned rs2, unsigned rs1, unsigned funct3,
+        unsigned rd, unsigned opcode)
+{
+    return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) |
+           (rd << 7) | opcode;
+}
+
+uint32_t
+encodeI(int32_t imm, unsigned rs1, unsigned funct3, unsigned rd,
+        unsigned opcode)
+{
+    return (static_cast<uint32_t>(imm & 0xfff) << 20) | (rs1 << 15) |
+           (funct3 << 12) | (rd << 7) | opcode;
+}
+
+uint32_t
+encodeS(int32_t imm, unsigned rs2, unsigned rs1, unsigned funct3,
+        unsigned opcode)
+{
+    uint32_t u = static_cast<uint32_t>(imm);
+    return (bits(u, 11, 5) << 25) | (rs2 << 20) | (rs1 << 15) |
+           (funct3 << 12) | (bits(u, 4, 0) << 7) | opcode;
+}
+
+uint32_t
+encodeB(int32_t imm, unsigned rs2, unsigned rs1, unsigned funct3,
+        unsigned opcode)
+{
+    uint32_t u = static_cast<uint32_t>(imm);
+    return (bit(u, 12) << 31) | (bits(u, 10, 5) << 25) | (rs2 << 20) |
+           (rs1 << 15) | (funct3 << 12) | (bits(u, 4, 1) << 8) |
+           (bit(u, 11) << 7) | opcode;
+}
+
+uint32_t
+encodeU(int32_t imm, unsigned rd, unsigned opcode)
+{
+    return (static_cast<uint32_t>(imm) & 0xfffff000u) | (rd << 7) | opcode;
+}
+
+uint32_t
+encodeJ(int32_t imm, unsigned rd, unsigned opcode)
+{
+    uint32_t u = static_cast<uint32_t>(imm);
+    return (bit(u, 20) << 31) | (bits(u, 10, 1) << 21) | (bit(u, 11) << 20) |
+           (bits(u, 19, 12) << 12) | (rd << 7) | opcode;
+}
+
+DecodedInst
+decode(uint32_t raw)
+{
+    DecodedInst d;
+    d.raw = raw;
+    unsigned opcode = raw & 0x7f;
+    unsigned funct3 = bits(raw, 14, 12);
+    unsigned funct7 = bits(raw, 31, 25);
+    d.rd = static_cast<uint8_t>(bits(raw, 11, 7));
+    d.rs1 = static_cast<uint8_t>(bits(raw, 19, 15));
+    d.rs2 = static_cast<uint8_t>(bits(raw, 24, 20));
+
+    auto immI = [&] {
+        return static_cast<int32_t>(raw) >> 20;
+    };
+    auto immS = [&] {
+        return static_cast<int32_t>(
+            (static_cast<int32_t>(raw & 0xfe000000) >> 20) |
+            bits(raw, 11, 7));
+    };
+    auto immB = [&] {
+        uint32_t u = (bit(raw, 31) << 12) | (bit(raw, 7) << 11) |
+                     (bits(raw, 30, 25) << 5) | (bits(raw, 11, 8) << 1);
+        return static_cast<int32_t>(signExtend(u, 13));
+    };
+    auto immU = [&] {
+        return static_cast<int32_t>(raw & 0xfffff000u);
+    };
+    auto immJ = [&] {
+        uint32_t u = (bit(raw, 31) << 20) | (bits(raw, 19, 12) << 12) |
+                     (bit(raw, 20) << 11) | (bits(raw, 30, 21) << 1);
+        return static_cast<int32_t>(signExtend(u, 21));
+    };
+
+    switch (opcode) {
+      case kOpLui:
+        d.op = Opcode::Lui;
+        d.imm = immU();
+        break;
+      case kOpAuipc:
+        d.op = Opcode::Auipc;
+        d.imm = immU();
+        break;
+      case kOpJal:
+        d.op = Opcode::Jal;
+        d.imm = immJ();
+        break;
+      case kOpJalr:
+        d.op = funct3 == 0 ? Opcode::Jalr : Opcode::Illegal;
+        d.imm = immI();
+        break;
+      case kOpBranch: {
+        static const Opcode map[8] = {Opcode::Beq, Opcode::Bne,
+                                      Opcode::Illegal, Opcode::Illegal,
+                                      Opcode::Blt, Opcode::Bge,
+                                      Opcode::Bltu, Opcode::Bgeu};
+        d.op = map[funct3];
+        d.imm = immB();
+        break;
+      }
+      case kOpLoad: {
+        static const Opcode map[8] = {Opcode::Lb, Opcode::Lh, Opcode::Lw,
+                                      Opcode::Illegal, Opcode::Lbu,
+                                      Opcode::Lhu, Opcode::Illegal,
+                                      Opcode::Illegal};
+        d.op = map[funct3];
+        d.imm = immI();
+        break;
+      }
+      case kOpStore: {
+        static const Opcode map[8] = {Opcode::Sb, Opcode::Sh, Opcode::Sw,
+                                      Opcode::Illegal, Opcode::Illegal,
+                                      Opcode::Illegal, Opcode::Illegal,
+                                      Opcode::Illegal};
+        d.op = map[funct3];
+        d.imm = immS();
+        break;
+      }
+      case kOpImm:
+        switch (funct3) {
+          case 0: d.op = Opcode::Addi; d.imm = immI(); break;
+          case 2: d.op = Opcode::Slti; d.imm = immI(); break;
+          case 3: d.op = Opcode::Sltiu; d.imm = immI(); break;
+          case 4: d.op = Opcode::Xori; d.imm = immI(); break;
+          case 6: d.op = Opcode::Ori; d.imm = immI(); break;
+          case 7: d.op = Opcode::Andi; d.imm = immI(); break;
+          case 1:
+            d.op = funct7 == 0 ? Opcode::Slli : Opcode::Illegal;
+            d.imm = static_cast<int32_t>(d.rs2);
+            break;
+          case 5:
+            if (funct7 == 0)
+                d.op = Opcode::Srli;
+            else if (funct7 == 0x20)
+                d.op = Opcode::Srai;
+            else
+                d.op = Opcode::Illegal;
+            d.imm = static_cast<int32_t>(d.rs2);
+            break;
+        }
+        break;
+      case kOpReg:
+        if (funct7 == 0x01) {
+            static const Opcode map[8] = {Opcode::Mul, Opcode::Mulh,
+                                          Opcode::Mulhsu, Opcode::Mulhu,
+                                          Opcode::Div, Opcode::Divu,
+                                          Opcode::Rem, Opcode::Remu};
+            d.op = map[funct3];
+        } else if (funct7 == 0x00) {
+            static const Opcode map[8] = {Opcode::Add, Opcode::Sll,
+                                          Opcode::Slt, Opcode::Sltu,
+                                          Opcode::Xor, Opcode::Srl,
+                                          Opcode::Or, Opcode::And};
+            d.op = map[funct3];
+        } else if (funct7 == 0x20) {
+            if (funct3 == 0)
+                d.op = Opcode::Sub;
+            else if (funct3 == 5)
+                d.op = Opcode::Sra;
+            else
+                d.op = Opcode::Illegal;
+        } else {
+            d.op = Opcode::Illegal;
+        }
+        break;
+      case kOpSystem:
+        if (funct3 == 2) { // CSRRS
+            d.op = Opcode::Csrrs;
+            d.csr = bits(raw, 31, 20);
+        } else if (raw == 0x00000073) {
+            d.op = Opcode::Ecall;
+        } else {
+            d.op = Opcode::Illegal;
+        }
+        break;
+      case kOpFence:
+        d.op = Opcode::Fence;
+        break;
+      default:
+        d.op = Opcode::Illegal;
+        break;
+    }
+    return d;
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Lui: return "lui";
+      case Opcode::Auipc: return "auipc";
+      case Opcode::Jal: return "jal";
+      case Opcode::Jalr: return "jalr";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Bltu: return "bltu";
+      case Opcode::Bgeu: return "bgeu";
+      case Opcode::Lb: return "lb";
+      case Opcode::Lh: return "lh";
+      case Opcode::Lw: return "lw";
+      case Opcode::Lbu: return "lbu";
+      case Opcode::Lhu: return "lhu";
+      case Opcode::Sb: return "sb";
+      case Opcode::Sh: return "sh";
+      case Opcode::Sw: return "sw";
+      case Opcode::Addi: return "addi";
+      case Opcode::Slti: return "slti";
+      case Opcode::Sltiu: return "sltiu";
+      case Opcode::Xori: return "xori";
+      case Opcode::Ori: return "ori";
+      case Opcode::Andi: return "andi";
+      case Opcode::Slli: return "slli";
+      case Opcode::Srli: return "srli";
+      case Opcode::Srai: return "srai";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Sll: return "sll";
+      case Opcode::Slt: return "slt";
+      case Opcode::Sltu: return "sltu";
+      case Opcode::Xor: return "xor";
+      case Opcode::Srl: return "srl";
+      case Opcode::Sra: return "sra";
+      case Opcode::Or: return "or";
+      case Opcode::And: return "and";
+      case Opcode::Mul: return "mul";
+      case Opcode::Mulh: return "mulh";
+      case Opcode::Mulhsu: return "mulhsu";
+      case Opcode::Mulhu: return "mulhu";
+      case Opcode::Div: return "div";
+      case Opcode::Divu: return "divu";
+      case Opcode::Rem: return "rem";
+      case Opcode::Remu: return "remu";
+      case Opcode::Csrrs: return "csrrs";
+      case Opcode::Fence: return "fence";
+      case Opcode::Ecall: return "ecall";
+      case Opcode::Illegal: return "illegal";
+    }
+    return "?";
+}
+
+std::string
+disassemble(uint32_t raw)
+{
+    DecodedInst d = decode(raw);
+    const char *n = opcodeName(d.op);
+    switch (d.op) {
+      case Opcode::Lui:
+      case Opcode::Auipc:
+        return strfmt("%s x%u, 0x%x", n, d.rd,
+                      static_cast<uint32_t>(d.imm) >> 12);
+      case Opcode::Jal:
+        return strfmt("%s x%u, %d", n, d.rd, d.imm);
+      case Opcode::Jalr:
+        return strfmt("%s x%u, %d(x%u)", n, d.rd, d.imm, d.rs1);
+      case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
+      case Opcode::Bge: case Opcode::Bltu: case Opcode::Bgeu:
+        return strfmt("%s x%u, x%u, %d", n, d.rs1, d.rs2, d.imm);
+      case Opcode::Lb: case Opcode::Lh: case Opcode::Lw:
+      case Opcode::Lbu: case Opcode::Lhu:
+        return strfmt("%s x%u, %d(x%u)", n, d.rd, d.imm, d.rs1);
+      case Opcode::Sb: case Opcode::Sh: case Opcode::Sw:
+        return strfmt("%s x%u, %d(x%u)", n, d.rs2, d.imm, d.rs1);
+      case Opcode::Addi: case Opcode::Slti: case Opcode::Sltiu:
+      case Opcode::Xori: case Opcode::Ori: case Opcode::Andi:
+      case Opcode::Slli: case Opcode::Srli: case Opcode::Srai:
+        return strfmt("%s x%u, x%u, %d", n, d.rd, d.rs1, d.imm);
+      case Opcode::Csrrs:
+        return strfmt("%s x%u, 0x%x, x%u", n, d.rd, d.csr, d.rs1);
+      case Opcode::Fence:
+      case Opcode::Ecall:
+      case Opcode::Illegal:
+        return n;
+      default: // R-type
+        return strfmt("%s x%u, x%u, x%u", n, d.rd, d.rs1, d.rs2);
+    }
+}
+
+} // namespace isa
+} // namespace strober

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * RV32IM instruction encodings, decoder and disassembler.
+ *
+ * The repository's target designs implement the RV32IM subset below (the
+ * paper's Rocket/BOOM implement RV64G; a 32-bit integer subset keeps gate
+ * counts tractable while exercising the same pipeline structures). FENCE
+ * decodes as a no-op; CSRRS is supported read-only for the cycle/instret
+ * counters the Figure-10 workload needs.
+ */
+
+#ifndef STROBER_ISA_ENCODING_H
+#define STROBER_ISA_ENCODING_H
+
+#include <cstdint>
+#include <string>
+
+namespace strober {
+namespace isa {
+
+/** Architectural opcodes after decode. */
+enum class Opcode : uint8_t {
+    Lui, Auipc, Jal, Jalr,
+    Beq, Bne, Blt, Bge, Bltu, Bgeu,
+    Lb, Lh, Lw, Lbu, Lhu,
+    Sb, Sh, Sw,
+    Addi, Slti, Sltiu, Xori, Ori, Andi, Slli, Srli, Srai,
+    Add, Sub, Sll, Slt, Sltu, Xor, Srl, Sra, Or, And,
+    Mul, Mulh, Mulhsu, Mulhu, Div, Divu, Rem, Remu,
+    Csrrs,   //!< read-only CSR access (cycle/instret and their 'h' halves)
+    Fence,   //!< decoded, executes as a no-op
+    Ecall,   //!< environment call; the SoC treats it as a halt request
+    Illegal,
+};
+
+/** CSR addresses implemented by the cores and the ISS. */
+enum Csr : uint32_t {
+    kCsrCycle = 0xc00,
+    kCsrInstret = 0xc02,
+    kCsrCycleH = 0xc80,
+    kCsrInstretH = 0xc82,
+    kCsrHpm3 = 0xc03,  //!< I$ miss counter on the SoCs
+    kCsrHpm4 = 0xc04,  //!< D$ miss counter on the SoCs
+};
+
+/** A decoded instruction. */
+struct DecodedInst
+{
+    Opcode op = Opcode::Illegal;
+    uint8_t rd = 0;
+    uint8_t rs1 = 0;
+    uint8_t rs2 = 0;
+    int32_t imm = 0;    //!< sign-extended immediate (shamt for shifts)
+    uint32_t csr = 0;   //!< CSR address for Csrrs
+    uint32_t raw = 0;
+
+    bool isLoad() const
+    {
+        return op >= Opcode::Lb && op <= Opcode::Lhu;
+    }
+    bool isStore() const
+    {
+        return op >= Opcode::Sb && op <= Opcode::Sw;
+    }
+    bool isBranch() const
+    {
+        return op >= Opcode::Beq && op <= Opcode::Bgeu;
+    }
+    bool isMulDiv() const
+    {
+        return op >= Opcode::Mul && op <= Opcode::Remu;
+    }
+    bool writesRd() const;
+};
+
+/** Decode one 32-bit instruction word. */
+DecodedInst decode(uint32_t raw);
+
+/** @return assembly text for @p raw ("addi x1, x2, -4"). */
+std::string disassemble(uint32_t raw);
+
+/** @return the mnemonic for an opcode ("addi"). */
+const char *opcodeName(Opcode op);
+
+// --- Encoders (used by the assembler and by tests) -----------------------
+
+uint32_t encodeR(unsigned funct7, unsigned rs2, unsigned rs1,
+                 unsigned funct3, unsigned rd, unsigned opcode);
+uint32_t encodeI(int32_t imm, unsigned rs1, unsigned funct3, unsigned rd,
+                 unsigned opcode);
+uint32_t encodeS(int32_t imm, unsigned rs2, unsigned rs1, unsigned funct3,
+                 unsigned opcode);
+uint32_t encodeB(int32_t imm, unsigned rs2, unsigned rs1, unsigned funct3,
+                 unsigned opcode);
+uint32_t encodeU(int32_t imm, unsigned rd, unsigned opcode);
+uint32_t encodeJ(int32_t imm, unsigned rd, unsigned opcode);
+
+} // namespace isa
+} // namespace strober
+
+#endif // STROBER_ISA_ENCODING_H

@@ -1,0 +1,324 @@
+#include "isa/iss.h"
+
+#include "isa/memmap.h"
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace strober {
+namespace isa {
+
+Iss::Iss(uint32_t ramBytes) : ram(ramBytes, 0)
+{
+    if (ramBytes % 4)
+        fatal("RAM size must be word aligned");
+}
+
+void
+Iss::loadProgram(const Program &program)
+{
+    if (program.base + program.sizeBytes() > ram.size())
+        fatal("program does not fit in %zu-byte RAM", ram.size());
+    for (size_t i = 0; i < program.words.size(); ++i)
+        writeWord(program.base + 4 * static_cast<uint32_t>(i),
+                  program.words[i]);
+    pcReg = program.entry;
+}
+
+void
+Iss::setReg(unsigned idx, uint32_t value)
+{
+    if (idx != 0)
+        regs[idx] = value;
+}
+
+uint32_t
+Iss::readWord(uint32_t addr) const
+{
+    if (addr % 4 || addr + 4 > ram.size())
+        fatal("ISS readWord 0x%08x out of range/misaligned", addr);
+    return static_cast<uint32_t>(ram[addr]) |
+           (static_cast<uint32_t>(ram[addr + 1]) << 8) |
+           (static_cast<uint32_t>(ram[addr + 2]) << 16) |
+           (static_cast<uint32_t>(ram[addr + 3]) << 24);
+}
+
+void
+Iss::writeWord(uint32_t addr, uint32_t value)
+{
+    if (addr % 4 || addr + 4 > ram.size())
+        fatal("ISS writeWord 0x%08x out of range/misaligned", addr);
+    ram[addr] = static_cast<uint8_t>(value);
+    ram[addr + 1] = static_cast<uint8_t>(value >> 8);
+    ram[addr + 2] = static_cast<uint8_t>(value >> 16);
+    ram[addr + 3] = static_cast<uint8_t>(value >> 24);
+}
+
+uint32_t
+Iss::load(uint32_t addr, unsigned bytes, bool isSigned)
+{
+    if (addr % bytes)
+        fatal("ISS misaligned %u-byte load at 0x%08x (pc 0x%08x)", bytes,
+              addr, pcReg);
+    if (addr + bytes > ram.size())
+        fatal("ISS load at 0x%08x outside RAM (pc 0x%08x)", addr, pcReg);
+    uint32_t v = 0;
+    for (unsigned i = 0; i < bytes; ++i)
+        v |= static_cast<uint32_t>(ram[addr + i]) << (8 * i);
+    if (isSigned)
+        v = static_cast<uint32_t>(signExtend(v, 8 * bytes));
+    return v;
+}
+
+void
+Iss::store(uint32_t addr, unsigned bytes, uint32_t value)
+{
+    if (addr % bytes)
+        fatal("ISS misaligned %u-byte store at 0x%08x (pc 0x%08x)", bytes,
+              addr, pcReg);
+    if (isMmio(addr)) {
+        if (addr == kMmioExit) {
+            stopped = true;
+            exitValue = value;
+        } else if (addr == kMmioPutchar) {
+            console += static_cast<char>(value & 0xff);
+        }
+        return;
+    }
+    if (addr + bytes > ram.size())
+        fatal("ISS store at 0x%08x outside RAM (pc 0x%08x)", addr, pcReg);
+    for (unsigned i = 0; i < bytes; ++i)
+        ram[addr + i] = static_cast<uint8_t>(value >> (8 * i));
+}
+
+Commit
+Iss::step()
+{
+    Commit c;
+    if (stopped)
+        return c;
+
+    uint32_t inst = readWord(pcReg);
+    DecodedInst d = decode(inst);
+    c.pc = pcReg;
+    c.inst = inst;
+    c.decoded = d;
+
+    uint32_t rs1 = regs[d.rs1];
+    uint32_t rs2 = regs[d.rs2];
+    uint32_t nextPc = pcReg + 4;
+    uint32_t result = 0;
+    bool writeRd = d.writesRd();
+
+    switch (d.op) {
+      case Opcode::Lui:
+        result = static_cast<uint32_t>(d.imm);
+        break;
+      case Opcode::Auipc:
+        result = pcReg + static_cast<uint32_t>(d.imm);
+        break;
+      case Opcode::Jal:
+        result = pcReg + 4;
+        nextPc = pcReg + static_cast<uint32_t>(d.imm);
+        break;
+      case Opcode::Jalr:
+        result = pcReg + 4;
+        nextPc = (rs1 + static_cast<uint32_t>(d.imm)) & ~1u;
+        break;
+      case Opcode::Beq:
+        if (rs1 == rs2) nextPc = pcReg + static_cast<uint32_t>(d.imm);
+        break;
+      case Opcode::Bne:
+        if (rs1 != rs2) nextPc = pcReg + static_cast<uint32_t>(d.imm);
+        break;
+      case Opcode::Blt:
+        if (static_cast<int32_t>(rs1) < static_cast<int32_t>(rs2))
+            nextPc = pcReg + static_cast<uint32_t>(d.imm);
+        break;
+      case Opcode::Bge:
+        if (static_cast<int32_t>(rs1) >= static_cast<int32_t>(rs2))
+            nextPc = pcReg + static_cast<uint32_t>(d.imm);
+        break;
+      case Opcode::Bltu:
+        if (rs1 < rs2) nextPc = pcReg + static_cast<uint32_t>(d.imm);
+        break;
+      case Opcode::Bgeu:
+        if (rs1 >= rs2) nextPc = pcReg + static_cast<uint32_t>(d.imm);
+        break;
+      case Opcode::Lb:
+        result = load(rs1 + static_cast<uint32_t>(d.imm), 1, true);
+        break;
+      case Opcode::Lh:
+        result = load(rs1 + static_cast<uint32_t>(d.imm), 2, true);
+        break;
+      case Opcode::Lw:
+        result = load(rs1 + static_cast<uint32_t>(d.imm), 4, false);
+        break;
+      case Opcode::Lbu:
+        result = load(rs1 + static_cast<uint32_t>(d.imm), 1, false);
+        break;
+      case Opcode::Lhu:
+        result = load(rs1 + static_cast<uint32_t>(d.imm), 2, false);
+        break;
+      case Opcode::Sb:
+        store(rs1 + static_cast<uint32_t>(d.imm), 1, rs2);
+        break;
+      case Opcode::Sh:
+        store(rs1 + static_cast<uint32_t>(d.imm), 2, rs2);
+        break;
+      case Opcode::Sw:
+        store(rs1 + static_cast<uint32_t>(d.imm), 4, rs2);
+        break;
+      case Opcode::Addi:
+        result = rs1 + static_cast<uint32_t>(d.imm);
+        break;
+      case Opcode::Slti:
+        result = static_cast<int32_t>(rs1) < d.imm;
+        break;
+      case Opcode::Sltiu:
+        result = rs1 < static_cast<uint32_t>(d.imm);
+        break;
+      case Opcode::Xori:
+        result = rs1 ^ static_cast<uint32_t>(d.imm);
+        break;
+      case Opcode::Ori:
+        result = rs1 | static_cast<uint32_t>(d.imm);
+        break;
+      case Opcode::Andi:
+        result = rs1 & static_cast<uint32_t>(d.imm);
+        break;
+      case Opcode::Slli:
+        result = rs1 << (d.imm & 31);
+        break;
+      case Opcode::Srli:
+        result = rs1 >> (d.imm & 31);
+        break;
+      case Opcode::Srai:
+        result =
+            static_cast<uint32_t>(static_cast<int32_t>(rs1) >> (d.imm & 31));
+        break;
+      case Opcode::Add:
+        result = rs1 + rs2;
+        break;
+      case Opcode::Sub:
+        result = rs1 - rs2;
+        break;
+      case Opcode::Sll:
+        result = rs1 << (rs2 & 31);
+        break;
+      case Opcode::Slt:
+        result = static_cast<int32_t>(rs1) < static_cast<int32_t>(rs2);
+        break;
+      case Opcode::Sltu:
+        result = rs1 < rs2;
+        break;
+      case Opcode::Xor:
+        result = rs1 ^ rs2;
+        break;
+      case Opcode::Srl:
+        result = rs1 >> (rs2 & 31);
+        break;
+      case Opcode::Sra:
+        result =
+            static_cast<uint32_t>(static_cast<int32_t>(rs1) >> (rs2 & 31));
+        break;
+      case Opcode::Or:
+        result = rs1 | rs2;
+        break;
+      case Opcode::And:
+        result = rs1 & rs2;
+        break;
+      case Opcode::Mul:
+        result = rs1 * rs2;
+        break;
+      case Opcode::Mulh:
+        result = static_cast<uint32_t>(
+            (static_cast<int64_t>(static_cast<int32_t>(rs1)) *
+             static_cast<int64_t>(static_cast<int32_t>(rs2))) >> 32);
+        break;
+      case Opcode::Mulhsu:
+        result = static_cast<uint32_t>(
+            (static_cast<int64_t>(static_cast<int32_t>(rs1)) *
+             static_cast<int64_t>(static_cast<uint64_t>(rs2))) >> 32);
+        break;
+      case Opcode::Mulhu:
+        result = static_cast<uint32_t>(
+            (static_cast<uint64_t>(rs1) * static_cast<uint64_t>(rs2)) >> 32);
+        break;
+      case Opcode::Div:
+        if (rs2 == 0)
+            result = UINT32_MAX;
+        else if (rs1 == 0x80000000u && rs2 == UINT32_MAX)
+            result = 0x80000000u; // overflow case
+        else
+            result = static_cast<uint32_t>(static_cast<int32_t>(rs1) /
+                                           static_cast<int32_t>(rs2));
+        break;
+      case Opcode::Divu:
+        result = rs2 == 0 ? UINT32_MAX : rs1 / rs2;
+        break;
+      case Opcode::Rem:
+        if (rs2 == 0)
+            result = rs1;
+        else if (rs1 == 0x80000000u && rs2 == UINT32_MAX)
+            result = 0;
+        else
+            result = static_cast<uint32_t>(static_cast<int32_t>(rs1) %
+                                           static_cast<int32_t>(rs2));
+        break;
+      case Opcode::Remu:
+        result = rs2 == 0 ? rs1 : rs1 % rs2;
+        break;
+      case Opcode::Csrrs:
+        c.isCsrRead = true;
+        switch (d.csr) {
+          case kCsrCycle: // untimed: cycle == instret
+          case kCsrInstret:
+            result = static_cast<uint32_t>(retired);
+            break;
+          case kCsrCycleH:
+          case kCsrInstretH:
+            result = static_cast<uint32_t>(retired >> 32);
+            break;
+          case kCsrHpm3:
+          case kCsrHpm4:
+            result = 0; // microarchitectural; cores supply real values
+            break;
+          default:
+            fatal("ISS: unimplemented CSR 0x%x at pc 0x%08x", d.csr, pcReg);
+        }
+        break;
+      case Opcode::Fence:
+        break;
+      case Opcode::Ecall:
+        stopped = true;
+        exitValue = regs[10]; // a0
+        break;
+      case Opcode::Illegal:
+        fatal("ISS: illegal instruction 0x%08x at pc 0x%08x", inst, pcReg);
+    }
+
+    if (writeRd) {
+        regs[d.rd] = result;
+        c.wroteRd = true;
+        c.rd = d.rd;
+        c.rdValue = result;
+    }
+    pcReg = nextPc;
+    ++retired;
+    return c;
+}
+
+void
+Iss::run(uint64_t maxInstructions)
+{
+    uint64_t executed = 0;
+    while (!stopped) {
+        step();
+        if (++executed >= maxInstructions)
+            fatal("ISS: exceeded %llu instructions without halting",
+                  (unsigned long long)maxInstructions);
+    }
+}
+
+} // namespace isa
+} // namespace strober

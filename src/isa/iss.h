@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Golden instruction-set simulator for the RV32IM subset.
+ *
+ * The ISS is the functional reference the RTL cores are verified against:
+ * the core testbenches compare their commit streams (pc, rd, value)
+ * instruction-by-instruction against Iss::step(). It is untimed — the
+ * cycle CSR reads as the instruction count.
+ */
+
+#ifndef STROBER_ISA_ISS_H
+#define STROBER_ISA_ISS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.h"
+#include "isa/encoding.h"
+
+namespace strober {
+namespace isa {
+
+/** Architectural effect of one retired instruction. */
+struct Commit
+{
+    uint32_t pc = 0;
+    uint32_t inst = 0;
+    DecodedInst decoded;
+    bool wroteRd = false;
+    uint8_t rd = 0;
+    uint32_t rdValue = 0;
+    bool isCsrRead = false; //!< value is timing-dependent; don't compare
+};
+
+/** Untimed RV32IM functional simulator. */
+class Iss
+{
+  public:
+    explicit Iss(uint32_t ramBytes = 1 << 20);
+
+    /** Copy a program image into RAM and set the PC to its entry. */
+    void loadProgram(const Program &program);
+
+    /** Execute one instruction; no-op when halted. */
+    Commit step();
+
+    /** Run until halted or @p maxInstructions executed. */
+    void run(uint64_t maxInstructions = 100'000'000);
+
+    bool halted() const { return stopped; }
+    uint32_t exitCode() const { return exitValue; }
+    uint64_t instret() const { return retired; }
+    const std::string &consoleOutput() const { return console; }
+
+    uint32_t pc() const { return pcReg; }
+    uint32_t reg(unsigned idx) const { return regs[idx]; }
+    void setReg(unsigned idx, uint32_t value);
+    void setPc(uint32_t value) { pcReg = value; }
+
+    /** Aligned word access into RAM (fatal outside RAM). */
+    uint32_t readWord(uint32_t addr) const;
+    void writeWord(uint32_t addr, uint32_t value);
+
+    uint32_t ramBytes() const { return static_cast<uint32_t>(ram.size()); }
+
+  private:
+    std::vector<uint8_t> ram;
+    uint32_t regs[32] = {};
+    uint32_t pcReg = 0;
+    uint64_t retired = 0;
+    bool stopped = false;
+    uint32_t exitValue = 0;
+    std::string console;
+
+    uint32_t load(uint32_t addr, unsigned bytes, bool isSigned);
+    void store(uint32_t addr, unsigned bytes, uint32_t value);
+};
+
+} // namespace isa
+} // namespace strober
+
+#endif // STROBER_ISA_ISS_H

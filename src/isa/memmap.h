@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The SoC memory map shared by the golden ISS, the RTL cores' testbench
+ * glue and the workloads.
+ *
+ * RAM occupies [0, ramBytes). The MMIO window plays the role of the
+ * paper's target I/O devices, which Strober maps to host software; writes
+ * to it are serviced by the simulation host, not by target RTL.
+ */
+
+#ifndef STROBER_ISA_MEMMAP_H
+#define STROBER_ISA_MEMMAP_H
+
+#include <cstdint>
+
+namespace strober {
+namespace isa {
+
+constexpr uint32_t kRamBase = 0x00000000;
+constexpr uint32_t kMmioBase = 0x40000000;
+/** Writing N here halts the program with exit code N. */
+constexpr uint32_t kMmioExit = kMmioBase + 0x0;
+/** Writing here prints the low byte to the host console. */
+constexpr uint32_t kMmioPutchar = kMmioBase + 0x4;
+
+constexpr bool
+isMmio(uint32_t addr)
+{
+    return addr >= kMmioBase && addr < kMmioBase + 0x1000;
+}
+
+} // namespace isa
+} // namespace strober
+
+#endif // STROBER_ISA_MEMMAP_H

@@ -1,0 +1,460 @@
+#include "rtl/builder.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace strober {
+namespace rtl {
+
+unsigned
+Signal::width() const
+{
+    if (!valid())
+        panic("width() on an invalid signal");
+    return b->designUnderConstruction().node(nid).width;
+}
+
+Signal
+Signal::bit(unsigned pos) const
+{
+    return b->extract(*this, pos, pos);
+}
+
+Signal
+Signal::bits(unsigned hi, unsigned lo) const
+{
+    return b->extract(*this, hi, lo);
+}
+
+Scope::Scope(Builder &b, const std::string &name) : builder(b)
+{
+    builder.pushScope(name);
+}
+
+Scope::~Scope()
+{
+    builder.popScope();
+}
+
+Builder::Builder(std::string designName) : d(std::move(designName)) {}
+
+NodeId
+Builder::addNodeStamped(Node n)
+{
+    std::string path = scopedName("");
+    if (!path.empty())
+        path.pop_back(); // drop trailing '/'
+    n.scope = std::move(path);
+    NodeId id = d.addNode(std::move(n));
+    wireAssigned.resize(d.numNodes(), true);
+    return id;
+}
+
+void
+Builder::pushScope(const std::string &name)
+{
+    scopes.push_back(name);
+}
+
+void
+Builder::popScope()
+{
+    if (scopes.empty())
+        panic("popScope with empty scope stack");
+    scopes.pop_back();
+}
+
+std::string
+Builder::scopedName(const std::string &name) const
+{
+    std::string full;
+    for (const std::string &s : scopes) {
+        full += s;
+        full += '/';
+    }
+    full += name;
+    return full;
+}
+
+Signal
+Builder::input(const std::string &name, unsigned width)
+{
+    Node n;
+    n.op = Op::Input;
+    n.width = static_cast<uint16_t>(width);
+    n.name = scopedName(name);
+    n.aux = static_cast<uint32_t>(d.inputs().size());
+    NodeId id = addNodeStamped(std::move(n));
+    d.inputs().push_back(id);
+    return Signal(this, id);
+}
+
+void
+Builder::output(const std::string &name, Signal value)
+{
+    if (!value.valid())
+        fatal("output '%s' bound to an invalid signal", name.c_str());
+    d.outputs().push_back({scopedName(name), value.id()});
+}
+
+Signal
+Builder::lit(uint64_t value, unsigned width)
+{
+    if (width == 0 || width > 64)
+        fatal("literal width %u out of range", width);
+    if (truncate(value, width) != value)
+        fatal("literal %llu does not fit in %u bits",
+              (unsigned long long)value, width);
+    Node n;
+    n.op = Op::Const;
+    n.width = static_cast<uint16_t>(width);
+    n.imm = value;
+    NodeId id = addNodeStamped(std::move(n));
+    return Signal(this, id);
+}
+
+Signal
+Builder::reg(const std::string &name, unsigned width, uint64_t init)
+{
+    Node n;
+    n.op = Op::Reg;
+    n.width = static_cast<uint16_t>(width);
+    n.name = scopedName(name);
+    n.aux = static_cast<uint32_t>(d.regs().size());
+    NodeId id = addNodeStamped(std::move(n));
+    RegInfo info;
+    info.node = id;
+    info.init = truncate(init, width);
+    d.regs().push_back(info);
+    return Signal(this, id);
+}
+
+void
+Builder::next(Signal regSig, Signal value, Signal enable)
+{
+    const Node &n = d.node(regSig.id());
+    if (n.op != Op::Reg)
+        fatal("next() target '%s' is not a register", n.name.c_str());
+    RegInfo &info = d.regs()[n.aux];
+    if (info.next != kNoNode)
+        fatal("register '%s' driven twice", n.name.c_str());
+    info.next = value.id();
+    info.en = enable.valid() ? enable.id() : kNoNode;
+}
+
+MemHandle
+Builder::mem(const std::string &name, unsigned width, uint64_t depth,
+             bool syncRead)
+{
+    MemInfo m;
+    m.name = scopedName(name);
+    m.width = static_cast<uint16_t>(width);
+    m.depth = depth;
+    m.syncRead = syncRead;
+    d.mems().push_back(std::move(m));
+    return MemHandle{static_cast<int>(d.mems().size() - 1)};
+}
+
+Signal
+Builder::memRead(MemHandle m, Signal addr)
+{
+    MemInfo &info = d.mems()[m.index];
+    if (info.syncRead)
+        fatal("memRead on sync memory '%s'; use memReadSync",
+              info.name.c_str());
+    Node n;
+    n.op = Op::MemRead;
+    n.width = info.width;
+    n.aux = (static_cast<uint32_t>(m.index) << 16) |
+            static_cast<uint32_t>(info.reads.size());
+    n.name = info.name + "/r" + std::to_string(info.reads.size());
+    NodeId id = addNodeStamped(std::move(n));
+    info.reads.push_back({addr.id(), kNoNode, id});
+    return Signal(this, id);
+}
+
+Signal
+Builder::memReadSync(MemHandle m, Signal addr, Signal enable)
+{
+    MemInfo &info = d.mems()[m.index];
+    if (!info.syncRead)
+        fatal("memReadSync on async memory '%s'; use memRead",
+              info.name.c_str());
+    Node n;
+    n.op = Op::MemRead;
+    n.width = info.width;
+    n.aux = (static_cast<uint32_t>(m.index) << 16) |
+            static_cast<uint32_t>(info.reads.size());
+    n.name = info.name + "/r" + std::to_string(info.reads.size());
+    NodeId id = addNodeStamped(std::move(n));
+    info.reads.push_back(
+        {addr.id(), enable.valid() ? enable.id() : kNoNode, id});
+    return Signal(this, id);
+}
+
+void
+Builder::memInit(MemHandle m, std::vector<uint64_t> contents)
+{
+    MemInfo &info = d.mems()[m.index];
+    if (contents.size() > info.depth)
+        fatal("memInit contents exceed depth of '%s'", info.name.c_str());
+    for (uint64_t &v : contents)
+        v = truncate(v, info.width);
+    info.init = std::move(contents);
+}
+
+void
+Builder::memWrite(MemHandle m, Signal addr, Signal data, Signal enable)
+{
+    MemInfo &info = d.mems()[m.index];
+    info.writes.push_back({addr.id(), data.id(),
+                           enable.valid() ? enable.id() : kNoNode});
+}
+
+Signal
+Builder::wire(const std::string &name, unsigned width)
+{
+    // A wire is a Pad node whose operand is patched in by assign().
+    Node n;
+    n.op = Op::Pad;
+    n.width = static_cast<uint16_t>(width);
+    n.name = scopedName(name);
+    NodeId id = addNodeStamped(std::move(n));
+    wireAssigned[id] = false;
+    return Signal(this, id);
+}
+
+void
+Builder::assign(Signal wireSig, Signal value)
+{
+    NodeId id = wireSig.id();
+    if (id >= wireAssigned.size() || wireAssigned[id])
+        fatal("assign() target '%s' is not an unassigned wire",
+              d.node(id).name.c_str());
+    if (value.width() != d.node(id).width)
+        fatal("assign to wire '%s': width %u != %u",
+              d.node(id).name.c_str(), value.width(), d.node(id).width);
+    d.node(id).args[0] = value.id();
+    wireAssigned[id] = true;
+}
+
+Signal
+Builder::unary(Op op, Signal a, unsigned width)
+{
+    Node n;
+    n.op = op;
+    n.width = static_cast<uint16_t>(width ? width : a.width());
+    n.args[0] = a.id();
+    NodeId id = addNodeStamped(std::move(n));
+    return Signal(this, id);
+}
+
+Signal
+Builder::binary(Op op, Signal a, Signal b)
+{
+    unsigned width;
+    switch (op) {
+      case Op::Mul:
+        width = std::min(64u, a.width() + b.width());
+        break;
+      case Op::Cat:
+        width = a.width() + b.width();
+        break;
+      case Op::Eq: case Op::Ne: case Op::Ltu: case Op::Lts:
+        width = 1;
+        break;
+      default:
+        width = a.width();
+        break;
+    }
+    Node n;
+    n.op = op;
+    n.width = static_cast<uint16_t>(width);
+    n.args[0] = a.id();
+    n.args[1] = b.id();
+    NodeId id = addNodeStamped(std::move(n));
+    return Signal(this, id);
+}
+
+Signal
+Builder::mux(Signal sel, Signal t, Signal f)
+{
+    Node n;
+    n.op = Op::Mux;
+    n.width = static_cast<uint16_t>(t.width());
+    n.args[0] = sel.id();
+    n.args[1] = t.id();
+    n.args[2] = f.id();
+    NodeId id = addNodeStamped(std::move(n));
+    return Signal(this, id);
+}
+
+Signal
+Builder::cat(Signal hi, Signal lo)
+{
+    return binary(Op::Cat, hi, lo);
+}
+
+Signal
+Builder::extract(Signal a, unsigned hi, unsigned lo)
+{
+    Node n;
+    n.op = Op::Bits;
+    n.width = static_cast<uint16_t>(hi - lo + 1);
+    n.args[0] = a.id();
+    n.imm = (static_cast<uint64_t>(hi) << 8) | lo;
+    NodeId id = addNodeStamped(std::move(n));
+    return Signal(this, id);
+}
+
+Signal
+Builder::pad(Signal a, unsigned width)
+{
+    if (width == a.width())
+        return a;
+    return unary(Op::Pad, a, width);
+}
+
+Signal
+Builder::sext(Signal a, unsigned width)
+{
+    if (width == a.width())
+        return a;
+    return unary(Op::SExt, a, width);
+}
+
+Signal
+Builder::resize(Signal a, unsigned width)
+{
+    if (width == a.width())
+        return a;
+    if (width < a.width())
+        return extract(a, width - 1, 0);
+    return pad(a, width);
+}
+
+Signal
+Builder::catAll(const std::vector<Signal> &parts)
+{
+    if (parts.empty())
+        fatal("catAll of zero signals");
+    Signal acc = parts[0];
+    for (size_t i = 1; i < parts.size(); ++i)
+        acc = cat(acc, parts[i]);
+    return acc;
+}
+
+Signal
+Builder::select(Signal sel, const std::vector<Signal> &values)
+{
+    if (values.empty())
+        fatal("select over zero values");
+    Signal acc = values.back();
+    for (size_t i = values.size() - 1; i-- > 0;) {
+        Signal hit = eq(sel, lit(i, sel.width()));
+        acc = mux(hit, values[i], acc);
+    }
+    return acc;
+}
+
+void
+Builder::annotateRetimed(const std::string &name, unsigned latency,
+                         const std::vector<Signal> &inputs, Signal output,
+                         const std::vector<Signal> &regs)
+{
+    RetimeRegion region;
+    region.name = scopedName(name);
+    region.latency = latency;
+    for (Signal s : inputs)
+        region.inputs.push_back(s.id());
+    region.output = output.id();
+    for (Signal s : regs) {
+        if (d.node(s.id()).op != Op::Reg)
+            fatal("retime region '%s': node '%s' is not a register",
+                  name.c_str(), d.node(s.id()).name.c_str());
+        region.regs.push_back(s.id());
+    }
+    d.retimeRegions().push_back(std::move(region));
+}
+
+Design
+Builder::finish()
+{
+    if (finished)
+        panic("Builder::finish called twice");
+    for (size_t i = 0; i < wireAssigned.size(); ++i) {
+        if (!wireAssigned[i])
+            fatal("wire '%s' was never assigned", d.node(i).name.c_str());
+    }
+    finished = true;
+    d.check();
+    return std::move(d);
+}
+
+namespace {
+
+Builder &
+builderOf(Signal a, Signal b = Signal())
+{
+    if (!a.valid())
+        panic("operation on an invalid signal");
+    if (b.valid() && b.builder() != a.builder())
+        panic("operands from different builders");
+    return *a.builder();
+}
+
+} // namespace
+
+Signal operator+(Signal a, Signal b)
+{ return builderOf(a, b).binary(Op::Add, a, b); }
+Signal operator-(Signal a, Signal b)
+{ return builderOf(a, b).binary(Op::Sub, a, b); }
+Signal operator*(Signal a, Signal b)
+{ return builderOf(a, b).binary(Op::Mul, a, b); }
+Signal operator&(Signal a, Signal b)
+{ return builderOf(a, b).binary(Op::And, a, b); }
+Signal operator|(Signal a, Signal b)
+{ return builderOf(a, b).binary(Op::Or, a, b); }
+Signal operator^(Signal a, Signal b)
+{ return builderOf(a, b).binary(Op::Xor, a, b); }
+Signal operator~(Signal a)
+{ return builderOf(a).unary(Op::Not, a); }
+
+Signal
+operator!(Signal a)
+{
+    Builder &b = builderOf(a);
+    Signal any = a.width() == 1 ? a : b.redOr(a);
+    return b.unary(Op::Not, any);
+}
+
+Signal eq(Signal a, Signal b) { return builderOf(a, b).binary(Op::Eq, a, b); }
+Signal ne(Signal a, Signal b) { return builderOf(a, b).binary(Op::Ne, a, b); }
+Signal ltu(Signal a, Signal b)
+{ return builderOf(a, b).binary(Op::Ltu, a, b); }
+Signal lts(Signal a, Signal b)
+{ return builderOf(a, b).binary(Op::Lts, a, b); }
+Signal geu(Signal a, Signal b) { return !ltu(a, b); }
+Signal ges(Signal a, Signal b) { return !lts(a, b); }
+Signal shl(Signal a, Signal amount)
+{ return builderOf(a, amount).binary(Op::Shl, a, amount); }
+Signal shru(Signal a, Signal amount)
+{ return builderOf(a, amount).binary(Op::Shru, a, amount); }
+Signal sra(Signal a, Signal amount)
+{ return builderOf(a, amount).binary(Op::Sra, a, amount); }
+Signal divu(Signal a, Signal b)
+{ return builderOf(a, b).binary(Op::Divu, a, b); }
+Signal remu(Signal a, Signal b)
+{ return builderOf(a, b).binary(Op::Remu, a, b); }
+
+Signal
+eqImm(Signal a, uint64_t value)
+{
+    Builder &b = builderOf(a);
+    return eq(a, b.lit(value, a.width()));
+}
+
+} // namespace rtl
+} // namespace strober

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * A small hardware-construction EDSL over the netlist IR — the repo's
+ * stand-in for Chisel. Designs are built by calling methods on a Builder;
+ * Signal is a lightweight value handle with overloaded operators.
+ *
+ * Example (counter with enable):
+ * @code
+ *   Builder b("counter");
+ *   Signal en = b.input("en", 1);
+ *   Signal cnt = b.reg("cnt", 8, 0);
+ *   b.next(cnt, cnt + b.lit(1, 8), en);
+ *   b.output("out", cnt);
+ *   Design d = b.finish();
+ * @endcode
+ */
+
+#ifndef STROBER_RTL_BUILDER_H
+#define STROBER_RTL_BUILDER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/ir.h"
+
+namespace strober {
+namespace rtl {
+
+class Builder;
+
+/** A value handle produced by Builder; copyable and cheap. */
+class Signal
+{
+  public:
+    Signal() = default;
+    Signal(Builder *builder, NodeId id) : b(builder), nid(id) {}
+
+    bool valid() const { return b != nullptr; }
+    NodeId id() const { return nid; }
+    Builder *builder() const { return b; }
+    unsigned width() const;
+
+    /** Extract one bit as a 1-bit signal. */
+    Signal bit(unsigned pos) const;
+    /** Extract bits [hi:lo]. */
+    Signal bits(unsigned hi, unsigned lo) const;
+
+  private:
+    Builder *b = nullptr;
+    NodeId nid = kNoNode;
+};
+
+/** Handle to a memory created by Builder::mem(). */
+struct MemHandle
+{
+    int index = -1;
+    bool valid() const { return index >= 0; }
+};
+
+/** RAII naming scope: names created inside get "prefix/" prepended. */
+class Scope
+{
+  public:
+    Scope(Builder &b, const std::string &name);
+    ~Scope();
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    Builder &builder;
+};
+
+/**
+ * Builds a Design incrementally. All factory methods return Signals whose
+ * lifetime is tied to this Builder; finish() validates and releases the
+ * completed Design.
+ */
+class Builder
+{
+  public:
+    explicit Builder(std::string designName);
+
+    // --- Ports -----------------------------------------------------------
+    Signal input(const std::string &name, unsigned width);
+    void output(const std::string &name, Signal value);
+
+    // --- Literals --------------------------------------------------------
+    Signal lit(uint64_t value, unsigned width);
+
+    // --- State -----------------------------------------------------------
+    /** Create a register; its next-state must be set with next(). */
+    Signal reg(const std::string &name, unsigned width, uint64_t init = 0);
+    /** Set a register's next-state driver (and optional enable). */
+    void next(Signal regSig, Signal value, Signal enable = Signal());
+
+    /** Create a memory. @p syncRead selects registered read data. */
+    MemHandle mem(const std::string &name, unsigned width, uint64_t depth,
+                  bool syncRead = false);
+    /** Combinational read port (async memories only). */
+    Signal memRead(MemHandle m, Signal addr);
+    /** Registered read port (sync memories only); data valid next cycle. */
+    Signal memReadSync(MemHandle m, Signal addr, Signal enable = Signal());
+    /** Write port. */
+    void memWrite(MemHandle m, Signal addr, Signal data,
+                  Signal enable = Signal());
+    /** Set a memory's reset contents (free lists, microcode, ...). */
+    void memInit(MemHandle m, std::vector<uint64_t> contents);
+
+    // --- Forward references ---------------------------------------------
+    /** Declare a wire to be assigned later (exactly once). */
+    Signal wire(const std::string &name, unsigned width);
+    /** Assign a previously declared wire. */
+    void assign(Signal wireSig, Signal value);
+
+    // --- Combinational operations -----------------------------------------
+    Signal unary(Op op, Signal a, unsigned width = 0);
+    Signal binary(Op op, Signal a, Signal b);
+    Signal mux(Signal sel, Signal t, Signal f);
+    Signal cat(Signal hi, Signal lo);
+    Signal extract(Signal a, unsigned hi, unsigned lo);
+    Signal pad(Signal a, unsigned width);
+    Signal sext(Signal a, unsigned width);
+    /** Zero-extend or truncate to exactly @p width. */
+    Signal resize(Signal a, unsigned width);
+    Signal redOr(Signal a) { return unary(Op::RedOr, a, 1); }
+    Signal redAnd(Signal a) { return unary(Op::RedAnd, a, 1); }
+    Signal redXor(Signal a) { return unary(Op::RedXor, a, 1); }
+
+    /** Concatenate many signals, first element most significant. */
+    Signal catAll(const std::vector<Signal> &parts);
+
+    /** One-hot select: pick values[i] where sel == i (priority mux tree). */
+    Signal select(Signal sel, const std::vector<Signal> &values);
+
+    // --- Annotations -------------------------------------------------------
+    /**
+     * Mark a feed-forward pipeline region for retiming: synthesis may move
+     * @p regs; replay recovers them by forcing @p inputs / checking
+     * @p output for @p latency warm-up cycles (paper Section IV-C3).
+     */
+    void annotateRetimed(const std::string &name, unsigned latency,
+                         const std::vector<Signal> &inputs, Signal output,
+                         const std::vector<Signal> &regs);
+
+    // --- Naming -----------------------------------------------------------
+    void pushScope(const std::string &name);
+    void popScope();
+    /** @return @p name prefixed with the current scope path. */
+    std::string scopedName(const std::string &name) const;
+
+    // --- Completion ---------------------------------------------------------
+    /** Validate (Design::check) and return the finished design. */
+    Design finish();
+
+    /** Access the design under construction (advanced use / transforms). */
+    Design &designUnderConstruction() { return d; }
+
+    Signal signalOf(NodeId id) { return Signal(this, id); }
+
+  private:
+    friend class Signal;
+    Design d;
+    std::vector<std::string> scopes;
+    std::vector<bool> wireAssigned; // parallel to nodes; true for non-wires
+    bool finished = false;
+
+    /** Stamp the current scope onto @p n and append it. */
+    NodeId addNodeStamped(Node n);
+};
+
+// Operator sugar; both operands must come from the same Builder.
+Signal operator+(Signal a, Signal b);
+Signal operator-(Signal a, Signal b);
+Signal operator*(Signal a, Signal b);
+Signal operator&(Signal a, Signal b);
+Signal operator|(Signal a, Signal b);
+Signal operator^(Signal a, Signal b);
+Signal operator~(Signal a);
+Signal operator!(Signal a); //!< 1-bit logical not (redOr then invert)
+
+Signal eq(Signal a, Signal b);
+Signal ne(Signal a, Signal b);
+Signal ltu(Signal a, Signal b);
+Signal lts(Signal a, Signal b);
+Signal geu(Signal a, Signal b);
+Signal ges(Signal a, Signal b);
+Signal shl(Signal a, Signal amount);
+Signal shru(Signal a, Signal amount);
+Signal sra(Signal a, Signal amount);
+Signal divu(Signal a, Signal b);
+Signal remu(Signal a, Signal b);
+
+/** eq against a literal of matching width. */
+Signal eqImm(Signal a, uint64_t value);
+
+} // namespace rtl
+} // namespace strober
+
+#endif // STROBER_RTL_BUILDER_H

@@ -1,0 +1,365 @@
+#include "rtl/ir.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace strober {
+namespace rtl {
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Input: return "input";
+      case Op::Const: return "const";
+      case Op::Reg: return "reg";
+      case Op::MemRead: return "memread";
+      case Op::Not: return "not";
+      case Op::Neg: return "neg";
+      case Op::RedOr: return "redor";
+      case Op::RedAnd: return "redand";
+      case Op::RedXor: return "redxor";
+      case Op::SExt: return "sext";
+      case Op::Pad: return "pad";
+      case Op::Bits: return "bits";
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::Mul: return "mul";
+      case Op::Divu: return "divu";
+      case Op::Remu: return "remu";
+      case Op::And: return "and";
+      case Op::Or: return "or";
+      case Op::Xor: return "xor";
+      case Op::Shl: return "shl";
+      case Op::Shru: return "shru";
+      case Op::Sra: return "sra";
+      case Op::Eq: return "eq";
+      case Op::Ne: return "ne";
+      case Op::Ltu: return "ltu";
+      case Op::Lts: return "lts";
+      case Op::Cat: return "cat";
+      case Op::Mux: return "mux";
+    }
+    return "?";
+}
+
+unsigned
+opArity(Op op)
+{
+    switch (op) {
+      case Op::Input:
+      case Op::Const:
+      case Op::Reg:
+      case Op::MemRead:
+        return 0;
+      case Op::Not:
+      case Op::Neg:
+      case Op::RedOr:
+      case Op::RedAnd:
+      case Op::RedXor:
+      case Op::SExt:
+      case Op::Pad:
+      case Op::Bits:
+        return 1;
+      case Op::Mux:
+        return 3;
+      default:
+        return 2;
+    }
+}
+
+NodeId
+Design::addNode(Node n)
+{
+    if (n.width == 0 || n.width > 64)
+        panic("node '%s' (%s) has illegal width %u", n.name.c_str(),
+              opName(n.op), n.width);
+    nodes.push_back(std::move(n));
+    return static_cast<NodeId>(nodes.size() - 1);
+}
+
+NodeId
+Design::findInput(const std::string &name) const
+{
+    for (NodeId id : inputPorts) {
+        if (nodes[id].name == name)
+            return id;
+    }
+    return kNoNode;
+}
+
+int
+Design::findOutput(const std::string &name) const
+{
+    for (size_t i = 0; i < outputPorts.size(); ++i) {
+        if (outputPorts[i].name == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int
+Design::findReg(const std::string &name) const
+{
+    for (size_t i = 0; i < registers.size(); ++i) {
+        if (nodes[registers[i].node].name == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int
+Design::findMem(const std::string &name) const
+{
+    for (size_t i = 0; i < memories.size(); ++i) {
+        if (memories[i].name == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+namespace {
+
+void
+checkRef(const Design &d, NodeId user, NodeId ref, const char *what)
+{
+    if (ref == kNoNode || ref >= d.numNodes())
+        fatal("node %u '%s' (%s): dangling %s reference", user,
+              d.node(user).name.c_str(), opName(d.node(user).op), what);
+}
+
+} // namespace
+
+void
+Design::check() const
+{
+    for (NodeId id = 0; id < nodes.size(); ++id) {
+        const Node &n = nodes[id];
+        unsigned arity = opArity(n.op);
+        for (unsigned i = 0; i < arity; ++i)
+            checkRef(*this, id, n.args[i], "argument");
+
+        auto argW = [&](unsigned i) {
+            return static_cast<unsigned>(nodes[n.args[i]].width);
+        };
+        switch (n.op) {
+          case Op::Add: case Op::Sub: case Op::Divu: case Op::Remu:
+          case Op::And: case Op::Or: case Op::Xor:
+            if (argW(0) != n.width || argW(1) != n.width)
+                fatal("node %u '%s' (%s): operand widths %u,%u != %u", id,
+                      n.name.c_str(), opName(n.op), argW(0), argW(1),
+                      n.width);
+            break;
+          case Op::Mul:
+            if (n.width != std::min(64u, argW(0) + argW(1)))
+                fatal("node %u '%s' (mul): width %u != %u", id,
+                      n.name.c_str(), n.width,
+                      std::min(64u, argW(0) + argW(1)));
+            break;
+          case Op::Shl: case Op::Shru: case Op::Sra:
+            if (argW(0) != n.width)
+                fatal("node %u '%s' (%s): operand width %u != %u", id,
+                      n.name.c_str(), opName(n.op), argW(0), n.width);
+            break;
+          case Op::Eq: case Op::Ne: case Op::Ltu: case Op::Lts:
+            if (n.width != 1)
+                fatal("node %u '%s' (%s): comparison width must be 1", id,
+                      n.name.c_str(), opName(n.op));
+            if (argW(0) != argW(1))
+                fatal("node %u '%s' (%s): operand widths %u != %u", id,
+                      n.name.c_str(), opName(n.op), argW(0), argW(1));
+            break;
+          case Op::Cat:
+            if (n.width != argW(0) + argW(1))
+                fatal("node %u '%s' (cat): width %u != %u + %u", id,
+                      n.name.c_str(), n.width, argW(0), argW(1));
+            break;
+          case Op::Bits:
+            if (n.bitsHi() < n.bitsLo() || n.bitsHi() >= argW(0))
+                fatal("node %u '%s' (bits): [%u:%u] out of range for "
+                      "width-%u operand", id, n.name.c_str(), n.bitsHi(),
+                      n.bitsLo(), argW(0));
+            if (n.width != n.bitsHi() - n.bitsLo() + 1)
+                fatal("node %u '%s' (bits): width mismatch", id,
+                      n.name.c_str());
+            break;
+          case Op::SExt: case Op::Pad:
+            if (n.width < argW(0))
+                fatal("node %u '%s' (%s): cannot extend width %u to %u", id,
+                      n.name.c_str(), opName(n.op), argW(0), n.width);
+            break;
+          case Op::Not: case Op::Neg:
+            if (argW(0) != n.width)
+                fatal("node %u '%s' (%s): operand width %u != %u", id,
+                      n.name.c_str(), opName(n.op), argW(0), n.width);
+            break;
+          case Op::RedOr: case Op::RedAnd: case Op::RedXor:
+            if (n.width != 1)
+                fatal("node %u '%s' (%s): reduce width must be 1", id,
+                      n.name.c_str(), opName(n.op));
+            break;
+          case Op::Mux:
+            if (nodes[n.args[0]].width != 1)
+                fatal("node %u '%s' (mux): selector must be 1 bit", id,
+                      n.name.c_str());
+            if (argW(1) != n.width || argW(2) != n.width)
+                fatal("node %u '%s' (mux): arm widths %u,%u != %u", id,
+                      n.name.c_str(), argW(1), argW(2), n.width);
+            break;
+          default:
+            break;
+        }
+    }
+
+    for (size_t i = 0; i < registers.size(); ++i) {
+        const RegInfo &r = registers[i];
+        checkRef(*this, r.node, r.node, "self");
+        if (r.next == kNoNode)
+            fatal("register '%s' has no next-state driver",
+                  nodes[r.node].name.c_str());
+        checkRef(*this, r.node, r.next, "next");
+        if (nodes[r.next].width != nodes[r.node].width)
+            fatal("register '%s': next width %u != %u",
+                  nodes[r.node].name.c_str(), nodes[r.next].width,
+                  nodes[r.node].width);
+        if (r.en != kNoNode && nodes[r.en].width != 1)
+            fatal("register '%s': enable must be 1 bit",
+                  nodes[r.node].name.c_str());
+    }
+
+    for (const MemInfo &m : memories) {
+        if (m.depth == 0)
+            fatal("memory '%s' has zero depth", m.name.c_str());
+        unsigned addrW = std::max(1u, clog2(m.depth));
+        for (const MemReadPort &p : m.reads) {
+            checkRef(*this, p.data, p.addr, "read address");
+            if (nodes[p.addr].width != addrW)
+                fatal("memory '%s': read address width %u != %u",
+                      m.name.c_str(), nodes[p.addr].width, addrW);
+            if (nodes[p.data].width != m.width)
+                fatal("memory '%s': read data width mismatch",
+                      m.name.c_str());
+        }
+        for (const MemWritePort &p : m.writes) {
+            checkRef(*this, p.data, p.addr, "write address");
+            checkRef(*this, p.data, p.data, "write data");
+            if (nodes[p.addr].width != addrW)
+                fatal("memory '%s': write address width %u != %u",
+                      m.name.c_str(), nodes[p.addr].width, addrW);
+            if (nodes[p.data].width != m.width)
+                fatal("memory '%s': write data width mismatch",
+                      m.name.c_str());
+            if (p.en != kNoNode && nodes[p.en].width != 1)
+                fatal("memory '%s': write enable must be 1 bit",
+                      m.name.c_str());
+        }
+    }
+
+    for (const OutputPort &o : outputPorts)
+        checkRef(*this, o.node, o.node, "output");
+
+    // Acyclicity: levelize() fatals on a combinational cycle.
+    levelize(*this);
+}
+
+uint64_t
+Design::stateBits() const
+{
+    uint64_t total = 0;
+    for (const RegInfo &r : registers)
+        total += nodes[r.node].width;
+    for (const MemInfo &m : memories) {
+        total += m.width * m.depth;
+        if (m.syncRead)
+            total += m.width * m.reads.size();
+    }
+    return total;
+}
+
+std::string
+Design::dump() const
+{
+    std::ostringstream os;
+    os << "design " << designName << " (" << nodes.size() << " nodes, "
+       << registers.size() << " regs, " << memories.size() << " mems)\n";
+    for (NodeId id = 0; id < nodes.size(); ++id) {
+        const Node &n = nodes[id];
+        os << "  %" << id << " = " << opName(n.op) << "<" << n.width << ">";
+        unsigned arity = opArity(n.op);
+        for (unsigned i = 0; i < arity; ++i)
+            os << (i ? ", %" : " %") << n.args[i];
+        if (n.op == Op::Const)
+            os << " " << n.imm;
+        if (n.op == Op::Bits)
+            os << " [" << n.bitsHi() << ":" << n.bitsLo() << "]";
+        if (!n.name.empty())
+            os << "  ; " << n.name;
+        os << "\n";
+    }
+    for (const OutputPort &o : outputPorts)
+        os << "  output " << o.name << " = %" << o.node << "\n";
+    return os.str();
+}
+
+std::vector<NodeId>
+levelize(const Design &design)
+{
+    size_t n = design.numNodes();
+    std::vector<uint32_t> pending(n, 0);
+    std::vector<std::vector<NodeId>> users(n);
+
+    auto combDeps = [&](NodeId id, auto &&visit) {
+        const Node &node = design.node(id);
+        if (node.op == Op::MemRead) {
+            uint32_t memIdx = node.aux >> 16;
+            uint32_t portIdx = node.aux & 0xffff;
+            const MemInfo &m = design.mems()[memIdx];
+            // Sync read data is state; async read depends on its address.
+            if (!m.syncRead)
+                visit(m.reads[portIdx].addr);
+            return;
+        }
+        unsigned arity = opArity(node.op);
+        for (unsigned i = 0; i < arity; ++i)
+            visit(node.args[i]);
+    };
+
+    for (NodeId id = 0; id < n; ++id) {
+        combDeps(id, [&](NodeId dep) {
+            ++pending[id];
+            users[dep].push_back(id);
+        });
+    }
+
+    std::vector<NodeId> order;
+    order.reserve(n);
+    std::vector<NodeId> ready;
+    for (NodeId id = 0; id < n; ++id) {
+        if (pending[id] == 0)
+            ready.push_back(id);
+    }
+    while (!ready.empty()) {
+        NodeId id = ready.back();
+        ready.pop_back();
+        order.push_back(id);
+        for (NodeId u : users[id]) {
+            if (--pending[u] == 0)
+                ready.push_back(u);
+        }
+    }
+
+    if (order.size() != n) {
+        for (NodeId id = 0; id < n; ++id) {
+            if (pending[id] != 0)
+                fatal("combinational cycle through node %u '%s' (%s)", id,
+                      design.node(id).name.c_str(),
+                      opName(design.node(id).op));
+        }
+    }
+    return order;
+}
+
+} // namespace rtl
+} // namespace strober

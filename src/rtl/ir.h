@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Word-level netlist intermediate representation.
+ *
+ * This IR plays the role Chisel/FIRRTL plays for the Strober paper: a
+ * structural, synchronous, single-clock representation of arbitrary RTL
+ * that downstream transforms consume — the FAME1 transform and scan-chain
+ * insertion (src/fame), synthesis to gates (src/gate), and the fast
+ * cycle-exact interpreter (src/sim).
+ *
+ * Design points:
+ *  - All values are <= 64 bits wide and carried in uint64_t, masked to
+ *    their declared width after every operation.
+ *  - The netlist is a flat vector of Nodes (index == NodeId). Hierarchy is
+ *    represented by '/'-separated path names ("core/fetch/pc"), which is
+ *    what the power-breakdown grouping and the floorplanner key on.
+ *  - State is explicit: registers (RegInfo) and memories (MemInfo), each
+ *    with an optional enable. The FAME1 transform gates all enables with
+ *    a single host-enable input, exactly like the global register mux in
+ *    the paper's Figure 3.
+ */
+
+#ifndef STROBER_RTL_IR_H
+#define STROBER_RTL_IR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bits.h"
+
+namespace strober {
+namespace rtl {
+
+/** Index of a node within Design::nodes. */
+using NodeId = uint32_t;
+
+/** Sentinel for "no node". */
+constexpr NodeId kNoNode = UINT32_MAX;
+
+/** Operation performed by a Node. */
+enum class Op : uint8_t {
+    // Leaves (no combinational inputs).
+    Input,      //!< top-level input port; aux = input index
+    Const,      //!< literal; imm = value
+    Reg,        //!< register output; aux = index into Design::regs
+    MemRead,    //!< memory read-port data; aux = (mem << 16) | port
+
+    // Unary; args[0] = operand.
+    Not,        //!< bitwise complement
+    Neg,        //!< two's-complement negate
+    RedOr,      //!< OR-reduce to 1 bit
+    RedAnd,     //!< AND-reduce to 1 bit
+    RedXor,     //!< XOR-reduce (parity) to 1 bit
+    SExt,       //!< sign-extend operand to this node's width
+    Pad,        //!< zero-extend operand to this node's width
+    Bits,       //!< bit extract [hi:lo]; imm = (hi << 8) | lo
+
+    // Binary; args[0], args[1] = operands.
+    Add, Sub,   //!< truncating arithmetic, equal operand widths
+    Mul,        //!< full product, width = wa + wb (capped at 64)
+    Divu, Remu, //!< unsigned divide/remainder; x/0 = all-ones, x%0 = x
+    And, Or, Xor,
+    Shl, Shru, Sra, //!< shifts; result width = operand width
+    Eq, Ne, Ltu, Lts, //!< comparisons; 1-bit result
+    Cat,        //!< concatenation {a, b}; width = wa + wb
+
+    // Ternary; args[0] = sel (1 bit), args[1] = then, args[2] = else.
+    Mux,
+};
+
+/** @return a short lowercase mnemonic for @p op (for dumps and errors). */
+const char *opName(Op op);
+
+/** @return the number of node arguments @p op consumes (0-3). */
+unsigned opArity(Op op);
+
+/** One netlist node. */
+struct Node
+{
+    Op op = Op::Const;
+    uint16_t width = 0;           //!< result width in bits (1..64)
+    NodeId args[3] = {kNoNode, kNoNode, kNoNode};
+    uint64_t imm = 0;             //!< Const value, or Bits (hi << 8) | lo
+    uint32_t aux = 0;             //!< per-op auxiliary index (see Op)
+    std::string name;             //!< hierarchical name; may be empty
+    std::string scope;            //!< hierarchical scope path ("core/fetch")
+
+    unsigned bitsHi() const { return static_cast<unsigned>(imm >> 8); }
+    unsigned bitsLo() const { return static_cast<unsigned>(imm & 0xff); }
+};
+
+/** Register metadata. The register's value is Node{Op::Reg}. */
+struct RegInfo
+{
+    NodeId node = kNoNode;   //!< the Op::Reg node carrying the value
+    NodeId next = kNoNode;   //!< next-state driver (must be set)
+    NodeId en = kNoNode;     //!< optional enable; kNoNode = always enabled
+    uint64_t init = 0;       //!< reset value
+};
+
+/** One memory read port. */
+struct MemReadPort
+{
+    NodeId addr = kNoNode;   //!< read address
+    NodeId en = kNoNode;     //!< optional enable (sync ports only)
+    NodeId data = kNoNode;   //!< the Op::MemRead node carrying the data
+};
+
+/** One memory write port. */
+struct MemWritePort
+{
+    NodeId addr = kNoNode;
+    NodeId data = kNoNode;
+    NodeId en = kNoNode;     //!< optional enable; kNoNode = always write
+};
+
+/**
+ * Memory metadata. syncRead memories model FPGA block RAM / ASIC SRAM
+ * (read data registered, available the cycle after the address is
+ * presented, read-before-write); async memories model LUT RAM / flop
+ * arrays (combinational read).
+ */
+struct MemInfo
+{
+    std::string name;
+    uint16_t width = 0;
+    uint64_t depth = 0;
+    bool syncRead = false;
+    std::vector<MemReadPort> reads;
+    std::vector<MemWritePort> writes;
+    /** Optional reset contents (zero-filled to depth when shorter). */
+    std::vector<uint64_t> init;
+};
+
+/** A named top-level output port. */
+struct OutputPort
+{
+    std::string name;
+    NodeId node = kNoNode;
+};
+
+/**
+ * An n-cycle feed-forward pipeline the designer has annotated for register
+ * retiming (paper Section IV-C3). Synthesis is free to move the registers
+ * listed in @ref regs; replay recovers their state by forcing the region's
+ * I/O for @ref latency cycles from captured shift registers.
+ */
+struct RetimeRegion
+{
+    std::string name;
+    unsigned latency = 0;
+    std::vector<NodeId> inputs;  //!< region input signals (captured)
+    NodeId output = kNoNode;     //!< region output signal
+    std::vector<NodeId> regs;    //!< Op::Reg nodes inside the region
+};
+
+/**
+ * A complete single-clock design: nodes, state elements, ports and
+ * annotations. Construct through rtl::Builder; validate with check().
+ */
+class Design
+{
+  public:
+    explicit Design(std::string name = "top") : designName(std::move(name)) {}
+
+    const std::string &name() const { return designName; }
+
+    /** Append a node; @return its id. */
+    NodeId addNode(Node n);
+
+    const Node &node(NodeId id) const { return nodes[id]; }
+    Node &node(NodeId id) { return nodes[id]; }
+    size_t numNodes() const { return nodes.size(); }
+
+    std::vector<RegInfo> &regs() { return registers; }
+    const std::vector<RegInfo> &regs() const { return registers; }
+
+    std::vector<MemInfo> &mems() { return memories; }
+    const std::vector<MemInfo> &mems() const { return memories; }
+
+    std::vector<NodeId> &inputs() { return inputPorts; }
+    const std::vector<NodeId> &inputs() const { return inputPorts; }
+
+    std::vector<OutputPort> &outputs() { return outputPorts; }
+    const std::vector<OutputPort> &outputs() const { return outputPorts; }
+
+    std::vector<RetimeRegion> &retimeRegions() { return retimed; }
+    const std::vector<RetimeRegion> &retimeRegions() const { return retimed; }
+
+    /** Find an input node by name; kNoNode if absent. */
+    NodeId findInput(const std::string &name) const;
+
+    /** Find an output port index by name; -1 if absent. */
+    int findOutput(const std::string &name) const;
+
+    /** Find a register index by the name of its Op::Reg node; -1 if absent. */
+    int findReg(const std::string &name) const;
+
+    /** Find a memory index by name; -1 if absent. */
+    int findMem(const std::string &name) const;
+
+    /**
+     * Validate the design: every register has a next-state driver, all
+     * widths are consistent, all node references are in range, and the
+     * combinational graph is acyclic. Calls fatal() with a diagnostic on
+     * the first violation.
+     */
+    void check() const;
+
+    /** Total state bits (registers + sync read ports + memory contents). */
+    uint64_t stateBits() const;
+
+    /** Human-readable netlist listing (tests and debugging). */
+    std::string dump() const;
+
+  private:
+    std::string designName;
+    std::vector<Node> nodes;
+    std::vector<RegInfo> registers;
+    std::vector<MemInfo> memories;
+    std::vector<NodeId> inputPorts;
+    std::vector<OutputPort> outputPorts;
+    std::vector<RetimeRegion> retimed;
+};
+
+/**
+ * Compute a topological order of the combinational nodes of @p design.
+ * Registers, sync-read data and inputs are sources (depth 0); async memory
+ * reads depend on their address. Calls fatal() naming a node on a
+ * combinational cycle.
+ *
+ * @return node ids in evaluation order (every node appears exactly once).
+ */
+std::vector<NodeId> levelize(const Design &design);
+
+} // namespace rtl
+} // namespace strober
+
+#endif // STROBER_RTL_IR_H

@@ -1,0 +1,373 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace strober {
+namespace sim {
+
+using rtl::Op;
+using rtl::NodeId;
+using rtl::kNoNode;
+
+Simulator::Simulator(const rtl::Design &design) : dsn(design)
+{
+    compile();
+    reset();
+}
+
+void
+Simulator::compile()
+{
+    std::vector<NodeId> order = rtl::levelize(dsn);
+    program.clear();
+    program.reserve(order.size());
+
+    for (NodeId id : order) {
+        const rtl::Node &n = dsn.node(id);
+        switch (n.op) {
+          case Op::Input:
+          case Op::Const:
+          case Op::Reg:
+            continue; // leaves: poked, preset, or state
+          case Op::MemRead: {
+            uint32_t memIdx = n.aux >> 16;
+            uint32_t portIdx = n.aux & 0xffff;
+            const rtl::MemInfo &m = dsn.mems()[memIdx];
+            if (m.syncRead)
+                continue; // registered read data is state
+            Step s{};
+            s.op = Op::MemRead;
+            s.width = n.width;
+            s.dst = id;
+            s.a = memIdx;
+            s.b = m.reads[portIdx].addr;
+            program.push_back(s);
+            continue;
+          }
+          default:
+            break;
+        }
+        Step s{};
+        s.op = n.op;
+        s.width = n.width;
+        s.dst = id;
+        s.imm = n.imm;
+        unsigned arity = rtl::opArity(n.op);
+        if (arity >= 1) {
+            s.a = n.args[0];
+            s.widthA = static_cast<uint8_t>(dsn.node(n.args[0]).width);
+        }
+        if (arity >= 2) {
+            s.b = n.args[1];
+            s.widthB = static_cast<uint8_t>(dsn.node(n.args[1]).width);
+        }
+        if (arity >= 3)
+            s.c = n.args[2];
+        program.push_back(s);
+    }
+}
+
+void
+Simulator::reset()
+{
+    values.assign(dsn.numNodes(), 0);
+    for (NodeId id = 0; id < dsn.numNodes(); ++id) {
+        const rtl::Node &n = dsn.node(id);
+        if (n.op == Op::Const)
+            values[id] = truncate(n.imm, n.width);
+    }
+    for (const rtl::RegInfo &r : dsn.regs())
+        values[r.node] = r.init;
+
+    mems.clear();
+    mems.reserve(dsn.mems().size());
+    for (const rtl::MemInfo &m : dsn.mems()) {
+        mems.emplace_back(m.depth, 0);
+        for (size_t i = 0; i < m.init.size(); ++i)
+            mems.back()[i] = m.init[i];
+    }
+
+    regPending.assign(dsn.regs().size(), 0);
+    size_t syncPorts = 0;
+    for (const rtl::MemInfo &m : dsn.mems()) {
+        if (m.syncRead)
+            syncPorts += m.reads.size();
+    }
+    readPending.assign(syncPorts, 0);
+
+    cycleCount = 0;
+    combStale = true;
+}
+
+void
+Simulator::poke(NodeId input, uint64_t value)
+{
+    const rtl::Node &n = dsn.node(input);
+    if (n.op != Op::Input)
+        panic("poke target '%s' is not an input", n.name.c_str());
+    values[input] = truncate(value, n.width);
+    combStale = true;
+}
+
+void
+Simulator::poke(const std::string &name, uint64_t value)
+{
+    NodeId id = dsn.findInput(name);
+    if (id == kNoNode)
+        fatal("no input named '%s'", name.c_str());
+    poke(id, value);
+}
+
+uint64_t
+Simulator::peek(NodeId node)
+{
+    if (combStale)
+        evalComb();
+    return values[node];
+}
+
+uint64_t
+Simulator::peek(const std::string &name)
+{
+    int idx = dsn.findOutput(name);
+    if (idx < 0)
+        fatal("no output named '%s'", name.c_str());
+    return peek(dsn.outputs()[idx].node);
+}
+
+void
+Simulator::evalComb()
+{
+    uint64_t *v = values.data();
+    for (const Step &s : program) {
+        uint64_t r = 0;
+        switch (s.op) {
+          case Op::Not:
+            r = truncate(~v[s.a], s.width);
+            break;
+          case Op::Neg:
+            r = truncate(0 - v[s.a], s.width);
+            break;
+          case Op::RedOr:
+            r = v[s.a] != 0;
+            break;
+          case Op::RedAnd:
+            r = v[s.a] == bitMask(s.widthA);
+            break;
+          case Op::RedXor:
+            r = static_cast<uint64_t>(__builtin_popcountll(v[s.a])) & 1;
+            break;
+          case Op::SExt:
+            r = truncate(signExtend(v[s.a], s.widthA), s.width);
+            break;
+          case Op::Pad:
+            r = v[s.a];
+            break;
+          case Op::Bits:
+            r = bits(v[s.a], static_cast<unsigned>(s.imm >> 8),
+                     static_cast<unsigned>(s.imm & 0xff));
+            break;
+          case Op::Add:
+            r = truncate(v[s.a] + v[s.b], s.width);
+            break;
+          case Op::Sub:
+            r = truncate(v[s.a] - v[s.b], s.width);
+            break;
+          case Op::Mul:
+            r = truncate(v[s.a] * v[s.b], s.width);
+            break;
+          case Op::Divu:
+            r = v[s.b] == 0 ? bitMask(s.width) : v[s.a] / v[s.b];
+            break;
+          case Op::Remu:
+            r = v[s.b] == 0 ? v[s.a] : v[s.a] % v[s.b];
+            break;
+          case Op::And:
+            r = v[s.a] & v[s.b];
+            break;
+          case Op::Or:
+            r = v[s.a] | v[s.b];
+            break;
+          case Op::Xor:
+            r = v[s.a] ^ v[s.b];
+            break;
+          case Op::Shl:
+            r = v[s.b] >= s.width ? 0 : truncate(v[s.a] << v[s.b], s.width);
+            break;
+          case Op::Shru:
+            r = v[s.b] >= s.width ? 0 : v[s.a] >> v[s.b];
+            break;
+          case Op::Sra: {
+            uint64_t amt = std::min<uint64_t>(v[s.b], s.width);
+            int64_t x = static_cast<int64_t>(signExtend(v[s.a], s.widthA));
+            if (amt >= 64)
+                amt = 63;
+            r = truncate(static_cast<uint64_t>(x >> amt), s.width);
+            break;
+          }
+          case Op::Eq:
+            r = v[s.a] == v[s.b];
+            break;
+          case Op::Ne:
+            r = v[s.a] != v[s.b];
+            break;
+          case Op::Ltu:
+            r = v[s.a] < v[s.b];
+            break;
+          case Op::Lts:
+            r = static_cast<int64_t>(signExtend(v[s.a], s.widthA)) <
+                static_cast<int64_t>(signExtend(v[s.b], s.widthB));
+            break;
+          case Op::Cat:
+            r = truncate((v[s.a] << s.widthB) | v[s.b], s.width);
+            break;
+          case Op::Mux:
+            r = v[s.a] & 1 ? v[s.b] : v[s.c];
+            break;
+          case Op::MemRead: {
+            uint64_t addr = v[s.b];
+            const auto &contents = mems[s.a];
+            r = addr < contents.size() ? contents[addr] : 0;
+            break;
+          }
+          default:
+            panic("unexpected op %s in comb schedule", rtl::opName(s.op));
+        }
+        v[s.dst] = r;
+    }
+    evalCount += program.size();
+    combStale = false;
+}
+
+void
+Simulator::commitEdge()
+{
+    const auto &regs = dsn.regs();
+    for (size_t i = 0; i < regs.size(); ++i) {
+        const rtl::RegInfo &r = regs[i];
+        bool en = r.en == kNoNode || (values[r.en] & 1);
+        regPending[i] = en ? values[r.next] : values[r.node];
+    }
+
+    // Sync read ports latch old contents (read-before-write).
+    size_t flat = 0;
+    for (size_t mi = 0; mi < dsn.mems().size(); ++mi) {
+        const rtl::MemInfo &m = dsn.mems()[mi];
+        if (!m.syncRead)
+            continue;
+        for (const rtl::MemReadPort &p : m.reads) {
+            bool en = p.en == kNoNode || (values[p.en] & 1);
+            if (en) {
+                uint64_t addr = values[p.addr];
+                readPending[flat] =
+                    addr < m.depth ? mems[mi][addr] : 0;
+            } else {
+                readPending[flat] = values[p.data];
+            }
+            ++flat;
+        }
+    }
+
+    // Memory writes (last port wins on a collision).
+    for (size_t mi = 0; mi < dsn.mems().size(); ++mi) {
+        const rtl::MemInfo &m = dsn.mems()[mi];
+        for (const rtl::MemWritePort &p : m.writes) {
+            bool en = p.en == kNoNode || (values[p.en] & 1);
+            if (!en)
+                continue;
+            uint64_t addr = values[p.addr];
+            if (addr < m.depth)
+                mems[mi][addr] = values[p.data];
+        }
+    }
+
+    for (size_t i = 0; i < regs.size(); ++i)
+        values[regs[i].node] = regPending[i];
+    flat = 0;
+    for (const rtl::MemInfo &m : dsn.mems()) {
+        if (!m.syncRead)
+            continue;
+        for (const rtl::MemReadPort &p : m.reads)
+            values[p.data] = readPending[flat++];
+    }
+
+    ++cycleCount;
+    combStale = true;
+}
+
+void
+Simulator::step(uint64_t n)
+{
+    for (uint64_t i = 0; i < n; ++i) {
+        if (combStale)
+            evalComb();
+        commitEdge();
+    }
+}
+
+uint64_t
+Simulator::regValue(size_t regIdx) const
+{
+    return values[dsn.regs()[regIdx].node];
+}
+
+void
+Simulator::setRegValue(size_t regIdx, uint64_t value)
+{
+    const rtl::RegInfo &r = dsn.regs()[regIdx];
+    values[r.node] = truncate(value, dsn.node(r.node).width);
+    combStale = true;
+}
+
+uint64_t
+Simulator::memWord(size_t memIdx, uint64_t addr) const
+{
+    const auto &contents = mems[memIdx];
+    if (addr >= contents.size())
+        panic("memWord address %llu out of range", (unsigned long long)addr);
+    return contents[addr];
+}
+
+void
+Simulator::setMemWord(size_t memIdx, uint64_t addr, uint64_t value)
+{
+    auto &contents = mems[memIdx];
+    if (addr >= contents.size())
+        panic("setMemWord address %llu out of range",
+              (unsigned long long)addr);
+    contents[addr] = truncate(value, dsn.mems()[memIdx].width);
+    combStale = true;
+}
+
+uint64_t
+Simulator::syncReadData(size_t memIdx, size_t port) const
+{
+    return values[dsn.mems()[memIdx].reads[port].data];
+}
+
+void
+Simulator::setSyncReadData(size_t memIdx, size_t port, uint64_t value)
+{
+    const rtl::MemInfo &m = dsn.mems()[memIdx];
+    values[m.reads[port].data] = truncate(value, m.width);
+    combStale = true;
+}
+
+void
+Simulator::loadMem(size_t memIdx, uint64_t base,
+                   const std::vector<uint64_t> &words)
+{
+    if (base + words.size() > mems[memIdx].size())
+        fatal("loadMem overflows memory '%s'",
+              dsn.mems()[memIdx].name.c_str());
+    for (size_t i = 0; i < words.size(); ++i)
+        mems[memIdx][base + i] =
+            truncate(words[i], dsn.mems()[memIdx].width);
+    combStale = true;
+}
+
+} // namespace sim
+} // namespace strober

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Levelized cycle-exact interpreter for rtl::Design — the repository's
+ * "fast simulator". In the paper this role is played by the FPGA-hosted
+ * FAME1 simulator; here it is a compiled evaluation schedule over the
+ * word-level IR. What matters for the methodology is that it is
+ * cycle-exact and orders of magnitude faster than the gate-level
+ * simulator (src/gate), which it is: one word-level node evaluation here
+ * replaces tens-to-hundreds of gate evaluations there.
+ *
+ * Evaluation model per cycle:
+ *   1. poke() input values;
+ *   2. evalComb() propagates through all combinational nodes in a
+ *      precomputed topological order;
+ *   3. step() commits the clock edge: registers latch their next values,
+ *      sync-read ports latch old memory contents, write ports update
+ *      memories (read-before-write; the last write port wins on address
+ *      collisions).
+ */
+
+#ifndef STROBER_SIM_SIMULATOR_H
+#define STROBER_SIM_SIMULATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/ir.h"
+
+namespace strober {
+namespace sim {
+
+/** Cycle-exact interpreter over one rtl::Design. */
+class Simulator
+{
+  public:
+    explicit Simulator(const rtl::Design &design);
+
+    const rtl::Design &design() const { return dsn; }
+
+    /** Reset state: registers to init values, memories to zero. */
+    void reset();
+
+    /** Drive a top-level input for the current cycle. */
+    void poke(rtl::NodeId input, uint64_t value);
+    /** Drive a top-level input by name (fatal if absent). */
+    void poke(const std::string &name, uint64_t value);
+
+    /** Observe any node's current value (evaluates comb logic if stale). */
+    uint64_t peek(rtl::NodeId node);
+    /** Observe a top-level output by name (fatal if absent). */
+    uint64_t peek(const std::string &name);
+
+    /** Propagate combinational logic for the current input values. */
+    void evalComb();
+
+    /** Advance @p n clock edges (each: evalComb if stale, then commit). */
+    void step(uint64_t n = 1);
+
+    /** Cycles executed since construction/reset. */
+    uint64_t cycle() const { return cycleCount; }
+
+    /** Node evaluations executed (for simulation-rate reporting). */
+    uint64_t nodeEvals() const { return evalCount; }
+
+    // --- Direct state access (scan chains, snapshot load, testing) -----
+    uint64_t regValue(size_t regIdx) const;
+    void setRegValue(size_t regIdx, uint64_t value);
+    uint64_t memWord(size_t memIdx, uint64_t addr) const;
+    void setMemWord(size_t memIdx, uint64_t addr, uint64_t value);
+    /** Registered read data of sync memory port (state). */
+    uint64_t syncReadData(size_t memIdx, size_t port) const;
+    void setSyncReadData(size_t memIdx, size_t port, uint64_t value);
+
+    /** Bulk-load a memory starting at @p base (fatal on overflow). */
+    void loadMem(size_t memIdx, uint64_t base,
+                 const std::vector<uint64_t> &words);
+
+  private:
+    /** One compiled combinational operation. */
+    struct Step
+    {
+        rtl::Op op;
+        uint16_t width;
+        uint8_t widthA;      //!< operand widths (for Sra/Lts/Cat/reduce)
+        uint8_t widthB;
+        uint32_t dst;
+        uint32_t a, b, c;
+        uint64_t imm;
+    };
+
+    const rtl::Design &dsn;
+    std::vector<uint64_t> values;             //!< per-node current value
+    std::vector<std::vector<uint64_t>> mems;  //!< memory contents
+    std::vector<Step> program;                //!< comb schedule
+    std::vector<uint64_t> regPending;
+    std::vector<uint64_t> readPending;        //!< sync read data pending
+    uint64_t cycleCount = 0;
+    uint64_t evalCount = 0;
+    bool combStale = true;
+
+    void compile();
+    void commitEdge();
+};
+
+} // namespace sim
+} // namespace strober
+
+#endif // STROBER_SIM_SIMULATOR_H

@@ -1,0 +1,102 @@
+#include "sim/vcd.h"
+
+#include "util/bits.h"
+
+namespace strober {
+namespace sim {
+
+namespace {
+
+/** Short printable identifier codes: !, ", #, ... (VCD convention). */
+std::string
+idCode(size_t index)
+{
+    std::string code;
+    do {
+        code += static_cast<char>('!' + index % 94);
+        index /= 94;
+    } while (index > 0);
+    return code;
+}
+
+/** VCD identifiers use '.' hierarchy; sanitize our '/' paths. */
+std::string
+vcdName(const std::string &name)
+{
+    std::string out;
+    for (char c : name)
+        out += c == '/' ? '.' : c;
+    return out;
+}
+
+} // namespace
+
+VcdWriter::VcdWriter(std::ostream &out, Simulator &sim,
+                     const std::string &prefix)
+    : os(out), simulator(sim)
+{
+    const rtl::Design &d = sim.design();
+    for (rtl::NodeId id = 0; id < d.numNodes(); ++id) {
+        const rtl::Node &n = d.node(id);
+        if (n.name.empty())
+            continue;
+        if (!prefix.empty() && n.name.rfind(prefix, 0) != 0)
+            continue;
+        nodes.push_back(id);
+        codes.push_back(idCode(nodes.size() - 1));
+    }
+    last.assign(nodes.size(), 0);
+    writeHeader();
+}
+
+void
+VcdWriter::writeHeader()
+{
+    const rtl::Design &d = simulator.design();
+    os << "$date strober $end\n$version strober-vcd $end\n"
+          "$timescale 1ns $end\n$scope module "
+       << d.name() << " $end\n";
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        const rtl::Node &n = d.node(nodes[i]);
+        os << "$var wire " << n.width << " " << codes[i] << " "
+           << vcdName(n.name) << " $end\n";
+    }
+    os << "$upscope $end\n$enddefinitions $end\n";
+}
+
+void
+VcdWriter::writeValue(size_t idx, uint64_t value)
+{
+    const rtl::Node &n = simulator.design().node(nodes[idx]);
+    if (n.width == 1) {
+        os << (value & 1) << codes[idx] << "\n";
+        return;
+    }
+    os << "b";
+    bool leading = true;
+    for (int bitPos = n.width - 1; bitPos >= 0; --bitPos) {
+        unsigned v = static_cast<unsigned>(bit(value, bitPos));
+        if (v == 0 && leading && bitPos != 0)
+            continue;
+        leading = false;
+        os << v;
+    }
+    os << " " << codes[idx] << "\n";
+}
+
+void
+VcdWriter::sample()
+{
+    os << "#" << simulator.cycle() << "\n";
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        uint64_t v = simulator.peek(nodes[i]);
+        if (first || v != last[i]) {
+            writeValue(i, v);
+            last[i] = v;
+        }
+    }
+    first = false;
+}
+
+} // namespace sim
+} // namespace strober

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * VCD (Value Change Dump) waveform emission from the fast RTL
+ * simulator. Not part of the paper's flow, but the debugging facility
+ * any RTL framework ships with: dump every named signal of a design
+ * while a simulation runs, viewable in GTKWave or any VCD consumer.
+ */
+
+#ifndef STROBER_SIM_VCD_H
+#define STROBER_SIM_VCD_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace strober {
+namespace sim {
+
+/** Streams value changes of named nodes to a VCD document. */
+class VcdWriter
+{
+  public:
+    /**
+     * @param out     destination stream (kept by reference).
+     * @param sim     the simulator to observe.
+     * @param prefix  only nodes whose name starts with this are dumped
+     *                (empty = every named node).
+     */
+    VcdWriter(std::ostream &out, Simulator &sim,
+              const std::string &prefix = "");
+
+    /** Record the current cycle's values (call once per cycle). */
+    void sample();
+
+    /** Number of signals being traced. */
+    size_t signalCount() const { return nodes.size(); }
+
+  private:
+    std::ostream &os;
+    Simulator &simulator;
+    std::vector<rtl::NodeId> nodes;
+    std::vector<std::string> codes;
+    std::vector<uint64_t> last;
+    bool first = true;
+
+    void writeHeader();
+    void writeValue(size_t idx, uint64_t value);
+};
+
+} // namespace sim
+} // namespace strober
+
+#endif // STROBER_SIM_VCD_H

@@ -1,0 +1,90 @@
+#include "stats/rng.h"
+
+#include <cmath>
+
+namespace strober {
+namespace stats {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+void
+Rng::reseed(uint64_t seed)
+{
+    uint64_t x = seed;
+    for (auto &word : s)
+        word = splitmix64(x);
+    haveSpare = false;
+}
+
+uint64_t
+Rng::next()
+{
+    uint64_t result = rotl(s[1] * 5, 7) * 9;
+    uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::nextBounded(uint64_t bound)
+{
+    if (bound == 0)
+        return 0;
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextGaussian()
+{
+    if (haveSpare) {
+        haveSpare = false;
+        return spare;
+    }
+    double u, v, sq;
+    do {
+        u = 2.0 * nextDouble() - 1.0;
+        v = 2.0 * nextDouble() - 1.0;
+        sq = u * u + v * v;
+    } while (sq >= 1.0 || sq == 0.0);
+    double scale = std::sqrt(-2.0 * std::log(sq) / sq);
+    spare = v * scale;
+    haveSpare = true;
+    return u * scale;
+}
+
+} // namespace stats
+} // namespace strober

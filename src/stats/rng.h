@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for sampling decisions.
+ *
+ * A dedicated generator (xoshiro256**) rather than std::mt19937 so that
+ * sampling decisions are bit-reproducible across standard libraries —
+ * experiment scripts depend on stable seeds.
+ */
+
+#ifndef STROBER_STATS_RNG_H
+#define STROBER_STATS_RNG_H
+
+#include <cstdint>
+
+namespace strober {
+namespace stats {
+
+/**
+ * xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+ * implementation), seeded through splitmix64.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x5eed5eedULL) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed. */
+    void reseed(uint64_t seed);
+
+    /** @return the next raw 64-bit value. */
+    uint64_t next();
+
+    /** @return an unbiased uniform integer in [0, bound). */
+    uint64_t nextBounded(uint64_t bound);
+
+    /** @return a uniform double in [0, 1). */
+    double nextDouble();
+
+    /** @return a standard-normal variate (Box-Muller). */
+    double nextGaussian();
+
+  private:
+    uint64_t s[4];
+    bool haveSpare = false;
+    double spare = 0.0;
+};
+
+} // namespace stats
+} // namespace strober
+
+#endif // STROBER_STATS_RNG_H

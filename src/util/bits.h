@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by the RTL interpreter, the gate-level
+ * simulator and the ISA layer. All RTL values are carried in uint64_t and
+ * masked to their declared width after every operation.
+ */
+
+#ifndef STROBER_UTIL_BITS_H
+#define STROBER_UTIL_BITS_H
+
+#include <cstdint>
+
+namespace strober {
+
+/** @return a mask with the low @p width bits set (width in [0, 64]). */
+constexpr uint64_t
+bitMask(unsigned width)
+{
+    return width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+}
+
+/** Truncate @p v to @p width bits. */
+constexpr uint64_t
+truncate(uint64_t v, unsigned width)
+{
+    return v & bitMask(width);
+}
+
+/** Sign-extend the low @p width bits of @p v to 64 bits. */
+constexpr uint64_t
+signExtend(uint64_t v, unsigned width)
+{
+    if (width == 0 || width >= 64)
+        return v;
+    uint64_t sign = 1ULL << (width - 1);
+    return (v ^ sign) - sign;
+}
+
+/** Extract bits [hi:lo] of @p v (inclusive). */
+constexpr uint64_t
+bits(uint64_t v, unsigned hi, unsigned lo)
+{
+    return (v >> lo) & bitMask(hi - lo + 1);
+}
+
+/** Extract a single bit of @p v. */
+constexpr uint64_t
+bit(uint64_t v, unsigned pos)
+{
+    return (v >> pos) & 1ULL;
+}
+
+/** Insert @p field into bits [hi:lo] of @p v. */
+constexpr uint64_t
+insertBits(uint64_t v, unsigned hi, unsigned lo, uint64_t field)
+{
+    uint64_t mask = bitMask(hi - lo + 1) << lo;
+    return (v & ~mask) | ((field << lo) & mask);
+}
+
+/** @return ceil(log2(n)), with clog2(0) == clog2(1) == 0. */
+constexpr unsigned
+clog2(uint64_t n)
+{
+    unsigned r = 0;
+    while ((1ULL << r) < n)
+        ++r;
+    return r;
+}
+
+/** @return true if @p n is a power of two (n > 0). */
+constexpr bool
+isPow2(uint64_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+} // namespace strober
+
+#endif // STROBER_UTIL_BITS_H

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Packed little-endian bit streams. Scan-chain snapshots are serialized
+ * through these, so a snapshot is literally the bit string that would be
+ * shifted out of the FPGA's scan chains.
+ */
+
+#ifndef STROBER_UTIL_BITSTREAM_H
+#define STROBER_UTIL_BITSTREAM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace strober {
+
+/** Appends fields of up to 64 bits to a packed word vector. */
+class BitWriter
+{
+  public:
+    /** Append the low @p width bits of @p value. */
+    void
+    put(uint64_t value, unsigned width)
+    {
+        if (width == 0 || width > 64)
+            panic("BitWriter field width %u out of range", width);
+        value = truncate(value, width);
+        while (words.size() * 64 < cursor + width)
+            words.push_back(0);
+        unsigned wordIdx = static_cast<unsigned>(cursor / 64);
+        unsigned bitIdx = static_cast<unsigned>(cursor % 64);
+        words[wordIdx] |= value << bitIdx;
+        if (bitIdx + width > 64)
+            words[wordIdx + 1] |= value >> (64 - bitIdx);
+        cursor += width;
+    }
+
+    uint64_t bitCount() const { return cursor; }
+    const std::vector<uint64_t> &data() const { return words; }
+    std::vector<uint64_t> take() { return std::move(words); }
+
+  private:
+    std::vector<uint64_t> words;
+    uint64_t cursor = 0;
+};
+
+/** Reads fields back out of a packed word vector. */
+class BitReader
+{
+  public:
+    explicit BitReader(const std::vector<uint64_t> &data) : words(data) {}
+
+    /** Read the next @p width bits. */
+    uint64_t
+    get(unsigned width)
+    {
+        if (width == 0 || width > 64)
+            panic("BitReader field width %u out of range", width);
+        unsigned wordIdx = static_cast<unsigned>(cursor / 64);
+        unsigned bitIdx = static_cast<unsigned>(cursor % 64);
+        if ((cursor + width + 63) / 64 > words.size())
+            panic("BitReader overrun");
+        uint64_t v = words[wordIdx] >> bitIdx;
+        if (bitIdx + width > 64)
+            v |= words[wordIdx + 1] << (64 - bitIdx);
+        cursor += width;
+        return truncate(v, width);
+    }
+
+    uint64_t bitsRead() const { return cursor; }
+
+  private:
+    const std::vector<uint64_t> &words;
+    uint64_t cursor = 0;
+};
+
+} // namespace strober
+
+#endif // STROBER_UTIL_BITSTREAM_H

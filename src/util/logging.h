@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Status and error reporting, following the gem5 convention:
+ *
+ *  - panic():  an internal invariant was violated (a bug in this library);
+ *              aborts so a debugger/core dump can pinpoint it.
+ *  - fatal():  the *user* asked for something impossible (bad config,
+ *              malformed input); exits with an error code.
+ *  - warn():   something is suspicious but simulation can continue.
+ *  - inform(): plain status output.
+ */
+
+#ifndef STROBER_UTIL_LOGGING_H
+#define STROBER_UTIL_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace strober {
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** vprintf-style formatting into a std::string. */
+std::string vstrfmt(const char *fmt, va_list ap);
+
+/** Abort with a message; use for violated internal invariants. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit(1) with a message; use for user errors. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning; simulation continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (benches use this to keep output clean). */
+void setQuiet(bool quiet);
+
+/** @return true if warn()/inform() are currently suppressed. */
+bool isQuiet();
+
+} // namespace strober
+
+#endif // STROBER_UTIL_LOGGING_H

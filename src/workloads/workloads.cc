@@ -1,0 +1,963 @@
+#include "workloads/workloads.h"
+
+#include <sstream>
+
+#include "isa/iss.h"
+#include "util/logging.h"
+
+namespace strober {
+namespace workloads {
+
+namespace {
+
+/** Deterministic data generator (LCG) for embedded .word tables. */
+class DataGen
+{
+  public:
+    explicit DataGen(uint32_t seed) : state(seed) {}
+
+    uint32_t
+    next()
+    {
+        state = state * 1664525u + 1013904223u;
+        return state;
+    }
+
+    uint32_t bounded(uint32_t n) { return next() % n; }
+
+  private:
+    uint32_t state;
+};
+
+/** Emit a .word table. */
+std::string
+wordTable(const std::string &label, const std::vector<uint32_t> &words)
+{
+    std::ostringstream os;
+    os << label << ":\n";
+    for (size_t i = 0; i < words.size(); ++i) {
+        if (i % 8 == 0)
+            os << "    .word ";
+        os << words[i];
+        os << ((i % 8 == 7 || i + 1 == words.size()) ? "\n" : ", ");
+    }
+    return os.str();
+}
+
+/** Assemble, run on the ISS for the expected checksum, wrap up. */
+Workload
+make(const std::string &name, const std::string &source,
+     uint64_t maxCycles, bool checkOnIss = true)
+{
+    Workload w;
+    w.name = name;
+    w.program = isa::assemble(source);
+    w.maxCycles = maxCycles;
+    if (checkOnIss) {
+        isa::Iss iss;
+        iss.loadProgram(w.program);
+        iss.run(200'000'000);
+        w.expectedExit = iss.exitCode();
+    }
+    return w;
+}
+
+constexpr const char *kExit = R"(
+        # a0 holds the checksum.
+        li   t0, 0x40000000
+        sw   a0, 0(t0)
+    hang:
+        j    hang
+)";
+
+} // namespace
+
+Workload
+vvadd()
+{
+    const unsigned n = 1024;
+    DataGen gen(1);
+    std::vector<uint32_t> a(n), bv(n);
+    for (auto &v : a)
+        v = gen.next();
+    for (auto &v : bv)
+        v = gen.next();
+
+    std::ostringstream os;
+    os << R"(
+        j    start
+        .align 8
+)" << wordTable("vec_a", a)
+       << wordTable("vec_b", bv) << R"(
+    vec_c:
+        .space )" << n * 4 << R"(
+    start:
+        la   s0, vec_a
+        la   s1, vec_b
+        la   s2, vec_c
+        li   s3, )" << n << R"(
+        li   t0, 0
+    loop:
+        slli t1, t0, 2
+        add  t2, s0, t1
+        add  t3, s1, t1
+        add  t4, s2, t1
+        lw   t5, 0(t2)
+        lw   t6, 0(t3)
+        add  t5, t5, t6
+        sw   t5, 0(t4)
+        addi t0, t0, 1
+        bne  t0, s3, loop
+        # checksum c
+        li   a0, 0
+        li   t0, 0
+    csum:
+        slli t1, t0, 2
+        add  t2, s2, t1
+        lw   t3, 0(t2)
+        add  a0, a0, t3
+        addi t0, t0, 1
+        bne  t0, s3, csum
+)" << kExit;
+    return make("vvadd", os.str(), 4'000'000);
+}
+
+Workload
+towers()
+{
+    // Towers of Hanoi, n = 7 disks, recursive; logs every move.
+    std::ostringstream os;
+    os << R"(
+        j    start
+        .align 8
+    movelog:
+        .space 4096
+    start:
+        li   sp, 0x20000
+        la   s0, movelog
+        li   s1, 0          # move count
+        li   a0, 9          # disks
+        li   a1, 1          # from peg
+        li   a2, 3          # to peg
+        li   a3, 2          # via peg
+        call hanoi
+        # checksum: moves + sum of logged (from*8+to)
+        li   a0, 0
+        li   t0, 0
+    sumlog:
+        beq  t0, s1, sumdone
+        slli t1, t0, 2
+        add  t2, s0, t1
+        lw   t3, 0(t2)
+        add  a0, a0, t3
+        addi t0, t0, 1
+        j    sumlog
+    sumdone:
+        add  a0, a0, s1
+)" << kExit << R"(
+    hanoi:
+        beqz a0, hret
+        addi sp, sp, -20
+        sw   ra, 16(sp)
+        sw   a0, 12(sp)
+        sw   a1, 8(sp)
+        sw   a2, 4(sp)
+        sw   a3, 0(sp)
+        addi a0, a0, -1
+        mv   t0, a2        # swap to/via for first recursion
+        mv   a2, a3
+        mv   a3, t0
+        call hanoi
+        # log the move from(a1) -> to(original a2)
+        lw   t1, 8(sp)     # from
+        lw   t2, 4(sp)     # to
+        slli t3, t1, 3
+        add  t3, t3, t2
+        slli t4, s1, 2
+        add  t4, t4, s0
+        sw   t3, 0(t4)
+        addi s1, s1, 1
+        # second recursion: via -> to
+        lw   a0, 12(sp)
+        addi a0, a0, -1
+        lw   a1, 0(sp)     # via
+        lw   a2, 4(sp)     # to
+        lw   a3, 8(sp)     # from
+        call hanoi
+        lw   ra, 16(sp)
+        addi sp, sp, 20
+    hret:
+        ret
+)";
+    return make("towers", os.str(), 4'000'000);
+}
+
+Workload
+dhrystoneLike()
+{
+    // String copies/compares, record-field updates, branchy integer work
+    // in a fixed loop, after the published benchmark's flavor.
+    std::ostringstream os;
+    os << R"(
+        j start
+        .align 8
+    str_a:
+        .word 0x73796844, 0x6e6f7472, 0x70652065, 0x312e3220   # text
+        .word 0
+    str_b:
+        .space 20
+    record:
+        .space 32
+    start:
+        li   sp, 0x20000
+        li   s0, 200         # iterations
+        li   a0, 0           # checksum
+    outer:
+        # strcpy(str_b, str_a) byte-wise
+        la   t0, str_a
+        la   t1, str_b
+    cpy:
+        lbu  t2, 0(t0)
+        sb   t2, 0(t1)
+        addi t0, t0, 1
+        addi t1, t1, 1
+        bnez t2, cpy
+        # strcmp(str_a, str_b) must be equal; count equal bytes
+        la   t0, str_a
+        la   t1, str_b
+        li   t3, 0
+    cmp:
+        lbu  t2, 0(t0)
+        lbu  t4, 0(t1)
+        bne  t2, t4, cmpfail
+        addi t3, t3, 1
+        addi t0, t0, 1
+        addi t1, t1, 1
+        bnez t2, cmp
+    cmpfail:
+        add  a0, a0, t3
+        # record updates (struct-ish field writes)
+        la   t0, record
+        sw   s0, 0(t0)
+        sw   a0, 4(t0)
+        lw   t1, 0(t0)
+        lw   t2, 4(t0)
+        add  t3, t1, t2
+        sw   t3, 8(t0)
+        # integer mix with data-dependent branches
+        andi t4, s0, 3
+        beqz t4, mod0
+        li   t5, 2
+        blt  t4, t5, mod1
+        add  a0, a0, t4
+        j    modend
+    mod1:
+        slli a0, a0, 1
+        srli a0, a0, 1
+        addi a0, a0, 7
+        j    modend
+    mod0:
+        xori a0, a0, 0x155
+    modend:
+        addi s0, s0, -1
+        bnez s0, outer
+)" << kExit;
+    return make("dhrystone", os.str(), 4'000'000);
+}
+
+Workload
+qsortWl()
+{
+    const unsigned n = 512;
+    DataGen gen(7);
+    std::vector<uint32_t> data(n);
+    for (auto &v : data)
+        v = gen.next() & 0xffff;
+
+    std::ostringstream os;
+    os << R"(
+        j start
+        .align 8
+)" << wordTable("arr", data) << R"(
+    start:
+        li   sp, 0x20000
+        la   s0, arr
+        li   s1, )" << n << R"(
+        # iterative quicksort with explicit stack of (lo, hi) pairs
+        addi sp, sp, -8
+        li   t0, 0
+        sw   t0, 0(sp)         # lo = 0
+        addi t1, s1, -1
+        sw   t1, 4(sp)         # hi = n-1
+        li   s2, 1             # stack depth
+    qloop:
+        beqz s2, qdone
+        lw   a1, 0(sp)         # lo
+        lw   a2, 4(sp)         # hi
+        addi sp, sp, 8
+        addi s2, s2, -1
+        bge  a1, a2, qloop
+        # partition: pivot = arr[hi]
+        slli t0, a2, 2
+        add  t0, t0, s0
+        lw   a3, 0(t0)         # pivot
+        mv   t1, a1            # i = lo
+        mv   t2, a1            # j = lo
+    part:
+        bge  t2, a2, partdone
+        slli t3, t2, 2
+        add  t3, t3, s0
+        lw   t4, 0(t3)
+        bgeu t4, a3, noswap
+        # swap arr[i], arr[j]
+        slli t5, t1, 2
+        add  t5, t5, s0
+        lw   t6, 0(t5)
+        sw   t4, 0(t5)
+        sw   t6, 0(t3)
+        addi t1, t1, 1
+    noswap:
+        addi t2, t2, 1
+        j    part
+    partdone:
+        # swap arr[i], arr[hi]
+        slli t5, t1, 2
+        add  t5, t5, s0
+        lw   t6, 0(t5)
+        lw   t4, 0(t0)
+        sw   t4, 0(t5)
+        sw   t6, 0(t0)
+        # push (lo, i-1) and (i+1, hi)
+        addi t3, t1, -1
+        addi sp, sp, -8
+        sw   a1, 0(sp)
+        sw   t3, 4(sp)
+        addi s2, s2, 1
+        addi t3, t1, 1
+        addi sp, sp, -8
+        sw   t3, 0(sp)
+        sw   a2, 4(sp)
+        addi s2, s2, 1
+        j    qloop
+    qdone:
+        # verify sortedness and checksum
+        li   a0, 0
+        li   t0, 1
+        li   t5, 1             # sorted flag
+    vloop:
+        slli t1, t0, 2
+        add  t1, t1, s0
+        lw   t2, 0(t1)
+        lw   t3, -4(t1)
+        add  a0, a0, t2
+        bgeu t2, t3, vok
+        li   t5, 0
+    vok:
+        addi t0, t0, 1
+        bne  t0, s1, vloop
+        slli t5, t5, 16
+        add  a0, a0, t5
+)" << kExit;
+    return make("qsort", os.str(), 8'000'000);
+}
+
+Workload
+spmv()
+{
+    // CSR sparse matrix-vector multiply: 32 rows x 64 cols, 4 nnz/row.
+    const unsigned rows = 128, cols = 64, nnz = 4;
+    DataGen gen(11);
+    std::vector<uint32_t> colIdx, vals, x(cols);
+    for (unsigned r = 0; r < rows; ++r) {
+        for (unsigned k = 0; k < nnz; ++k) {
+            colIdx.push_back(gen.bounded(cols));
+            vals.push_back(gen.bounded(1000));
+        }
+    }
+    for (auto &v : x)
+        v = gen.bounded(1000);
+
+    std::ostringstream os;
+    os << R"(
+        j start
+        .align 8
+)" << wordTable("colidx", colIdx) << wordTable("vals", vals)
+       << wordTable("vec_x", x) << R"(
+    vec_y:
+        .space )" << rows * 4 << R"(
+    start:
+        la   s0, colidx
+        la   s1, vals
+        la   s2, vec_x
+        la   s3, vec_y
+        li   s4, )" << rows << R"(
+        li   t0, 0           # row
+        li   s5, 0           # nnz cursor
+    row:
+        li   a1, 0           # accumulator
+        li   t1, 0           # k
+    elem:
+        slli t2, s5, 2
+        add  t3, s0, t2
+        lw   t4, 0(t3)       # col
+        add  t3, s1, t2
+        lw   t5, 0(t3)       # val
+        slli t4, t4, 2
+        add  t4, t4, s2
+        lw   t6, 0(t4)       # x[col]
+        mul  t5, t5, t6
+        add  a1, a1, t5
+        addi s5, s5, 1
+        addi t1, t1, 1
+        li   t2, )" << nnz << R"(
+        bne  t1, t2, elem
+        slli t2, t0, 2
+        add  t2, t2, s3
+        sw   a1, 0(t2)
+        addi t0, t0, 1
+        bne  t0, s4, row
+        # checksum y
+        li   a0, 0
+        li   t0, 0
+    csum:
+        slli t1, t0, 2
+        add  t1, t1, s3
+        lw   t2, 0(t1)
+        add  a0, a0, t2
+        addi t0, t0, 1
+        bne  t0, s4, csum
+)" << kExit;
+    return make("spmv", os.str(), 4'000'000);
+}
+
+Workload
+dgemm()
+{
+    const unsigned n = 16;
+    DataGen gen(13);
+    std::vector<uint32_t> a(n * n), bm(n * n);
+    for (auto &v : a)
+        v = gen.bounded(100);
+    for (auto &v : bm)
+        v = gen.bounded(100);
+
+    std::ostringstream os;
+    os << R"(
+        j start
+        .align 8
+)" << wordTable("mat_a", a) << wordTable("mat_b", bm) << R"(
+    mat_c:
+        .space )" << n * n * 4 << R"(
+    start:
+        la   s0, mat_a
+        la   s1, mat_b
+        la   s2, mat_c
+        li   s3, )" << n << R"(
+        li   t0, 0           # i
+    iloop:
+        li   t1, 0           # j
+    jloop:
+        li   a1, 0           # acc
+        li   t2, 0           # k
+    kloop:
+        mul  t3, t0, s3
+        add  t3, t3, t2
+        slli t3, t3, 2
+        add  t3, t3, s0
+        lw   t4, 0(t3)       # a[i][k]
+        mul  t5, t2, s3
+        add  t5, t5, t1
+        slli t5, t5, 2
+        add  t5, t5, s1
+        lw   t6, 0(t5)       # b[k][j]
+        mul  t4, t4, t6
+        add  a1, a1, t4
+        addi t2, t2, 1
+        bne  t2, s3, kloop
+        mul  t3, t0, s3
+        add  t3, t3, t1
+        slli t3, t3, 2
+        add  t3, t3, s2
+        sw   a1, 0(t3)
+        addi t1, t1, 1
+        bne  t1, s3, jloop
+        addi t0, t0, 1
+        bne  t0, s3, iloop
+        # checksum c
+        li   a0, 0
+        li   t0, 0
+        mul  s4, s3, s3
+    csum:
+        slli t1, t0, 2
+        add  t1, t1, s2
+        lw   t2, 0(t1)
+        add  a0, a0, t2
+        addi t0, t0, 1
+        bne  t0, s4, csum
+)" << kExit;
+    return make("dgemm", os.str(), 8'000'000);
+}
+
+std::vector<Workload>
+microbenchmarks()
+{
+    return {vvadd(), towers(), dhrystoneLike(), qsortWl(), spmv(),
+            dgemm()};
+}
+
+Workload
+coremarkLite(unsigned iterations)
+{
+    // The three CoreMark kernels in miniature: linked-list find/rotate,
+    // matrix multiply-accumulate, and a state machine over a string.
+    const unsigned nodes = 24;
+    DataGen gen(17);
+    std::vector<uint32_t> vals(nodes);
+    for (auto &v : vals)
+        v = gen.bounded(256);
+
+    std::ostringstream os;
+    os << R"(
+        j start
+        .align 8
+)" << wordTable("lvals", vals) << R"(
+    list:
+        .space )" << nodes * 8 << R"(
+    smtext:
+        .word 0x31322b31, 0x352a332d, 0x2f373839, 0x00312b32  # "12+1-3*58 97/2+1"
+    start:
+        li   sp, 0x20000
+        li   a0, 0           # crc accumulator
+        li   s11, )" << iterations << R"(  # outer iterations
+    outer:
+        # --- build/refresh linked list: node = {value, next} ------------
+        la   s0, list
+        la   s1, lvals
+        li   t0, 0
+        li   s2, )" << nodes << R"(
+    build:
+        slli t1, t0, 3
+        add  t2, s0, t1      # node addr
+        slli t3, t0, 2
+        add  t3, t3, s1
+        lw   t4, 0(t3)
+        sw   t4, 0(t2)       # value
+        addi t5, t0, 1
+        rem  t5, t5, s2
+        slli t5, t5, 3
+        add  t5, t5, s0
+        sw   t5, 4(t2)       # next (ring)
+        addi t0, t0, 1
+        bne  t0, s2, build
+        # --- traverse: find max value over one lap -----------------------
+        mv   t0, s0
+        li   t1, 0           # max
+        li   t2, 0           # steps
+    walk:
+        lw   t3, 0(t0)
+        ble  t3, t1, nomax
+        mv   t1, t3
+    nomax:
+        lw   t0, 4(t0)
+        addi t2, t2, 1
+        bne  t2, s2, walk
+        add  a0, a0, t1
+        # --- 6x6 matrix multiply-accumulate ------------------------------
+        li   t0, 0           # i
+    mi:
+        li   t1, 0           # j
+    mj:
+        li   t4, 0
+        li   t2, 0           # k
+    mk:
+        add  t5, t0, t2
+        add  t6, t2, t1
+        mul  t5, t5, t6
+        add  t4, t4, t5
+        addi t2, t2, 1
+        li   t5, 6
+        bne  t2, t5, mk
+        add  a0, a0, t4
+        addi t1, t1, 1
+        li   t5, 6
+        bne  t1, t5, mj
+        addi t0, t0, 1
+        li   t5, 6
+        bne  t0, t5, mi
+        # --- state machine over the text ---------------------------------
+        la   t0, smtext
+        li   t1, 16          # bytes
+        li   t2, 0           # state
+    sm:
+        lbu  t3, 0(t0)
+        li   t4, 0x30
+        blt  t3, t4, notdig
+        li   t4, 0x3a
+        bge  t3, t4, notdig
+        addi t2, t2, 1       # digit state
+        add  a0, a0, t3
+        j    smnext
+    notdig:
+        li   t4, 0x2b        # '+'
+        beq  t3, t4, isop
+        li   t4, 0x2d        # '-'
+        beq  t3, t4, isop
+        li   t4, 0x2a        # '*'
+        beq  t3, t4, isop
+        li   t4, 0x2f        # '/'
+        beq  t3, t4, isop
+        slli t2, t2, 1       # other: shift state
+        andi t2, t2, 255
+        j    smnext
+    isop:
+        xor  a0, a0, t2
+        li   t2, 0
+    smnext:
+        addi t0, t0, 1
+        addi t1, t1, -1
+        bnez t1, sm
+        add  a0, a0, t2
+        addi s11, s11, -1
+        bnez s11, outer
+)" << kExit;
+    return make("coremark", os.str(), 8'000'000);
+}
+
+Workload
+linuxbootLike(unsigned bssKiB)
+{
+    // "Boot": clear a large bss, build two-level page tables, probe
+    // devices with console output, then run a tiny shell command loop.
+    std::ostringstream os;
+    os << R"(
+        j start
+        .align 8
+    cmdline:
+        .word 0x616e7500, 0x6c73006d, 0x6f686365, 0x00000000
+    start:
+        li   sp, 0x20000
+        li   a0, 0
+        # --- clear "bss": word stores over the bss region ----------------
+        li   t0, 0x30000
+        li   t1, )" << (0x30000 + bssKiB * 1024) << R"(
+    bss:
+        sw   x0, 0(t0)
+        addi t0, t0, 4
+        bne  t0, t1, bss
+        # --- build page tables: 64 L2 entries + L1 ----------------------
+        li   s0, 0x38000     # L1 base
+        li   s1, 0x38400     # L2 pool
+        li   t0, 0
+    pgt:
+        slli t1, t0, 2
+        add  t2, s0, t1      # &L1[i]
+        slli t3, t0, 8
+        add  t3, t3, s1      # L2 block
+        ori  t4, t3, 1       # valid bit
+        sw   t4, 0(t2)
+        # fill 8 entries of this L2 block
+        li   t5, 0
+    pge:
+        slli t6, t5, 2
+        add  t6, t6, t3
+        slli a1, t5, 12
+        ori  a1, a1, 0xf
+        sw   a1, 0(t6)
+        addi t5, t5, 1
+        li   a1, 8
+        bne  t5, a1, pge
+        addi t0, t0, 1
+        li   t1, 64
+        bne  t0, t1, pgt
+        # --- walk the tables, accumulate translations --------------------
+        li   t0, 0
+    walkpt:
+        slli t1, t0, 2
+        add  t1, t1, s0
+        lw   t2, 0(t1)       # L1 entry
+        andi t3, t2, 1
+        beqz t3, walknext
+        li   a1, 0xffffe
+        slli a1, a1, 1
+        and  t2, t2, a1      # clear valid, keep address-ish bits
+        lw   t4, 4(t2)       # second L2 entry
+        add  a0, a0, t4
+    walknext:
+        addi t0, t0, 1
+        li   t1, 64
+        bne  t0, t1, walkpt
+        # --- device probes with console output ---------------------------
+        li   s2, 6           # devices
+        li   s3, 0x40000004
+    probe:
+        li   t0, 98          # 'b'
+        sw   t0, 0(s3)
+        li   t0, 111         # 'o'
+        sw   t0, 0(s3)
+        li   t0, 111
+        sw   t0, 0(s3)
+        li   t0, 116         # 't'
+        sw   t0, 0(s3)
+        li   t0, 10          # newline
+        sw   t0, 0(s3)
+        add  a0, a0, s2
+        addi s2, s2, -1
+        bnez s2, probe
+        # --- shell loop: hash each NUL-separated command ------------------
+        la   s4, cmdline
+        li   t0, 0           # offset
+        li   t5, 0           # command hash
+    shell:
+        add  t1, s4, t0
+        lbu  t2, 0(t1)
+        beqz t2, cmdend
+        slli t3, t5, 5
+        add  t5, t3, t2
+        j    shnext
+    cmdend:
+        add  a0, a0, t5
+        li   t5, 0
+    shnext:
+        addi t0, t0, 1
+        li   t1, 16
+        bne  t0, t1, shell
+)" << kExit;
+    return make("linuxboot", os.str(), 16'000'000);
+}
+
+Workload
+gccLike(unsigned iterations)
+{
+    // "Compiler": tokenize expression statements, maintain a chained
+    // hash symbol table, evaluate with a recursive-descent parser.
+    // Source text: statements of the form "letter = digit-expression;".
+    std::string text = "a=1+2*3;b=a+4;c=b*b-5;d=c/3+a;e=d*2+b;";
+    std::vector<uint32_t> packed;
+    for (size_t i = 0; i < text.size(); i += 4) {
+        uint32_t w = 0;
+        for (size_t k = 0; k < 4 && i + k < text.size(); ++k)
+            w |= static_cast<uint32_t>(text[i + k]) << (8 * k);
+        packed.push_back(w);
+    }
+    packed.push_back(0);
+
+    std::ostringstream os;
+    os << R"(
+        j start
+        .align 8
+)" << wordTable("srctext", packed) << R"(
+    symtab:
+        .space 256           # 32 buckets x {key, value}
+    start:
+        li   sp, 0x20000
+        li   a0, 0
+        li   s10, )" << iterations << R"(  # whole-compile iterations
+    compile:
+        # clear symbol table
+        la   s0, symtab
+        li   t0, 0
+    clr:
+        slli t1, t0, 2
+        add  t1, t1, s0
+        sw   x0, 0(t1)
+        addi t0, t0, 1
+        li   t1, 64
+        bne  t0, t1, clr
+        la   s1, srctext     # cursor
+    stmt:
+        lbu  t0, 0(s1)
+        beqz t0, stmtsdone
+        # expect: var '=' expr ';'
+        mv   s2, t0          # variable name
+        addi s1, s1, 2       # skip var and '='
+        call expr            # -> a1 value, s1 advanced
+        addi s1, s1, 1       # skip ';'
+        # store into hash table: bucket = name & 31
+        andi t0, s2, 31
+        slli t0, t0, 3
+        add  t0, t0, s0
+        sw   s2, 0(t0)
+        sw   a1, 4(t0)
+        add  a0, a0, a1
+        j    stmt
+    stmtsdone:
+        # periodic "garbage collection": every 8th compile touches a
+        # rotating 4 KiB heap region (gives gcc its phased, memory-bound
+        # stretches - visible in the Figure-10 CPI timeline)
+        andi t0, s10, 7
+        bnez t0, nogc
+        slli t1, s10, 12
+        li   t2, 0x1ffff
+        and  t1, t1, t2
+        li   t2, 0x60000
+        add  t1, t1, t2
+        li   t3, 1024
+    gcloop:
+        lw   t4, 0(t1)
+        addi t4, t4, 1
+        sw   t4, 0(t1)
+        addi t1, t1, 4
+        addi t3, t3, -1
+        bnez t3, gcloop
+    nogc:
+        addi s10, s10, -1
+        bnez s10, compile
+)" << kExit << R"(
+
+    # expr := term (('+'|'-') term)*      result in a1
+    expr:
+        addi sp, sp, -8
+        sw   ra, 4(sp)
+        call term
+        mv   t3, a1
+    exprloop:
+        lbu  t0, 0(s1)
+        li   t1, 0x2b        # '+'
+        beq  t0, t1, eadd
+        li   t1, 0x2d        # '-'
+        beq  t0, t1, esub
+        mv   a1, t3
+        lw   ra, 4(sp)
+        addi sp, sp, 8
+        ret
+    eadd:
+        addi s1, s1, 1
+        sw   t3, 0(sp)
+        call term
+        lw   t3, 0(sp)
+        add  t3, t3, a1
+        j    exprloop
+    esub:
+        addi s1, s1, 1
+        sw   t3, 0(sp)
+        call term
+        lw   t3, 0(sp)
+        sub  t3, t3, a1
+        j    exprloop
+
+    # term := factor (('*'|'/') factor)*
+    term:
+        addi sp, sp, -8
+        sw   ra, 4(sp)
+        call factor
+        mv   t4, a1
+    termloop:
+        lbu  t0, 0(s1)
+        li   t1, 0x2a        # '*'
+        beq  t0, t1, tmul
+        li   t1, 0x2f        # '/'
+        beq  t0, t1, tdiv
+        mv   a1, t4
+        lw   ra, 4(sp)
+        addi sp, sp, 8
+        ret
+    tmul:
+        addi s1, s1, 1
+        sw   t4, 0(sp)
+        call factor
+        lw   t4, 0(sp)
+        mul  t4, t4, a1
+        j    termloop
+    tdiv:
+        addi s1, s1, 1
+        sw   t4, 0(sp)
+        call factor
+        lw   t4, 0(sp)
+        div  t4, t4, a1
+        j    termloop
+
+    # factor := digit | variable (symbol-table lookup)
+    factor:
+        lbu  t0, 0(s1)
+        addi s1, s1, 1
+        li   t1, 0x30
+        blt  t0, t1, fvar
+        li   t1, 0x3a
+        bge  t0, t1, fvar
+        addi a1, t0, -0x30
+        ret
+    fvar:
+        andi t1, t0, 31
+        slli t1, t1, 3
+        la   t2, symtab
+        add  t1, t1, t2
+        lw   a1, 4(t1)       # value (0 when undefined)
+        ret
+)";
+    return make("gcc", os.str(), 16'000'000);
+}
+
+std::vector<Workload>
+caseStudies()
+{
+    return {coremarkLite(), linuxbootLike(), gccLike()};
+}
+
+Workload
+byName(const std::string &name)
+{
+    for (Workload &w : microbenchmarks()) {
+        if (w.name == name)
+            return w;
+    }
+    for (Workload &w : caseStudies()) {
+        if (w.name == name)
+            return w;
+    }
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+Workload
+pointerChase(uint32_t sizeBytes, uint32_t iterations)
+{
+    const uint32_t stride = 64;
+    const uint32_t arrayBase = 0x40000; // away from code and stacks
+    uint32_t nodes = sizeBytes / stride;
+    if (nodes < 2)
+        fatal("pointer chase needs at least two nodes");
+
+    std::ostringstream os;
+    os << R"(
+        # Build the chase ring at runtime (sequential with 64 B stride),
+        # then measure load-to-load latency with rdcycle (ccbench-style).
+        li   s0, )" << arrayBase << R"(
+        li   s1, )" << nodes << R"(
+        li   t0, 0
+    build:
+        li   t1, )" << stride << R"(
+        mul  t2, t0, t1
+        add  t2, t2, s0      # node address
+        addi t3, t0, 1
+        rem  t3, t3, s1
+        mul  t3, t3, t1
+        add  t3, t3, s0      # next address
+        sw   t3, 0(t2)
+        addi t0, t0, 1
+        bne  t0, s1, build
+        # warm-up lap so the in-cache case starts warm
+        mv   a0, s0
+        mv   t0, s1
+    warm:
+        lw   a0, 0(a0)
+        addi t0, t0, -1
+        bnez t0, warm
+        # timed chase
+        li   s2, )" << iterations << R"(
+        mv   t0, s2
+        rdcycle s3
+    chase:
+        lw   a0, 0(a0)
+        addi t0, t0, -1
+        bnez t0, chase
+        rdcycle s4
+        sub  s4, s4, s3
+        slli s4, s4, 4       # x16 fixed point
+        divu a0, s4, s2      # latency per load (x16)
+)" << kExit;
+    Workload w = make("pointer_chase", os.str(), 200'000'000,
+                      /*checkOnIss=*/false);
+    return w;
+}
+
+} // namespace workloads
+} // namespace strober

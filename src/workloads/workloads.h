@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Benchmark programs for the target SoCs, written in RV32IM assembly and
+ * assembled at build time. These substitute for the paper's workloads:
+ *
+ *  - the six Rocket-Chip microbenchmarks used in the power validation
+ *    (Table IV / Figure 8): vvadd, towers, dhrystone, qsort, spmv, dgemm
+ *    — same kernels, scaled-down inputs;
+ *  - the three case-study workloads (Table III / Figure 9): CoreMark,
+ *    Linux-boot and SPECint 403.gcc are replaced by coremark-lite (list +
+ *    matrix + state-machine mix), linuxboot-like (memory init, tree
+ *    setup, branchy command loop, console output) and gcc-like
+ *    (tokenizer + hash table + recursive-descent evaluation);
+ *  - the ccbench pointer-chase kernel used for the DRAM timing
+ *    validation (Figure 7).
+ *
+ * Every program ends by storing a checksum to the MMIO exit register so
+ * both the ISS and the RTL/gate simulations self-check.
+ */
+
+#ifndef STROBER_WORKLOADS_WORKLOADS_H
+#define STROBER_WORKLOADS_WORKLOADS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.h"
+
+namespace strober {
+namespace workloads {
+
+/** A named, assembled workload. */
+struct Workload
+{
+    std::string name;
+    isa::Program program;
+    uint32_t expectedExit = 0;  //!< checksum the run must produce
+    uint64_t maxCycles = 0;     //!< generous per-core cycle budget
+};
+
+// --- Validation microbenchmarks (Table IV / Figure 8) -------------------
+Workload vvadd();
+Workload towers();
+Workload dhrystoneLike();
+Workload qsortWl();
+Workload spmv();
+Workload dgemm();
+
+/** All six, in the paper's order. */
+std::vector<Workload> microbenchmarks();
+
+// --- Case-study workloads (Table III / Figure 9) ------------------------
+/** @p iterations scales run length (Table III uses longer runs). */
+Workload coremarkLite(unsigned iterations = 3);
+Workload linuxbootLike(unsigned bssKiB = 24);
+Workload gccLike(unsigned iterations = 3);
+
+std::vector<Workload> caseStudies();
+
+/** Find any workload by name (fatal if unknown). */
+Workload byName(const std::string &name);
+
+/**
+ * Pointer-chase kernel (Figure 7): a linked ring of @p sizeBytes with
+ * node stride of 64 bytes is chased @p iterations times; the program
+ * exits with the average load-to-load latency in cycles x16 (fixed
+ * point), measured with rdcycle.
+ */
+Workload pointerChase(uint32_t sizeBytes, uint32_t iterations);
+
+} // namespace workloads
+} // namespace strober
+
+#endif // STROBER_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Tests for the out-of-order (boom-like) SoC at both widths, verified
+ * instruction-by-instruction against the golden ISS.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/harness.h"
+#include "cores/soc.h"
+#include "cores/soc_driver.h"
+#include "isa/assembler.h"
+
+namespace strober {
+namespace cores {
+namespace {
+
+const rtl::Design &
+boomDesign(unsigned width)
+{
+    static rtl::Design one = buildSoc(SocConfig::boom1w());
+    static rtl::Design two = buildSoc(SocConfig::boom2w());
+    return width == 1 ? one : two;
+}
+
+SocDriver
+runBoom(unsigned width, const std::string &source,
+        uint64_t maxCycles = 2'000'000)
+{
+    const rtl::Design &design = boomDesign(width);
+    isa::Program prog = isa::assemble(source);
+    SocDriver::Config cfg;
+    cfg.checkCommits = true;
+    SocDriver driver(design, prog, cfg);
+    core::RtlHarness harness(design);
+    core::runLoop(harness, driver, maxCycles);
+    EXPECT_TRUE(driver.done()) << "program did not finish (width "
+                               << width << ")";
+    return driver;
+}
+
+class BoomWidth : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BoomWidth, ArithmeticLoop)
+{
+    SocDriver d = runBoom(GetParam(), R"(
+            li a0, 0
+            li a1, 1
+            li a2, 101
+        loop:
+            add a0, a0, a1
+            addi a1, a1, 1
+            bne a1, a2, loop
+            li t0, 0x40000000
+            sw a0, 0(t0)
+        spin:
+            j spin
+    )");
+    EXPECT_EQ(d.exitCode(), 5050u);
+}
+
+TEST_P(BoomWidth, IndependentChainsExploitIlp)
+{
+    SocDriver d = runBoom(GetParam(), R"(
+            li s0, 0
+            li s1, 0
+            li s2, 0
+            li s3, 0
+            li t0, 0
+            li t1, 200
+        loop:
+            addi s0, s0, 1
+            addi s1, s1, 2
+            addi s2, s2, 3
+            addi s3, s3, 4
+            addi t0, t0, 1
+            bne  t0, t1, loop
+            add  a0, s0, s1
+            add  a0, a0, s2
+            add  a0, a0, s3
+            li t0, 0x40000000
+            sw a0, 0(t0)
+        spin:
+            j spin
+    )");
+    EXPECT_EQ(d.exitCode(), 2000u);
+}
+
+TEST_P(BoomWidth, LoadsStoresAndDependencies)
+{
+    SocDriver d = runBoom(GetParam(), R"(
+            li   sp, 0x8000
+            li   t0, 0
+            li   t1, 32
+            li   a0, 0
+        fill:
+            slli t2, t0, 2
+            add  t3, sp, t2
+            sw   t0, 0(t3)
+            addi t0, t0, 1
+            bne  t0, t1, fill
+            li   t0, 0
+        sum:
+            slli t2, t0, 2
+            add  t3, sp, t2
+            lw   t4, 0(t3)
+            add  a0, a0, t4
+            addi t0, t0, 1
+            bne  t0, t1, sum
+            li   t0, 0x40000000
+            sw   a0, 0(t0)
+        spin:
+            j spin
+    )");
+    EXPECT_EQ(d.exitCode(), 496u); // sum 0..31
+}
+
+TEST_P(BoomWidth, StoreLoadForwardingThroughCache)
+{
+    // Store immediately followed by dependent load to the same word.
+    SocDriver d = runBoom(GetParam(), R"(
+            li   sp, 0x8000
+            li   a0, 42
+            sw   a0, 0(sp)
+            lw   a1, 0(sp)
+            addi a1, a1, 1
+            sw   a1, 4(sp)
+            lw   a2, 4(sp)
+            li   t0, 0x40000000
+            sw   a2, 0(t0)
+        spin:
+            j spin
+    )");
+    EXPECT_EQ(d.exitCode(), 43u);
+}
+
+TEST_P(BoomWidth, BranchRecoveryAndWrongPathSquash)
+{
+    SocDriver d = runBoom(GetParam(), R"(
+            li  a0, 0
+            li  t0, 0
+            li  t1, 50
+        loop:
+            andi t2, t0, 1
+            beqz t2, even
+            addi a0, a0, 100     # odd path
+            j    next
+        even:
+            addi a0, a0, 1       # even path
+        next:
+            addi t0, t0, 1
+            bne  t0, t1, loop
+            li   t0, 0x40000000
+            sw   a0, 0(t0)
+        spin:
+            j spin
+    )");
+    EXPECT_EQ(d.exitCode(), 25u * 100 + 25u);
+}
+
+TEST_P(BoomWidth, MulDivOutOfOrderCompletion)
+{
+    SocDriver d = runBoom(GetParam(), R"(
+            li   a0, 7
+            li   a1, 9
+            mul  a2, a0, a1      # 3-cycle pipe
+            addi a3, a0, 1       # independent: completes earlier
+            div  a4, a1, a0      # long divide
+            addi a5, a1, 1       # independent again
+            add  s0, a2, a3
+            add  s0, s0, a4
+            add  s0, s0, a5
+            li   t0, 0x40000000
+            sw   s0, 0(t0)
+        spin:
+            j spin
+    )");
+    EXPECT_EQ(d.exitCode(), 63u + 8 + 1 + 10);
+}
+
+TEST_P(BoomWidth, RecursionStressesRenamer)
+{
+    SocDriver d = runBoom(GetParam(), R"(
+            li   sp, 0x10000
+            li   a0, 8
+            call fib
+            li   t0, 0x40000000
+            sw   a0, 0(t0)
+        spin:
+            j spin
+        fib:
+            li   t0, 2
+            blt  a0, t0, base
+            addi sp, sp, -12
+            sw   ra, 8(sp)
+            sw   a0, 4(sp)
+            addi a0, a0, -1
+            call fib
+            sw   a0, 0(sp)
+            lw   a0, 4(sp)
+            addi a0, a0, -2
+            call fib
+            lw   t1, 0(sp)
+            add  a0, a0, t1
+            lw   ra, 8(sp)
+            addi sp, sp, 12
+            ret
+        base:
+            ret
+    )", 4'000'000);
+    EXPECT_EQ(d.exitCode(), 21u); // fib(8)
+}
+
+TEST_P(BoomWidth, CsrAndConsole)
+{
+    SocDriver d = runBoom(GetParam(), R"(
+            rdcycle s0
+            li   t0, 0x40000004
+            li   t1, 79          # 'O'
+            sw   t1, 0(t0)
+            li   t1, 107         # 'k'
+            sw   t1, 0(t0)
+            rdcycle s1
+            sub  a0, s1, s0
+            li   t0, 0x40000000
+            sw   a0, 0(t0)
+        spin:
+            j spin
+    )");
+    EXPECT_EQ(d.console(), "Ok");
+    EXPECT_GT(d.exitCode(), 0u);
+}
+
+TEST_P(BoomWidth, EcallHalts)
+{
+    SocDriver d = runBoom(GetParam(), R"(
+            li a0, 5
+            ecall
+            li a0, 9
+        spin:
+            j spin
+    )");
+    EXPECT_TRUE(d.exited());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BoomWidth, ::testing::Values(1u, 2u));
+
+/** The headline microarchitectural claim: 2-wide OoO beats the in-order
+ *  core on an ILP-rich loop (paper Figure 9b, CoreMark). */
+TEST(BoomPerf, TwoWideBeatsInOrderOnIlp)
+{
+    const char *kernel = R"(
+            li s0, 0
+            li s1, 0
+            li s2, 0
+            li s3, 0
+            li t0, 0
+            li t1, 500
+        loop:
+            addi s0, s0, 1
+            addi s1, s1, 2
+            addi s2, s2, 3
+            xori s3, s3, 5
+            add  s0, s0, s2
+            addi t0, t0, 1
+            bne  t0, t1, loop
+            li t0, 0x40000000
+            sw s0, 0(t0)
+        spin:
+            j spin
+    )";
+    isa::Program prog = isa::assemble(kernel);
+
+    auto cyclesFor = [&](const rtl::Design &design) {
+        SocDriver driver(design, prog);
+        core::RtlHarness harness(design);
+        core::runLoop(harness, driver, 10'000'000);
+        EXPECT_TRUE(driver.done());
+        return harness.cycles();
+    };
+
+    static rtl::Design rocket = buildSoc(SocConfig::rocket());
+    uint64_t rocketCycles = cyclesFor(rocket);
+    uint64_t boom2Cycles = cyclesFor(boomDesign(2));
+    EXPECT_LT(boom2Cycles, rocketCycles)
+        << "2-wide OoO should finish the ILP kernel in fewer cycles";
+}
+
+} // namespace
+} // namespace cores
+} // namespace strober

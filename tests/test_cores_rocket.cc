@@ -1,0 +1,488 @@
+/**
+ * @file
+ * Tests for the execution units, cache, and the in-order (rocket-like)
+ * SoC, verified instruction-by-instruction against the golden ISS.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/harness.h"
+#include "cores/cache.h"
+#include "cores/exec_units.h"
+#include "cores/soc.h"
+#include "cores/soc_driver.h"
+#include "isa/assembler.h"
+#include "isa/iss.h"
+#include "rtl/builder.h"
+#include "sim/simulator.h"
+#include "stats/rng.h"
+
+namespace strober {
+namespace cores {
+namespace {
+
+using rtl::Builder;
+using rtl::Design;
+using rtl::Signal;
+
+// ---------------------------------------------------------------------
+// Execution units.
+// ---------------------------------------------------------------------
+
+TEST(MulPipe, AllModesMatchReference)
+{
+    Builder b("mul");
+    Signal a = b.input("a", 32);
+    Signal x = b.input("x", 32);
+    Signal mode = b.input("mode", 2);
+    Signal v = b.input("v", 1);
+    MulPipe mp = buildMulPipe(b, "u", a, x, mode, v);
+    b.output("res", mp.result);
+    b.output("valid", mp.outValid);
+    Design d = b.finish();
+    sim::Simulator s(d);
+    stats::Rng rng(17);
+
+    for (int iter = 0; iter < 100; ++iter) {
+        uint32_t av = static_cast<uint32_t>(rng.next());
+        uint32_t xv = static_cast<uint32_t>(rng.next());
+        unsigned mode_v = iter % 4;
+        s.poke("a", av);
+        s.poke("x", xv);
+        s.poke("mode", mode_v);
+        s.poke("v", 1);
+        s.step();
+        s.poke("v", 0);
+        s.step(2);
+        ASSERT_EQ(s.peek("valid"), 1u);
+        uint64_t expect;
+        switch (mode_v) {
+          case kMulLow:
+            expect = uint32_t(av * xv);
+            break;
+          case kMulHigh:
+            expect = uint32_t((int64_t(int32_t(av)) * int64_t(int32_t(xv)))
+                              >> 32);
+            break;
+          case kMulHighSU:
+            expect = uint32_t((int64_t(int32_t(av)) * int64_t(uint64_t(xv)))
+                              >> 32);
+            break;
+          default:
+            expect = uint32_t((uint64_t(av) * uint64_t(xv)) >> 32);
+            break;
+        }
+        ASSERT_EQ(s.peek("res"), expect)
+            << "a=" << av << " x=" << xv << " mode=" << mode_v;
+        s.step(); // drain
+    }
+}
+
+TEST(Divider, SignedAndUnsignedCorners)
+{
+    Builder b("div");
+    Signal start = b.input("start", 1);
+    Signal a = b.input("a", 32);
+    Signal x = b.input("x", 32);
+    Signal sgn = b.input("sgn", 1);
+    Signal rem = b.input("rem", 1);
+    DivUnit du = buildDivider(b, "u", start, a, x, sgn, rem,
+                              b.lit(0, 1));
+    b.output("busy", du.busy);
+    b.output("done", du.done);
+    b.output("res", du.result);
+    Design d = b.finish();
+    sim::Simulator s(d);
+
+    auto runDiv = [&](uint32_t av, uint32_t xv, bool isSigned,
+                      bool wantRem) {
+        s.poke("a", av);
+        s.poke("x", xv);
+        s.poke("sgn", isSigned);
+        s.poke("rem", wantRem);
+        s.poke("start", 1);
+        s.step();
+        s.poke("start", 0);
+        int guard = 0;
+        while (s.peek("done") == 0) {
+            s.step();
+            if (++guard > 50) {
+                ADD_FAILURE() << "divider timed out";
+                break;
+            }
+        }
+        return static_cast<uint32_t>(s.peek("res"));
+    };
+
+    EXPECT_EQ(runDiv(100, 7, false, false), 100u / 7);
+    EXPECT_EQ(runDiv(100, 7, false, true), 100u % 7);
+    EXPECT_EQ(runDiv(uint32_t(-100), 7, true, false), uint32_t(-100 / 7));
+    EXPECT_EQ(runDiv(uint32_t(-100), 7, true, true), uint32_t(-100 % 7));
+    EXPECT_EQ(runDiv(100, uint32_t(-7), true, false), uint32_t(100 / -7));
+    EXPECT_EQ(runDiv(7, 0, false, false), UINT32_MAX);       // div by 0
+    EXPECT_EQ(runDiv(7, 0, false, true), 7u);                // rem by 0
+    EXPECT_EQ(runDiv(0x80000000u, uint32_t(-1), true, false),
+              0x80000000u);                                  // overflow
+    EXPECT_EQ(runDiv(0x80000000u, uint32_t(-1), true, true), 0u);
+    EXPECT_EQ(runDiv(0xffffffffu, 3, false, false), 0xffffffffu / 3);
+}
+
+// ---------------------------------------------------------------------
+// Cache (driven standalone against a flat memory model).
+// ---------------------------------------------------------------------
+
+struct CacheTb
+{
+    Design design;
+    CacheTb() : design(build()) {}
+
+    static Design
+    build()
+    {
+        Builder b("tb");
+        CacheInputs in;
+        in.reqValid = b.input("req_valid", 1);
+        in.reqAddr = b.input("req_addr", 32);
+        in.reqWrite = b.input("req_write", 1);
+        in.reqWdata = b.input("req_wdata", 32);
+        in.reqWstrb = b.input("req_wstrb", 4);
+        in.memReqReady = b.input("mem_ready", 1);
+        in.memRespValid = b.input("mem_resp_valid", 1);
+        in.memRespData = b.input("mem_resp_data", 64);
+        CacheIO io = buildCache(b, "dut", 1024, in);
+        b.output("resp_valid", io.respValid);
+        b.output("resp_data", io.respData);
+        b.output("busy", io.busy);
+        b.output("mem_req_valid", io.memReqValid);
+        b.output("mem_req_addr", io.memReqAddr);
+        b.output("mem_req_write", io.memReqWrite);
+        b.output("mem_req_wdata", io.memReqWdata);
+        return b.finish();
+    }
+};
+
+/** Reference memory + cache stimulus loop. */
+class CacheHost
+{
+  public:
+    explicit CacheHost(sim::Simulator &s) : sim(s), mem(1 << 16, 0) {}
+
+    /** Perform one access through the cache; returns load data. */
+    uint32_t
+    access(uint32_t addr, bool write, uint32_t wdata, unsigned wstrb)
+    {
+        sim.poke("req_valid", 1);
+        sim.poke("req_addr", addr);
+        sim.poke("req_write", write);
+        sim.poke("req_wdata", wdata);
+        sim.poke("req_wstrb", wstrb);
+        for (int guard = 0; guard < 200; ++guard) {
+            serviceMem();
+            if (sim.peek("resp_valid")) {
+                uint32_t data =
+                    static_cast<uint32_t>(sim.peek("resp_data"));
+                sim.step();
+                sim.poke("req_valid", 0);
+                return data;
+            }
+            sim.step();
+        }
+        ADD_FAILURE() << "cache access timed out";
+        return 0;
+    }
+
+    uint64_t
+    memWord64(uint32_t addr)
+    {
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= uint64_t(mem[addr + i]) << (8 * i);
+        return v;
+    }
+
+    void
+    setMemWord64(uint32_t addr, uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            mem[addr + i] = uint8_t(v >> (8 * i));
+    }
+
+    int memReads = 0;
+    int memWrites = 0;
+
+  private:
+    sim::Simulator &sim;
+    std::vector<uint8_t> mem;
+    int respCountdown = -1;
+    uint64_t respData = 0;
+
+    void
+    serviceMem()
+    {
+        sim.poke("mem_ready", respCountdown < 0);
+        sim.poke("mem_resp_valid", 0);
+        if (respCountdown > 0) {
+            --respCountdown;
+        } else if (respCountdown == 0) {
+            sim.poke("mem_resp_valid", 1);
+            sim.poke("mem_resp_data", respData);
+            respCountdown = -1;
+            return;
+        }
+        if (respCountdown < 0 && sim.peek("mem_req_valid")) {
+            uint32_t addr =
+                static_cast<uint32_t>(sim.peek("mem_req_addr"));
+            if (sim.peek("mem_req_write")) {
+                setMemWord64(addr, sim.peek("mem_req_wdata"));
+                ++memWrites;
+            } else {
+                respData = memWord64(addr);
+                respCountdown = 3; // short latency
+                ++memReads;
+            }
+        }
+    }
+};
+
+TEST(Cache, MissRefillHitAndWriteback)
+{
+    CacheTb tb;
+    sim::Simulator s(tb.design);
+    CacheHost host(s);
+    host.setMemWord64(0x100, 0xaabbccdd11223344ull);
+
+    // Cold miss then hit.
+    EXPECT_EQ(host.access(0x100, false, 0, 0), 0x11223344u);
+    EXPECT_EQ(host.memReads, 1);
+    EXPECT_EQ(host.access(0x104, false, 0, 0), 0xaabbccddu);
+    EXPECT_EQ(host.memReads, 1); // same line: hit
+
+    // Write hit with byte strobes; dirty line.
+    host.access(0x104, true, 0x000000ee, 0x1);
+    EXPECT_EQ(host.access(0x104, false, 0, 0), 0xaabbcceeu);
+    // Conflict miss at same index (1 KiB cache): victim written back.
+    uint32_t conflict = 0x100 + 1024;
+    host.setMemWord64(conflict, 0x5555555566666666ull);
+    EXPECT_EQ(host.access(conflict, false, 0, 0), 0x66666666u);
+    EXPECT_EQ(host.memWrites, 1);
+    EXPECT_EQ(host.memWord64(0x100), 0xaabbccee11223344ull);
+
+    // Original line reloads with the written byte intact.
+    EXPECT_EQ(host.access(0x104, false, 0, 0), 0xaabbcceeu);
+}
+
+// ---------------------------------------------------------------------
+// Rocket-like SoC vs. the ISS.
+// ---------------------------------------------------------------------
+
+/** Run a program on the rocket SoC with full ISS commit checking. */
+SocDriver
+runRocket(const std::string &source, uint64_t maxCycles = 2'000'000,
+          const rtl::Design **designOut = nullptr)
+{
+    static rtl::Design design = buildSoc(SocConfig::rocket());
+    if (designOut)
+        *designOut = &design;
+    isa::Program prog = isa::assemble(source);
+    SocDriver::Config cfg;
+    cfg.checkCommits = true;
+    SocDriver driver(design, prog, cfg);
+    core::RtlHarness harness(design);
+    core::runLoop(harness, driver, maxCycles);
+    EXPECT_TRUE(driver.done()) << "program did not finish";
+    return driver;
+}
+
+TEST(Rocket, ArithmeticLoop)
+{
+    SocDriver d = runRocket(R"(
+            li a0, 0
+            li a1, 1
+            li a2, 101
+        loop:
+            add a0, a0, a1
+            addi a1, a1, 1
+            bne a1, a2, loop
+            li t0, 0x40000000
+            sw a0, 0(t0)
+        spin:
+            j spin
+    )");
+    EXPECT_EQ(d.exitCode(), 5050u);
+}
+
+TEST(Rocket, LoadStoreByteHalf)
+{
+    SocDriver d = runRocket(R"(
+            j    code
+            .align 8
+        data:
+            .word 0x80ff7f01, 0, 0, 0
+        code:
+            la   t0, data
+            lb   a0, 2(t0)
+            lhu  a1, 2(t0)
+            sb   a0, 4(t0)
+            sh   a1, 6(t0)
+            lw   a2, 4(t0)
+            add  a3, a0, a1
+            add  a3, a3, a2
+            li   t1, 0x40000000
+            sw   a3, 0(t1)
+        spin:
+            j spin
+    )", 2'000'000);
+    // Exact value checked by the ISS lockstep; just require completion.
+    EXPECT_TRUE(d.exited());
+}
+
+TEST(Rocket, MulDivPipeline)
+{
+    SocDriver d = runRocket(R"(
+            li   a0, 123456
+            li   a1, -789
+            mul  a2, a0, a1
+            mulh a3, a0, a1
+            mulhu a4, a0, a1
+            div  a5, a0, a1
+            rem  a6, a0, a1
+            divu s2, a0, a1
+            remu s3, a0, a1
+            add  s0, a2, a3
+            add  s0, s0, a4
+            add  s0, s0, a5
+            add  s0, s0, a6
+            add  s0, s0, s2
+            add  s0, s0, s3
+            li   t0, 0x40000000
+            sw   s0, 0(t0)
+        spin:
+            j spin
+    )");
+    EXPECT_TRUE(d.exited());
+}
+
+TEST(Rocket, HazardsAndBypassing)
+{
+    // Dense RAW chains, load-use, branch shadows.
+    SocDriver d = runRocket(R"(
+            li   sp, 0x8000
+            li   a0, 1
+            add  a1, a0, a0     # bypass M->X
+            add  a2, a1, a1     # chained
+            add  a3, a2, a1     # two distinct sources
+            sw   a3, 0(sp)
+            lw   a4, 0(sp)      # load
+            add  a5, a4, a4     # load-use bubble
+            beq  a5, a5, taken  # always taken
+            li   a5, 999        # shadow: must be squashed
+        taken:
+            addi a5, a5, 1
+            li   t0, 0x40000000
+            sw   a5, 0(t0)
+        spin:
+            j spin
+    )");
+    EXPECT_EQ(d.exitCode(), 13u); // ((1+1)*2 + 2)*2 + 1 = 13
+}
+
+TEST(Rocket, FunctionCallsRecursion)
+{
+    SocDriver d = runRocket(R"(
+            li   sp, 0x10000
+            li   a0, 9
+            call fib
+            li   t0, 0x40000000
+            sw   a0, 0(t0)
+        spin:
+            j spin
+        fib:
+            li   t0, 2
+            blt  a0, t0, fib_base
+            addi sp, sp, -12
+            sw   ra, 8(sp)
+            sw   a0, 4(sp)
+            addi a0, a0, -1
+            call fib
+            sw   a0, 0(sp)
+            lw   a0, 4(sp)
+            addi a0, a0, -2
+            call fib
+            lw   t1, 0(sp)
+            add  a0, a0, t1
+            lw   ra, 8(sp)
+            addi sp, sp, 12
+            ret
+        fib_base:
+            ret
+    )");
+    EXPECT_EQ(d.exitCode(), 34u); // fib(9)
+}
+
+TEST(Rocket, CacheThrashing)
+{
+    // Strides that conflict in a 16 KiB direct-mapped cache.
+    SocDriver d = runRocket(R"(
+            li   s0, 0x1000      # array A
+            li   s1, 0x5000      # array B (conflicts: 16 KiB apart)
+            li   t0, 0
+            li   t1, 64
+            li   a0, 0
+        loop:
+            slli t2, t0, 2
+            add  t3, s0, t2
+            add  t4, s1, t2
+            sw   t0, 0(t3)
+            sw   t0, 0(t4)
+            lw   t5, 0(t3)
+            lw   t6, 0(t4)
+            add  a0, a0, t5
+            add  a0, a0, t6
+            addi t0, t0, 1
+            bne  t0, t1, loop
+            li   t0, 0x40000000
+            sw   a0, 0(t0)
+        spin:
+            j spin
+    )", 5'000'000);
+    EXPECT_EQ(d.exitCode(), 4032u); // 2 * sum(0..63)
+    EXPECT_GT(d.dramModel().counters().writes, 0u); // writebacks happened
+}
+
+TEST(Rocket, CsrCountersAndConsole)
+{
+    SocDriver d = runRocket(R"(
+            rdcycle  s0
+            li   t0, 0x40000004
+            li   t1, 72         # 'H'
+            sw   t1, 0(t0)
+            li   t1, 105        # 'i'
+            sw   t1, 0(t0)
+            rdcycle  s1
+            rdinstret s2
+            sub  s3, s1, s0     # elapsed cycles > 0
+            li   t0, 0x40000000
+            sw   s3, 0(t0)
+        spin:
+            j spin
+    )");
+    EXPECT_EQ(d.console(), "Hi");
+    EXPECT_GT(d.exitCode(), 0u);
+}
+
+TEST(Rocket, EcallHalts)
+{
+    const rtl::Design *design = nullptr;
+    SocDriver d = runRocket(R"(
+            li a0, 7
+            ecall
+            li a0, 9    # must never commit
+        spin:
+            j spin
+    )", 500'000, &design);
+    EXPECT_TRUE(d.exited());
+}
+
+} // namespace
+} // namespace cores
+} // namespace strober

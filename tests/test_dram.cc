@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the LPDDR2 DRAM model and the counter-based power calculator
+ * (paper Section IV-D).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/dram_model.h"
+
+namespace strober {
+namespace dram {
+namespace {
+
+TEST(DramModel, BankInterleavedMapping)
+{
+    DramModel m;
+    // Adjacent bursts hit different banks.
+    EXPECT_EQ(m.bankOf(0), 0u);
+    EXPECT_EQ(m.bankOf(32), 1u);
+    EXPECT_EQ(m.bankOf(32 * 7), 7u);
+    EXPECT_EQ(m.bankOf(32 * 8), 0u);
+    // Same bank, next row stride = burst * banks * rowsPerBank... row
+    // advances once the full bank stride wraps.
+    EXPECT_EQ(m.rowOf(0), 0u);
+    // A row holds rowBytes of a bank's interleaved space: 64 bursts.
+    EXPECT_EQ(m.rowOf(32ull * 8 * 63), 0u);
+    EXPECT_EQ(m.rowOf(32ull * 8 * 64), 1u);
+}
+
+TEST(DramModel, OpenPagePolicyLatency)
+{
+    DramConfig cfg;
+    cfg.baseLatencyCycles = 100;
+    cfg.rowMissExtraCycles = 40;
+    DramModel m(cfg);
+
+    // First touch: activation (miss).
+    EXPECT_EQ(m.access(0, false), 140u);
+    // Same row, same bank: open-page hit.
+    EXPECT_EQ(m.access(4, false), 100u);
+    EXPECT_EQ(m.counters().activations, 1u);
+    EXPECT_EQ(m.counters().rowHits, 1u);
+    // Different row, same bank: precharge + activate again.
+    uint64_t nextRow = 32ull * 8 * 64;
+    EXPECT_EQ(m.access(nextRow, false), 140u);
+    EXPECT_EQ(m.counters().activations, 2u);
+    // Other bank keeps its own open row.
+    EXPECT_EQ(m.access(32, true), 140u);
+    EXPECT_EQ(m.access(32 + 8, true), 100u);
+    EXPECT_EQ(m.counters().reads, 3u);
+    EXPECT_EQ(m.counters().writes, 2u);
+}
+
+TEST(DramModel, SequentialStreamMostlyHits)
+{
+    DramModel m;
+    for (uint64_t a = 0; a < 32 * 1024; a += 32)
+        m.access(a, false);
+    const DramCounters &c = m.counters();
+    EXPECT_EQ(c.reads, 1024u);
+    // 1024 bursts = 128 per bank = 2 rows per bank (64 bursts/row).
+    EXPECT_EQ(c.activations, 16u);
+    EXPECT_EQ(c.rowHits, 1024u - 16u);
+}
+
+TEST(DramModel, RandomStreamMostlyMisses)
+{
+    DramModel m;
+    uint64_t x = 12345;
+    unsigned hits = 0;
+    for (int i = 0; i < 4096; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        m.access(x % (1ull << 28), false);
+    }
+    hits = static_cast<unsigned>(m.counters().rowHits);
+    // 16K rows per bank: random rows virtually never hit.
+    EXPECT_LT(hits, 64u);
+}
+
+TEST(DramPower, IdleIsBackgroundPlusRefresh)
+{
+    DramCounters idle;
+    DramPowerBreakdown p = dramPower(idle, 1'000'000, 1e9);
+    EXPECT_GT(p.background, 0.0);
+    EXPECT_GT(p.refresh, 0.0);
+    EXPECT_DOUBLE_EQ(p.activate, 0.0);
+    EXPECT_DOUBLE_EQ(p.read, 0.0);
+    EXPECT_DOUBLE_EQ(p.write, 0.0);
+    // LPDDR2 background should be O(10 mW).
+    EXPECT_LT(p.total(), 0.05);
+}
+
+TEST(DramPower, ScalesWithTraffic)
+{
+    DramCounters light, heavy;
+    light.reads = 1000;
+    light.activations = 100;
+    heavy.reads = 100000;
+    heavy.writes = 50000;
+    heavy.activations = 20000;
+    uint64_t window = 10'000'000;
+    DramPowerBreakdown lp = dramPower(light, window, 1e9);
+    DramPowerBreakdown hp = dramPower(heavy, window, 1e9);
+    EXPECT_GT(hp.read, lp.read);
+    EXPECT_GT(hp.activate, lp.activate);
+    EXPECT_GT(hp.total(), lp.total());
+    EXPECT_GT(hp.write, 0.0);
+    // Saturated bus cannot exceed the burst-power ceiling.
+    DramCounters flood;
+    flood.reads = UINT64_MAX / 2;
+    DramPowerBreakdown fp = dramPower(flood, window, 1e9);
+    DramPowerParams params;
+    EXPECT_LE(fp.read,
+              params.vdd2 * (params.idd4r2 - params.idd3n2) + 1e-12);
+}
+
+TEST(DramPower, PowerPerAccessConstantAcrossWindow)
+{
+    // Average power halves when the same traffic spreads over twice the
+    // time (energy per operation is window-independent).
+    DramCounters c;
+    c.reads = 10000;
+    c.activations = 1000;
+    DramPowerBreakdown p1 = dramPower(c, 1'000'000, 1e9);
+    DramPowerBreakdown p2 = dramPower(c, 2'000'000, 1e9);
+    EXPECT_NEAR(p2.read, p1.read / 2, 1e-12);
+    EXPECT_NEAR(p2.activate, p1.activate / 2, 1e-12);
+    EXPECT_DOUBLE_EQ(p2.background, p1.background);
+}
+
+TEST(DramModelDeath, BadConfig)
+{
+    DramConfig cfg;
+    cfg.banks = 6;
+    EXPECT_EXIT(DramModel m(cfg), ::testing::ExitedWithCode(1),
+                "powers of two");
+    DramCounters c;
+    EXPECT_EXIT(dramPower(c, 0, 1e9), ::testing::ExitedWithCode(1),
+                "empty window");
+}
+
+} // namespace
+} // namespace dram
+} // namespace strober

@@ -1,0 +1,569 @@
+/**
+ * @file
+ * Tests for the gate-level flow: synthesis correctness (lock-step against
+ * the RTL interpreter), name matching, placement, state loaders, replay
+ * with retiming warm-up, and power analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fame/fame1.h"
+#include "fame/sampler.h"
+#include "fame/token_sim.h"
+#include "gate/gate_sim.h"
+#include "gate/matching.h"
+#include "gate/placement.h"
+#include "gate/replay.h"
+#include "gate/state_loader.h"
+#include "gate/synthesis.h"
+#include "power/power_analysis.h"
+#include "rtl/builder.h"
+#include "sim/simulator.h"
+#include "stats/rng.h"
+
+namespace strober {
+namespace gate {
+namespace {
+
+using rtl::Builder;
+using rtl::Design;
+using rtl::MemHandle;
+using rtl::Op;
+using rtl::Scope;
+using rtl::Signal;
+
+/** Comb design exercising every lowering path. */
+Design
+makeAluDesign(unsigned width)
+{
+    Builder b("alu");
+    Signal a = b.input("a", width);
+    Signal x = b.input("x", width);
+    Signal sh = b.input("sh", 6);
+    b.output("add", a + x);
+    b.output("sub", a - x);
+    b.output("neg", b.unary(Op::Neg, a));
+    b.output("mul", a * x);
+    b.output("divu", divu(a, x));
+    b.output("remu", remu(a, x));
+    b.output("andop", a & x);
+    b.output("orop", a | x);
+    b.output("xorop", a ^ x);
+    b.output("notop", ~a);
+    b.output("shl", shl(a, b.resize(sh, width)));
+    b.output("shru", shru(a, b.resize(sh, width)));
+    b.output("sra", sra(a, b.resize(sh, width)));
+    b.output("eq", eq(a, x));
+    b.output("ne", ne(a, x));
+    b.output("ltu", ltu(a, x));
+    b.output("lts", lts(a, x));
+    b.output("redor", b.redOr(a));
+    b.output("redand", b.redAnd(a));
+    b.output("redxor", b.redXor(a));
+    b.output("cat", b.cat(a.bits(3, 0), x.bits(3, 0)));
+    b.output("sext", b.sext(a.bits(3, 0), width));
+    b.output("mux", b.mux(eq(a, x), a + x, a - x));
+    return b.finish();
+}
+
+/** Sequential design with both memory flavors (shared with test_fame). */
+Design
+makeSeqDesign()
+{
+    Builder b("seq");
+    Signal in = b.input("in", 8);
+    Signal wen = b.input("wen", 1);
+    Scope core(b, "core");
+    Signal acc = b.reg("acc", 16, 0x1234);
+    b.next(acc, acc + b.pad(in, 16));
+    MemHandle scratch = b.mem("scratch", 8, 16, false);
+    Signal ptr = b.reg("ptr", 4, 0);
+    b.next(ptr, ptr + b.lit(1, 4), wen);
+    b.memWrite(scratch, ptr, in, wen);
+    Signal back = b.memRead(scratch, ptr);
+    MemHandle table = b.mem("table", 16, 8, true);
+    Signal tdata = b.memReadSync(table, acc.bits(2, 0));
+    b.memWrite(table, acc.bits(2, 0), acc, wen);
+    b.output("acc", acc);
+    b.output("back", back);
+    b.output("tdata", tdata);
+    return b.finish();
+}
+
+/** 2-stage multiply pipeline annotated for retiming + downstream user. */
+Design
+makeRetimedDesign()
+{
+    Builder b("rt");
+    Signal a = b.input("a", 8);
+    Signal x = b.input("x", 8);
+    Signal s2;
+    {
+        Scope mul(b, "mul");
+        Signal prod = a * x; // 16 bits
+        Signal s1 = b.reg("s1", 16, 0);
+        b.next(s1, prod);
+        s2 = b.reg("s2", 16, 0);
+        b.next(s2, s1 + b.lit(3, 16));
+        b.annotateRetimed("pipe", 2, {a, x}, s2, {s1, s2});
+    }
+    Signal acc;
+    {
+        Scope accum(b, "accum");
+        acc = b.reg("acc", 16, 0);
+        b.next(acc, acc ^ s2);
+    }
+    b.output("y", s2);
+    b.output("acc", acc);
+    return b.finish();
+}
+
+class AluSynthSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AluSynthSweep, GateNetlistMatchesRtlSemantics)
+{
+    unsigned width = GetParam();
+    Design d = makeAluDesign(width);
+    SynthesisResult synth = synthesize(d);
+    sim::Simulator rtlSim(d);
+    GateSimulator gateSim(synth.netlist);
+    stats::Rng rng(width * 7919);
+
+    for (int iter = 0; iter < 120; ++iter) {
+        uint64_t a = truncate(rng.next(), width);
+        uint64_t x = truncate(rng.next(), width);
+        if (iter % 5 == 0)
+            x = 0; // divide-by-zero corners
+        if (iter % 7 == 0)
+            a = bitMask(width);
+        uint64_t sh = rng.nextBounded(64);
+        rtlSim.poke("a", a);
+        rtlSim.poke("x", x);
+        rtlSim.poke("sh", sh);
+        gateSim.pokePort(0, a);
+        gateSim.pokePort(1, x);
+        gateSim.pokePort(2, sh);
+        for (size_t o = 0; o < d.outputs().size(); ++o) {
+            ASSERT_EQ(gateSim.peekPort(o),
+                      rtlSim.peek(d.outputs()[o].node))
+                << "output '" << d.outputs()[o].name << "' a=" << a
+                << " x=" << x << " sh=" << sh << " width=" << width;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AluSynthSweep,
+                         ::testing::Values(4u, 8u, 13u, 32u, 64u));
+
+TEST(Synthesis, SequentialLockstep)
+{
+    Design d = makeSeqDesign();
+    SynthesisResult synth = synthesize(d);
+    sim::Simulator rtlSim(d);
+    GateSimulator gateSim(synth.netlist);
+    stats::Rng rng(404);
+
+    for (int cycle = 0; cycle < 300; ++cycle) {
+        uint64_t in = rng.nextBounded(256);
+        uint64_t wen = rng.nextBounded(2);
+        rtlSim.poke("in", in);
+        rtlSim.poke("wen", wen);
+        gateSim.pokePort(0, in);
+        gateSim.pokePort(1, wen);
+        for (size_t o = 0; o < d.outputs().size(); ++o) {
+            ASSERT_EQ(gateSim.peekPort(o), rtlSim.peek(d.outputs()[o].node))
+                << "cycle " << cycle << " output "
+                << d.outputs()[o].name;
+        }
+        rtlSim.step();
+        gateSim.step();
+    }
+}
+
+TEST(Synthesis, StatsAndMangledNames)
+{
+    Design d = makeSeqDesign();
+    SynthesisResult synth = synthesize(d);
+    EXPECT_GT(synth.stats.liveGates, 20u);
+    EXPECT_GT(synth.stats.foldedGates, 0u);
+    EXPECT_EQ(synth.stats.dffCount, 16u + 4u); // acc + ptr bits
+    // Names are mangled: no '/' and a _reg_N_ suffix.
+    for (const auto &names : synth.guide.regDffNames) {
+        for (const std::string &n : names) {
+            EXPECT_EQ(n.find('/'), std::string::npos) << n;
+            EXPECT_NE(n.find("_reg_"), std::string::npos) << n;
+        }
+    }
+    // The RTL names do NOT exist in the gate netlist.
+    EXPECT_EQ(synth.netlist.findDff("core/acc"), kNoNet);
+    // Macros exist with mangled names.
+    EXPECT_EQ(synth.guide.memMacroNames.size(), 2u);
+    EXPECT_GE(synth.netlist.macros().size(), 2u);
+    EXPECT_GT(synth.netlist.totalAreaUm2(), 0.0);
+}
+
+TEST(Synthesis, ConstantFoldingShrinksNetlist)
+{
+    // y = a & 0 should fold to constant zero: no And gates at all.
+    Builder b("fold");
+    Signal a = b.input("a", 16);
+    b.output("y", a & b.lit(0, 16));
+    b.output("z", a | b.lit(0xffff, 16));
+    Design d = b.finish();
+    SynthesisResult synth = synthesize(d);
+    EXPECT_GT(synth.stats.foldedGates, 0u);
+    uint64_t live = synth.netlist.liveGateCount();
+    EXPECT_LE(live, 2u); // only tie cells may remain
+}
+
+TEST(Matching, FullVerificationWithoutRetiming)
+{
+    Design d = makeSeqDesign();
+    SynthesisResult synth = synthesize(d);
+    MatchTable table = matchDesigns(d, synth.netlist, synth.guide);
+    EXPECT_EQ(table.matchedRegs, d.regs().size());
+    EXPECT_EQ(table.retimedRegs, 0u);
+    EXPECT_EQ(table.verifiedRegs, d.regs().size());
+    EXPECT_TRUE(table.outputsEquivalent);
+    for (size_t i = 0; i < d.regs().size(); ++i) {
+        EXPECT_TRUE(table.regVerified[i]);
+        EXPECT_EQ(table.regToDff[i].size(),
+                  d.node(d.regs()[i].node).width);
+    }
+}
+
+TEST(MatchingDeath, CorruptGuideIsCaught)
+{
+    Design d = makeSeqDesign();
+    SynthesisResult synth = synthesize(d);
+    SynthesisGuide bad = synth.guide;
+    bad.regDffNames[0][0] = "no_such_dff";
+    EXPECT_EXIT(matchDesigns(d, synth.netlist, bad),
+                ::testing::ExitedWithCode(1), "unknown DFF");
+    // Swapping two same-width registers' names must fail verification.
+    SynthesisGuide swapped = synth.guide;
+    std::swap(swapped.regDffNames[0][0], swapped.regDffNames[0][1]);
+    EXPECT_EXIT(matchDesigns(d, synth.netlist, swapped),
+                ::testing::ExitedWithCode(1), "trajectory");
+}
+
+TEST(Retiming, DissolvesAnnotatedRegisters)
+{
+    Design d = makeRetimedDesign();
+    SynthesisResult synth = synthesize(d);
+    ASSERT_EQ(synth.netlist.retime().size(), 1u);
+    EXPECT_GT(synth.stats.retimedDffCount, 0u);
+    EXPECT_TRUE(synth.guide.regRetimed[d.findReg("mul/s1")]);
+    EXPECT_TRUE(synth.guide.regRetimed[d.findReg("mul/s2")]);
+    EXPECT_FALSE(synth.guide.regRetimed[d.findReg("accum/acc")]);
+
+    MatchTable table = matchDesigns(d, synth.netlist, synth.guide);
+    EXPECT_EQ(table.retimedRegs, 2u);
+    EXPECT_EQ(table.matchedRegs, 1u);
+}
+
+TEST(Retiming, GateOutputsMatchAfterLatency)
+{
+    Design d = makeRetimedDesign();
+    SynthesisResult synth = synthesize(d);
+    sim::Simulator rtlSim(d);
+    GateSimulator gateSim(synth.netlist);
+    stats::Rng rng(11);
+    for (int cycle = 0; cycle < 200; ++cycle) {
+        uint64_t a = rng.nextBounded(256);
+        uint64_t x = rng.nextBounded(256);
+        rtlSim.poke("a", a);
+        rtlSim.poke("x", x);
+        gateSim.pokePort(0, a);
+        gateSim.pokePort(1, x);
+        if (cycle >= 2) {
+            // After the pipeline fills, the retimed netlist is
+            // cycle-for-cycle equal on the region output.
+            EXPECT_EQ(gateSim.peekPort(0), rtlSim.peek("y"))
+                << "cycle " << cycle;
+        }
+        rtlSim.step();
+        gateSim.step();
+    }
+}
+
+TEST(GateSim, ToggleCountingOnCounter)
+{
+    Builder b("cnt");
+    Signal c = b.reg("c", 8, 0);
+    b.next(c, c + b.lit(1, 8));
+    b.output("o", c);
+    Design d = b.finish();
+    SynthesisResult synth = synthesize(d);
+    GateSimulator gs(synth.netlist);
+    gs.clearActivity();
+    gs.step(256);
+    // Bit 0 toggles every cycle, bit 1 every 2nd, bit k every 2^k-th.
+    const auto &guide = synth.guide.regDffNames[0];
+    for (unsigned bitIdx = 0; bitIdx < 8; ++bitIdx) {
+        NetId net = synth.netlist.findDff(guide[bitIdx]);
+        ASSERT_NE(net, kNoNet);
+        EXPECT_EQ(gs.toggleCounts()[net], 256u >> bitIdx)
+            << "bit " << bitIdx;
+    }
+    EXPECT_EQ(gs.activityCycles(), 256u);
+}
+
+TEST(GateSim, MacroAccessCounting)
+{
+    Design d = makeSeqDesign();
+    SynthesisResult synth = synthesize(d);
+    GateSimulator gs(synth.netlist);
+    gs.pokePort(0, 5);
+    gs.pokePort(1, 1); // wen
+    gs.step(10);
+    int tableIdx = synth.netlist.findMacro(synth.guide.memMacroNames[1]);
+    ASSERT_GE(tableIdx, 0);
+    const MacroStats &stats = gs.macroStats()[tableIdx];
+    EXPECT_EQ(stats.writes, 10u);
+    EXPECT_EQ(stats.reads, 10u);
+}
+
+TEST(Placement, BlocksAndWireCaps)
+{
+    Design d = makeSeqDesign();
+    SynthesisResult synth = synthesize(d);
+    Placement pl = place(synth.netlist);
+    EXPECT_GT(pl.dieWidthUm, 0.0);
+    EXPECT_GT(pl.totalWireCapFf(), 0.0);
+    bool sawCore = false;
+    for (const BlockPlacement &blk : pl.blocks) {
+        if (blk.gates == 0 && blk.macroBits == 0)
+            continue;
+        EXPECT_GE(blk.x1, blk.x0);
+        EXPECT_LE(blk.x1, pl.dieWidthUm + 1e-6);
+        if (blk.name.rfind("core", 0) == 0)
+            sawCore = true;
+    }
+    EXPECT_TRUE(sawCore);
+}
+
+/** End-to-end: FAME sim -> snapshot -> gate replay, no retiming. */
+TEST(GateReplay, SnapshotReplaysBitExact)
+{
+    Design d = makeSeqDesign();
+    fame::Fame1Design fd = fame::fame1Transform(d);
+    fame::TokenSimulator ts(fd);
+    fame::ScanChains chains(fd.design);
+    stats::Rng rng(2024);
+
+    auto drive = [&](int cycles) {
+        for (int i = 0; i < cycles; ++i) {
+            ts.enqueueInput(0, rng.nextBounded(256));
+            ts.enqueueInput(1, rng.nextBounded(2));
+            ts.tryStep();
+            for (size_t o = 0; o < ts.numOutputs(); ++o)
+                ts.dequeueOutput(o);
+        }
+    };
+    drive(700);
+    fame::ReplayableSnapshot snap;
+    ts.captureSnapshot(chains, &snap, 128);
+    drive(128);
+    ASSERT_TRUE(snap.complete);
+
+    SynthesisResult synth = synthesize(d);
+    MatchTable table = matchDesigns(d, synth.netlist, synth.guide);
+    GateSimulator gs(synth.netlist);
+    GateReplayResult r = replayOnGate(gs, d, table, snap);
+    EXPECT_TRUE(r.ok()) << r.firstMismatch;
+    EXPECT_EQ(r.cyclesReplayed, 128u);
+    EXPECT_EQ(r.activity.cycles, 128u);
+    EXPECT_GT(r.load.commands, 0u);
+}
+
+/** End-to-end with retiming: warm-up must recover the moved registers. */
+TEST(GateReplay, RetimedRegionWarmupRecoversState)
+{
+    Design d = makeRetimedDesign();
+    fame::Fame1Design fd = fame::fame1Transform(d);
+    fame::TokenSimulator ts(fd);
+    fame::ScanChains chains(fd.design);
+    stats::Rng rng(31337);
+
+    auto drive = [&](int cycles) {
+        for (int i = 0; i < cycles; ++i) {
+            ts.enqueueInput(0, rng.nextBounded(256));
+            ts.enqueueInput(1, rng.nextBounded(256));
+            ts.tryStep();
+            for (size_t o = 0; o < ts.numOutputs(); ++o)
+                ts.dequeueOutput(o);
+        }
+    };
+    drive(333);
+    fame::ReplayableSnapshot snap;
+    ts.captureSnapshot(chains, &snap, 64);
+    drive(64);
+    ASSERT_TRUE(snap.complete);
+
+    SynthesisResult synth = synthesize(d);
+    MatchTable table = matchDesigns(d, synth.netlist, synth.guide);
+    GateSimulator gs(synth.netlist);
+    GateReplayResult r = replayOnGate(gs, d, table, snap);
+    EXPECT_TRUE(r.ok()) << r.firstMismatch;
+    // The retimed registers were skipped by the loader.
+    EXPECT_EQ(r.load.skippedRetimed, 32u);
+}
+
+
+/** Two independent retimed regions in one design must both recover. */
+TEST(GateReplay, TwoRetimedRegionsWarmIndependently)
+{
+    Builder b("rt2");
+    Signal a = b.input("a", 8);
+    Signal x = b.input("x", 8);
+    Signal y2;
+    {
+        Scope m1(b, "m1");
+        Signal prod = a * x;
+        Signal s1 = b.reg("s1", 16, 0);
+        b.next(s1, prod);
+        Signal s2 = b.reg("s2", 16, 0);
+        b.next(s2, s1);
+        b.annotateRetimed("pipe", 2, {a, x}, s2, {s1, s2});
+        y2 = s2;
+    }
+    Signal z3;
+    {
+        Scope m2(b, "m2");
+        Signal mix = (b.pad(a, 16) ^ y2) + b.pad(x, 16);
+        Signal t1 = b.reg("t1", 16, 0);
+        b.next(t1, mix);
+        Signal t2 = b.reg("t2", 16, 0);
+        b.next(t2, t1 + b.lit(1, 16));
+        Signal t3 = b.reg("t3", 16, 0);
+        b.next(t3, t2);
+        b.annotateRetimed("pipe", 3, {a, x, y2}, t3, {t1, t2, t3});
+        z3 = t3;
+    }
+    Signal acc = b.reg("acc", 16, 0);
+    b.next(acc, acc ^ z3);
+    b.output("y", y2);
+    b.output("z", z3);
+    b.output("acc", acc);
+    Design d = b.finish();
+
+    fame::Fame1Design fd = fame::fame1Transform(d);
+    fame::TokenSimulator ts(fd);
+    fame::ScanChains chains(fd.design);
+    stats::Rng rng(777);
+    auto drive = [&](int cycles) {
+        for (int i = 0; i < cycles; ++i) {
+            ts.enqueueInput(0, rng.nextBounded(256));
+            ts.enqueueInput(1, rng.nextBounded(256));
+            ts.tryStep();
+            for (size_t o = 0; o < ts.numOutputs(); ++o)
+                ts.dequeueOutput(o);
+        }
+    };
+    drive(240);
+    fame::ReplayableSnapshot snap;
+    ts.captureSnapshot(chains, &snap, 48);
+    drive(48);
+    ASSERT_TRUE(snap.complete);
+    ASSERT_EQ(snap.retimeHistory.size(), 2u);
+
+    SynthesisResult synth = synthesize(d);
+    EXPECT_EQ(synth.netlist.retime().size(), 2u);
+    MatchTable table = matchDesigns(d, synth.netlist, synth.guide);
+    EXPECT_EQ(table.retimedRegs, 5u);
+    GateSimulator gs(synth.netlist);
+    GateReplayResult r = replayOnGate(gs, d, table, snap);
+    EXPECT_TRUE(r.ok()) << r.firstMismatch;
+}
+
+TEST(SnapshotDeath, CaptureWhileRecordingRejected)
+{
+    Design d = makeSeqDesign();
+    fame::Fame1Design fd = fame::fame1Transform(d);
+    fame::TokenSimulator ts(fd);
+    fame::ScanChains chains(fd.design);
+    fame::ReplayableSnapshot s1, s2;
+    ts.captureSnapshot(chains, &s1, 16);
+    EXPECT_EXIT(ts.captureSnapshot(chains, &s2, 16),
+                ::testing::ExitedWithCode(1), "still recording");
+}
+
+TEST(StateLoader, SlowAndFastContrast)
+{
+    Design d = makeSeqDesign();
+    SynthesisResult synth = synthesize(d);
+    MatchTable table = matchDesigns(d, synth.netlist, synth.guide);
+
+    // Fabricate a snapshot from a short run.
+    fame::Fame1Design fd = fame::fame1Transform(d);
+    sim::Simulator fs(fd.design);
+    fame::ScanChains chains(fd.design);
+    fame::StateSnapshot state = chains.capture(fs, 0);
+
+    GateSimulator gs(synth.netlist);
+    LoadReport slow =
+        loadState(gs, d, table, state, LoaderKind::SlowScript);
+    LoadReport fast = loadState(gs, d, table, state, LoaderKind::FastVpi);
+    EXPECT_EQ(slow.commands, fast.commands);
+    EXPECT_NEAR(slow.modeledSeconds / fast.modeledSeconds, 50.0, 1e-6);
+    // Commands: 20 dff bits + 16 + 8 macro words + 1 sync read register.
+    EXPECT_EQ(fast.commands, 20u + 16u + 8u + 1u);
+}
+
+TEST(Power, ActiveVersusIdle)
+{
+    Design d = makeSeqDesign();
+    SynthesisResult synth = synthesize(d);
+    Placement pl = place(synth.netlist);
+    GateSimulator gs(synth.netlist);
+
+    // Idle: no input changes, accumulator still counts (in=0 freezes acc).
+    gs.pokePort(0, 0);
+    gs.pokePort(1, 0);
+    gs.clearActivity();
+    gs.step(500);
+    ActivityReport idle{gs.toggleCounts(), gs.macroStats(),
+                        gs.activityCycles()};
+    power::PowerReport idleReport =
+        power::analyzePower(synth.netlist, pl, idle, 1e9);
+
+    // Active: random inputs every cycle.
+    stats::Rng rng(77);
+    gs.clearActivity();
+    for (int i = 0; i < 500; ++i) {
+        gs.pokePort(0, rng.nextBounded(256));
+        gs.pokePort(1, 1);
+        gs.step();
+    }
+    ActivityReport act{gs.toggleCounts(), gs.macroStats(),
+                       gs.activityCycles()};
+    power::PowerReport activeReport =
+        power::analyzePower(synth.netlist, pl, act, 1e9);
+
+    EXPECT_GT(idleReport.totalWatts(), 0.0); // leakage at least
+    EXPECT_GT(activeReport.totalWatts(), idleReport.totalWatts());
+    // Per-group rows must sum to the total.
+    double sum = 0;
+    for (const auto &g : activeReport.groups)
+        sum += g.total();
+    EXPECT_NEAR(sum, activeReport.totalWatts(), 1e-12);
+    EXPECT_GT(activeReport.prefixWatts("core"), 0.0);
+    EXPECT_FALSE(activeReport.table().empty());
+}
+
+TEST(PowerDeath, EmptyWindowRejected)
+{
+    Design d = makeSeqDesign();
+    SynthesisResult synth = synthesize(d);
+    Placement pl = place(synth.netlist);
+    ActivityReport empty;
+    empty.netToggles.assign(synth.netlist.numNodes(), 0);
+    empty.cycles = 0;
+    EXPECT_EXIT(power::analyzePower(synth.netlist, pl, empty, 1e9),
+                ::testing::ExitedWithCode(1), "empty activity");
+}
+
+} // namespace
+} // namespace gate
+} // namespace strober

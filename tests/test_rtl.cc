@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Unit tests for the netlist IR and the builder EDSL.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "rtl/builder.h"
+#include "rtl/ir.h"
+
+namespace strober {
+namespace rtl {
+namespace {
+
+Design
+makeCounter()
+{
+    Builder b("counter");
+    Signal en = b.input("en", 1);
+    Signal cnt = b.reg("cnt", 8, 0);
+    b.next(cnt, cnt + b.lit(1, 8), en);
+    b.output("out", cnt);
+    return b.finish();
+}
+
+TEST(Builder, CounterChecksOut)
+{
+    Design d = makeCounter();
+    EXPECT_EQ(d.regs().size(), 1u);
+    EXPECT_EQ(d.inputs().size(), 1u);
+    EXPECT_EQ(d.outputs().size(), 1u);
+    EXPECT_NE(d.findInput("en"), kNoNode);
+    EXPECT_EQ(d.findReg("cnt"), 0);
+    EXPECT_EQ(d.findOutput("out"), 0);
+    EXPECT_EQ(d.stateBits(), 8u);
+}
+
+TEST(Builder, ScopedNames)
+{
+    Builder b("top");
+    Signal r0;
+    {
+        Scope core(b, "core");
+        Scope fetch(b, "fetch");
+        r0 = b.reg("pc", 32, 0);
+        b.next(r0, r0);
+    }
+    Design d = b.finish();
+    EXPECT_EQ(d.node(r0.id()).name, "core/fetch/pc");
+    EXPECT_EQ(d.findReg("core/fetch/pc"), 0);
+}
+
+TEST(Builder, WireForwardReference)
+{
+    Builder b("fw");
+    Signal w = b.wire("loopback", 8);
+    Signal r = b.reg("r", 8, 3);
+    b.next(r, w);
+    b.assign(w, r + b.lit(1, 8));
+    b.output("o", w);
+    Design d = b.finish();
+    EXPECT_EQ(d.node(w.id()).op, Op::Pad);
+    EXPECT_NE(d.node(w.id()).args[0], kNoNode);
+}
+
+TEST(BuilderDeath, UnassignedWire)
+{
+    Builder b("bad");
+    Signal w = b.wire("w", 4);
+    b.output("o", w);
+    EXPECT_EXIT(b.finish(), ::testing::ExitedWithCode(1), "never assigned");
+}
+
+TEST(BuilderDeath, DoubleDrivenRegister)
+{
+    Builder b("bad");
+    Signal r = b.reg("r", 4, 0);
+    b.next(r, r);
+    EXPECT_EXIT(b.next(r, r), ::testing::ExitedWithCode(1), "driven twice");
+}
+
+TEST(BuilderDeath, UndrivenRegister)
+{
+    Builder b("bad");
+    b.reg("r", 4, 0);
+    EXPECT_EXIT(b.finish(), ::testing::ExitedWithCode(1),
+                "no next-state driver");
+}
+
+TEST(BuilderDeath, WidthMismatch)
+{
+    Builder b("bad");
+    Signal r = b.reg("r", 8, 0);
+    Signal x = b.lit(1, 4);
+    b.next(r, x); // 4-bit next for an 8-bit register
+    EXPECT_EXIT(b.finish(), ::testing::ExitedWithCode(1), "next width");
+}
+
+TEST(BuilderDeath, CombinationalCycle)
+{
+    Builder b("bad");
+    Signal w = b.wire("w", 1);
+    Signal inv = ~w;
+    b.assign(w, inv);
+    b.output("o", w);
+    EXPECT_EXIT(b.finish(), ::testing::ExitedWithCode(1),
+                "combinational cycle");
+}
+
+TEST(BuilderDeath, OversizedLiteral)
+{
+    Builder b("bad");
+    EXPECT_EXIT(b.lit(256, 8), ::testing::ExitedWithCode(1),
+                "does not fit");
+}
+
+TEST(Builder, MuxSelectAndCat)
+{
+    Builder b("m");
+    Signal s = b.input("s", 2);
+    Signal a = b.lit(0xa, 4);
+    Signal c = b.lit(0xc, 4);
+    Signal sel = b.select(s, {a, c, a ^ c, a & c});
+    b.output("y", sel);
+    Signal wide = b.cat(a, c);
+    EXPECT_EQ(wide.width(), 8u);
+    b.output("w", wide);
+    Design d = b.finish();
+    EXPECT_GT(d.numNodes(), 6u);
+}
+
+TEST(Builder, ResizeSemantics)
+{
+    Builder b("r");
+    Signal a = b.input("a", 8);
+    EXPECT_EQ(b.resize(a, 8).id(), a.id()); // no-op returns same node
+    EXPECT_EQ(b.resize(a, 16).width(), 16u);
+    EXPECT_EQ(b.resize(a, 3).width(), 3u);
+    b.output("o", b.resize(a, 16));
+    b.finish();
+}
+
+TEST(Levelize, ArgsPrecedeUsers)
+{
+    Design d = makeCounter();
+    std::vector<NodeId> order = levelize(d);
+    ASSERT_EQ(order.size(), d.numNodes());
+    std::vector<size_t> pos(d.numNodes());
+    for (size_t i = 0; i < order.size(); ++i)
+        pos[order[i]] = i;
+    for (NodeId id = 0; id < d.numNodes(); ++id) {
+        const Node &n = d.node(id);
+        if (n.op == Op::Reg || n.op == Op::Input || n.op == Op::Const ||
+            n.op == Op::MemRead) {
+            continue;
+        }
+        for (unsigned i = 0; i < opArity(n.op); ++i)
+            EXPECT_LT(pos[n.args[i]], pos[id]);
+    }
+}
+
+TEST(Design, MemoryBookkeeping)
+{
+    Builder b("m");
+    Signal addr = b.input("addr", 4);
+    Signal data = b.input("data", 8);
+    Signal wen = b.input("wen", 1);
+    MemHandle m = b.mem("ram", 8, 16, /*syncRead=*/true);
+    Signal q = b.memReadSync(m, addr);
+    b.memWrite(m, addr, data, wen);
+    b.output("q", q);
+    Design d = b.finish();
+    ASSERT_EQ(d.mems().size(), 1u);
+    EXPECT_EQ(d.findMem("ram"), 0);
+    EXPECT_TRUE(d.mems()[0].syncRead);
+    // 16x8 contents + one 8-bit sync read register.
+    EXPECT_EQ(d.stateBits(), 16u * 8 + 8);
+}
+
+TEST(DesignDeath, MemAddressWidthMismatch)
+{
+    Builder b("m");
+    Signal addr = b.input("addr", 3); // needs 4 bits for depth 16
+    MemHandle m = b.mem("ram", 8, 16, false);
+    Signal q = b.memRead(m, addr);
+    b.output("q", q);
+    EXPECT_EXIT(b.finish(), ::testing::ExitedWithCode(1), "address width");
+}
+
+TEST(Design, DumpMentionsNamedNodes)
+{
+    Design d = makeCounter();
+    std::string text = d.dump();
+    EXPECT_NE(text.find("cnt"), std::string::npos);
+    EXPECT_NE(text.find("output out"), std::string::npos);
+}
+
+TEST(Design, RetimeAnnotation)
+{
+    Builder b("rt");
+    Signal x = b.input("x", 16);
+    Signal s1 = b.reg("s1", 16, 0);
+    Signal s2 = b.reg("s2", 16, 0);
+    b.next(s1, x);
+    b.next(s2, s1);
+    b.output("y", s2);
+    b.annotateRetimed("pipe", 2, {x}, s2, {s1, s2});
+    Design d = b.finish();
+    ASSERT_EQ(d.retimeRegions().size(), 1u);
+    EXPECT_EQ(d.retimeRegions()[0].latency, 2u);
+    EXPECT_EQ(d.retimeRegions()[0].regs.size(), 2u);
+}
+
+TEST(Op, NamesAndArity)
+{
+    EXPECT_STREQ(opName(Op::Add), "add");
+    EXPECT_STREQ(opName(Op::Mux), "mux");
+    EXPECT_EQ(opArity(Op::Mux), 3u);
+    EXPECT_EQ(opArity(Op::Not), 1u);
+    EXPECT_EQ(opArity(Op::Input), 0u);
+    EXPECT_EQ(opArity(Op::Cat), 2u);
+}
+
+} // namespace
+} // namespace rtl
+} // namespace strober

@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Unit and property tests for the fast RTL interpreter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rtl/builder.h"
+#include "sim/simulator.h"
+#include "stats/rng.h"
+#include "util/bits.h"
+
+namespace strober {
+namespace sim {
+namespace {
+
+using rtl::Builder;
+using rtl::Design;
+using rtl::MemHandle;
+using rtl::Op;
+using rtl::Signal;
+
+TEST(Simulator, CounterWithEnable)
+{
+    Builder b("counter");
+    Signal en = b.input("en", 1);
+    Signal cnt = b.reg("cnt", 8, 5);
+    b.next(cnt, cnt + b.lit(1, 8), en);
+    b.output("out", cnt);
+    Design d = b.finish();
+
+    Simulator s(d);
+    EXPECT_EQ(s.peek("out"), 5u); // init value
+    s.poke("en", 1);
+    s.step(3);
+    EXPECT_EQ(s.peek("out"), 8u);
+    s.poke("en", 0);
+    s.step(10);
+    EXPECT_EQ(s.peek("out"), 8u); // held while disabled
+    EXPECT_EQ(s.cycle(), 13u);
+    s.reset();
+    EXPECT_EQ(s.peek("out"), 5u);
+    EXPECT_EQ(s.cycle(), 0u);
+}
+
+TEST(Simulator, CounterWraps)
+{
+    Builder b("c");
+    Signal cnt = b.reg("cnt", 4, 0);
+    b.next(cnt, cnt + b.lit(1, 4));
+    b.output("o", cnt);
+    Design d = b.finish();
+    Simulator s(d);
+    s.step(17);
+    EXPECT_EQ(s.peek("o"), 1u); // wrapped at 16
+}
+
+/** A pure combinational ALU covering most binary ops. */
+struct AluDesign
+{
+    Design d;
+    AluDesign() : d(build()) {}
+
+    static Design
+    build()
+    {
+        Builder b("alu");
+        Signal a = b.input("a", 32);
+        Signal x = b.input("x", 32);
+        Signal sh = b.input("sh", 5);
+        b.output("add", a + x);
+        b.output("sub", a - x);
+        b.output("and", a & x);
+        b.output("or", a | x);
+        b.output("xor", a ^ x);
+        b.output("not", ~a);
+        b.output("neg", b.unary(Op::Neg, a));
+        b.output("eq", eq(a, x));
+        b.output("ne", ne(a, x));
+        b.output("ltu", ltu(a, x));
+        b.output("lts", lts(a, x));
+        b.output("shl", shl(a, b.pad(sh, 32)));
+        b.output("shru", shru(a, b.pad(sh, 32)));
+        b.output("sra", sra(a, b.pad(sh, 32)));
+        b.output("mul", a * x);
+        b.output("divu", divu(a, x));
+        b.output("remu", remu(a, x));
+        b.output("redor", b.redOr(a));
+        b.output("redand", b.redAnd(a));
+        b.output("redxor", b.redXor(a));
+        b.output("cat", b.cat(a.bits(7, 0), x.bits(7, 0)));
+        b.output("sext", b.sext(a.bits(7, 0), 32));
+        return b.finish();
+    }
+};
+
+class AluSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AluSweep, MatchesReferenceSemantics)
+{
+    static AluDesign alu;
+    Simulator s(alu.d);
+    stats::Rng rng(GetParam());
+
+    for (int iter = 0; iter < 200; ++iter) {
+        uint32_t a = static_cast<uint32_t>(rng.next());
+        uint32_t x = static_cast<uint32_t>(rng.next());
+        // Bias in interesting corners.
+        if (iter % 7 == 0) a = 0;
+        if (iter % 11 == 0) x = 0;
+        if (iter % 13 == 0) a = UINT32_MAX;
+        unsigned sh = static_cast<unsigned>(rng.nextBounded(32));
+
+        s.poke("a", a);
+        s.poke("x", x);
+        s.poke("sh", sh);
+
+        EXPECT_EQ(s.peek("add"), uint32_t(a + x));
+        EXPECT_EQ(s.peek("sub"), uint32_t(a - x));
+        EXPECT_EQ(s.peek("and"), (a & x));
+        EXPECT_EQ(s.peek("or"), (a | x));
+        EXPECT_EQ(s.peek("xor"), (a ^ x));
+        EXPECT_EQ(s.peek("not"), uint32_t(~a));
+        EXPECT_EQ(s.peek("neg"), uint32_t(-a));
+        EXPECT_EQ(s.peek("eq"), uint64_t(a == x));
+        EXPECT_EQ(s.peek("ne"), uint64_t(a != x));
+        EXPECT_EQ(s.peek("ltu"), uint64_t(a < x));
+        EXPECT_EQ(s.peek("lts"),
+                  uint64_t(int32_t(a) < int32_t(x)));
+        EXPECT_EQ(s.peek("shl"), uint32_t(a << sh));
+        EXPECT_EQ(s.peek("shru"), a >> sh);
+        EXPECT_EQ(s.peek("sra"), uint32_t(int32_t(a) >> sh));
+        EXPECT_EQ(s.peek("mul"), uint64_t(a) * uint64_t(x));
+        EXPECT_EQ(s.peek("divu"), x == 0 ? UINT32_MAX : a / x);
+        EXPECT_EQ(s.peek("remu"), x == 0 ? a : a % x);
+        EXPECT_EQ(s.peek("redor"), uint64_t(a != 0));
+        EXPECT_EQ(s.peek("redand"), uint64_t(a == UINT32_MAX));
+        EXPECT_EQ(s.peek("redxor"),
+                  uint64_t(__builtin_popcount(a) & 1));
+        EXPECT_EQ(s.peek("cat"), uint64_t(((a & 0xff) << 8) | (x & 0xff)));
+        EXPECT_EQ(s.peek("sext"), uint32_t(int32_t(int8_t(a & 0xff))));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AluSweep,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull));
+
+TEST(Simulator, ShiftBeyondWidth)
+{
+    Builder b("s");
+    Signal a = b.input("a", 8);
+    Signal amt = b.input("amt", 8);
+    b.output("shl", shl(a, amt));
+    b.output("shru", shru(a, amt));
+    b.output("sra", sra(a, amt));
+    Design d = b.finish();
+    Simulator s(d);
+    s.poke("a", 0x80);
+    s.poke("amt", 9);
+    EXPECT_EQ(s.peek("shl"), 0u);
+    EXPECT_EQ(s.peek("shru"), 0u);
+    EXPECT_EQ(s.peek("sra"), 0xffu); // sign fill
+    s.poke("a", 0x40);
+    EXPECT_EQ(s.peek("sra"), 0u);
+}
+
+TEST(Simulator, AsyncMemReadWrite)
+{
+    Builder b("m");
+    Signal waddr = b.input("waddr", 4);
+    Signal wdata = b.input("wdata", 8);
+    Signal wen = b.input("wen", 1);
+    Signal raddr = b.input("raddr", 4);
+    MemHandle m = b.mem("ram", 8, 16, /*syncRead=*/false);
+    b.memWrite(m, waddr, wdata, wen);
+    b.output("rdata", b.memRead(m, raddr));
+    Design d = b.finish();
+
+    Simulator s(d);
+    s.poke("waddr", 3);
+    s.poke("wdata", 0xab);
+    s.poke("wen", 1);
+    s.poke("raddr", 3);
+    EXPECT_EQ(s.peek("rdata"), 0u); // write has not committed yet
+    s.step();
+    s.poke("wen", 0);
+    EXPECT_EQ(s.peek("rdata"), 0xabu); // async read sees committed data
+}
+
+TEST(Simulator, SyncMemReadLatencyAndReadBeforeWrite)
+{
+    Builder b("m");
+    Signal addr = b.input("addr", 4);
+    Signal wdata = b.input("wdata", 8);
+    Signal wen = b.input("wen", 1);
+    MemHandle m = b.mem("ram", 8, 16, /*syncRead=*/true);
+    Signal q = b.memReadSync(m, addr);
+    b.memWrite(m, addr, wdata, wen);
+    b.output("q", q);
+    Design d = b.finish();
+
+    Simulator s(d);
+    s.setMemWord(0, 5, 0x11);
+    // Cycle 0: read and write address 5 simultaneously.
+    s.poke("addr", 5);
+    s.poke("wdata", 0x22);
+    s.poke("wen", 1);
+    s.step();
+    // Read-before-write: the latched data is the OLD word.
+    EXPECT_EQ(s.peek("q"), 0x11u);
+    s.poke("wen", 0);
+    s.step();
+    // Next read returns the newly written word.
+    EXPECT_EQ(s.peek("q"), 0x22u);
+    EXPECT_EQ(s.memWord(0, 5), 0x22u);
+}
+
+TEST(Simulator, SyncReadEnableHolds)
+{
+    Builder b("m");
+    Signal addr = b.input("addr", 4);
+    Signal ren = b.input("ren", 1);
+    MemHandle m = b.mem("ram", 8, 16, true);
+    Signal q = b.memReadSync(m, addr, ren);
+    b.output("q", q);
+    Design d = b.finish();
+
+    Simulator s(d);
+    s.setMemWord(0, 1, 0xaa);
+    s.setMemWord(0, 2, 0xbb);
+    s.poke("addr", 1);
+    s.poke("ren", 1);
+    s.step();
+    EXPECT_EQ(s.peek("q"), 0xaau);
+    s.poke("addr", 2);
+    s.poke("ren", 0); // disabled: data register holds
+    s.step();
+    EXPECT_EQ(s.peek("q"), 0xaau);
+    s.poke("ren", 1);
+    s.step();
+    EXPECT_EQ(s.peek("q"), 0xbbu);
+}
+
+TEST(Simulator, LastWritePortWins)
+{
+    Builder b("m");
+    Signal addr = b.input("addr", 2);
+    MemHandle m = b.mem("ram", 8, 4, false);
+    b.memWrite(m, addr, b.lit(0x11, 8), Signal());
+    b.memWrite(m, addr, b.lit(0x22, 8), Signal());
+    b.output("rd", b.memRead(m, addr));
+    Design d = b.finish();
+    Simulator s(d);
+    s.poke("addr", 0);
+    s.step();
+    EXPECT_EQ(s.peek("rd"), 0x22u);
+}
+
+TEST(Simulator, DirectStateAccess)
+{
+    Builder b("c");
+    Signal cnt = b.reg("cnt", 16, 0);
+    b.next(cnt, cnt + b.lit(1, 16));
+    b.output("o", cnt);
+    Design d = b.finish();
+    Simulator s(d);
+    s.setRegValue(0, 100);
+    EXPECT_EQ(s.peek("o"), 100u);
+    s.step();
+    EXPECT_EQ(s.regValue(0), 101u);
+}
+
+TEST(Simulator, LoadMemBulk)
+{
+    Builder b("m");
+    Signal raddr = b.input("raddr", 4);
+    MemHandle m = b.mem("ram", 32, 16, false);
+    b.output("rd", b.memRead(m, raddr));
+    Design d = b.finish();
+    Simulator s(d);
+    s.loadMem(0, 2, {10, 20, 30});
+    s.poke("raddr", 3);
+    EXPECT_EQ(s.peek("rd"), 20u);
+}
+
+TEST(Simulator, NodeEvalsAdvance)
+{
+    Design d = [] {
+        Builder b("c");
+        Signal cnt = b.reg("cnt", 8, 0);
+        b.next(cnt, cnt + b.lit(1, 8));
+        b.output("o", cnt);
+        return b.finish();
+    }();
+    Simulator s(d);
+    uint64_t before = s.nodeEvals();
+    s.step(100);
+    EXPECT_GT(s.nodeEvals(), before);
+}
+
+TEST(SimulatorDeath, PokeNonInput)
+{
+    Design d = [] {
+        Builder b("c");
+        Signal cnt = b.reg("cnt", 8, 0);
+        b.next(cnt, cnt);
+        b.output("o", cnt);
+        return b.finish();
+    }();
+    Simulator s(d);
+    EXPECT_DEATH(s.poke(d.regs()[0].node, 1), "not an input");
+}
+
+TEST(SimulatorDeath, UnknownPortNames)
+{
+    Design d = [] {
+        Builder b("c");
+        Signal i = b.input("in", 1);
+        b.output("o", i);
+        return b.finish();
+    }();
+    Simulator s(d);
+    EXPECT_EXIT(s.poke("nope", 1), ::testing::ExitedWithCode(1), "no input");
+    EXPECT_EXIT(s.peek("nope"), ::testing::ExitedWithCode(1), "no output");
+}
+
+/** Fibonacci via two registers: cross-register update ordering. */
+TEST(Simulator, TwoRegisterPipelineOrdering)
+{
+    Builder b("fib");
+    Signal a = b.reg("a", 32, 0);
+    Signal x = b.reg("x", 32, 1);
+    b.next(a, x);
+    b.next(x, a + x);
+    b.output("a", a);
+    Design d = b.finish();
+    Simulator s(d);
+    // Registers must update simultaneously (two-phase commit).
+    uint32_t expectA = 0, expectX = 1;
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_EQ(s.peek("a"), expectA);
+        uint32_t na = expectX, nx = expectA + expectX;
+        expectA = na;
+        expectX = nx;
+        s.step();
+    }
+}
+
+} // namespace
+} // namespace sim
+} // namespace strober

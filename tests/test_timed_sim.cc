@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the event-driven delay-annotated gate simulator: functional
+ * equivalence with the zero-delay evaluator, and glitch visibility
+ * (timed toggle counts strictly dominate the zero-delay counts on
+ * glitch-prone logic such as ripple-carry adders).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gate/gate_sim.h"
+#include "gate/synthesis.h"
+#include "gate/timed_sim.h"
+#include "rtl/builder.h"
+#include "sim/simulator.h"
+#include "stats/rng.h"
+
+namespace strober {
+namespace gate {
+namespace {
+
+using rtl::Builder;
+using rtl::Design;
+using rtl::Signal;
+
+Design
+makeAdderChain()
+{
+    // Three chained ripple adders: classic carry-glitch generator.
+    Builder b("chain");
+    Signal a = b.input("a", 16);
+    Signal x = b.input("x", 16);
+    Signal y = b.input("y", 16);
+    Signal s1 = a + x;
+    Signal s2 = s1 + y;
+    Signal s3 = s2 + a;
+    b.output("sum", s3);
+    b.output("cmp", ltu(s2, a));
+    return b.finish();
+}
+
+Design
+makeSeq()
+{
+    Builder b("seq");
+    Signal in = b.input("in", 8);
+    Signal wen = b.input("wen", 1);
+    Signal acc = b.reg("acc", 16, 7);
+    b.next(acc, acc + b.pad(in, 16));
+    rtl::MemHandle m = b.mem("ram", 8, 16, false);
+    Signal ptr = b.reg("ptr", 4, 0);
+    b.next(ptr, ptr + b.lit(1, 4), wen);
+    b.memWrite(m, ptr, in, wen);
+    b.output("acc", acc);
+    b.output("rd", b.memRead(m, ptr));
+    rtl::MemHandle t = b.mem("tab", 16, 8, true);
+    b.memWrite(t, acc.bits(2, 0), acc, wen);
+    b.output("td", b.memReadSync(t, acc.bits(2, 0)));
+    return b.finish();
+}
+
+TEST(TimedSim, FunctionallyIdenticalToZeroDelay)
+{
+    Design d = makeSeq();
+    SynthesisResult synth = synthesize(d);
+    GateSimulator fast(synth.netlist);
+    TimedGateSimulator timed(synth.netlist);
+    stats::Rng rng(21);
+    for (int cycle = 0; cycle < 250; ++cycle) {
+        uint64_t in = rng.nextBounded(256), wen = rng.nextBounded(2);
+        fast.pokePort(0, in);
+        fast.pokePort(1, wen);
+        timed.pokePort(0, in);
+        timed.pokePort(1, wen);
+        for (size_t o = 0; o < synth.netlist.outputs().size(); ++o) {
+            ASSERT_EQ(timed.peekPort(o), fast.peekPort(o))
+                << "cycle " << cycle << " output " << o;
+        }
+        fast.step();
+        timed.step();
+    }
+}
+
+TEST(TimedSim, CombinationalLockstepWithRtl)
+{
+    Design d = makeAdderChain();
+    SynthesisResult synth = synthesize(d);
+    sim::Simulator rtlSim(d);
+    TimedGateSimulator timed(synth.netlist);
+    stats::Rng rng(5);
+    for (int i = 0; i < 200; ++i) {
+        uint64_t a = rng.nextBounded(1 << 16);
+        uint64_t x = rng.nextBounded(1 << 16);
+        uint64_t y = rng.nextBounded(1 << 16);
+        rtlSim.poke("a", a);
+        rtlSim.poke("x", x);
+        rtlSim.poke("y", y);
+        timed.pokePort(0, a);
+        timed.pokePort(1, x);
+        timed.pokePort(2, y);
+        ASSERT_EQ(timed.peekPort(0), rtlSim.peek("sum"));
+        ASSERT_EQ(timed.peekPort(1), rtlSim.peek("cmp"));
+    }
+}
+
+TEST(TimedSim, GlitchesIncreaseToggleCounts)
+{
+    Design d = makeAdderChain();
+    SynthesisResult synth = synthesize(d);
+    GateSimulator fast(synth.netlist);
+    TimedGateSimulator timed(synth.netlist);
+    stats::Rng rng(13);
+    fast.clearActivity();
+    timed.clearActivity();
+    for (int i = 0; i < 300; ++i) {
+        uint64_t a = rng.nextBounded(1 << 16);
+        uint64_t x = rng.nextBounded(1 << 16);
+        uint64_t y = rng.nextBounded(1 << 16);
+        for (auto *net : {&a}) // keep operands varied
+            (void)net;
+        fast.pokePort(0, a);
+        fast.pokePort(1, x);
+        fast.pokePort(2, y);
+        timed.pokePort(0, a);
+        timed.pokePort(1, x);
+        timed.pokePort(2, y);
+        fast.peekPort(0);
+        timed.peekPort(0);
+        fast.step();
+        timed.step();
+    }
+    uint64_t fastToggles = 0, timedToggles = 0;
+    for (NetId id = 0; id < synth.netlist.numNodes(); ++id) {
+        fastToggles += fast.toggleCounts()[id];
+        timedToggles += timed.toggleCounts()[id];
+        // Per net, timed can only see MORE transitions.
+        ASSERT_GE(timed.toggleCounts()[id], fast.toggleCounts()[id])
+            << "net " << id;
+    }
+    // Carry chains glitch: expect a measurable surplus.
+    EXPECT_GT(timedToggles, fastToggles * 105 / 100);
+    EXPECT_GT(timed.eventsProcessed(), 0u);
+}
+
+TEST(TimedSim, QuiescentInputsCauseNoActivity)
+{
+    Design d = makeAdderChain();
+    SynthesisResult synth = synthesize(d);
+    TimedGateSimulator timed(synth.netlist);
+    timed.pokePort(0, 123);
+    timed.pokePort(1, 456);
+    timed.pokePort(2, 789);
+    timed.step(3);
+    timed.clearActivity();
+    timed.step(50); // same inputs: pure combinational logic is silent
+    uint64_t total = 0;
+    for (uint64_t t : timed.toggleCounts())
+        total += t;
+    EXPECT_EQ(total, 0u);
+}
+
+} // namespace
+} // namespace gate
+} // namespace strober

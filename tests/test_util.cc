@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for bit utilities and logging helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace strober {
+namespace {
+
+TEST(Bits, BitMask)
+{
+    EXPECT_EQ(bitMask(0), 0u);
+    EXPECT_EQ(bitMask(1), 1u);
+    EXPECT_EQ(bitMask(8), 0xffu);
+    EXPECT_EQ(bitMask(32), 0xffffffffu);
+    EXPECT_EQ(bitMask(63), 0x7fffffffffffffffull);
+    EXPECT_EQ(bitMask(64), ~0ull);
+}
+
+TEST(Bits, Truncate)
+{
+    EXPECT_EQ(truncate(0x1ff, 8), 0xffu);
+    EXPECT_EQ(truncate(0x100, 8), 0u);
+    EXPECT_EQ(truncate(~0ull, 64), ~0ull);
+}
+
+TEST(Bits, SignExtend)
+{
+    EXPECT_EQ(signExtend(0x80, 8), 0xffffffffffffff80ull);
+    EXPECT_EQ(signExtend(0x7f, 8), 0x7full);
+    EXPECT_EQ(signExtend(1, 1), ~0ull);
+    EXPECT_EQ(signExtend(0, 1), 0u);
+}
+
+class SignExtendSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SignExtendSweep, RoundTripsThroughTruncate)
+{
+    unsigned w = GetParam();
+    for (uint64_t v : {uint64_t(0), uint64_t(1), bitMask(w) >> 1,
+                       bitMask(w)}) {
+        uint64_t ext = signExtend(v, w);
+        EXPECT_EQ(truncate(ext, w), v) << "width " << w << " value " << v;
+        // The extension bits must replicate the sign bit.
+        bool neg = bit(v, w - 1);
+        if (w < 64) {
+            EXPECT_EQ(ext >> w, neg ? bitMask(64 - w) : 0u)
+                << "width " << w << " value " << v;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, SignExtendSweep,
+                         ::testing::Values(1u, 2u, 5u, 8u, 16u, 31u, 32u,
+                                           33u, 63u, 64u));
+
+TEST(Bits, ExtractAndInsert)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 15, 8), 0xbeu);
+    EXPECT_EQ(bits(0xdeadbeef, 31, 28), 0xdu);
+    EXPECT_EQ(bit(0b1010, 1), 1u);
+    EXPECT_EQ(bit(0b1010, 2), 0u);
+    EXPECT_EQ(insertBits(0, 15, 8, 0xab), 0xab00u);
+    EXPECT_EQ(insertBits(0xffff, 7, 4, 0), 0xff0fu);
+}
+
+TEST(Bits, Clog2)
+{
+    EXPECT_EQ(clog2(0), 0u);
+    EXPECT_EQ(clog2(1), 0u);
+    EXPECT_EQ(clog2(2), 1u);
+    EXPECT_EQ(clog2(3), 2u);
+    EXPECT_EQ(clog2(1024), 10u);
+    EXPECT_EQ(clog2(1025), 11u);
+}
+
+TEST(Bits, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(4096));
+    EXPECT_FALSE(isPow2(4097));
+}
+
+TEST(Logging, StrFmt)
+{
+    EXPECT_EQ(strfmt("a %d b %s", 42, "x"), "a 42 b x");
+    EXPECT_EQ(strfmt("%08x", 0xbeef), "0000beef");
+}
+
+TEST(Logging, QuietSuppression)
+{
+    setQuiet(true);
+    EXPECT_TRUE(isQuiet());
+    warn("this must not appear");
+    setQuiet(false);
+    EXPECT_FALSE(isQuiet());
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 7), "panic: boom 7");
+}
+
+TEST(LoggingDeath, FatalExits)
+{
+    EXPECT_EXIT(fatal("bad config"), ::testing::ExitedWithCode(1),
+                "fatal: bad config");
+}
+
+} // namespace
+} // namespace strober

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * The `strober` command-line tool: the packaged entry point for the
+ * common flows so the framework is usable without writing C++.
+ *
+ *   strober info                           # list cores and workloads
+ *   strober run    <core> <workload>       # fast sim + energy estimate
+ *   strober truth  <core> <workload>       # exhaustive gate-level power
+ *   strober synth  <core> [out.v]          # synthesis stats / Verilog
+ *   strober chase  <core> <KiB> [latency]  # pointer-chase latency
+ *   strober asm    <file.s>                # assemble + run on the ISS
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/energy_sim.h"
+#include "cores/soc.h"
+#include "cores/soc_driver.h"
+#include "gate/verilog.h"
+#include "isa/assembler.h"
+#include "isa/iss.h"
+#include "util/logging.h"
+#include "workloads/workloads.h"
+
+using namespace strober;
+
+namespace {
+
+cores::SocConfig
+coreByName(const std::string &name)
+{
+    if (name == "rocket")
+        return cores::SocConfig::rocket();
+    if (name == "boom1w")
+        return cores::SocConfig::boom1w();
+    if (name == "boom2w")
+        return cores::SocConfig::boom2w();
+    fatal("unknown core '%s' (rocket | boom1w | boom2w)", name.c_str());
+}
+
+int
+cmdInfo()
+{
+    std::printf("cores:\n");
+    for (const char *c : {"rocket", "boom1w", "boom2w"}) {
+        cores::SocConfig cfg = coreByName(c);
+        rtl::Design d = cores::buildSoc(cfg);
+        std::printf("  %-8s fetch/issue %u/%u, %zu RTL nodes, %zu regs\n",
+                    c, cfg.fetchWidth, cfg.issueWidth, d.numNodes(),
+                    d.regs().size());
+    }
+    std::printf("workloads:\n  ");
+    for (const workloads::Workload &w : workloads::microbenchmarks())
+        std::printf("%s ", w.name.c_str());
+    for (const workloads::Workload &w : workloads::caseStudies())
+        std::printf("%s ", w.name.c_str());
+    std::printf("\n");
+    return 0;
+}
+
+int
+cmdRun(const std::string &coreName, const std::string &wlName)
+{
+    rtl::Design soc = cores::buildSoc(coreByName(coreName));
+    workloads::Workload wl = workloads::byName(wlName);
+
+    core::EnergySimulator::Config cfg;
+    cfg.sampleSize = 30;
+    cfg.replayLength = 128;
+    core::EnergySimulator strober(soc, cfg);
+    cores::SocDriver driver(soc, wl.program);
+    core::RunStats run = strober.run(driver, wl.maxCycles);
+    if (!driver.done())
+        fatal("workload did not finish");
+    std::printf("%s on %s: %llu cycles, %llu instructions "
+                "(CPI %.2f), exit 0x%x%s\n",
+                wl.name.c_str(), coreName.c_str(),
+                (unsigned long long)run.targetCycles,
+                (unsigned long long)driver.commitsSeen(),
+                static_cast<double>(run.targetCycles) /
+                    static_cast<double>(driver.commitsSeen()),
+                driver.exitCode(),
+                wl.expectedExit && driver.exitCode() == wl.expectedExit
+                    ? " (checksum OK)"
+                    : "");
+    core::EnergyReport rep = strober.estimate();
+    std::printf("average power: %.3f mW +/- %.3f (99%% CI, %zu "
+                "snapshots, %llu replay mismatches)\n",
+                rep.averagePower.mean * 1e3,
+                rep.averagePower.halfWidth * 1e3, rep.snapshots,
+                (unsigned long long)rep.replayMismatches);
+    for (const core::GroupEstimate &g : rep.groups) {
+        if (g.power.mean > rep.averagePower.mean * 0.01) {
+            std::printf("  %-28s %8.3f mW\n", g.group.c_str(),
+                        g.power.mean * 1e3);
+        }
+    }
+    return rep.replayMismatches == 0 ? 0 : 1;
+}
+
+int
+cmdTruth(const std::string &coreName, const std::string &wlName)
+{
+    rtl::Design soc = cores::buildSoc(coreByName(coreName));
+    workloads::Workload wl = workloads::byName(wlName);
+    core::EnergySimulator::Config cfg;
+    core::EnergySimulator strober(soc, cfg);
+    cores::SocDriver driver(soc, wl.program);
+    std::printf("running %s to completion at gate level (slow; this is "
+                "the point)...\n", wl.name.c_str());
+    power::PowerReport truth =
+        core::measureGroundTruth(strober, driver, wl.maxCycles);
+    std::printf("exact average power over %llu cycles: %.3f mW\n",
+                (unsigned long long)truth.cycles,
+                truth.totalWatts() * 1e3);
+    std::printf("%s", truth.table().c_str());
+    return 0;
+}
+
+int
+cmdSynth(const std::string &coreName, const char *outFile)
+{
+    rtl::Design soc = cores::buildSoc(coreByName(coreName));
+    gate::SynthesisResult synth = gate::synthesize(soc);
+    std::printf("%s: %llu gates, %zu DFFs (%llu retimed), %llu folded, "
+                "%llu swept, %.0f um^2\n",
+                coreName.c_str(),
+                (unsigned long long)synth.stats.liveGates,
+                synth.netlist.dffs().size(),
+                (unsigned long long)synth.stats.retimedDffCount,
+                (unsigned long long)synth.stats.foldedGates,
+                (unsigned long long)synth.stats.sweptGates,
+                synth.netlist.totalAreaUm2());
+    if (outFile) {
+        std::ofstream out(outFile);
+        out << gate::writeVerilog(synth.netlist, coreName + "_gates");
+        std::printf("wrote %s\n", outFile);
+    }
+    return 0;
+}
+
+int
+cmdChase(const std::string &coreName, uint32_t kib, unsigned latency)
+{
+    cores::SocConfig ccfg = coreByName(coreName);
+    rtl::Design soc = cores::buildSoc(ccfg);
+    workloads::Workload wl = workloads::pointerChase(kib * 1024, 400);
+    cores::SocDriver::Config dcfg;
+    dcfg.dram.baseLatencyCycles = latency;
+    cores::SocDriver driver(soc, wl.program, dcfg);
+    core::RtlHarness harness(soc);
+    core::runLoop(harness, driver, wl.maxCycles);
+    if (!driver.done())
+        fatal("chase did not finish");
+    std::printf("%u KiB array, DRAM latency %u: %.1f cycles per load\n",
+                kib, latency, driver.exitCode() / 16.0);
+    return 0;
+}
+
+int
+cmdAsm(const char *path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '%s'", path);
+    std::stringstream source;
+    source << in.rdbuf();
+    isa::Program prog = isa::assemble(source.str());
+    std::printf("assembled %u bytes at 0x%08x\n", prog.sizeBytes(),
+                prog.base);
+    isa::Iss iss;
+    iss.loadProgram(prog);
+    iss.run();
+    std::printf("ISS: %llu instructions, exit 0x%x\n",
+                (unsigned long long)iss.instret(), iss.exitCode());
+    if (!iss.consoleOutput().empty())
+        std::printf("console: %s\n", iss.consoleOutput().c_str());
+    return 0;
+}
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: strober info\n"
+                 "       strober run    <core> <workload>\n"
+                 "       strober truth  <core> <workload>\n"
+                 "       strober synth  <core> [out.v]\n"
+                 "       strober chase  <core> <KiB> [dram-latency]\n"
+                 "       strober asm    <file.s>\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    std::string cmd = argv[1];
+    if (cmd == "info")
+        return cmdInfo();
+    if (cmd == "run" && argc == 4)
+        return cmdRun(argv[2], argv[3]);
+    if (cmd == "truth" && argc == 4)
+        return cmdTruth(argv[2], argv[3]);
+    if (cmd == "synth" && (argc == 3 || argc == 4))
+        return cmdSynth(argv[2], argc == 4 ? argv[3] : nullptr);
+    if (cmd == "chase" && (argc == 4 || argc == 5)) {
+        return cmdChase(argv[2],
+                        static_cast<uint32_t>(std::stoul(argv[3])),
+                        argc == 5 ? static_cast<unsigned>(
+                                        std::stoul(argv[4]))
+                                  : 100);
+    }
+    if (cmd == "asm" && argc == 3)
+        return cmdAsm(argv[2]);
+    usage();
+    return 2;
+}
