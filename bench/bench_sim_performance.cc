@@ -8,14 +8,91 @@
  * fades for long runs. (Paper runs 0.5-73 B cycles on an FPGA; these
  * runs are scaled down, but the record-count law and the
  * with/without-sampling contrast are cycle-count independent.)
+ *
+ * A second section contrasts the fast simulator's two evaluation modes
+ * (Full reference sweep vs ActivityDriven change propagation) on the
+ * same workloads: node evaluations per cycle, activity factor and
+ * wall-clock speedup. The modes are observationally equivalent
+ * (tests/test_differential.cc), so the only difference is the rate.
  */
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench_common.h"
 #include "stats/sampling.h"
 
 using namespace strober;
+
+namespace {
+
+double
+nowSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+/** One fast-phase run on a bare RtlHarness in @p mode. */
+struct ModeRun
+{
+    uint64_t cycles = 0;
+    double evalsPerCycle = 0;
+    double activity = 0;
+    double wallSeconds = 0;
+};
+
+ModeRun
+runMode(const rtl::Design &soc, const workloads::Workload &wl,
+        sim::SimulatorMode mode)
+{
+    cores::SocDriver driver(soc, wl.program);
+    core::RtlHarness harness(soc, mode);
+    double start = nowSeconds();
+    core::runLoop(harness, driver, wl.maxCycles);
+    ModeRun r;
+    r.wallSeconds = nowSeconds() - start;
+    r.cycles = harness.cycles();
+    sim::Simulator &s = harness.simulator();
+    r.evalsPerCycle = r.cycles ? static_cast<double>(s.nodeEvals()) /
+                                     static_cast<double>(r.cycles)
+                               : 0;
+    r.activity = s.activityFactor();
+    return r;
+}
+
+void
+modeContrast(const rtl::Design &soc)
+{
+    bench::banner("evaluation modes: full sweep vs activity-driven");
+    std::printf("%-12s %-9s %12s %13s %9s %10s %8s\n", "benchmark",
+                "mode", "cycles", "evals/cycle", "activity", "wall(s)",
+                "speedup");
+    workloads::Workload wls[] = {
+        workloads::linuxbootLike(24),
+        workloads::coremarkLite(40),
+        workloads::gccLike(40),
+    };
+    for (const workloads::Workload &wl : wls) {
+        ModeRun full = runMode(soc, wl, sim::SimulatorMode::Full);
+        ModeRun act = runMode(soc, wl, sim::SimulatorMode::ActivityDriven);
+        std::printf("%-12s %-9s %12llu %13.1f %8.1f%% %10.3f %8s\n",
+                    wl.name.c_str(),
+                    sim::simulatorModeName(sim::SimulatorMode::Full),
+                    (unsigned long long)full.cycles, full.evalsPerCycle,
+                    100.0 * full.activity, full.wallSeconds, "1.0x");
+        std::printf("%-12s %-9s %12llu %13.1f %8.1f%% %10.3f %7.2fx\n",
+                    wl.name.c_str(),
+                    sim::simulatorModeName(sim::SimulatorMode::ActivityDriven),
+                    (unsigned long long)act.cycles, act.evalsPerCycle,
+                    100.0 * act.activity, act.wallSeconds,
+                    act.wallSeconds > 0 ? full.wallSeconds / act.wallSeconds
+                                        : 0.0);
+    }
+}
+
+} // namespace
 
 int
 main()
@@ -74,6 +151,8 @@ main()
     }
     std::printf("\npaper Table III (for reference): 0.5-73 B cycles, "
                 "980-1497 records, sampling overhead shrinking with run "
-                "length (gcc: 344 vs 312 min).\n");
+                "length (gcc: 344 vs 312 min).\n\n");
+
+    modeContrast(soc);
     return 0;
 }

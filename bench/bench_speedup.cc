@@ -41,35 +41,71 @@ fixture()
 }
 
 void
-BM_FastRtlSim(benchmark::State &state)
+fastRtlSimBench(benchmark::State &state, sim::SimulatorMode mode)
 {
     Fixture &f = fixture();
     for (auto _ : state) {
         cores::SocDriver driver(f.soc, f.wl.program);
-        core::RtlHarness harness(f.soc);
+        core::RtlHarness harness(f.soc, mode);
         core::runLoop(harness, driver, f.wl.maxCycles);
         state.counters["target_Hz"] = benchmark::Counter(
             static_cast<double>(harness.cycles()),
             benchmark::Counter::kIsIterationInvariantRate);
+        sim::Simulator &s = harness.simulator();
+        state.counters["evals_per_cycle"] =
+            static_cast<double>(s.nodeEvals()) /
+            static_cast<double>(harness.cycles());
+        state.counters["activity"] = s.activityFactor();
     }
+}
+
+void
+BM_FastRtlSim(benchmark::State &state)
+{
+    fastRtlSimBench(state, sim::SimulatorMode::Full);
 }
 BENCHMARK(BM_FastRtlSim)->Unit(benchmark::kMillisecond);
 
 void
-BM_Fame1TokenSim(benchmark::State &state)
+BM_FastRtlSimActivity(benchmark::State &state)
+{
+    // Same workload with change-propagation evaluation: the counters
+    // show the skipped work (evals_per_cycle, activity factor) that
+    // buys the wall-clock gap to BM_FastRtlSim.
+    fastRtlSimBench(state, sim::SimulatorMode::ActivityDriven);
+}
+BENCHMARK(BM_FastRtlSimActivity)->Unit(benchmark::kMillisecond);
+
+void
+fame1TokenSimBench(benchmark::State &state, sim::SimulatorMode mode)
 {
     Fixture &f = fixture();
     static fame::Fame1Design fd = fame::fame1Transform(f.soc);
     for (auto _ : state) {
         cores::SocDriver driver(f.soc, f.wl.program);
-        core::FameHarness harness(fd, nullptr);
+        core::FameHarness harness(fd, nullptr, mode);
         core::runLoop(harness, driver, f.wl.maxCycles);
         state.counters["target_Hz"] = benchmark::Counter(
             static_cast<double>(harness.cycles()),
             benchmark::Counter::kIsIterationInvariantRate);
+        state.counters["activity"] =
+            harness.tokenSim().simulator().activityFactor();
     }
 }
+
+void
+BM_Fame1TokenSim(benchmark::State &state)
+{
+    fame1TokenSimBench(state, sim::SimulatorMode::Full);
+}
 BENCHMARK(BM_Fame1TokenSim)->Unit(benchmark::kMillisecond);
+
+void
+BM_Fame1TokenSimActivity(benchmark::State &state)
+{
+    fame1TokenSimBench(state, sim::SimulatorMode::ActivityDriven);
+}
+BENCHMARK(BM_Fame1TokenSimActivity)->Unit(benchmark::kMillisecond);
 
 void
 BM_FastRtlSimBoom2w(benchmark::State &state)

@@ -37,7 +37,8 @@ EnergySimulator::resetSampling()
     scfg.seed = cfg.seed;
     scfg.enabled = cfg.samplingEnabled;
     snapSampler = std::make_unique<fame::SnapshotSampler>(fame, scfg);
-    fameHarness = std::make_unique<FameHarness>(fame, snapSampler.get());
+    fameHarness = std::make_unique<FameHarness>(fame, snapSampler.get(),
+                                                cfg.simMode);
     lastRunCycles = 0;
 }
 

@@ -86,6 +86,11 @@ class EnergySimulator
         double confidence = 0.99;
         double clockHz = 1e9;           //!< target clock (paper: 1 GHz)
         bool samplingEnabled = true;
+        /** Fast-simulator evaluation mode for phase 1. ActivityDriven is
+         *  observationally equivalent to Full (the naive reference
+         *  sweep, locked down by tests/test_differential.cc) and scales
+         *  with per-cycle activity instead of design size. */
+        sim::SimulatorMode simMode = sim::SimulatorMode::ActivityDriven;
         gate::LoaderKind loader = gate::LoaderKind::FastVpi;
         /** Host-service stall modeling: every @p hostServiceInterval
          *  target cycles the host services target I/O, costing

@@ -15,7 +15,8 @@ runLoop(TargetHarness &harness, HostDriver &driver, uint64_t maxCycles)
     return harness.cycles();
 }
 
-RtlHarness::RtlHarness(const rtl::Design &design) : dsn(design), sim(design)
+RtlHarness::RtlHarness(const rtl::Design &design, sim::SimulatorMode mode)
+    : dsn(design), sim(design, mode)
 {
     lastOutputs.assign(design.outputs().size(), 0);
 }
@@ -65,9 +66,22 @@ GateHarness::clock()
     sim.step();
 }
 
+namespace {
+
+fame::TokenSimulator::Config
+tokenConfig(sim::SimulatorMode mode)
+{
+    fame::TokenSimulator::Config cfg;
+    cfg.simMode = mode;
+    return cfg;
+}
+
+} // namespace
+
 FameHarness::FameHarness(const fame::Fame1Design &fame,
-                         fame::SnapshotSampler *sampler)
-    : tsim(fame), snapSampler(sampler)
+                         fame::SnapshotSampler *sampler,
+                         sim::SimulatorMode mode)
+    : tsim(fame, tokenConfig(mode)), snapSampler(sampler)
 {
     pendingInputs.assign(fame.targetInputs.size(), 0);
     lastOutputs.assign(fame.targetOutputs.size(), 0);

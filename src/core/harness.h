@@ -64,7 +64,8 @@ uint64_t runLoop(TargetHarness &harness, HostDriver &driver,
 class RtlHarness : public TargetHarness
 {
   public:
-    explicit RtlHarness(const rtl::Design &design);
+    explicit RtlHarness(const rtl::Design &design,
+                        sim::SimulatorMode mode = sim::SimulatorMode::Full);
 
     void setInput(size_t port, uint64_t value) override;
     uint64_t getOutput(size_t port) const override;
@@ -102,7 +103,8 @@ class FameHarness : public TargetHarness
 {
   public:
     FameHarness(const fame::Fame1Design &fame,
-                fame::SnapshotSampler *sampler);
+                fame::SnapshotSampler *sampler,
+                sim::SimulatorMode mode = sim::SimulatorMode::Full);
 
     void setInput(size_t port, uint64_t value) override;
     uint64_t getOutput(size_t port) const override;

@@ -11,7 +11,7 @@ TokenSimulator::TokenSimulator(const Fame1Design &fame)
 }
 
 TokenSimulator::TokenSimulator(const Fame1Design &fame, Config config)
-    : fd(fame), cfg(config), sim(fame.design)
+    : fd(fame), cfg(config), sim(fame.design, config.simMode)
 {
     inputChannels.resize(fd.targetInputs.size());
     outputChannels.resize(fd.targetOutputs.size());

@@ -55,6 +55,8 @@ class TokenSimulator
     struct Config
     {
         size_t channelCapacity = 8;
+        /** Evaluation mode of the underlying fast simulator. */
+        sim::SimulatorMode simMode = sim::SimulatorMode::Full;
     };
 
     explicit TokenSimulator(const Fame1Design &fame);

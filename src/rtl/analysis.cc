@@ -1,0 +1,92 @@
+#include "rtl/analysis.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace strober {
+namespace rtl {
+
+CombSchedule
+analyzeComb(const Design &design)
+{
+    size_t n = design.numNodes();
+    CombSchedule sched;
+    sched.level.assign(n, 0);
+    sched.fanoutBegin.assign(n + 1, 0);
+
+    // Count combinational dependencies and users.
+    std::vector<uint32_t> pending(n, 0);
+    for (NodeId id = 0; id < n; ++id) {
+        forEachCombDep(design, id, [&](NodeId dep) {
+            ++pending[id];
+            ++sched.fanoutBegin[dep + 1];
+        });
+    }
+    for (size_t i = 1; i <= n; ++i)
+        sched.fanoutBegin[i] += sched.fanoutBegin[i - 1];
+    sched.fanout.resize(sched.fanoutBegin[n]);
+    {
+        std::vector<uint32_t> cursor(sched.fanoutBegin.begin(),
+                                     sched.fanoutBegin.end() - 1);
+        // Iterating users in ascending id keeps each fanout list sorted.
+        for (NodeId id = 0; id < n; ++id) {
+            forEachCombDep(design, id, [&](NodeId dep) {
+                sched.fanout[cursor[dep]++] = id;
+            });
+        }
+    }
+
+    // Level assignment by Kahn waves: sources are level 0; a node's level
+    // is 1 + max of its dependencies' levels.
+    std::vector<NodeId> wave;
+    for (NodeId id = 0; id < n; ++id) {
+        if (pending[id] == 0)
+            wave.push_back(id);
+    }
+    size_t resolved = 0;
+    std::vector<NodeId> next;
+    while (!wave.empty()) {
+        resolved += wave.size();
+        next.clear();
+        for (NodeId id : wave) {
+            uint32_t userLevel = sched.level[id] + 1;
+            for (uint32_t u = sched.fanoutBegin[id];
+                 u < sched.fanoutBegin[id + 1]; ++u) {
+                NodeId user = sched.fanout[u];
+                sched.level[user] = std::max(sched.level[user], userLevel);
+                if (--pending[user] == 0)
+                    next.push_back(user);
+            }
+        }
+        wave.swap(next);
+    }
+    if (resolved != n) {
+        for (NodeId id = 0; id < n; ++id) {
+            if (pending[id] != 0)
+                fatal("combinational cycle through node %u '%s' (%s)", id,
+                      design.node(id).name.c_str(),
+                      opName(design.node(id).op));
+        }
+    }
+
+    for (NodeId id = 0; id < n; ++id)
+        sched.numLevels = std::max(sched.numLevels, sched.level[id] + 1);
+    if (n == 0)
+        sched.numLevels = 0;
+
+    // Level-major order, ascending node id within a level (counting sort
+    // by level preserves the id-order of the outer scan).
+    std::vector<uint32_t> levelCount(sched.numLevels + 1, 0);
+    for (NodeId id = 0; id < n; ++id)
+        ++levelCount[sched.level[id] + 1];
+    for (size_t l = 1; l <= sched.numLevels; ++l)
+        levelCount[l] += levelCount[l - 1];
+    sched.order.resize(n);
+    for (NodeId id = 0; id < n; ++id)
+        sched.order[levelCount[sched.level[id]]++] = id;
+    return sched;
+}
+
+} // namespace rtl
+} // namespace strober

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Combinational-graph analysis over a Design: per-node logic levels, a
+ * level-ordered evaluation schedule, and per-node fanout (user) lists in
+ * CSR form. This is the static information the activity-driven simulator
+ * mode (sim::SimulatorMode::ActivityDriven) needs to propagate value
+ * changes through the netlist instead of re-evaluating every node each
+ * cycle: when a node's value changes, exactly its fanout set at strictly
+ * greater levels can be affected.
+ */
+
+#ifndef STROBER_RTL_ANALYSIS_H
+#define STROBER_RTL_ANALYSIS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "rtl/ir.h"
+
+namespace strober {
+namespace rtl {
+
+/**
+ * Static schedule of the combinational graph.
+ *
+ * Invariants:
+ *  - @ref order is a topological order of all nodes grouped by ascending
+ *    @ref level; within one level, node ids ascend. Evaluating the
+ *    combinational subset of @ref order front-to-back is equivalent to
+ *    any other topological sweep.
+ *  - level[src] == 0 for sources (inputs, constants, registers, sync
+ *    read data); every combinational node's level is strictly greater
+ *    than each of its combinational dependencies' levels.
+ *  - fanout lists the *combinational* users of each node (the nodes that
+ *    must be re-evaluated when it changes). State-element consumers
+ *    (register next/enable, memory port address/data/enable) are not
+ *    fanout: they are read at the clock edge, which always runs.
+ */
+struct CombSchedule
+{
+    std::vector<NodeId> order;        //!< all nodes, level-major order
+    std::vector<uint32_t> level;      //!< per node: combinational depth
+    uint32_t numLevels = 0;           //!< max level + 1 (0 if no nodes)
+
+    // CSR fanout: users of node n are fanout[fanoutBegin[n] ..
+    // fanoutBegin[n + 1]).
+    std::vector<uint32_t> fanoutBegin;
+    std::vector<NodeId> fanout;
+};
+
+/**
+ * Invoke @p visit with every *combinational* dependency of @p id: its
+ * argument nodes, or the read address for an async memory read. Sync
+ * memory read data and other leaves have no combinational dependencies.
+ */
+template <typename Fn>
+void
+forEachCombDep(const Design &design, NodeId id, Fn &&visit)
+{
+    const Node &node = design.node(id);
+    if (node.op == Op::MemRead) {
+        uint32_t memIdx = node.aux >> 16;
+        uint32_t portIdx = node.aux & 0xffff;
+        const MemInfo &m = design.mems()[memIdx];
+        if (!m.syncRead)
+            visit(m.reads[portIdx].addr);
+        return;
+    }
+    unsigned arity = opArity(node.op);
+    for (unsigned i = 0; i < arity; ++i)
+        visit(node.args[i]);
+}
+
+/**
+ * Analyze @p design's combinational graph. Calls fatal() naming a node
+ * on a combinational cycle (same contract as levelize()).
+ */
+CombSchedule analyzeComb(const Design &design);
+
+} // namespace rtl
+} // namespace strober
+
+#endif // STROBER_RTL_ANALYSIS_H

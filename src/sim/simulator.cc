@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "rtl/analysis.h"
 #include "util/bits.h"
 #include "util/logging.h"
 
@@ -12,7 +13,14 @@ using rtl::Op;
 using rtl::NodeId;
 using rtl::kNoNode;
 
-Simulator::Simulator(const rtl::Design &design) : dsn(design)
+const char *
+simulatorModeName(SimulatorMode mode)
+{
+    return mode == SimulatorMode::Full ? "full" : "activity";
+}
+
+Simulator::Simulator(const rtl::Design &design, SimulatorMode mode)
+    : dsn(design), simMode(mode)
 {
     compile();
     reset();
@@ -21,11 +29,16 @@ Simulator::Simulator(const rtl::Design &design) : dsn(design)
 void
 Simulator::compile()
 {
-    std::vector<NodeId> order = rtl::levelize(dsn);
-    program.clear();
-    program.reserve(order.size());
+    rtl::CombSchedule sched = rtl::analyzeComb(dsn);
+    numLevels = sched.numLevels;
 
-    for (NodeId id : order) {
+    program.clear();
+    program.reserve(sched.order.size());
+    stepLevel.clear();
+    memReadSteps.assign(dsn.mems().size(), {});
+    std::vector<uint32_t> stepOfNode(dsn.numNodes(), kNoStep);
+
+    for (NodeId id : sched.order) {
         const rtl::Node &n = dsn.node(id);
         switch (n.op) {
           case Op::Input:
@@ -44,7 +57,11 @@ Simulator::compile()
             s.dst = id;
             s.a = memIdx;
             s.b = m.reads[portIdx].addr;
+            stepOfNode[id] = static_cast<uint32_t>(program.size());
+            memReadSteps[memIdx].push_back(
+                static_cast<uint32_t>(program.size()));
             program.push_back(s);
+            stepLevel.push_back(sched.level[id]);
             continue;
           }
           default:
@@ -66,8 +83,19 @@ Simulator::compile()
         }
         if (arity >= 3)
             s.c = n.args[2];
+        stepOfNode[id] = static_cast<uint32_t>(program.size());
         program.push_back(s);
+        stepLevel.push_back(sched.level[id]);
     }
+
+    // Per-node fanout as *step* indices: every combinational user of a
+    // node has a step, so the CSR shape carries over unchanged.
+    fanoutBegin.assign(sched.fanoutBegin.begin(), sched.fanoutBegin.end());
+    fanoutSteps.resize(sched.fanout.size());
+    for (size_t i = 0; i < sched.fanout.size(); ++i)
+        fanoutSteps[i] = stepOfNode[sched.fanout[i]];
+
+    levelBuckets.assign(numLevels, {});
 }
 
 void
@@ -98,7 +126,54 @@ Simulator::reset()
     }
     readPending.assign(syncPorts, 0);
 
+    stepDirty.assign(program.size(), 0);
+    for (auto &bucket : levelBuckets)
+        bucket.clear();
+    minDirtyLevel = numLevels;
+    maxDirtyLevel = 0;
+    fullSweepPending = true;
+
     cycleCount = 0;
+    combStale = true;
+}
+
+void
+Simulator::markStepDirty(uint32_t stepIdx)
+{
+    if (stepDirty[stepIdx])
+        return;
+    stepDirty[stepIdx] = 1;
+    uint32_t lvl = stepLevel[stepIdx];
+    levelBuckets[lvl].push_back(stepIdx);
+    minDirtyLevel = std::min(minDirtyLevel, lvl);
+    maxDirtyLevel = std::max(maxDirtyLevel, lvl);
+}
+
+void
+Simulator::markNodeChanged(NodeId node)
+{
+    for (uint32_t i = fanoutBegin[node]; i < fanoutBegin[node + 1]; ++i)
+        markStepDirty(fanoutSteps[i]);
+}
+
+void
+Simulator::markMemChanged(size_t memIdx)
+{
+    for (uint32_t stepIdx : memReadSteps[memIdx])
+        markStepDirty(stepIdx);
+}
+
+void
+Simulator::updateNode(NodeId node, uint64_t value)
+{
+    if (simMode == SimulatorMode::ActivityDriven) {
+        if (values[node] == value)
+            return;
+        values[node] = value;
+        markNodeChanged(node);
+    } else {
+        values[node] = value;
+    }
     combStale = true;
 }
 
@@ -108,8 +183,7 @@ Simulator::poke(NodeId input, uint64_t value)
     const rtl::Node &n = dsn.node(input);
     if (n.op != Op::Input)
         panic("poke target '%s' is not an input", n.name.c_str());
-    values[input] = truncate(value, n.width);
-    combStale = true;
+    updateNode(input, truncate(value, n.width));
 }
 
 void
@@ -138,108 +212,154 @@ Simulator::peek(const std::string &name)
     return peek(dsn.outputs()[idx].node);
 }
 
+uint64_t
+Simulator::evalStep(const Step &s) const
+{
+    const uint64_t *v = values.data();
+    switch (s.op) {
+      case Op::Not:
+        return truncate(~v[s.a], s.width);
+      case Op::Neg:
+        return truncate(0 - v[s.a], s.width);
+      case Op::RedOr:
+        return v[s.a] != 0;
+      case Op::RedAnd:
+        return v[s.a] == bitMask(s.widthA);
+      case Op::RedXor:
+        return static_cast<uint64_t>(__builtin_popcountll(v[s.a])) & 1;
+      case Op::SExt:
+        return truncate(signExtend(v[s.a], s.widthA), s.width);
+      case Op::Pad:
+        return v[s.a];
+      case Op::Bits:
+        return bits(v[s.a], static_cast<unsigned>(s.imm >> 8),
+                    static_cast<unsigned>(s.imm & 0xff));
+      case Op::Add:
+        return truncate(v[s.a] + v[s.b], s.width);
+      case Op::Sub:
+        return truncate(v[s.a] - v[s.b], s.width);
+      case Op::Mul:
+        return truncate(v[s.a] * v[s.b], s.width);
+      case Op::Divu:
+        return v[s.b] == 0 ? bitMask(s.width) : v[s.a] / v[s.b];
+      case Op::Remu:
+        return v[s.b] == 0 ? v[s.a] : v[s.a] % v[s.b];
+      case Op::And:
+        return v[s.a] & v[s.b];
+      case Op::Or:
+        return v[s.a] | v[s.b];
+      case Op::Xor:
+        return v[s.a] ^ v[s.b];
+      case Op::Shl: {
+        // Dynamic amounts are unbounded 64-bit values: clamp before the
+        // C++ shift (<< by >= 64 is undefined behaviour).
+        uint64_t amt = v[s.b];
+        if (amt >= s.width)
+            return 0;
+        return truncate(v[s.a] << amt, s.width);
+      }
+      case Op::Shru: {
+        uint64_t amt = v[s.b];
+        if (amt >= s.width)
+            return 0;
+        return v[s.a] >> amt;
+      }
+      case Op::Sra: {
+        // Shifting by >= width fills with the sign bit; cap the actual
+        // C++ shift at 63 (bit 63 of the sign-extended operand IS the
+        // sign, so >> 63 realizes the full fill without UB).
+        uint64_t amt = std::min<uint64_t>(v[s.b], s.width);
+        if (amt > 63)
+            amt = 63;
+        int64_t x = static_cast<int64_t>(signExtend(v[s.a], s.widthA));
+        return truncate(static_cast<uint64_t>(x >> amt), s.width);
+      }
+      case Op::Eq:
+        return v[s.a] == v[s.b];
+      case Op::Ne:
+        return v[s.a] != v[s.b];
+      case Op::Ltu:
+        return v[s.a] < v[s.b];
+      case Op::Lts:
+        return static_cast<int64_t>(signExtend(v[s.a], s.widthA)) <
+               static_cast<int64_t>(signExtend(v[s.b], s.widthB));
+      case Op::Cat:
+        return truncate((v[s.a] << s.widthB) | v[s.b], s.width);
+      case Op::Mux:
+        return v[s.a] & 1 ? v[s.b] : v[s.c];
+      case Op::MemRead: {
+        uint64_t addr = v[s.b];
+        const auto &contents = mems[s.a];
+        return addr < contents.size() ? contents[addr] : 0;
+      }
+      default:
+        panic("unexpected op %s in comb schedule", rtl::opName(s.op));
+    }
+    return 0;
+}
+
+void
+Simulator::evalCombFull()
+{
+    for (const Step &s : program)
+        values[s.dst] = evalStep(s);
+    evalCount += program.size();
+    combStale = false;
+}
+
+void
+Simulator::evalCombActivity()
+{
+    if (fullSweepPending) {
+        // First sweep after reset: everything is potentially stale.
+        evalCombFull();
+        for (auto &bucket : levelBuckets)
+            bucket.clear();
+        std::fill(stepDirty.begin(), stepDirty.end(), 0);
+        minDirtyLevel = numLevels;
+        maxDirtyLevel = 0;
+        fullSweepPending = false;
+        return;
+    }
+
+    uint64_t evaluated = 0;
+    // Drain dirty steps level by level. Marks made while draining always
+    // target strictly higher levels (a combinational user is deeper than
+    // its producer), so a single ascending pass settles the graph.
+    for (uint32_t lvl = minDirtyLevel;
+         lvl < numLevels && lvl <= maxDirtyLevel; ++lvl) {
+        std::vector<uint32_t> &bucket = levelBuckets[lvl];
+        if (bucket.empty())
+            continue;
+        // Schedule order within the level == ascending step index; this
+        // keeps the evaluation sequence a sub-sequence of the Full sweep.
+        std::sort(bucket.begin(), bucket.end());
+        for (uint32_t stepIdx : bucket) {
+            stepDirty[stepIdx] = 0;
+            const Step &s = program[stepIdx];
+            uint64_t r = evalStep(s);
+            ++evaluated;
+            if (values[s.dst] != r) {
+                values[s.dst] = r;
+                markNodeChanged(s.dst);
+            }
+        }
+        bucket.clear();
+    }
+    minDirtyLevel = numLevels;
+    maxDirtyLevel = 0;
+    evalCount += evaluated;
+    skipCount += program.size() - evaluated;
+    combStale = false;
+}
+
 void
 Simulator::evalComb()
 {
-    uint64_t *v = values.data();
-    for (const Step &s : program) {
-        uint64_t r = 0;
-        switch (s.op) {
-          case Op::Not:
-            r = truncate(~v[s.a], s.width);
-            break;
-          case Op::Neg:
-            r = truncate(0 - v[s.a], s.width);
-            break;
-          case Op::RedOr:
-            r = v[s.a] != 0;
-            break;
-          case Op::RedAnd:
-            r = v[s.a] == bitMask(s.widthA);
-            break;
-          case Op::RedXor:
-            r = static_cast<uint64_t>(__builtin_popcountll(v[s.a])) & 1;
-            break;
-          case Op::SExt:
-            r = truncate(signExtend(v[s.a], s.widthA), s.width);
-            break;
-          case Op::Pad:
-            r = v[s.a];
-            break;
-          case Op::Bits:
-            r = bits(v[s.a], static_cast<unsigned>(s.imm >> 8),
-                     static_cast<unsigned>(s.imm & 0xff));
-            break;
-          case Op::Add:
-            r = truncate(v[s.a] + v[s.b], s.width);
-            break;
-          case Op::Sub:
-            r = truncate(v[s.a] - v[s.b], s.width);
-            break;
-          case Op::Mul:
-            r = truncate(v[s.a] * v[s.b], s.width);
-            break;
-          case Op::Divu:
-            r = v[s.b] == 0 ? bitMask(s.width) : v[s.a] / v[s.b];
-            break;
-          case Op::Remu:
-            r = v[s.b] == 0 ? v[s.a] : v[s.a] % v[s.b];
-            break;
-          case Op::And:
-            r = v[s.a] & v[s.b];
-            break;
-          case Op::Or:
-            r = v[s.a] | v[s.b];
-            break;
-          case Op::Xor:
-            r = v[s.a] ^ v[s.b];
-            break;
-          case Op::Shl:
-            r = v[s.b] >= s.width ? 0 : truncate(v[s.a] << v[s.b], s.width);
-            break;
-          case Op::Shru:
-            r = v[s.b] >= s.width ? 0 : v[s.a] >> v[s.b];
-            break;
-          case Op::Sra: {
-            uint64_t amt = std::min<uint64_t>(v[s.b], s.width);
-            int64_t x = static_cast<int64_t>(signExtend(v[s.a], s.widthA));
-            if (amt >= 64)
-                amt = 63;
-            r = truncate(static_cast<uint64_t>(x >> amt), s.width);
-            break;
-          }
-          case Op::Eq:
-            r = v[s.a] == v[s.b];
-            break;
-          case Op::Ne:
-            r = v[s.a] != v[s.b];
-            break;
-          case Op::Ltu:
-            r = v[s.a] < v[s.b];
-            break;
-          case Op::Lts:
-            r = static_cast<int64_t>(signExtend(v[s.a], s.widthA)) <
-                static_cast<int64_t>(signExtend(v[s.b], s.widthB));
-            break;
-          case Op::Cat:
-            r = truncate((v[s.a] << s.widthB) | v[s.b], s.width);
-            break;
-          case Op::Mux:
-            r = v[s.a] & 1 ? v[s.b] : v[s.c];
-            break;
-          case Op::MemRead: {
-            uint64_t addr = v[s.b];
-            const auto &contents = mems[s.a];
-            r = addr < contents.size() ? contents[addr] : 0;
-            break;
-          }
-          default:
-            panic("unexpected op %s in comb schedule", rtl::opName(s.op));
-        }
-        v[s.dst] = r;
-    }
-    evalCount += program.size();
-    combStale = false;
+    if (simMode == SimulatorMode::ActivityDriven)
+        evalCombActivity();
+    else
+        evalCombFull();
 }
 
 void
@@ -272,6 +392,7 @@ Simulator::commitEdge()
     }
 
     // Memory writes (last port wins on a collision).
+    bool activity = simMode == SimulatorMode::ActivityDriven;
     for (size_t mi = 0; mi < dsn.mems().size(); ++mi) {
         const rtl::MemInfo &m = dsn.mems()[mi];
         for (const rtl::MemWritePort &p : m.writes) {
@@ -279,19 +400,22 @@ Simulator::commitEdge()
             if (!en)
                 continue;
             uint64_t addr = values[p.addr];
-            if (addr < m.depth)
+            if (addr < m.depth && mems[mi][addr] != values[p.data]) {
                 mems[mi][addr] = values[p.data];
+                if (activity)
+                    markMemChanged(mi);
+            }
         }
     }
 
     for (size_t i = 0; i < regs.size(); ++i)
-        values[regs[i].node] = regPending[i];
+        updateNode(regs[i].node, regPending[i]);
     flat = 0;
     for (const rtl::MemInfo &m : dsn.mems()) {
         if (!m.syncRead)
             continue;
         for (const rtl::MemReadPort &p : m.reads)
-            values[p.data] = readPending[flat++];
+            updateNode(p.data, readPending[flat++]);
     }
 
     ++cycleCount;
@@ -311,20 +435,28 @@ Simulator::step(uint64_t n)
 uint64_t
 Simulator::regValue(size_t regIdx) const
 {
+    if (regIdx >= dsn.regs().size())
+        panic("regValue index %zu out of range (design has %zu registers)",
+              regIdx, dsn.regs().size());
     return values[dsn.regs()[regIdx].node];
 }
 
 void
 Simulator::setRegValue(size_t regIdx, uint64_t value)
 {
+    if (regIdx >= dsn.regs().size())
+        panic("setRegValue index %zu out of range (design has %zu "
+              "registers)", regIdx, dsn.regs().size());
     const rtl::RegInfo &r = dsn.regs()[regIdx];
-    values[r.node] = truncate(value, dsn.node(r.node).width);
-    combStale = true;
+    updateNode(r.node, truncate(value, dsn.node(r.node).width));
 }
 
 uint64_t
 Simulator::memWord(size_t memIdx, uint64_t addr) const
 {
+    if (memIdx >= mems.size())
+        panic("memWord memory index %zu out of range (design has %zu "
+              "memories)", memIdx, mems.size());
     const auto &contents = mems[memIdx];
     if (addr >= contents.size())
         panic("memWord address %llu out of range", (unsigned long long)addr);
@@ -334,38 +466,64 @@ Simulator::memWord(size_t memIdx, uint64_t addr) const
 void
 Simulator::setMemWord(size_t memIdx, uint64_t addr, uint64_t value)
 {
+    if (memIdx >= mems.size())
+        panic("setMemWord memory index %zu out of range (design has %zu "
+              "memories)", memIdx, mems.size());
     auto &contents = mems[memIdx];
     if (addr >= contents.size())
         panic("setMemWord address %llu out of range",
               (unsigned long long)addr);
-    contents[addr] = truncate(value, dsn.mems()[memIdx].width);
+    uint64_t nv = truncate(value, dsn.mems()[memIdx].width);
+    if (contents[addr] != nv) {
+        contents[addr] = nv;
+        if (simMode == SimulatorMode::ActivityDriven)
+            markMemChanged(memIdx);
+    }
     combStale = true;
 }
 
 uint64_t
 Simulator::syncReadData(size_t memIdx, size_t port) const
 {
+    if (memIdx >= dsn.mems().size() ||
+        port >= dsn.mems()[memIdx].reads.size())
+        panic("syncReadData mem %zu port %zu out of range", memIdx, port);
     return values[dsn.mems()[memIdx].reads[port].data];
 }
 
 void
 Simulator::setSyncReadData(size_t memIdx, size_t port, uint64_t value)
 {
+    if (memIdx >= dsn.mems().size() ||
+        port >= dsn.mems()[memIdx].reads.size())
+        panic("setSyncReadData mem %zu port %zu out of range", memIdx,
+              port);
     const rtl::MemInfo &m = dsn.mems()[memIdx];
-    values[m.reads[port].data] = truncate(value, m.width);
-    combStale = true;
+    updateNode(m.reads[port].data, truncate(value, m.width));
 }
 
 void
 Simulator::loadMem(size_t memIdx, uint64_t base,
                    const std::vector<uint64_t> &words)
 {
-    if (base + words.size() > mems[memIdx].size())
+    if (memIdx >= mems.size())
+        panic("loadMem memory index %zu out of range (design has %zu "
+              "memories)", memIdx, mems.size());
+    // Guard the addition against wrap-around before the range check.
+    if (base > mems[memIdx].size() ||
+        words.size() > mems[memIdx].size() - base)
         fatal("loadMem overflows memory '%s'",
               dsn.mems()[memIdx].name.c_str());
-    for (size_t i = 0; i < words.size(); ++i)
-        mems[memIdx][base + i] =
-            truncate(words[i], dsn.mems()[memIdx].width);
+    bool changed = false;
+    for (size_t i = 0; i < words.size(); ++i) {
+        uint64_t nv = truncate(words[i], dsn.mems()[memIdx].width);
+        if (mems[memIdx][base + i] != nv) {
+            mems[memIdx][base + i] = nv;
+            changed = true;
+        }
+    }
+    if (changed && simMode == SimulatorMode::ActivityDriven)
+        markMemChanged(memIdx);
     combStale = true;
 }
 

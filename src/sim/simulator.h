@@ -10,12 +10,24 @@
  *
  * Evaluation model per cycle:
  *   1. poke() input values;
- *   2. evalComb() propagates through all combinational nodes in a
- *      precomputed topological order;
+ *   2. evalComb() propagates through the combinational nodes in a
+ *      precomputed level-ordered topological schedule;
  *   3. step() commits the clock edge: registers latch their next values,
  *      sync-read ports latch old memory contents, write ports update
  *      memories (read-before-write; the last write port wins on address
  *      collisions).
+ *
+ * Two evaluation modes (SimulatorMode) are available:
+ *   - Full: the naive reference sweep — every combinational node is
+ *     re-evaluated on every evalComb().
+ *   - ActivityDriven: change-propagation evaluation. A dirty set (seeded
+ *     by poke(), register commits, sync-memory latches and memory
+ *     writes) is propagated level by level through the topological
+ *     schedule; only nodes whose inputs actually changed value are
+ *     re-evaluated. The per-level dirty buckets are drained in schedule
+ *     order, so the evaluation order is a sub-sequence of the Full
+ *     sweep and the mode is observationally equivalent to Full (see
+ *     tests/test_differential.cc, which locks this invariant down).
  */
 
 #ifndef STROBER_SIM_SIMULATOR_H
@@ -30,13 +42,24 @@
 namespace strober {
 namespace sim {
 
+/** Combinational evaluation strategy of a Simulator. */
+enum class SimulatorMode : uint8_t {
+    Full,           //!< re-evaluate every node every sweep (reference)
+    ActivityDriven, //!< re-evaluate only nodes whose inputs changed
+};
+
+/** @return "full" or "activity" (for reports and benches). */
+const char *simulatorModeName(SimulatorMode mode);
+
 /** Cycle-exact interpreter over one rtl::Design. */
 class Simulator
 {
   public:
-    explicit Simulator(const rtl::Design &design);
+    explicit Simulator(const rtl::Design &design,
+                       SimulatorMode mode = SimulatorMode::Full);
 
     const rtl::Design &design() const { return dsn; }
+    SimulatorMode mode() const { return simMode; }
 
     /** Reset state: registers to init values, memories to zero. */
     void reset();
@@ -63,7 +86,27 @@ class Simulator
     /** Node evaluations executed (for simulation-rate reporting). */
     uint64_t nodeEvals() const { return evalCount; }
 
+    /**
+     * Node evaluations skipped by ActivityDriven sweeps (a Full-mode
+     * sweep would have executed them). Always 0 in Full mode.
+     */
+    uint64_t nodeEvalsSkipped() const { return skipCount; }
+
+    /**
+     * Fraction of scheduled node evaluations actually executed, averaged
+     * over all sweeps so far: evals / (evals + skipped). 1.0 in Full
+     * mode (and before any sweep has run).
+     */
+    double activityFactor() const
+    {
+        uint64_t total = evalCount + skipCount;
+        return total ? static_cast<double>(evalCount) /
+                           static_cast<double>(total)
+                     : 1.0;
+    }
+
     // --- Direct state access (scan chains, snapshot load, testing) -----
+    // Index arguments are checked; out-of-range indices are fatal.
     uint64_t regValue(size_t regIdx) const;
     void setRegValue(size_t regIdx, uint64_t value);
     uint64_t memWord(size_t memIdx, uint64_t addr) const;
@@ -89,18 +132,42 @@ class Simulator
         uint64_t imm;
     };
 
+    static constexpr uint32_t kNoStep = UINT32_MAX;
+
     const rtl::Design &dsn;
+    SimulatorMode simMode;
     std::vector<uint64_t> values;             //!< per-node current value
     std::vector<std::vector<uint64_t>> mems;  //!< memory contents
-    std::vector<Step> program;                //!< comb schedule
+    std::vector<Step> program;                //!< comb schedule (level order)
     std::vector<uint64_t> regPending;
     std::vector<uint64_t> readPending;        //!< sync read data pending
     uint64_t cycleCount = 0;
     uint64_t evalCount = 0;
+    uint64_t skipCount = 0;
     bool combStale = true;
+
+    // --- ActivityDriven machinery (unused in Full mode) ----------------
+    std::vector<uint32_t> stepLevel;          //!< per step: comb level
+    std::vector<uint32_t> fanoutBegin;        //!< per node: CSR into ...
+    std::vector<uint32_t> fanoutSteps;        //!< ... consumer step indices
+    std::vector<std::vector<uint32_t>> memReadSteps; //!< async reads per mem
+    std::vector<uint8_t> stepDirty;
+    std::vector<std::vector<uint32_t>> levelBuckets;
+    uint32_t numLevels = 0;
+    uint32_t minDirtyLevel = 0;               //!< == numLevels when clean
+    uint32_t maxDirtyLevel = 0;
+    bool fullSweepPending = true;             //!< first sweep after reset
 
     void compile();
     void commitEdge();
+    uint64_t evalStep(const Step &s) const;
+    void evalCombFull();
+    void evalCombActivity();
+    void markStepDirty(uint32_t stepIdx);
+    void markNodeChanged(rtl::NodeId node);
+    void markMemChanged(size_t memIdx);
+    /** Store @p value into @p node, tracking dirtiness per mode. */
+    void updateNode(rtl::NodeId node, uint64_t value);
 };
 
 } // namespace sim

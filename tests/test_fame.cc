@@ -4,16 +4,22 @@
  * replayable-snapshot capture/replay.
  */
 
+#include <sstream>
+
 #include <gtest/gtest.h>
 
 #include "fame/fame1.h"
 #include "fame/replay.h"
 #include "fame/sampler.h"
 #include "fame/scan_chain.h"
+#include "fame/snapshot_io.h"
 #include "fame/token_sim.h"
 #include "rtl/builder.h"
+#include "sim/simulator.h"
 #include "stats/rng.h"
 #include "util/bitstream.h"
+
+#include "fuzz_designs.h"
 
 namespace strober {
 namespace fame {
@@ -251,6 +257,84 @@ TEST(Snapshot, CaptureAndReplayMatches)
     EXPECT_TRUE(r.ok()) << r.firstMismatch;
     EXPECT_EQ(r.cyclesReplayed, 64u);
 }
+
+/**
+ * Capture a replayable snapshot mid-execution, push it through the
+ * binary serialization, reload it, and drive fresh simulators — in both
+ * evaluation modes — from the restored state. The next N cycles must
+ * match the recorded output trace bit for bit; this is exactly the
+ * contract a snapshot shipped to another machine relies on.
+ */
+void
+expectSerializedSnapshotReplays(const Design &d, uint64_t seed)
+{
+    Fame1Design fd = fame1Transform(d);
+    TokenSimulator ts(fd);
+    ScanChains chains(fd.design);
+    stats::Rng rng(seed);
+
+    auto drive = [&](uint64_t cycles) {
+        for (uint64_t i = 0; i < cycles; ++i) {
+            for (size_t p = 0; p < ts.numInputs(); ++p)
+                ts.enqueueInput(p, rng.next());
+            ASSERT_TRUE(ts.tryStep());
+            for (size_t o = 0; o < ts.numOutputs(); ++o)
+                ts.dequeueOutput(o);
+        }
+    };
+    drive(200 + seed % 100);
+    ReplayableSnapshot snap;
+    ts.captureSnapshot(chains, &snap, 48);
+    drive(48);
+    ASSERT_TRUE(snap.complete);
+
+    std::stringstream buf;
+    writeSnapshot(buf, chains, snap);
+    ReplayableSnapshot loaded = readSnapshot(buf, chains);
+
+    // The deserialized snapshot is the one that was written...
+    ASSERT_TRUE(loaded.complete);
+    EXPECT_EQ(loaded.cycle(), snap.cycle());
+    EXPECT_EQ(loaded.inputTrace, snap.inputTrace);
+    EXPECT_EQ(loaded.outputTrace, snap.outputTrace);
+    EXPECT_EQ(loaded.retimeHistory, snap.retimeHistory);
+    EXPECT_EQ(chains.encode(loaded.state), chains.encode(snap.state));
+
+    // ...and replays bit-exactly from a cold simulator in either mode.
+    for (sim::SimulatorMode mode : {sim::SimulatorMode::Full,
+                                    sim::SimulatorMode::ActivityDriven}) {
+        sim::Simulator fresh(d, mode);
+        chains.restore(fresh, loaded.state);
+        for (size_t t = 0; t < loaded.inputTrace.size(); ++t) {
+            ASSERT_EQ(loaded.inputTrace[t].size(), d.inputs().size());
+            for (size_t i = 0; i < d.inputs().size(); ++i)
+                fresh.poke(d.inputs()[i], loaded.inputTrace[t][i]);
+            for (size_t o = 0; o < d.outputs().size(); ++o) {
+                ASSERT_EQ(fresh.peek(d.outputs()[o].node),
+                          loaded.outputTrace[t][o])
+                    << sim::simulatorModeName(mode) << " seed " << seed
+                    << " cycle +" << t << " output " << o;
+            }
+            fresh.step();
+        }
+    }
+}
+
+TEST(SnapshotIo, SerializedSnapshotReplaysInBothModes)
+{
+    expectSerializedSnapshotReplays(makeDut(), 0x10adf11e);
+}
+
+class SnapshotIoFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SnapshotIoFuzz, SerializedSnapshotReplaysOnRandomDesigns)
+{
+    expectSerializedSnapshotReplays(
+        strober::testing::randomDesign(GetParam()), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotIoFuzz,
+                         ::testing::Range<uint64_t>(1, 9));
 
 TEST(Snapshot, CorruptedStateIsDetectedByReplay)
 {

@@ -155,6 +155,59 @@ TEST_P(AluSynthSweep, GateNetlistMatchesRtlSemantics)
 INSTANTIATE_TEST_SUITE_P(Widths, AluSynthSweep,
                          ::testing::Values(4u, 8u, 13u, 32u, 64u));
 
+class ShiftBoundarySweep : public ::testing::TestWithParam<unsigned> {};
+
+/**
+ * The gate-level barrel shifter against the RTL interpreter at exactly
+ * the boundary amounts that are undefined behaviour for a naive host
+ * shift: width-1, width, width+1 and the all-ones amount. The amount
+ * port is full operand width, so amounts far beyond the barrel's
+ * log2(width) mux stages exercise its "any high bit" overflow term.
+ */
+TEST_P(ShiftBoundarySweep, GateShiftsMatchRtlAtBoundaryAmounts)
+{
+    unsigned width = GetParam();
+    Builder b("shb");
+    Signal a = b.input("a", width);
+    Signal amt = b.input("amt", width);
+    b.output("shl", shl(a, amt));
+    b.output("shru", shru(a, amt));
+    b.output("sra", sra(a, amt));
+    Design d = b.finish();
+
+    SynthesisResult synth = synthesize(d);
+    sim::Simulator rtlSim(d);
+    GateSimulator gateSim(synth.netlist);
+
+    std::vector<uint64_t> amounts = {0, 1, width - 1, width, width + 1,
+                                     bitMask(width)};
+    if (width > 33)
+        amounts.insert(amounts.end(), {31, 32, 33, 63});
+    std::vector<uint64_t> operands = {
+        0, 1, bitMask(width),                      // all-zeros/ones
+        uint64_t(1) << (width - 1),                // sign bit only
+        (uint64_t(1) << (width - 1)) | 1,          // negative, lsb set
+        bitMask(width) >> 1,                       // max positive
+        0x5555555555555555ull & bitMask(width)};
+    for (uint64_t sh : amounts) {
+        for (uint64_t a0 : operands) {
+            rtlSim.poke("a", a0);
+            rtlSim.poke("amt", sh);
+            gateSim.pokePort(0, a0);
+            gateSim.pokePort(1, truncate(sh, width));
+            for (size_t o = 0; o < d.outputs().size(); ++o) {
+                ASSERT_EQ(gateSim.peekPort(o),
+                          rtlSim.peek(d.outputs()[o].node))
+                    << "output '" << d.outputs()[o].name << "' a=" << a0
+                    << " amt=" << sh << " width=" << width;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ShiftBoundarySweep,
+                         ::testing::Values(2u, 8u, 16u, 33u, 64u));
+
 TEST(Synthesis, SequentialLockstep)
 {
     Design d = makeSeqDesign();

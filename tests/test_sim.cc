@@ -164,6 +164,104 @@ TEST(Simulator, ShiftBeyondWidth)
     EXPECT_EQ(s.peek("sra"), 0u);
 }
 
+/**
+ * Shift amounts at and beyond every boundary that is undefined behaviour
+ * for a naive host shift (amount == width, > width, >= 64). The
+ * interpreter clamps explicitly; these pin the defined results in both
+ * evaluation modes.
+ */
+TEST(Simulator, ShiftBoundaryAmountsNarrow)
+{
+    Builder b("s8");
+    Signal a = b.input("a", 8);
+    Signal amt = b.input("amt", 8);
+    b.output("shl", shl(a, amt));
+    b.output("shru", shru(a, amt));
+    b.output("sra", sra(a, amt));
+    Design d = b.finish();
+
+    struct Case
+    {
+        uint64_t a, amt, shl, shru, sra;
+    };
+    // width-1 / width / width+1 / widest-possible amount, for a negative
+    // and a non-negative operand.
+    const Case cases[] = {
+        {0x81, 0, 0x81, 0x81, 0x81},
+        {0x81, 7, 0x80, 0x01, 0xff},
+        {0x41, 7, 0x80, 0x00, 0x00},
+        {0x81, 8, 0x00, 0x00, 0xff},
+        {0x41, 8, 0x00, 0x00, 0x00},
+        {0x81, 9, 0x00, 0x00, 0xff},
+        {0xff, 255, 0x00, 0x00, 0xff},
+        {0x7f, 255, 0x00, 0x00, 0x00},
+    };
+    for (SimulatorMode mode :
+         {SimulatorMode::Full, SimulatorMode::ActivityDriven}) {
+        Simulator s(d, mode);
+        for (const Case &c : cases) {
+            s.poke("a", c.a);
+            s.poke("amt", c.amt);
+            EXPECT_EQ(s.peek("shl"), c.shl)
+                << simulatorModeName(mode) << " shl " << c.a << " by "
+                << c.amt;
+            EXPECT_EQ(s.peek("shru"), c.shru)
+                << simulatorModeName(mode) << " shru " << c.a << " by "
+                << c.amt;
+            EXPECT_EQ(s.peek("sra"), c.sra)
+                << simulatorModeName(mode) << " sra " << c.a << " by "
+                << c.amt;
+            s.step();
+        }
+    }
+}
+
+TEST(Simulator, ShiftBoundaryAmountsWide)
+{
+    // Full 64-bit operands: amount 63 is the last defined host shift;
+    // 64, 65 and huge amounts must still clamp to the fill value.
+    Builder b("s64");
+    Signal a = b.input("a", 64);
+    Signal amt = b.input("amt", 64);
+    b.output("shl", shl(a, amt));
+    b.output("shru", shru(a, amt));
+    b.output("sra", sra(a, amt));
+    Design d = b.finish();
+
+    const uint64_t neg = 0x8000000000000001ull;
+    const uint64_t pos = 0x4000000000000001ull;
+    struct Case
+    {
+        uint64_t a, amt, shl, shru, sra;
+    };
+    const Case cases[] = {
+        {neg, 63, 0x8000000000000000ull, 1, ~0ull},
+        {pos, 63, 0x8000000000000000ull, 0, 0},
+        {neg, 64, 0, 0, ~0ull},
+        {pos, 64, 0, 0, 0},
+        {neg, 65, 0, 0, ~0ull},
+        {pos, 65, 0, 0, 0},
+        {neg, 1ull << 32, 0, 0, ~0ull},
+        {neg, ~0ull, 0, 0, ~0ull},
+        {pos, ~0ull, 0, 0, 0},
+    };
+    for (SimulatorMode mode :
+         {SimulatorMode::Full, SimulatorMode::ActivityDriven}) {
+        Simulator s(d, mode);
+        for (const Case &c : cases) {
+            s.poke("a", c.a);
+            s.poke("amt", c.amt);
+            EXPECT_EQ(s.peek("shl"), c.shl)
+                << simulatorModeName(mode) << " shl by " << c.amt;
+            EXPECT_EQ(s.peek("shru"), c.shru)
+                << simulatorModeName(mode) << " shru by " << c.amt;
+            EXPECT_EQ(s.peek("sra"), c.sra)
+                << simulatorModeName(mode) << " sra by " << c.amt;
+            s.step();
+        }
+    }
+}
+
 TEST(Simulator, AsyncMemReadWrite)
 {
     Builder b("m");
@@ -309,6 +407,58 @@ TEST(SimulatorDeath, PokeNonInput)
     }();
     Simulator s(d);
     EXPECT_DEATH(s.poke(d.regs()[0].node, 1), "not an input");
+}
+
+TEST(SimulatorDeath, StateAccessOutOfRange)
+{
+    Design d = [] {
+        Builder b("m");
+        Signal raddr = b.input("raddr", 4);
+        Signal cnt = b.reg("cnt", 8, 0);
+        b.next(cnt, cnt);
+        MemHandle m = b.mem("ram", 8, 16, true);
+        b.output("rd", b.memReadSync(m, raddr));
+        b.output("o", cnt);
+        return b.finish();
+    }();
+    Simulator s(d);
+    // In-range accesses work...
+    EXPECT_EQ(s.regValue(0), 0u);
+    EXPECT_EQ(s.memWord(0, 15), 0u);
+    EXPECT_EQ(s.syncReadData(0, 0), 0u);
+    // ...every out-of-range index is a caught invariant, not UB.
+    EXPECT_DEATH(s.regValue(1), "out of range");
+    EXPECT_DEATH(s.setRegValue(1, 0), "out of range");
+    EXPECT_DEATH(s.memWord(1, 0), "out of range");
+    EXPECT_DEATH(s.memWord(0, 16), "out of range");
+    EXPECT_DEATH(s.setMemWord(1, 0, 0), "out of range");
+    EXPECT_DEATH(s.setMemWord(0, 16, 0), "out of range");
+    EXPECT_DEATH(s.syncReadData(0, 1), "out of range");
+    EXPECT_DEATH(s.syncReadData(1, 0), "out of range");
+    EXPECT_DEATH(s.setSyncReadData(0, 1, 0), "out of range");
+    EXPECT_DEATH(s.loadMem(1, 0, {1}), "out of range");
+}
+
+TEST(SimulatorDeath, LoadMemOverflow)
+{
+    Design d = [] {
+        Builder b("m");
+        Signal raddr = b.input("raddr", 4);
+        MemHandle m = b.mem("ram", 8, 16, false);
+        b.output("rd", b.memRead(m, raddr));
+        return b.finish();
+    }();
+    Simulator s(d);
+    s.loadMem(0, 15, {1}); // exactly fits
+    EXPECT_EQ(s.memWord(0, 15), 1u);
+    // One word too many, a base past the end, and a base+size that
+    // wraps uint64_t must all be rejected as user errors.
+    EXPECT_EXIT(s.loadMem(0, 15, {1, 2}), ::testing::ExitedWithCode(1),
+                "overflows");
+    EXPECT_EXIT(s.loadMem(0, 17, {}), ::testing::ExitedWithCode(1),
+                "overflows");
+    EXPECT_EXIT(s.loadMem(0, ~0ull, {1, 2}), ::testing::ExitedWithCode(1),
+                "overflows");
 }
 
 TEST(SimulatorDeath, UnknownPortNames)
