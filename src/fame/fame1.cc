@@ -1,5 +1,6 @@
 #include "fame/fame1.h"
 
+#include "lint/lint.h"
 #include "util/logging.h"
 
 namespace strober {
@@ -21,6 +22,20 @@ fame1Transform(const rtl::Design &target)
     if (d.findInput("host_en") != kNoNode)
         fatal("design already has a host_en input; is it FAME1-transformed "
               "twice?");
+
+    // Lint the target before touching it: a malformed netlist produces a
+    // full structured report here rather than a confusing failure deep in
+    // the transformed design.
+    {
+        lint::Options opts;
+        opts.minSeverity = lint::Severity::Error;
+        lint::Diagnostics diags = lint::run(target, opts);
+        if (diags.hasErrors()) {
+            fatal("FAME1 target '%s' failed lint with %zu error(s):\n%s",
+                  target.name().c_str(), diags.errorCount(),
+                  diags.str().c_str());
+        }
+    }
 
     Node en;
     en.op = Op::Input;
@@ -62,6 +77,15 @@ fame1Transform(const rtl::Design &target)
                                      o.node});
 
     d.check();
+
+    // Cross-layer self-verification: every state element of the result
+    // must be gated by host_en. Failure here is a bug in this transform,
+    // not in the caller's design.
+    lint::Diagnostics gating = lint::verifyFame1Gating(d, out.hostEnable);
+    if (gating.hasErrors()) {
+        panic("FAME1 transform produced unguarded state:\n%s",
+              gating.str().c_str());
+    }
     return out;
 }
 

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "lint/diagnostics.h"
 #include "rtl/ir.h"
 #include "sim/simulator.h"
 
@@ -62,7 +63,12 @@ class ScanChains
     /** Shift the simulator's state out as a packed chain bit stream. */
     std::vector<uint64_t> scanOut(const sim::Simulator &simulator) const;
 
-    /** Decode a chain bit stream into structured state. */
+    /**
+     * Decode a chain bit stream into structured state. The stream must be
+     * exactly ceil(totalBits() / 64) words: a wrong-length stream (a
+     * truncated capture, or a capture from a different design) is a user
+     * error reported via fatal(), not silently mis-sliced state.
+     */
     StateSnapshot decode(const std::vector<uint64_t> &bits) const;
 
     /** Encode structured state back into a chain bit stream. */
@@ -80,6 +86,17 @@ class ScanChains
     uint64_t regBits = 0;
     uint64_t ramBits = 0;
 };
+
+/**
+ * Cross-layer verification pass (rule "scan-coverage", lint framework
+ * severity Error): every register bit, sync read-data bit and memory
+ * content bit of @p design appears exactly once across the scan chains.
+ * Checks the chain totals against Design::stateBits() and proves the
+ * exactly-once packing by round-tripping a distinct-pattern StateSnapshot
+ * through encode() + decode(). Lives here rather than in src/lint because
+ * it needs the chain geometry.
+ */
+lint::Diagnostics verifyScanCoverage(const rtl::Design &design);
 
 } // namespace fame
 } // namespace strober

@@ -108,11 +108,28 @@ readSnapshot(std::istream &in, const ScanChains &chains)
 
     ReplayableSnapshot snap;
     uint64_t cycle = getU64(in);
-    snap.state = chains.decode(getVec(in));
+
+    // The chain bit stream must be exactly the word count the design's
+    // geometry implies; a shorter or longer vector means a corrupt or
+    // hand-edited file (decode() would mis-slice every field after the
+    // first missing word).
+    std::vector<uint64_t> stateWords = getVec(in);
+    uint64_t expectWords = (bits + 63) / 64;
+    if (stateWords.size() != expectWords) {
+        fatal("snapshot stream corrupt: state is %zu words, design needs "
+              "%llu", stateWords.size(), (unsigned long long)expectWords);
+    }
+    snap.state = chains.decode(stateWords);
     snap.state.cycle = cycle;
 
+    // Dimension sanity bounds: a corrupted count would otherwise drive a
+    // multi-gigabyte allocation before the stream underruns.
+    constexpr uint64_t kMaxDim = 1ull << 32;
     uint64_t length = getU64(in);
     uint64_t numInputs = getU64(in);
+    if (length > kMaxDim || numInputs > kMaxDim)
+        fatal("snapshot stream corrupt: input trace %llu x %llu",
+              (unsigned long long)length, (unsigned long long)numInputs);
     snap.inputTrace.resize(length);
     for (auto &cycleTokens : snap.inputTrace) {
         cycleTokens.resize(numInputs);
@@ -120,6 +137,9 @@ readSnapshot(std::istream &in, const ScanChains &chains)
             t = getU64(in);
     }
     uint64_t numOutputs = getU64(in);
+    if (numOutputs > kMaxDim)
+        fatal("snapshot stream corrupt: %llu outputs per cycle",
+              (unsigned long long)numOutputs);
     snap.outputTrace.resize(length);
     for (auto &cycleTokens : snap.outputTrace) {
         cycleTokens.resize(numOutputs);
@@ -128,10 +148,16 @@ readSnapshot(std::istream &in, const ScanChains &chains)
     }
 
     uint64_t regions = getU64(in);
+    if (regions > kMaxDim)
+        fatal("snapshot stream corrupt: %llu retime regions",
+              (unsigned long long)regions);
     snap.retimeHistory.resize(regions);
     for (auto &region : snap.retimeHistory) {
         uint64_t depth = getU64(in);
         uint64_t width = getU64(in);
+        if (depth > kMaxDim || width > kMaxDim)
+            fatal("snapshot stream corrupt: retime history %llu x %llu",
+                  (unsigned long long)depth, (unsigned long long)width);
         region.resize(depth);
         for (auto &cycleVals : region) {
             cycleVals.resize(width);

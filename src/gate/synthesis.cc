@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "lint/lint.h"
 #include "util/bits.h"
 #include "util/logging.h"
 
@@ -1051,6 +1052,17 @@ class Synthesizer
 SynthesisResult
 synthesize(const rtl::Design &target)
 {
+    // Lint before lowering: synthesis assumes every IR invariant the
+    // error rules encode (widths, acyclicity, retime-region legality).
+    lint::Options opts;
+    opts.minSeverity = lint::Severity::Error;
+    lint::Diagnostics diags = lint::run(target, opts);
+    if (diags.hasErrors()) {
+        fatal("synthesis target '%s' failed lint with %zu error(s):\n%s",
+              target.name().c_str(), diags.errorCount(),
+              diags.str().c_str());
+    }
+
     Synthesizer synth(target);
     SynthesisResult result = synth.run();
     uint64_t retimed = 0;

@@ -1,0 +1,121 @@
+#include "lint/diagnostics.h"
+
+#include <sstream>
+
+namespace strober {
+namespace lint {
+
+const char *
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Info: return "info";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "?";
+}
+
+std::string
+Diagnostic::str() const
+{
+    std::ostringstream os;
+    os << severityName(severity) << "[" << rule << "]";
+    if (node != rtl::kNoNode)
+        os << " %" << node;
+    if (!path.empty())
+        os << " '" << path << "'";
+    os << ": " << message;
+    return os.str();
+}
+
+Diagnostic &
+Diagnostics::add(Severity severity, std::string rule, rtl::NodeId node,
+                 std::string path, std::string message)
+{
+    Diagnostic d;
+    d.severity = severity;
+    d.rule = std::move(rule);
+    d.node = node;
+    d.path = std::move(path);
+    d.message = std::move(message);
+    findings.push_back(std::move(d));
+    return findings.back();
+}
+
+Diagnostic &
+Diagnostics::error(std::string rule, rtl::NodeId node, std::string path,
+                   std::string message)
+{
+    return add(Severity::Error, std::move(rule), node, std::move(path),
+               std::move(message));
+}
+
+Diagnostic &
+Diagnostics::warning(std::string rule, rtl::NodeId node, std::string path,
+                     std::string message)
+{
+    return add(Severity::Warning, std::move(rule), node, std::move(path),
+               std::move(message));
+}
+
+Diagnostic &
+Diagnostics::info(std::string rule, rtl::NodeId node, std::string path,
+                  std::string message)
+{
+    return add(Severity::Info, std::move(rule), node, std::move(path),
+               std::move(message));
+}
+
+void
+Diagnostics::merge(Diagnostics other)
+{
+    for (Diagnostic &d : other.findings)
+        findings.push_back(std::move(d));
+}
+
+size_t
+Diagnostics::count(Severity severity) const
+{
+    size_t n = 0;
+    for (const Diagnostic &d : findings) {
+        if (d.severity == severity)
+            ++n;
+    }
+    return n;
+}
+
+size_t
+Diagnostics::countRule(std::string_view rule) const
+{
+    size_t n = 0;
+    for (const Diagnostic &d : findings) {
+        if (d.rule == rule)
+            ++n;
+    }
+    return n;
+}
+
+const Diagnostic *
+Diagnostics::firstError() const
+{
+    for (const Diagnostic &d : findings) {
+        if (d.severity == Severity::Error)
+            return &d;
+    }
+    return nullptr;
+}
+
+std::string
+Diagnostics::str() const
+{
+    std::string out;
+    for (const Diagnostic &d : findings) {
+        out += d.str();
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace lint
+} // namespace strober

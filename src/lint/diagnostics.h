@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Structured lint diagnostics. Unlike fatal(), which reports the first
+ * violation and exits, a Diagnostics accumulates every finding with a
+ * machine-readable rule id, a severity and the offending node/scope path,
+ * so callers (tests, the strober-lint CLI, transform verifiers) can
+ * assert on specific rules, count findings, or render a full report.
+ */
+
+#ifndef STROBER_LINT_DIAGNOSTICS_H
+#define STROBER_LINT_DIAGNOSTICS_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rtl/ir.h"
+
+namespace strober {
+namespace lint {
+
+/** How bad a finding is. */
+enum class Severity : uint8_t {
+    Info,    //!< observation; never affects exit status
+    Warning, //!< suspicious (wasted snapshot bits, dead logic)
+    Error,   //!< the design violates an IR invariant
+};
+
+/** @return "info" / "warning" / "error". */
+const char *severityName(Severity s);
+
+/** One lint finding. */
+struct Diagnostic
+{
+    Severity severity = Severity::Error;
+    std::string rule;            //!< stable machine id, e.g. "op-width"
+    rtl::NodeId node = rtl::kNoNode; //!< offending node, if node-scoped
+    std::string path;            //!< hierarchical subject path, may be empty
+    std::string message;
+
+    /** Render as "error[op-width] %12 'core/alu/x': message". */
+    std::string str() const;
+};
+
+/** An accumulating collection of findings. */
+class Diagnostics
+{
+  public:
+    /** Append a finding; @return it for optional further decoration. */
+    Diagnostic &add(Severity severity, std::string rule, rtl::NodeId node,
+                    std::string path, std::string message);
+
+    Diagnostic &error(std::string rule, rtl::NodeId node, std::string path,
+                      std::string message);
+    Diagnostic &warning(std::string rule, rtl::NodeId node, std::string path,
+                        std::string message);
+    Diagnostic &info(std::string rule, rtl::NodeId node, std::string path,
+                     std::string message);
+
+    /** Move all of @p other's findings into this. */
+    void merge(Diagnostics other);
+
+    const std::vector<Diagnostic> &all() const { return findings; }
+    std::vector<Diagnostic> &mutableAll() { return findings; }
+    bool empty() const { return findings.empty(); }
+    size_t size() const { return findings.size(); }
+
+    size_t count(Severity severity) const;
+    size_t errorCount() const { return count(Severity::Error); }
+    size_t warningCount() const { return count(Severity::Warning); }
+    bool hasErrors() const { return errorCount() != 0; }
+
+    /** Findings carrying @p rule (any severity). */
+    size_t countRule(std::string_view rule) const;
+    bool hasRule(std::string_view rule) const
+    {
+        return countRule(rule) != 0;
+    }
+
+    /** First error-severity finding; nullptr when clean. */
+    const Diagnostic *firstError() const;
+
+    /** Full report, one finding per line (trailing newline included). */
+    std::string str() const;
+
+  private:
+    std::vector<Diagnostic> findings;
+};
+
+} // namespace lint
+} // namespace strober
+
+#endif // STROBER_LINT_DIAGNOSTICS_H

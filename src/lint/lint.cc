@@ -1,0 +1,192 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace strober {
+namespace lint {
+
+using rtl::Design;
+using rtl::kNoNode;
+using rtl::MemInfo;
+using rtl::NodeId;
+using rtl::Op;
+
+Registry &
+Registry::add(std::unique_ptr<Pass> pass)
+{
+    list.push_back(std::move(pass));
+    return *this;
+}
+
+const Pass *
+Registry::find(std::string_view rule) const
+{
+    for (const std::unique_ptr<Pass> &p : list) {
+        if (rule == p->rule())
+            return p.get();
+    }
+    return nullptr;
+}
+
+const Registry &
+Registry::global()
+{
+    static const Registry instance = makeDefault();
+    return instance;
+}
+
+Diagnostics
+run(const Design &design, const Registry &registry, const Options &options)
+{
+    Diagnostics out;
+    for (const std::unique_ptr<Pass> &pass : registry.passes()) {
+        // A whole pass below the severity floor is skipped, not filtered
+        // after the fact — this is what keeps Design::check() (errors
+        // only) cheap on large cores.
+        Severity sev = pass->severity();
+        if (options.werror && sev == Severity::Warning)
+            sev = Severity::Error;
+        if (sev < options.minSeverity)
+            continue;
+        if (std::find(options.disabled.begin(), options.disabled.end(),
+                      pass->rule()) != options.disabled.end())
+            continue;
+        Diagnostics found;
+        pass->run(design, found);
+        if (options.werror) {
+            for (Diagnostic &d : found.mutableAll()) {
+                if (d.severity == Severity::Warning)
+                    d.severity = Severity::Error;
+            }
+        }
+        out.merge(std::move(found));
+    }
+    return out;
+}
+
+Diagnostics
+run(const Design &design, const Options &options)
+{
+    return run(design, Registry::global(), options);
+}
+
+namespace {
+
+/**
+ * Memoized structural domination: is @p id forced to 0 whenever
+ * @p hostEn is 0? True for host_en itself, a constant 0, an And with a
+ * dominated operand, and a Mux whose both arms are dominated. This is
+ * exactly the shape fame1Transform() emits (And(old_en, host_en)), plus
+ * enough slack to accept hand-gated designs.
+ */
+class Dominator
+{
+  public:
+    Dominator(const Design &d, NodeId hostEn)
+        : design(d), host(hostEn), memo(d.numNodes(), Unknown)
+    {
+    }
+
+    bool
+    dominated(NodeId id)
+    {
+        if (id == kNoNode || id >= design.numNodes())
+            return false;
+        if (id == host)
+            return true;
+        if (memo[id] != Unknown)
+            return memo[id] == Yes;
+        // In-progress marker breaks cycles conservatively (a cyclic
+        // enable is comb-cycle's finding, not ours).
+        memo[id] = No;
+        const rtl::Node &n = design.node(id);
+        bool result = false;
+        switch (n.op) {
+          case Op::Const:
+            result = n.imm == 0;
+            break;
+          case Op::And:
+            result = dominated(n.args[0]) || dominated(n.args[1]);
+            break;
+          case Op::Mux:
+            result = dominated(n.args[1]) && dominated(n.args[2]);
+            break;
+          default:
+            break;
+        }
+        memo[id] = result ? Yes : No;
+        return result;
+    }
+
+  private:
+    enum State : uint8_t { Unknown, No, Yes };
+    const Design &design;
+    NodeId host;
+    std::vector<uint8_t> memo;
+};
+
+} // namespace
+
+Diagnostics
+verifyFame1Gating(const Design &design, NodeId hostEnable)
+{
+    Diagnostics out;
+    if (hostEnable == kNoNode || hostEnable >= design.numNodes() ||
+        design.node(hostEnable).op != Op::Input) {
+        out.error("fame-gating", hostEnable, "host_en",
+                  "host-enable is not a valid input node");
+        return out;
+    }
+
+    Dominator dom(design, hostEnable);
+    for (size_t i = 0; i < design.regs().size(); ++i) {
+        const rtl::RegInfo &r = design.regs()[i];
+        if (r.node == kNoNode || r.node >= design.numNodes())
+            continue; // dangling-ref owns it
+        if (r.en == kNoNode) {
+            out.error("fame-gating", r.node, design.node(r.node).name,
+                      "register has no enable: it advances even when "
+                      "host_en is 0");
+        } else if (!dom.dominated(r.en)) {
+            out.error("fame-gating", r.node, design.node(r.node).name,
+                      "register enable is not dominated by host_en");
+        }
+    }
+    for (const MemInfo &m : design.mems()) {
+        for (size_t p = 0; p < m.writes.size(); ++p) {
+            const rtl::MemWritePort &wp = m.writes[p];
+            if (wp.en == kNoNode) {
+                out.error("fame-gating", kNoNode, m.name,
+                          strfmt("write port %zu has no enable: it "
+                                 "writes even when host_en is 0", p));
+            } else if (!dom.dominated(wp.en)) {
+                out.error("fame-gating", kNoNode, m.name,
+                          strfmt("write port %zu enable is not dominated "
+                                 "by host_en", p));
+            }
+        }
+        if (!m.syncRead)
+            continue;
+        // Sync read data is target state too: an unguarded read port
+        // would clobber it while the target clock is meant to be frozen.
+        for (size_t p = 0; p < m.reads.size(); ++p) {
+            const rtl::MemReadPort &rp = m.reads[p];
+            if (rp.en == kNoNode) {
+                out.error("fame-gating", rp.data, m.name,
+                          strfmt("sync read port %zu has no enable: its "
+                                 "data register advances even when "
+                                 "host_en is 0", p));
+            } else if (!dom.dominated(rp.en)) {
+                out.error("fame-gating", rp.data, m.name,
+                          strfmt("sync read port %zu enable is not "
+                                 "dominated by host_en", p));
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace lint
+} // namespace strober

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Pass-based static verification over the word-level netlist IR — the
+ * layer that plays the role of FIRRTL's checker passes in the Strober
+ * paper. Every transform in the pipeline (FAME1 gating, scan-chain
+ * insertion, synthesis, retiming-aware replay) assumes the IR invariants
+ * below; this framework makes them machine-checkable and *accumulates*
+ * findings instead of dying on the first one.
+ *
+ * Structural rules (registered in the default Registry):
+ *
+ *   rule id             sev  checks
+ *   ------------------- ---- ------------------------------------------
+ *   dangling-ref        E    arg/state/port node references in range;
+ *                            Input/Reg/MemRead aux bookkeeping consistent
+ *   op-width            E    per-op width legality: Mux sel 1-bit, equal
+ *                            Add/Sub/compare operand widths, Bits hi/lo
+ *                            in range, Cat/Mul widths exact and <= 64,
+ *                            Const fits declared width
+ *   reg-contract        E    next-state driver present + width match,
+ *                            1-bit enable, init fits width
+ *   mem-contract        E    depth > 0, address/data widths, 1-bit write
+ *                            enables, init contents fit
+ *   comb-cycle          E    ALL combinational cycles, one diagnostic per
+ *                            SCC (replaces levelize()'s first-hit fatal)
+ *   multi-driver        E    a state/port node claimed by two owners
+ *   retime-feedforward  E    annotated retime region is genuinely
+ *                            feed-forward (no internal feedback path from
+ *                            output back into the region cone)
+ *   retime-reg-scope    E    listed regs fed only from region inputs
+ *   dead-node           W    combinational node with no user at all
+ *   unreadable-reg      W    register that nothing observes (wasted
+ *                            snapshot bits)
+ *   write-only-mem      W    memory whose read data is never observed
+ *   uninit-sync-read    W    sync-read memory read before any possible
+ *                            write (no write ports, no init contents)
+ *
+ * Cross-layer verification passes (run *after* transforms) live in
+ * verifyFame1Gating() here and fame::verifyScanCoverage()
+ * (src/fame/scan_chain.h), which needs the chain geometry.
+ */
+
+#ifndef STROBER_LINT_LINT_H
+#define STROBER_LINT_LINT_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/diagnostics.h"
+#include "rtl/ir.h"
+
+namespace strober {
+namespace lint {
+
+/** One lint rule: inspects a Design, appends findings. */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+    /** Stable machine rule id ("op-width"); used in Diagnostic::rule. */
+    virtual const char *rule() const = 0;
+    /** One-line human description (CLI listings). */
+    virtual const char *description() const = 0;
+    /** Severity this rule reports at. */
+    virtual Severity severity() const = 0;
+    virtual void run(const rtl::Design &design, Diagnostics &out) const = 0;
+};
+
+/** An ordered collection of passes. */
+class Registry
+{
+  public:
+    Registry() = default;
+    Registry(Registry &&) = default;
+    Registry &operator=(Registry &&) = default;
+
+    Registry &add(std::unique_ptr<Pass> pass);
+    const std::vector<std::unique_ptr<Pass>> &passes() const
+    {
+        return list;
+    }
+    const Pass *find(std::string_view rule) const;
+
+    /** A fresh registry holding every built-in structural rule. */
+    static Registry makeDefault();
+
+    /** Shared immutable default-registry instance. */
+    static const Registry &global();
+
+  private:
+    std::vector<std::unique_ptr<Pass>> list;
+};
+
+/** Filtering and promotion knobs for a lint run. */
+struct Options
+{
+    /** Drop findings below this severity. */
+    Severity minSeverity = Severity::Info;
+    /** Promote warnings to errors. */
+    bool werror = false;
+    /** Rule ids to skip entirely. */
+    std::vector<std::string> disabled;
+};
+
+/** Run @p registry's passes over @p design; never exits. */
+Diagnostics run(const rtl::Design &design, const Registry &registry,
+                const Options &options = {});
+
+/** Run the default registry over @p design. */
+Diagnostics run(const rtl::Design &design, const Options &options = {});
+
+/**
+ * Cross-layer verification of the FAME1 transform (paper Figure 3): with
+ * host_en = 0 no target state may advance, so every register enable,
+ * memory write enable and sync-read enable must be *dominated* by
+ * @p hostEnable — structurally forced to 0 whenever host_en is 0.
+ * Reports rule "fame-gating" (error) per unguarded state element.
+ */
+Diagnostics verifyFame1Gating(const rtl::Design &design,
+                              rtl::NodeId hostEnable);
+
+} // namespace lint
+} // namespace strober
+
+#endif // STROBER_LINT_LINT_H

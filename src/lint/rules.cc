@@ -1,0 +1,1026 @@
+/**
+ * @file
+ * The built-in structural lint rules (see the table in lint.h). Every
+ * rule is defensive: it must produce sensible diagnostics — never crash —
+ * on arbitrarily malformed designs, because accumulating *all* findings
+ * on a broken netlist is the whole point of the framework.
+ */
+
+#include <algorithm>
+#include <sstream>
+
+#include "lint/lint.h"
+#include "rtl/analysis.h"
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace strober {
+namespace lint {
+
+using rtl::Design;
+using rtl::kNoNode;
+using rtl::MemInfo;
+using rtl::MemReadPort;
+using rtl::MemWritePort;
+using rtl::Node;
+using rtl::NodeId;
+using rtl::Op;
+using rtl::opArity;
+using rtl::opName;
+using rtl::RegInfo;
+using rtl::RetimeRegion;
+
+namespace {
+
+bool
+validRef(const Design &d, NodeId id)
+{
+    return id != kNoNode && id < d.numNodes();
+}
+
+/** The node's display path: name, or scope-qualified op as fallback. */
+std::string
+nodePath(const Design &d, NodeId id)
+{
+    if (!validRef(d, id))
+        return "<dangling>";
+    const Node &n = d.node(id);
+    if (!n.name.empty())
+        return n.name;
+    if (!n.scope.empty())
+        return n.scope + "/<" + opName(n.op) + ">";
+    return std::string("<") + opName(n.op) + ">";
+}
+
+unsigned
+widthOf(const Design &d, NodeId id)
+{
+    return validRef(d, id) ? d.node(id).width : 0;
+}
+
+/** True when every argument the op consumes is a valid reference. */
+bool
+argsValid(const Design &d, const Node &n)
+{
+    unsigned arity = opArity(n.op);
+    for (unsigned i = 0; i < arity; ++i) {
+        if (!validRef(d, n.args[i]))
+            return false;
+    }
+    return true;
+}
+
+// --- dangling-ref ---------------------------------------------------------
+
+class DanglingRefPass : public Pass
+{
+  public:
+    const char *rule() const override { return "dangling-ref"; }
+    const char *description() const override
+    {
+        return "node/state/port references in range, aux bookkeeping "
+               "consistent";
+    }
+    Severity severity() const override { return Severity::Error; }
+
+    void
+    run(const Design &d, Diagnostics &out) const override
+    {
+        for (NodeId id = 0; id < d.numNodes(); ++id) {
+            const Node &n = d.node(id);
+            unsigned arity = opArity(n.op);
+            for (unsigned i = 0; i < arity; ++i) {
+                if (!validRef(d, n.args[i])) {
+                    out.error(rule(), id, nodePath(d, id),
+                              strfmt("(%s): dangling argument %u reference",
+                                     opName(n.op), i));
+                }
+            }
+            switch (n.op) {
+              case Op::Input:
+                if (n.aux >= d.inputs().size() ||
+                    d.inputs()[n.aux] != id) {
+                    out.error(rule(), id, nodePath(d, id),
+                              "(input): aux does not index this node in "
+                              "the input-port list");
+                }
+                break;
+              case Op::Reg:
+                if (n.aux >= d.regs().size() ||
+                    d.regs()[n.aux].node != id) {
+                    out.error(rule(), id, nodePath(d, id),
+                              "(reg): aux does not index this node in the "
+                              "register table");
+                }
+                break;
+              case Op::MemRead: {
+                uint32_t memIdx = n.aux >> 16;
+                uint32_t portIdx = n.aux & 0xffff;
+                if (memIdx >= d.mems().size() ||
+                    portIdx >= d.mems()[memIdx].reads.size() ||
+                    d.mems()[memIdx].reads[portIdx].data != id) {
+                    out.error(rule(), id, nodePath(d, id),
+                              "(memread): aux does not index this node as "
+                              "a memory read port");
+                }
+                break;
+              }
+              default:
+                break;
+            }
+        }
+
+        for (size_t i = 0; i < d.regs().size(); ++i) {
+            const RegInfo &r = d.regs()[i];
+            if (!validRef(d, r.node) || d.node(r.node).op != Op::Reg) {
+                out.error(rule(), r.node, strfmt("reg[%zu]", i),
+                          "register entry does not reference an Op::Reg "
+                          "node");
+                continue;
+            }
+            // A missing next is reg-contract's finding; a *bogus* next is
+            // a dangling reference.
+            if (r.next != kNoNode && !validRef(d, r.next)) {
+                out.error(rule(), r.node, nodePath(d, r.node),
+                          "dangling next-state reference");
+            }
+            if (r.en != kNoNode && !validRef(d, r.en)) {
+                out.error(rule(), r.node, nodePath(d, r.node),
+                          "dangling enable reference");
+            }
+        }
+
+        for (size_t mi = 0; mi < d.mems().size(); ++mi) {
+            const MemInfo &m = d.mems()[mi];
+            for (size_t p = 0; p < m.reads.size(); ++p) {
+                const MemReadPort &rp = m.reads[p];
+                if (!validRef(d, rp.addr)) {
+                    out.error(rule(), kNoNode, m.name,
+                              strfmt("read port %zu: dangling address "
+                                     "reference", p));
+                }
+                if (rp.en != kNoNode && !validRef(d, rp.en)) {
+                    out.error(rule(), kNoNode, m.name,
+                              strfmt("read port %zu: dangling enable "
+                                     "reference", p));
+                }
+                if (!validRef(d, rp.data) ||
+                    d.node(rp.data).op != Op::MemRead) {
+                    out.error(rule(), rp.data, m.name,
+                              strfmt("read port %zu: data is not an "
+                                     "Op::MemRead node", p));
+                }
+            }
+            for (size_t p = 0; p < m.writes.size(); ++p) {
+                const MemWritePort &wp = m.writes[p];
+                if (!validRef(d, wp.addr)) {
+                    out.error(rule(), kNoNode, m.name,
+                              strfmt("write port %zu: dangling address "
+                                     "reference", p));
+                }
+                if (!validRef(d, wp.data)) {
+                    out.error(rule(), kNoNode, m.name,
+                              strfmt("write port %zu: dangling data "
+                                     "reference", p));
+                }
+                if (wp.en != kNoNode && !validRef(d, wp.en)) {
+                    out.error(rule(), kNoNode, m.name,
+                              strfmt("write port %zu: dangling enable "
+                                     "reference", p));
+                }
+            }
+        }
+
+        for (size_t i = 0; i < d.outputs().size(); ++i) {
+            if (!validRef(d, d.outputs()[i].node)) {
+                out.error(rule(), kNoNode, d.outputs()[i].name,
+                          "output port: dangling node reference");
+            }
+        }
+
+        for (const RetimeRegion &region : d.retimeRegions()) {
+            for (NodeId in : region.inputs) {
+                if (!validRef(d, in)) {
+                    out.error(rule(), kNoNode, region.name,
+                              "retime region: dangling input reference");
+                }
+            }
+            if (!validRef(d, region.output)) {
+                out.error(rule(), kNoNode, region.name,
+                          "retime region: dangling output reference");
+            }
+            for (NodeId r : region.regs) {
+                if (!validRef(d, r)) {
+                    out.error(rule(), kNoNode, region.name,
+                              "retime region: dangling register "
+                              "reference");
+                }
+            }
+        }
+    }
+};
+
+// --- op-width -------------------------------------------------------------
+
+class OpWidthPass : public Pass
+{
+  public:
+    const char *rule() const override { return "op-width"; }
+    const char *description() const override
+    {
+        return "per-op width and arity legality over the word-level IR";
+    }
+    Severity severity() const override { return Severity::Error; }
+
+    void
+    run(const Design &d, Diagnostics &out) const override
+    {
+        for (NodeId id = 0; id < d.numNodes(); ++id) {
+            const Node &n = d.node(id);
+            if (n.width == 0 || n.width > 64) {
+                out.error(rule(), id, nodePath(d, id),
+                          strfmt("(%s): illegal width %u (must be 1..64)",
+                                 opName(n.op), n.width));
+                continue;
+            }
+            // Width checks need resolvable operands; dangling-ref owns
+            // the rest.
+            if (!argsValid(d, n))
+                continue;
+            auto argW = [&](unsigned i) { return widthOf(d, n.args[i]); };
+            switch (n.op) {
+              case Op::Const:
+                if (truncate(n.imm, n.width) != n.imm) {
+                    out.error(rule(), id, nodePath(d, id),
+                              strfmt("(const): literal %llu does not fit "
+                                     "in %u bits",
+                                     (unsigned long long)n.imm, n.width));
+                }
+                break;
+              case Op::Add: case Op::Sub: case Op::Divu: case Op::Remu:
+              case Op::And: case Op::Or: case Op::Xor:
+                if (argW(0) != n.width || argW(1) != n.width) {
+                    out.error(rule(), id, nodePath(d, id),
+                              strfmt("(%s): operand widths %u,%u != %u",
+                                     opName(n.op), argW(0), argW(1),
+                                     n.width));
+                }
+                break;
+              case Op::Mul:
+                if (n.width != std::min(64u, argW(0) + argW(1))) {
+                    out.error(rule(), id, nodePath(d, id),
+                              strfmt("(mul): width %u != %u", n.width,
+                                     std::min(64u, argW(0) + argW(1))));
+                }
+                break;
+              case Op::Shl: case Op::Shru: case Op::Sra:
+                if (argW(0) != n.width) {
+                    out.error(rule(), id, nodePath(d, id),
+                              strfmt("(%s): operand width %u != %u",
+                                     opName(n.op), argW(0), n.width));
+                }
+                break;
+              case Op::Eq: case Op::Ne: case Op::Ltu: case Op::Lts:
+                if (n.width != 1) {
+                    out.error(rule(), id, nodePath(d, id),
+                              strfmt("(%s): comparison width must be 1",
+                                     opName(n.op)));
+                }
+                if (argW(0) != argW(1)) {
+                    out.error(rule(), id, nodePath(d, id),
+                              strfmt("(%s): operand widths %u != %u",
+                                     opName(n.op), argW(0), argW(1)));
+                }
+                break;
+              case Op::Cat:
+                if (n.width != argW(0) + argW(1)) {
+                    out.error(rule(), id, nodePath(d, id),
+                              strfmt("(cat): width %u != %u + %u", n.width,
+                                     argW(0), argW(1)));
+                }
+                break;
+              case Op::Bits:
+                if (n.bitsHi() < n.bitsLo() || n.bitsHi() >= argW(0)) {
+                    out.error(rule(), id, nodePath(d, id),
+                              strfmt("(bits): [%u:%u] out of range for "
+                                     "width-%u operand", n.bitsHi(),
+                                     n.bitsLo(), argW(0)));
+                } else if (n.width != n.bitsHi() - n.bitsLo() + 1) {
+                    out.error(rule(), id, nodePath(d, id),
+                              strfmt("(bits): width %u != extracted range "
+                                     "[%u:%u]", n.width, n.bitsHi(),
+                                     n.bitsLo()));
+                }
+                break;
+              case Op::SExt: case Op::Pad:
+                if (n.width < argW(0)) {
+                    out.error(rule(), id, nodePath(d, id),
+                              strfmt("(%s): cannot extend width %u to %u",
+                                     opName(n.op), argW(0), n.width));
+                }
+                break;
+              case Op::Not: case Op::Neg:
+                if (argW(0) != n.width) {
+                    out.error(rule(), id, nodePath(d, id),
+                              strfmt("(%s): operand width %u != %u",
+                                     opName(n.op), argW(0), n.width));
+                }
+                break;
+              case Op::RedOr: case Op::RedAnd: case Op::RedXor:
+                if (n.width != 1) {
+                    out.error(rule(), id, nodePath(d, id),
+                              strfmt("(%s): reduce width must be 1",
+                                     opName(n.op)));
+                }
+                break;
+              case Op::Mux:
+                if (widthOf(d, n.args[0]) != 1) {
+                    out.error(rule(), id, nodePath(d, id),
+                              "(mux): selector must be 1 bit");
+                }
+                if (argW(1) != n.width || argW(2) != n.width) {
+                    out.error(rule(), id, nodePath(d, id),
+                              strfmt("(mux): arm widths %u,%u != %u",
+                                     argW(1), argW(2), n.width));
+                }
+                break;
+              default:
+                break;
+            }
+        }
+    }
+};
+
+// --- reg-contract ---------------------------------------------------------
+
+class RegContractPass : public Pass
+{
+  public:
+    const char *rule() const override { return "reg-contract"; }
+    const char *description() const override
+    {
+        return "every register has a width-matched next-state driver and "
+               "a 1-bit enable";
+    }
+    Severity severity() const override { return Severity::Error; }
+
+    void
+    run(const Design &d, Diagnostics &out) const override
+    {
+        for (size_t i = 0; i < d.regs().size(); ++i) {
+            const RegInfo &r = d.regs()[i];
+            if (!validRef(d, r.node))
+                continue; // dangling-ref owns it
+            const std::string path = nodePath(d, r.node);
+            const char *name = d.node(r.node).name.c_str();
+            unsigned width = d.node(r.node).width;
+            if (r.next == kNoNode) {
+                out.error(rule(), r.node, path,
+                          strfmt("register '%s' has no next-state driver",
+                                 name));
+            } else if (validRef(d, r.next) &&
+                       d.node(r.next).width != width) {
+                out.error(rule(), r.node, path,
+                          strfmt("register '%s': next width %u != %u",
+                                 name, d.node(r.next).width, width));
+            }
+            if (r.en != kNoNode && validRef(d, r.en) &&
+                d.node(r.en).width != 1) {
+                out.error(rule(), r.node, path,
+                          strfmt("register '%s': enable must be 1 bit",
+                                 name));
+            }
+            if (truncate(r.init, width) != r.init) {
+                out.error(rule(), r.node, path,
+                          strfmt("register '%s': init value %llu does not "
+                                 "fit in %u bits", name,
+                                 (unsigned long long)r.init, width));
+            }
+        }
+    }
+};
+
+// --- mem-contract ---------------------------------------------------------
+
+class MemContractPass : public Pass
+{
+  public:
+    const char *rule() const override { return "mem-contract"; }
+    const char *description() const override
+    {
+        return "memory geometry, port widths and init contents are "
+               "consistent";
+    }
+    Severity severity() const override { return Severity::Error; }
+
+    void
+    run(const Design &d, Diagnostics &out) const override
+    {
+        for (const MemInfo &m : d.mems()) {
+            if (m.depth == 0) {
+                out.error(rule(), kNoNode, m.name,
+                          strfmt("memory '%s' has zero depth",
+                                 m.name.c_str()));
+                continue;
+            }
+            if (m.width == 0 || m.width > 64) {
+                out.error(rule(), kNoNode, m.name,
+                          strfmt("memory '%s' has illegal width %u",
+                                 m.name.c_str(), m.width));
+                continue;
+            }
+            unsigned addrW = std::max(1u, clog2(m.depth));
+            for (size_t p = 0; p < m.reads.size(); ++p) {
+                const MemReadPort &rp = m.reads[p];
+                if (validRef(d, rp.addr) &&
+                    d.node(rp.addr).width != addrW) {
+                    out.error(rule(), rp.data, m.name,
+                              strfmt("memory '%s': read address width %u "
+                                     "!= %u", m.name.c_str(),
+                                     d.node(rp.addr).width, addrW));
+                }
+                if (validRef(d, rp.data) &&
+                    d.node(rp.data).width != m.width) {
+                    out.error(rule(), rp.data, m.name,
+                              strfmt("memory '%s': read data width "
+                                     "mismatch", m.name.c_str()));
+                }
+                if (rp.en != kNoNode && validRef(d, rp.en) &&
+                    d.node(rp.en).width != 1) {
+                    out.error(rule(), rp.data, m.name,
+                              strfmt("memory '%s': read enable must be 1 "
+                                     "bit", m.name.c_str()));
+                }
+            }
+            for (size_t p = 0; p < m.writes.size(); ++p) {
+                const MemWritePort &wp = m.writes[p];
+                if (validRef(d, wp.addr) &&
+                    d.node(wp.addr).width != addrW) {
+                    out.error(rule(), kNoNode, m.name,
+                              strfmt("memory '%s': write address width %u "
+                                     "!= %u", m.name.c_str(),
+                                     d.node(wp.addr).width, addrW));
+                }
+                if (validRef(d, wp.data) &&
+                    d.node(wp.data).width != m.width) {
+                    out.error(rule(), kNoNode, m.name,
+                              strfmt("memory '%s': write data width "
+                                     "mismatch", m.name.c_str()));
+                }
+                if (wp.en != kNoNode && validRef(d, wp.en) &&
+                    d.node(wp.en).width != 1) {
+                    out.error(rule(), kNoNode, m.name,
+                              strfmt("memory '%s': write enable must be 1 "
+                                     "bit", m.name.c_str()));
+                }
+            }
+            if (m.init.size() > m.depth) {
+                out.error(rule(), kNoNode, m.name,
+                          strfmt("memory '%s': init contents (%zu words) "
+                                 "exceed depth %llu", m.name.c_str(),
+                                 m.init.size(),
+                                 (unsigned long long)m.depth));
+            }
+            for (uint64_t v : m.init) {
+                if (truncate(v, m.width) != v) {
+                    out.error(rule(), kNoNode, m.name,
+                              strfmt("memory '%s': init word does not fit "
+                                     "in %u bits", m.name.c_str(),
+                                     m.width));
+                    break;
+                }
+            }
+        }
+    }
+};
+
+// --- comb-cycle -----------------------------------------------------------
+
+class CombCyclePass : public Pass
+{
+  public:
+    const char *rule() const override { return "comb-cycle"; }
+    const char *description() const override
+    {
+        return "all combinational cycles, one diagnostic per strongly "
+               "connected component";
+    }
+    Severity severity() const override { return Severity::Error; }
+
+    void
+    run(const Design &d, Diagnostics &out) const override
+    {
+        std::vector<std::vector<NodeId>> sccs = rtl::combSccs(d);
+        for (const std::vector<NodeId> &scc : sccs) {
+            std::ostringstream os;
+            os << "combinational cycle through " << scc.size()
+               << (scc.size() == 1 ? " node: " : " nodes: ");
+            size_t shown = std::min<size_t>(scc.size(), 8);
+            for (size_t i = 0; i < shown; ++i) {
+                if (i)
+                    os << " -> ";
+                os << "%" << scc[i];
+                const std::string &name = d.node(scc[i]).name;
+                if (!name.empty())
+                    os << " '" << name << "'";
+            }
+            if (shown < scc.size())
+                os << " -> ... (" << scc.size() - shown << " more)";
+            out.error(rule(), scc[0], nodePath(d, scc[0]), os.str());
+        }
+    }
+};
+
+// --- multi-driver ---------------------------------------------------------
+
+class MultiDriverPass : public Pass
+{
+  public:
+    const char *rule() const override { return "multi-driver"; }
+    const char *description() const override
+    {
+        return "no node is claimed by two state elements or port entries";
+    }
+    Severity severity() const override { return Severity::Error; }
+
+    void
+    run(const Design &d, Diagnostics &out) const override
+    {
+        // Owner string per node; a second claim is a multiple-driver
+        // violation (e.g. one Op::Reg node listed in two register
+        // entries would make scan-chain restore ambiguous).
+        std::vector<std::string> owner(d.numNodes());
+        auto claim = [&](NodeId id, std::string who) {
+            if (!validRef(d, id))
+                return; // dangling-ref owns it
+            if (!owner[id].empty()) {
+                out.error(rule(), id, nodePath(d, id),
+                          strfmt("driven by both %s and %s",
+                                 owner[id].c_str(), who.c_str()));
+                return;
+            }
+            owner[id] = std::move(who);
+        };
+
+        for (size_t i = 0; i < d.inputs().size(); ++i)
+            claim(d.inputs()[i], strfmt("input-port entry %zu", i));
+        for (size_t i = 0; i < d.regs().size(); ++i)
+            claim(d.regs()[i].node, strfmt("register entry %zu", i));
+        for (size_t mi = 0; mi < d.mems().size(); ++mi) {
+            const MemInfo &m = d.mems()[mi];
+            for (size_t p = 0; p < m.reads.size(); ++p) {
+                claim(m.reads[p].data,
+                      strfmt("read port %zu of memory '%s'", p,
+                             m.name.c_str()));
+            }
+        }
+    }
+};
+
+// --- retime legality ------------------------------------------------------
+
+/**
+ * The backward cone of a retime region: every node reachable from the
+ * region output by walking combinational dependencies, and — for
+ * registers *listed* in the region — their next-state drivers. Traversal
+ * stops at the region's declared inputs. The legality rules read off
+ * this cone:
+ *  - feed-forward: the cone must be acyclic (a cycle means the output
+ *    feeds back into the region, so no finite input history can warm
+ *    the retimed registers);
+ *  - reg scope: every source the cone touches must be a region input or
+ *    a constant — outside state (unlisted registers, top-level inputs,
+ *    memory reads) cannot be recovered by forcing region I/O.
+ */
+struct RegionCone
+{
+    bool cycle = false;
+    NodeId cycleNode = kNoNode;
+    std::vector<NodeId> externalState; //!< non-input sources reached
+    std::vector<bool> visited;         //!< per design node
+};
+
+RegionCone
+analyzeRegionCone(const Design &d, const RetimeRegion &region)
+{
+    RegionCone cone;
+    cone.visited.assign(d.numNodes(), false);
+    if (!validRef(d, region.output))
+        return cone; // dangling-ref owns it
+
+    std::vector<bool> isInput(d.numNodes(), false);
+    for (NodeId in : region.inputs) {
+        if (validRef(d, in))
+            isInput[in] = true;
+    }
+    std::vector<bool> isListed(d.numNodes(), false);
+    for (NodeId r : region.regs) {
+        if (validRef(d, r))
+            isListed[r] = true;
+    }
+
+    // Iterative DFS with white/grey/black coloring for cycle detection.
+    enum : uint8_t { White, Grey, Black };
+    std::vector<uint8_t> color(d.numNodes(), White);
+
+    auto coneDeps = [&](NodeId id, auto &&visit) {
+        const Node &n = d.node(id);
+        if (n.op == Op::Reg) {
+            if (!isListed[id])
+                return; // unlisted register: a cone source
+            if (n.aux < d.regs().size() && d.regs()[n.aux].node == id) {
+                NodeId next = d.regs()[n.aux].next;
+                if (validRef(d, next))
+                    visit(next);
+            }
+            return;
+        }
+        if (n.op == Op::MemRead)
+            return; // memory state: a cone source
+        unsigned arity = opArity(n.op);
+        for (unsigned i = 0; i < arity; ++i) {
+            if (validRef(d, n.args[i]))
+                visit(n.args[i]);
+        }
+    };
+
+    auto isSource = [&](NodeId id) {
+        const Node &n = d.node(id);
+        return n.op == Op::Input || n.op == Op::MemRead ||
+               (n.op == Op::Reg && !isListed[id]);
+    };
+
+    struct Frame
+    {
+        NodeId node;
+        std::vector<NodeId> succ;
+        size_t next = 0;
+    };
+    std::vector<Frame> dfs;
+    auto expand = [&](NodeId id) {
+        Frame f;
+        f.node = id;
+        coneDeps(id, [&](NodeId dep) { f.succ.push_back(dep); });
+        return f;
+    };
+
+    color[region.output] = Grey;
+    cone.visited[region.output] = true;
+    dfs.push_back(expand(region.output));
+    while (!dfs.empty()) {
+        Frame &f = dfs.back();
+        if (f.next < f.succ.size()) {
+            NodeId s = f.succ[f.next++];
+            if (isInput[s]) {
+                cone.visited[s] = true;
+                continue; // traversal stops at region inputs
+            }
+            if (color[s] == Grey) {
+                if (!cone.cycle) {
+                    cone.cycle = true;
+                    cone.cycleNode = s;
+                }
+                continue;
+            }
+            if (color[s] == Black)
+                continue;
+            color[s] = Grey;
+            cone.visited[s] = true;
+            if (isSource(s)) {
+                cone.externalState.push_back(s);
+                color[s] = Black;
+                continue;
+            }
+            dfs.push_back(expand(s));
+        } else {
+            color[f.node] = Black;
+            dfs.pop_back();
+        }
+    }
+    std::sort(cone.externalState.begin(), cone.externalState.end());
+    return cone;
+}
+
+class RetimeFeedforwardPass : public Pass
+{
+  public:
+    const char *rule() const override { return "retime-feedforward"; }
+    const char *description() const override
+    {
+        return "annotated retime regions contain no feedback path";
+    }
+    Severity severity() const override { return Severity::Error; }
+
+    void
+    run(const Design &d, Diagnostics &out) const override
+    {
+        for (const RetimeRegion &region : d.retimeRegions()) {
+            if (region.latency == 0) {
+                out.error(rule(), region.output, region.name,
+                          strfmt("retime region '%s' has zero latency",
+                                 region.name.c_str()));
+            }
+            RegionCone cone = analyzeRegionCone(d, region);
+            if (cone.cycle) {
+                out.error(rule(), cone.cycleNode, region.name,
+                          strfmt("retime region '%s' is not feed-forward: "
+                                 "feedback path through node %%%u '%s'",
+                                 region.name.c_str(), cone.cycleNode,
+                                 nodePath(d, cone.cycleNode).c_str()));
+            }
+        }
+    }
+};
+
+class RetimeRegScopePass : public Pass
+{
+  public:
+    const char *rule() const override { return "retime-reg-scope"; }
+    const char *description() const override
+    {
+        return "retime-region registers are fed only from the region's "
+               "declared inputs";
+    }
+    Severity severity() const override { return Severity::Error; }
+
+    void
+    run(const Design &d, Diagnostics &out) const override
+    {
+        for (const RetimeRegion &region : d.retimeRegions()) {
+            for (NodeId r : region.regs) {
+                if (validRef(d, r) && d.node(r).op != Op::Reg) {
+                    out.error(rule(), r, region.name,
+                              strfmt("retime region '%s': listed node "
+                                     "'%s' is not a register",
+                                     region.name.c_str(),
+                                     nodePath(d, r).c_str()));
+                }
+            }
+            RegionCone cone = analyzeRegionCone(d, region);
+            if (cone.cycle)
+                continue; // feed-forward rule owns the cycle finding
+            for (NodeId s : cone.externalState) {
+                out.error(rule(), s, region.name,
+                          strfmt("retime region '%s': cone reads state "
+                                 "'%s' that is not a region input "
+                                 "(replay cannot recover it)",
+                                 region.name.c_str(),
+                                 nodePath(d, s).c_str()));
+            }
+            for (NodeId r : region.regs) {
+                if (validRef(d, r) && d.node(r).op == Op::Reg &&
+                    !cone.visited[r]) {
+                    out.error(rule(), r, region.name,
+                              strfmt("retime region '%s': listed register "
+                                     "'%s' is not inside the region cone",
+                                     region.name.c_str(),
+                                     nodePath(d, r).c_str()));
+                }
+            }
+        }
+    }
+};
+
+// --- liveness / observability --------------------------------------------
+
+/** True per node when something structurally references it. */
+std::vector<bool>
+structuralUses(const Design &d)
+{
+    std::vector<bool> used(d.numNodes(), false);
+    auto use = [&](NodeId id) {
+        if (validRef(d, id))
+            used[id] = true;
+    };
+    for (NodeId id = 0; id < d.numNodes(); ++id) {
+        const Node &n = d.node(id);
+        unsigned arity = opArity(n.op);
+        for (unsigned i = 0; i < arity; ++i)
+            use(n.args[i]);
+    }
+    for (const RegInfo &r : d.regs()) {
+        use(r.next);
+        use(r.en);
+    }
+    for (const MemInfo &m : d.mems()) {
+        for (const MemReadPort &p : m.reads) {
+            use(p.addr);
+            use(p.en);
+        }
+        for (const MemWritePort &p : m.writes) {
+            use(p.addr);
+            use(p.data);
+            use(p.en);
+        }
+    }
+    for (const rtl::OutputPort &o : d.outputs())
+        use(o.node);
+    for (const RetimeRegion &region : d.retimeRegions()) {
+        for (NodeId in : region.inputs)
+            use(in);
+        use(region.output);
+    }
+    return used;
+}
+
+/**
+ * The observable cone: nodes that can influence an output port. Walks
+ * backward from outputs; registers pull in their next/enable, memory
+ * reads pull in their address, enable and the memory's write ports.
+ */
+std::vector<bool>
+observableCone(const Design &d)
+{
+    std::vector<bool> seen(d.numNodes(), false);
+    std::vector<NodeId> work;
+    auto push = [&](NodeId id) {
+        if (validRef(d, id) && !seen[id]) {
+            seen[id] = true;
+            work.push_back(id);
+        }
+    };
+    for (const rtl::OutputPort &o : d.outputs())
+        push(o.node);
+    for (const RetimeRegion &region : d.retimeRegions())
+        push(region.output);
+    while (!work.empty()) {
+        NodeId id = work.back();
+        work.pop_back();
+        const Node &n = d.node(id);
+        if (n.op == Op::Reg) {
+            if (n.aux < d.regs().size() && d.regs()[n.aux].node == id) {
+                push(d.regs()[n.aux].next);
+                push(d.regs()[n.aux].en);
+            }
+            continue;
+        }
+        if (n.op == Op::MemRead) {
+            uint32_t memIdx = n.aux >> 16;
+            uint32_t portIdx = n.aux & 0xffff;
+            if (memIdx >= d.mems().size())
+                continue;
+            const MemInfo &m = d.mems()[memIdx];
+            if (portIdx < m.reads.size()) {
+                push(m.reads[portIdx].addr);
+                push(m.reads[portIdx].en);
+            }
+            for (const MemWritePort &wp : m.writes) {
+                push(wp.addr);
+                push(wp.data);
+                push(wp.en);
+            }
+            continue;
+        }
+        unsigned arity = opArity(n.op);
+        for (unsigned i = 0; i < arity; ++i)
+            push(n.args[i]);
+    }
+    return seen;
+}
+
+class DeadNodePass : public Pass
+{
+  public:
+    const char *rule() const override { return "dead-node"; }
+    const char *description() const override
+    {
+        return "combinational nodes that nothing references";
+    }
+    Severity severity() const override { return Severity::Warning; }
+
+    void
+    run(const Design &d, Diagnostics &out) const override
+    {
+        std::vector<bool> used = structuralUses(d);
+        for (NodeId id = 0; id < d.numNodes(); ++id) {
+            const Node &n = d.node(id);
+            // Leaves have their own rules (unreadable-reg,
+            // write-only-mem); dead constants are harmless.
+            if (opArity(n.op) == 0)
+                continue;
+            if (!used[id]) {
+                out.warning(rule(), id, nodePath(d, id),
+                            strfmt("(%s): node has no users (dead logic)",
+                                   opName(n.op)));
+            }
+        }
+    }
+};
+
+class UnreadableRegPass : public Pass
+{
+  public:
+    const char *rule() const override { return "unreadable-reg"; }
+    const char *description() const override
+    {
+        return "registers no output can observe (wasted snapshot bits)";
+    }
+    Severity severity() const override { return Severity::Warning; }
+
+    void
+    run(const Design &d, Diagnostics &out) const override
+    {
+        std::vector<bool> observable = observableCone(d);
+        for (const RegInfo &r : d.regs()) {
+            if (!validRef(d, r.node))
+                continue;
+            if (!observable[r.node]) {
+                out.warning(rule(), r.node, nodePath(d, r.node),
+                            strfmt("register is never observed by any "
+                                   "output (%u wasted snapshot bits)",
+                                   d.node(r.node).width));
+            }
+        }
+    }
+};
+
+class WriteOnlyMemPass : public Pass
+{
+  public:
+    const char *rule() const override { return "write-only-mem"; }
+    const char *description() const override
+    {
+        return "memories whose read data is never observed (wasted "
+               "snapshot bits)";
+    }
+    Severity severity() const override { return Severity::Warning; }
+
+    void
+    run(const Design &d, Diagnostics &out) const override
+    {
+        std::vector<bool> observable = observableCone(d);
+        for (const MemInfo &m : d.mems()) {
+            uint64_t wasted = m.width * m.depth;
+            if (m.reads.empty()) {
+                out.warning(rule(), kNoNode, m.name,
+                            strfmt("memory '%s' has no read ports (%llu "
+                                   "wasted snapshot bits)", m.name.c_str(),
+                                   (unsigned long long)wasted));
+                continue;
+            }
+            bool anyObserved = false;
+            for (const MemReadPort &p : m.reads) {
+                if (validRef(d, p.data) && observable[p.data])
+                    anyObserved = true;
+            }
+            if (!anyObserved) {
+                out.warning(rule(), kNoNode, m.name,
+                            strfmt("memory '%s': no read port is observed "
+                                   "by any output (%llu wasted snapshot "
+                                   "bits)", m.name.c_str(),
+                                   (unsigned long long)wasted));
+            }
+        }
+    }
+};
+
+class UninitSyncReadPass : public Pass
+{
+  public:
+    const char *rule() const override { return "uninit-sync-read"; }
+    const char *description() const override
+    {
+        return "sync-read memories read before any possible write";
+    }
+    Severity severity() const override { return Severity::Warning; }
+
+    void
+    run(const Design &d, Diagnostics &out) const override
+    {
+        for (const MemInfo &m : d.mems()) {
+            if (!m.syncRead || m.reads.empty())
+                continue;
+            if (m.writes.empty() && m.init.empty()) {
+                out.warning(rule(), kNoNode, m.name,
+                            strfmt("sync-read memory '%s' is read but has "
+                                   "no write ports and no init contents "
+                                   "(read-before-write returns zeros)",
+                                   m.name.c_str()));
+            }
+        }
+    }
+};
+
+} // namespace
+
+Registry
+Registry::makeDefault()
+{
+    Registry r;
+    r.add(std::make_unique<DanglingRefPass>());
+    r.add(std::make_unique<OpWidthPass>());
+    r.add(std::make_unique<RegContractPass>());
+    r.add(std::make_unique<MemContractPass>());
+    r.add(std::make_unique<CombCyclePass>());
+    r.add(std::make_unique<MultiDriverPass>());
+    r.add(std::make_unique<RetimeFeedforwardPass>());
+    r.add(std::make_unique<RetimeRegScopePass>());
+    r.add(std::make_unique<DeadNodePass>());
+    r.add(std::make_unique<UnreadableRegPass>());
+    r.add(std::make_unique<WriteOnlyMemPass>());
+    r.add(std::make_unique<UninitSyncReadPass>());
+    return r;
+}
+
+} // namespace lint
+} // namespace strober

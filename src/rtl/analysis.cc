@@ -88,5 +88,142 @@ analyzeComb(const Design &design)
     return sched;
 }
 
+std::vector<std::vector<NodeId>>
+combSccs(const Design &design)
+{
+    size_t n = design.numNodes();
+
+    // Guarded dependency walk: out-of-range references and malformed
+    // MemRead bookkeeping are skipped (reported by the dangling-ref lint
+    // rule), so this is safe on arbitrarily broken designs.
+    auto deps = [&](NodeId id, auto &&visit) {
+        const Node &node = design.node(id);
+        if (node.op == Op::MemRead) {
+            uint32_t memIdx = node.aux >> 16;
+            uint32_t portIdx = node.aux & 0xffff;
+            if (memIdx >= design.mems().size())
+                return;
+            const MemInfo &m = design.mems()[memIdx];
+            if (m.syncRead || portIdx >= m.reads.size())
+                return;
+            NodeId a = m.reads[portIdx].addr;
+            if (a != kNoNode && a < n)
+                visit(a);
+            return;
+        }
+        unsigned arity = opArity(node.op);
+        for (unsigned i = 0; i < arity; ++i) {
+            NodeId a = node.args[i];
+            if (a != kNoNode && a < n)
+                visit(a);
+        }
+    };
+
+    // Fast path: Kahn pruning. Nodes that drain to zero pending
+    // dependencies cannot be on a cycle; only the residue is fed to the
+    // (heavier) SCC computation.
+    std::vector<uint32_t> pending(n, 0);
+    std::vector<std::vector<NodeId>> users(n);
+    for (NodeId id = 0; id < n; ++id) {
+        deps(id, [&](NodeId dep) {
+            ++pending[id];
+            users[dep].push_back(id);
+        });
+    }
+    std::vector<NodeId> ready;
+    for (NodeId id = 0; id < n; ++id) {
+        if (pending[id] == 0)
+            ready.push_back(id);
+    }
+    size_t drained = ready.size();
+    while (!ready.empty()) {
+        NodeId id = ready.back();
+        ready.pop_back();
+        for (NodeId u : users[id]) {
+            if (--pending[u] == 0) {
+                ready.push_back(u);
+                ++drained;
+            }
+        }
+    }
+    if (drained == n)
+        return {};
+
+    // Iterative Tarjan over the residual subgraph (pending != 0).
+    constexpr uint32_t kUnvisited = UINT32_MAX;
+    std::vector<uint32_t> index(n, kUnvisited);
+    std::vector<uint32_t> low(n, 0);
+    std::vector<bool> onStack(n, false);
+    std::vector<NodeId> stack;
+    uint32_t counter = 0;
+    std::vector<std::vector<NodeId>> sccs;
+
+    struct Frame
+    {
+        NodeId node;
+        std::vector<NodeId> succ;
+        size_t next = 0;
+    };
+    std::vector<Frame> dfs;
+
+    auto residualSuccs = [&](NodeId id) {
+        std::vector<NodeId> out;
+        deps(id, [&](NodeId dep) {
+            if (pending[dep] != 0)
+                out.push_back(dep);
+        });
+        return out;
+    };
+
+    for (NodeId root = 0; root < n; ++root) {
+        if (pending[root] == 0 || index[root] != kUnvisited)
+            continue;
+        dfs.push_back({root, residualSuccs(root), 0});
+        index[root] = low[root] = counter++;
+        stack.push_back(root);
+        onStack[root] = true;
+        while (!dfs.empty()) {
+            Frame &f = dfs.back();
+            if (f.next < f.succ.size()) {
+                NodeId s = f.succ[f.next++];
+                if (index[s] == kUnvisited) {
+                    index[s] = low[s] = counter++;
+                    stack.push_back(s);
+                    onStack[s] = true;
+                    dfs.push_back({s, residualSuccs(s), 0});
+                } else if (onStack[s]) {
+                    low[f.node] = std::min(low[f.node], index[s]);
+                }
+            } else {
+                NodeId v = f.node;
+                bool selfLoop = false;
+                for (NodeId s : f.succ)
+                    selfLoop |= (s == v);
+                if (low[v] == index[v]) {
+                    std::vector<NodeId> comp;
+                    NodeId w;
+                    do {
+                        w = stack.back();
+                        stack.pop_back();
+                        onStack[w] = false;
+                        comp.push_back(w);
+                    } while (w != v);
+                    if (comp.size() > 1 || selfLoop) {
+                        std::sort(comp.begin(), comp.end());
+                        sccs.push_back(std::move(comp));
+                    }
+                }
+                dfs.pop_back();
+                if (!dfs.empty())
+                    low[dfs.back().node] =
+                        std::min(low[dfs.back().node], low[v]);
+            }
+        }
+    }
+    std::sort(sccs.begin(), sccs.end(),
+              [](const auto &a, const auto &b) { return a[0] < b[0]; });
+    return sccs;
+}
+
 } // namespace rtl
 } // namespace strober

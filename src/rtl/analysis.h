@@ -77,6 +77,20 @@ forEachCombDep(const Design &design, NodeId id, Fn &&visit)
  */
 CombSchedule analyzeComb(const Design &design);
 
+/**
+ * Every combinational cycle of @p design, as the strongly connected
+ * components of the combinational dependency graph with more than one
+ * node (or a self-loop). Unlike levelize()/analyzeComb() this never
+ * exits: it is the machinery behind the lint "comb-cycle" rule, which
+ * reports *all* cycles, and it tolerates dangling node references
+ * (skipping them — the "dangling-ref" rule owns those).
+ *
+ * @return one vector of node ids per cycle, empty when acyclic. Each
+ * component lists its members in ascending id; components are ordered by
+ * their smallest member.
+ */
+std::vector<std::vector<NodeId>> combSccs(const Design &design);
+
 } // namespace rtl
 } // namespace strober
 

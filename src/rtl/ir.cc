@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "lint/lint.h"
+#include "rtl/analysis.h"
 #include "util/logging.h"
 
 namespace strober {
@@ -120,148 +122,19 @@ Design::findMem(const std::string &name) const
     return -1;
 }
 
-namespace {
-
-void
-checkRef(const Design &d, NodeId user, NodeId ref, const char *what)
-{
-    if (ref == kNoNode || ref >= d.numNodes())
-        fatal("node %u '%s' (%s): dangling %s reference", user,
-              d.node(user).name.c_str(), opName(d.node(user).op), what);
-}
-
-} // namespace
-
 void
 Design::check() const
 {
-    for (NodeId id = 0; id < nodes.size(); ++id) {
-        const Node &n = nodes[id];
-        unsigned arity = opArity(n.op);
-        for (unsigned i = 0; i < arity; ++i)
-            checkRef(*this, id, n.args[i], "argument");
-
-        auto argW = [&](unsigned i) {
-            return static_cast<unsigned>(nodes[n.args[i]].width);
-        };
-        switch (n.op) {
-          case Op::Add: case Op::Sub: case Op::Divu: case Op::Remu:
-          case Op::And: case Op::Or: case Op::Xor:
-            if (argW(0) != n.width || argW(1) != n.width)
-                fatal("node %u '%s' (%s): operand widths %u,%u != %u", id,
-                      n.name.c_str(), opName(n.op), argW(0), argW(1),
-                      n.width);
-            break;
-          case Op::Mul:
-            if (n.width != std::min(64u, argW(0) + argW(1)))
-                fatal("node %u '%s' (mul): width %u != %u", id,
-                      n.name.c_str(), n.width,
-                      std::min(64u, argW(0) + argW(1)));
-            break;
-          case Op::Shl: case Op::Shru: case Op::Sra:
-            if (argW(0) != n.width)
-                fatal("node %u '%s' (%s): operand width %u != %u", id,
-                      n.name.c_str(), opName(n.op), argW(0), n.width);
-            break;
-          case Op::Eq: case Op::Ne: case Op::Ltu: case Op::Lts:
-            if (n.width != 1)
-                fatal("node %u '%s' (%s): comparison width must be 1", id,
-                      n.name.c_str(), opName(n.op));
-            if (argW(0) != argW(1))
-                fatal("node %u '%s' (%s): operand widths %u != %u", id,
-                      n.name.c_str(), opName(n.op), argW(0), argW(1));
-            break;
-          case Op::Cat:
-            if (n.width != argW(0) + argW(1))
-                fatal("node %u '%s' (cat): width %u != %u + %u", id,
-                      n.name.c_str(), n.width, argW(0), argW(1));
-            break;
-          case Op::Bits:
-            if (n.bitsHi() < n.bitsLo() || n.bitsHi() >= argW(0))
-                fatal("node %u '%s' (bits): [%u:%u] out of range for "
-                      "width-%u operand", id, n.name.c_str(), n.bitsHi(),
-                      n.bitsLo(), argW(0));
-            if (n.width != n.bitsHi() - n.bitsLo() + 1)
-                fatal("node %u '%s' (bits): width mismatch", id,
-                      n.name.c_str());
-            break;
-          case Op::SExt: case Op::Pad:
-            if (n.width < argW(0))
-                fatal("node %u '%s' (%s): cannot extend width %u to %u", id,
-                      n.name.c_str(), opName(n.op), argW(0), n.width);
-            break;
-          case Op::Not: case Op::Neg:
-            if (argW(0) != n.width)
-                fatal("node %u '%s' (%s): operand width %u != %u", id,
-                      n.name.c_str(), opName(n.op), argW(0), n.width);
-            break;
-          case Op::RedOr: case Op::RedAnd: case Op::RedXor:
-            if (n.width != 1)
-                fatal("node %u '%s' (%s): reduce width must be 1", id,
-                      n.name.c_str(), opName(n.op));
-            break;
-          case Op::Mux:
-            if (nodes[n.args[0]].width != 1)
-                fatal("node %u '%s' (mux): selector must be 1 bit", id,
-                      n.name.c_str());
-            if (argW(1) != n.width || argW(2) != n.width)
-                fatal("node %u '%s' (mux): arm widths %u,%u != %u", id,
-                      n.name.c_str(), argW(1), argW(2), n.width);
-            break;
-          default:
-            break;
-        }
+    // Thin wrapper over the lint framework's error-severity subset
+    // (src/lint): same invariants as before, but every violation is
+    // collected and reported in one shot instead of dying on the first.
+    lint::Options opts;
+    opts.minSeverity = lint::Severity::Error;
+    lint::Diagnostics diags = lint::run(*this, opts);
+    if (diags.hasErrors()) {
+        fatal("design '%s' failed validation with %zu error(s):\n%s",
+              designName.c_str(), diags.errorCount(), diags.str().c_str());
     }
-
-    for (size_t i = 0; i < registers.size(); ++i) {
-        const RegInfo &r = registers[i];
-        checkRef(*this, r.node, r.node, "self");
-        if (r.next == kNoNode)
-            fatal("register '%s' has no next-state driver",
-                  nodes[r.node].name.c_str());
-        checkRef(*this, r.node, r.next, "next");
-        if (nodes[r.next].width != nodes[r.node].width)
-            fatal("register '%s': next width %u != %u",
-                  nodes[r.node].name.c_str(), nodes[r.next].width,
-                  nodes[r.node].width);
-        if (r.en != kNoNode && nodes[r.en].width != 1)
-            fatal("register '%s': enable must be 1 bit",
-                  nodes[r.node].name.c_str());
-    }
-
-    for (const MemInfo &m : memories) {
-        if (m.depth == 0)
-            fatal("memory '%s' has zero depth", m.name.c_str());
-        unsigned addrW = std::max(1u, clog2(m.depth));
-        for (const MemReadPort &p : m.reads) {
-            checkRef(*this, p.data, p.addr, "read address");
-            if (nodes[p.addr].width != addrW)
-                fatal("memory '%s': read address width %u != %u",
-                      m.name.c_str(), nodes[p.addr].width, addrW);
-            if (nodes[p.data].width != m.width)
-                fatal("memory '%s': read data width mismatch",
-                      m.name.c_str());
-        }
-        for (const MemWritePort &p : m.writes) {
-            checkRef(*this, p.data, p.addr, "write address");
-            checkRef(*this, p.data, p.data, "write data");
-            if (nodes[p.addr].width != addrW)
-                fatal("memory '%s': write address width %u != %u",
-                      m.name.c_str(), nodes[p.addr].width, addrW);
-            if (nodes[p.data].width != m.width)
-                fatal("memory '%s': write data width mismatch",
-                      m.name.c_str());
-            if (p.en != kNoNode && nodes[p.en].width != 1)
-                fatal("memory '%s': write enable must be 1 bit",
-                      m.name.c_str());
-        }
-    }
-
-    for (const OutputPort &o : outputPorts)
-        checkRef(*this, o.node, o.node, "output");
-
-    // Acyclicity: levelize() fatals on a combinational cycle.
-    levelize(*this);
 }
 
 uint64_t
@@ -351,12 +224,25 @@ levelize(const Design &design)
     }
 
     if (order.size() != n) {
-        for (NodeId id = 0; id < n; ++id) {
-            if (pending[id] != 0)
-                fatal("combinational cycle through node %u '%s' (%s)", id,
-                      design.node(id).name.c_str(),
-                      opName(design.node(id).op));
+        // Report *every* cycle (one line per SCC), not just the first
+        // stuck node — combSccs() never exits, so we can enumerate.
+        std::string msg;
+        for (const std::vector<NodeId> &scc : combSccs(design)) {
+            msg += strfmt("  cycle through %zu node(s):", scc.size());
+            size_t shown = std::min<size_t>(scc.size(), 8);
+            for (size_t i = 0; i < shown; ++i) {
+                const Node &cn = design.node(scc[i]);
+                msg += strfmt("%s %%%u", i ? " ->" : "", scc[i]);
+                if (!cn.name.empty())
+                    msg += strfmt(" '%s'", cn.name.c_str());
+                msg += strfmt(" (%s)", opName(cn.op));
+            }
+            if (shown < scc.size())
+                msg += strfmt(" -> ... (%zu more)", scc.size() - shown);
+            msg += '\n';
         }
+        fatal("design '%s': combinational cycle detected\n%s",
+              design.name().c_str(), msg.c_str());
     }
     return order;
 }

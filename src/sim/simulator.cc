@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "lint/lint.h"
 #include "rtl/analysis.h"
 #include "util/bits.h"
 #include "util/logging.h"
@@ -22,6 +23,13 @@ simulatorModeName(SimulatorMode mode)
 Simulator::Simulator(const rtl::Design &design, SimulatorMode mode)
     : dsn(design), simMode(mode)
 {
+    lint::Options opts;
+    opts.minSeverity = lint::Severity::Error;
+    lint::Diagnostics diags = lint::run(dsn, opts);
+    if (diags.hasErrors()) {
+        fatal("cannot simulate design '%s': %zu lint error(s):\n%s",
+              dsn.name().c_str(), diags.errorCount(), diags.str().c_str());
+    }
     compile();
     reset();
 }

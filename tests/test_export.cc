@@ -127,6 +127,66 @@ TEST(SnapshotIoDeath, DetectsCorruption)
                 ::testing::ExitedWithCode(1), "different design");
 }
 
+TEST(ScanChainDeath, RejectsWrongLengthBitstream)
+{
+    Design d = makeDut();
+    fame::ScanChains chains(d);
+    size_t expect = (chains.totalBits() + 63) / 64;
+
+    std::vector<uint64_t> tooLong(expect + 1, 0);
+    EXPECT_EXIT(chains.decode(tooLong), ::testing::ExitedWithCode(1),
+                "truncated capture or wrong design");
+    std::vector<uint64_t> tooShort(expect - 1, 0);
+    EXPECT_EXIT(chains.decode(tooShort), ::testing::ExitedWithCode(1),
+                "truncated capture or wrong design");
+}
+
+TEST(SnapshotIoDeath, DetectsWrongStateWordCount)
+{
+    Design d = makeDut();
+    fame::Fame1Design fd = fame::fame1Transform(d);
+    fame::ScanChains chains(fd.design);
+    fame::ReplayableSnapshot snap = captureOne(d, fd, chains);
+
+    std::stringstream buffer;
+    fame::writeSnapshot(buffer, chains, snap);
+    std::string bytes = buffer.str();
+
+    // The state vector's word count is the little-endian u64 at offset 32
+    // (after magic, version, totalBits and cycle). Shrinking it by one
+    // must be caught before the trailing words are misparsed as traces.
+    ASSERT_GT(static_cast<unsigned char>(bytes[32]), 0);
+    std::string shrunk = bytes;
+    shrunk[32] = static_cast<char>(shrunk[32] - 1);
+    std::istringstream in(shrunk);
+    EXPECT_EXIT(fame::readSnapshot(in, chains),
+                ::testing::ExitedWithCode(1), "words, design needs");
+}
+
+TEST(SnapshotIoDeath, DetectsAbsurdTraceDimensions)
+{
+    Design d = makeDut();
+    fame::Fame1Design fd = fame::fame1Transform(d);
+    fame::ScanChains chains(fd.design);
+    fame::ReplayableSnapshot snap = captureOne(d, fd, chains);
+
+    std::stringstream buffer;
+    fame::writeSnapshot(buffer, chains, snap);
+    std::string bytes = buffer.str();
+
+    // The input-trace length follows the state vector. Corrupt its high
+    // bytes so it decodes to an absurd count; the reader must refuse
+    // rather than attempt a huge allocation and then underrun.
+    size_t stateWords = (chains.totalBits() + 63) / 64;
+    size_t lengthOff = 32 + 8 + stateWords * 8;
+    ASSERT_LT(lengthOff + 8, bytes.size());
+    std::string corrupt = bytes;
+    corrupt[lengthOff + 6] = static_cast<char>(0xff);
+    std::istringstream in(corrupt);
+    EXPECT_EXIT(fame::readSnapshot(in, chains),
+                ::testing::ExitedWithCode(1), "corrupt");
+}
+
 TEST(SnapshotIoDeath, RefusesIncompleteSnapshot)
 {
     Design d = makeDut();

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The `strober-lint` command-line tool: run the structural lint rules
+ * (src/lint) over the bundled cores and, with --fame, the cross-layer
+ * verification passes over their FAME1-transformed forms.
+ *
+ *   strober-lint                       # lint rocket, boom1w and boom2w
+ *   strober-lint rocket boom2w        # lint a subset
+ *   strober-lint --fame rocket        # + FAME1 gating / scan coverage
+ *   strober-lint --werror             # exit 1 on warnings too
+ *   strober-lint --rules              # list the registered rules
+ *
+ * Exit status: 0 when every linted design is clean of errors (and of
+ * warnings under --werror), 1 otherwise.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fame/fame1.h"
+#include "fame/scan_chain.h"
+#include "lint/lint.h"
+#include "cores/soc.h"
+#include "util/logging.h"
+
+using namespace strober;
+
+namespace {
+
+cores::SocConfig
+coreByName(const std::string &name)
+{
+    if (name == "rocket")
+        return cores::SocConfig::rocket();
+    if (name == "boom1w")
+        return cores::SocConfig::boom1w();
+    if (name == "boom2w")
+        return cores::SocConfig::boom2w();
+    fatal("unknown core '%s' (rocket | boom1w | boom2w)", name.c_str());
+}
+
+int
+listRules()
+{
+    std::printf("%-20s %-8s %s\n", "rule", "severity", "description");
+    for (const auto &pass : lint::Registry::global().passes()) {
+        std::printf("%-20s %-8s %s\n", pass->rule(),
+                    lint::severityName(pass->severity()),
+                    pass->description());
+    }
+    std::printf("%-20s %-8s %s\n", "fame-gating", "error",
+                "post-FAME1: every state enable dominated by host_en "
+                "(--fame)");
+    std::printf("%-20s %-8s %s\n", "scan-coverage", "error",
+                "post-FAME1: every state bit in the scan chains exactly "
+                "once (--fame)");
+    return 0;
+}
+
+/** Print @p diags; @return the finding count that affects exit status. */
+size_t
+report(const char *subject, const lint::Diagnostics &diags, bool werror)
+{
+    for (const lint::Diagnostic &d : diags.all())
+        std::printf("%s: %s\n", subject, d.str().c_str());
+    return diags.errorCount() + (werror ? diags.warningCount() : 0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool fame = false;
+    bool werror = false;
+    std::vector<std::string> names;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--fame")) {
+            fame = true;
+        } else if (!std::strcmp(argv[i], "--werror")) {
+            werror = true;
+        } else if (!std::strcmp(argv[i], "--rules")) {
+            return listRules();
+        } else if (!std::strcmp(argv[i], "--help")) {
+            std::printf("usage: strober-lint [--fame] [--werror] "
+                        "[--rules] [core...]\n");
+            return 0;
+        } else if (argv[i][0] == '-') {
+            fatal("unknown option '%s' (try --help)", argv[i]);
+        } else {
+            names.push_back(argv[i]);
+        }
+    }
+    if (names.empty())
+        names = {"rocket", "boom1w", "boom2w"};
+
+    size_t failures = 0;
+    for (const std::string &name : names) {
+        rtl::Design design = cores::buildSoc(coreByName(name));
+        lint::Diagnostics diags = lint::run(design);
+        failures += report(name.c_str(), diags, werror);
+        std::printf("%s: %zu error(s), %zu warning(s) over %zu nodes\n",
+                    name.c_str(), diags.errorCount(),
+                    diags.warningCount(), design.numNodes());
+
+        if (fame) {
+            fame::Fame1Design f1 = fame::fame1Transform(design);
+            std::string subject = name + "+fame1";
+            lint::Diagnostics gating =
+                lint::verifyFame1Gating(f1.design, f1.hostEnable);
+            gating.merge(fame::verifyScanCoverage(f1.design));
+            failures += report(subject.c_str(), gating, werror);
+            std::printf("%s: gating + scan coverage %s\n", subject.c_str(),
+                        gating.hasErrors() ? "FAILED" : "verified");
+        }
+    }
+    return failures ? 1 : 0;
+}
