@@ -170,7 +170,7 @@ loaderBench(benchmark::State &state, gate::LoaderKind kind)
     double modeled = 0;
     for (auto _ : state) {
         gate::LoadReport r =
-            gate::loadState(gsim, f.soc, f.match, snap, kind);
+            gate::loadState(gsim, f.soc, f.match, snap, kind).value();
         modeled = r.modeledSeconds;
         benchmark::DoNotOptimize(r.commands);
     }
@@ -215,9 +215,11 @@ main(int argc, char **argv)
     gate::GateSimulator gsim(f.synth.netlist);
     double slow = gate::loadState(gsim, f.soc, f.match, snap,
                                   gate::LoaderKind::SlowScript)
+                      .value()
                       .modeledSeconds;
     double fast = gate::loadState(gsim, f.soc, f.match, snap,
                                   gate::LoaderKind::FastVpi)
+                      .value()
                       .modeledSeconds;
     std::printf("modeled snapshot load: %.1f s (script) vs %.2f s (VPI) "
                 "per snapshot — the paper's 40 min -> 54 s fix, same "

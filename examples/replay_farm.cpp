@@ -7,11 +7,17 @@
  * *farm* phase (which could run anywhere) loads each file, replays it at
  * gate level, and posts back one power number; the "frontend" then only
  * aggregates scalars.
+ *
+ * It also demonstrates the fault tolerance a real farm needs: snapshot
+ * files are written atomically (temp + rename, so a killed capture
+ * phase never leaves a torn file), every file read and replay is
+ * checked, and to prove the point the example deliberately corrupts two
+ * of the files in transit — the farm quarantines them and degrades the
+ * estimate over the survivors instead of aborting the run.
  */
 
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <vector>
 
 #include "core/energy_sim.h"
@@ -21,6 +27,7 @@
 #include "gate/placement.h"
 #include "gate/replay.h"
 #include "gate/synthesis.h"
+#include "inject/fault_injector.h"
 #include "power/power_analysis.h"
 #include "stats/sampling.h"
 #include "workloads/workloads.h"
@@ -52,12 +59,33 @@ main()
          strober.sampler().snapshots()) {
         fs::path file =
             dir / ("snap_" + std::to_string(snap->cycle()) + ".strb");
-        std::ofstream out(file, std::ios::binary);
-        fame::writeSnapshot(out, strober.sampler().chains(), *snap);
+        // Atomic write: the final path either holds a complete,
+        // CRC-protected snapshot or does not exist at all.
+        util::Status st = fame::writeSnapshotFile(
+            file.string(), strober.sampler().chains(), *snap);
+        if (!st.isOk()) {
+            std::printf("  capture of %s failed (%s); skipping\n",
+                        file.filename().c_str(), st.toString().c_str());
+            continue;
+        }
         files.push_back(file);
     }
     std::printf("wrote %zu snapshot files to %s\n", files.size(),
                 dir.c_str());
+
+    // ---- Transport faults (deliberate) ----------------------------------
+    // A farm moves snapshots over networks and disks that do fail.
+    // Corrupt one file and truncate another to show the pipeline's
+    // response; the CRC sections catch both at load time.
+    if (files.size() >= 4) {
+        (void)inject::corruptFile(files[1].string(),
+                                  inject::FileFault::BitFlip, 0xbadbeef);
+        (void)inject::corruptFile(files[2].string(),
+                                  inject::FileFault::Truncate, 0xbadbeef);
+        std::printf("injected transport faults into %s (bit flip) and %s "
+                    "(truncation)\n", files[1].filename().c_str(),
+                    files[2].filename().c_str());
+    }
 
     // ---- Farm phase (could be other machines) ---------------------------
     gate::SynthesisResult synth = gate::synthesize(soc);
@@ -68,28 +96,49 @@ main()
     fame::ScanChains chains(fd.design);
 
     stats::SampleStats watts;
+    std::vector<fs::path> quarantined;
     gate::GateSimulator gsim(synth.netlist);
     for (const fs::path &file : files) {
-        std::ifstream in(file, std::ios::binary);
-        fame::ReplayableSnapshot snap = fame::readSnapshot(in, chains);
-        gate::GateReplayResult r =
-            gate::replayOnGate(gsim, soc, table, snap);
-        if (!r.ok())
-            fatal("replay of %s failed: %s", file.c_str(),
-                  r.firstMismatch.c_str());
+        util::Result<fame::ReplayableSnapshot> snap =
+            fame::readSnapshotFile(file.string(), chains);
+        if (!snap.isOk()) {
+            std::printf("  %s QUARANTINED: %s\n", file.filename().c_str(),
+                        snap.status().toString().c_str());
+            quarantined.push_back(file);
+            continue;
+        }
+        util::Result<gate::GateReplayResult> r =
+            gate::replayOnGate(gsim, soc, table, *snap);
+        if (!r.isOk() || !r->ok()) {
+            std::printf("  %s QUARANTINED: %s\n", file.filename().c_str(),
+                        r.isOk() ? r->firstMismatch.c_str()
+                                 : r.status().toString().c_str());
+            quarantined.push_back(file);
+            continue;
+        }
         power::PowerReport p = power::analyzePower(synth.netlist, placed,
-                                                   r.activity, 1e9);
+                                                   r->activity, 1e9);
         watts.add(p.totalWatts());
         std::printf("  %s -> %.3f mW\n", file.filename().c_str(),
                     p.totalWatts() * 1e3);
     }
 
     // ---- Aggregation -----------------------------------------------------
+    // The survey-sampling estimators are as valid over the surviving
+    // subsample as over the full one — the CI just widens.
+    if (watts.size() < 2) {
+        std::printf("\nfarm estimate: UNAVAILABLE (%zu of %zu snapshots "
+                    "survived; need at least 2 for a CI)\n",
+                    watts.size(), files.size());
+        return 1;
+    }
     stats::Estimate est =
         watts.estimate(0.99, run.targetCycles / cfg.replayLength);
-    std::printf("\nfarm estimate: %.3f mW +/- %.3f (99%% CI) from %zu "
-                "replayed files\n",
-                est.mean * 1e3, est.halfWidth * 1e3, files.size());
+    std::printf("\nfarm estimate%s: %.3f mW +/- %.3f (99%% CI) from %zu "
+                "of %zu snapshot files (%zu quarantined)\n",
+                quarantined.empty() ? "" : " [degraded]", est.mean * 1e3,
+                est.halfWidth * 1e3, watts.size(), files.size(),
+                quarantined.size());
 
     for (const fs::path &file : files)
         fs::remove(file);

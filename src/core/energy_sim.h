@@ -20,6 +20,7 @@
 #ifndef STROBER_CORE_ENERGY_SIM_H
 #define STROBER_CORE_ENERGY_SIM_H
 
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -36,6 +37,11 @@
 #include "stats/sampling.h"
 
 namespace strober {
+
+namespace inject {
+class StallPlan;
+} // namespace inject
+
 namespace core {
 
 /** Performance results of the fast simulation phase. */
@@ -56,16 +62,58 @@ struct GroupEstimate
     stats::Estimate power; //!< watts
 };
 
-/** Final energy report. */
+/** How one sampled snapshot fared in the replay pipeline. */
+enum class SnapshotStatus
+{
+    Replayed,  //!< verified replay; contributes to the estimate
+    Diverged,  //!< outputs disagreed with the trace; quarantined
+    LoadFailed, //!< state transfer failed (geometry/corruption)
+    TimedOut,  //!< exceeded the per-snapshot watchdog budget
+    ReplayError, //!< any other structured replay failure
+};
+
+/** Stable lowercase name ("replayed", "diverged", ...). */
+const char *snapshotStatusName(SnapshotStatus status);
+
+/** Per-snapshot record of the replay pipeline's fault handling. */
+struct SnapshotOutcome
+{
+    size_t index = 0;         //!< position in the replayed sample
+    uint64_t cycle = 0;       //!< capture cycle of the snapshot
+    SnapshotStatus status = SnapshotStatus::Replayed;
+    unsigned attempts = 0;    //!< replay attempts made (1 or 2)
+    bool retriedOnAlternateLoader = false;
+    uint64_t mismatches = 0;  //!< output mismatches of the last attempt
+    std::string detail;       //!< diagnostic for non-Replayed outcomes
+
+    bool replayed() const { return status == SnapshotStatus::Replayed; }
+};
+
+/**
+ * Final energy report. When snapshots are quarantined the estimator
+ * *degrades* instead of aborting (the Section III-A estimators are
+ * well-defined over any surviving subsample): `degraded` is set, the
+ * mean/CI cover the survivors only, and `outcomes` records what
+ * happened to every snapshot. `valid` is cleared when no trustworthy
+ * estimate exists at all (everything quarantined, survivor count under
+ * the configured floor, drop count over the configured ceiling, or a
+ * run too short to define the interval population) — `statusMessage`
+ * says why.
+ */
 struct EnergyReport
 {
     stats::Estimate averagePower;   //!< watts, with CI (Eq. 7)
     std::vector<GroupEstimate> groups;
     uint64_t population = 0;        //!< N (number of L-intervals)
-    size_t snapshots = 0;           //!< n actually replayed
-    uint64_t replayMismatches = 0;  //!< must be 0 for a valid estimate
+    size_t snapshots = 0;           //!< n sampled (incl. quarantined)
+    size_t droppedSnapshots = 0;    //!< quarantined, excluded from mean/CI
+    uint64_t replayMismatches = 0;  //!< total mismatches observed
     double replayWallSeconds = 0;
     double modeledLoadSeconds = 0;  //!< Section IV-C2 loader accounting
+    bool degraded = false;          //!< some snapshots were quarantined
+    bool valid = true;              //!< false: no trustworthy estimate
+    std::string statusMessage;      //!< why degraded / invalid
+    std::vector<SnapshotOutcome> outcomes; //!< per-snapshot records
 
     /** Energy per cycle in joules (power / clock). */
     double energyPerCycle(double clockHz) const
@@ -100,8 +148,30 @@ class EnergySimulator
         uint64_t hostServiceStall = 16;
         /** Snapshots are independent; replay them on this many parallel
          *  gate-level simulator instances (paper Section III-B / IV-E's
-         *  P). */
+         *  P). The report is bit-identical for any worker count. */
         unsigned parallelReplays = 1;
+
+        // --- Fault tolerance (replay farm survival knobs) ---------------
+        /** Watchdog: simulator steps one replay may consume (warm-up +
+         *  trace + stalls) before it is declared hung and quarantined.
+         *  0 derives a generous budget from the replay length and the
+         *  retiming warm-up depth. */
+        uint64_t replayTimeoutCycles = 0;
+        /** A faulty snapshot gets one bounded retry (on the alternate
+         *  LoaderKind, in case the state-transfer path itself is the
+         *  fault) before quarantine. */
+        bool retryFaultySnapshots = true;
+        /** More quarantined snapshots than this invalidates the report
+         *  (report.valid = false) instead of silently estimating from
+         *  a sliver of the sample. */
+        size_t maxDroppedSnapshots = std::numeric_limits<size_t>::max();
+        /** Minimum surviving samples for a trustworthy CI; fewer clears
+         *  report.valid. At least 2 survivors are always required (the
+         *  Eq. 4 sample variance is undefined below that). */
+        size_t minSurvivingSamples = 2;
+        /** Fault injection: per-snapshot stall cycles simulating a hung
+         *  gate-level simulator (tests; see src/inject). */
+        const inject::StallPlan *stallPlan = nullptr;
     };
 
     EnergySimulator(const rtl::Design &target, Config config);

@@ -6,12 +6,23 @@
 namespace strober {
 namespace fame {
 
-ReplayResult
+util::Result<ReplayResult>
 replayOnRtl(const rtl::Design &target, const ScanChains &chains,
             const ReplayableSnapshot &snap)
 {
-    if (!snap.complete)
-        fatal("replaying an incomplete snapshot (trace not finished)");
+    using util::ErrorCode;
+
+    if (!snap.complete) {
+        return util::errorf(ErrorCode::InvalidArgument,
+                            "replaying an incomplete snapshot "
+                            "(trace not finished)");
+    }
+    if (snap.outputTrace.size() != snap.inputTrace.size()) {
+        return util::errorf(ErrorCode::GeometryMismatch,
+                            "snapshot trace has %zu input cycles but %zu "
+                            "output cycles",
+                            snap.inputTrace.size(), snap.outputTrace.size());
+    }
 
     sim::Simulator sim(target);
     chains.restore(sim, snap.state);
@@ -19,13 +30,22 @@ replayOnRtl(const rtl::Design &target, const ScanChains &chains,
     ReplayResult result;
     for (size_t t = 0; t < snap.inputTrace.size(); ++t) {
         const auto &inputs = snap.inputTrace[t];
-        if (inputs.size() != target.inputs().size())
-            fatal("snapshot trace has %zu inputs, design has %zu",
-                  inputs.size(), target.inputs().size());
+        if (inputs.size() != target.inputs().size()) {
+            return util::errorf(ErrorCode::GeometryMismatch,
+                                "snapshot trace has %zu inputs, design "
+                                "has %zu",
+                                inputs.size(), target.inputs().size());
+        }
         for (size_t i = 0; i < inputs.size(); ++i)
             sim.poke(target.inputs()[i], inputs[i]);
 
         const auto &expected = snap.outputTrace[t];
+        if (expected.size() != target.outputs().size()) {
+            return util::errorf(ErrorCode::GeometryMismatch,
+                                "snapshot trace has %zu outputs, design "
+                                "has %zu",
+                                expected.size(), target.outputs().size());
+        }
         for (size_t o = 0; o < target.outputs().size(); ++o) {
             uint64_t got = sim.peek(target.outputs()[o].node);
             if (got != expected[o]) {

@@ -14,6 +14,7 @@
 
 #include "fame/token_sim.h"
 #include "rtl/ir.h"
+#include "util/status.h"
 
 namespace strober {
 namespace fame {
@@ -31,10 +32,14 @@ struct ReplayResult
 /**
  * Replay @p snap on an RTL simulation of @p target. @p chains must have
  * been built over a design with identical state layout (the FAME1
- * transform preserves it).
+ * transform preserves it). Fails with InvalidArgument for an incomplete
+ * snapshot and GeometryMismatch when the trace shape does not fit the
+ * design; output mismatches are data (ReplayResult), not errors — the
+ * caller decides whether to quarantine.
  */
-ReplayResult replayOnRtl(const rtl::Design &target, const ScanChains &chains,
-                         const ReplayableSnapshot &snap);
+util::Result<ReplayResult> replayOnRtl(const rtl::Design &target,
+                                       const ScanChains &chains,
+                                       const ReplayableSnapshot &snap);
 
 } // namespace fame
 } // namespace strober

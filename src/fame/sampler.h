@@ -82,6 +82,24 @@ class SnapshotSampler
         return out;
     }
 
+    /**
+     * Mutable view of the complete snapshots, in the same order as
+     * snapshots(). Exists for the fault-injection harness (src/inject),
+     * which corrupts captured snapshots in place to prove the replay
+     * pipeline quarantines them; production code has no business
+     * mutating the reservoir.
+     */
+    std::vector<ReplayableSnapshot *>
+    mutableSnapshots()
+    {
+        std::vector<ReplayableSnapshot *> out;
+        for (auto &p : reservoir.sample()) {
+            if (p && p->complete)
+                out.push_back(p.get());
+        }
+        return out;
+    }
+
     /** Number of record events (Table III "Record Counts"). */
     uint64_t recordCount() const { return reservoir.recordCount(); }
     /** Number of interval boundaries offered so far. */

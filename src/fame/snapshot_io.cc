@@ -1,172 +1,361 @@
 #include "fame/snapshot_io.h"
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <istream>
 #include <ostream>
 
-#include "util/logging.h"
+#include "util/crc32.h"
 
 namespace strober {
 namespace fame {
 
 namespace {
 
-constexpr uint64_t kMagic = 0x53545242534e5031ull; // "STRBSNP1"
-constexpr uint32_t kVersion = 1;
+using util::ErrorCode;
+using util::errorf;
+using util::Result;
+using util::Status;
 
-void
-putU64(std::ostream &out, uint64_t v)
-{
-    for (int i = 0; i < 8; ++i)
-        out.put(static_cast<char>(v >> (8 * i)));
-}
+constexpr uint64_t kMagicV1 = 0x53545242534e5031ull; // "STRBSNP1"
+constexpr uint64_t kMagicV2 = 0x53545242534e5032ull; // "STRBSNP2"
 
-uint64_t
-getU64(std::istream &in)
+// Dimension sanity bound: a corrupted count would otherwise drive a
+// multi-gigabyte allocation before the stream underruns.
+constexpr uint64_t kMaxDim = 1ull << 32;
+
+/** Streams integers out while folding their bytes into a section CRC. */
+class SectionWriter
 {
-    uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-        int c = in.get();
-        if (c < 0)
-            fatal("snapshot stream truncated");
-        v |= static_cast<uint64_t>(c & 0xff) << (8 * i);
+  public:
+    explicit SectionWriter(std::ostream &out) : out(out) {}
+
+    void
+    u64(uint64_t v)
+    {
+        char bytes[8];
+        for (int i = 0; i < 8; ++i)
+            bytes[i] = static_cast<char>(v >> (8 * i));
+        out.write(bytes, 8);
+        crc = util::crc32Update(crc, bytes, 8);
     }
-    return v;
-}
 
-void
-putVec(std::ostream &out, const std::vector<uint64_t> &v)
-{
-    putU64(out, v.size());
-    for (uint64_t x : v)
-        putU64(out, x);
-}
+    void
+    vec(const std::vector<uint64_t> &v)
+    {
+        u64(v.size());
+        for (uint64_t x : v)
+            u64(x);
+    }
 
-std::vector<uint64_t>
-getVec(std::istream &in)
+    /** Close the current section: write its CRC and start the next. */
+    void
+    endSection()
+    {
+        uint32_t c = crc;
+        char bytes[4];
+        for (int i = 0; i < 4; ++i)
+            bytes[i] = static_cast<char>(c >> (8 * i));
+        out.write(bytes, 4);
+        crc = 0;
+    }
+
+  private:
+    std::ostream &out;
+    uint32_t crc = 0;
+};
+
+/**
+ * Streams integers in while folding their bytes into a section CRC.
+ * Truncation sets a sticky failed flag (checked at section ends) so the
+ * decode logic stays linear instead of branching on every read.
+ */
+class SectionReader
 {
-    uint64_t n = getU64(in);
-    if (n > (1ull << 32))
-        fatal("snapshot stream corrupt (vector length %llu)",
-              (unsigned long long)n);
-    std::vector<uint64_t> v(n);
-    for (uint64_t &x : v)
-        x = getU64(in);
-    return v;
-}
+  public:
+    explicit SectionReader(std::istream &in) : in(in) {}
+
+    uint64_t
+    u64()
+    {
+        char bytes[8];
+        if (!in.read(bytes, 8)) {
+            failed = true;
+            return 0;
+        }
+        crc = util::crc32Update(crc, bytes, 8);
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes[i]))
+                 << (8 * i);
+        return v;
+    }
+
+    /** Verify the section CRC written by SectionWriter::endSection. */
+    Status
+    endSection(const char *what)
+    {
+        char bytes[4];
+        if (failed || !in.read(bytes, 4))
+            return errorf(ErrorCode::Corrupt,
+                          "snapshot stream truncated in %s section", what);
+        uint32_t stored = 0;
+        for (int i = 0; i < 4; ++i)
+            stored |= static_cast<uint32_t>(static_cast<uint8_t>(bytes[i]))
+                      << (8 * i);
+        if (stored != crc) {
+            return errorf(ErrorCode::Corrupt,
+                          "snapshot %s section CRC mismatch "
+                          "(stored 0x%08x, computed 0x%08x)",
+                          what, stored, crc);
+        }
+        crc = 0;
+        return Status::ok();
+    }
+
+    bool truncated() const { return failed; }
+
+  private:
+    std::istream &in;
+    uint32_t crc = 0;
+    bool failed = false;
+};
 
 } // namespace
 
-void
+Status
 writeSnapshot(std::ostream &out, const ScanChains &chains,
               const ReplayableSnapshot &snap)
 {
-    if (!snap.complete)
-        fatal("refusing to serialize an incomplete snapshot");
-    putU64(out, kMagic);
-    putU64(out, kVersion);
-    putU64(out, chains.totalBits());
-    putU64(out, snap.state.cycle);
+    if (!snap.complete) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "refusing to serialize an incomplete snapshot "
+                      "(trace not finished)");
+    }
+
+    SectionWriter w(out);
+
+    // Header section.
+    w.u64(kMagicV2);
+    w.u64(kSnapshotFormatVersion);
+    w.u64(chains.totalBits());
+    w.u64(snap.state.cycle);
+    w.endSection();
 
     // State as the scan-chain bit stream.
-    putVec(out, chains.encode(snap.state));
+    w.vec(chains.encode(snap.state));
+    w.endSection();
 
-    // I/O traces.
-    putU64(out, snap.inputTrace.size());
-    putU64(out, snap.inputTrace.empty() ? 0 : snap.inputTrace[0].size());
+    // Input trace.
+    w.u64(snap.inputTrace.size());
+    w.u64(snap.inputTrace.empty() ? 0 : snap.inputTrace[0].size());
     for (const auto &cycleTokens : snap.inputTrace)
         for (uint64_t t : cycleTokens)
-            putU64(out, t);
-    putU64(out, snap.outputTrace.empty() ? 0 : snap.outputTrace[0].size());
+            w.u64(t);
+    w.endSection();
+
+    // Output trace.
+    w.u64(snap.outputTrace.empty() ? 0 : snap.outputTrace[0].size());
     for (const auto &cycleTokens : snap.outputTrace)
         for (uint64_t t : cycleTokens)
-            putU64(out, t);
+            w.u64(t);
+    w.endSection();
 
     // Retiming histories.
-    putU64(out, snap.retimeHistory.size());
+    w.u64(snap.retimeHistory.size());
     for (const auto &region : snap.retimeHistory) {
-        putU64(out, region.size());
-        putU64(out, region.empty() ? 0 : region[0].size());
+        w.u64(region.size());
+        w.u64(region.empty() ? 0 : region[0].size());
         for (const auto &cycleVals : region)
             for (uint64_t v : cycleVals)
-                putU64(out, v);
+                w.u64(v);
     }
+    w.endSection();
+
+    out.flush();
+    if (!out) {
+        return errorf(ErrorCode::IoError,
+                      "snapshot write failed (stream error; disk full?)");
+    }
+    return Status::ok();
 }
 
-ReplayableSnapshot
+Result<ReplayableSnapshot>
 readSnapshot(std::istream &in, const ScanChains &chains)
 {
-    if (getU64(in) != kMagic)
-        fatal("not a strober snapshot (bad magic)");
-    if (getU64(in) != kVersion)
-        fatal("unsupported snapshot version");
-    uint64_t bits = getU64(in);
-    if (bits != chains.totalBits())
-        fatal("snapshot was captured from a different design "
-              "(%llu state bits, design has %llu)",
-              (unsigned long long)bits,
-              (unsigned long long)chains.totalBits());
+    SectionReader r(in);
+
+    // Header section.
+    uint64_t magic = r.u64();
+    if (r.truncated())
+        return errorf(ErrorCode::Corrupt, "snapshot stream truncated "
+                                          "before the magic number");
+    if (magic == kMagicV1) {
+        return errorf(ErrorCode::Unsupported,
+                      "version-1 snapshot (no integrity sections); "
+                      "re-capture with this version");
+    }
+    if (magic != kMagicV2)
+        return errorf(ErrorCode::Corrupt, "not a strober snapshot "
+                                          "(bad magic)");
+    uint64_t version = r.u64();
+    if (version != kSnapshotFormatVersion) {
+        return errorf(ErrorCode::Unsupported,
+                      "unsupported snapshot version %llu (expected %u)",
+                      (unsigned long long)version, kSnapshotFormatVersion);
+    }
+    uint64_t bits = r.u64();
+    uint64_t cycle = r.u64();
+    if (Status st = r.endSection("header"); !st.isOk())
+        return st;
+    if (bits != chains.totalBits()) {
+        return errorf(ErrorCode::GeometryMismatch,
+                      "snapshot was captured from a different design "
+                      "(%llu state bits, design has %llu)",
+                      (unsigned long long)bits,
+                      (unsigned long long)chains.totalBits());
+    }
 
     ReplayableSnapshot snap;
-    uint64_t cycle = getU64(in);
 
-    // The chain bit stream must be exactly the word count the design's
-    // geometry implies; a shorter or longer vector means a corrupt or
-    // hand-edited file (decode() would mis-slice every field after the
-    // first missing word).
-    std::vector<uint64_t> stateWords = getVec(in);
+    // State section. The chain bit stream must be exactly the word count
+    // the design's geometry implies; a shorter or longer vector means a
+    // corrupt or hand-edited file (decode() would mis-slice every field
+    // after the first missing word).
+    uint64_t stateCount = r.u64();
     uint64_t expectWords = (bits + 63) / 64;
-    if (stateWords.size() != expectWords) {
-        fatal("snapshot stream corrupt: state is %zu words, design needs "
-              "%llu", stateWords.size(), (unsigned long long)expectWords);
+    if (stateCount != expectWords) {
+        return errorf(ErrorCode::Corrupt,
+                      "snapshot stream corrupt: state is %llu words, "
+                      "design needs %llu",
+                      (unsigned long long)stateCount,
+                      (unsigned long long)expectWords);
     }
+    std::vector<uint64_t> stateWords(stateCount);
+    for (uint64_t &x : stateWords)
+        x = r.u64();
+    if (Status st = r.endSection("state"); !st.isOk())
+        return st;
     snap.state = chains.decode(stateWords);
     snap.state.cycle = cycle;
 
-    // Dimension sanity bounds: a corrupted count would otherwise drive a
-    // multi-gigabyte allocation before the stream underruns.
-    constexpr uint64_t kMaxDim = 1ull << 32;
-    uint64_t length = getU64(in);
-    uint64_t numInputs = getU64(in);
-    if (length > kMaxDim || numInputs > kMaxDim)
-        fatal("snapshot stream corrupt: input trace %llu x %llu",
-              (unsigned long long)length, (unsigned long long)numInputs);
+    // Input trace section.
+    uint64_t length = r.u64();
+    uint64_t numInputs = r.u64();
+    if (length > kMaxDim || numInputs > kMaxDim) {
+        return errorf(ErrorCode::Corrupt,
+                      "snapshot stream corrupt: input trace %llu x %llu",
+                      (unsigned long long)length,
+                      (unsigned long long)numInputs);
+    }
     snap.inputTrace.resize(length);
     for (auto &cycleTokens : snap.inputTrace) {
         cycleTokens.resize(numInputs);
         for (uint64_t &t : cycleTokens)
-            t = getU64(in);
+            t = r.u64();
     }
-    uint64_t numOutputs = getU64(in);
-    if (numOutputs > kMaxDim)
-        fatal("snapshot stream corrupt: %llu outputs per cycle",
-              (unsigned long long)numOutputs);
+    if (Status st = r.endSection("input-trace"); !st.isOk())
+        return st;
+
+    // Output trace section.
+    uint64_t numOutputs = r.u64();
+    if (numOutputs > kMaxDim) {
+        return errorf(ErrorCode::Corrupt,
+                      "snapshot stream corrupt: %llu outputs per cycle",
+                      (unsigned long long)numOutputs);
+    }
     snap.outputTrace.resize(length);
     for (auto &cycleTokens : snap.outputTrace) {
         cycleTokens.resize(numOutputs);
         for (uint64_t &t : cycleTokens)
-            t = getU64(in);
+            t = r.u64();
     }
+    if (Status st = r.endSection("output-trace"); !st.isOk())
+        return st;
 
-    uint64_t regions = getU64(in);
-    if (regions > kMaxDim)
-        fatal("snapshot stream corrupt: %llu retime regions",
-              (unsigned long long)regions);
+    // Retiming history section.
+    uint64_t regions = r.u64();
+    if (regions > kMaxDim) {
+        return errorf(ErrorCode::Corrupt,
+                      "snapshot stream corrupt: %llu retime regions",
+                      (unsigned long long)regions);
+    }
     snap.retimeHistory.resize(regions);
     for (auto &region : snap.retimeHistory) {
-        uint64_t depth = getU64(in);
-        uint64_t width = getU64(in);
-        if (depth > kMaxDim || width > kMaxDim)
-            fatal("snapshot stream corrupt: retime history %llu x %llu",
-                  (unsigned long long)depth, (unsigned long long)width);
+        uint64_t depth = r.u64();
+        uint64_t width = r.u64();
+        if (depth > kMaxDim || width > kMaxDim) {
+            return errorf(ErrorCode::Corrupt,
+                          "snapshot stream corrupt: retime history "
+                          "%llu x %llu",
+                          (unsigned long long)depth,
+                          (unsigned long long)width);
+        }
         region.resize(depth);
         for (auto &cycleVals : region) {
             cycleVals.resize(width);
             for (uint64_t &v : cycleVals)
-                v = getU64(in);
+                v = r.u64();
         }
     }
+    if (Status st = r.endSection("retime-history"); !st.isOk())
+        return st;
+
     snap.complete = true;
     return snap;
+}
+
+Status
+writeSnapshotFile(const std::string &path, const ScanChains &chains,
+                  const ReplayableSnapshot &snap)
+{
+    namespace fs = std::filesystem;
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            return errorf(ErrorCode::IoError, "cannot create '%s'",
+                          tmp.c_str());
+        }
+        Status st = writeSnapshot(out, chains, snap);
+        if (!st.isOk()) {
+            out.close();
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            return st;
+        }
+        out.close();
+        if (!out) {
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            return errorf(ErrorCode::IoError,
+                          "closing '%s' failed (disk full?)", tmp.c_str());
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        std::error_code ec2;
+        fs::remove(tmp, ec2);
+        return errorf(ErrorCode::IoError, "renaming '%s' -> '%s': %s",
+                      tmp.c_str(), path.c_str(), ec.message().c_str());
+    }
+    return Status::ok();
+}
+
+Result<ReplayableSnapshot>
+readSnapshotFile(const std::string &path, const ScanChains &chains)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return errorf(ErrorCode::IoError, "cannot open '%s'", path.c_str());
+    Result<ReplayableSnapshot> result = readSnapshot(in, chains);
+    if (!result.isOk()) {
+        return Status(result.status().code(),
+                      path + ": " + result.status().message());
+    }
+    return result;
 }
 
 } // namespace fame

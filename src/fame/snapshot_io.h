@@ -6,31 +6,67 @@
  * to exist as files. The format is versioned and self-describing enough
  * to detect design mismatches at load time (state-bit count, port
  * counts).
+ *
+ * Format version 2 ("STRBSNP2"): the payload is split into five
+ * sections (header, scan-chain state, input trace, output trace, retime
+ * history), each followed by a CRC-32 of its bytes, so any bit flip,
+ * truncation or torn write is detected at the section where it
+ * happened — a corrupted snapshot costs one sample out of n, never a
+ * silently wrong estimate. Version-1 files (no integrity sections) are
+ * rejected with ErrorCode::Unsupported; re-capture them.
+ *
+ * All failures (I/O errors, corruption, geometry mismatches) are
+ * reported as util::Status values, never fatal(): the farm pipeline
+ * quarantines the bad file and keeps going.
  */
 
 #ifndef STROBER_FAME_SNAPSHOT_IO_H
 #define STROBER_FAME_SNAPSHOT_IO_H
 
 #include <iosfwd>
+#include <string>
 
 #include "fame/scan_chain.h"
 #include "fame/token_sim.h"
+#include "util/status.h"
 
 namespace strober {
 namespace fame {
 
-/**
- * Write @p snap to @p out. @p chains supplies the state geometry so the
- * state part is stored as the scan-chain bit stream.
- */
-void writeSnapshot(std::ostream &out, const ScanChains &chains,
-                   const ReplayableSnapshot &snap);
+/** Current snapshot file format version (see the file comment). */
+constexpr uint32_t kSnapshotFormatVersion = 2;
 
 /**
- * Read a snapshot written by writeSnapshot. Calls fatal() on a magic,
- * version or geometry mismatch.
+ * Write @p snap to @p out. @p chains supplies the state geometry so the
+ * state part is stored as the scan-chain bit stream. Fails with
+ * InvalidArgument for an incomplete snapshot and IoError when the
+ * stream goes bad (e.g. disk full).
  */
-ReplayableSnapshot readSnapshot(std::istream &in, const ScanChains &chains);
+util::Status writeSnapshot(std::ostream &out, const ScanChains &chains,
+                           const ReplayableSnapshot &snap);
+
+/**
+ * Read a snapshot written by writeSnapshot. Fails with Corrupt (bad
+ * magic, bad section CRC, truncation, absurd dimensions), Unsupported
+ * (old format version) or GeometryMismatch (captured from a different
+ * design).
+ */
+util::Result<ReplayableSnapshot> readSnapshot(std::istream &in,
+                                              const ScanChains &chains);
+
+/**
+ * Atomically write @p snap to @p path: the bytes go to "<path>.tmp"
+ * first and are renamed over @p path only after a verified flush, so a
+ * killed capture phase never leaves a torn .strb file — the final path
+ * either holds a complete snapshot or does not exist.
+ */
+util::Status writeSnapshotFile(const std::string &path,
+                               const ScanChains &chains,
+                               const ReplayableSnapshot &snap);
+
+/** Open @p path and read one snapshot (IoError when unreadable). */
+util::Result<ReplayableSnapshot> readSnapshotFile(const std::string &path,
+                                                  const ScanChains &chains);
 
 } // namespace fame
 } // namespace strober

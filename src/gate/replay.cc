@@ -8,14 +8,38 @@
 namespace strober {
 namespace gate {
 
-GateReplayResult
+util::Result<GateReplayResult>
 replayOnGate(GateSimulator &gsim, const rtl::Design &target,
              const MatchTable &table, const fame::ReplayableSnapshot &snap,
-             LoaderKind loader)
+             const ReplayOptions &options)
 {
-    if (!snap.complete)
-        fatal("replaying an incomplete snapshot");
+    using util::ErrorCode;
+
+    if (!snap.complete) {
+        return util::errorf(ErrorCode::InvalidArgument,
+                            "replaying an incomplete snapshot");
+    }
     const GateNetlist &nl = gsim.netlist();
+    if (snap.outputTrace.size() != snap.inputTrace.size()) {
+        return util::errorf(ErrorCode::GeometryMismatch,
+                            "snapshot trace has %zu input cycles but %zu "
+                            "output cycles",
+                            snap.inputTrace.size(), snap.outputTrace.size());
+    }
+
+    // Watchdog bookkeeping: every simulator step (and every injected
+    // stall cycle) consumes budget; exceeding it means the replay hung.
+    uint64_t consumed = options.injectedStallCycles;
+    auto overBudget = [&]() {
+        return options.cycleBudget != 0 && consumed > options.cycleBudget;
+    };
+    if (overBudget()) {
+        return util::errorf(ErrorCode::Timeout,
+                            "replay stalled: %llu cycles consumed before "
+                            "any progress (budget %llu)",
+                            (unsigned long long)consumed,
+                            (unsigned long long)options.cycleBudget);
+    }
 
     GateReplayResult result;
     gsim.reset();
@@ -27,8 +51,13 @@ replayOnGate(GateSimulator &gsim, const rtl::Design &target,
     for (const RetimeNetInfo &r : nl.retime())
         maxLat = std::max(maxLat, r.latency);
     if (maxLat > 0) {
-        if (snap.retimeHistory.size() != nl.retime().size())
-            fatal("snapshot retime history does not match the netlist");
+        if (snap.retimeHistory.size() != nl.retime().size()) {
+            return util::errorf(ErrorCode::GeometryMismatch,
+                                "snapshot carries %zu retime histories, "
+                                "netlist has %zu regions",
+                                snap.retimeHistory.size(),
+                                nl.retime().size());
+        }
         for (unsigned t = 0; t < maxLat; ++t) {
             for (size_t ri = 0; ri < nl.retime().size(); ++ri) {
                 const RetimeNetInfo &region = nl.retime()[ri];
@@ -44,29 +73,66 @@ replayOnGate(GateSimulator &gsim, const rtl::Design &target,
                 if (history.empty())
                     continue;
                 const std::vector<uint64_t> &values = history[idx];
+                if (values.size() != region.inputNets.size()) {
+                    return util::errorf(
+                        ErrorCode::GeometryMismatch,
+                        "retime region %zu history row has %zu values, "
+                        "region has %zu inputs",
+                        ri, values.size(), region.inputNets.size());
+                }
                 for (size_t in = 0; in < region.inputNets.size(); ++in) {
                     const std::vector<NetId> &nets = region.inputNets[in];
-                    uint64_t v = values.at(in);
+                    uint64_t v = values[in];
                     for (size_t b = 0; b < nets.size(); ++b)
                         gsim.forceNet(nets[b], bit(v, b));
                 }
             }
             gsim.step();
+            ++consumed;
+            if (overBudget()) {
+                return util::errorf(
+                    ErrorCode::Timeout,
+                    "replay exceeded its cycle budget during retiming "
+                    "warm-up (%llu consumed, budget %llu)",
+                    (unsigned long long)consumed,
+                    (unsigned long long)options.cycleBudget);
+            }
         }
         gsim.releaseForces();
     }
 
     // --- State loading ----------------------------------------------------
-    result.load = loadState(gsim, target, table, snap.state, loader);
+    util::Result<LoadReport> load =
+        loadState(gsim, target, table, snap.state, options.loader);
+    if (!load.isOk()) {
+        const util::Status &st = load.status();
+        return util::Status(st.code() == ErrorCode::GeometryMismatch
+                                ? ErrorCode::GeometryMismatch
+                                : ErrorCode::LoadFailure,
+                            "state load failed: " + st.message());
+    }
+    result.load = *load;
 
     // --- Drive the I/O trace and verify outputs --------------------------
     gsim.clearActivity();
     for (size_t t = 0; t < snap.inputTrace.size(); ++t) {
         const auto &inputs = snap.inputTrace[t];
+        if (inputs.size() != nl.inputs().size()) {
+            return util::errorf(ErrorCode::GeometryMismatch,
+                                "snapshot trace has %zu inputs, netlist "
+                                "has %zu",
+                                inputs.size(), nl.inputs().size());
+        }
         for (size_t i = 0; i < inputs.size(); ++i)
             gsim.pokePort(i, inputs[i]);
 
         const auto &expected = snap.outputTrace[t];
+        if (expected.size() != nl.outputs().size()) {
+            return util::errorf(ErrorCode::GeometryMismatch,
+                                "snapshot trace has %zu outputs, netlist "
+                                "has %zu",
+                                expected.size(), nl.outputs().size());
+        }
         for (size_t o = 0; o < nl.outputs().size(); ++o) {
             uint64_t got = gsim.peekPort(o);
             if (got != expected[o]) {
@@ -82,6 +148,15 @@ replayOnGate(GateSimulator &gsim, const rtl::Design &target,
         }
         gsim.step();
         ++result.cyclesReplayed;
+        ++consumed;
+        if (overBudget()) {
+            return util::errorf(ErrorCode::Timeout,
+                                "replay exceeded its cycle budget after "
+                                "%llu of %zu trace cycles (budget %llu)",
+                                (unsigned long long)result.cyclesReplayed,
+                                snap.inputTrace.size(),
+                                (unsigned long long)options.cycleBudget);
+        }
     }
 
     result.activity.netToggles = gsim.toggleCounts();

@@ -5,6 +5,11 @@
  * load the RTL state through the matching table, drive the recorded
  * input tokens for L cycles while verifying every output token, and
  * collect the switching activity the power analysis consumes.
+ *
+ * Replay failures (geometry mismatches, load failures, watchdog
+ * timeouts) are returned as util::Status values so a farm can
+ * quarantine the one bad snapshot and keep going; output divergence is
+ * reported as data in GateReplayResult and classified by the caller.
  */
 
 #ifndef STROBER_GATE_REPLAY_H
@@ -18,6 +23,7 @@
 #include "gate/gate_sim.h"
 #include "gate/matching.h"
 #include "gate/state_loader.h"
+#include "util/status.h"
 
 namespace strober {
 namespace gate {
@@ -42,15 +48,45 @@ struct GateReplayResult
     bool ok() const { return outputMismatches == 0; }
 };
 
+/** Knobs for one replay attempt. */
+struct ReplayOptions
+{
+    LoaderKind loader = LoaderKind::FastVpi;
+    /**
+     * Watchdog: total simulator steps (retiming warm-up + trace cycles
+     * + injected stalls) this replay may consume before it is declared
+     * hung and fails with ErrorCode::Timeout. 0 disables the watchdog.
+     */
+    uint64_t cycleBudget = 0;
+    /**
+     * Fault injection: phantom cycles a hung gate-level simulator burns
+     * before making progress. Counted against the watchdog budget;
+     * tests use this to prove the timeout path quarantines cleanly.
+     */
+    uint64_t injectedStallCycles = 0;
+};
+
 /**
  * Replay @p snap on @p gsim. The simulator is reset first; snapshots are
  * independent, so callers may reuse one simulator across replays (or use
- * several in parallel processes, as the paper does).
+ * several in parallel processes, as the paper does). On error the
+ * simulator's state is unspecified, but the next replay's reset()
+ * re-establishes a clean slate.
  */
-GateReplayResult replayOnGate(GateSimulator &gsim, const rtl::Design &target,
-                              const MatchTable &table,
-                              const fame::ReplayableSnapshot &snap,
-                              LoaderKind loader = LoaderKind::FastVpi);
+util::Result<GateReplayResult> replayOnGate(
+    GateSimulator &gsim, const rtl::Design &target, const MatchTable &table,
+    const fame::ReplayableSnapshot &snap, const ReplayOptions &options = {});
+
+/** Convenience overload keeping the historical loader-only signature. */
+inline util::Result<GateReplayResult>
+replayOnGate(GateSimulator &gsim, const rtl::Design &target,
+             const MatchTable &table, const fame::ReplayableSnapshot &snap,
+             LoaderKind loader)
+{
+    ReplayOptions options;
+    options.loader = loader;
+    return replayOnGate(gsim, target, table, snap, options);
+}
 
 } // namespace gate
 } // namespace strober

@@ -6,6 +6,13 @@
 namespace strober {
 namespace gate {
 
+LoaderKind
+alternateLoader(LoaderKind kind)
+{
+    return kind == LoaderKind::FastVpi ? LoaderKind::SlowScript
+                                       : LoaderKind::FastVpi;
+}
+
 double
 loaderCommandRate(LoaderKind kind)
 {
@@ -18,11 +25,45 @@ loaderCommandRate(LoaderKind kind)
     return 0.0;
 }
 
-LoadReport
+util::Result<LoadReport>
 loadState(GateSimulator &gsim, const rtl::Design &target,
           const MatchTable &table, const fame::StateSnapshot &state,
           LoaderKind kind)
 {
+    using util::ErrorCode;
+
+    // Validate the snapshot state's shape against the design before
+    // touching the simulator: a mismatched snapshot must not half-load.
+    if (state.regValues.size() != target.regs().size()) {
+        return util::errorf(ErrorCode::GeometryMismatch,
+                            "snapshot has %zu register values, design "
+                            "has %zu",
+                            state.regValues.size(), target.regs().size());
+    }
+    if (state.memContents.size() != target.mems().size()) {
+        return util::errorf(ErrorCode::GeometryMismatch,
+                            "snapshot has %zu memories, design has %zu",
+                            state.memContents.size(), target.mems().size());
+    }
+    for (size_t mi = 0; mi < target.mems().size(); ++mi) {
+        const rtl::MemInfo &m = target.mems()[mi];
+        if (state.memContents[mi].size() != m.depth) {
+            return util::errorf(ErrorCode::GeometryMismatch,
+                                "snapshot memory %zu holds %zu words, "
+                                "design needs %llu",
+                                mi, state.memContents[mi].size(),
+                                (unsigned long long)m.depth);
+        }
+        if (m.syncRead &&
+            (mi >= state.syncReadData.size() ||
+             state.syncReadData[mi].size() != m.reads.size())) {
+            return util::errorf(ErrorCode::GeometryMismatch,
+                                "snapshot memory %zu sync-read data does "
+                                "not cover %zu read ports",
+                                mi, m.reads.size());
+        }
+    }
+
     LoadReport report;
 
     for (size_t i = 0; i < target.regs().size(); ++i) {
@@ -31,7 +72,7 @@ loadState(GateSimulator &gsim, const rtl::Design &target,
             report.skippedRetimed += width;
             continue;
         }
-        uint64_t value = state.regValues.at(i);
+        uint64_t value = state.regValues[i];
         const auto &nets = table.regToDff[i];
         for (unsigned b = 0; b < width; ++b) {
             gsim.setDff(nets[b], bit(value, b));
@@ -43,13 +84,12 @@ loadState(GateSimulator &gsim, const rtl::Design &target,
         const rtl::MemInfo &m = target.mems()[mi];
         size_t macro = static_cast<size_t>(table.memToMacro[mi]);
         for (uint64_t a = 0; a < m.depth; ++a) {
-            gsim.setMacroWord(macro, a, state.memContents.at(mi).at(a));
+            gsim.setMacroWord(macro, a, state.memContents[mi][a]);
             ++report.commands; // one word per command
         }
         if (m.syncRead) {
             for (size_t p = 0; p < m.reads.size(); ++p) {
-                gsim.setMacroReadData(macro, p,
-                                      state.syncReadData.at(mi).at(p));
+                gsim.setMacroReadData(macro, p, state.syncReadData[mi][p]);
                 ++report.commands;
             }
         }

@@ -18,6 +18,7 @@
 #include "fame/scan_chain.h"
 #include "gate/gate_sim.h"
 #include "gate/matching.h"
+#include "util/status.h"
 
 namespace strober {
 namespace gate {
@@ -36,17 +37,26 @@ enum class LoaderKind
     FastVpi,    //!< compiled VPI loader: ~20000 cmds/s
 };
 
+/** @return the other loader (bounded-retry fallback in the estimator). */
+LoaderKind alternateLoader(LoaderKind kind);
+
 /** @return the modeled command rate for @p kind (commands per second). */
 double loaderCommandRate(LoaderKind kind);
 
 /**
  * Load @p state into @p gsim using the match table. Registers dissolved
  * by retiming are skipped (replay warm-up recovers them). Commands are
- * one per flip-flop bit plus one per memory word.
+ * one per flip-flop bit plus one per memory word. Fails with
+ * GeometryMismatch when the snapshot state's shape (register count,
+ * memory depths, sync-read ports) does not match the target design —
+ * the simulator may be partially written at that point, so the caller
+ * must treat the attempt as failed and not replay.
  */
-LoadReport loadState(GateSimulator &gsim, const rtl::Design &target,
-                     const MatchTable &table,
-                     const fame::StateSnapshot &state, LoaderKind kind);
+util::Result<LoadReport> loadState(GateSimulator &gsim,
+                                   const rtl::Design &target,
+                                   const MatchTable &table,
+                                   const fame::StateSnapshot &state,
+                                   LoaderKind kind);
 
 } // namespace gate
 } // namespace strober

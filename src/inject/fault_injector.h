@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Deterministic fault injection for the replay pipeline.
+ *
+ * A sample-based estimate is only trustworthy if every fault class the
+ * pipeline can hit — corrupted scan-chain readouts, torn or bit-rotted
+ * snapshot files, diverging replays, hung gate-level simulator
+ * processes — is either detected-and-quarantined or cleanly degraded,
+ * never a crash and never a silently wrong number. These injectors
+ * manufacture each fault class on demand, seeded so every failure a
+ * test provokes is reproducible bit-for-bit from its seed.
+ *
+ * Injection points:
+ *  - scan-chain bitstream / decoded snapshot state (models a corrupted
+ *    capture): flipBitstreamBit, flipSnapshotStateBit
+ *  - replay I/O trace (models recording faults / divergence):
+ *    perturbInputToken, perturbOutputToken
+ *  - serialized snapshot bytes or files (models storage/transport
+ *    faults): corruptBytes, corruptFile
+ *  - replay scheduling (models a hung simulator): StallPlan, consumed
+ *    by EnergySimulator::estimate()'s per-snapshot watchdog
+ */
+
+#ifndef STROBER_INJECT_FAULT_INJECTOR_H
+#define STROBER_INJECT_FAULT_INJECTOR_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fame/scan_chain.h"
+#include "fame/token_sim.h"
+#include "util/status.h"
+
+namespace strober {
+namespace inject {
+
+/** splitmix64: tiny, well-mixed, and fully determined by its seed. */
+class FaultRng
+{
+  public:
+    explicit FaultRng(uint64_t seed) : state(seed) {}
+
+    uint64_t
+    next()
+    {
+        uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound); bound must be positive. */
+    uint64_t below(uint64_t bound);
+
+  private:
+    uint64_t state;
+};
+
+/**
+ * Flip one seed-chosen bit of a scan-chain bitstream of @p totalBits
+ * valid bits. @return the flipped bit index.
+ */
+uint64_t flipBitstreamBit(std::vector<uint64_t> &words, uint64_t totalBits,
+                          uint64_t seed);
+
+/**
+ * Flip one seed-chosen state bit of @p snap in place, by round-tripping
+ * the state through the scan-chain encoding (exactly the path a readout
+ * glitch would corrupt). @return the flipped chain bit index.
+ */
+uint64_t flipSnapshotStateBit(fame::ReplayableSnapshot &snap,
+                              const fame::ScanChains &chains, uint64_t seed);
+
+/**
+ * XOR the low bit of one seed-chosen input token of the replay trace
+ * (a recording fault on the input side; the replay usually — but not
+ * necessarily — diverges). @return the perturbed trace cycle.
+ */
+size_t perturbInputToken(fame::ReplayableSnapshot &snap, uint64_t seed);
+
+/**
+ * XOR the low bit of one seed-chosen *expected output* token (a
+ * recording fault on the verification side; the replay is guaranteed
+ * to report at least one output mismatch). @return the perturbed cycle.
+ */
+size_t perturbOutputToken(fame::ReplayableSnapshot &snap, uint64_t seed);
+
+/** Storage/transport fault classes for serialized snapshots. */
+enum class FileFault
+{
+    BitFlip,       //!< one random bit of the payload flipped
+    Truncate,      //!< file cut to a random proper prefix (torn write)
+    HeaderGarbage, //!< leading 16 bytes overwritten with noise
+};
+
+const char *fileFaultName(FileFault kind);
+
+/** Apply @p kind to a serialized snapshot image. */
+std::string corruptBytes(std::string bytes, FileFault kind, uint64_t seed);
+
+/** Apply @p kind to the file at @p path in place. */
+util::Status corruptFile(const std::string &path, FileFault kind,
+                         uint64_t seed);
+
+/**
+ * Hung-simulator injection plan for EnergySimulator::estimate(): maps a
+ * snapshot index to phantom stall cycles its gate-level replay burns
+ * before making progress. A stall larger than the watchdog budget makes
+ * every replay attempt of that snapshot time out.
+ */
+class StallPlan
+{
+  public:
+    void
+    stallSnapshot(size_t index, uint64_t cycles)
+    {
+        stalls[index] = cycles;
+    }
+
+    uint64_t
+    stallFor(size_t index) const
+    {
+        auto it = stalls.find(index);
+        return it == stalls.end() ? 0 : it->second;
+    }
+
+    bool empty() const { return stalls.empty(); }
+
+  private:
+    std::unordered_map<size_t, uint64_t> stalls;
+};
+
+} // namespace inject
+} // namespace strober
+
+#endif // STROBER_INJECT_FAULT_INJECTOR_H

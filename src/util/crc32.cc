@@ -1,0 +1,37 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace strober {
+namespace util {
+
+namespace {
+
+std::array<uint32_t, 256>
+makeTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c >> 1) ^ ((c & 1) ? 0xEDB88320u : 0u);
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+uint32_t
+crc32Update(uint32_t crc, const void *data, size_t len)
+{
+    static const std::array<uint32_t, 256> table = makeTable();
+    const auto *bytes = static_cast<const uint8_t *>(data);
+    crc = ~crc;
+    for (size_t i = 0; i < len; ++i)
+        crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xff];
+    return ~crc;
+}
+
+} // namespace util
+} // namespace strober

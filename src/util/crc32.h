@@ -1,0 +1,35 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), used as the
+ * per-section integrity check of the snapshot file format. Supports
+ * incremental computation so serializers can fold bytes in as they
+ * stream them.
+ */
+
+#ifndef STROBER_UTIL_CRC32_H
+#define STROBER_UTIL_CRC32_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace strober {
+namespace util {
+
+/**
+ * Fold @p len bytes at @p data into a running CRC. Start (and finish)
+ * with @p crc = 0; chaining calls with the previous return value
+ * computes the CRC of the concatenation.
+ */
+uint32_t crc32Update(uint32_t crc, const void *data, size_t len);
+
+/** One-shot CRC-32 of a buffer. */
+inline uint32_t
+crc32(const void *data, size_t len)
+{
+    return crc32Update(0, data, len);
+}
+
+} // namespace util
+} // namespace strober
+
+#endif // STROBER_UTIL_CRC32_H

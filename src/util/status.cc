@@ -1,0 +1,71 @@
+#include "util/status.h"
+
+#include <cstdarg>
+
+#include "util/logging.h"
+
+namespace strober {
+namespace util {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok:
+        return "ok";
+      case ErrorCode::IoError:
+        return "io-error";
+      case ErrorCode::Corrupt:
+        return "corrupt";
+      case ErrorCode::Unsupported:
+        return "unsupported";
+      case ErrorCode::GeometryMismatch:
+        return "geometry-mismatch";
+      case ErrorCode::LoadFailure:
+        return "load-failure";
+      case ErrorCode::Divergence:
+        return "divergence";
+      case ErrorCode::Timeout:
+        return "timeout";
+      case ErrorCode::InvalidArgument:
+        return "invalid-argument";
+    }
+    return "unknown";
+}
+
+std::string
+Status::toString() const
+{
+    if (isOk())
+        return "ok";
+    return std::string(errorCodeName(errCode)) + ": " + msg;
+}
+
+Status
+errorf(ErrorCode code, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrfmt(fmt, ap);
+    va_end(ap);
+    return Status(code, std::move(msg));
+}
+
+namespace detail {
+
+void
+resultValueOnError(const Status &st)
+{
+    panic("Result::value() on an error result (%s)", st.toString().c_str());
+}
+
+void
+resultConstructedOk()
+{
+    panic("Result<T> constructed from an ok Status without a value");
+}
+
+} // namespace detail
+
+} // namespace util
+} // namespace strober

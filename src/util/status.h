@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Structured, propagated error handling for the replay pipeline.
+ *
+ * The capture → serialize → replay → aggregate pipeline used to report
+ * every failure through fatal(), which kills the whole process — one
+ * corrupt snapshot aborts a multi-hour farm run. The paper's sampling
+ * statistics (Section III-A) support a much better policy: drop the bad
+ * sample, recompute the estimate over the survivors, and report the
+ * widened bound. That requires failures to be *values* that flow up to
+ * the estimator instead of process exits, which is what Status and
+ * Result<T> provide.
+ *
+ * Conventions:
+ *  - Functions that can fail for data-dependent reasons (corrupt file,
+ *    mismatched geometry, diverging replay, watchdog timeout) return
+ *    Status or Result<T>.
+ *  - fatal() remains for genuine caller bugs (API misuse) and
+ *    unrecoverable configuration errors; panic() for internal invariant
+ *    violations. See util/logging.h.
+ */
+
+#ifndef STROBER_UTIL_STATUS_H
+#define STROBER_UTIL_STATUS_H
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace strober {
+namespace util {
+
+/** Failure classes of the snapshot/replay pipeline. */
+enum class ErrorCode
+{
+    Ok = 0,
+    IoError,          //!< stream/file write or read failed (disk full, ...)
+    Corrupt,          //!< integrity violation: bad CRC, truncation, bounds
+    Unsupported,      //!< recognized but unsupported (format version)
+    GeometryMismatch, //!< snapshot shape does not match the design
+    LoadFailure,      //!< state transfer into the simulator failed
+    Divergence,       //!< replay outputs disagree with the recorded trace
+    Timeout,          //!< replay exceeded its cycle budget (watchdog)
+    InvalidArgument,  //!< malformed request (e.g. incomplete snapshot)
+};
+
+/** Stable lowercase name for an ErrorCode ("corrupt", "timeout", ...). */
+const char *errorCodeName(ErrorCode code);
+
+/** An error code plus a human-readable message. Cheap to copy when ok. */
+class Status
+{
+  public:
+    Status() = default;
+    Status(ErrorCode code, std::string message)
+        : errCode(code), msg(std::move(message))
+    {
+    }
+
+    static Status ok() { return Status(); }
+
+    bool isOk() const { return errCode == ErrorCode::Ok; }
+    ErrorCode code() const { return errCode; }
+    const std::string &message() const { return msg; }
+
+    /** "corrupt: snapshot stream truncated" (or "ok"). */
+    std::string toString() const;
+
+  private:
+    ErrorCode errCode = ErrorCode::Ok;
+    std::string msg;
+};
+
+/** printf-style Status construction. */
+Status errorf(ErrorCode code, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/**
+ * Either a value or a non-ok Status. value() on an error is a caller
+ * bug and panics; check isOk() (or status()) first.
+ */
+template <typename T>
+class Result
+{
+  public:
+    Result(T value) : val(std::move(value)) {}
+    Result(Status status) : st(std::move(status)) { assertNotOk(); }
+
+    bool isOk() const { return st.isOk(); }
+    const Status &status() const { return st; }
+
+    T &value()
+    {
+        assertHasValue();
+        return *val;
+    }
+    const T &value() const
+    {
+        assertHasValue();
+        return *val;
+    }
+
+    T &operator*() { return value(); }
+    const T &operator*() const { return value(); }
+    T *operator->() { return &value(); }
+    const T *operator->() const { return &value(); }
+
+  private:
+    Status st;
+    std::optional<T> val;
+
+    void assertNotOk() const;
+    void assertHasValue() const;
+};
+
+namespace detail {
+[[noreturn]] void resultValueOnError(const Status &st);
+[[noreturn]] void resultConstructedOk();
+} // namespace detail
+
+template <typename T>
+void
+Result<T>::assertNotOk() const
+{
+    if (st.isOk())
+        detail::resultConstructedOk();
+}
+
+template <typename T>
+void
+Result<T>::assertHasValue() const
+{
+    if (!val)
+        detail::resultValueOnError(st);
+}
+
+} // namespace util
+} // namespace strober
+
+#endif // STROBER_UTIL_STATUS_H

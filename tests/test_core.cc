@@ -194,13 +194,20 @@ TEST(EnergySimulator, ResetSamplingAllowsSecondWorkload)
     (void)r1;
 }
 
-TEST(EnergySimulatorDeath, EstimateWithoutRunRejected)
+TEST(EnergySimulator, EstimateWithoutRunReportsInvalid)
 {
+    // Calling estimate() before any run used to abort the process; a
+    // farm frontend aggregating many runs must instead get a report it
+    // can inspect and skip.
     Design d = makeDut();
     EnergySimulator::Config cfg;
     EnergySimulator es(d, cfg);
-    EXPECT_EXIT(es.estimate(), ::testing::ExitedWithCode(1),
-                "no complete snapshots");
+    EnergyReport report = es.estimate();
+    EXPECT_FALSE(report.valid);
+    EXPECT_TRUE(report.degraded);
+    EXPECT_NE(report.statusMessage.find("zero complete intervals"),
+              std::string::npos);
+    EXPECT_EQ(report.snapshots, 0u);
 }
 
 TEST(PerfModel, ReproducesPaperWorkedExample)

@@ -17,6 +17,7 @@
 #include "gate/verilog.h"
 #include "rtl/builder.h"
 #include "stats/rng.h"
+#include "util/status.h"
 
 namespace strober {
 namespace {
@@ -76,9 +77,11 @@ TEST(SnapshotIo, RoundTripReplaysIdentically)
     fame::ReplayableSnapshot snap = captureOne(d, fd, chains);
 
     std::stringstream buffer;
-    fame::writeSnapshot(buffer, chains, snap);
-    fame::ReplayableSnapshot loaded =
+    ASSERT_TRUE(fame::writeSnapshot(buffer, chains, snap).isOk());
+    util::Result<fame::ReplayableSnapshot> read =
         fame::readSnapshot(buffer, chains);
+    ASSERT_TRUE(read.isOk()) << read.status().toString();
+    fame::ReplayableSnapshot loaded = *read;
 
     EXPECT_EQ(loaded.cycle(), snap.cycle());
     EXPECT_EQ(loaded.state.regValues, snap.state.regValues);
@@ -87,11 +90,12 @@ TEST(SnapshotIo, RoundTripReplaysIdentically)
     EXPECT_EQ(loaded.outputTrace, snap.outputTrace);
     EXPECT_EQ(loaded.retimeHistory, snap.retimeHistory);
 
-    fame::ReplayResult r = fame::replayOnRtl(d, chains, loaded);
-    EXPECT_TRUE(r.ok()) << r.firstMismatch;
+    util::Result<fame::ReplayResult> r = fame::replayOnRtl(d, chains, loaded);
+    ASSERT_TRUE(r.isOk()) << r.status().toString();
+    EXPECT_TRUE(r->ok()) << r->firstMismatch;
 }
 
-TEST(SnapshotIoDeath, DetectsCorruption)
+TEST(SnapshotIo, DetectsCorruption)
 {
     Design d = makeDut();
     fame::Fame1Design fd = fame::fame1Transform(d);
@@ -99,20 +103,47 @@ TEST(SnapshotIoDeath, DetectsCorruption)
     fame::ReplayableSnapshot snap = captureOne(d, fd, chains);
 
     std::stringstream buffer;
-    fame::writeSnapshot(buffer, chains, snap);
+    ASSERT_TRUE(fame::writeSnapshot(buffer, chains, snap).isOk());
     std::string bytes = buffer.str();
 
     // Bad magic.
     std::string badMagic = bytes;
     badMagic[0] ^= 0xff;
     std::istringstream in1(badMagic);
-    EXPECT_EXIT(fame::readSnapshot(in1, chains),
-                ::testing::ExitedWithCode(1), "bad magic");
+    util::Result<fame::ReplayableSnapshot> r1 =
+        fame::readSnapshot(in1, chains);
+    ASSERT_FALSE(r1.isOk());
+    EXPECT_EQ(r1.status().code(), util::ErrorCode::Corrupt);
+    EXPECT_NE(r1.status().message().find("bad magic"), std::string::npos);
+
+    // Version-1 files predate the CRC sections and must be refused, not
+    // guessed at.
+    std::string v1 = bytes;
+    v1[0] = '1'; // "STRBSNP2" -> "STRBSNP1" ('2' is the magic's low byte)
+    std::istringstream in1b(v1);
+    util::Result<fame::ReplayableSnapshot> r1b =
+        fame::readSnapshot(in1b, chains);
+    ASSERT_FALSE(r1b.isOk());
+    EXPECT_EQ(r1b.status().code(), util::ErrorCode::Unsupported);
 
     // Truncated stream.
     std::istringstream in2(bytes.substr(0, bytes.size() / 2));
-    EXPECT_EXIT(fame::readSnapshot(in2, chains),
-                ::testing::ExitedWithCode(1), "truncated");
+    util::Result<fame::ReplayableSnapshot> r2r =
+        fame::readSnapshot(in2, chains);
+    ASSERT_FALSE(r2r.isOk());
+    EXPECT_EQ(r2r.status().code(), util::ErrorCode::Corrupt);
+    EXPECT_NE(r2r.status().message().find("truncated"), std::string::npos);
+
+    // A single flipped payload bit (deep in a trace section, where no
+    // structural check would notice) must trip that section's CRC.
+    std::string flipped = bytes;
+    flipped[bytes.size() - 16] ^= 0x10;
+    std::istringstream in2b(flipped);
+    util::Result<fame::ReplayableSnapshot> r2b =
+        fame::readSnapshot(in2b, chains);
+    ASSERT_FALSE(r2b.isOk());
+    EXPECT_EQ(r2b.status().code(), util::ErrorCode::Corrupt);
+    EXPECT_NE(r2b.status().message().find("CRC"), std::string::npos);
 
     // Wrong design: different cache geometry.
     Builder b2("other");
@@ -123,8 +154,12 @@ TEST(SnapshotIoDeath, DetectsCorruption)
     Design other = b2.finish();
     fame::ScanChains otherChains(other);
     std::istringstream in3(bytes);
-    EXPECT_EXIT(fame::readSnapshot(in3, otherChains),
-                ::testing::ExitedWithCode(1), "different design");
+    util::Result<fame::ReplayableSnapshot> r3 =
+        fame::readSnapshot(in3, otherChains);
+    ASSERT_FALSE(r3.isOk());
+    EXPECT_EQ(r3.status().code(), util::ErrorCode::GeometryMismatch);
+    EXPECT_NE(r3.status().message().find("different design"),
+              std::string::npos);
 }
 
 TEST(ScanChainDeath, RejectsWrongLengthBitstream)
@@ -141,7 +176,7 @@ TEST(ScanChainDeath, RejectsWrongLengthBitstream)
                 "truncated capture or wrong design");
 }
 
-TEST(SnapshotIoDeath, DetectsWrongStateWordCount)
+TEST(SnapshotIo, DetectsWrongStateWordCount)
 {
     Design d = makeDut();
     fame::Fame1Design fd = fame::fame1Transform(d);
@@ -149,21 +184,26 @@ TEST(SnapshotIoDeath, DetectsWrongStateWordCount)
     fame::ReplayableSnapshot snap = captureOne(d, fd, chains);
 
     std::stringstream buffer;
-    fame::writeSnapshot(buffer, chains, snap);
+    ASSERT_TRUE(fame::writeSnapshot(buffer, chains, snap).isOk());
     std::string bytes = buffer.str();
 
-    // The state vector's word count is the little-endian u64 at offset 32
-    // (after magic, version, totalBits and cycle). Shrinking it by one
-    // must be caught before the trailing words are misparsed as traces.
-    ASSERT_GT(static_cast<unsigned char>(bytes[32]), 0);
+    // The state vector's word count is the little-endian u64 at offset 36
+    // (after the 32-byte header payload and its 4-byte CRC). Shrinking it
+    // by one must be caught before the trailing words are misparsed as
+    // traces.
+    ASSERT_GT(static_cast<unsigned char>(bytes[36]), 0);
     std::string shrunk = bytes;
-    shrunk[32] = static_cast<char>(shrunk[32] - 1);
+    shrunk[36] = static_cast<char>(shrunk[36] - 1);
     std::istringstream in(shrunk);
-    EXPECT_EXIT(fame::readSnapshot(in, chains),
-                ::testing::ExitedWithCode(1), "words, design needs");
+    util::Result<fame::ReplayableSnapshot> r =
+        fame::readSnapshot(in, chains);
+    ASSERT_FALSE(r.isOk());
+    EXPECT_EQ(r.status().code(), util::ErrorCode::Corrupt);
+    EXPECT_NE(r.status().message().find("words, design needs"),
+              std::string::npos);
 }
 
-TEST(SnapshotIoDeath, DetectsAbsurdTraceDimensions)
+TEST(SnapshotIo, DetectsAbsurdTraceDimensions)
 {
     Design d = makeDut();
     fame::Fame1Design fd = fame::fame1Transform(d);
@@ -171,31 +211,37 @@ TEST(SnapshotIoDeath, DetectsAbsurdTraceDimensions)
     fame::ReplayableSnapshot snap = captureOne(d, fd, chains);
 
     std::stringstream buffer;
-    fame::writeSnapshot(buffer, chains, snap);
+    ASSERT_TRUE(fame::writeSnapshot(buffer, chains, snap).isOk());
     std::string bytes = buffer.str();
 
-    // The input-trace length follows the state vector. Corrupt its high
-    // bytes so it decodes to an absurd count; the reader must refuse
-    // rather than attempt a huge allocation and then underrun.
+    // The input-trace length follows the state section (count word,
+    // state words, section CRC). Corrupt its high bytes so it decodes to
+    // an absurd count; the reader must refuse rather than attempt a huge
+    // allocation and then underrun.
     size_t stateWords = (chains.totalBits() + 63) / 64;
-    size_t lengthOff = 32 + 8 + stateWords * 8;
+    size_t lengthOff = 36 + 8 + stateWords * 8 + 4;
     ASSERT_LT(lengthOff + 8, bytes.size());
     std::string corrupt = bytes;
     corrupt[lengthOff + 6] = static_cast<char>(0xff);
     std::istringstream in(corrupt);
-    EXPECT_EXIT(fame::readSnapshot(in, chains),
-                ::testing::ExitedWithCode(1), "corrupt");
+    util::Result<fame::ReplayableSnapshot> r =
+        fame::readSnapshot(in, chains);
+    ASSERT_FALSE(r.isOk());
+    EXPECT_EQ(r.status().code(), util::ErrorCode::Corrupt);
+    EXPECT_NE(r.status().message().find("corrupt"), std::string::npos);
 }
 
-TEST(SnapshotIoDeath, RefusesIncompleteSnapshot)
+TEST(SnapshotIo, RefusesIncompleteSnapshot)
 {
     Design d = makeDut();
     fame::Fame1Design fd = fame::fame1Transform(d);
     fame::ScanChains chains(fd.design);
     fame::ReplayableSnapshot snap; // incomplete
     std::stringstream buffer;
-    EXPECT_EXIT(fame::writeSnapshot(buffer, chains, snap),
-                ::testing::ExitedWithCode(1), "incomplete");
+    util::Status st = fame::writeSnapshot(buffer, chains, snap);
+    ASSERT_FALSE(st.isOk());
+    EXPECT_EQ(st.code(), util::ErrorCode::InvalidArgument);
+    EXPECT_NE(st.message().find("incomplete"), std::string::npos);
 }
 
 TEST(Verilog, WellFormedStructuralOutput)

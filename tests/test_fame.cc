@@ -253,9 +253,10 @@ TEST(Snapshot, CaptureAndReplayMatches)
     EXPECT_EQ(snap.cycle(), 500u);
     EXPECT_EQ(snap.replayLength(), 64u);
 
-    ReplayResult r = replayOnRtl(d, chains, snap);
-    EXPECT_TRUE(r.ok()) << r.firstMismatch;
-    EXPECT_EQ(r.cyclesReplayed, 64u);
+    util::Result<ReplayResult> r = replayOnRtl(d, chains, snap);
+    ASSERT_TRUE(r.isOk()) << r.status().toString();
+    EXPECT_TRUE(r->ok()) << r->firstMismatch;
+    EXPECT_EQ(r->cyclesReplayed, 64u);
 }
 
 /**
@@ -289,8 +290,10 @@ expectSerializedSnapshotReplays(const Design &d, uint64_t seed)
     ASSERT_TRUE(snap.complete);
 
     std::stringstream buf;
-    writeSnapshot(buf, chains, snap);
-    ReplayableSnapshot loaded = readSnapshot(buf, chains);
+    ASSERT_TRUE(writeSnapshot(buf, chains, snap).isOk());
+    util::Result<ReplayableSnapshot> read = readSnapshot(buf, chains);
+    ASSERT_TRUE(read.isOk()) << read.status().toString();
+    ReplayableSnapshot loaded = *read;
 
     // The deserialized snapshot is the one that was written...
     ASSERT_TRUE(loaded.complete);
@@ -361,9 +364,10 @@ TEST(Snapshot, CorruptedStateIsDetectedByReplay)
             ts.dequeueOutput(o);
     }
     snap.state.regValues[0] ^= 0x3; // corrupt the accumulator
-    ReplayResult r = replayOnRtl(d, chains, snap);
-    EXPECT_FALSE(r.ok());
-    EXPECT_FALSE(r.firstMismatch.empty());
+    util::Result<ReplayResult> r = replayOnRtl(d, chains, snap);
+    ASSERT_TRUE(r.isOk()) << r.status().toString();
+    EXPECT_FALSE(r->ok());
+    EXPECT_FALSE(r->firstMismatch.empty());
 }
 
 TEST(Snapshot, CaptureCostsHostCycles)
@@ -437,9 +441,11 @@ TEST(Sampler, CollectsExpectedSnapshots)
         EXPECT_TRUE(s->complete);
         EXPECT_EQ(s->cycle() % 16, 0u);
         // Every snapshot must replay cleanly at the RTL level.
-        ReplayResult r = replayOnRtl(d, sampler.chains(), *s);
-        EXPECT_TRUE(r.ok()) << "cycle " << s->cycle() << ": "
-                            << r.firstMismatch;
+        util::Result<ReplayResult> r =
+            replayOnRtl(d, sampler.chains(), *s);
+        ASSERT_TRUE(r.isOk()) << r.status().toString();
+        EXPECT_TRUE(r->ok()) << "cycle " << s->cycle() << ": "
+                             << r->firstMismatch;
     }
 }
 

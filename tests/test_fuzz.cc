@@ -150,9 +150,12 @@ TEST_P(Fuzz, EndToEndGateReplay)
     gate::MatchTable table =
         gate::matchDesigns(d, synth.netlist, synth.guide);
     gate::GateSimulator gsim(synth.netlist);
-    gate::GateReplayResult r = gate::replayOnGate(gsim, d, table, snap);
-    EXPECT_TRUE(r.ok()) << "seed " << GetParam() << ": "
-                        << r.firstMismatch;
+    util::Result<gate::GateReplayResult> r =
+        gate::replayOnGate(gsim, d, table, snap);
+    ASSERT_TRUE(r.isOk()) << "seed " << GetParam() << ": "
+                          << r.status().toString();
+    EXPECT_TRUE(r->ok()) << "seed " << GetParam() << ": "
+                         << r->firstMismatch;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz,

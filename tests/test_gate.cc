@@ -423,11 +423,12 @@ TEST(GateReplay, SnapshotReplaysBitExact)
     SynthesisResult synth = synthesize(d);
     MatchTable table = matchDesigns(d, synth.netlist, synth.guide);
     GateSimulator gs(synth.netlist);
-    GateReplayResult r = replayOnGate(gs, d, table, snap);
-    EXPECT_TRUE(r.ok()) << r.firstMismatch;
-    EXPECT_EQ(r.cyclesReplayed, 128u);
-    EXPECT_EQ(r.activity.cycles, 128u);
-    EXPECT_GT(r.load.commands, 0u);
+    util::Result<GateReplayResult> r = replayOnGate(gs, d, table, snap);
+    ASSERT_TRUE(r.isOk()) << r.status().toString();
+    EXPECT_TRUE(r->ok()) << r->firstMismatch;
+    EXPECT_EQ(r->cyclesReplayed, 128u);
+    EXPECT_EQ(r->activity.cycles, 128u);
+    EXPECT_GT(r->load.commands, 0u);
 }
 
 /** End-to-end with retiming: warm-up must recover the moved registers. */
@@ -457,10 +458,11 @@ TEST(GateReplay, RetimedRegionWarmupRecoversState)
     SynthesisResult synth = synthesize(d);
     MatchTable table = matchDesigns(d, synth.netlist, synth.guide);
     GateSimulator gs(synth.netlist);
-    GateReplayResult r = replayOnGate(gs, d, table, snap);
-    EXPECT_TRUE(r.ok()) << r.firstMismatch;
+    util::Result<GateReplayResult> r = replayOnGate(gs, d, table, snap);
+    ASSERT_TRUE(r.isOk()) << r.status().toString();
+    EXPECT_TRUE(r->ok()) << r->firstMismatch;
     // The retimed registers were skipped by the loader.
-    EXPECT_EQ(r.load.skippedRetimed, 32u);
+    EXPECT_EQ(r->load.skippedRetimed, 32u);
 }
 
 
@@ -526,8 +528,9 @@ TEST(GateReplay, TwoRetimedRegionsWarmIndependently)
     MatchTable table = matchDesigns(d, synth.netlist, synth.guide);
     EXPECT_EQ(table.retimedRegs, 5u);
     GateSimulator gs(synth.netlist);
-    GateReplayResult r = replayOnGate(gs, d, table, snap);
-    EXPECT_TRUE(r.ok()) << r.firstMismatch;
+    util::Result<GateReplayResult> r = replayOnGate(gs, d, table, snap);
+    ASSERT_TRUE(r.isOk()) << r.status().toString();
+    EXPECT_TRUE(r->ok()) << r->firstMismatch;
 }
 
 TEST(SnapshotDeath, CaptureWhileRecordingRejected)
@@ -556,8 +559,9 @@ TEST(StateLoader, SlowAndFastContrast)
 
     GateSimulator gs(synth.netlist);
     LoadReport slow =
-        loadState(gs, d, table, state, LoaderKind::SlowScript);
-    LoadReport fast = loadState(gs, d, table, state, LoaderKind::FastVpi);
+        loadState(gs, d, table, state, LoaderKind::SlowScript).value();
+    LoadReport fast =
+        loadState(gs, d, table, state, LoaderKind::FastVpi).value();
     EXPECT_EQ(slow.commands, fast.commands);
     EXPECT_NEAR(slow.modeledSeconds / fast.modeledSeconds, 50.0, 1e-6);
     // Commands: 20 dff bits + 16 + 8 macro words + 1 sync read register.

@@ -5,6 +5,8 @@
  *
  *   strober info                           # list cores and workloads
  *   strober run    <core> <workload>       # fast sim + energy estimate
+ *       [--max-dropped-snapshots N]        #   invalidate report past N
+ *       [--replay-timeout CYCLES]          #   per-replay watchdog budget
  *   strober truth  <core> <workload>       # exhaustive gate-level power
  *   strober synth  <core> [out.v]          # synthesis stats / Verilog
  *   strober chase  <core> <KiB> [latency]  # pointer-chase latency
@@ -14,8 +16,10 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/energy_sim.h"
 #include "cores/soc.h"
@@ -62,8 +66,16 @@ cmdInfo()
     return 0;
 }
 
+/** Fault-tolerance knobs of `strober run` (see EnergySimulator::Config). */
+struct RunOptions
+{
+    size_t maxDroppedSnapshots = std::numeric_limits<size_t>::max();
+    uint64_t replayTimeoutCycles = 0; //!< 0 = auto budget
+};
+
 int
-cmdRun(const std::string &coreName, const std::string &wlName)
+cmdRun(const std::string &coreName, const std::string &wlName,
+       const RunOptions &opts)
 {
     rtl::Design soc = cores::buildSoc(coreByName(coreName));
     workloads::Workload wl = workloads::byName(wlName);
@@ -71,6 +83,8 @@ cmdRun(const std::string &coreName, const std::string &wlName)
     core::EnergySimulator::Config cfg;
     cfg.sampleSize = 30;
     cfg.replayLength = 128;
+    cfg.maxDroppedSnapshots = opts.maxDroppedSnapshots;
+    cfg.replayTimeoutCycles = opts.replayTimeoutCycles;
     core::EnergySimulator strober(soc, cfg);
     cores::SocDriver driver(soc, wl.program);
     core::RunStats run = strober.run(driver, wl.maxCycles);
@@ -89,17 +103,31 @@ cmdRun(const std::string &coreName, const std::string &wlName)
                     : "");
     core::EnergyReport rep = strober.estimate();
     std::printf("average power: %.3f mW +/- %.3f (99%% CI, %zu "
-                "snapshots, %llu replay mismatches)\n",
+                "snapshots, %zu dropped, %llu replay mismatches)\n",
                 rep.averagePower.mean * 1e3,
                 rep.averagePower.halfWidth * 1e3, rep.snapshots,
+                rep.droppedSnapshots,
                 (unsigned long long)rep.replayMismatches);
+    if (rep.degraded || !rep.valid) {
+        std::printf("%s: %s\n", rep.valid ? "degraded" : "INVALID",
+                    rep.statusMessage.c_str());
+        for (const core::SnapshotOutcome &oc : rep.outcomes) {
+            if (!oc.replayed()) {
+                std::printf("  snapshot %zu (cycle %llu): %s after %u "
+                            "attempt(s): %s\n",
+                            oc.index, (unsigned long long)oc.cycle,
+                            core::snapshotStatusName(oc.status),
+                            oc.attempts, oc.detail.c_str());
+            }
+        }
+    }
     for (const core::GroupEstimate &g : rep.groups) {
         if (g.power.mean > rep.averagePower.mean * 0.01) {
             std::printf("  %-28s %8.3f mW\n", g.group.c_str(),
                         g.power.mean * 1e3);
         }
     }
-    return rep.replayMismatches == 0 ? 0 : 1;
+    return rep.valid && rep.replayMismatches == 0 ? 0 : 1;
 }
 
 int
@@ -188,6 +216,8 @@ usage()
     std::fprintf(stderr,
                  "usage: strober info\n"
                  "       strober run    <core> <workload>\n"
+                 "                      [--max-dropped-snapshots N]\n"
+                 "                      [--replay-timeout CYCLES]\n"
                  "       strober truth  <core> <workload>\n"
                  "       strober synth  <core> [out.v]\n"
                  "       strober chase  <core> <KiB> [dram-latency]\n"
@@ -206,8 +236,30 @@ main(int argc, char **argv)
     std::string cmd = argv[1];
     if (cmd == "info")
         return cmdInfo();
-    if (cmd == "run" && argc == 4)
-        return cmdRun(argv[2], argv[3]);
+    if (cmd == "run") {
+        RunOptions opts;
+        std::vector<std::string> positional;
+        for (int i = 2; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--max-dropped-snapshots" && i + 1 < argc) {
+                opts.maxDroppedSnapshots =
+                    static_cast<size_t>(std::stoull(argv[++i]));
+            } else if (arg == "--replay-timeout" && i + 1 < argc) {
+                opts.replayTimeoutCycles = std::stoull(argv[++i]);
+            } else if (arg.rfind("--", 0) == 0) {
+                std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+                usage();
+                return 2;
+            } else {
+                positional.push_back(arg);
+            }
+        }
+        if (positional.size() != 2) {
+            usage();
+            return 2;
+        }
+        return cmdRun(positional[0], positional[1], opts);
+    }
     if (cmd == "truth" && argc == 4)
         return cmdTruth(argv[2], argv[3]);
     if (cmd == "synth" && (argc == 3 || argc == 4))
