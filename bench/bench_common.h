@@ -9,7 +9,10 @@
 #define STROBER_BENCH_BENCH_COMMON_H
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/energy_sim.h"
 #include "cores/soc.h"
@@ -19,6 +22,103 @@
 
 namespace strober {
 namespace bench {
+
+/**
+ * Machine-readable bench output: `--json <path>` makes a bench write its
+ * headline measurements as a JSON array of flat records (one per
+ * measurement), so CI can trend them without scraping the human tables.
+ */
+class JsonSink
+{
+  public:
+    /**
+     * Strip a `--json <path>` pair from argv (before
+     * benchmark::Initialize sees it) and return the sink. Disabled when
+     * the flag is absent.
+     */
+    static JsonSink
+    fromArgs(int *argc, char **argv)
+    {
+        JsonSink sink;
+        for (int i = 1; i < *argc; ++i) {
+            if (std::strcmp(argv[i], "--json") != 0)
+                continue;
+            if (i + 1 >= *argc)
+                fatal("--json requires a path");
+            sink.path = argv[i + 1];
+            for (int j = i; j + 2 < *argc; ++j)
+                argv[j] = argv[j + 2];
+            *argc -= 2;
+            break;
+        }
+        return sink;
+    }
+
+    bool enabled() const { return !path.empty(); }
+
+    /** Start a record; chain num()/str() calls to fill it. */
+    JsonSink &
+    row(const std::string &name)
+    {
+        rows.emplace_back("{\"name\":\"" + escape(name) + "\"");
+        return *this;
+    }
+
+    JsonSink &
+    num(const char *key, double value)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.17g", value);
+        rows.back() += std::string(",\"") + key + "\":" + buf;
+        return *this;
+    }
+
+    JsonSink &
+    str(const char *key, const std::string &value)
+    {
+        rows.back() +=
+            std::string(",\"") + key + "\":\"" + escape(value) + "\"";
+        return *this;
+    }
+
+    /** Write the collected records; no-op when disabled. */
+    void
+    write() const
+    {
+        if (path.empty())
+            return;
+        std::ofstream out(path, std::ios::trunc);
+        if (!out)
+            fatal("cannot write '%s'", path.c_str());
+        out << "[\n";
+        for (size_t i = 0; i < rows.size(); ++i)
+            out << "  " << rows[i] << "}" << (i + 1 < rows.size() ? "," : "")
+                << "\n";
+        out << "]\n";
+        if (!out.flush())
+            fatal("writing '%s' failed", path.c_str());
+        std::printf("wrote %zu JSON record(s) to %s\n", rows.size(),
+                    path.c_str());
+    }
+
+  private:
+    static std::string
+    escape(const std::string &s)
+    {
+        std::string out;
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out.push_back('\\');
+            if (static_cast<unsigned char>(c) < 0x20)
+                c = ' ';
+            out.push_back(c);
+        }
+        return out;
+    }
+
+    std::string path;
+    std::vector<std::string> rows;
+};
 
 /** Everything one (core, workload) Strober evaluation produces. */
 struct StroberRun

@@ -63,7 +63,7 @@ runMode(const rtl::Design &soc, const workloads::Workload &wl,
 }
 
 void
-modeContrast(const rtl::Design &soc)
+modeContrast(const rtl::Design &soc, bench::JsonSink &json)
 {
     bench::banner("evaluation modes: full sweep vs activity-driven");
     std::printf("%-12s %-9s %12s %13s %9s %10s %8s\n", "benchmark",
@@ -89,14 +89,24 @@ modeContrast(const rtl::Design &soc)
                     100.0 * act.activity, act.wallSeconds,
                     act.wallSeconds > 0 ? full.wallSeconds / act.wallSeconds
                                         : 0.0);
+        json.row("mode_contrast_" + wl.name)
+            .str("design", "boom2w")
+            .num("cycles", static_cast<double>(act.cycles))
+            .num("wall_seconds", act.wallSeconds)
+            .num("speedup", act.wallSeconds > 0
+                                ? full.wallSeconds / act.wallSeconds
+                                : 0)
+            .num("full_wall_seconds", full.wallSeconds)
+            .num("activity", act.activity);
     }
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonSink json = bench::JsonSink::fromArgs(&argc, argv);
     bench::banner("Table III: simulation performance (BOOM-2w)");
     rtl::Design soc = cores::buildSoc(cores::SocConfig::boom2w());
 
@@ -133,6 +143,12 @@ main()
                     a.run.wallSeconds, b.run.wallSeconds,
                     100.0 * (a.run.wallSeconds - b.run.wallSeconds) /
                         b.run.wallSeconds);
+        json.row("sampling_" + wl.name)
+            .str("design", "boom2w")
+            .num("cycles", static_cast<double>(a.run.targetCycles))
+            .num("wall_seconds", a.run.wallSeconds)
+            .num("nosampling_wall_seconds", b.run.wallSeconds)
+            .num("records", static_cast<double>(a.run.recordCount));
     }
 
     std::printf("\nhost-cycle accounting with sampling (scan read-out + "
@@ -153,6 +169,7 @@ main()
                 "980-1497 records, sampling overhead shrinking with run "
                 "length (gcc: 344 vs 312 min).\n\n");
 
-    modeContrast(soc);
+    modeContrast(soc, json);
+    json.write();
     return 0;
 }

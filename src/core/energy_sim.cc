@@ -1,12 +1,8 @@
 #include "core/energy_sim.h"
 
-#include <algorithm>
 #include <chrono>
-#include <exception>
-#include <map>
-#include <thread>
 
-#include "inject/fault_injector.h"
+#include "core/replay_executor.h"
 #include "util/logging.h"
 
 namespace strober {
@@ -123,25 +119,6 @@ snapshotStatusName(SnapshotStatus status)
     return "unknown";
 }
 
-namespace {
-
-SnapshotStatus
-classifyReplayError(util::ErrorCode code)
-{
-    switch (code) {
-      case util::ErrorCode::Timeout:
-        return SnapshotStatus::TimedOut;
-      case util::ErrorCode::LoadFailure:
-      case util::ErrorCode::GeometryMismatch:
-      case util::ErrorCode::Corrupt:
-        return SnapshotStatus::LoadFailed;
-      default:
-        return SnapshotStatus::ReplayError;
-    }
-}
-
-} // namespace
-
 EnergyReport
 EnergySimulator::estimate()
 {
@@ -175,169 +152,26 @@ EnergySimulator::estimate()
 
     double start = nowSeconds();
 
-    // Snapshots are independent (paper Section III-B), so fan the
-    // replays out over P gate-level simulator instances. Each worker
-    // owns a fixed stride of snapshot indices and all per-snapshot
-    // state is indexed, so the aggregate below is bit-identical for
-    // any worker count.
-    unsigned parallel = std::max(1u, cfg.parallelReplays);
-    parallel = std::min<unsigned>(parallel, snapshots.size());
-    struct SnapResult
-    {
-        SnapshotOutcome outcome;
-        double modeledLoadSeconds = 0;
-        double totalWatts = 0;
-        std::vector<std::pair<std::string, double>> groups;
-    };
-    std::vector<SnapResult> results(snapshots.size());
+    std::vector<ReplayUnit> units(snapshots.size());
+    for (size_t i = 0; i < snapshots.size(); ++i)
+        units[i] = ReplayUnit{i, snapshots[i]};
+    std::vector<ReplayRecord> records(units.size());
 
-    // Watchdog budget: a healthy replay consumes warm-up + L steps;
-    // give it generous slack so only genuinely hung replays trip it.
-    uint64_t budget = cfg.replayTimeoutCycles;
-    if (budget == 0) {
-        unsigned maxLat = 0;
-        for (const gate::RetimeNetInfo &r : synth->netlist.retime())
-            maxLat = std::max(maxLat, r.latency);
-        budget = 4ull * (cfg.replayLength + maxLat) + 256;
-    }
+    ReplayContext ctx{dsn,
+                      *synth,
+                      *placed,
+                      *match,
+                      snapSampler->chains(),
+                      cfg,
+                      resolveReplayBudget(cfg, *synth)};
+    InProcessReplayExecutor builtin;
+    ReplayExecutor &executor =
+        cfg.replayExecutor ? *cfg.replayExecutor : builtin;
+    executor.replayAll(ctx, units, records);
 
-    auto worker = [&](unsigned workerIdx) {
-        gate::GateSimulator gsim(synth->netlist);
-        for (size_t i = workerIdx; i < snapshots.size(); i += parallel) {
-            const fame::ReplayableSnapshot *snap = snapshots[i];
-            SnapResult &out = results[i];
-            SnapshotOutcome &oc = out.outcome;
-            oc.index = i;
-            oc.cycle = snap->cycle();
-            const unsigned maxAttempts = cfg.retryFaultySnapshots ? 2 : 1;
-            for (unsigned attempt = 0; attempt < maxAttempts; ++attempt) {
-                oc.attempts = attempt + 1;
-                gate::ReplayOptions opts;
-                opts.loader = attempt == 0
-                                  ? cfg.loader
-                                  : gate::alternateLoader(cfg.loader);
-                oc.retriedOnAlternateLoader = attempt > 0;
-                opts.cycleBudget = budget;
-                if (cfg.stallPlan)
-                    opts.injectedStallCycles = cfg.stallPlan->stallFor(i);
-                try {
-                    util::Result<gate::GateReplayResult> r =
-                        gate::replayOnGate(gsim, dsn, *match, *snap, opts);
-                    if (!r.isOk()) {
-                        oc.status = classifyReplayError(r.status().code());
-                        oc.detail = r.status().toString();
-                        continue; // bounded retry, then quarantine
-                    }
-                    out.modeledLoadSeconds += r->load.modeledSeconds;
-                    if (r->outputMismatches) {
-                        oc.status = SnapshotStatus::Diverged;
-                        oc.mismatches = r->outputMismatches;
-                        oc.detail = r->firstMismatch;
-                        continue;
-                    }
-                    oc.status = SnapshotStatus::Replayed;
-                    oc.mismatches = 0;
-                    oc.detail.clear();
-                    power::PowerReport p = power::analyzePower(
-                        synth->netlist, *placed, r->activity, cfg.clockHz);
-                    out.totalWatts = p.totalWatts();
-                    for (const power::GroupPower &g : p.groups)
-                        out.groups.emplace_back(g.group, g.total());
-                } catch (const std::exception &e) {
-                    // Defense in depth: an exception escaping a replay
-                    // must cost one sample, not the whole farm run.
-                    oc.status = SnapshotStatus::ReplayError;
-                    oc.detail = strfmt("unexpected exception: %s",
-                                       e.what());
-                    continue;
-                }
-                break;
-            }
-        }
-    };
-    if (parallel == 1) {
-        worker(0);
-    } else {
-        std::vector<std::thread> threads;
-        for (unsigned t = 0; t < parallel; ++t)
-            threads.emplace_back(worker, t);
-        for (std::thread &t : threads)
-            t.join();
-    }
-
-    // Aggregate in snapshot order: survivors feed the estimators,
-    // quarantined snapshots are accounted and excluded — the paper's
-    // statistics are exactly as valid over the surviving subsample,
-    // just with a wider interval.
-    stats::SampleStats totalPower;
-    std::map<std::string, stats::SampleStats> groupPower;
-    for (SnapResult &r : results) {
-        const SnapshotOutcome &oc = r.outcome;
-        report.replayMismatches += oc.mismatches;
-        report.modeledLoadSeconds += r.modeledLoadSeconds;
-        if (!oc.replayed()) {
-            ++report.droppedSnapshots;
-            warn("snapshot %zu (cycle %llu) quarantined after %u "
-                 "attempt(s): %s: %s",
-                 oc.index, (unsigned long long)oc.cycle, oc.attempts,
-                 snapshotStatusName(oc.status), oc.detail.c_str());
-        } else {
-            totalPower.add(r.totalWatts);
-            for (const auto &[name, watts] : r.groups)
-                groupPower[name].add(watts);
-        }
-        report.outcomes.push_back(std::move(r.outcome));
-    }
+    uint64_t population = report.population;
+    report = aggregateReplayRecords(std::move(records), population, cfg);
     report.replayWallSeconds = nowSeconds() - start;
-    report.degraded = report.droppedSnapshots > 0;
-
-    size_t survivors = snapshots.size() - report.droppedSnapshots;
-    size_t sampleFloor = std::max<size_t>(cfg.minSurvivingSamples, 2);
-    if (survivors == 0) {
-        report.valid = false;
-        report.statusMessage = strfmt(
-            "all %zu snapshots quarantined; no estimate", snapshots.size());
-        warn("estimate(): %s", report.statusMessage.c_str());
-        return report;
-    }
-
-    uint64_t population = std::max<uint64_t>(report.population,
-                                             snapshots.size());
-    if (survivors == 1) {
-        // A single survivor defines a mean but no variance (Eq. 4
-        // needs n >= 2); report the point estimate, flagged invalid.
-        report.averagePower.mean = totalPower.mean();
-        report.averagePower.confidence = cfg.confidence;
-    } else {
-        report.averagePower =
-            totalPower.estimate(cfg.confidence, population);
-        for (auto &[name, samples] : groupPower) {
-            GroupEstimate g;
-            g.group = name;
-            g.power = samples.estimate(cfg.confidence, population);
-            report.groups.push_back(std::move(g));
-        }
-    }
-
-    if (report.droppedSnapshots > cfg.maxDroppedSnapshots) {
-        report.valid = false;
-        report.statusMessage = strfmt(
-            "%zu snapshots quarantined, over the configured ceiling of "
-            "%zu", report.droppedSnapshots, cfg.maxDroppedSnapshots);
-    } else if (survivors < sampleFloor) {
-        report.valid = false;
-        report.statusMessage = strfmt(
-            "only %zu of %zu snapshots survived replay, under the "
-            "minimum-sample floor of %zu",
-            survivors, snapshots.size(), sampleFloor);
-    } else if (report.degraded) {
-        report.statusMessage = strfmt(
-            "degraded: %zu of %zu snapshots quarantined; estimate uses "
-            "the %zu survivors (CI widened accordingly)",
-            report.droppedSnapshots, snapshots.size(), survivors);
-    }
-    if (!report.valid)
-        warn("estimate(): %s", report.statusMessage.c_str());
     return report;
 }
 

@@ -44,6 +44,8 @@ class StallPlan;
 
 namespace core {
 
+class ReplayExecutor;
+
 /** Performance results of the fast simulation phase. */
 struct RunStats
 {
@@ -110,6 +112,12 @@ struct EnergyReport
     uint64_t replayMismatches = 0;  //!< total mismatches observed
     double replayWallSeconds = 0;
     double modeledLoadSeconds = 0;  //!< Section IV-C2 loader accounting
+    /** Replay-result cache accounting (src/farm). A plain in-process
+     *  run counts every snapshot as a miss; a warm farm::ResultCache
+     *  serves hits without any gate-level replay. Hits never change
+     *  the numbers — only where they came from. */
+    size_t cacheHits = 0;
+    size_t cacheMisses = 0;
     bool degraded = false;          //!< some snapshots were quarantined
     bool valid = true;              //!< false: no trustworthy estimate
     std::string statusMessage;      //!< why degraded / invalid
@@ -172,6 +180,14 @@ class EnergySimulator
         /** Fault injection: per-snapshot stall cycles simulating a hung
          *  gate-level simulator (tests; see src/inject). */
         const inject::StallPlan *stallPlan = nullptr;
+
+        // --- Replay orchestration (src/farm) ----------------------------
+        /** Pluggable replay execution for estimate(): nullptr runs the
+         *  built-in in-process strided workers; a farm::CachingReplayExecutor
+         *  adds a persistent content-addressed result cache so a warm
+         *  re-estimate of an unchanged design replays nothing. Any
+         *  executor must produce bit-identical reports (not owned). */
+        ReplayExecutor *replayExecutor = nullptr;
     };
 
     EnergySimulator(const rtl::Design &target, Config config);

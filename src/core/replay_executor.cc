@@ -1,0 +1,221 @@
+#include "core/replay_executor.h"
+
+#include <algorithm>
+#include <exception>
+#include <map>
+#include <thread>
+
+#include "inject/fault_injector.h"
+#include "util/logging.h"
+
+namespace strober {
+namespace core {
+
+namespace {
+
+SnapshotStatus
+classifyReplayError(util::ErrorCode code)
+{
+    switch (code) {
+      case util::ErrorCode::Timeout:
+        return SnapshotStatus::TimedOut;
+      case util::ErrorCode::LoadFailure:
+      case util::ErrorCode::GeometryMismatch:
+      case util::ErrorCode::Corrupt:
+        return SnapshotStatus::LoadFailed;
+      default:
+        return SnapshotStatus::ReplayError;
+    }
+}
+
+} // namespace
+
+uint64_t
+resolveReplayBudget(const EnergySimulator::Config &cfg,
+                    const gate::SynthesisResult &synth)
+{
+    if (cfg.replayTimeoutCycles)
+        return cfg.replayTimeoutCycles;
+    // A healthy replay consumes warm-up + L steps; give it generous
+    // slack so only genuinely hung replays trip the watchdog.
+    unsigned maxLat = 0;
+    for (const gate::RetimeNetInfo &r : synth.netlist.retime())
+        maxLat = std::max(maxLat, r.latency);
+    return 4ull * (cfg.replayLength + maxLat) + 256;
+}
+
+ReplayRecord
+replaySnapshot(gate::GateSimulator &gsim, const ReplayContext &ctx,
+               const ReplayUnit &unit)
+{
+    ReplayRecord out;
+    SnapshotOutcome &oc = out.outcome;
+    oc.index = unit.index;
+    oc.cycle = unit.snap->cycle();
+    const EnergySimulator::Config &cfg = ctx.cfg;
+    const unsigned maxAttempts = cfg.retryFaultySnapshots ? 2 : 1;
+    for (unsigned attempt = 0; attempt < maxAttempts; ++attempt) {
+        oc.attempts = attempt + 1;
+        gate::ReplayOptions opts;
+        opts.loader = attempt == 0 ? cfg.loader
+                                   : gate::alternateLoader(cfg.loader);
+        oc.retriedOnAlternateLoader = attempt > 0;
+        opts.cycleBudget = ctx.cycleBudget;
+        if (cfg.stallPlan)
+            opts.injectedStallCycles = cfg.stallPlan->stallFor(unit.index);
+        try {
+            util::Result<gate::GateReplayResult> r = gate::replayOnGate(
+                gsim, ctx.target, ctx.match, *unit.snap, opts);
+            if (!r.isOk()) {
+                oc.status = classifyReplayError(r.status().code());
+                oc.detail = r.status().toString();
+                continue; // bounded retry, then quarantine
+            }
+            out.modeledLoadSeconds += r->load.modeledSeconds;
+            if (r->outputMismatches) {
+                oc.status = SnapshotStatus::Diverged;
+                oc.mismatches = r->outputMismatches;
+                oc.detail = r->firstMismatch;
+                continue;
+            }
+            oc.status = SnapshotStatus::Replayed;
+            oc.mismatches = 0;
+            oc.detail.clear();
+            power::PowerReport p =
+                power::analyzePower(ctx.synth.netlist, ctx.placement,
+                                    r->activity, cfg.clockHz);
+            out.totalWatts = p.totalWatts();
+            out.groups.clear();
+            for (const power::GroupPower &g : p.groups)
+                out.groups.emplace_back(g.group, g.total());
+        } catch (const std::exception &e) {
+            // Defense in depth: an exception escaping a replay must
+            // cost one sample, not the whole farm run.
+            oc.status = SnapshotStatus::ReplayError;
+            oc.detail = strfmt("unexpected exception: %s", e.what());
+            continue;
+        }
+        break;
+    }
+    return out;
+}
+
+void
+InProcessReplayExecutor::replayAll(const ReplayContext &ctx,
+                                   const std::vector<ReplayUnit> &units,
+                                   std::vector<ReplayRecord> &records)
+{
+    if (units.empty())
+        return;
+    // Snapshots are independent (paper Section III-B), so fan the
+    // replays out over P gate-level simulator instances. Each worker
+    // owns a fixed stride of unit indices and all per-snapshot state is
+    // slot-indexed, so aggregation is bit-identical for any P.
+    unsigned parallel = std::max(1u, ctx.cfg.parallelReplays);
+    parallel = std::min<unsigned>(parallel, units.size());
+    auto worker = [&](unsigned workerIdx) {
+        gate::GateSimulator gsim(ctx.synth.netlist);
+        for (size_t i = workerIdx; i < units.size(); i += parallel)
+            records[i] = replaySnapshot(gsim, ctx, units[i]);
+    };
+    if (parallel == 1) {
+        worker(0);
+    } else {
+        std::vector<std::thread> threads;
+        for (unsigned t = 0; t < parallel; ++t)
+            threads.emplace_back(worker, t);
+        for (std::thread &t : threads)
+            t.join();
+    }
+}
+
+EnergyReport
+aggregateReplayRecords(std::vector<ReplayRecord> records,
+                       uint64_t population,
+                       const EnergySimulator::Config &cfg)
+{
+    EnergyReport report;
+    report.population = population;
+    report.snapshots = records.size();
+
+    // Aggregate in snapshot order: survivors feed the estimators,
+    // quarantined snapshots are accounted and excluded — the paper's
+    // statistics are exactly as valid over the surviving subsample,
+    // just with a wider interval.
+    stats::SampleStats totalPower;
+    std::map<std::string, stats::SampleStats> groupPower;
+    for (ReplayRecord &r : records) {
+        const SnapshotOutcome &oc = r.outcome;
+        report.replayMismatches += oc.mismatches;
+        report.modeledLoadSeconds += r.modeledLoadSeconds;
+        if (r.fromCache)
+            ++report.cacheHits;
+        else
+            ++report.cacheMisses;
+        if (!oc.replayed()) {
+            ++report.droppedSnapshots;
+            warn("snapshot %zu (cycle %llu) quarantined after %u "
+                 "attempt(s): %s: %s",
+                 oc.index, (unsigned long long)oc.cycle, oc.attempts,
+                 snapshotStatusName(oc.status), oc.detail.c_str());
+        } else {
+            totalPower.add(r.totalWatts);
+            for (const auto &[name, watts] : r.groups)
+                groupPower[name].add(watts);
+        }
+        report.outcomes.push_back(std::move(r.outcome));
+    }
+    report.degraded = report.droppedSnapshots > 0;
+
+    size_t survivors = records.size() - report.droppedSnapshots;
+    size_t sampleFloor = std::max<size_t>(cfg.minSurvivingSamples, 2);
+    if (survivors == 0) {
+        report.valid = false;
+        report.statusMessage = strfmt(
+            "all %zu snapshots quarantined; no estimate", records.size());
+        warn("estimate(): %s", report.statusMessage.c_str());
+        return report;
+    }
+
+    uint64_t effPopulation =
+        std::max<uint64_t>(report.population, records.size());
+    if (survivors == 1) {
+        // A single survivor defines a mean but no variance (Eq. 4
+        // needs n >= 2); report the point estimate, flagged invalid.
+        report.averagePower.mean = totalPower.mean();
+        report.averagePower.confidence = cfg.confidence;
+    } else {
+        report.averagePower =
+            totalPower.estimate(cfg.confidence, effPopulation);
+        for (auto &[name, samples] : groupPower) {
+            GroupEstimate g;
+            g.group = name;
+            g.power = samples.estimate(cfg.confidence, effPopulation);
+            report.groups.push_back(std::move(g));
+        }
+    }
+
+    if (report.droppedSnapshots > cfg.maxDroppedSnapshots) {
+        report.valid = false;
+        report.statusMessage = strfmt(
+            "%zu snapshots quarantined, over the configured ceiling of "
+            "%zu", report.droppedSnapshots, cfg.maxDroppedSnapshots);
+    } else if (survivors < sampleFloor) {
+        report.valid = false;
+        report.statusMessage = strfmt(
+            "only %zu of %zu snapshots survived replay, under the "
+            "minimum-sample floor of %zu",
+            survivors, records.size(), sampleFloor);
+    } else if (report.degraded) {
+        report.statusMessage = strfmt(
+            "degraded: %zu of %zu snapshots quarantined; estimate uses "
+            "the %zu survivors (CI widened accordingly)",
+            report.droppedSnapshots, records.size(), survivors);
+    }
+    if (!report.valid)
+        warn("estimate(): %s", report.statusMessage.c_str());
+    return report;
+}
+
+} // namespace core
+} // namespace strober

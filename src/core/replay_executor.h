@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Pluggable replay execution for EnergySimulator::estimate() (paper
+ * Section III-B / IV-E: snapshots are independent, so *how* they are
+ * replayed — one thread, P strided threads, a multi-process farm with a
+ * persistent result cache — must not change the numbers).
+ *
+ * The contract every executor must honor: records[i] is a pure function
+ * of (snapshot i, design products, replay-relevant config). Aggregation
+ * runs in snapshot order over the records, so any executor that fills
+ * each slot with that pure-function value yields a report bit-identical
+ * to the single-threaded reference — for any worker count, any shard
+ * assignment, and any cache hit pattern (tests/test_farm.cc locks this
+ * down).
+ */
+
+#ifndef STROBER_CORE_REPLAY_EXECUTOR_H
+#define STROBER_CORE_REPLAY_EXECUTOR_H
+
+#include <utility>
+#include <vector>
+
+#include "core/energy_sim.h"
+
+namespace strober {
+namespace core {
+
+/** One unit of replay work: a sampled snapshot and its sample index. */
+struct ReplayUnit
+{
+    size_t index = 0;
+    const fame::ReplayableSnapshot *snap = nullptr;
+};
+
+/**
+ * The per-snapshot value an executor must produce: the outcome record
+ * plus the power numbers of a verified replay. `fromCache` marks
+ * results served by a farm::ResultCache instead of a fresh gate-level
+ * replay; it feeds the report's hit/miss accounting only and never
+ * changes the numbers.
+ */
+struct ReplayRecord
+{
+    SnapshotOutcome outcome;
+    double modeledLoadSeconds = 0;
+    double totalWatts = 0;
+    std::vector<std::pair<std::string, double>> groups;
+    bool fromCache = false;
+};
+
+/** Everything a replay needs besides the snapshot itself. */
+struct ReplayContext
+{
+    const rtl::Design &target;
+    const gate::SynthesisResult &synth;
+    const gate::Placement &placement;
+    const gate::MatchTable &match;
+    /** Capture geometry of the snapshots (content-digest input for
+     *  caching executors; replay itself does not consume it). */
+    const fame::ScanChains &chains;
+    const EnergySimulator::Config &cfg;
+    uint64_t cycleBudget = 0; //!< resolved watchdog budget (never 0)
+};
+
+/**
+ * Watchdog budget for one replay: the configured value, or a generous
+ * multiple of warm-up + L derived from the netlist's retiming depth so
+ * only genuinely hung replays trip it.
+ */
+uint64_t resolveReplayBudget(const EnergySimulator::Config &cfg,
+                             const gate::SynthesisResult &synth);
+
+/**
+ * Replay one snapshot with the full fault-handling path: bounded retry
+ * on the alternate loader, watchdog, divergence classification,
+ * exception containment, power analysis of a verified replay. This is
+ * THE per-snapshot pure function; every executor (in-process threads,
+ * farm worker processes) funnels through it.
+ */
+ReplayRecord replaySnapshot(gate::GateSimulator &gsim,
+                            const ReplayContext &ctx,
+                            const ReplayUnit &unit);
+
+/** Replays a batch of snapshots, one record per unit. */
+class ReplayExecutor
+{
+  public:
+    virtual ~ReplayExecutor() = default;
+
+    /** Short stable name for diagnostics ("in-process", "caching"). */
+    virtual const char *name() const = 0;
+
+    /**
+     * Fill records[k] for units[k]. @p records arrives pre-sized to
+     * units.size(); executors must write every slot.
+     */
+    virtual void replayAll(const ReplayContext &ctx,
+                           const std::vector<ReplayUnit> &units,
+                           std::vector<ReplayRecord> &records) = 0;
+};
+
+/**
+ * The default executor: cfg.parallelReplays strided worker threads,
+ * each owning a private GateSimulator (exactly the historical
+ * estimate() loop).
+ */
+class InProcessReplayExecutor : public ReplayExecutor
+{
+  public:
+    const char *name() const override { return "in-process"; }
+    void replayAll(const ReplayContext &ctx,
+                   const std::vector<ReplayUnit> &units,
+                   std::vector<ReplayRecord> &records) override;
+};
+
+/**
+ * Aggregate per-snapshot records into the final report (survivors feed
+ * the Section III-A estimators, quarantined snapshots are accounted and
+ * excluded, validity gates applied). Shared by estimate() and the farm
+ * collector so both produce bit-identical reports from equal records.
+ * Sets everything except replayWallSeconds (a wall-clock the caller
+ * owns).
+ */
+EnergyReport aggregateReplayRecords(std::vector<ReplayRecord> records,
+                                    uint64_t population,
+                                    const EnergySimulator::Config &cfg);
+
+} // namespace core
+} // namespace strober
+
+#endif // STROBER_CORE_REPLAY_EXECUTOR_H

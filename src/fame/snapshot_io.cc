@@ -5,6 +5,7 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "util/crc32.h"
 
@@ -29,7 +30,11 @@ constexpr uint64_t kMaxDim = 1ull << 32;
 class SectionWriter
 {
   public:
-    explicit SectionWriter(std::ostream &out) : out(out) {}
+    explicit SectionWriter(std::ostream &out,
+                           std::vector<uint32_t> *crcLog = nullptr)
+        : out(out), crcLog(crcLog)
+    {
+    }
 
     void
     u64(uint64_t v)
@@ -58,11 +63,14 @@ class SectionWriter
         for (int i = 0; i < 4; ++i)
             bytes[i] = static_cast<char>(c >> (8 * i));
         out.write(bytes, 4);
+        if (crcLog)
+            crcLog->push_back(c);
         crc = 0;
     }
 
   private:
     std::ostream &out;
+    std::vector<uint32_t> *crcLog;
     uint32_t crc = 0;
 };
 
@@ -124,9 +132,12 @@ class SectionReader
 
 } // namespace
 
+namespace {
+
 Status
-writeSnapshot(std::ostream &out, const ScanChains &chains,
-              const ReplayableSnapshot &snap)
+writeSnapshotLogged(std::ostream &out, const ScanChains &chains,
+                    const ReplayableSnapshot &snap,
+                    std::vector<uint32_t> *crcLog)
 {
     if (!snap.complete) {
         return errorf(ErrorCode::InvalidArgument,
@@ -134,7 +145,7 @@ writeSnapshot(std::ostream &out, const ScanChains &chains,
                       "(trace not finished)");
     }
 
-    SectionWriter w(out);
+    SectionWriter w(out, crcLog);
 
     // Header section.
     w.u64(kMagicV2);
@@ -179,6 +190,34 @@ writeSnapshot(std::ostream &out, const ScanChains &chains,
                       "snapshot write failed (stream error; disk full?)");
     }
     return Status::ok();
+}
+
+} // namespace
+
+Status
+writeSnapshot(std::ostream &out, const ScanChains &chains,
+              const ReplayableSnapshot &snap)
+{
+    return writeSnapshotLogged(out, chains, snap, nullptr);
+}
+
+Result<SnapshotDigest>
+snapshotDigest(const ScanChains &chains, const ReplayableSnapshot &snap)
+{
+    std::ostringstream buf(std::ios::binary);
+    std::vector<uint32_t> crcs;
+    Status st = writeSnapshotLogged(buf, chains, snap, &crcs);
+    if (!st.isOk())
+        return st;
+    if (crcs.size() != SnapshotDigest::kSections) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "snapshot serialized to %zu sections, format has %zu",
+                      crcs.size(), SnapshotDigest::kSections);
+    }
+    SnapshotDigest digest;
+    for (size_t i = 0; i < SnapshotDigest::kSections; ++i)
+        digest.section[i] = crcs[i];
+    return digest;
 }
 
 Result<ReplayableSnapshot>

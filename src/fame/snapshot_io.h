@@ -68,6 +68,27 @@ util::Status writeSnapshotFile(const std::string &path,
 util::Result<ReplayableSnapshot> readSnapshotFile(const std::string &path,
                                                   const ScanChains &chains);
 
+/**
+ * The five per-section CRC-32s of a snapshot's serialized form (header,
+ * state, input trace, output trace, retime history) — a content
+ * fingerprint of everything a gate-level replay consumes. The farm's
+ * result cache keys on this digest: two snapshots with equal digests
+ * replay identically, so one cached result serves both.
+ */
+struct SnapshotDigest
+{
+    static constexpr size_t kSections = 5;
+    uint32_t section[kSections] = {0, 0, 0, 0, 0};
+};
+
+/**
+ * Serialize @p snap (without touching the filesystem) and return its
+ * section digest. Fails like writeSnapshot (InvalidArgument for an
+ * incomplete snapshot).
+ */
+util::Result<SnapshotDigest> snapshotDigest(const ScanChains &chains,
+                                            const ReplayableSnapshot &snap);
+
 } // namespace fame
 } // namespace strober
 

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Replay-farm orchestration (paper Section III-B: snapshot replays are
+ * embarrassingly parallel, "run on multiple instances of gate-level
+ * simulation in parallel" — in practice a pool of worker processes over
+ * a shared filesystem).
+ *
+ * Two layers, both built on the determinism contract of
+ * core::ReplayExecutor (records are a pure function of snapshot +
+ * design + config, so the report is bit-identical however the work is
+ * executed):
+ *
+ *  - CachingReplayExecutor: a drop-in Config::replayExecutor that
+ *    consults a persistent content-addressed ResultCache before
+ *    replaying. A warm re-estimate of an unchanged design performs ZERO
+ *    gate-level replays and still produces the bit-identical report.
+ *
+ *  - FarmOrchestrator: a durable multi-process run. plan() snapshots
+ *    the work into per-shard manifest files, workShard() is the worker
+ *    loop (lease → cache-or-replay → publish → mark done, then steal
+ *    from other shards), collect() assembles the final report. Every
+ *    state change is an atomic file replace, so a SIGKILL at any
+ *    instant costs at most the replays that were in flight; a resumed
+ *    run reproduces the uninterrupted report bit-for-bit.
+ */
+
+#ifndef STROBER_FARM_FARM_H
+#define STROBER_FARM_FARM_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/replay_executor.h"
+#include "farm/manifest.h"
+#include "farm/result_cache.h"
+#include "fame/fame1.h"
+#include "fame/sampler.h"
+#include "util/status.h"
+
+namespace strober {
+namespace farm {
+
+/**
+ * Cache-backed replay executor for EnergySimulator::estimate(). Misses
+ * are replayed by the built-in in-process strided workers
+ * (cfg.parallelReplays applies to the miss set), then verified results
+ * are stored. Hits never change the numbers — the key covers every
+ * replay-relevant input, so a hit IS the record a fresh replay would
+ * produce.
+ */
+class CachingReplayExecutor : public core::ReplayExecutor
+{
+  public:
+    explicit CachingReplayExecutor(std::string cacheDir)
+        : store(std::move(cacheDir))
+    {
+    }
+
+    const char *name() const override { return "caching"; }
+
+    void replayAll(const core::ReplayContext &ctx,
+                   const std::vector<core::ReplayUnit> &units,
+                   std::vector<core::ReplayRecord> &records) override;
+
+    /** Gate-level replays actually performed (0 on a fully warm cache). */
+    uint64_t replaysExecuted() const { return executed; }
+
+    ResultCache &cache() { return store; }
+    const ResultCache::Stats &cacheStats() const { return store.stats(); }
+
+  private:
+    ResultCache store;
+    core::InProcessReplayExecutor inner;
+    uint64_t executed = 0;
+};
+
+/** Configuration of one farm run. */
+struct FarmConfig
+{
+    std::string dir;      //!< run directory (manifests + snapshot files)
+    std::string cacheDir; //!< result cache; empty = "<dir>/cache"
+    unsigned shards = 1;  //!< work-queue shards (>= worker count is best)
+    core::EnergySimulator::Config sim; //!< replay + aggregation knobs
+    std::string coreName;              //!< design name (worker respawn)
+    std::string workloadName;          //!< informational
+
+    /** The effective cache directory. */
+    std::string effectiveCacheDir() const
+    {
+        return cacheDir.empty() ? dir + "/cache" : cacheDir;
+    }
+};
+
+/**
+ * Orchestrates a durable replay-farm run over one design. The same
+ * object (or separate processes each holding one, pointed at the same
+ * run directory) drives planning, working and collection.
+ */
+class FarmOrchestrator
+{
+  public:
+    FarmOrchestrator(const rtl::Design &target, FarmConfig config);
+
+    FarmOrchestrator(const FarmOrchestrator &) = delete;
+    FarmOrchestrator &operator=(const FarmOrchestrator &) = delete;
+
+    /**
+     * Write the work queue: one snapshot file per sample plus one
+     * manifest per shard (entries round-robin over shards). Snapshot
+     * files are always rewritten (healing any corruption on disk);
+     * completed entries of a previous compatible run — same design,
+     * config and power-model fingerprints — keep their Done state, so
+     * resuming a killed run redoes only unfinished work. Quarantined
+     * entries are deliberately reset to Pending: failures always
+     * recompute (mirroring the cache's only-successes policy), so a
+     * transient fault never pins a stale quarantine.
+     */
+    util::Status plan(const std::vector<const fame::ReplayableSnapshot *>
+                          &snapshots,
+                      uint64_t population);
+
+    /**
+     * Worker loop for shard @p shard: lease each pending entry, serve
+     * it from the cache or replay it, publish the result, mark the
+     * entry done (or quarantined) — one atomic manifest write per state
+     * change. After draining its own shard the worker steals other
+     * shards' pending entries, publishing results to the cache only
+     * (never writing a foreign manifest); owners and the collector
+     * observe the hits. Fails if the manifest was planned against a
+     * different design/config/power model.
+     */
+    util::Status workShard(unsigned shard);
+
+    /**
+     * Assemble the final report from the manifests and the cache,
+     * replaying any entries that are still unfinished (or whose cache
+     * entry was lost or corrupted) inline. Must run after the workers
+     * have exited. The report is bit-identical to a plain in-process
+     * estimate() of the same sample — for any shard count, worker
+     * count, kill/resume history or cache state.
+     */
+    util::Result<core::EnergyReport> collect();
+
+    /** Work-queue state summary (for `strober-farm status`). */
+    struct Progress
+    {
+        uint64_t pending = 0;
+        uint64_t leased = 0;
+        uint64_t done = 0;
+        uint64_t quarantined = 0;
+        uint64_t total = 0;
+        uint32_t shards = 0;
+    };
+    util::Result<Progress> progress() const;
+
+    /** Gate-level replays this process performed (own + stolen). */
+    uint64_t replaysExecuted() const { return executed; }
+
+    ResultCache &cache() { return store; }
+    const FarmConfig &config() const { return cfg; }
+
+  private:
+    const rtl::Design &target;
+    FarmConfig cfg;
+    ResultCache store;
+
+    // Capture geometry (snapshots were captured from the FAME1 design).
+    fame::Fame1Design fame;
+    fame::ScanChains chainMeta;
+
+    // Lazily-built ASIC-flow products (identical to EnergySimulator's).
+    std::unique_ptr<gate::SynthesisResult> synth;
+    std::unique_ptr<gate::Placement> placed;
+    std::unique_ptr<gate::MatchTable> match;
+
+    uint64_t executed = 0;
+
+    void buildAsicFlow();
+    std::string manifestPath(uint32_t shard) const;
+    util::Result<std::vector<ShardManifest>>
+    loadAllManifests(bool reclaimLeases) const;
+    util::Status checkCompatible(const ShardManifest &m);
+    core::ReplayRecord replayEntry(gate::GateSimulator &gsim,
+                                   const ShardManifest &m,
+                                   const ManifestEntry &entry,
+                                   const core::EnergySimulator::Config &cfg,
+                                   uint64_t budget);
+};
+
+/** Copy a failed replay's outcome into a manifest entry's fail fields. */
+void recordFailure(ManifestEntry &entry, const core::ReplayRecord &rec);
+
+/** Rebuild a quarantined outcome from a manifest entry's fail fields. */
+core::ReplayRecord failureRecord(const ManifestEntry &entry);
+
+} // namespace farm
+} // namespace strober
+
+#endif // STROBER_FARM_FARM_H

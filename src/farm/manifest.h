@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Durable sharded work queue for replay-farm runs.
+ *
+ * A farm run's unit of work is one snapshot replay. The queue is a set
+ * of per-shard manifest files ("shard_<k>.strbfarm") inside the run
+ * directory: shard k's manifest lists the entries shard k owns, each
+ * with its lifecycle state (pending → leased → done | quarantined), the
+ * snapshot file it replays, and its content-address in the result
+ * cache. Every state change rewrites the owning shard's manifest
+ * atomically (write-to-temp-then-rename, like snapshot v2), so a
+ * SIGKILL at any instant leaves every manifest either old or new —
+ * never torn — and a resumed run redoes at most the replays that were
+ * in flight.
+ *
+ * Lease discipline: a lease is only meaningful while its worker lives.
+ * Loading a manifest with reclaimLeases=true (what `run` does on
+ * resume) demotes Leased back to Pending. Work stealing is built on the
+ * cache, not on manifest writes: a worker that drains its own shard
+ * replays other shards' pending entries and publishes the results to
+ * the content-addressed cache only — the owning shard (or the final
+ * collector) later observes the hit and marks the entry done, so two
+ * workers can never disagree about a result (it is content-addressed)
+ * and no manifest is ever written by a non-owner.
+ *
+ * The manifest also records the replay-relevant config and design
+ * fingerprints, so a detached `strober-farm worker` process can verify
+ * it is replaying against the same world the run was planned for, and a
+ * resumed run detects config/design drift and replans instead of mixing
+ * incompatible results.
+ */
+
+#ifndef STROBER_FARM_MANIFEST_H
+#define STROBER_FARM_MANIFEST_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/energy_sim.h"
+#include "farm/result_cache.h"
+#include "util/status.h"
+
+namespace strober {
+namespace farm {
+
+/** Lifecycle of one snapshot replay in the queue. */
+enum class EntryState : uint32_t
+{
+    Pending = 0,    //!< not yet replayed
+    Leased = 1,     //!< a worker is (or was, if it died) replaying it
+    Done = 2,       //!< verified result published to the cache
+    Quarantined = 3 //!< replay failed after retry; outcome recorded
+};
+
+/** Stable lowercase name ("pending", "leased", ...). */
+const char *entryStateName(EntryState state);
+
+/** One snapshot replay owned by a shard. */
+struct ManifestEntry
+{
+    uint64_t index = 0;       //!< position in the sampled population
+    uint64_t cycle = 0;       //!< capture cycle of the snapshot
+    std::string snapshotFile; //!< file name, relative to the run dir
+    CacheKey key;             //!< content-address of its replay result
+    EntryState state = EntryState::Pending;
+    uint64_t injectedStallCycles = 0; //!< fault-injection plan (tests)
+
+    // Recorded outcome for Quarantined entries (Done entries live in
+    // the result cache; quarantines are per-run, not content, so they
+    // are recorded here).
+    uint32_t failStatus = 0;
+    uint32_t failAttempts = 0;
+    uint32_t failRetried = 0;
+    uint64_t failMismatches = 0;
+    double failLoadSeconds = 0; //!< modeled loader time spent before failing
+    std::string failDetail;
+};
+
+/** One shard's slice of the work queue, plus the run's shared header. */
+struct ShardManifest
+{
+    // --- Run header (identical across shards) ---------------------------
+    uint32_t shard = 0;  //!< this shard's index
+    uint32_t shards = 1; //!< total shard count of the run
+    uint64_t population = 0;
+    uint64_t sampleCount = 0; //!< total entries across all shards
+    uint64_t netlistFingerprint = 0;
+    uint64_t configFingerprint = 0;
+    uint32_t powerModelVersion = 0;
+    std::string coreName;     //!< for detached worker reconstruction
+    std::string workloadName; //!< informational
+    // Replay-relevant config mirror, so a detached worker replays with
+    // exactly the planned knobs.
+    uint32_t replayLength = 128;
+    double clockHz = 1e9;
+    uint32_t loader = 0;
+    uint64_t replayTimeoutCycles = 0;
+    uint32_t retryFaultySnapshots = 1;
+    double confidence = 0.99;
+    uint64_t minSurvivingSamples = 2;
+    uint64_t maxDroppedSnapshots = UINT64_MAX;
+
+    std::vector<ManifestEntry> entries;
+
+    /** Apply the config mirror onto @p cfg (replay-relevant fields). */
+    void applyTo(core::EnergySimulator::Config &cfg) const;
+    /** Fill the mirror from @p cfg. */
+    void mirrorFrom(const core::EnergySimulator::Config &cfg);
+
+    /** Count entries in @p state. */
+    size_t count(EntryState state) const;
+};
+
+/** Manifest file name of shard @p k ("shard_<k>.strbfarm"). */
+std::string shardManifestName(uint32_t shard);
+
+/** Atomically write @p manifest to @p path (temp + rename, CRC'd). */
+util::Status writeManifestFile(const std::string &path,
+                               const ShardManifest &manifest);
+
+/**
+ * Read a manifest written by writeManifestFile. Fails with Corrupt on
+ * any integrity violation (bad magic/CRC, truncation, absurd counts) —
+ * the caller replans from scratch instead of trusting a torn queue.
+ * @p reclaimLeases demotes Leased entries to Pending (resume semantics).
+ */
+util::Result<ShardManifest> readManifestFile(const std::string &path,
+                                             bool reclaimLeases);
+
+} // namespace farm
+} // namespace strober
+
+#endif // STROBER_FARM_MANIFEST_H

@@ -1,0 +1,293 @@
+#include "farm/result_cache.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include <unistd.h>
+
+#include "farm/wire.h"
+#include "util/logging.h"
+
+namespace strober {
+namespace farm {
+
+namespace fs = std::filesystem;
+using util::ErrorCode;
+using util::errorf;
+using util::Status;
+
+namespace {
+
+constexpr uint64_t kEntryMagic = 0x5354524252455331ull; // "STRBRES1"
+constexpr uint32_t kEntryVersion = 1;
+constexpr const char *kEntrySuffix = ".strbres";
+
+/** FNV-1a over the key material, from a caller-chosen offset basis. */
+uint64_t
+foldKeyMaterial(uint64_t basis, const fame::SnapshotDigest &digest,
+                uint64_t netlistFp, uint64_t configFp,
+                uint32_t powerVersion, uint64_t stalls)
+{
+    uint64_t h = basis;
+    auto fold = [&h](uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    };
+    for (uint32_t c : digest.section)
+        fold(c);
+    fold(netlistFp);
+    fold(configFp);
+    fold(powerVersion);
+    fold(stalls);
+    return h;
+}
+
+std::string
+readWholeFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::string();
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    return bytes;
+}
+
+Status
+writeFileAtomic(const std::string &path, const std::string &bytes)
+{
+    // Unique temp per writer so concurrent farm workers storing the
+    // same content-addressed entry never clobber each other mid-write;
+    // the final rename is atomic and last-writer-wins over identical
+    // bytes.
+    static std::atomic<uint64_t> serial{0};
+    std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                      std::to_string(serial.fetch_add(1));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return errorf(ErrorCode::IoError, "cannot create '%s'",
+                          tmp.c_str());
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        out.close();
+        if (!out) {
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            return errorf(ErrorCode::IoError,
+                          "writing '%s' failed (disk full?)", tmp.c_str());
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        std::error_code ec2;
+        fs::remove(tmp, ec2);
+        return errorf(ErrorCode::IoError, "renaming '%s' -> '%s': %s",
+                      tmp.c_str(), path.c_str(), ec.message().c_str());
+    }
+    return Status::ok();
+}
+
+} // namespace
+
+std::string
+CacheKey::hex() const
+{
+    char out[33];
+    std::snprintf(out, sizeof(out), "%016llx%016llx",
+                  (unsigned long long)hi, (unsigned long long)lo);
+    return out;
+}
+
+std::optional<CacheKey>
+CacheKey::fromHex(const std::string &hex)
+{
+    if (hex.size() != 32 ||
+        hex.find_first_not_of("0123456789abcdef") != std::string::npos)
+        return std::nullopt;
+    CacheKey key;
+    key.hi = std::strtoull(hex.substr(0, 16).c_str(), nullptr, 16);
+    key.lo = std::strtoull(hex.substr(16).c_str(), nullptr, 16);
+    return key;
+}
+
+uint64_t
+replayConfigFingerprint(const core::EnergySimulator::Config &cfg)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto fold = [&h](uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    };
+    fold(cfg.replayLength);
+    uint64_t clockBits;
+    static_assert(sizeof(clockBits) == sizeof(cfg.clockHz));
+    std::memcpy(&clockBits, &cfg.clockHz, sizeof(clockBits));
+    fold(clockBits);
+    fold(static_cast<uint64_t>(cfg.loader));
+    fold(cfg.replayTimeoutCycles);
+    fold(cfg.retryFaultySnapshots ? 1 : 0);
+    return h;
+}
+
+CacheKey
+makeCacheKey(const fame::SnapshotDigest &digest, uint64_t netlistFingerprint,
+             uint64_t configFingerprint, uint32_t powerModelVersion,
+             uint64_t injectedStallCycles)
+{
+    CacheKey key;
+    key.hi = foldKeyMaterial(0xcbf29ce484222325ull, digest,
+                             netlistFingerprint, configFingerprint,
+                             powerModelVersion, injectedStallCycles);
+    key.lo = foldKeyMaterial(0x6c62272e07bb0142ull, digest,
+                             netlistFingerprint, configFingerprint,
+                             powerModelVersion, injectedStallCycles);
+    return key;
+}
+
+ResultCache::ResultCache(std::string dir) : root(std::move(dir))
+{
+    std::error_code ec;
+    fs::create_directories(root, ec);
+    if (ec) {
+        fatal("cannot create result-cache directory '%s': %s",
+              root.c_str(), ec.message().c_str());
+    }
+}
+
+std::string
+ResultCache::entryPath(const CacheKey &key) const
+{
+    return (fs::path(root) / (key.hex() + kEntrySuffix)).string();
+}
+
+std::optional<core::ReplayRecord>
+ResultCache::lookup(const CacheKey &key)
+{
+    std::string path = entryPath(key);
+    std::error_code ec;
+    if (!fs::exists(path, ec)) {
+        ++counters.misses;
+        return std::nullopt;
+    }
+    std::string bytes = readWholeFile(path);
+    wire::Reader r(std::move(bytes));
+
+    core::ReplayRecord rec;
+    bool ok = true;
+    ok = ok && r.u64() == kEntryMagic;
+    ok = ok && r.u64() == kEntryVersion;
+    if (ok) {
+        rec.outcome.cycle = r.u64();
+        rec.outcome.status =
+            static_cast<core::SnapshotStatus>(r.u64() & 0xff);
+        rec.outcome.attempts = static_cast<unsigned>(r.u64());
+        rec.outcome.retriedOnAlternateLoader = r.u64() != 0;
+        rec.outcome.mismatches = r.u64();
+        rec.outcome.detail = r.str();
+        rec.modeledLoadSeconds = r.f64();
+        rec.totalWatts = r.f64();
+        uint64_t groups = r.u64();
+        ok = groups <= wire::kMaxDim;
+        for (uint64_t i = 0; ok && i < groups; ++i) {
+            std::string name = r.str();
+            double watts = r.f64();
+            rec.groups.emplace_back(std::move(name), watts);
+        }
+    }
+    ok = ok && r.atEnd() &&
+         rec.outcome.status == core::SnapshotStatus::Replayed;
+    if (!ok) {
+        // Corrupt / stale-format entry: delete it and degrade to a
+        // miss — one recompute, never a wrong number, never a fault.
+        ++counters.corruptEntries;
+        ++counters.misses;
+        warn("result cache entry %s is corrupt; treating as a miss",
+             key.hex().c_str());
+        fs::remove(path, ec);
+        return std::nullopt;
+    }
+    rec.fromCache = true;
+    ++counters.hits;
+    return rec;
+}
+
+util::Status
+ResultCache::store(const CacheKey &key, const core::ReplayRecord &rec)
+{
+    if (rec.outcome.status != core::SnapshotStatus::Replayed) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "only verified replay results are cacheable; "
+                      "'%s' outcomes always recompute",
+                      core::snapshotStatusName(rec.outcome.status));
+    }
+    wire::Writer w;
+    w.u64(kEntryMagic);
+    w.u64(kEntryVersion);
+    w.u64(rec.outcome.cycle);
+    w.u64(static_cast<uint64_t>(rec.outcome.status));
+    w.u64(rec.outcome.attempts);
+    w.u64(rec.outcome.retriedOnAlternateLoader ? 1 : 0);
+    w.u64(rec.outcome.mismatches);
+    w.str(rec.outcome.detail);
+    w.f64(rec.modeledLoadSeconds);
+    w.f64(rec.totalWatts);
+    w.u64(rec.groups.size());
+    for (const auto &[name, watts] : rec.groups) {
+        w.str(name);
+        w.f64(watts);
+    }
+    Status st = writeFileAtomic(entryPath(key), w.sealed());
+    if (st.isOk())
+        ++counters.stores;
+    return st;
+}
+
+size_t
+ResultCache::entryCount() const
+{
+    size_t n = 0;
+    std::error_code ec;
+    for (const auto &e : fs::directory_iterator(root, ec)) {
+        if (e.path().extension() == kEntrySuffix)
+            ++n;
+    }
+    return n;
+}
+
+size_t
+ResultCache::trim(size_t keep)
+{
+    std::vector<std::pair<fs::file_time_type, fs::path>> entries;
+    std::error_code ec;
+    for (const auto &e : fs::directory_iterator(root, ec)) {
+        if (e.path().extension() != kEntrySuffix)
+            continue;
+        entries.emplace_back(fs::last_write_time(e.path(), ec),
+                             e.path());
+    }
+    if (entries.size() <= keep)
+        return 0;
+    std::sort(entries.begin(), entries.end(),
+              [](const auto &a, const auto &b) { return a.first > b.first; });
+    size_t removed = 0;
+    for (size_t i = keep; i < entries.size(); ++i) {
+        if (fs::remove(entries[i].second, ec))
+            ++removed;
+    }
+    return removed;
+}
+
+} // namespace farm
+} // namespace strober

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tiny bounds-checked byte codec shared by the farm's on-disk artifacts
+ * (result-cache entries, work-queue manifests). Little-endian integers,
+ * length-prefixed strings, doubles as IEEE-754 bit patterns (so values
+ * round-trip bit-exactly — the determinism guarantees depend on it),
+ * and a trailing CRC-32 over the whole payload. Readers never throw and
+ * never over-allocate: any truncation, bounds violation or CRC mismatch
+ * surfaces as a sticky failure the caller maps to ErrorCode::Corrupt.
+ */
+
+#ifndef STROBER_FARM_WIRE_H
+#define STROBER_FARM_WIRE_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/crc32.h"
+
+namespace strober {
+namespace farm {
+namespace wire {
+
+/** Sanity bound on any count or string length in a farm artifact. */
+constexpr uint64_t kMaxDim = 1ull << 24;
+
+class Writer
+{
+  public:
+    void
+    u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf.push_back(static_cast<char>(v >> (8 * i)));
+    }
+
+    void
+    f64(double v)
+    {
+        uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        buf.append(s);
+    }
+
+    /** Payload plus the trailing CRC-32 — the bytes to write to disk. */
+    std::string
+    sealed() const
+    {
+        std::string out = buf;
+        uint32_t crc = util::crc32(out.data(), out.size());
+        for (int i = 0; i < 4; ++i)
+            out.push_back(static_cast<char>(crc >> (8 * i)));
+        return out;
+    }
+
+  private:
+    std::string buf;
+};
+
+class Reader
+{
+  public:
+    /** Verifies and strips the trailing CRC; failed() if it mismatches. */
+    explicit Reader(std::string bytes) : buf(std::move(bytes))
+    {
+        if (buf.size() < 4) {
+            bad = true;
+            return;
+        }
+        uint32_t stored = 0;
+        for (int i = 0; i < 4; ++i) {
+            stored |= static_cast<uint32_t>(
+                          static_cast<uint8_t>(buf[buf.size() - 4 + i]))
+                      << (8 * i);
+        }
+        buf.resize(buf.size() - 4);
+        if (stored != util::crc32(buf.data(), buf.size()))
+            bad = true;
+    }
+
+    uint64_t
+    u64()
+    {
+        if (bad || pos + 8 > buf.size()) {
+            bad = true;
+            return 0;
+        }
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(static_cast<uint8_t>(buf[pos + i]))
+                 << (8 * i);
+        pos += 8;
+        return v;
+    }
+
+    double
+    f64()
+    {
+        uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        uint64_t len = u64();
+        if (bad || len > kMaxDim || pos + len > buf.size()) {
+            bad = true;
+            return std::string();
+        }
+        std::string s = buf.substr(pos, len);
+        pos += len;
+        return s;
+    }
+
+    /** True once everything written has been consumed, with no error. */
+    bool
+    atEnd() const
+    {
+        return !bad && pos == buf.size();
+    }
+
+    bool failed() const { return bad; }
+
+  private:
+    std::string buf;
+    size_t pos = 0;
+    bool bad = false;
+};
+
+} // namespace wire
+} // namespace farm
+} // namespace strober
+
+#endif // STROBER_FARM_WIRE_H

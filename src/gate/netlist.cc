@@ -143,5 +143,113 @@ GateNetlist::sweepDeadGates()
     }
 }
 
+namespace {
+
+/** FNV-1a, folded 8 bytes at a time; order-sensitive by construction. */
+class StructHash
+{
+  public:
+    void
+    u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            state ^= (v >> (8 * i)) & 0xff;
+            state *= 0x100000001b3ull;
+        }
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        for (char c : s) {
+            state ^= static_cast<uint8_t>(c);
+            state *= 0x100000001b3ull;
+        }
+    }
+
+    void
+    nets(const std::vector<NetId> &v)
+    {
+        u64(v.size());
+        for (NetId id : v)
+            u64(id);
+    }
+
+    uint64_t value() const { return state; }
+
+  private:
+    uint64_t state = 0xcbf29ce484222325ull;
+};
+
+} // namespace
+
+uint64_t
+netlistFingerprint(const GateNetlist &netlist)
+{
+    StructHash h;
+    h.u64(netlist.numNodes());
+    for (NetId id = 0; id < netlist.numNodes(); ++id) {
+        const GateNode &n = netlist.node(id);
+        h.u64(static_cast<uint64_t>(n.type) |
+              (static_cast<uint64_t>(n.group) << 8) |
+              (static_cast<uint64_t>(n.init) << 40) |
+              (static_cast<uint64_t>(n.dead) << 41));
+        h.u64(n.in[0]);
+        h.u64(n.in[1]);
+        h.u64(n.in[2]);
+        h.u64(n.aux);
+    }
+    h.u64(netlist.inputs().size());
+    for (const BitPort &p : netlist.inputs()) {
+        h.str(p.name);
+        h.nets(p.bits);
+    }
+    h.u64(netlist.outputs().size());
+    for (const BitPort &p : netlist.outputs()) {
+        h.str(p.name);
+        h.nets(p.bits);
+    }
+    h.u64(netlist.macros().size());
+    for (const MacroMem &m : netlist.macros()) {
+        h.str(m.name);
+        h.u64(m.width);
+        h.u64(m.depth);
+        h.u64(m.syncRead);
+        h.u64(m.group);
+        h.u64(m.reads.size());
+        for (const MacroMem::ReadPort &rp : m.reads) {
+            h.nets(rp.addr);
+            h.nets(rp.data);
+            h.u64(rp.en);
+        }
+        h.u64(m.writes.size());
+        for (const MacroMem::WritePort &wp : m.writes) {
+            h.nets(wp.addr);
+            h.nets(wp.data);
+            h.u64(wp.en);
+        }
+        h.u64(m.init.size());
+        for (uint64_t w : m.init)
+            h.u64(w);
+    }
+    h.u64(netlist.retime().size());
+    for (const RetimeNetInfo &r : netlist.retime()) {
+        h.str(r.name);
+        h.u64(r.latency);
+        h.u64(r.inputNets.size());
+        for (const auto &bits : r.inputNets)
+            h.nets(bits);
+        h.u64(r.dffNames.size());
+        for (const std::string &name : r.dffNames)
+            h.str(name);
+    }
+    h.nets(netlist.dffs());
+    h.u64(netlist.groupNames().size());
+    for (const std::string &g : netlist.groupNames())
+        h.str(g);
+    return h.value();
+}
+
 } // namespace gate
 } // namespace strober

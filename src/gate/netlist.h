@@ -149,6 +149,17 @@ class GateNetlist
     mutable std::map<std::string, NetId> dffByName; //!< lazy cache
 };
 
+/**
+ * Structural fingerprint of a netlist: a 64-bit hash over every gate
+ * (type, fanin, group, aux, init, dead flag), port, macro geometry,
+ * retiming annotation and DFF ordering — everything replay and power
+ * analysis consume. Two netlists with equal fingerprints replay a given
+ * snapshot identically, which is what lets the farm's result cache key
+ * on it: any synthesis change (cell remap, retiming, sweep) changes the
+ * fingerprint and invalidates cached results.
+ */
+uint64_t netlistFingerprint(const GateNetlist &netlist);
+
 } // namespace gate
 } // namespace strober
 

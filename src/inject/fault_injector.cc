@@ -1,6 +1,7 @@
 #include "inject/fault_injector.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -150,6 +151,35 @@ corruptFile(const std::string &path, FileFault kind, uint64_t seed)
                             path.c_str());
     }
     return util::Status::ok();
+}
+
+util::Result<std::string>
+corruptOneFileIn(const std::string &dir, const std::string &suffix,
+                 FileFault kind, uint64_t seed)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> candidates;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.size() >= suffix.size() &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+            candidates.push_back(entry.path().string());
+        }
+    }
+    if (candidates.empty()) {
+        return util::errorf(ErrorCode::InvalidArgument,
+                            "no '*%s' files in '%s' to corrupt",
+                            suffix.c_str(), dir.c_str());
+    }
+    std::sort(candidates.begin(), candidates.end());
+    FaultRng rng(seed);
+    const std::string &victim = candidates[rng.below(candidates.size())];
+    util::Status st = corruptFile(victim, kind, seed);
+    if (!st.isOk())
+        return st;
+    return victim;
 }
 
 } // namespace inject

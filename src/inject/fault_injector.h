@@ -105,6 +105,18 @@ util::Status corruptFile(const std::string &path, FileFault kind,
                          uint64_t seed);
 
 /**
+ * Corrupt one seed-chosen file ending in @p suffix inside @p dir (the
+ * candidates are sorted by name, so the victim is fully determined by
+ * the seed). Built for poisoning farm artifacts — result-cache entries
+ * (".strbres") and work-queue manifests (".strbfarm") — to prove the
+ * readers degrade instead of trusting torn bytes. @return the path of
+ * the corrupted file; fails with InvalidArgument when nothing matches.
+ */
+util::Result<std::string> corruptOneFileIn(const std::string &dir,
+                                           const std::string &suffix,
+                                           FileFault kind, uint64_t seed);
+
+/**
  * Hung-simulator injection plan for EnergySimulator::estimate(): maps a
  * snapshot index to phantom stall cycles its gate-level replay burns
  * before making progress. A stall larger than the watchdog budget makes

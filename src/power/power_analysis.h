@@ -26,6 +26,14 @@
 namespace strober {
 namespace power {
 
+/**
+ * Version of the power model's equations and cell-library coefficients.
+ * Farm result-cache keys include it: bump this whenever analyzePower's
+ * numbers can change for identical activity inputs, so stale cached
+ * power results are invalidated instead of silently reused.
+ */
+constexpr uint32_t kPowerModelVersion = 1;
+
 /** Power of one hierarchy group, in watts. */
 struct GroupPower
 {

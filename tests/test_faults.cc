@@ -31,6 +31,7 @@
 #include "core/energy_sim.h"
 #include "core/harness.h"
 #include "fame/snapshot_io.h"
+#include "farm/farm.h"
 #include "gate/replay.h"
 #include "gate/synthesis.h"
 #include "inject/fault_injector.h"
@@ -566,6 +567,91 @@ TEST(FaultTolerance, ShortRunReportsConditionInsteadOfGarbageCI)
     EXPECT_FALSE(r1.valid);
     EXPECT_GT(r1.averagePower.mean, 0.0);
     EXPECT_NE(r1.statusMessage.find("floor"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Cache poisoning: the content-addressed result store (src/farm)
+// ---------------------------------------------------------------------------
+
+TEST_F(FarmFixture, PoisonedCacheEntryDegradesToMissNeverQuarantine)
+{
+    Design d = makeDut();
+    std::string cacheDir = (dir / "cache").string();
+
+    EnergyReport cold;
+    {
+        farm::CachingReplayExecutor exec(cacheDir);
+        EnergySimulator::Config cfg = standardConfig();
+        cfg.replayExecutor = &exec;
+        auto es = runStandard(d, cfg);
+        cold = es->estimate();
+        ASSERT_FALSE(cold.degraded);
+        ASSERT_GE(cold.snapshots, 3u);
+        ASSERT_EQ(exec.cache().entryCount(), cold.snapshots);
+    }
+
+    for (inject::FileFault kind : {inject::FileFault::BitFlip,
+                                   inject::FileFault::Truncate,
+                                   inject::FileFault::HeaderGarbage}) {
+        auto victim =
+            inject::corruptOneFileIn(cacheDir, ".strbres", kind,
+                                     faultSeed());
+        ASSERT_TRUE(victim.isOk()) << victim.status().toString();
+
+        farm::CachingReplayExecutor exec(cacheDir);
+        EnergySimulator::Config cfg = standardConfig();
+        cfg.replayExecutor = &exec;
+        auto es = runStandard(d, cfg);
+        EnergyReport warm = es->estimate();
+        // Whatever the fault did to the entry, it costs exactly one
+        // recompute — never a wrong number, never a quarantine.
+        EXPECT_EQ(exec.replaysExecuted(), 1u)
+            << inject::fileFaultName(kind);
+        EXPECT_EQ(exec.cacheStats().corruptEntries, 1u)
+            << inject::fileFaultName(kind);
+        EXPECT_EQ(warm.cacheMisses, 1u);
+        EXPECT_EQ(warm.cacheHits, warm.snapshots - 1);
+        EXPECT_EQ(warm.droppedSnapshots, 0u);
+        EXPECT_FALSE(warm.degraded);
+        expectReportsBitIdentical(cold, warm);
+        // The recompute healed the store for the next round.
+        EXPECT_EQ(exec.cache().entryCount(), cold.snapshots)
+            << inject::fileFaultName(kind);
+    }
+}
+
+TEST_F(FarmFixture, PoisonedManifestIsRejectedAsCorrupt)
+{
+    // The work queue never trusts torn bytes: any fault class applied to
+    // a shard manifest surfaces as ErrorCode::Corrupt, and the farm
+    // replans instead of replaying against a garbage queue.
+    farm::ShardManifest m;
+    m.shard = 0;
+    m.shards = 1;
+    m.population = 156;
+    m.sampleCount = 1;
+    m.coreName = "dut";
+    m.workloadName = "noise";
+    m.mirrorFrom(standardConfig());
+    farm::ManifestEntry e;
+    e.snapshotFile = "snap_00000.strb";
+    m.entries.push_back(e);
+    std::string path = (dir / farm::shardManifestName(0)).string();
+
+    for (inject::FileFault kind : {inject::FileFault::BitFlip,
+                                   inject::FileFault::Truncate,
+                                   inject::FileFault::HeaderGarbage}) {
+        ASSERT_TRUE(farm::writeManifestFile(path, m).isOk());
+        auto victim = inject::corruptOneFileIn(dir.string(), ".strbfarm",
+                                               kind, faultSeed());
+        ASSERT_TRUE(victim.isOk()) << victim.status().toString();
+        EXPECT_EQ(*victim, path);
+        auto r = farm::readManifestFile(path, true);
+        ASSERT_FALSE(r.isOk()) << inject::fileFaultName(kind);
+        EXPECT_EQ(r.status().code(), util::ErrorCode::Corrupt)
+            << inject::fileFaultName(kind) << ": "
+            << r.status().toString();
+    }
 }
 
 TEST(Injector, SameSeedSameFault)

@@ -5,18 +5,29 @@
  *
  *   strober info                           # list cores and workloads
  *   strober run    <core> <workload>       # fast sim + energy estimate
+ *       [--jobs N | -j N]                  #   parallel replay workers
+ *       [--cache-dir DIR]                  #   persistent replay-result
+ *                                          #   cache (src/farm); a warm
+ *                                          #   cache re-estimates with
+ *                                          #   zero gate-level replays
  *       [--max-dropped-snapshots N]        #   invalidate report past N
  *       [--replay-timeout CYCLES]          #   per-replay watchdog budget
  *   strober truth  <core> <workload>       # exhaustive gate-level power
  *   strober synth  <core> [out.v]          # synthesis stats / Verilog
  *   strober chase  <core> <KiB> [latency]  # pointer-chase latency
  *   strober asm    <file.s>                # assemble + run on the ISS
+ *
+ * Exit codes of `run`: 0 clean estimate, 1 degraded but valid (some
+ * snapshots quarantined / replay mismatches), 2 usage error, 3 invalid
+ * estimate (no trustworthy number; see the report's status line).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <limits>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -24,6 +35,7 @@
 #include "core/energy_sim.h"
 #include "cores/soc.h"
 #include "cores/soc_driver.h"
+#include "farm/farm.h"
 #include "gate/verilog.h"
 #include "isa/assembler.h"
 #include "isa/iss.h"
@@ -71,6 +83,8 @@ struct RunOptions
 {
     size_t maxDroppedSnapshots = std::numeric_limits<size_t>::max();
     uint64_t replayTimeoutCycles = 0; //!< 0 = auto budget
+    unsigned jobs = 1;                //!< parallel replay workers
+    std::string cacheDir;             //!< empty = no persistent cache
 };
 
 int
@@ -85,6 +99,13 @@ cmdRun(const std::string &coreName, const std::string &wlName,
     cfg.replayLength = 128;
     cfg.maxDroppedSnapshots = opts.maxDroppedSnapshots;
     cfg.replayTimeoutCycles = opts.replayTimeoutCycles;
+    cfg.parallelReplays = std::max(1u, opts.jobs);
+    std::unique_ptr<farm::CachingReplayExecutor> cachingExec;
+    if (!opts.cacheDir.empty()) {
+        cachingExec =
+            std::make_unique<farm::CachingReplayExecutor>(opts.cacheDir);
+        cfg.replayExecutor = cachingExec.get();
+    }
     core::EnergySimulator strober(soc, cfg);
     cores::SocDriver driver(soc, wl.program);
     core::RunStats run = strober.run(driver, wl.maxCycles);
@@ -108,6 +129,12 @@ cmdRun(const std::string &coreName, const std::string &wlName,
                 rep.averagePower.halfWidth * 1e3, rep.snapshots,
                 rep.droppedSnapshots,
                 (unsigned long long)rep.replayMismatches);
+    if (cachingExec) {
+        std::printf("replay cache: %zu hit(s), %zu miss(es), %llu "
+                    "replay(s) executed\n",
+                    rep.cacheHits, rep.cacheMisses,
+                    (unsigned long long)cachingExec->replaysExecuted());
+    }
     if (rep.degraded || !rep.valid) {
         std::printf("%s: %s\n", rep.valid ? "degraded" : "INVALID",
                     rep.statusMessage.c_str());
@@ -127,7 +154,12 @@ cmdRun(const std::string &coreName, const std::string &wlName,
                         g.power.mean * 1e3);
         }
     }
-    return rep.valid && rep.replayMismatches == 0 ? 0 : 1;
+    // 0 clean, 1 degraded-but-valid, 3 invalid (2 is reserved for
+    // usage errors) — scripts can distinguish "usable but check the
+    // status line" from "no trustworthy number".
+    if (!rep.valid)
+        return 3;
+    return rep.degraded || rep.replayMismatches ? 1 : 0;
 }
 
 int
@@ -216,6 +248,8 @@ usage()
     std::fprintf(stderr,
                  "usage: strober info\n"
                  "       strober run    <core> <workload>\n"
+                 "                      [--jobs N | -j N]\n"
+                 "                      [--cache-dir DIR]\n"
                  "                      [--max-dropped-snapshots N]\n"
                  "                      [--replay-timeout CYCLES]\n"
                  "       strober truth  <core> <workload>\n"
@@ -246,6 +280,10 @@ main(int argc, char **argv)
                     static_cast<size_t>(std::stoull(argv[++i]));
             } else if (arg == "--replay-timeout" && i + 1 < argc) {
                 opts.replayTimeoutCycles = std::stoull(argv[++i]);
+            } else if ((arg == "--jobs" || arg == "-j") && i + 1 < argc) {
+                opts.jobs = static_cast<unsigned>(std::stoul(argv[++i]));
+            } else if (arg == "--cache-dir" && i + 1 < argc) {
+                opts.cacheDir = argv[++i];
             } else if (arg.rfind("--", 0) == 0) {
                 std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
                 usage();

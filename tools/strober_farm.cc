@@ -1,0 +1,427 @@
+/**
+ * @file
+ * The `strober-farm` tool: a durable, multi-process replay farm over a
+ * run directory (paper Section III-B: replays are embarrassingly
+ * parallel, so throw a pool of gate-level simulator processes at them).
+ *
+ *   strober-farm run <core> <workload> --dir D [-j N] [--shards S]
+ *       # fast sim + plan + N worker processes + collect + report.
+ *       # Kill it at any instant and run it again: completed replays
+ *       # are not redone and the final report is bit-identical.
+ *   strober-farm worker --dir D --shard K       # one detached worker
+ *   strober-farm status --dir D                 # work-queue progress
+ *   strober-farm gc --cache-dir C --keep N      # trim the result cache
+ *
+ * Exit codes (same convention as `strober run`): 0 clean estimate,
+ * 1 degraded-but-valid, 2 usage error, 3 invalid estimate / run failure.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "core/energy_sim.h"
+#include "cores/soc.h"
+#include "cores/soc_driver.h"
+#include "farm/farm.h"
+#include "util/logging.h"
+#include "workloads/workloads.h"
+
+using namespace strober;
+
+namespace {
+
+cores::SocConfig
+coreByName(const std::string &name)
+{
+    if (name == "rocket")
+        return cores::SocConfig::rocket();
+    if (name == "boom1w")
+        return cores::SocConfig::boom1w();
+    if (name == "boom2w")
+        return cores::SocConfig::boom2w();
+    fatal("unknown core '%s' (rocket | boom1w | boom2w)", name.c_str());
+}
+
+/**
+ * Deterministic text rendering of a report. Doubles are printed as %.13a
+ * hex-floats, so two bit-identical reports produce byte-identical files
+ * and `cmp` is a sufficient bit-identity check (the CI kill/resume smoke
+ * test relies on this). Wall-clock times and cache hit/miss counts are
+ * deliberately excluded: they legitimately differ between cold, warm
+ * and resumed runs while the *estimate* must not.
+ */
+std::string
+renderReportDeterministic(const core::EnergyReport &rep)
+{
+    std::string out;
+    out += strfmt("population %llu\n", (unsigned long long)rep.population);
+    out += strfmt("snapshots %zu dropped %zu mismatches %llu\n",
+                  rep.snapshots, rep.droppedSnapshots,
+                  (unsigned long long)rep.replayMismatches);
+    out += strfmt("valid %d degraded %d\n", rep.valid ? 1 : 0,
+                  rep.degraded ? 1 : 0);
+    out += strfmt("status %s\n", rep.statusMessage.c_str());
+    out += strfmt("mean %.13a halfwidth %.13a confidence %.13a\n",
+                  rep.averagePower.mean, rep.averagePower.halfWidth,
+                  rep.averagePower.confidence);
+    out += strfmt("modeled-load-seconds %.13a\n", rep.modeledLoadSeconds);
+    for (const core::GroupEstimate &g : rep.groups) {
+        out += strfmt("group %s mean %.13a halfwidth %.13a\n",
+                      g.group.c_str(), g.power.mean, g.power.halfWidth);
+    }
+    for (const core::SnapshotOutcome &oc : rep.outcomes) {
+        out += strfmt("outcome %zu cycle %llu %s attempts %u retried %d "
+                      "mismatches %llu\n",
+                      oc.index, (unsigned long long)oc.cycle,
+                      core::snapshotStatusName(oc.status), oc.attempts,
+                      oc.retriedOnAlternateLoader ? 1 : 0,
+                      (unsigned long long)oc.mismatches);
+    }
+    return out;
+}
+
+int
+reportExitCode(const core::EnergyReport &rep)
+{
+    if (!rep.valid)
+        return 3;
+    return rep.degraded || rep.replayMismatches ? 1 : 0;
+}
+
+void
+printReportSummary(const core::EnergyReport &rep,
+                   const farm::ResultCache::Stats &cache)
+{
+    std::printf("average power: %.3f mW +/- %.3f (%zu snapshots, %zu "
+                "dropped, %llu replay mismatches)\n",
+                rep.averagePower.mean * 1e3,
+                rep.averagePower.halfWidth * 1e3, rep.snapshots,
+                rep.droppedSnapshots,
+                (unsigned long long)rep.replayMismatches);
+    std::printf("collect: %zu result(s) served by the cache, %zu "
+                "replayed inline, %llu corrupt cache entr(ies) degraded "
+                "to misses\n",
+                rep.cacheHits, rep.cacheMisses,
+                (unsigned long long)cache.corruptEntries);
+    if (rep.degraded || !rep.valid) {
+        std::printf("%s: %s\n", rep.valid ? "degraded" : "INVALID",
+                    rep.statusMessage.c_str());
+    }
+}
+
+struct FarmCliOptions
+{
+    std::string dir;
+    std::string cacheDir;
+    std::string reportPath; //!< empty = "<dir>/report.txt"
+    unsigned jobs = 1;
+    unsigned shards = 0; //!< 0 = same as jobs
+    unsigned shard = 0;  //!< `worker` only
+    bool haveShard = false;
+    size_t keep = 0; //!< `gc` only
+    core::EnergySimulator::Config sim;
+};
+
+/**
+ * Worker body shared by `run` (forked children) and `worker` (detached
+ * processes): drain every shard congruent to @p slot mod @p slots, then
+ * the built-in work stealing covers stragglers.
+ */
+int
+workerBody(const rtl::Design &soc, const FarmCliOptions &opts,
+           unsigned slot, unsigned slots, unsigned totalShards)
+{
+    farm::FarmConfig fcfg;
+    fcfg.dir = opts.dir;
+    fcfg.cacheDir = opts.cacheDir;
+    fcfg.shards = totalShards;
+    fcfg.sim = opts.sim;
+    farm::FarmOrchestrator orch(soc, fcfg);
+    int rc = 0;
+    for (unsigned k = slot; k < totalShards; k += slots) {
+        util::Status st = orch.workShard(k);
+        if (!st.isOk()) {
+            std::fprintf(stderr, "worker: shard %u failed: %s\n", k,
+                         st.toString().c_str());
+            rc = 3;
+        }
+    }
+    return rc;
+}
+
+int
+cmdRun(const std::string &coreName, const std::string &wlName,
+       FarmCliOptions opts)
+{
+    rtl::Design soc = cores::buildSoc(coreByName(coreName));
+    workloads::Workload wl = workloads::byName(wlName);
+    unsigned shards = opts.shards ? opts.shards : std::max(1u, opts.jobs);
+
+    // Phase 1: fast simulation with snapshot sampling (always rerun —
+    // it is cheap and deterministic; the expensive gate-level replays
+    // are what the farm caches).
+    core::EnergySimulator sim(soc, opts.sim);
+    cores::SocDriver driver(soc, wl.program);
+    core::RunStats run = sim.run(driver, wl.maxCycles);
+    if (!driver.done())
+        fatal("workload did not finish");
+    std::printf("%s on %s: %llu target cycles sampled into %zu "
+                "snapshots\n",
+                wl.name.c_str(), coreName.c_str(),
+                (unsigned long long)run.targetCycles,
+                sim.sampler().snapshots().size());
+
+    farm::FarmConfig fcfg;
+    fcfg.dir = opts.dir;
+    fcfg.cacheDir = opts.cacheDir;
+    fcfg.shards = shards;
+    fcfg.sim = opts.sim;
+    fcfg.coreName = coreName;
+    fcfg.workloadName = wl.name;
+    farm::FarmOrchestrator orch(soc, fcfg);
+
+    uint64_t population = run.targetCycles / opts.sim.replayLength;
+    util::Status st = orch.plan(sim.sampler().snapshots(), population);
+    if (!st.isOk())
+        fatal("plan failed: %s", st.toString().c_str());
+
+    // Phase 3: the worker pool. Plain fork(): each child is a real
+    // process with its own gate simulator, publishing through the
+    // filesystem exactly like a detached `strober-farm worker` would.
+    unsigned jobs = std::max(1u, opts.jobs);
+    std::vector<pid_t> kids;
+    for (unsigned w = 0; w < jobs; ++w) {
+        pid_t pid = fork();
+        if (pid < 0)
+            fatal("fork failed");
+        if (pid == 0)
+            _exit(workerBody(soc, opts, w, jobs, shards));
+        kids.push_back(pid);
+    }
+    for (pid_t pid : kids) {
+        int wstatus = 0;
+        waitpid(pid, &wstatus, 0);
+        if (!WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0) {
+            std::fprintf(stderr,
+                         "worker %d exited abnormally; collect() will "
+                         "finish its shard inline\n",
+                         (int)pid);
+        }
+    }
+
+    // Phase 4: collect. Stragglers (dead workers, lost cache entries)
+    // are replayed inline, so a report always comes out.
+    util::Result<core::EnergyReport> rep = orch.collect();
+    if (!rep.isOk())
+        fatal("collect failed: %s", rep.status().toString().c_str());
+    printReportSummary(*rep, orch.cache().stats());
+
+    std::string reportPath =
+        opts.reportPath.empty() ? opts.dir + "/report.txt"
+                                : opts.reportPath;
+    std::ofstream out(reportPath, std::ios::trunc);
+    out << renderReportDeterministic(*rep);
+    out.close();
+    if (!out)
+        fatal("cannot write report '%s'", reportPath.c_str());
+    std::printf("report written to %s\n", reportPath.c_str());
+    return reportExitCode(*rep);
+}
+
+int
+cmdWorker(const FarmCliOptions &opts)
+{
+    // Reconstruct the design from the manifest's recorded core name so
+    // a detached worker only needs --dir and --shard.
+    util::Result<farm::ShardManifest> head = farm::readManifestFile(
+        opts.dir + "/" + farm::shardManifestName(0), false);
+    if (!head.isOk())
+        fatal("cannot read work queue in '%s': %s", opts.dir.c_str(),
+              head.status().toString().c_str());
+    if (head->coreName.empty())
+        fatal("work queue records no core name; use the same binary's "
+              "`run` to plan it");
+    rtl::Design soc = cores::buildSoc(coreByName(head->coreName));
+
+    FarmCliOptions worker = opts;
+    // Replay knobs come from the manifest mirror inside workShard();
+    // the local sim config only seeds the non-mirrored defaults.
+    unsigned shards = head->shards;
+    if (opts.haveShard) {
+        if (opts.shard >= shards)
+            fatal("--shard %u out of range (%u shards)", opts.shard,
+                  shards);
+        return workerBody(soc, worker, opts.shard, shards, shards);
+    }
+    return workerBody(soc, worker, 0, 1, shards);
+}
+
+int
+cmdStatus(const FarmCliOptions &opts)
+{
+    util::Result<farm::ShardManifest> head = farm::readManifestFile(
+        opts.dir + "/" + farm::shardManifestName(0), false);
+    if (!head.isOk())
+        fatal("cannot read work queue in '%s': %s", opts.dir.c_str(),
+              head.status().toString().c_str());
+    farm::FarmOrchestrator::Progress p;
+    for (uint32_t k = 0; k < head->shards; ++k) {
+        util::Result<farm::ShardManifest> m = farm::readManifestFile(
+            opts.dir + "/" + farm::shardManifestName(k), false);
+        if (!m.isOk()) {
+            std::printf("shard %u: unreadable (%s)\n", k,
+                        m.status().toString().c_str());
+            continue;
+        }
+        std::printf("shard %u: %zu pending, %zu leased, %zu done, %zu "
+                    "quarantined\n",
+                    k, m->count(farm::EntryState::Pending),
+                    m->count(farm::EntryState::Leased),
+                    m->count(farm::EntryState::Done),
+                    m->count(farm::EntryState::Quarantined));
+        p.pending += m->count(farm::EntryState::Pending);
+        p.leased += m->count(farm::EntryState::Leased);
+        p.done += m->count(farm::EntryState::Done);
+        p.quarantined += m->count(farm::EntryState::Quarantined);
+        p.total += m->entries.size();
+    }
+    std::printf("%s / %s on %u shard(s): %llu/%llu done, %llu "
+                "quarantined\n",
+                head->coreName.c_str(), head->workloadName.c_str(),
+                head->shards, (unsigned long long)p.done,
+                (unsigned long long)p.total,
+                (unsigned long long)p.quarantined);
+    std::string cacheDir =
+        opts.cacheDir.empty() ? opts.dir + "/cache" : opts.cacheDir;
+    farm::ResultCache cache(cacheDir);
+    std::printf("cache '%s': %zu entr(ies)\n", cacheDir.c_str(),
+                cache.entryCount());
+    return 0;
+}
+
+int
+cmdGc(const FarmCliOptions &opts)
+{
+    farm::ResultCache cache(opts.cacheDir);
+    size_t before = cache.entryCount();
+    size_t removed = cache.trim(opts.keep);
+    std::printf("cache '%s': %zu entr(ies), removed %zu, kept %zu\n",
+                opts.cacheDir.c_str(), before, removed, before - removed);
+    return 0;
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: strober-farm run <core> <workload> --dir D [-j N]\n"
+        "                    [--shards S] [--cache-dir C] [--report F]\n"
+        "                    [--sample-size N] [--replay-length L]\n"
+        "                    [--max-dropped-snapshots N]\n"
+        "                    [--replay-timeout CYCLES]\n"
+        "       strober-farm worker --dir D [--shard K]\n"
+        "       strober-farm status --dir D [--cache-dir C]\n"
+        "       strober-farm gc --cache-dir C --keep N\n");
+}
+
+bool
+parseCommon(const std::vector<std::string> &args, FarmCliOptions &opts,
+            std::vector<std::string> &positional)
+{
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        auto next = [&]() -> const std::string & {
+            if (i + 1 >= args.size())
+                fatal("flag '%s' needs a value", arg.c_str());
+            return args[++i];
+        };
+        if (arg == "--dir") {
+            opts.dir = next();
+        } else if (arg == "--cache-dir") {
+            opts.cacheDir = next();
+        } else if (arg == "--report") {
+            opts.reportPath = next();
+        } else if (arg == "-j" || arg == "--jobs") {
+            opts.jobs = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--shards") {
+            opts.shards = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--shard") {
+            opts.shard = static_cast<unsigned>(std::stoul(next()));
+            opts.haveShard = true;
+        } else if (arg == "--keep") {
+            opts.keep = static_cast<size_t>(std::stoull(next()));
+        } else if (arg == "--sample-size") {
+            opts.sim.sampleSize = static_cast<size_t>(std::stoull(next()));
+        } else if (arg == "--replay-length") {
+            opts.sim.replayLength =
+                static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--max-dropped-snapshots") {
+            opts.sim.maxDroppedSnapshots =
+                static_cast<size_t>(std::stoull(next()));
+        } else if (arg == "--replay-timeout") {
+            opts.sim.replayTimeoutCycles = std::stoull(next());
+        } else if (arg.rfind("--", 0) == 0 || arg.rfind("-", 0) == 0) {
+            std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+            return false;
+        } else {
+            positional.push_back(arg);
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    std::string cmd = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+    FarmCliOptions opts;
+    std::vector<std::string> positional;
+    if (!parseCommon(args, opts, positional)) {
+        usage();
+        return 2;
+    }
+    if (cmd == "run") {
+        if (positional.size() != 2 || opts.dir.empty()) {
+            usage();
+            return 2;
+        }
+        return cmdRun(positional[0], positional[1], opts);
+    }
+    if (cmd == "worker") {
+        if (!positional.empty() || opts.dir.empty()) {
+            usage();
+            return 2;
+        }
+        return cmdWorker(opts);
+    }
+    if (cmd == "status") {
+        if (!positional.empty() || opts.dir.empty()) {
+            usage();
+            return 2;
+        }
+        return cmdStatus(opts);
+    }
+    if (cmd == "gc") {
+        if (!positional.empty() || opts.cacheDir.empty()) {
+            usage();
+            return 2;
+        }
+        return cmdGc(opts);
+    }
+    usage();
+    return 2;
+}
