@@ -24,31 +24,38 @@ namespace strober {
 namespace bench {
 
 /**
- * Machine-readable bench output: `--json <path>` makes a bench write its
+ * Machine-readable bench output: `--json [path]` makes a bench write its
  * headline measurements as a JSON array of flat records (one per
  * measurement), so CI can trend them without scraping the human tables.
+ * With no path the bench writes its canonical artifact name
+ * (BENCH_<bench>.json in the working directory).
  */
 class JsonSink
 {
   public:
     /**
-     * Strip a `--json <path>` pair from argv (before
-     * benchmark::Initialize sees it) and return the sink. Disabled when
-     * the flag is absent.
+     * Strip a `--json [path]` flag from argv (before
+     * benchmark::Initialize sees it) and return the sink. The path
+     * operand is optional; when absent the sink writes
+     * @p defaultPath. Disabled when the flag itself is absent.
      */
     static JsonSink
-    fromArgs(int *argc, char **argv)
+    fromArgs(int *argc, char **argv, const char *defaultPath)
     {
         JsonSink sink;
         for (int i = 1; i < *argc; ++i) {
             if (std::strcmp(argv[i], "--json") != 0)
                 continue;
-            if (i + 1 >= *argc)
-                fatal("--json requires a path");
-            sink.path = argv[i + 1];
-            for (int j = i; j + 2 < *argc; ++j)
-                argv[j] = argv[j + 2];
-            *argc -= 2;
+            int consumed = 1;
+            if (i + 1 < *argc && argv[i + 1][0] != '-') {
+                sink.path = argv[i + 1];
+                consumed = 2;
+            } else {
+                sink.path = defaultPath;
+            }
+            for (int j = i; j + consumed < *argc; ++j)
+                argv[j] = argv[j + consumed];
+            *argc -= consumed;
             break;
         }
         return sink;

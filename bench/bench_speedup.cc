@@ -47,12 +47,12 @@ fixture()
 }
 
 void
-fastRtlSimBench(benchmark::State &state, sim::SimulatorMode mode)
+fastRtlSimBench(benchmark::State &state, sim::Backend backend)
 {
     Fixture &f = fixture();
     for (auto _ : state) {
         cores::SocDriver driver(f.soc, f.wl.program);
-        core::RtlHarness harness(f.soc, mode);
+        core::RtlHarness harness(f.soc, backend);
         core::runLoop(harness, driver, f.wl.maxCycles);
         state.counters["target_Hz"] = benchmark::Counter(
             static_cast<double>(harness.cycles()),
@@ -68,7 +68,7 @@ fastRtlSimBench(benchmark::State &state, sim::SimulatorMode mode)
 void
 BM_FastRtlSim(benchmark::State &state)
 {
-    fastRtlSimBench(state, sim::SimulatorMode::Full);
+    fastRtlSimBench(state, sim::Backend::InterpretedFull);
 }
 BENCHMARK(BM_FastRtlSim)->Unit(benchmark::kMillisecond);
 
@@ -78,18 +78,30 @@ BM_FastRtlSimActivity(benchmark::State &state)
     // Same workload with change-propagation evaluation: the counters
     // show the skipped work (evals_per_cycle, activity factor) that
     // buys the wall-clock gap to BM_FastRtlSim.
-    fastRtlSimBench(state, sim::SimulatorMode::ActivityDriven);
+    fastRtlSimBench(state, sim::Backend::InterpretedActivity);
 }
 BENCHMARK(BM_FastRtlSimActivity)->Unit(benchmark::kMillisecond);
 
 void
-fame1TokenSimBench(benchmark::State &state, sim::SimulatorMode mode)
+BM_FastRtlSimCompiled(benchmark::State &state)
+{
+    // Same workload on the compiled backend. The JIT compile happens
+    // in the first harness construction inside the timed loop; run a
+    // warm-up construction here so the benchmark's own iterations
+    // amortize only the steady-state rate.
+    core::RtlHarness warmup(fixture().soc, sim::Backend::Compiled);
+    fastRtlSimBench(state, sim::Backend::Compiled);
+}
+BENCHMARK(BM_FastRtlSimCompiled)->Unit(benchmark::kMillisecond);
+
+void
+fame1TokenSimBench(benchmark::State &state, sim::Backend backend)
 {
     Fixture &f = fixture();
     static fame::Fame1Design fd = fame::fame1Transform(f.soc);
     for (auto _ : state) {
         cores::SocDriver driver(f.soc, f.wl.program);
-        core::FameHarness harness(fd, nullptr, mode);
+        core::FameHarness harness(fd, nullptr, backend);
         core::runLoop(harness, driver, f.wl.maxCycles);
         state.counters["target_Hz"] = benchmark::Counter(
             static_cast<double>(harness.cycles()),
@@ -102,16 +114,23 @@ fame1TokenSimBench(benchmark::State &state, sim::SimulatorMode mode)
 void
 BM_Fame1TokenSim(benchmark::State &state)
 {
-    fame1TokenSimBench(state, sim::SimulatorMode::Full);
+    fame1TokenSimBench(state, sim::Backend::InterpretedFull);
 }
 BENCHMARK(BM_Fame1TokenSim)->Unit(benchmark::kMillisecond);
 
 void
 BM_Fame1TokenSimActivity(benchmark::State &state)
 {
-    fame1TokenSimBench(state, sim::SimulatorMode::ActivityDriven);
+    fame1TokenSimBench(state, sim::Backend::InterpretedActivity);
 }
 BENCHMARK(BM_Fame1TokenSimActivity)->Unit(benchmark::kMillisecond);
+
+void
+BM_Fame1TokenSimCompiled(benchmark::State &state)
+{
+    fame1TokenSimBench(state, sim::Backend::Compiled);
+}
+BENCHMARK(BM_Fame1TokenSimCompiled)->Unit(benchmark::kMillisecond);
 
 void
 BM_FastRtlSimBoom2w(benchmark::State &state)
@@ -218,22 +237,46 @@ emitJson(bench::JsonSink &json)
         return;
     Fixture &f = fixture();
 
-    cores::SocDriver fastDriver(f.soc, f.wl.program);
-    core::RtlHarness fastHarness(f.soc);
-    double t0 = nowSeconds();
-    core::runLoop(fastHarness, fastDriver, f.wl.maxCycles);
-    double fastWall = nowSeconds() - t0;
-    double fastHz = static_cast<double>(fastHarness.cycles()) / fastWall;
+    // Per-backend fast-RTL rates. The full interpreted sweep is the
+    // speedup baseline; JIT compilation runs at harness construction,
+    // before the clock starts.
+    double fastWall = 0;
+    double fastHz = 0;
+    const sim::Backend backends[] = {sim::Backend::InterpretedFull,
+                                     sim::Backend::InterpretedActivity,
+                                     sim::Backend::Compiled};
+    for (sim::Backend backend : backends) {
+        cores::SocDriver driver(f.soc, f.wl.program);
+        core::RtlHarness harness(f.soc, backend);
+        double start = nowSeconds();
+        core::runLoop(harness, driver, f.wl.maxCycles);
+        double wall = nowSeconds() - start;
+        double hz =
+            wall > 0 ? static_cast<double>(harness.cycles()) / wall : 0;
+        if (backend == sim::Backend::InterpretedFull) {
+            fastWall = wall;
+            fastHz = hz;
+        }
+        json.row(std::string("fast_rtl_sim_") + sim::backendName(backend))
+            .str("design", "rocket")
+            .str("backend", sim::backendName(backend))
+            .str("effective_backend",
+                 sim::backendName(harness.simulator().backend()))
+            .num("cycles", static_cast<double>(harness.cycles()))
+            .num("wall_seconds", wall)
+            .num("cycles_per_sec", hz)
+            .num("speedup", wall > 0 ? fastWall / wall : 0);
+    }
     json.row("fast_rtl_sim")
         .str("design", "rocket")
-        .num("cycles", static_cast<double>(fastHarness.cycles()))
         .num("wall_seconds", fastWall)
+        .num("cycles_per_sec", fastHz)
         .num("speedup", 1.0);
 
     const uint64_t kGateCycles = 3000;
     cores::SocDriver gateDriver(f.soc, f.wl.program);
     core::GateHarness gateHarness(f.synth.netlist);
-    t0 = nowSeconds();
+    double t0 = nowSeconds();
     core::runLoop(gateHarness, gateDriver, kGateCycles);
     double gateWall = nowSeconds() - t0;
     double gateHz = static_cast<double>(gateHarness.cycles()) / gateWall;
@@ -284,7 +327,8 @@ emitJson(bench::JsonSink &json)
 int
 main(int argc, char **argv)
 {
-    bench::JsonSink json = bench::JsonSink::fromArgs(&argc, argv);
+    bench::JsonSink json =
+        bench::JsonSink::fromArgs(&argc, argv, "BENCH_speedup.json");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();

@@ -1,0 +1,299 @@
+#include "codegen/codegen.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace strober {
+namespace codegen {
+
+using rtl::EvalStep;
+using rtl::Op;
+using rtl::kNoSlot;
+
+namespace {
+
+/** Statements per emitted eval function; keeps any single function
+ *  small enough that -O2 compile time stays linear in design size. */
+constexpr size_t kChunkStmts = 2048;
+
+std::string
+hexU64(uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%llxull", (unsigned long long)v);
+    return buf;
+}
+
+std::string
+dec(uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llu", (unsigned long long)v);
+    return buf;
+}
+
+std::string
+slot(uint32_t s)
+{
+    return "s[" + dec(s) + "]";
+}
+
+/** Wrap @p expr in the width mask (a no-op at 64 bits). */
+std::string
+masked(const std::string &expr, unsigned width)
+{
+    if (width >= 64)
+        return expr;
+    return "(" + expr + ") & " + hexU64(bitMask(width));
+}
+
+/** Sign-extend @p expr from @p width to 64 bits (two's-complement). */
+std::string
+sext64(const std::string &expr, unsigned width)
+{
+    if (width == 0 || width >= 64)
+        return expr;
+    std::string sign = hexU64(1ULL << (width - 1));
+    return "((" + expr + " ^ " + sign + ") - " + sign + ")";
+}
+
+/**
+ * One statement computing EvalStep @p st into its destination slot.
+ * Semantics mirror rtl::evalOp case-for-case; keep the two in sync.
+ */
+std::string
+stepStmt(const rtl::Design &d, const EvalStep &st)
+{
+    const std::string a = slot(st.a);
+    const std::string b = slot(st.b);
+    const std::string c = slot(st.c);
+    const std::string dst = slot(st.dst);
+    const unsigned w = st.width;
+    std::string expr;
+    switch (st.op) {
+      case Op::Not:
+        expr = masked("~" + a, w);
+        break;
+      case Op::Neg:
+        expr = masked("0ull - " + a, w);
+        break;
+      case Op::RedOr:
+        expr = "(uint64_t)(" + a + " != 0ull)";
+        break;
+      case Op::RedAnd:
+        expr = "(uint64_t)(" + a + " == " + hexU64(bitMask(st.widthA)) + ")";
+        break;
+      case Op::RedXor:
+        expr = "(uint64_t)(__builtin_popcountll(" + a + ") & 1)";
+        break;
+      case Op::SExt:
+        expr = masked(sext64(a, st.widthA), w);
+        break;
+      case Op::Pad:
+        expr = a;
+        break;
+      case Op::Bits: {
+        unsigned hi = static_cast<unsigned>(st.imm >> 8);
+        unsigned lo = static_cast<unsigned>(st.imm & 0xff);
+        expr = lo ? masked(a + " >> " + dec(lo), hi - lo + 1)
+                  : masked(a, hi - lo + 1);
+        break;
+      }
+      case Op::Add:
+        expr = masked(a + " + " + b, w);
+        break;
+      case Op::Sub:
+        expr = masked(a + " - " + b, w);
+        break;
+      case Op::Mul:
+        expr = masked(a + " * " + b, w);
+        break;
+      case Op::Divu:
+        expr = b + " == 0ull ? " + hexU64(bitMask(w)) + " : " + a + " / " + b;
+        break;
+      case Op::Remu:
+        expr = b + " == 0ull ? " + a + " : " + a + " % " + b;
+        break;
+      case Op::And:
+        expr = a + " & " + b;
+        break;
+      case Op::Or:
+        expr = a + " | " + b;
+        break;
+      case Op::Xor:
+        expr = a + " ^ " + b;
+        break;
+      case Op::Shl:
+        expr = b + " >= " + dec(w) + "ull ? 0ull : " +
+               masked("(" + a + " << " + b + ")", w);
+        break;
+      case Op::Shru:
+        expr = b + " >= " + dec(w) + "ull ? 0ull : " + a + " >> " + b;
+        break;
+      case Op::Sra: {
+        // amt = min(b, width) capped at 63 == min(b, min(width, 63)).
+        unsigned cap = w > 63 ? 63 : w;
+        return "  { uint64_t amt = " + b + " < " + dec(cap) + "ull ? " + b +
+               " : " + dec(cap) + "ull; " + dst + " = " +
+               masked("(uint64_t)((int64_t)" + sext64(a, st.widthA) +
+                          " >> amt)",
+                      w) +
+               "; }\n";
+      }
+      case Op::Eq:
+        expr = "(uint64_t)(" + a + " == " + b + ")";
+        break;
+      case Op::Ne:
+        expr = "(uint64_t)(" + a + " != " + b + ")";
+        break;
+      case Op::Ltu:
+        expr = "(uint64_t)(" + a + " < " + b + ")";
+        break;
+      case Op::Lts:
+        expr = "(uint64_t)((int64_t)" + sext64(a, st.widthA) +
+               " < (int64_t)" + sext64(b, st.widthB) + ")";
+        break;
+      case Op::Cat:
+        expr = masked("(" + a + " << " + dec(st.widthB) + ") | " + b, w);
+        break;
+      case Op::Mux:
+        expr = a + " & 1ull ? " + b + " : " + c;
+        break;
+      case Op::MemRead: {
+        const rtl::MemInfo &m = d.mems()[st.a];
+        expr = b + " < " + dec(m.depth) + "ull ? m[" + dec(st.a) + "][" + b +
+               "] : 0ull";
+        break;
+      }
+      default:
+        panic("codegen: unexpected op %s in evaluation plan",
+              rtl::opName(st.op));
+    }
+    return "  " + dst + " = " + expr + ";\n";
+}
+
+/** "(s[en] & 1ull)" or "" when the port has no enable. */
+std::string
+enableExpr(rtl::NodeId en, const rtl::EvalPlan &plan)
+{
+    if (en == rtl::kNoNode)
+        return "";
+    return "(" + slot(plan.slotOf[en]) + " & 1ull)";
+}
+
+} // namespace
+
+std::string
+emitSimulatorSource(const rtl::Design &d, const rtl::EvalPlan &plan)
+{
+    std::string out;
+    out.reserve(64 * 1024);
+    out += "// Specialized simulator for design '" + d.name() +
+           "' — generated by strober codegen; do not edit.\n";
+    out += "// slots=" + dec(plan.numSlots) +
+           " hot=" + dec(plan.hotProgram.size()) +
+           " folded=" + dec(plan.stats.folded) +
+           " aliased=" + dec(plan.stats.aliased) +
+           " cold=" + dec(plan.stats.cold) + "\n";
+    out += "#include <cstdint>\n\n";
+
+    // Eval: the hot program as straight-line code, chunked so no one
+    // function overwhelms the host compiler's per-function analyses.
+    size_t numChunks =
+        (plan.hotProgram.size() + kChunkStmts - 1) / kChunkStmts;
+    for (size_t chunk = 0; chunk < numChunks; ++chunk) {
+        out += "static void eval_" + dec(chunk) +
+               "(uint64_t* __restrict__ s, uint64_t* const* __restrict__ "
+               "m) {\n";
+        out += "  (void)m;\n";
+        size_t lo = chunk * kChunkStmts;
+        size_t hi = std::min(lo + kChunkStmts, plan.hotProgram.size());
+        for (size_t i = lo; i < hi; ++i)
+            out += stepStmt(d, plan.hotProgram[i]);
+        out += "}\n\n";
+    }
+
+    out += "extern \"C\" void strober_eval(uint64_t* s, uint64_t* const* "
+           "m) {\n";
+    if (numChunks == 0)
+        out += "  (void)s; (void)m;\n";
+    for (size_t chunk = 0; chunk < numChunks; ++chunk)
+        out += "  eval_" + dec(chunk) + "(s, m);\n";
+    out += "}\n\n";
+
+    // Commit: latch registers and sync-read data (read-before-write),
+    // apply memory writes (last port wins), then store the pendings —
+    // the same order as Simulator::commitEdge.
+    out += "extern \"C\" void strober_commit(uint64_t* s, uint64_t* const* "
+           "m) {\n";
+    out += "  (void)m;\n";
+    const auto &regs = d.regs();
+    for (size_t i = 0; i < regs.size(); ++i) {
+        const rtl::RegInfo &r = regs[i];
+        std::string nextV = slot(plan.slotOf[r.next]);
+        std::string oldV = slot(plan.slotOf[r.node]);
+        std::string en = enableExpr(r.en, plan);
+        out += "  const uint64_t rp" + dec(i) + " = " +
+               (en.empty() ? nextV : en + " ? " + nextV + " : " + oldV) +
+               ";\n";
+    }
+    size_t flat = 0;
+    for (size_t mi = 0; mi < d.mems().size(); ++mi) {
+        const rtl::MemInfo &m = d.mems()[mi];
+        if (!m.syncRead)
+            continue;
+        for (const rtl::MemReadPort &p : m.reads) {
+            std::string read = slot(plan.slotOf[p.addr]) + " < " +
+                               dec(m.depth) + "ull ? m[" + dec(mi) + "][" +
+                               slot(plan.slotOf[p.addr]) + "] : 0ull";
+            std::string en = enableExpr(p.en, plan);
+            out += "  const uint64_t sp" + dec(flat) + " = " +
+                   (en.empty() ? "(" + read + ")"
+                               : en + " ? (" + read + ") : " +
+                                     slot(plan.slotOf[p.data])) +
+                   ";\n";
+            ++flat;
+        }
+    }
+    for (size_t mi = 0; mi < d.mems().size(); ++mi) {
+        const rtl::MemInfo &m = d.mems()[mi];
+        for (const rtl::MemWritePort &p : m.writes) {
+            std::string en = enableExpr(p.en, plan);
+            std::string body = "{ const uint64_t a = " +
+                               slot(plan.slotOf[p.addr]) + "; if (a < " +
+                               dec(m.depth) + "ull) m[" + dec(mi) +
+                               "][a] = " + slot(plan.slotOf[p.data]) +
+                               "; }";
+            out += en.empty() ? "  " + body + "\n"
+                              : "  if (" + en + ") " + body + "\n";
+        }
+    }
+    for (size_t i = 0; i < regs.size(); ++i)
+        out += "  " + slot(plan.slotOf[regs[i].node]) + " = rp" + dec(i) +
+               ";\n";
+    flat = 0;
+    for (const rtl::MemInfo &m : d.mems()) {
+        if (!m.syncRead)
+            continue;
+        for (const rtl::MemReadPort &p : m.reads) {
+            out += "  " + slot(plan.slotOf[p.data]) + " = sp" + dec(flat) +
+                   ";\n";
+            ++flat;
+        }
+    }
+    out += "}\n\n";
+
+    // Geometry stamps; the loader cross-checks them before trusting
+    // the module (a stale .so over a changed design is a hard error).
+    out += "extern \"C\" const uint64_t strober_num_slots = " +
+           dec(plan.numSlots) + ";\n";
+    out += "extern \"C\" const uint64_t strober_num_mems = " +
+           dec(d.mems().size()) + ";\n";
+    return out;
+}
+
+} // namespace codegen
+} // namespace strober

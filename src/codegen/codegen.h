@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Compiled-simulation source emitter: lower a Design's optimized
+ * evaluation plan (rtl::buildEvalPlan) to specialized C++ — one
+ * straight-line eval() over the flat slot array plus one commit() for
+ * the clock edge, with widths, masks, immediates and memory bounds
+ * baked in as constants. The emitted translation unit is what the JIT
+ * (codegen/jit.h) hands to the host toolchain; sim::Simulator calls
+ * the resulting functions behind sim::Backend::Compiled.
+ *
+ * Contract: for the same (design, plan) the emitted source is
+ * byte-identical across runs (locked by the golden test in
+ * tests/test_codegen.cc), and executing it is bit-identical to the
+ * interpreter executing the same plan (locked by the three-way
+ * differential suite). Every expression mirrors rtl::evalOp exactly,
+ * including the shift clamps and the division-by-zero rules.
+ */
+
+#ifndef STROBER_CODEGEN_CODEGEN_H
+#define STROBER_CODEGEN_CODEGEN_H
+
+#include <string>
+
+#include "rtl/ir.h"
+#include "rtl/opt.h"
+
+namespace strober {
+namespace codegen {
+
+/** Exported symbol names of the emitted translation unit. */
+constexpr const char *kEvalSymbol = "strober_eval";
+constexpr const char *kCommitSymbol = "strober_commit";
+constexpr const char *kNumSlotsSymbol = "strober_num_slots";
+constexpr const char *kNumMemsSymbol = "strober_num_mems";
+
+/**
+ * Emit the specialized C++ translation unit for @p design under
+ * @p plan. Deterministic: a pure function of its arguments.
+ */
+std::string emitSimulatorSource(const rtl::Design &design,
+                                const rtl::EvalPlan &plan);
+
+} // namespace codegen
+} // namespace strober
+
+#endif // STROBER_CODEGEN_CODEGEN_H

@@ -1,0 +1,166 @@
+#include "codegen/jit.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include "codegen/codegen.h"
+#include "util/logging.h"
+
+#ifndef STROBER_HOST_CXX
+#define STROBER_HOST_CXX ""
+#endif
+
+namespace strober {
+namespace codegen {
+
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+using util::errorf;
+
+namespace {
+
+bool
+envSet(const char *name)
+{
+    const char *v = std::getenv(name);
+    return v != nullptr && v[0] != '\0';
+}
+
+/** Can @p compiler be invoked? (`command -v` through the shell, so
+ *  both bare names on $PATH and absolute paths work.) */
+bool
+compilerUsable(const std::string &compiler)
+{
+    if (compiler.empty())
+        return false;
+    std::string cmd =
+        "command -v '" + compiler + "' > /dev/null 2> /dev/null";
+    int rc = std::system(cmd.c_str());
+    return rc == 0;
+}
+
+/** Best-effort removal of the JIT scratch directory. */
+void
+cleanupDir(const std::string &dir, const std::string &src,
+           const std::string &so, const std::string &log)
+{
+    ::unlink(src.c_str());
+    ::unlink(so.c_str());
+    ::unlink(log.c_str());
+    ::rmdir(dir.c_str());
+}
+
+std::string
+readWholeFile(const std::string &path, size_t limit = 4096)
+{
+    std::ifstream in(path);
+    std::string out;
+    char c;
+    while (out.size() < limit && in.get(c))
+        out.push_back(c);
+    return out;
+}
+
+} // namespace
+
+CompiledSim::~CompiledSim()
+{
+    if (handle != nullptr)
+        ::dlclose(handle);
+}
+
+std::string
+hostCompiler()
+{
+    if (envSet("STROBER_DISABLE_JIT"))
+        return "";
+    const char *env = std::getenv("STROBER_CXX");
+    if (env != nullptr && env[0] != '\0')
+        return compilerUsable(env) ? env : "";
+    const char *candidates[] = {STROBER_HOST_CXX, "c++", "g++", "clang++"};
+    for (const char *c : candidates) {
+        if (compilerUsable(c))
+            return c;
+    }
+    return "";
+}
+
+Result<std::unique_ptr<CompiledSim>>
+compileSimulator(const std::string &source, const std::string &tag)
+{
+    std::string cxx = hostCompiler();
+    if (cxx.empty())
+        return Status(ErrorCode::Unsupported,
+                      "no host C++ compiler available (set $STROBER_CXX, "
+                      "or unset $STROBER_DISABLE_JIT)");
+
+    const char *tmp = std::getenv("TMPDIR");
+    std::string dirTemplate =
+        std::string(tmp != nullptr && tmp[0] != '\0' ? tmp : "/tmp") +
+        "/strober-jit-XXXXXX";
+    std::vector<char> dirBuf(dirTemplate.begin(), dirTemplate.end());
+    dirBuf.push_back('\0');
+    if (::mkdtemp(dirBuf.data()) == nullptr)
+        return errorf(ErrorCode::IoError,
+                      "cannot create JIT scratch directory under '%s'",
+                      dirTemplate.c_str());
+    std::string dir = dirBuf.data();
+    std::string src = dir + "/" + tag + ".cc";
+    std::string so = dir + "/" + tag + ".so";
+    std::string log = dir + "/" + tag + ".log";
+
+    {
+        std::ofstream out(src, std::ios::trunc);
+        out << source;
+        if (!out.flush()) {
+            cleanupDir(dir, src, so, log);
+            return errorf(ErrorCode::IoError, "cannot write '%s'",
+                          src.c_str());
+        }
+    }
+
+    std::string cmd = "'" + cxx + "' -std=c++17 -O2 -fPIC -shared -o '" +
+                      so + "' '" + src + "' > '" + log + "' 2>&1";
+    int rc = std::system(cmd.c_str());
+    if (rc != 0) {
+        std::string diag = readWholeFile(log);
+        cleanupDir(dir, src, so, log);
+        return errorf(ErrorCode::IoError,
+                      "JIT compile failed (%s, exit %d):\n%s", cxx.c_str(),
+                      rc, diag.c_str());
+    }
+
+    void *handle = ::dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
+    // The object stays mapped after dlopen; the files can go now.
+    cleanupDir(dir, src, so, log);
+    if (handle == nullptr)
+        return errorf(ErrorCode::IoError, "dlopen failed: %s", ::dlerror());
+
+    std::unique_ptr<CompiledSim> sim(new CompiledSim());
+    sim->handle = handle;
+    sim->evalFn = reinterpret_cast<CompiledSim::Fn>(
+        ::dlsym(handle, kEvalSymbol));
+    sim->commitFn = reinterpret_cast<CompiledSim::Fn>(
+        ::dlsym(handle, kCommitSymbol));
+    const auto *numSlots = reinterpret_cast<const uint64_t *>(
+        ::dlsym(handle, kNumSlotsSymbol));
+    const auto *numMems = reinterpret_cast<const uint64_t *>(
+        ::dlsym(handle, kNumMemsSymbol));
+    if (sim->evalFn == nullptr || sim->commitFn == nullptr ||
+        numSlots == nullptr || numMems == nullptr)
+        return Status(ErrorCode::Corrupt,
+                      "compiled module is missing entry points");
+    sim->slots = *numSlots;
+    sim->mems = *numMems;
+    return sim;
+}
+
+} // namespace codegen
+} // namespace strober

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Host-toolchain JIT for the compiled-simulation backend: write the
+ * emitted translation unit (codegen/codegen.h) to a private temp
+ * directory, compile it into a shared object with the host C++
+ * compiler, dlopen() it and resolve the entry points.
+ *
+ * Compiler discovery, in order:
+ *  1. $STROBER_CXX — explicit operator override;
+ *  2. the compiler this binary was built with (baked in by CMake);
+ *  3. `c++`, `g++`, `clang++` on $PATH.
+ * Setting $STROBER_DISABLE_JIT to any non-empty value makes discovery
+ * report "no compiler" — the hook the no-toolchain fallback test (and
+ * an operator on a stripped-down machine) uses to force
+ * sim::Backend::Compiled to degrade to the interpreter.
+ *
+ * Failures are values (util::Status), never process exits: a missing
+ * compiler or a failed compile must leave the caller free to fall
+ * back to interpretation with a warning.
+ */
+
+#ifndef STROBER_CODEGEN_JIT_H
+#define STROBER_CODEGEN_JIT_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace strober {
+namespace codegen {
+
+/** A dlopen()ed compiled simulator; closes the handle on destruction. */
+class CompiledSim
+{
+  public:
+    using Fn = void (*)(uint64_t *, uint64_t *const *);
+
+    CompiledSim(const CompiledSim &) = delete;
+    CompiledSim &operator=(const CompiledSim &) = delete;
+    ~CompiledSim();
+
+    /** Combinational sweep over (slots, memory pointers). */
+    Fn eval() const { return evalFn; }
+    /** Clock-edge commit over (slots, memory pointers). */
+    Fn commit() const { return commitFn; }
+    /** Geometry stamps baked into the module (cross-checked on load). */
+    uint64_t numSlots() const { return slots; }
+    uint64_t numMems() const { return mems; }
+
+  private:
+    friend util::Result<std::unique_ptr<CompiledSim>>
+    compileSimulator(const std::string &, const std::string &);
+    CompiledSim() = default;
+
+    void *handle = nullptr;
+    Fn evalFn = nullptr;
+    Fn commitFn = nullptr;
+    uint64_t slots = 0;
+    uint64_t mems = 0;
+};
+
+/**
+ * The host C++ compiler to JIT with, or "" when none is available
+ * (nothing usable found, or $STROBER_DISABLE_JIT is set).
+ */
+std::string hostCompiler();
+
+/**
+ * Compile @p source into a shared object and load it. @p tag names the
+ * temp artifacts (diagnostics only; any identifier-ish string works).
+ * Errors: Unsupported when no compiler is available, IoError for
+ * temp-dir/compile/dlopen failures, Corrupt when the module's geometry
+ * stamps or entry points are missing.
+ */
+util::Result<std::unique_ptr<CompiledSim>>
+compileSimulator(const std::string &source, const std::string &tag);
+
+} // namespace codegen
+} // namespace strober
+
+#endif // STROBER_CODEGEN_JIT_H

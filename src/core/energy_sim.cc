@@ -36,7 +36,7 @@ EnergySimulator::resetSampling()
     scfg.enabled = cfg.samplingEnabled;
     snapSampler = std::make_unique<fame::SnapshotSampler>(fame, scfg);
     fameHarness = std::make_unique<FameHarness>(fame, snapSampler.get(),
-                                                cfg.simMode);
+                                                cfg.backend);
     lastRunCycles = 0;
 }
 

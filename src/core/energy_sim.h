@@ -142,11 +142,12 @@ class EnergySimulator
         double confidence = 0.99;
         double clockHz = 1e9;           //!< target clock (paper: 1 GHz)
         bool samplingEnabled = true;
-        /** Fast-simulator evaluation mode for phase 1. ActivityDriven is
-         *  observationally equivalent to Full (the naive reference
-         *  sweep, locked down by tests/test_differential.cc) and scales
-         *  with per-cycle activity instead of design size. */
-        sim::SimulatorMode simMode = sim::SimulatorMode::ActivityDriven;
+        /** Fast-simulator backend for phase 1. Every backend is
+         *  observationally equivalent (locked down three ways by
+         *  tests/test_differential.cc); InterpretedActivity scales with
+         *  per-cycle activity instead of design size, Compiled trades a
+         *  one-time host-compiler invocation for the fastest sweeps. */
+        sim::Backend backend = sim::Backend::InterpretedActivity;
         gate::LoaderKind loader = gate::LoaderKind::FastVpi;
         /** Host-service stall modeling: every @p hostServiceInterval
          *  target cycles the host services target I/O, costing

@@ -15,16 +15,22 @@ runLoop(TargetHarness &harness, HostDriver &driver, uint64_t maxCycles)
     return harness.cycles();
 }
 
-RtlHarness::RtlHarness(const rtl::Design &design, sim::SimulatorMode mode)
-    : dsn(design), sim(design, mode)
+RtlHarness::RtlHarness(const rtl::Design &design, sim::Backend backend)
+    : dsn(design), sim(design, backend)
 {
+    inputNodes = design.inputs();
+    outputNodes.reserve(design.outputs().size());
+    for (const rtl::OutputPort &o : design.outputs())
+        outputNodes.push_back(o.node);
     lastOutputs.assign(design.outputs().size(), 0);
 }
 
 void
 RtlHarness::setInput(size_t port, uint64_t value)
 {
-    sim.poke(dsn.inputs().at(port), value);
+    if (port >= inputNodes.size())
+        panic("setInput port %zu out of range", port);
+    sim.poke(inputNodes[port], value);
 }
 
 uint64_t
@@ -36,8 +42,8 @@ RtlHarness::getOutput(size_t port) const
 void
 RtlHarness::clock()
 {
-    for (size_t o = 0; o < dsn.outputs().size(); ++o)
-        lastOutputs[o] = sim.peek(dsn.outputs()[o].node);
+    for (size_t o = 0; o < outputNodes.size(); ++o)
+        lastOutputs[o] = sim.peek(outputNodes[o]);
     sim.step();
 }
 
@@ -69,10 +75,10 @@ GateHarness::clock()
 namespace {
 
 fame::TokenSimulator::Config
-tokenConfig(sim::SimulatorMode mode)
+tokenConfig(sim::Backend backend)
 {
     fame::TokenSimulator::Config cfg;
-    cfg.simMode = mode;
+    cfg.backend = backend;
     return cfg;
 }
 
@@ -80,8 +86,8 @@ tokenConfig(sim::SimulatorMode mode)
 
 FameHarness::FameHarness(const fame::Fame1Design &fame,
                          fame::SnapshotSampler *sampler,
-                         sim::SimulatorMode mode)
-    : tsim(fame, tokenConfig(mode)), snapSampler(sampler)
+                         sim::Backend backend)
+    : tsim(fame, tokenConfig(backend)), snapSampler(sampler)
 {
     pendingInputs.assign(fame.targetInputs.size(), 0);
     lastOutputs.assign(fame.targetOutputs.size(), 0);

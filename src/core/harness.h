@@ -60,12 +60,13 @@ class HostDriver
 uint64_t runLoop(TargetHarness &harness, HostDriver &driver,
                  uint64_t maxCycles);
 
-/** Harness over the fast RTL interpreter. */
+/** Harness over the fast RTL simulator. */
 class RtlHarness : public TargetHarness
 {
   public:
-    explicit RtlHarness(const rtl::Design &design,
-                        sim::SimulatorMode mode = sim::SimulatorMode::Full);
+    explicit RtlHarness(
+        const rtl::Design &design,
+        sim::Backend backend = sim::Backend::InterpretedFull);
 
     void setInput(size_t port, uint64_t value) override;
     uint64_t getOutput(size_t port) const override;
@@ -77,6 +78,10 @@ class RtlHarness : public TargetHarness
   private:
     const rtl::Design &dsn;
     sim::Simulator sim;
+    // Port NodeIds resolved once here so the per-cycle loop does no
+    // bounds-checked port-table chasing.
+    std::vector<rtl::NodeId> inputNodes;
+    std::vector<rtl::NodeId> outputNodes;
     std::vector<uint64_t> lastOutputs;
 };
 
@@ -104,7 +109,7 @@ class FameHarness : public TargetHarness
   public:
     FameHarness(const fame::Fame1Design &fame,
                 fame::SnapshotSampler *sampler,
-                sim::SimulatorMode mode = sim::SimulatorMode::Full);
+                sim::Backend backend = sim::Backend::InterpretedFull);
 
     void setInput(size_t port, uint64_t value) override;
     uint64_t getOutput(size_t port) const override;

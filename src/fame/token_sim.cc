@@ -11,10 +11,12 @@ TokenSimulator::TokenSimulator(const Fame1Design &fame)
 }
 
 TokenSimulator::TokenSimulator(const Fame1Design &fame, Config config)
-    : fd(fame), cfg(config), sim(fame.design, config.simMode)
+    : fd(fame), cfg(config), sim(fame.design, config.backend)
 {
     inputChannels.resize(fd.targetInputs.size());
     outputChannels.resize(fd.targetOutputs.size());
+    inScratch.resize(fd.targetInputs.size());
+    outScratch.resize(fd.targetOutputs.size());
     retimeRings.resize(fd.design.retimeRegions().size());
 }
 
@@ -56,11 +58,18 @@ TokenSimulator::recordRetimeInputs()
     const auto &regions = fd.design.retimeRegions();
     for (size_t ri = 0; ri < regions.size(); ++ri) {
         const rtl::RetimeRegion &region = regions[ri];
+        auto &ring = retimeRings[ri];
+        // Recycle the entry about to age out of the ring so the
+        // steady-state loop reuses its capacity instead of allocating.
         std::vector<uint64_t> inputs;
+        if (ring.size() >= region.latency && !ring.empty()) {
+            inputs = std::move(ring.front());
+            ring.pop_front();
+        }
+        inputs.clear();
         inputs.reserve(region.inputs.size());
         for (rtl::NodeId id : region.inputs)
             inputs.push_back(sim.peek(id));
-        auto &ring = retimeRings[ri];
         ring.push_back(std::move(inputs));
         while (ring.size() > region.latency)
             ring.pop_front();
@@ -82,11 +91,10 @@ TokenSimulator::tryStep()
         return false;
     }
 
-    std::vector<uint64_t> inTokens(inputChannels.size());
     for (size_t i = 0; i < inputChannels.size(); ++i) {
-        inTokens[i] = inputChannels[i].front();
+        inScratch[i] = inputChannels[i].front();
         inputChannels[i].pop_front();
-        sim.poke(fd.targetInputs[i].node, inTokens[i]);
+        sim.poke(fd.targetInputs[i].node, inScratch[i]);
     }
     sim.poke(fd.hostEnable, 1);
 
@@ -94,17 +102,16 @@ TokenSimulator::tryStep()
     recordRetimeInputs();
 
     // Observe outputs for this cycle, then commit the edge.
-    std::vector<uint64_t> outTokens(outputChannels.size());
     for (size_t i = 0; i < outputChannels.size(); ++i) {
-        outTokens[i] = sim.peek(fd.targetOutputs[i].node);
-        outputChannels[i].push_back(outTokens[i]);
+        outScratch[i] = sim.peek(fd.targetOutputs[i].node);
+        outputChannels[i].push_back(outScratch[i]);
     }
     sim.step();
     ++firedCycles;
 
     if (activeSnap) {
-        activeSnap->inputTrace.push_back(std::move(inTokens));
-        activeSnap->outputTrace.push_back(std::move(outTokens));
+        activeSnap->inputTrace.push_back(inScratch);
+        activeSnap->outputTrace.push_back(outScratch);
         if (--remainingTrace == 0) {
             activeSnap->complete = true;
             activeSnap = nullptr;

@@ -55,8 +55,8 @@ class TokenSimulator
     struct Config
     {
         size_t channelCapacity = 8;
-        /** Evaluation mode of the underlying fast simulator. */
-        sim::SimulatorMode simMode = sim::SimulatorMode::Full;
+        /** Evaluation backend of the underlying fast simulator. */
+        sim::Backend backend = sim::Backend::InterpretedFull;
     };
 
     explicit TokenSimulator(const Fame1Design &fame);
@@ -108,6 +108,11 @@ class TokenSimulator
     sim::Simulator sim;
     std::vector<std::deque<uint64_t>> inputChannels;
     std::vector<std::deque<uint64_t>> outputChannels;
+    // Per-cycle token scratch, sized once at construction: the fired-
+    // cycle hot loop must not allocate (tokens are copied out only
+    // while a snapshot trace is recording).
+    std::vector<uint64_t> inScratch;
+    std::vector<uint64_t> outScratch;
     uint64_t firedCycles = 0;
     uint64_t hostCycleCount = 0;
 

@@ -3,7 +3,7 @@
  * Combinational-graph analysis over a Design: per-node logic levels, a
  * level-ordered evaluation schedule, and per-node fanout (user) lists in
  * CSR form. This is the static information the activity-driven simulator
- * mode (sim::SimulatorMode::ActivityDriven) needs to propagate value
+ * backend (sim::Backend::InterpretedActivity) needs to propagate value
  * changes through the netlist instead of re-evaluating every node each
  * cycle: when a node's value changes, exactly its fanout set at strictly
  * greater levels can be affected.

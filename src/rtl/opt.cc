@@ -1,0 +1,321 @@
+#include "rtl/opt.h"
+
+#include <array>
+#include <map>
+
+#include "rtl/analysis.h"
+#include "rtl/eval.h"
+#include "util/logging.h"
+
+namespace strober {
+namespace rtl {
+
+namespace {
+
+/** How one argument enters the optimized graph. */
+struct ArgRef
+{
+    bool isConst = false;
+    uint64_t value = 0;    //!< constant value when isConst
+    NodeId rep = kNoNode;  //!< representative node when !isConst
+    uint8_t width = 0;     //!< the consumer's view: original arg width
+};
+
+/**
+ * Structural identity of a comb op for CSE. Two nodes with equal keys
+ * compute equal values in every reachable state, because operands are
+ * compared by representative (equal by induction) or by constant
+ * value, and the op/width/imm fields pin down the function applied.
+ */
+using CseKey = std::array<uint64_t, 8>;
+
+CseKey
+makeKey(Op op, unsigned width, const ArgRef *args, unsigned arity,
+        uint64_t imm)
+{
+    CseKey k{};
+    k[0] = (static_cast<uint64_t>(op) << 32) |
+           (static_cast<uint64_t>(width) << 16);
+    k[1] = imm;
+    for (unsigned i = 0; i < arity; ++i) {
+        k[2 + 2 * i] = (args[i].isConst ? (1ULL << 32) : 0) |
+                       (static_cast<uint64_t>(args[i].width) << 40) |
+                       (args[i].isConst ? 0 : args[i].rep);
+        k[3 + 2 * i] = args[i].isConst ? args[i].value : 0;
+    }
+    return k;
+}
+
+bool
+isCommutative(Op op)
+{
+    switch (op) {
+      case Op::Add:
+      case Op::Mul:
+      case Op::And:
+      case Op::Or:
+      case Op::Xor:
+      case Op::Eq:
+      case Op::Ne:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+argLess(const ArgRef &x, const ArgRef &y)
+{
+    if (x.isConst != y.isConst)
+        return x.isConst < y.isConst;
+    if (x.isConst)
+        return x.value < y.value;
+    return x.rep < y.rep;
+}
+
+} // namespace
+
+EvalPlan
+buildEvalPlan(const Design &d)
+{
+    CombSchedule sched = rtl::analyzeComb(d);
+    const size_t numNodes = d.numNodes();
+
+    // --- Pass 1: classify every node in topological order -------------
+    // rep[n] == n      : n carries its own value (leaf or scheduled op)
+    // rep[n] == m != n : n is an alias of m (CSE hit or passthrough)
+    // folded[n]        : n is a compile-time constant constVal[n]
+    std::vector<NodeId> rep(numNodes, kNoNode);
+    std::vector<uint8_t> folded(numNodes, 0);
+    std::vector<uint8_t> scheduled(numNodes, 0);
+    std::vector<uint64_t> constVal(numNodes, 0);
+    std::map<CseKey, NodeId> cse;
+    EvalPlanStats stats;
+
+    auto resolveArg = [&](NodeId arg) {
+        ArgRef r;
+        r.width = static_cast<uint8_t>(d.node(arg).width);
+        if (folded[arg]) {
+            r.isConst = true;
+            r.value = constVal[arg];
+        } else {
+            r.rep = rep[arg];
+        }
+        return r;
+    };
+    auto aliasTo = [&](NodeId id, const ArgRef &src) {
+        if (src.isConst) {
+            folded[id] = 1;
+            constVal[id] = src.value;
+            rep[id] = id;
+            ++stats.folded;
+        } else {
+            rep[id] = src.rep;
+            ++stats.aliased;
+        }
+    };
+
+    for (NodeId id : sched.order) {
+        const Node &n = d.node(id);
+        switch (n.op) {
+          case Op::Input:
+          case Op::Reg:
+            rep[id] = id;
+            continue;
+          case Op::Const:
+            folded[id] = 1;
+            constVal[id] = truncate(n.imm, n.width);
+            rep[id] = id;
+            continue;
+          case Op::MemRead: {
+            // Sync read data is state (a leaf); async reads are
+            // scheduled as-is — memory contents are not constants.
+            rep[id] = id;
+            uint32_t memIdx = n.aux >> 16;
+            if (!d.mems()[memIdx].syncRead)
+                scheduled[id] = 1;
+            continue;
+          }
+          default:
+            break;
+        }
+
+        unsigned arity = opArity(n.op);
+        ArgRef args[3];
+        bool allConst = true;
+        for (unsigned i = 0; i < arity; ++i) {
+            args[i] = resolveArg(n.args[i]);
+            allConst = allConst && args[i].isConst;
+        }
+
+        // Constant folding (evalOp == interpreter semantics, always).
+        if (allConst) {
+            folded[id] = 1;
+            constVal[id] =
+                evalOp(n.op, n.width, args[0].width, args[1].width, n.imm,
+                       args[0].value, args[1].value, args[2].value);
+            rep[id] = id;
+            ++stats.folded;
+            continue;
+        }
+
+        // Value-passthrough identities: the node's value equals one
+        // operand's value bit-for-bit, so it needs no slot of its own.
+        // (Pad zero-extends an already-masked value: a no-op. SExt and
+        // Bits are no-ops only at matching widths. A Mux whose
+        // selector folded is exactly one of its arms.)
+        if (n.op == Op::Pad ||
+            (n.op == Op::SExt && n.width == args[0].width) ||
+            (n.op == Op::Bits && n.bitsLo() == 0 &&
+             n.bitsHi() + 1 == args[0].width)) {
+            aliasTo(id, args[0]);
+            continue;
+        }
+        if (n.op == Op::Mux && args[0].isConst) {
+            aliasTo(id, args[0].value & 1 ? args[1] : args[2]);
+            continue;
+        }
+
+        // CSE with canonical operand order for commutative ops.
+        ArgRef keyArgs[3] = {args[0], args[1], args[2]};
+        if (arity == 2 && isCommutative(n.op) &&
+            argLess(keyArgs[1], keyArgs[0]))
+            std::swap(keyArgs[0], keyArgs[1]);
+        CseKey key = makeKey(n.op, n.width, keyArgs, arity, n.imm);
+        auto [it, inserted] = cse.emplace(key, id);
+        if (inserted) {
+            rep[id] = id;
+            scheduled[id] = 1;
+        } else {
+            rep[id] = it->second;
+            ++stats.aliased;
+        }
+    }
+
+    // --- Pass 2: liveness over the representative graph ---------------
+    // Roots are everything the per-cycle machinery reads: output ports,
+    // register next/enable, memory-port operands consumed at the clock
+    // edge, and retime-region signals (captured every sampled cycle).
+    std::vector<uint8_t> live(numNodes, 0);
+    std::vector<NodeId> work;
+    auto markLive = [&](NodeId id) {
+        if (id == kNoNode || folded[id])
+            return;
+        NodeId r = rep[id];
+        if (live[r])
+            return;
+        live[r] = 1;
+        work.push_back(r);
+    };
+    for (const OutputPort &o : d.outputs())
+        markLive(o.node);
+    for (const RegInfo &r : d.regs()) {
+        markLive(r.next);
+        markLive(r.en);
+    }
+    for (const MemInfo &m : d.mems()) {
+        for (const MemWritePort &p : m.writes) {
+            markLive(p.addr);
+            markLive(p.data);
+            markLive(p.en);
+        }
+        if (m.syncRead) {
+            for (const MemReadPort &p : m.reads) {
+                markLive(p.addr);
+                markLive(p.en);
+            }
+        }
+    }
+    for (const RetimeRegion &r : d.retimeRegions()) {
+        for (NodeId in : r.inputs)
+            markLive(in);
+        markLive(r.output);
+    }
+    while (!work.empty()) {
+        NodeId r = work.back();
+        work.pop_back();
+        if (scheduled[r])
+            forEachCombDep(d, r, markLive);
+    }
+
+    // --- Pass 3: dense slot assignment ---------------------------------
+    // Leaves, then the hot schedule in evaluation order, then constants,
+    // then cold nodes: the per-cycle working set is one contiguous
+    // prefix of the array.
+    EvalPlan plan;
+    plan.slotOf.assign(numNodes, kNoSlot);
+    plan.coldNode.assign(numNodes, 0);
+    std::vector<SlotId> slotOfRep(numNodes, kNoSlot);
+    SlotId next = 0;
+    for (NodeId id : sched.order) {
+        if (rep[id] == id && !folded[id] && !scheduled[id])
+            slotOfRep[id] = next++; // leaf
+    }
+    for (NodeId id : sched.order) {
+        if (rep[id] == id && scheduled[id] && live[id])
+            slotOfRep[id] = next++; // hot
+    }
+    std::map<uint64_t, SlotId> constSlot;
+    for (NodeId id : sched.order) {
+        if (!folded[id])
+            continue;
+        auto [it, inserted] = constSlot.emplace(constVal[id], next);
+        if (inserted) {
+            plan.slotInit.emplace_back(next, constVal[id]);
+            ++next;
+        }
+        plan.slotOf[id] = it->second;
+    }
+    stats.constSlots = static_cast<uint32_t>(constSlot.size());
+    for (NodeId id : sched.order) {
+        if (rep[id] == id && scheduled[id] && !live[id]) {
+            slotOfRep[id] = next++; // cold
+            ++stats.cold;
+        }
+    }
+    plan.numSlots = next;
+    for (NodeId id = 0; id < numNodes; ++id) {
+        if (folded[id])
+            continue; // const slot already assigned
+        plan.slotOf[id] = slotOfRep[rep[id]];
+        plan.coldNode[id] = scheduled[rep[id]] && !live[rep[id]];
+    }
+
+    // --- Pass 4: emit the hot and cold programs ------------------------
+    auto slotOfArg = [&](NodeId arg) { return plan.slotOf[arg]; };
+    for (NodeId id : sched.order) {
+        if (rep[id] != id || !scheduled[id])
+            continue;
+        const Node &n = d.node(id);
+        EvalStep s;
+        s.op = n.op;
+        s.width = n.width;
+        s.imm = n.imm;
+        s.dst = slotOfRep[id];
+        if (n.op == Op::MemRead) {
+            uint32_t memIdx = n.aux >> 16;
+            uint32_t portIdx = n.aux & 0xffff;
+            s.a = memIdx;
+            s.b = slotOfArg(d.mems()[memIdx].reads[portIdx].addr);
+        } else {
+            unsigned arity = opArity(n.op);
+            if (arity >= 1) {
+                s.a = slotOfArg(n.args[0]);
+                s.widthA = static_cast<uint8_t>(d.node(n.args[0]).width);
+            }
+            if (arity >= 2) {
+                s.b = slotOfArg(n.args[1]);
+                s.widthB = static_cast<uint8_t>(d.node(n.args[1]).width);
+            }
+            if (arity >= 3)
+                s.c = slotOfArg(n.args[2]);
+        }
+        (live[id] ? plan.hotProgram : plan.coldProgram).push_back(s);
+    }
+    stats.hot = static_cast<uint32_t>(plan.hotProgram.size());
+    plan.stats = stats;
+    return plan;
+}
+
+} // namespace rtl
+} // namespace strober

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Netlist pre-optimization for the fast simulator: lower a Design's
+ * combinational graph into an EvalPlan — the optimized, slot-renumbered
+ * evaluation schedule that both the interpreter backends and the
+ * compiled-code backend (src/codegen) execute.
+ *
+ * Passes, run in one topological sweep plus a liveness pass:
+ *  1. Constant folding: nodes whose operands all fold become
+ *     compile-time constants (evaluated with rtl::evalOp, so folding
+ *     can never disagree with the interpreter).
+ *  2. Common-subexpression elimination: structurally identical ops
+ *     over identical operand sources collapse to one representative;
+ *     commutative ops (Add/Mul/And/Or/Xor/Eq/Ne) canonicalize operand
+ *     order first. Value-passthrough ops (Pad always; SExt and
+ *     full-range Bits at equal widths; Mux with a folded selector)
+ *     alias straight to their source.
+ *  3. Dead-node sweep: nodes not reachable from any root (outputs,
+ *     register next/enable, memory-port operands, retime annotations)
+ *     are moved off the per-cycle hot path into a cold program that
+ *     only runs when such a node is actually peeked.
+ *  4. Dense slot renumbering: live values get contiguous slots in a
+ *     flat array — leaves first, then the hot schedule in evaluation
+ *     order, then deduplicated constants, then cold nodes — so the
+ *     per-cycle working set is cache-contiguous instead of scattered
+ *     across NodeId space.
+ *
+ * Observability contract: *every* node still has a value. slotOf maps
+ * each NodeId to the slot carrying its (representative's) value;
+ * aliases share their representative's slot, folded nodes share a
+ * preset constant slot, and cold nodes are refreshed by evaluating
+ * coldProgram before reading. sim::Simulator::peek() hides all of
+ * this, so scan chains, snapshots, VCD dumping and the differential
+ * tests see exactly the values the unoptimized sweep would produce.
+ */
+
+#ifndef STROBER_RTL_OPT_H
+#define STROBER_RTL_OPT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "rtl/ir.h"
+
+namespace strober {
+namespace rtl {
+
+/** Index into an EvalPlan's flat value array. */
+using SlotId = uint32_t;
+
+/** Sentinel for "no slot" (e.g. an absent enable operand). */
+constexpr SlotId kNoSlot = UINT32_MAX;
+
+/**
+ * One scheduled combinational operation over the slot array. Operand
+ * slots are fully resolved: an argument that was folded reads a
+ * constant slot, an aliased argument reads its representative's slot.
+ * For Op::MemRead, @ref a is the memory index and @ref b the address
+ * slot. @ref widthA / @ref widthB are the *original* operand widths
+ * (aliasing never changes a value, but it can change the width of the
+ * node a slot came from, and RedAnd/SExt/Sra/Lts/Cat semantics depend
+ * on the consumer's view of the operand width).
+ */
+struct EvalStep
+{
+    Op op = Op::Const;
+    uint16_t width = 0;
+    uint8_t widthA = 0;
+    uint8_t widthB = 0;
+    SlotId dst = kNoSlot;
+    uint32_t a = 0, b = 0, c = 0;
+    uint64_t imm = 0;
+};
+
+/** Optimization statistics (reporting and tests). */
+struct EvalPlanStats
+{
+    uint32_t folded = 0;   //!< comb nodes that became constants
+    uint32_t aliased = 0;  //!< comb nodes merged into a representative
+    uint32_t cold = 0;     //!< live-value dead nodes moved off the hot path
+    uint32_t hot = 0;      //!< scheduled per-cycle operations
+    uint32_t constSlots = 0; //!< deduplicated constant slots
+};
+
+/** The optimized evaluation schedule of one Design. */
+struct EvalPlan
+{
+    /** Per node: the slot carrying its value (always valid). */
+    std::vector<SlotId> slotOf;
+    /** Per node: value only fresh after coldProgram ran (see above). */
+    std::vector<uint8_t> coldNode;
+    /** Total slots in the flat value array. */
+    uint32_t numSlots = 0;
+    /** Constant slots and their values (applied at reset). */
+    std::vector<std::pair<SlotId, uint64_t>> slotInit;
+    /**
+     * Per-cycle schedule, in a topological order of the optimized
+     * graph: every step's operands are produced by leaves, constants
+     * or strictly earlier steps. Draining dirty steps in ascending
+     * index order is therefore a sub-sequence of the full sweep.
+     */
+    std::vector<EvalStep> hotProgram;
+    /** Dead-node schedule, topological; runs only on cold peeks. */
+    std::vector<EvalStep> coldProgram;
+    EvalPlanStats stats;
+};
+
+/**
+ * Build the optimized evaluation plan for @p design. Same contract as
+ * analyzeComb(): calls fatal() naming a node on a combinational cycle.
+ */
+EvalPlan buildEvalPlan(const Design &design);
+
+} // namespace rtl
+} // namespace strober
+
+#endif // STROBER_RTL_OPT_H

@@ -1,27 +1,54 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <cctype>
 
+#include "codegen/codegen.h"
 #include "lint/lint.h"
-#include "rtl/analysis.h"
+#include "rtl/eval.h"
 #include "util/bits.h"
 #include "util/logging.h"
 
 namespace strober {
 namespace sim {
 
-using rtl::Op;
+using rtl::EvalStep;
 using rtl::NodeId;
+using rtl::Op;
+using rtl::SlotId;
 using rtl::kNoNode;
+using rtl::kNoSlot;
 
 const char *
-simulatorModeName(SimulatorMode mode)
+backendName(Backend backend)
 {
-    return mode == SimulatorMode::Full ? "full" : "activity";
+    switch (backend) {
+      case Backend::InterpretedFull:
+        return "full";
+      case Backend::InterpretedActivity:
+        return "activity";
+      case Backend::Compiled:
+        return "compiled";
+    }
+    return "?";
 }
 
-Simulator::Simulator(const rtl::Design &design, SimulatorMode mode)
-    : dsn(design), simMode(mode)
+bool
+parseBackend(const std::string &text, Backend *out)
+{
+    if (text == "full" || text == "interpreted-full")
+        *out = Backend::InterpretedFull;
+    else if (text == "activity" || text == "interpreted-activity")
+        *out = Backend::InterpretedActivity;
+    else if (text == "compiled")
+        *out = Backend::Compiled;
+    else
+        return false;
+    return true;
+}
+
+Simulator::Simulator(const rtl::Design &design, Backend backend)
+    : dsn(design), requested(backend), effective(backend)
 {
     lint::Options opts;
     opts.minSeverity = lint::Severity::Error;
@@ -30,93 +57,123 @@ Simulator::Simulator(const rtl::Design &design, SimulatorMode mode)
         fatal("cannot simulate design '%s': %zu lint error(s):\n%s",
               dsn.name().c_str(), diags.errorCount(), diags.str().c_str());
     }
-    compile();
+    evalPlan = rtl::buildEvalPlan(dsn);
+    buildTables();
+    if (requested == Backend::Compiled)
+        attachCompiledModule();
     reset();
 }
 
 void
-Simulator::compile()
+Simulator::buildTables()
 {
-    rtl::CombSchedule sched = rtl::analyzeComb(dsn);
-    numLevels = sched.numLevels;
+    const auto &slotOf = evalPlan.slotOf;
 
-    program.clear();
-    program.reserve(sched.order.size());
-    stepLevel.clear();
-    memReadSteps.assign(dsn.mems().size(), {});
-    std::vector<uint32_t> stepOfNode(dsn.numNodes(), kNoStep);
-
-    for (NodeId id : sched.order) {
-        const rtl::Node &n = dsn.node(id);
-        switch (n.op) {
-          case Op::Input:
-          case Op::Const:
-          case Op::Reg:
-            continue; // leaves: poked, preset, or state
-          case Op::MemRead: {
-            uint32_t memIdx = n.aux >> 16;
-            uint32_t portIdx = n.aux & 0xffff;
-            const rtl::MemInfo &m = dsn.mems()[memIdx];
-            if (m.syncRead)
-                continue; // registered read data is state
-            Step s{};
-            s.op = Op::MemRead;
-            s.width = n.width;
-            s.dst = id;
-            s.a = memIdx;
-            s.b = m.reads[portIdx].addr;
-            stepOfNode[id] = static_cast<uint32_t>(program.size());
-            memReadSteps[memIdx].push_back(
-                static_cast<uint32_t>(program.size()));
-            program.push_back(s);
-            stepLevel.push_back(sched.level[id]);
-            continue;
-          }
-          default:
-            break;
-        }
-        Step s{};
-        s.op = n.op;
-        s.width = n.width;
-        s.dst = id;
-        s.imm = n.imm;
-        unsigned arity = rtl::opArity(n.op);
-        if (arity >= 1) {
-            s.a = n.args[0];
-            s.widthA = static_cast<uint8_t>(dsn.node(n.args[0]).width);
-        }
-        if (arity >= 2) {
-            s.b = n.args[1];
-            s.widthB = static_cast<uint8_t>(dsn.node(n.args[1]).width);
-        }
-        if (arity >= 3)
-            s.c = n.args[2];
-        stepOfNode[id] = static_cast<uint32_t>(program.size());
-        program.push_back(s);
-        stepLevel.push_back(sched.level[id]);
+    regCommits.clear();
+    regCommits.reserve(dsn.regs().size());
+    for (const rtl::RegInfo &r : dsn.regs()) {
+        RegCommit c;
+        c.dst = slotOf[r.node];
+        c.next = slotOf[r.next];
+        c.en = r.en == kNoNode ? kNoSlot : slotOf[r.en];
+        regCommits.push_back(c);
     }
 
-    // Per-node fanout as *step* indices: every combinational user of a
-    // node has a step, so the CSR shape carries over unchanged.
-    fanoutBegin.assign(sched.fanoutBegin.begin(), sched.fanoutBegin.end());
-    fanoutSteps.resize(sched.fanout.size());
-    for (size_t i = 0; i < sched.fanout.size(); ++i)
-        fanoutSteps[i] = stepOfNode[sched.fanout[i]];
+    syncReadCommits.clear();
+    memWriteCommits.clear();
+    for (size_t mi = 0; mi < dsn.mems().size(); ++mi) {
+        const rtl::MemInfo &m = dsn.mems()[mi];
+        if (m.syncRead) {
+            for (const rtl::MemReadPort &p : m.reads) {
+                SyncReadCommit c;
+                c.data = slotOf[p.data];
+                c.addr = slotOf[p.addr];
+                c.en = p.en == kNoNode ? kNoSlot : slotOf[p.en];
+                c.mem = static_cast<uint32_t>(mi);
+                c.depth = m.depth;
+                syncReadCommits.push_back(c);
+            }
+        }
+        for (const rtl::MemWritePort &p : m.writes) {
+            MemWriteCommit c;
+            c.addr = slotOf[p.addr];
+            c.data = slotOf[p.data];
+            c.en = p.en == kNoNode ? kNoSlot : slotOf[p.en];
+            c.mem = static_cast<uint32_t>(mi);
+            c.depth = m.depth;
+            memWriteCommits.push_back(c);
+        }
+    }
 
-    levelBuckets.assign(numLevels, {});
+    // Per-slot fanout over the hot program, in CSR form: the steps that
+    // must re-run when a slot's value changes. Async memory reads are
+    // additionally grouped per memory (marked on memory writes).
+    const auto &hot = evalPlan.hotProgram;
+    memReadSteps.assign(dsn.mems().size(), {});
+    std::vector<uint32_t> counts(evalPlan.numSlots + 1, 0);
+    auto forEachOperand = [&](const EvalStep &s, auto &&fn) {
+        if (s.op == Op::MemRead) {
+            fn(s.b);
+            return;
+        }
+        unsigned arity = rtl::opArity(s.op);
+        if (arity >= 1)
+            fn(s.a);
+        if (arity >= 2)
+            fn(s.b);
+        if (arity >= 3)
+            fn(s.c);
+    };
+    for (const EvalStep &s : hot)
+        forEachOperand(s, [&](SlotId slot) { ++counts[slot + 1]; });
+    for (size_t i = 1; i < counts.size(); ++i)
+        counts[i] += counts[i - 1];
+    fanoutBegin = counts;
+    fanoutSteps.assign(counts.back(), 0);
+    std::vector<uint32_t> fill(fanoutBegin.begin(), fanoutBegin.end());
+    for (uint32_t i = 0; i < hot.size(); ++i) {
+        forEachOperand(hot[i],
+                       [&](SlotId slot) { fanoutSteps[fill[slot]++] = i; });
+        if (hot[i].op == Op::MemRead)
+            memReadSteps[hot[i].a].push_back(i);
+    }
+}
+
+void
+Simulator::attachCompiledModule()
+{
+    std::string tag = "sim_" + dsn.name();
+    for (char &c : tag) {
+        if (!(std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_'))
+            c = '_';
+    }
+    std::string source = codegen::emitSimulatorSource(dsn, evalPlan);
+    auto result = codegen::compileSimulator(source, tag);
+    if (!result.isOk()) {
+        warn("compiled backend unavailable for '%s' (%s); falling back "
+             "to the full interpreter",
+             dsn.name().c_str(), result.status().toString().c_str());
+        effective = Backend::InterpretedFull;
+        return;
+    }
+    module = std::move(result.value());
+    if (module->numSlots() != evalPlan.numSlots ||
+        module->numMems() != dsn.mems().size())
+        panic("compiled module geometry mismatch for '%s' "
+              "(slots %llu != %u or mems %llu != %zu)",
+              dsn.name().c_str(), (unsigned long long)module->numSlots(),
+              evalPlan.numSlots, (unsigned long long)module->numMems(),
+              dsn.mems().size());
 }
 
 void
 Simulator::reset()
 {
-    values.assign(dsn.numNodes(), 0);
-    for (NodeId id = 0; id < dsn.numNodes(); ++id) {
-        const rtl::Node &n = dsn.node(id);
-        if (n.op == Op::Const)
-            values[id] = truncate(n.imm, n.width);
-    }
+    slots.assign(evalPlan.numSlots, 0);
+    for (const auto &[slot, value] : evalPlan.slotInit)
+        slots[slot] = value;
     for (const rtl::RegInfo &r : dsn.regs())
-        values[r.node] = r.init;
+        slots[evalPlan.slotOf[r.node]] = r.init;
 
     mems.clear();
     mems.reserve(dsn.mems().size());
@@ -125,42 +182,36 @@ Simulator::reset()
         for (size_t i = 0; i < m.init.size(); ++i)
             mems.back()[i] = m.init[i];
     }
+    memPtrs.clear();
+    for (auto &contents : mems)
+        memPtrs.push_back(contents.data());
 
-    regPending.assign(dsn.regs().size(), 0);
-    size_t syncPorts = 0;
-    for (const rtl::MemInfo &m : dsn.mems()) {
-        if (m.syncRead)
-            syncPorts += m.reads.size();
-    }
-    readPending.assign(syncPorts, 0);
+    regPending.assign(regCommits.size(), 0);
+    readPending.assign(syncReadCommits.size(), 0);
 
-    stepDirty.assign(program.size(), 0);
-    for (auto &bucket : levelBuckets)
-        bucket.clear();
-    minDirtyLevel = numLevels;
-    maxDirtyLevel = 0;
+    dirtyBits.assign((evalPlan.hotProgram.size() + 63) / 64, 0);
+    minDirtyWord = static_cast<uint32_t>(dirtyBits.size());
+    maxDirtyWord = 0;
     fullSweepPending = true;
 
     cycleCount = 0;
     combStale = true;
+    coldStale = true;
 }
 
 void
 Simulator::markStepDirty(uint32_t stepIdx)
 {
-    if (stepDirty[stepIdx])
-        return;
-    stepDirty[stepIdx] = 1;
-    uint32_t lvl = stepLevel[stepIdx];
-    levelBuckets[lvl].push_back(stepIdx);
-    minDirtyLevel = std::min(minDirtyLevel, lvl);
-    maxDirtyLevel = std::max(maxDirtyLevel, lvl);
+    uint32_t word = stepIdx >> 6;
+    dirtyBits[word] |= 1ULL << (stepIdx & 63);
+    minDirtyWord = std::min(minDirtyWord, word);
+    maxDirtyWord = std::max(maxDirtyWord, word);
 }
 
 void
-Simulator::markNodeChanged(NodeId node)
+Simulator::markSlotChanged(SlotId slot)
 {
-    for (uint32_t i = fanoutBegin[node]; i < fanoutBegin[node + 1]; ++i)
+    for (uint32_t i = fanoutBegin[slot]; i < fanoutBegin[slot + 1]; ++i)
         markStepDirty(fanoutSteps[i]);
 }
 
@@ -172,17 +223,18 @@ Simulator::markMemChanged(size_t memIdx)
 }
 
 void
-Simulator::updateNode(NodeId node, uint64_t value)
+Simulator::updateSlot(SlotId slot, uint64_t value)
 {
-    if (simMode == SimulatorMode::ActivityDriven) {
-        if (values[node] == value)
-            return;
-        values[node] = value;
-        markNodeChanged(node);
+    if (effective == Backend::InterpretedActivity) {
+        if (slots[slot] != value) {
+            slots[slot] = value;
+            markSlotChanged(slot);
+        }
     } else {
-        values[node] = value;
+        slots[slot] = value;
     }
     combStale = true;
+    coldStale = true;
 }
 
 void
@@ -191,7 +243,7 @@ Simulator::poke(NodeId input, uint64_t value)
     const rtl::Node &n = dsn.node(input);
     if (n.op != Op::Input)
         panic("poke target '%s' is not an input", n.name.c_str());
-    updateNode(input, truncate(value, n.width));
+    updateSlot(evalPlan.slotOf[input], truncate(value, n.width));
 }
 
 void
@@ -208,7 +260,9 @@ Simulator::peek(NodeId node)
 {
     if (combStale)
         evalComb();
-    return values[node];
+    if (evalPlan.coldNode[node] != 0 && coldStale)
+        evalCold();
+    return slots[evalPlan.slotOf[node]];
 }
 
 uint64_t
@@ -221,97 +275,24 @@ Simulator::peek(const std::string &name)
 }
 
 uint64_t
-Simulator::evalStep(const Step &s) const
+Simulator::evalStep(const EvalStep &s) const
 {
-    const uint64_t *v = values.data();
-    switch (s.op) {
-      case Op::Not:
-        return truncate(~v[s.a], s.width);
-      case Op::Neg:
-        return truncate(0 - v[s.a], s.width);
-      case Op::RedOr:
-        return v[s.a] != 0;
-      case Op::RedAnd:
-        return v[s.a] == bitMask(s.widthA);
-      case Op::RedXor:
-        return static_cast<uint64_t>(__builtin_popcountll(v[s.a])) & 1;
-      case Op::SExt:
-        return truncate(signExtend(v[s.a], s.widthA), s.width);
-      case Op::Pad:
-        return v[s.a];
-      case Op::Bits:
-        return bits(v[s.a], static_cast<unsigned>(s.imm >> 8),
-                    static_cast<unsigned>(s.imm & 0xff));
-      case Op::Add:
-        return truncate(v[s.a] + v[s.b], s.width);
-      case Op::Sub:
-        return truncate(v[s.a] - v[s.b], s.width);
-      case Op::Mul:
-        return truncate(v[s.a] * v[s.b], s.width);
-      case Op::Divu:
-        return v[s.b] == 0 ? bitMask(s.width) : v[s.a] / v[s.b];
-      case Op::Remu:
-        return v[s.b] == 0 ? v[s.a] : v[s.a] % v[s.b];
-      case Op::And:
-        return v[s.a] & v[s.b];
-      case Op::Or:
-        return v[s.a] | v[s.b];
-      case Op::Xor:
-        return v[s.a] ^ v[s.b];
-      case Op::Shl: {
-        // Dynamic amounts are unbounded 64-bit values: clamp before the
-        // C++ shift (<< by >= 64 is undefined behaviour).
-        uint64_t amt = v[s.b];
-        if (amt >= s.width)
-            return 0;
-        return truncate(v[s.a] << amt, s.width);
-      }
-      case Op::Shru: {
-        uint64_t amt = v[s.b];
-        if (amt >= s.width)
-            return 0;
-        return v[s.a] >> amt;
-      }
-      case Op::Sra: {
-        // Shifting by >= width fills with the sign bit; cap the actual
-        // C++ shift at 63 (bit 63 of the sign-extended operand IS the
-        // sign, so >> 63 realizes the full fill without UB).
-        uint64_t amt = std::min<uint64_t>(v[s.b], s.width);
-        if (amt > 63)
-            amt = 63;
-        int64_t x = static_cast<int64_t>(signExtend(v[s.a], s.widthA));
-        return truncate(static_cast<uint64_t>(x >> amt), s.width);
-      }
-      case Op::Eq:
-        return v[s.a] == v[s.b];
-      case Op::Ne:
-        return v[s.a] != v[s.b];
-      case Op::Ltu:
-        return v[s.a] < v[s.b];
-      case Op::Lts:
-        return static_cast<int64_t>(signExtend(v[s.a], s.widthA)) <
-               static_cast<int64_t>(signExtend(v[s.b], s.widthB));
-      case Op::Cat:
-        return truncate((v[s.a] << s.widthB) | v[s.b], s.width);
-      case Op::Mux:
-        return v[s.a] & 1 ? v[s.b] : v[s.c];
-      case Op::MemRead: {
+    const uint64_t *v = slots.data();
+    if (s.op == Op::MemRead) {
         uint64_t addr = v[s.b];
         const auto &contents = mems[s.a];
         return addr < contents.size() ? contents[addr] : 0;
-      }
-      default:
-        panic("unexpected op %s in comb schedule", rtl::opName(s.op));
     }
-    return 0;
+    return rtl::evalOp(s.op, s.width, s.widthA, s.widthB, s.imm, v[s.a],
+                       v[s.b], v[s.c]);
 }
 
 void
 Simulator::evalCombFull()
 {
-    for (const Step &s : program)
-        values[s.dst] = evalStep(s);
-    evalCount += program.size();
+    for (const EvalStep &s : evalPlan.hotProgram)
+        slots[s.dst] = evalStep(s);
+    evalCount += evalPlan.hotProgram.size();
     combStale = false;
 }
 
@@ -321,113 +302,123 @@ Simulator::evalCombActivity()
     if (fullSweepPending) {
         // First sweep after reset: everything is potentially stale.
         evalCombFull();
-        for (auto &bucket : levelBuckets)
-            bucket.clear();
-        std::fill(stepDirty.begin(), stepDirty.end(), 0);
-        minDirtyLevel = numLevels;
-        maxDirtyLevel = 0;
+        std::fill(dirtyBits.begin(), dirtyBits.end(), 0);
+        minDirtyWord = static_cast<uint32_t>(dirtyBits.size());
+        maxDirtyWord = 0;
         fullSweepPending = false;
         return;
     }
 
+    // Drain the dirty bitmap in one ascending scan. The hot program is
+    // topologically ordered, so a step marked while draining always
+    // sits at a strictly higher index than the step that marked it —
+    // either a higher bit of the current word (picked up because the
+    // word is re-read every iteration) or a later word (maxDirtyWord
+    // is re-read by the loop condition). Ascending index order also
+    // keeps the evaluation sequence a sub-sequence of the full sweep.
     uint64_t evaluated = 0;
-    // Drain dirty steps level by level. Marks made while draining always
-    // target strictly higher levels (a combinational user is deeper than
-    // its producer), so a single ascending pass settles the graph.
-    for (uint32_t lvl = minDirtyLevel;
-         lvl < numLevels && lvl <= maxDirtyLevel; ++lvl) {
-        std::vector<uint32_t> &bucket = levelBuckets[lvl];
-        if (bucket.empty())
-            continue;
-        // Schedule order within the level == ascending step index; this
-        // keeps the evaluation sequence a sub-sequence of the Full sweep.
-        std::sort(bucket.begin(), bucket.end());
-        for (uint32_t stepIdx : bucket) {
-            stepDirty[stepIdx] = 0;
-            const Step &s = program[stepIdx];
+    const size_t numWords = dirtyBits.size();
+    for (uint32_t w = minDirtyWord; w < numWords && w <= maxDirtyWord;
+         ++w) {
+        while (dirtyBits[w] != 0) {
+            uint32_t bit =
+                static_cast<uint32_t>(__builtin_ctzll(dirtyBits[w]));
+            dirtyBits[w] &= dirtyBits[w] - 1;
+            const EvalStep &s = evalPlan.hotProgram[(w << 6) | bit];
             uint64_t r = evalStep(s);
             ++evaluated;
-            if (values[s.dst] != r) {
-                values[s.dst] = r;
-                markNodeChanged(s.dst);
+            if (slots[s.dst] != r) {
+                slots[s.dst] = r;
+                markSlotChanged(s.dst);
             }
         }
-        bucket.clear();
     }
-    minDirtyLevel = numLevels;
-    maxDirtyLevel = 0;
+    minDirtyWord = static_cast<uint32_t>(numWords);
+    maxDirtyWord = 0;
     evalCount += evaluated;
-    skipCount += program.size() - evaluated;
+    skipCount += evalPlan.hotProgram.size() - evaluated;
     combStale = false;
 }
 
 void
 Simulator::evalComb()
 {
-    if (simMode == SimulatorMode::ActivityDriven)
-        evalCombActivity();
-    else
+    switch (effective) {
+      case Backend::InterpretedFull:
         evalCombFull();
+        break;
+      case Backend::InterpretedActivity:
+        evalCombActivity();
+        break;
+      case Backend::Compiled:
+        module->eval()(slots.data(), memPtrs.data());
+        evalCount += evalPlan.hotProgram.size();
+        combStale = false;
+        break;
+    }
+}
+
+void
+Simulator::evalCold()
+{
+    // Dead (optimized-away) nodes, refreshed only when observed. Not
+    // counted in nodeEvals(): observation cost, not simulation cost.
+    for (const EvalStep &s : evalPlan.coldProgram)
+        slots[s.dst] = evalStep(s);
+    coldStale = false;
 }
 
 void
 Simulator::commitEdge()
 {
-    const auto &regs = dsn.regs();
-    for (size_t i = 0; i < regs.size(); ++i) {
-        const rtl::RegInfo &r = regs[i];
-        bool en = r.en == kNoNode || (values[r.en] & 1);
-        regPending[i] = en ? values[r.next] : values[r.node];
+    if (effective == Backend::Compiled) {
+        module->commit()(slots.data(), memPtrs.data());
+        ++cycleCount;
+        combStale = true;
+        coldStale = true;
+        return;
+    }
+
+    for (size_t i = 0; i < regCommits.size(); ++i) {
+        const RegCommit &c = regCommits[i];
+        bool en = c.en == kNoSlot || (slots[c.en] & 1) != 0;
+        regPending[i] = en ? slots[c.next] : slots[c.dst];
     }
 
     // Sync read ports latch old contents (read-before-write).
-    size_t flat = 0;
-    for (size_t mi = 0; mi < dsn.mems().size(); ++mi) {
-        const rtl::MemInfo &m = dsn.mems()[mi];
-        if (!m.syncRead)
-            continue;
-        for (const rtl::MemReadPort &p : m.reads) {
-            bool en = p.en == kNoNode || (values[p.en] & 1);
-            if (en) {
-                uint64_t addr = values[p.addr];
-                readPending[flat] =
-                    addr < m.depth ? mems[mi][addr] : 0;
-            } else {
-                readPending[flat] = values[p.data];
-            }
-            ++flat;
+    for (size_t i = 0; i < syncReadCommits.size(); ++i) {
+        const SyncReadCommit &c = syncReadCommits[i];
+        bool en = c.en == kNoSlot || (slots[c.en] & 1) != 0;
+        if (en) {
+            uint64_t addr = slots[c.addr];
+            readPending[i] = addr < c.depth ? mems[c.mem][addr] : 0;
+        } else {
+            readPending[i] = slots[c.data];
         }
     }
 
     // Memory writes (last port wins on a collision).
-    bool activity = simMode == SimulatorMode::ActivityDriven;
-    for (size_t mi = 0; mi < dsn.mems().size(); ++mi) {
-        const rtl::MemInfo &m = dsn.mems()[mi];
-        for (const rtl::MemWritePort &p : m.writes) {
-            bool en = p.en == kNoNode || (values[p.en] & 1);
-            if (!en)
-                continue;
-            uint64_t addr = values[p.addr];
-            if (addr < m.depth && mems[mi][addr] != values[p.data]) {
-                mems[mi][addr] = values[p.data];
-                if (activity)
-                    markMemChanged(mi);
-            }
+    bool activity = effective == Backend::InterpretedActivity;
+    for (const MemWriteCommit &c : memWriteCommits) {
+        bool en = c.en == kNoSlot || (slots[c.en] & 1) != 0;
+        if (!en)
+            continue;
+        uint64_t addr = slots[c.addr];
+        if (addr < c.depth && mems[c.mem][addr] != slots[c.data]) {
+            mems[c.mem][addr] = slots[c.data];
+            if (activity)
+                markMemChanged(c.mem);
         }
     }
 
-    for (size_t i = 0; i < regs.size(); ++i)
-        updateNode(regs[i].node, regPending[i]);
-    flat = 0;
-    for (const rtl::MemInfo &m : dsn.mems()) {
-        if (!m.syncRead)
-            continue;
-        for (const rtl::MemReadPort &p : m.reads)
-            updateNode(p.data, readPending[flat++]);
-    }
+    for (size_t i = 0; i < regCommits.size(); ++i)
+        updateSlot(regCommits[i].dst, regPending[i]);
+    for (size_t i = 0; i < syncReadCommits.size(); ++i)
+        updateSlot(syncReadCommits[i].data, readPending[i]);
 
     ++cycleCount;
     combStale = true;
+    coldStale = true;
 }
 
 void
@@ -446,7 +437,7 @@ Simulator::regValue(size_t regIdx) const
     if (regIdx >= dsn.regs().size())
         panic("regValue index %zu out of range (design has %zu registers)",
               regIdx, dsn.regs().size());
-    return values[dsn.regs()[regIdx].node];
+    return slots[evalPlan.slotOf[dsn.regs()[regIdx].node]];
 }
 
 void
@@ -456,7 +447,8 @@ Simulator::setRegValue(size_t regIdx, uint64_t value)
         panic("setRegValue index %zu out of range (design has %zu "
               "registers)", regIdx, dsn.regs().size());
     const rtl::RegInfo &r = dsn.regs()[regIdx];
-    updateNode(r.node, truncate(value, dsn.node(r.node).width));
+    updateSlot(evalPlan.slotOf[r.node],
+               truncate(value, dsn.node(r.node).width));
 }
 
 uint64_t
@@ -484,10 +476,11 @@ Simulator::setMemWord(size_t memIdx, uint64_t addr, uint64_t value)
     uint64_t nv = truncate(value, dsn.mems()[memIdx].width);
     if (contents[addr] != nv) {
         contents[addr] = nv;
-        if (simMode == SimulatorMode::ActivityDriven)
+        if (effective == Backend::InterpretedActivity)
             markMemChanged(memIdx);
     }
     combStale = true;
+    coldStale = true;
 }
 
 uint64_t
@@ -496,7 +489,7 @@ Simulator::syncReadData(size_t memIdx, size_t port) const
     if (memIdx >= dsn.mems().size() ||
         port >= dsn.mems()[memIdx].reads.size())
         panic("syncReadData mem %zu port %zu out of range", memIdx, port);
-    return values[dsn.mems()[memIdx].reads[port].data];
+    return slots[evalPlan.slotOf[dsn.mems()[memIdx].reads[port].data]];
 }
 
 void
@@ -507,7 +500,7 @@ Simulator::setSyncReadData(size_t memIdx, size_t port, uint64_t value)
         panic("setSyncReadData mem %zu port %zu out of range", memIdx,
               port);
     const rtl::MemInfo &m = dsn.mems()[memIdx];
-    updateNode(m.reads[port].data, truncate(value, m.width));
+    updateSlot(evalPlan.slotOf[m.reads[port].data], truncate(value, m.width));
 }
 
 void
@@ -530,9 +523,10 @@ Simulator::loadMem(size_t memIdx, uint64_t base,
             changed = true;
         }
     }
-    if (changed && simMode == SimulatorMode::ActivityDriven)
+    if (changed && effective == Backend::InterpretedActivity)
         markMemChanged(memIdx);
     combStale = true;
+    coldStale = true;
 }
 
 } // namespace sim

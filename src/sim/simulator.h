@@ -1,65 +1,95 @@
 /**
  * @file
- * Levelized cycle-exact interpreter for rtl::Design — the repository's
- * "fast simulator". In the paper this role is played by the FPGA-hosted
- * FAME1 simulator; here it is a compiled evaluation schedule over the
- * word-level IR. What matters for the methodology is that it is
- * cycle-exact and orders of magnitude faster than the gate-level
- * simulator (src/gate), which it is: one word-level node evaluation here
+ * Cycle-exact fast simulator for rtl::Design. In the paper this role
+ * is played by the FPGA-hosted FAME1 simulator; here it is an
+ * optimized evaluation schedule (rtl::buildEvalPlan: constant
+ * folding, CSE, dead-node sweep, dense slot renumbering) executed by
+ * one of three backends. What matters for the methodology is that it
+ * is cycle-exact and orders of magnitude faster than the gate-level
+ * simulator (src/gate), which it is: one word-level step here
  * replaces tens-to-hundreds of gate evaluations there.
  *
  * Evaluation model per cycle:
  *   1. poke() input values;
- *   2. evalComb() propagates through the combinational nodes in a
- *      precomputed level-ordered topological schedule;
- *   3. step() commits the clock edge: registers latch their next values,
- *      sync-read ports latch old memory contents, write ports update
- *      memories (read-before-write; the last write port wins on address
- *      collisions).
+ *   2. evalComb() propagates through the hot schedule;
+ *   3. step() commits the clock edge: registers latch their next
+ *      values, sync-read ports latch old memory contents, write ports
+ *      update memories (read-before-write; the last write port wins
+ *      on address collisions).
  *
- * Two evaluation modes (SimulatorMode) are available:
- *   - Full: the naive reference sweep — every combinational node is
+ * Backends (sim::Backend), observationally equivalent by construction
+ * and locked down by tests/test_differential.cc's three-way lockstep:
+ *   - InterpretedFull: the reference interpreter — every hot step is
  *     re-evaluated on every evalComb().
- *   - ActivityDriven: change-propagation evaluation. A dirty set (seeded
- *     by poke(), register commits, sync-memory latches and memory
- *     writes) is propagated level by level through the topological
- *     schedule; only nodes whose inputs actually changed value are
- *     re-evaluated. The per-level dirty buckets are drained in schedule
- *     order, so the evaluation order is a sub-sequence of the Full
- *     sweep and the mode is observationally equivalent to Full (see
- *     tests/test_differential.cc, which locks this invariant down).
+ *   - InterpretedActivity: change-propagation interpretation. A dirty
+ *     bitmap over hot-step indices (seeded by poke(), register
+ *     commits, sync-memory latches and memory writes) is drained in
+ *     one ascending scan; marks made while draining always target
+ *     strictly higher step indices (the program is topologically
+ *     ordered), so a single pass settles the graph and the evaluation
+ *     sequence stays a sub-sequence of the full sweep.
+ *   - Compiled: the hot schedule and commit logic lowered to
+ *     specialized C++ (src/codegen), built with the host toolchain
+ *     and dlopen()ed. When no compiler is available construction
+ *     degrades to InterpretedFull with a warning — never an error.
+ *
+ * All state access (peek of *any* node, scan-chain capture, snapshot
+ * load, VCD) behaves identically across backends: optimized-away
+ * nodes resolve through the plan's slot aliases, and dead nodes are
+ * refreshed on demand from the cold program.
  */
 
 #ifndef STROBER_SIM_SIMULATOR_H
 #define STROBER_SIM_SIMULATOR_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "codegen/jit.h"
 #include "rtl/ir.h"
+#include "rtl/opt.h"
 
 namespace strober {
 namespace sim {
 
-/** Combinational evaluation strategy of a Simulator. */
-enum class SimulatorMode : uint8_t {
-    Full,           //!< re-evaluate every node every sweep (reference)
-    ActivityDriven, //!< re-evaluate only nodes whose inputs changed
+/** Evaluation backend of a Simulator. */
+enum class Backend : uint8_t {
+    InterpretedFull,     //!< reference interpreter, full sweep
+    InterpretedActivity, //!< interpreter, change propagation
+    Compiled,            //!< JIT-compiled native code (dlopen)
 };
 
-/** @return "full" or "activity" (for reports and benches). */
-const char *simulatorModeName(SimulatorMode mode);
+/** @return "full", "activity" or "compiled" (reports and benches). */
+const char *backendName(Backend backend);
 
-/** Cycle-exact interpreter over one rtl::Design. */
+/**
+ * Parse a --backend= value ("full", "activity", "compiled"; the
+ * spelled-out "interpreted-full"/"interpreted-activity" also work).
+ * @return false when @p text names no backend (@p out untouched).
+ */
+bool parseBackend(const std::string &text, Backend *out);
+
+/** Cycle-exact fast simulator over one rtl::Design. */
 class Simulator
 {
   public:
     explicit Simulator(const rtl::Design &design,
-                       SimulatorMode mode = SimulatorMode::Full);
+                       Backend backend = Backend::InterpretedFull);
 
     const rtl::Design &design() const { return dsn; }
-    SimulatorMode mode() const { return simMode; }
+
+    /**
+     * The backend actually executing (== requestedBackend() except
+     * when Compiled degraded to InterpretedFull for lack of a host
+     * compiler).
+     */
+    Backend backend() const { return effective; }
+    Backend requestedBackend() const { return requested; }
+
+    /** The optimized evaluation plan this simulator executes. */
+    const rtl::EvalPlan &plan() const { return evalPlan; }
 
     /** Reset state: registers to init values, memories to zero. */
     void reset();
@@ -83,19 +113,24 @@ class Simulator
     /** Cycles executed since construction/reset. */
     uint64_t cycle() const { return cycleCount; }
 
-    /** Node evaluations executed (for simulation-rate reporting). */
+    /**
+     * Hot-schedule step evaluations executed (simulation-rate
+     * reporting). On-demand cold evaluations triggered by peeks of
+     * optimized-away nodes are not counted: they are an observation
+     * cost, not a per-cycle simulation cost.
+     */
     uint64_t nodeEvals() const { return evalCount; }
 
     /**
-     * Node evaluations skipped by ActivityDriven sweeps (a Full-mode
-     * sweep would have executed them). Always 0 in Full mode.
+     * Step evaluations skipped by InterpretedActivity sweeps (a full
+     * sweep would have executed them). Always 0 in the other backends.
      */
     uint64_t nodeEvalsSkipped() const { return skipCount; }
 
     /**
-     * Fraction of scheduled node evaluations actually executed, averaged
-     * over all sweeps so far: evals / (evals + skipped). 1.0 in Full
-     * mode (and before any sweep has run).
+     * Fraction of scheduled step evaluations actually executed,
+     * averaged over all sweeps so far: evals / (evals + skipped). 1.0
+     * outside InterpretedActivity (and before any sweep has run).
      */
     double activityFactor() const
     {
@@ -120,54 +155,67 @@ class Simulator
                  const std::vector<uint64_t> &words);
 
   private:
-    /** One compiled combinational operation. */
-    struct Step
+    // Commit-edge operand tables, flattened to slots at construction so
+    // the per-cycle loop never chases RegInfo/MemInfo indirections.
+    struct RegCommit
     {
-        rtl::Op op;
-        uint16_t width;
-        uint8_t widthA;      //!< operand widths (for Sra/Lts/Cat/reduce)
-        uint8_t widthB;
-        uint32_t dst;
-        uint32_t a, b, c;
-        uint64_t imm;
+        rtl::SlotId dst, next, en; //!< en == kNoSlot: always enabled
+    };
+    struct SyncReadCommit
+    {
+        rtl::SlotId data, addr, en;
+        uint32_t mem;
+        uint64_t depth;
+    };
+    struct MemWriteCommit
+    {
+        rtl::SlotId addr, data, en;
+        uint32_t mem;
+        uint64_t depth;
     };
 
-    static constexpr uint32_t kNoStep = UINT32_MAX;
-
     const rtl::Design &dsn;
-    SimulatorMode simMode;
-    std::vector<uint64_t> values;             //!< per-node current value
-    std::vector<std::vector<uint64_t>> mems;  //!< memory contents
-    std::vector<Step> program;                //!< comb schedule (level order)
+    Backend requested;
+    Backend effective;
+    rtl::EvalPlan evalPlan;
+    std::vector<uint64_t> slots;             //!< flat renumbered values
+    std::vector<std::vector<uint64_t>> mems; //!< memory contents
+    std::vector<uint64_t *> memPtrs;         //!< per-mem data() (compiled)
+    std::vector<RegCommit> regCommits;
+    std::vector<SyncReadCommit> syncReadCommits;
+    std::vector<MemWriteCommit> memWriteCommits;
     std::vector<uint64_t> regPending;
-    std::vector<uint64_t> readPending;        //!< sync read data pending
+    std::vector<uint64_t> readPending;
     uint64_t cycleCount = 0;
     uint64_t evalCount = 0;
     uint64_t skipCount = 0;
     bool combStale = true;
+    bool coldStale = true;
 
-    // --- ActivityDriven machinery (unused in Full mode) ----------------
-    std::vector<uint32_t> stepLevel;          //!< per step: comb level
-    std::vector<uint32_t> fanoutBegin;        //!< per node: CSR into ...
-    std::vector<uint32_t> fanoutSteps;        //!< ... consumer step indices
-    std::vector<std::vector<uint32_t>> memReadSteps; //!< async reads per mem
-    std::vector<uint8_t> stepDirty;
-    std::vector<std::vector<uint32_t>> levelBuckets;
-    uint32_t numLevels = 0;
-    uint32_t minDirtyLevel = 0;               //!< == numLevels when clean
-    uint32_t maxDirtyLevel = 0;
-    bool fullSweepPending = true;             //!< first sweep after reset
+    // --- InterpretedActivity machinery ---------------------------------
+    std::vector<uint64_t> dirtyBits;   //!< bitmap over hot-step indices
+    uint32_t minDirtyWord = 0;         //!< == dirtyBits.size() when clean
+    uint32_t maxDirtyWord = 0;
+    bool fullSweepPending = true;      //!< first sweep after reset
+    std::vector<uint32_t> fanoutBegin; //!< per slot: CSR into ...
+    std::vector<uint32_t> fanoutSteps; //!< ... consumer hot-step indices
+    std::vector<std::vector<uint32_t>> memReadSteps; //!< hot async reads
 
-    void compile();
+    // --- Compiled backend ----------------------------------------------
+    std::unique_ptr<codegen::CompiledSim> module;
+
+    void buildTables();
+    void attachCompiledModule();
     void commitEdge();
-    uint64_t evalStep(const Step &s) const;
+    uint64_t evalStep(const rtl::EvalStep &s) const;
     void evalCombFull();
     void evalCombActivity();
+    void evalCold();
     void markStepDirty(uint32_t stepIdx);
-    void markNodeChanged(rtl::NodeId node);
+    void markSlotChanged(rtl::SlotId slot);
     void markMemChanged(size_t memIdx);
-    /** Store @p value into @p node, tracking dirtiness per mode. */
-    void updateNode(rtl::NodeId node, uint64_t value);
+    /** Store @p value into @p slot, tracking dirtiness per backend. */
+    void updateSlot(rtl::SlotId slot, uint64_t value);
 };
 
 } // namespace sim

@@ -1,22 +1,25 @@
 /**
  * @file
- * Differential tests between the two Simulator evaluation modes — the
- * lock-down for the activity-driven optimization. SimulatorMode::Full is
- * the naive reference sweep; SimulatorMode::ActivityDriven must be
+ * Differential tests between the Simulator backends — the lock-down for
+ * both the activity-driven optimization and the compiled backend.
+ * Backend::InterpretedFull is the naive reference sweep;
+ * Backend::InterpretedActivity and Backend::Compiled must be
  * observationally equivalent on *every* design and stimulus:
  *   - 50 randomized designs (shared fuzz generator, tests/fuzz_designs.h)
  *     driven for 1000+ cycles of random pokes, with cycle-by-cycle output
  *     equality and periodic whole-state sweeps (every node value, every
- *     register, every memory word, every sync read latch);
+ *     register, every memory word, every sync read latch) — three-way,
+ *     all backends in lockstep;
  *   - reset() mid-run, repeated evalComb(), and partially-driven cycles
  *     (undriven inputs hold their values, creating the low-activity
  *     cycles the optimization exists for);
- *   - end-to-end: two full Strober flows on the Rocket SoC, one per
- *     mode, must produce identical run statistics, identical sampled
- *     snapshots and *identical* energy estimates.
+ *   - end-to-end: full Strober flows on the Rocket and BOOM SoCs, one
+ *     per backend, must produce identical run statistics, identical
+ *     sampled snapshots and *identical* energy estimates.
  */
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -36,34 +39,37 @@ namespace strober {
 namespace {
 
 using rtl::Design;
+using sim::Backend;
 using sim::Simulator;
-using sim::SimulatorMode;
 using strober::testing::randomDesign;
 
-/** Assert every piece of observable state matches between the modes. */
+/** Assert every piece of observable state matches the reference. */
 void
-expectStateEqual(const Design &d, Simulator &full, Simulator &act,
+expectStateEqual(const Design &d, Simulator &ref, Simulator &alt,
                  uint64_t seed, int cycle)
 {
+    const char *name = sim::backendName(alt.requestedBackend());
     for (size_t n = 0; n < d.numNodes(); ++n) {
         rtl::NodeId id = static_cast<rtl::NodeId>(n);
-        ASSERT_EQ(act.peek(id), full.peek(id))
-            << "seed " << seed << " cycle " << cycle << " node " << n;
+        ASSERT_EQ(alt.peek(id), ref.peek(id))
+            << name << " seed " << seed << " cycle " << cycle << " node "
+            << n;
     }
     for (size_t r = 0; r < d.regs().size(); ++r)
-        ASSERT_EQ(act.regValue(r), full.regValue(r))
-            << "seed " << seed << " cycle " << cycle << " reg " << r;
+        ASSERT_EQ(alt.regValue(r), ref.regValue(r))
+            << name << " seed " << seed << " cycle " << cycle << " reg "
+            << r;
     for (size_t m = 0; m < d.mems().size(); ++m) {
         const rtl::MemInfo &mem = d.mems()[m];
         for (uint64_t a = 0; a < mem.depth; ++a)
-            ASSERT_EQ(act.memWord(m, a), full.memWord(m, a))
-                << "seed " << seed << " cycle " << cycle << " mem " << m
-                << " addr " << a;
+            ASSERT_EQ(alt.memWord(m, a), ref.memWord(m, a))
+                << name << " seed " << seed << " cycle " << cycle
+                << " mem " << m << " addr " << a;
         if (mem.syncRead) {
             for (size_t p = 0; p < mem.reads.size(); ++p)
-                ASSERT_EQ(act.syncReadData(m, p), full.syncReadData(m, p))
-                    << "seed " << seed << " cycle " << cycle << " mem "
-                    << m << " port " << p;
+                ASSERT_EQ(alt.syncReadData(m, p), ref.syncReadData(m, p))
+                    << name << " seed " << seed << " cycle " << cycle
+                    << " mem " << m << " port " << p;
         }
     }
 }
@@ -72,22 +78,25 @@ class Differential : public ::testing::TestWithParam<uint64_t> {};
 
 /**
  * The core equivalence property: under identical random stimulus, the
- * activity-driven simulator is cycle-for-cycle indistinguishable from
- * the full sweep. Roughly a quarter of the pokes are withheld each
- * cycle so inputs frequently hold their values — the low-activity
- * condition the dirty-propagation machinery actually optimizes — and
- * a burst of completely undriven cycles exercises the near-zero
- * activity path.
+ * activity-driven and compiled simulators are cycle-for-cycle
+ * indistinguishable from the full sweep — a three-way lockstep.
+ * Roughly a quarter of the pokes are withheld each cycle so inputs
+ * frequently hold their values — the low-activity condition the
+ * dirty-propagation machinery actually optimizes — and a burst of
+ * completely undriven cycles exercises the near-zero activity path.
  */
 TEST_P(Differential, RandomDesignLockstep)
 {
     const uint64_t seed = GetParam();
     Design d = randomDesign(seed);
-    Simulator full(d, SimulatorMode::Full);
-    Simulator act(d, SimulatorMode::ActivityDriven);
-    ASSERT_EQ(full.mode(), SimulatorMode::Full);
-    ASSERT_EQ(act.mode(), SimulatorMode::ActivityDriven);
+    Simulator full(d, Backend::InterpretedFull);
+    Simulator act(d, Backend::InterpretedActivity);
+    Simulator comp(d, Backend::Compiled);
+    ASSERT_EQ(full.backend(), Backend::InterpretedFull);
+    ASSERT_EQ(act.backend(), Backend::InterpretedActivity);
+    ASSERT_EQ(comp.requestedBackend(), Backend::Compiled);
 
+    Simulator *sims[] = {&full, &act, &comp};
     stats::Rng rng(seed * 7919 + 13);
     for (int cycle = 0; cycle < 1000; ++cycle) {
         bool quiet = cycle >= 600 && cycle < 620;
@@ -97,33 +106,47 @@ TEST_P(Differential, RandomDesignLockstep)
             if (quiet || rng.nextBounded(4) == 0)
                 continue;
             uint64_t v = rng.next();
-            full.poke(in, v);
-            act.poke(in, v);
+            for (Simulator *s : sims)
+                s->poke(in, v);
         }
         for (size_t o = 0; o < d.outputs().size(); ++o) {
-            ASSERT_EQ(act.peek(d.outputs()[o].node),
-                      full.peek(d.outputs()[o].node))
-                << "seed " << seed << " cycle " << cycle << " output "
-                << o;
+            uint64_t refv = full.peek(d.outputs()[o].node);
+            ASSERT_EQ(act.peek(d.outputs()[o].node), refv)
+                << "activity seed " << seed << " cycle " << cycle
+                << " output " << o;
+            ASSERT_EQ(comp.peek(d.outputs()[o].node), refv)
+                << "compiled seed " << seed << " cycle " << cycle
+                << " output " << o;
         }
-        if (cycle % 97 == 0)
+        if (cycle % 97 == 0) {
             ASSERT_NO_FATAL_FAILURE(
                 expectStateEqual(d, full, act, seed, cycle));
-        full.step();
-        act.step();
+            ASSERT_NO_FATAL_FAILURE(
+                expectStateEqual(d, full, comp, seed, cycle));
+        }
+        for (Simulator *s : sims)
+            s->step();
     }
     ASSERT_NO_FATAL_FAILURE(expectStateEqual(d, full, act, seed, 1000));
+    ASSERT_NO_FATAL_FAILURE(expectStateEqual(d, full, comp, seed, 1000));
     EXPECT_EQ(full.cycle(), act.cycle());
+    EXPECT_EQ(full.cycle(), comp.cycle());
     EXPECT_EQ(full.nodeEvalsSkipped(), 0u);
 }
 
-/** reset() must restore both modes to the same initial state. */
+/** reset() must restore every backend to the same initial state. */
 TEST_P(Differential, ResetMidRunStaysEquivalent)
 {
     const uint64_t seed = GetParam();
     Design d = randomDesign(seed);
-    Simulator full(d, SimulatorMode::Full);
-    Simulator act(d, SimulatorMode::ActivityDriven);
+    Simulator full(d, Backend::InterpretedFull);
+    Simulator act(d, Backend::InterpretedActivity);
+    // Every fifth seed also resets the compiled backend mid-run;
+    // bounding the JIT invocations keeps the suite fast while still
+    // covering reset() on compiled state across varied designs.
+    std::unique_ptr<Simulator> comp;
+    if (seed % 5 == 0)
+        comp = std::make_unique<Simulator>(d, Backend::Compiled);
     stats::Rng rng(seed + 0xabcd);
 
     auto drive = [&](int cycles) {
@@ -132,35 +155,51 @@ TEST_P(Differential, ResetMidRunStaysEquivalent)
                 uint64_t v = rng.next();
                 full.poke(in, v);
                 act.poke(in, v);
+                if (comp)
+                    comp->poke(in, v);
             }
             // Repeated evalComb() between pokes must be idempotent.
             if (c % 13 == 0) {
                 full.evalComb();
                 act.evalComb();
+                if (comp)
+                    comp->evalComb();
             }
-            for (const rtl::OutputPort &out : d.outputs())
+            for (const rtl::OutputPort &out : d.outputs()) {
                 ASSERT_EQ(act.peek(out.node), full.peek(out.node))
                     << "seed " << seed << " cycle " << c;
+                if (comp)
+                    ASSERT_EQ(comp->peek(out.node), full.peek(out.node))
+                        << "compiled seed " << seed << " cycle " << c;
+            }
             full.step();
             act.step();
+            if (comp)
+                comp->step();
         }
     };
     drive(80);
     full.reset();
     act.reset();
+    if (comp)
+        comp->reset();
     ASSERT_NO_FATAL_FAILURE(expectStateEqual(d, full, act, seed, -1));
+    if (comp)
+        ASSERT_NO_FATAL_FAILURE(expectStateEqual(d, full, *comp, seed, -1));
     drive(80);
     ASSERT_NO_FATAL_FAILURE(expectStateEqual(d, full, act, seed, -2));
+    if (comp)
+        ASSERT_NO_FATAL_FAILURE(expectStateEqual(d, full, *comp, seed, -2));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Differential,
                          ::testing::Range<uint64_t>(1, 51));
 
 /**
- * The whole point of ActivityDriven: combinational cones whose inputs
- * are stable are not re-evaluated. A deep pure-input cone plus a free
- * running counter makes the skip guaranteed and deterministic: with the
- * input held, only the counter's cone re-evaluates each cycle.
+ * The whole point of InterpretedActivity: combinational cones whose
+ * inputs are stable are not re-evaluated. A deep pure-input cone plus a
+ * free running counter makes the skip guaranteed and deterministic: with
+ * the input held, only the counter's cone re-evaluates each cycle.
  */
 TEST(Differential, ActivitySkipsStableCones)
 {
@@ -175,7 +214,7 @@ TEST(Differential, ActivitySkipsStableCones)
     b.output("cnt", cnt);
     Design d = b.finish();
 
-    Simulator sim(d, SimulatorMode::ActivityDriven);
+    Simulator sim(d, Backend::InterpretedActivity);
     sim.poke("in", 5);
     sim.step(); // first sweep after reset is a full one
     uint64_t skippedAfterFirst = sim.nodeEvalsSkipped();
@@ -186,29 +225,23 @@ TEST(Differential, ActivitySkipsStableCones)
     EXPECT_EQ(sim.peek("cnt"), 11u);
     EXPECT_EQ(sim.peek("cone"), 5u + 136u); // 5 + sum(1..16)
 
-    // The reference mode never skips and reports unit activity.
-    Simulator ref(d, SimulatorMode::Full);
+    // The reference backend never skips and reports unit activity.
+    Simulator ref(d, Backend::InterpretedFull);
     ref.poke("in", 5);
     ref.step(11);
     EXPECT_EQ(ref.nodeEvalsSkipped(), 0u);
     EXPECT_EQ(ref.activityFactor(), 1.0);
-    EXPECT_EQ(std::string(sim::simulatorModeName(sim.mode())), "activity");
-    EXPECT_EQ(std::string(sim::simulatorModeName(ref.mode())), "full");
+    EXPECT_EQ(std::string(sim::backendName(sim.backend())), "activity");
+    EXPECT_EQ(std::string(sim::backendName(ref.backend())), "full");
 }
 
-/**
- * End-to-end: the complete Strober flow (FAME1 fast sim + reservoir
- * sampling -> replay -> power aggregation) on the Rocket SoC must
- * produce identical results whichever simulator mode drives phase 1.
- * Everything downstream of phase 1 consumes only the sampled snapshots,
- * so equality here means the modes agreed on every sampled state bit
- * and every I/O trace word across the whole workload.
- */
-TEST(Differential, RocketEnergyEstimateIdenticalAcrossModes)
+/** Shared body: run the full Strober flow once per backend on one SoC
+ *  and require bit-identical estimates. */
+void
+expectFlowIdenticalAcrossBackends(const rtl::Design &soc,
+                                  const workloads::Workload &wl,
+                                  size_t sampleSize)
 {
-    rtl::Design soc = cores::buildSoc(cores::SocConfig::rocket());
-    workloads::Workload wl = workloads::towers();
-
     struct FlowResult
     {
         core::RunStats run;
@@ -217,11 +250,11 @@ TEST(Differential, RocketEnergyEstimateIdenticalAcrossModes)
         bool done = false;
         int exitCode = -1;
     };
-    auto runFlow = [&](SimulatorMode mode) {
+    auto runFlow = [&](Backend backend) {
         core::EnergySimulator::Config cfg;
-        cfg.sampleSize = 10;
+        cfg.sampleSize = sampleSize;
         cfg.replayLength = 64;
-        cfg.simMode = mode;
+        cfg.backend = backend;
         core::EnergySimulator strober(soc, cfg);
         cores::SocDriver driver(soc, wl.program);
         FlowResult r;
@@ -235,33 +268,65 @@ TEST(Differential, RocketEnergyEstimateIdenticalAcrossModes)
         return r;
     };
 
-    FlowResult full = runFlow(SimulatorMode::Full);
-    FlowResult act = runFlow(SimulatorMode::ActivityDriven);
+    FlowResult full = runFlow(Backend::InterpretedFull);
+    for (Backend backend :
+         {Backend::InterpretedActivity, Backend::Compiled}) {
+        SCOPED_TRACE(sim::backendName(backend));
+        FlowResult alt = runFlow(backend);
 
-    // Phase 1 behaved identically...
-    EXPECT_TRUE(full.done);
-    EXPECT_TRUE(act.done);
-    EXPECT_EQ(full.exitCode, act.exitCode);
-    EXPECT_EQ(full.run.targetCycles, act.run.targetCycles);
-    EXPECT_EQ(full.run.hostCycles, act.run.hostCycles);
-    EXPECT_EQ(full.run.recordCount, act.run.recordCount);
-    EXPECT_EQ(full.run.intervalsSeen, act.run.intervalsSeen);
-    EXPECT_EQ(full.snapCycles, act.snapCycles);
+        // Phase 1 behaved identically...
+        EXPECT_TRUE(full.done);
+        EXPECT_TRUE(alt.done);
+        EXPECT_EQ(full.exitCode, alt.exitCode);
+        EXPECT_EQ(full.run.targetCycles, alt.run.targetCycles);
+        EXPECT_EQ(full.run.hostCycles, alt.run.hostCycles);
+        EXPECT_EQ(full.run.recordCount, alt.run.recordCount);
+        EXPECT_EQ(full.run.intervalsSeen, alt.run.intervalsSeen);
+        EXPECT_EQ(full.snapCycles, alt.snapCycles);
 
-    // ...and the estimates are bit-identical, not merely close.
-    ASSERT_EQ(full.rep.replayMismatches, 0u);
-    ASSERT_EQ(act.rep.replayMismatches, 0u);
-    EXPECT_EQ(full.rep.snapshots, act.rep.snapshots);
-    EXPECT_EQ(full.rep.population, act.rep.population);
-    EXPECT_EQ(full.rep.averagePower.mean, act.rep.averagePower.mean);
-    EXPECT_EQ(full.rep.averagePower.halfWidth,
-              act.rep.averagePower.halfWidth);
-    ASSERT_EQ(full.rep.groups.size(), act.rep.groups.size());
-    for (size_t g = 0; g < full.rep.groups.size(); ++g) {
-        EXPECT_EQ(full.rep.groups[g].group, act.rep.groups[g].group);
-        EXPECT_EQ(full.rep.groups[g].power.mean,
-                  act.rep.groups[g].power.mean)
-            << "group " << full.rep.groups[g].group;
+        // ...and the estimates are bit-identical, not merely close.
+        ASSERT_EQ(full.rep.replayMismatches, 0u);
+        ASSERT_EQ(alt.rep.replayMismatches, 0u);
+        EXPECT_EQ(full.rep.snapshots, alt.rep.snapshots);
+        EXPECT_EQ(full.rep.population, alt.rep.population);
+        EXPECT_EQ(full.rep.averagePower.mean, alt.rep.averagePower.mean);
+        EXPECT_EQ(full.rep.averagePower.halfWidth,
+                  alt.rep.averagePower.halfWidth);
+        ASSERT_EQ(full.rep.groups.size(), alt.rep.groups.size());
+        for (size_t g = 0; g < full.rep.groups.size(); ++g) {
+            EXPECT_EQ(full.rep.groups[g].group, alt.rep.groups[g].group);
+            EXPECT_EQ(full.rep.groups[g].power.mean,
+                      alt.rep.groups[g].power.mean)
+                << "group " << full.rep.groups[g].group;
+        }
+    }
+}
+
+/**
+ * End-to-end: the complete Strober flow (FAME1 fast sim + reservoir
+ * sampling -> replay -> power aggregation) on the Rocket SoC must
+ * produce identical results whichever simulator backend drives phase 1.
+ * Everything downstream of phase 1 consumes only the sampled snapshots,
+ * so equality here means the backends agreed on every sampled state bit
+ * and every I/O trace word across the whole workload.
+ */
+TEST(Differential, RocketEnergyEstimateIdenticalAcrossBackends)
+{
+    rtl::Design soc = cores::buildSoc(cores::SocConfig::rocket());
+    expectFlowIdenticalAcrossBackends(soc, workloads::towers(), 10);
+}
+
+/** Same property on the superscalar BOOM variants: wider datapaths,
+ *  more retiming regions, bigger compiled translation units. */
+TEST(Differential, BoomEnergyEstimateIdenticalAcrossBackends)
+{
+    for (const char *core : {"boom1w", "boom2w"}) {
+        SCOPED_TRACE(core);
+        cores::SocConfig cfg = std::string(core) == "boom1w"
+                                   ? cores::SocConfig::boom1w()
+                                   : cores::SocConfig::boom2w();
+        rtl::Design soc = cores::buildSoc(cfg);
+        expectFlowIdenticalAcrossBackends(soc, workloads::vvadd(), 5);
     }
 }
 

@@ -303,10 +303,11 @@ expectSerializedSnapshotReplays(const Design &d, uint64_t seed)
     EXPECT_EQ(loaded.retimeHistory, snap.retimeHistory);
     EXPECT_EQ(chains.encode(loaded.state), chains.encode(snap.state));
 
-    // ...and replays bit-exactly from a cold simulator in either mode.
-    for (sim::SimulatorMode mode : {sim::SimulatorMode::Full,
-                                    sim::SimulatorMode::ActivityDriven}) {
-        sim::Simulator fresh(d, mode);
+    // ...and replays bit-exactly from a cold simulator on any backend.
+    for (sim::Backend backend : {sim::Backend::InterpretedFull,
+                                 sim::Backend::InterpretedActivity,
+                                 sim::Backend::Compiled}) {
+        sim::Simulator fresh(d, backend);
         chains.restore(fresh, loaded.state);
         for (size_t t = 0; t < loaded.inputTrace.size(); ++t) {
             ASSERT_EQ(loaded.inputTrace[t].size(), d.inputs().size());
@@ -315,7 +316,7 @@ expectSerializedSnapshotReplays(const Design &d, uint64_t seed)
             for (size_t o = 0; o < d.outputs().size(); ++o) {
                 ASSERT_EQ(fresh.peek(d.outputs()[o].node),
                           loaded.outputTrace[t][o])
-                    << sim::simulatorModeName(mode) << " seed " << seed
+                    << sim::backendName(backend) << " seed " << seed
                     << " cycle +" << t << " output " << o;
             }
             fresh.step();
@@ -323,7 +324,7 @@ expectSerializedSnapshotReplays(const Design &d, uint64_t seed)
     }
 }
 
-TEST(SnapshotIo, SerializedSnapshotReplaysInBothModes)
+TEST(SnapshotIo, SerializedSnapshotReplaysOnAllBackends)
 {
     expectSerializedSnapshotReplays(makeDut(), 0x10adf11e);
 }

@@ -9,6 +9,7 @@
 
 #include "rtl/builder.h"
 #include "rtl/ir.h"
+#include "rtl/opt.h"
 
 namespace strober {
 namespace rtl {
@@ -221,6 +222,120 @@ TEST(Op, NamesAndArity)
     EXPECT_EQ(opArity(Op::Not), 1u);
     EXPECT_EQ(opArity(Op::Input), 0u);
     EXPECT_EQ(opArity(Op::Cat), 2u);
+}
+
+// --- EvalPlan optimization passes (rtl/opt.h) ---------------------------
+
+bool
+hotProgramWritesSlot(const EvalPlan &plan, SlotId slot)
+{
+    for (const EvalStep &s : plan.hotProgram)
+        if (s.dst == slot)
+            return true;
+    return false;
+}
+
+TEST(EvalPlan, ConstantConesFoldToPresetSlots)
+{
+    Builder b("fold");
+    Signal k = (b.lit(3, 8) + b.lit(4, 8)) + b.lit(7, 8);
+    b.output("k", k);
+    Signal in = b.input("in", 8);
+    b.output("sum", in + k);
+    Design d = b.finish();
+
+    EvalPlan plan = buildEvalPlan(d);
+    EXPECT_GT(plan.stats.folded, 0u);
+    // The folded output reads a preset constant slot: nothing in the
+    // per-cycle program computes it, and the slot is initialized to 14.
+    SlotId slot = plan.slotOf[d.outputs()[0].node];
+    EXPECT_FALSE(hotProgramWritesSlot(plan, slot));
+    bool found = false;
+    for (const auto &init : plan.slotInit) {
+        if (init.first == slot) {
+            EXPECT_EQ(init.second, 14u);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+    EXPECT_EQ(plan.coldNode[d.outputs()[0].node], 0u);
+}
+
+TEST(EvalPlan, CseMergesDuplicateExpressions)
+{
+    Builder b("cse");
+    Signal a = b.input("a", 16);
+    Signal c = b.input("b", 16);
+    b.output("x", a + c);
+    b.output("y", a + c); // structurally identical: one representative
+    b.output("z", c + a); // commutative: canonicalizes to the same rep
+    Design d = b.finish();
+
+    EvalPlan plan = buildEvalPlan(d);
+    EXPECT_GE(plan.stats.aliased, 2u);
+    SlotId sx = plan.slotOf[d.outputs()[0].node];
+    EXPECT_EQ(plan.slotOf[d.outputs()[1].node], sx);
+    EXPECT_EQ(plan.slotOf[d.outputs()[2].node], sx);
+}
+
+TEST(EvalPlan, WidthChangingAliasesDontConfuseCse)
+{
+    // RedAnd over a 4-bit value is NOT RedAnd over the same value
+    // zero-padded to 8 bits (the padded one can never be all-ones).
+    // Pad aliases to its source slot, so only the recorded operand
+    // width can keep these apart.
+    Builder b("redand");
+    Signal a = b.input("a", 4);
+    b.output("narrow", b.redAnd(a));
+    b.output("wide", b.redAnd(b.pad(a, 8)));
+    Design d = b.finish();
+
+    EvalPlan plan = buildEvalPlan(d);
+    EXPECT_NE(plan.slotOf[d.outputs()[0].node],
+              plan.slotOf[d.outputs()[1].node]);
+}
+
+TEST(EvalPlan, DeadConesGoCold)
+{
+    Builder b("dead");
+    Signal a = b.input("a", 32);
+    Signal c = b.input("b", 32);
+    Signal dead = (a ^ c) + b.lit(7, 32); // never used by any root
+    Signal live = a + c;
+    b.output("live", live);
+    Design d = b.finish();
+
+    EvalPlan plan = buildEvalPlan(d);
+    EXPECT_GT(plan.stats.cold, 0u);
+    EXPECT_NE(plan.coldNode[dead.id()], 0u);
+    EXPECT_EQ(plan.coldNode[live.id()], 0u);
+    // Cold nodes are scheduled in the cold program, not the hot one.
+    EXPECT_FALSE(hotProgramWritesSlot(plan, plan.slotOf[dead.id()]));
+}
+
+TEST(EvalPlan, EveryNodeHasAValidSlotAndTopologicalHotOrder)
+{
+    Builder b("shape");
+    Signal a = b.input("a", 16);
+    Signal s = b.reg("s", 16, 1);
+    b.next(s, s + a);
+    MemHandle m = b.mem("m", 16, 8, /*syncRead=*/false);
+    b.memWrite(m, a.bits(2, 0), s, b.lit(1, 1));
+    b.output("o", b.memRead(m, a.bits(2, 0)) ^ s);
+    Design d = b.finish();
+
+    EvalPlan plan = buildEvalPlan(d);
+    ASSERT_EQ(plan.slotOf.size(), d.numNodes());
+    for (size_t n = 0; n < d.numNodes(); ++n)
+        EXPECT_LT(plan.slotOf[n], plan.numSlots) << "node " << n;
+    // Topological slot order within the hot program: each step writes a
+    // slot strictly greater than any step before it (the property the
+    // activity bitmap's ascending drain relies on).
+    SlotId prev = 0;
+    for (const EvalStep &step : plan.hotProgram) {
+        EXPECT_GT(step.dst, prev);
+        prev = step.dst;
+    }
 }
 
 } // namespace

@@ -196,20 +196,21 @@ TEST(Simulator, ShiftBoundaryAmountsNarrow)
         {0xff, 255, 0x00, 0x00, 0xff},
         {0x7f, 255, 0x00, 0x00, 0x00},
     };
-    for (SimulatorMode mode :
-         {SimulatorMode::Full, SimulatorMode::ActivityDriven}) {
-        Simulator s(d, mode);
+    for (Backend backend : {Backend::InterpretedFull,
+                            Backend::InterpretedActivity,
+                            Backend::Compiled}) {
+        Simulator s(d, backend);
         for (const Case &c : cases) {
             s.poke("a", c.a);
             s.poke("amt", c.amt);
             EXPECT_EQ(s.peek("shl"), c.shl)
-                << simulatorModeName(mode) << " shl " << c.a << " by "
+                << backendName(backend) << " shl " << c.a << " by "
                 << c.amt;
             EXPECT_EQ(s.peek("shru"), c.shru)
-                << simulatorModeName(mode) << " shru " << c.a << " by "
+                << backendName(backend) << " shru " << c.a << " by "
                 << c.amt;
             EXPECT_EQ(s.peek("sra"), c.sra)
-                << simulatorModeName(mode) << " sra " << c.a << " by "
+                << backendName(backend) << " sra " << c.a << " by "
                 << c.amt;
             s.step();
         }
@@ -245,18 +246,19 @@ TEST(Simulator, ShiftBoundaryAmountsWide)
         {neg, ~0ull, 0, 0, ~0ull},
         {pos, ~0ull, 0, 0, 0},
     };
-    for (SimulatorMode mode :
-         {SimulatorMode::Full, SimulatorMode::ActivityDriven}) {
-        Simulator s(d, mode);
+    for (Backend backend : {Backend::InterpretedFull,
+                            Backend::InterpretedActivity,
+                            Backend::Compiled}) {
+        Simulator s(d, backend);
         for (const Case &c : cases) {
             s.poke("a", c.a);
             s.poke("amt", c.amt);
             EXPECT_EQ(s.peek("shl"), c.shl)
-                << simulatorModeName(mode) << " shl by " << c.amt;
+                << backendName(backend) << " shl by " << c.amt;
             EXPECT_EQ(s.peek("shru"), c.shru)
-                << simulatorModeName(mode) << " shru by " << c.amt;
+                << backendName(backend) << " shru by " << c.amt;
             EXPECT_EQ(s.peek("sra"), c.sra)
-                << simulatorModeName(mode) << " sra by " << c.amt;
+                << backendName(backend) << " sra by " << c.amt;
             s.step();
         }
     }

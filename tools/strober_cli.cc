@@ -5,6 +5,8 @@
  *
  *   strober info                           # list cores and workloads
  *   strober run    <core> <workload>       # fast sim + energy estimate
+ *       [--backend B]                      #   fast-sim backend: full |
+ *                                          #   activity (default) | compiled
  *       [--jobs N | -j N]                  #   parallel replay workers
  *       [--cache-dir DIR]                  #   persistent replay-result
  *                                          #   cache (src/farm); a warm
@@ -85,6 +87,7 @@ struct RunOptions
     uint64_t replayTimeoutCycles = 0; //!< 0 = auto budget
     unsigned jobs = 1;                //!< parallel replay workers
     std::string cacheDir;             //!< empty = no persistent cache
+    sim::Backend backend = sim::Backend::InterpretedActivity;
 };
 
 int
@@ -100,6 +103,7 @@ cmdRun(const std::string &coreName, const std::string &wlName,
     cfg.maxDroppedSnapshots = opts.maxDroppedSnapshots;
     cfg.replayTimeoutCycles = opts.replayTimeoutCycles;
     cfg.parallelReplays = std::max(1u, opts.jobs);
+    cfg.backend = opts.backend;
     std::unique_ptr<farm::CachingReplayExecutor> cachingExec;
     if (!opts.cacheDir.empty()) {
         cachingExec =
@@ -248,6 +252,7 @@ usage()
     std::fprintf(stderr,
                  "usage: strober info\n"
                  "       strober run    <core> <workload>\n"
+                 "                      [--backend full|activity|compiled]\n"
                  "                      [--jobs N | -j N]\n"
                  "                      [--cache-dir DIR]\n"
                  "                      [--max-dropped-snapshots N]\n"
@@ -284,6 +289,14 @@ main(int argc, char **argv)
                 opts.jobs = static_cast<unsigned>(std::stoul(argv[++i]));
             } else if (arg == "--cache-dir" && i + 1 < argc) {
                 opts.cacheDir = argv[++i];
+            } else if (arg == "--backend" && i + 1 < argc) {
+                if (!sim::parseBackend(argv[++i], &opts.backend)) {
+                    std::fprintf(stderr,
+                                 "unknown backend '%s' (full | activity "
+                                 "| compiled)\n",
+                                 argv[i]);
+                    return 2;
+                }
             } else if (arg.rfind("--", 0) == 0) {
                 std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
                 usage();

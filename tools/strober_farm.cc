@@ -326,6 +326,7 @@ usage()
         "                    [--sample-size N] [--replay-length L]\n"
         "                    [--max-dropped-snapshots N]\n"
         "                    [--replay-timeout CYCLES]\n"
+        "                    [--backend full|activity|compiled]\n"
         "       strober-farm worker --dir D [--shard K]\n"
         "       strober-farm status --dir D [--cache-dir C]\n"
         "       strober-farm gc --cache-dir C --keep N\n");
@@ -367,6 +368,15 @@ parseCommon(const std::vector<std::string> &args, FarmCliOptions &opts,
                 static_cast<size_t>(std::stoull(next()));
         } else if (arg == "--replay-timeout") {
             opts.sim.replayTimeoutCycles = std::stoull(next());
+        } else if (arg == "--backend") {
+            const std::string &name = next();
+            if (!sim::parseBackend(name, &opts.sim.backend)) {
+                std::fprintf(stderr,
+                             "unknown backend '%s' (full | activity | "
+                             "compiled)\n",
+                             name.c_str());
+                return false;
+            }
         } else if (arg.rfind("--", 0) == 0 || arg.rfind("-", 0) == 0) {
             std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
             return false;
