@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cpi_timeline.dir/bench_cpi_timeline.cc.o"
+  "CMakeFiles/bench_cpi_timeline.dir/bench_cpi_timeline.cc.o.d"
+  "bench_cpi_timeline"
+  "bench_cpi_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cpi_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_floorplan.dir/bench_floorplan.cc.o"
+  "CMakeFiles/bench_floorplan.dir/bench_floorplan.cc.o.d"
+  "bench_floorplan"
+  "bench_floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_glitch.dir/bench_glitch.cc.o"
+  "CMakeFiles/bench_glitch.dir/bench_glitch.cc.o.d"
+  "bench_glitch"
+  "bench_glitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_glitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

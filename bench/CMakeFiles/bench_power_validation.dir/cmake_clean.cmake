@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_power_validation.dir/bench_power_validation.cc.o"
+  "CMakeFiles/bench_power_validation.dir/bench_power_validation.cc.o.d"
+  "bench_power_validation"
+  "bench_power_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_power_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sim_performance.dir/bench_sim_performance.cc.o"
+  "CMakeFiles/bench_sim_performance.dir/bench_sim_performance.cc.o.d"
+  "bench_sim_performance"
+  "bench_sim_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

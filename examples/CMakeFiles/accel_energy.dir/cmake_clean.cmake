@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accel_energy.dir/accel_energy.cpp.o"
+  "CMakeFiles/accel_energy.dir/accel_energy.cpp.o.d"
+  "accel_energy"
+  "accel_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accel_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

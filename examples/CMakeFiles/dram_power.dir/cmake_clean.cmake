@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_power.dir/dram_power.cpp.o"
+  "CMakeFiles/dram_power.dir/dram_power.cpp.o.d"
+  "dram_power"
+  "dram_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_farm.dir/replay_farm.cpp.o"
+  "CMakeFiles/replay_farm.dir/replay_farm.cpp.o.d"
+  "replay_farm"
+  "replay_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

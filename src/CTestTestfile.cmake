@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("stats")
+subdirs("rtl")
+subdirs("lint")
+subdirs("codegen")
+subdirs("sim")
+subdirs("isa")
+subdirs("fame")
+subdirs("inject")
+subdirs("gate")
+subdirs("power")
+subdirs("dram")
+subdirs("core")
+subdirs("farm")
+subdirs("cores")
+subdirs("workloads")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/codegen.cc" "src/codegen/CMakeFiles/strober_codegen.dir/codegen.cc.o" "gcc" "src/codegen/CMakeFiles/strober_codegen.dir/codegen.cc.o.d"
+  "/root/repo/src/codegen/jit.cc" "src/codegen/CMakeFiles/strober_codegen.dir/jit.cc.o" "gcc" "src/codegen/CMakeFiles/strober_codegen.dir/jit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/rtl/CMakeFiles/strober_rtl.dir/DependInfo.cmake"
+  "/root/repo/src/util/CMakeFiles/strober_util.dir/DependInfo.cmake"
+  "/root/repo/src/lint/CMakeFiles/strober_lint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

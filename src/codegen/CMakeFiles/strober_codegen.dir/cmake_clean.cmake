@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strober_codegen.dir/codegen.cc.o"
+  "CMakeFiles/strober_codegen.dir/codegen.cc.o.d"
+  "CMakeFiles/strober_codegen.dir/jit.cc.o"
+  "CMakeFiles/strober_codegen.dir/jit.cc.o.d"
+  "libstrober_codegen.a"
+  "libstrober_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strober_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

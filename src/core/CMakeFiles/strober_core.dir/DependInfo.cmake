@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/energy_sim.cc" "src/core/CMakeFiles/strober_core.dir/energy_sim.cc.o" "gcc" "src/core/CMakeFiles/strober_core.dir/energy_sim.cc.o.d"
+  "/root/repo/src/core/harness.cc" "src/core/CMakeFiles/strober_core.dir/harness.cc.o" "gcc" "src/core/CMakeFiles/strober_core.dir/harness.cc.o.d"
+  "/root/repo/src/core/perf_model.cc" "src/core/CMakeFiles/strober_core.dir/perf_model.cc.o" "gcc" "src/core/CMakeFiles/strober_core.dir/perf_model.cc.o.d"
+  "/root/repo/src/core/replay_executor.cc" "src/core/CMakeFiles/strober_core.dir/replay_executor.cc.o" "gcc" "src/core/CMakeFiles/strober_core.dir/replay_executor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/fame/CMakeFiles/strober_fame.dir/DependInfo.cmake"
+  "/root/repo/src/gate/CMakeFiles/strober_gate.dir/DependInfo.cmake"
+  "/root/repo/src/inject/CMakeFiles/strober_inject.dir/DependInfo.cmake"
+  "/root/repo/src/power/CMakeFiles/strober_power.dir/DependInfo.cmake"
+  "/root/repo/src/stats/CMakeFiles/strober_stats.dir/DependInfo.cmake"
+  "/root/repo/src/util/CMakeFiles/strober_util.dir/DependInfo.cmake"
+  "/root/repo/src/sim/CMakeFiles/strober_sim.dir/DependInfo.cmake"
+  "/root/repo/src/codegen/CMakeFiles/strober_codegen.dir/DependInfo.cmake"
+  "/root/repo/src/rtl/CMakeFiles/strober_rtl.dir/DependInfo.cmake"
+  "/root/repo/src/lint/CMakeFiles/strober_lint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strober_core.dir/energy_sim.cc.o"
+  "CMakeFiles/strober_core.dir/energy_sim.cc.o.d"
+  "CMakeFiles/strober_core.dir/harness.cc.o"
+  "CMakeFiles/strober_core.dir/harness.cc.o.d"
+  "CMakeFiles/strober_core.dir/perf_model.cc.o"
+  "CMakeFiles/strober_core.dir/perf_model.cc.o.d"
+  "CMakeFiles/strober_core.dir/replay_executor.cc.o"
+  "CMakeFiles/strober_core.dir/replay_executor.cc.o.d"
+  "libstrober_core.a"
+  "libstrober_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strober_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

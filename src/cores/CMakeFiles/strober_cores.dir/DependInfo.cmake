@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cores/boom.cc" "src/cores/CMakeFiles/strober_cores.dir/boom.cc.o" "gcc" "src/cores/CMakeFiles/strober_cores.dir/boom.cc.o.d"
+  "/root/repo/src/cores/cache.cc" "src/cores/CMakeFiles/strober_cores.dir/cache.cc.o" "gcc" "src/cores/CMakeFiles/strober_cores.dir/cache.cc.o.d"
+  "/root/repo/src/cores/decoder.cc" "src/cores/CMakeFiles/strober_cores.dir/decoder.cc.o" "gcc" "src/cores/CMakeFiles/strober_cores.dir/decoder.cc.o.d"
+  "/root/repo/src/cores/exec_units.cc" "src/cores/CMakeFiles/strober_cores.dir/exec_units.cc.o" "gcc" "src/cores/CMakeFiles/strober_cores.dir/exec_units.cc.o.d"
+  "/root/repo/src/cores/rocket.cc" "src/cores/CMakeFiles/strober_cores.dir/rocket.cc.o" "gcc" "src/cores/CMakeFiles/strober_cores.dir/rocket.cc.o.d"
+  "/root/repo/src/cores/soc.cc" "src/cores/CMakeFiles/strober_cores.dir/soc.cc.o" "gcc" "src/cores/CMakeFiles/strober_cores.dir/soc.cc.o.d"
+  "/root/repo/src/cores/soc_driver.cc" "src/cores/CMakeFiles/strober_cores.dir/soc_driver.cc.o" "gcc" "src/cores/CMakeFiles/strober_cores.dir/soc_driver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/core/CMakeFiles/strober_core.dir/DependInfo.cmake"
+  "/root/repo/src/dram/CMakeFiles/strober_dram.dir/DependInfo.cmake"
+  "/root/repo/src/isa/CMakeFiles/strober_isa.dir/DependInfo.cmake"
+  "/root/repo/src/rtl/CMakeFiles/strober_rtl.dir/DependInfo.cmake"
+  "/root/repo/src/util/CMakeFiles/strober_util.dir/DependInfo.cmake"
+  "/root/repo/src/inject/CMakeFiles/strober_inject.dir/DependInfo.cmake"
+  "/root/repo/src/power/CMakeFiles/strober_power.dir/DependInfo.cmake"
+  "/root/repo/src/gate/CMakeFiles/strober_gate.dir/DependInfo.cmake"
+  "/root/repo/src/fame/CMakeFiles/strober_fame.dir/DependInfo.cmake"
+  "/root/repo/src/sim/CMakeFiles/strober_sim.dir/DependInfo.cmake"
+  "/root/repo/src/codegen/CMakeFiles/strober_codegen.dir/DependInfo.cmake"
+  "/root/repo/src/lint/CMakeFiles/strober_lint.dir/DependInfo.cmake"
+  "/root/repo/src/stats/CMakeFiles/strober_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

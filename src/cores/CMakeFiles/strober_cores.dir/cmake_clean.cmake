@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strober_cores.dir/boom.cc.o"
+  "CMakeFiles/strober_cores.dir/boom.cc.o.d"
+  "CMakeFiles/strober_cores.dir/cache.cc.o"
+  "CMakeFiles/strober_cores.dir/cache.cc.o.d"
+  "CMakeFiles/strober_cores.dir/decoder.cc.o"
+  "CMakeFiles/strober_cores.dir/decoder.cc.o.d"
+  "CMakeFiles/strober_cores.dir/exec_units.cc.o"
+  "CMakeFiles/strober_cores.dir/exec_units.cc.o.d"
+  "CMakeFiles/strober_cores.dir/rocket.cc.o"
+  "CMakeFiles/strober_cores.dir/rocket.cc.o.d"
+  "CMakeFiles/strober_cores.dir/soc.cc.o"
+  "CMakeFiles/strober_cores.dir/soc.cc.o.d"
+  "CMakeFiles/strober_cores.dir/soc_driver.cc.o"
+  "CMakeFiles/strober_cores.dir/soc_driver.cc.o.d"
+  "libstrober_cores.a"
+  "libstrober_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strober_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strober_dram.dir/dram_model.cc.o"
+  "CMakeFiles/strober_dram.dir/dram_model.cc.o.d"
+  "libstrober_dram.a"
+  "libstrober_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strober_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

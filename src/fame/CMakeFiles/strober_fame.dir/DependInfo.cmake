@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fame/fame1.cc" "src/fame/CMakeFiles/strober_fame.dir/fame1.cc.o" "gcc" "src/fame/CMakeFiles/strober_fame.dir/fame1.cc.o.d"
+  "/root/repo/src/fame/replay.cc" "src/fame/CMakeFiles/strober_fame.dir/replay.cc.o" "gcc" "src/fame/CMakeFiles/strober_fame.dir/replay.cc.o.d"
+  "/root/repo/src/fame/scan_chain.cc" "src/fame/CMakeFiles/strober_fame.dir/scan_chain.cc.o" "gcc" "src/fame/CMakeFiles/strober_fame.dir/scan_chain.cc.o.d"
+  "/root/repo/src/fame/snapshot_io.cc" "src/fame/CMakeFiles/strober_fame.dir/snapshot_io.cc.o" "gcc" "src/fame/CMakeFiles/strober_fame.dir/snapshot_io.cc.o.d"
+  "/root/repo/src/fame/token_sim.cc" "src/fame/CMakeFiles/strober_fame.dir/token_sim.cc.o" "gcc" "src/fame/CMakeFiles/strober_fame.dir/token_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/rtl/CMakeFiles/strober_rtl.dir/DependInfo.cmake"
+  "/root/repo/src/lint/CMakeFiles/strober_lint.dir/DependInfo.cmake"
+  "/root/repo/src/sim/CMakeFiles/strober_sim.dir/DependInfo.cmake"
+  "/root/repo/src/stats/CMakeFiles/strober_stats.dir/DependInfo.cmake"
+  "/root/repo/src/util/CMakeFiles/strober_util.dir/DependInfo.cmake"
+  "/root/repo/src/codegen/CMakeFiles/strober_codegen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strober_fame.dir/fame1.cc.o"
+  "CMakeFiles/strober_fame.dir/fame1.cc.o.d"
+  "CMakeFiles/strober_fame.dir/replay.cc.o"
+  "CMakeFiles/strober_fame.dir/replay.cc.o.d"
+  "CMakeFiles/strober_fame.dir/scan_chain.cc.o"
+  "CMakeFiles/strober_fame.dir/scan_chain.cc.o.d"
+  "CMakeFiles/strober_fame.dir/snapshot_io.cc.o"
+  "CMakeFiles/strober_fame.dir/snapshot_io.cc.o.d"
+  "CMakeFiles/strober_fame.dir/token_sim.cc.o"
+  "CMakeFiles/strober_fame.dir/token_sim.cc.o.d"
+  "libstrober_fame.a"
+  "libstrober_fame.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strober_fame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strober_farm.dir/farm.cc.o"
+  "CMakeFiles/strober_farm.dir/farm.cc.o.d"
+  "CMakeFiles/strober_farm.dir/manifest.cc.o"
+  "CMakeFiles/strober_farm.dir/manifest.cc.o.d"
+  "CMakeFiles/strober_farm.dir/result_cache.cc.o"
+  "CMakeFiles/strober_farm.dir/result_cache.cc.o.d"
+  "libstrober_farm.a"
+  "libstrober_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strober_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

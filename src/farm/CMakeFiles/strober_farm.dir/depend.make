@@ -1,0 +1,2 @@
+# Empty dependencies file for strober_farm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gate/cell_library.cc" "src/gate/CMakeFiles/strober_gate.dir/cell_library.cc.o" "gcc" "src/gate/CMakeFiles/strober_gate.dir/cell_library.cc.o.d"
+  "/root/repo/src/gate/gate_sim.cc" "src/gate/CMakeFiles/strober_gate.dir/gate_sim.cc.o" "gcc" "src/gate/CMakeFiles/strober_gate.dir/gate_sim.cc.o.d"
+  "/root/repo/src/gate/matching.cc" "src/gate/CMakeFiles/strober_gate.dir/matching.cc.o" "gcc" "src/gate/CMakeFiles/strober_gate.dir/matching.cc.o.d"
+  "/root/repo/src/gate/netlist.cc" "src/gate/CMakeFiles/strober_gate.dir/netlist.cc.o" "gcc" "src/gate/CMakeFiles/strober_gate.dir/netlist.cc.o.d"
+  "/root/repo/src/gate/placement.cc" "src/gate/CMakeFiles/strober_gate.dir/placement.cc.o" "gcc" "src/gate/CMakeFiles/strober_gate.dir/placement.cc.o.d"
+  "/root/repo/src/gate/replay.cc" "src/gate/CMakeFiles/strober_gate.dir/replay.cc.o" "gcc" "src/gate/CMakeFiles/strober_gate.dir/replay.cc.o.d"
+  "/root/repo/src/gate/saif.cc" "src/gate/CMakeFiles/strober_gate.dir/saif.cc.o" "gcc" "src/gate/CMakeFiles/strober_gate.dir/saif.cc.o.d"
+  "/root/repo/src/gate/state_loader.cc" "src/gate/CMakeFiles/strober_gate.dir/state_loader.cc.o" "gcc" "src/gate/CMakeFiles/strober_gate.dir/state_loader.cc.o.d"
+  "/root/repo/src/gate/synthesis.cc" "src/gate/CMakeFiles/strober_gate.dir/synthesis.cc.o" "gcc" "src/gate/CMakeFiles/strober_gate.dir/synthesis.cc.o.d"
+  "/root/repo/src/gate/timed_sim.cc" "src/gate/CMakeFiles/strober_gate.dir/timed_sim.cc.o" "gcc" "src/gate/CMakeFiles/strober_gate.dir/timed_sim.cc.o.d"
+  "/root/repo/src/gate/verilog.cc" "src/gate/CMakeFiles/strober_gate.dir/verilog.cc.o" "gcc" "src/gate/CMakeFiles/strober_gate.dir/verilog.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/rtl/CMakeFiles/strober_rtl.dir/DependInfo.cmake"
+  "/root/repo/src/lint/CMakeFiles/strober_lint.dir/DependInfo.cmake"
+  "/root/repo/src/sim/CMakeFiles/strober_sim.dir/DependInfo.cmake"
+  "/root/repo/src/fame/CMakeFiles/strober_fame.dir/DependInfo.cmake"
+  "/root/repo/src/stats/CMakeFiles/strober_stats.dir/DependInfo.cmake"
+  "/root/repo/src/util/CMakeFiles/strober_util.dir/DependInfo.cmake"
+  "/root/repo/src/codegen/CMakeFiles/strober_codegen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strober_gate.dir/cell_library.cc.o"
+  "CMakeFiles/strober_gate.dir/cell_library.cc.o.d"
+  "CMakeFiles/strober_gate.dir/gate_sim.cc.o"
+  "CMakeFiles/strober_gate.dir/gate_sim.cc.o.d"
+  "CMakeFiles/strober_gate.dir/matching.cc.o"
+  "CMakeFiles/strober_gate.dir/matching.cc.o.d"
+  "CMakeFiles/strober_gate.dir/netlist.cc.o"
+  "CMakeFiles/strober_gate.dir/netlist.cc.o.d"
+  "CMakeFiles/strober_gate.dir/placement.cc.o"
+  "CMakeFiles/strober_gate.dir/placement.cc.o.d"
+  "CMakeFiles/strober_gate.dir/replay.cc.o"
+  "CMakeFiles/strober_gate.dir/replay.cc.o.d"
+  "CMakeFiles/strober_gate.dir/saif.cc.o"
+  "CMakeFiles/strober_gate.dir/saif.cc.o.d"
+  "CMakeFiles/strober_gate.dir/state_loader.cc.o"
+  "CMakeFiles/strober_gate.dir/state_loader.cc.o.d"
+  "CMakeFiles/strober_gate.dir/synthesis.cc.o"
+  "CMakeFiles/strober_gate.dir/synthesis.cc.o.d"
+  "CMakeFiles/strober_gate.dir/timed_sim.cc.o"
+  "CMakeFiles/strober_gate.dir/timed_sim.cc.o.d"
+  "CMakeFiles/strober_gate.dir/verilog.cc.o"
+  "CMakeFiles/strober_gate.dir/verilog.cc.o.d"
+  "libstrober_gate.a"
+  "libstrober_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strober_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strober_inject.dir/fault_injector.cc.o"
+  "CMakeFiles/strober_inject.dir/fault_injector.cc.o.d"
+  "libstrober_inject.a"
+  "libstrober_inject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strober_inject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstrober_inject.a"
+)

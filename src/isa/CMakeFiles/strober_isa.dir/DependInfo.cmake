@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/assembler.cc" "src/isa/CMakeFiles/strober_isa.dir/assembler.cc.o" "gcc" "src/isa/CMakeFiles/strober_isa.dir/assembler.cc.o.d"
+  "/root/repo/src/isa/encoding.cc" "src/isa/CMakeFiles/strober_isa.dir/encoding.cc.o" "gcc" "src/isa/CMakeFiles/strober_isa.dir/encoding.cc.o.d"
+  "/root/repo/src/isa/iss.cc" "src/isa/CMakeFiles/strober_isa.dir/iss.cc.o" "gcc" "src/isa/CMakeFiles/strober_isa.dir/iss.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/util/CMakeFiles/strober_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

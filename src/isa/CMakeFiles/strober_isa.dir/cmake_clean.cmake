@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strober_isa.dir/assembler.cc.o"
+  "CMakeFiles/strober_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/strober_isa.dir/encoding.cc.o"
+  "CMakeFiles/strober_isa.dir/encoding.cc.o.d"
+  "CMakeFiles/strober_isa.dir/iss.cc.o"
+  "CMakeFiles/strober_isa.dir/iss.cc.o.d"
+  "libstrober_isa.a"
+  "libstrober_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strober_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strober_lint.dir/diagnostics.cc.o"
+  "CMakeFiles/strober_lint.dir/diagnostics.cc.o.d"
+  "CMakeFiles/strober_lint.dir/lint.cc.o"
+  "CMakeFiles/strober_lint.dir/lint.cc.o.d"
+  "CMakeFiles/strober_lint.dir/rules.cc.o"
+  "CMakeFiles/strober_lint.dir/rules.cc.o.d"
+  "libstrober_lint.a"
+  "libstrober_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strober_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strober_power.dir/power_analysis.cc.o"
+  "CMakeFiles/strober_power.dir/power_analysis.cc.o.d"
+  "libstrober_power.a"
+  "libstrober_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strober_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/analysis.cc" "src/rtl/CMakeFiles/strober_rtl.dir/analysis.cc.o" "gcc" "src/rtl/CMakeFiles/strober_rtl.dir/analysis.cc.o.d"
+  "/root/repo/src/rtl/builder.cc" "src/rtl/CMakeFiles/strober_rtl.dir/builder.cc.o" "gcc" "src/rtl/CMakeFiles/strober_rtl.dir/builder.cc.o.d"
+  "/root/repo/src/rtl/ir.cc" "src/rtl/CMakeFiles/strober_rtl.dir/ir.cc.o" "gcc" "src/rtl/CMakeFiles/strober_rtl.dir/ir.cc.o.d"
+  "/root/repo/src/rtl/opt.cc" "src/rtl/CMakeFiles/strober_rtl.dir/opt.cc.o" "gcc" "src/rtl/CMakeFiles/strober_rtl.dir/opt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/util/CMakeFiles/strober_util.dir/DependInfo.cmake"
+  "/root/repo/src/lint/CMakeFiles/strober_lint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

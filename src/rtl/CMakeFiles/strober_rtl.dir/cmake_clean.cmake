@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strober_rtl.dir/analysis.cc.o"
+  "CMakeFiles/strober_rtl.dir/analysis.cc.o.d"
+  "CMakeFiles/strober_rtl.dir/builder.cc.o"
+  "CMakeFiles/strober_rtl.dir/builder.cc.o.d"
+  "CMakeFiles/strober_rtl.dir/ir.cc.o"
+  "CMakeFiles/strober_rtl.dir/ir.cc.o.d"
+  "CMakeFiles/strober_rtl.dir/opt.cc.o"
+  "CMakeFiles/strober_rtl.dir/opt.cc.o.d"
+  "libstrober_rtl.a"
+  "libstrober_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strober_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strober_sim.dir/simulator.cc.o"
+  "CMakeFiles/strober_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/strober_sim.dir/vcd.cc.o"
+  "CMakeFiles/strober_sim.dir/vcd.cc.o.d"
+  "libstrober_sim.a"
+  "libstrober_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strober_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

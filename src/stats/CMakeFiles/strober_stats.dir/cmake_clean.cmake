@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strober_stats.dir/rng.cc.o"
+  "CMakeFiles/strober_stats.dir/rng.cc.o.d"
+  "CMakeFiles/strober_stats.dir/sampling.cc.o"
+  "CMakeFiles/strober_stats.dir/sampling.cc.o.d"
+  "libstrober_stats.a"
+  "libstrober_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strober_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strober_util.dir/crc32.cc.o"
+  "CMakeFiles/strober_util.dir/crc32.cc.o.d"
+  "CMakeFiles/strober_util.dir/logging.cc.o"
+  "CMakeFiles/strober_util.dir/logging.cc.o.d"
+  "CMakeFiles/strober_util.dir/status.cc.o"
+  "CMakeFiles/strober_util.dir/status.cc.o.d"
+  "libstrober_util.a"
+  "libstrober_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strober_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

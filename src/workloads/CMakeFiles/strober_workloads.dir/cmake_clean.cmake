@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strober_workloads.dir/workloads.cc.o"
+  "CMakeFiles/strober_workloads.dir/workloads.cc.o.d"
+  "libstrober_workloads.a"
+  "libstrober_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strober_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

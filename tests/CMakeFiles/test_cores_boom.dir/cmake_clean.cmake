@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cores_boom.dir/test_cores_boom.cc.o"
+  "CMakeFiles/test_cores_boom.dir/test_cores_boom.cc.o.d"
+  "test_cores_boom"
+  "test_cores_boom.pdb"
+  "test_cores_boom[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cores_boom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

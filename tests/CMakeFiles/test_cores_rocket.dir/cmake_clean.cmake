@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cores_rocket.dir/test_cores_rocket.cc.o"
+  "CMakeFiles/test_cores_rocket.dir/test_cores_rocket.cc.o.d"
+  "test_cores_rocket"
+  "test_cores_rocket.pdb"
+  "test_cores_rocket[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cores_rocket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

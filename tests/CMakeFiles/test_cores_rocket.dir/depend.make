@@ -1,0 +1,2 @@
+# Empty dependencies file for test_cores_rocket.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fame.dir/test_fame.cc.o"
+  "CMakeFiles/test_fame.dir/test_fame.cc.o.d"
+  "test_fame"
+  "test_fame.pdb"
+  "test_fame[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_power.cc" "tests/CMakeFiles/test_power.dir/test_power.cc.o" "gcc" "tests/CMakeFiles/test_power.dir/test_power.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/farm/CMakeFiles/strober_farm.dir/DependInfo.cmake"
+  "/root/repo/src/cores/CMakeFiles/strober_cores.dir/DependInfo.cmake"
+  "/root/repo/src/dram/CMakeFiles/strober_dram.dir/DependInfo.cmake"
+  "/root/repo/src/core/CMakeFiles/strober_core.dir/DependInfo.cmake"
+  "/root/repo/src/inject/CMakeFiles/strober_inject.dir/DependInfo.cmake"
+  "/root/repo/src/power/CMakeFiles/strober_power.dir/DependInfo.cmake"
+  "/root/repo/src/gate/CMakeFiles/strober_gate.dir/DependInfo.cmake"
+  "/root/repo/src/fame/CMakeFiles/strober_fame.dir/DependInfo.cmake"
+  "/root/repo/src/stats/CMakeFiles/strober_stats.dir/DependInfo.cmake"
+  "/root/repo/src/sim/CMakeFiles/strober_sim.dir/DependInfo.cmake"
+  "/root/repo/src/codegen/CMakeFiles/strober_codegen.dir/DependInfo.cmake"
+  "/root/repo/src/rtl/CMakeFiles/strober_rtl.dir/DependInfo.cmake"
+  "/root/repo/src/lint/CMakeFiles/strober_lint.dir/DependInfo.cmake"
+  "/root/repo/src/workloads/CMakeFiles/strober_workloads.dir/DependInfo.cmake"
+  "/root/repo/src/isa/CMakeFiles/strober_isa.dir/DependInfo.cmake"
+  "/root/repo/src/util/CMakeFiles/strober_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

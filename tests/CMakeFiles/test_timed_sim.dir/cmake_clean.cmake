@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timed_sim.dir/test_timed_sim.cc.o"
+  "CMakeFiles/test_timed_sim.dir/test_timed_sim.cc.o.d"
+  "test_timed_sim"
+  "test_timed_sim.pdb"
+  "test_timed_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timed_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

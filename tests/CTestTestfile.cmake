@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/tests/test_util[1]_include.cmake")
+include("/root/repo/tests/test_stats[1]_include.cmake")
+include("/root/repo/tests/test_rtl[1]_include.cmake")
+include("/root/repo/tests/test_lint[1]_include.cmake")
+include("/root/repo/tests/test_sim[1]_include.cmake")
+include("/root/repo/tests/test_codegen[1]_include.cmake")
+include("/root/repo/tests/test_isa[1]_include.cmake")
+include("/root/repo/tests/test_fame[1]_include.cmake")
+include("/root/repo/tests/test_gate[1]_include.cmake")
+include("/root/repo/tests/test_dram[1]_include.cmake")
+include("/root/repo/tests/test_core[1]_include.cmake")
+include("/root/repo/tests/test_cores_rocket[1]_include.cmake")
+include("/root/repo/tests/test_cores_boom[1]_include.cmake")
+include("/root/repo/tests/test_workloads[1]_include.cmake")
+include("/root/repo/tests/test_power[1]_include.cmake")
+include("/root/repo/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/tests/test_differential[1]_include.cmake")
+include("/root/repo/tests/test_integration[1]_include.cmake")
+include("/root/repo/tests/test_timed_sim[1]_include.cmake")
+include("/root/repo/tests/test_export[1]_include.cmake")
+include("/root/repo/tests/test_faults[1]_include.cmake")
+include("/root/repo/tests/test_farm[1]_include.cmake")
+include("/root/repo/tests/test_torture[1]_include.cmake")
+include("/root/repo/tests/test_configs[1]_include.cmake")

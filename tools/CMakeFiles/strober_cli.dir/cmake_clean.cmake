@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strober_cli.dir/strober_cli.cc.o"
+  "CMakeFiles/strober_cli.dir/strober_cli.cc.o.d"
+  "strober"
+  "strober.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strober_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

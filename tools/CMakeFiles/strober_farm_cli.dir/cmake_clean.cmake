@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strober_farm_cli.dir/strober_farm.cc.o"
+  "CMakeFiles/strober_farm_cli.dir/strober_farm.cc.o.d"
+  "strober-farm"
+  "strober-farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strober_farm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strober_lint_cli.dir/strober_lint.cc.o"
+  "CMakeFiles/strober_lint_cli.dir/strober_lint.cc.o.d"
+  "strober-lint"
+  "strober-lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strober_lint_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
