@@ -9,10 +9,11 @@
  * runs are scaled down, but the record-count law and the
  * with/without-sampling contrast are cycle-count independent.)
  *
- * A second section contrasts the fast simulator's three backends (the
+ * A second section contrasts the fast simulator's four backends (the
  * full interpreted reference sweep, activity-driven change propagation,
- * and the compiled backend that lowers the design to specialized C++)
- * on the same workloads: node evaluations per cycle, activity factor
+ * the compiled backend that lowers the design to specialized C++, and
+ * the compiled-parallel backend that adds chunk-granular activity
+ * gating over a worker pool) on the same workloads: node evaluations per cycle, activity factor
  * and wall-clock speedup. The backends are observationally equivalent
  * (tests/test_differential.cc), so the only difference is the rate.
  * JIT compilation happens at harness construction, outside the timed
@@ -79,7 +80,8 @@ runBackend(const rtl::Design &soc, const workloads::Workload &wl,
 void
 backendContrast(const rtl::Design &soc, bench::JsonSink &json)
 {
-    bench::banner("backends: full sweep vs activity-driven vs compiled");
+    bench::banner(
+        "backends: full vs activity vs compiled vs compiled-parallel");
     std::printf("%-12s %-9s %12s %13s %9s %10s %8s\n", "benchmark",
                 "backend", "cycles", "evals/cycle", "activity", "wall(s)",
                 "speedup");
@@ -90,7 +92,8 @@ backendContrast(const rtl::Design &soc, bench::JsonSink &json)
     };
     const sim::Backend backends[] = {sim::Backend::InterpretedFull,
                                      sim::Backend::InterpretedActivity,
-                                     sim::Backend::Compiled};
+                                     sim::Backend::Compiled,
+                                     sim::Backend::CompiledParallel};
     for (const workloads::Workload &wl : wls) {
         BackendRun full;
         for (sim::Backend backend : backends) {
@@ -115,7 +118,11 @@ backendContrast(const rtl::Design &soc, bench::JsonSink &json)
                 .num("cycles_per_sec", r.cyclesPerSec())
                 .num("speedup", speedup)
                 .num("evals_per_cycle", r.evalsPerCycle)
-                .num("activity", r.activity);
+                .num("activity", r.activity)
+                .num("threads",
+                     backend == sim::Backend::CompiledParallel
+                         ? static_cast<double>(sim::simThreads())
+                         : 1.0);
         }
     }
 }

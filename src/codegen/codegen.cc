@@ -60,17 +60,26 @@ sext64(const std::string &expr, unsigned width)
     return "((" + expr + " ^ " + sign + ") - " + sign + ")";
 }
 
+/** The pieces of one step's computation: an optional prelude declaring
+ *  locals, and the value expression. Shared by the straight-line and
+ *  the chunked (dirty-gated) emitters so their semantics cannot drift
+ *  apart. */
+struct StepParts
+{
+    std::string prelude; //!< "" or "uint64_t amt = ...; "
+    std::string expr;
+};
+
 /**
- * One statement computing EvalStep @p st into its destination slot.
- * Semantics mirror rtl::evalOp case-for-case; keep the two in sync.
+ * The expression computing EvalStep @p st. Semantics mirror
+ * rtl::evalOp case-for-case; keep the two in sync.
  */
-std::string
-stepStmt(const rtl::Design &d, const EvalStep &st)
+StepParts
+stepParts(const rtl::Design &d, const EvalStep &st)
 {
     const std::string a = slot(st.a);
     const std::string b = slot(st.b);
     const std::string c = slot(st.c);
-    const std::string dst = slot(st.dst);
     const unsigned w = st.width;
     std::string expr;
     switch (st.op) {
@@ -136,12 +145,11 @@ stepStmt(const rtl::Design &d, const EvalStep &st)
       case Op::Sra: {
         // amt = min(b, width) capped at 63 == min(b, min(width, 63)).
         unsigned cap = w > 63 ? 63 : w;
-        return "  { uint64_t amt = " + b + " < " + dec(cap) + "ull ? " + b +
-               " : " + dec(cap) + "ull; " + dst + " = " +
-               masked("(uint64_t)((int64_t)" + sext64(a, st.widthA) +
-                          " >> amt)",
-                      w) +
-               "; }\n";
+        return {"uint64_t amt = " + b + " < " + dec(cap) + "ull ? " + b +
+                    " : " + dec(cap) + "ull; ",
+                masked("(uint64_t)((int64_t)" + sext64(a, st.widthA) +
+                           " >> amt)",
+                       w)};
       }
       case Op::Eq:
         expr = "(uint64_t)(" + a + " == " + b + ")";
@@ -172,7 +180,18 @@ stepStmt(const rtl::Design &d, const EvalStep &st)
         panic("codegen: unexpected op %s in evaluation plan",
               rtl::opName(st.op));
     }
-    return "  " + dst + " = " + expr + ";\n";
+    return {"", expr};
+}
+
+/** One statement computing EvalStep @p st into its destination slot. */
+std::string
+stepStmt(const rtl::Design &d, const EvalStep &st)
+{
+    StepParts p = stepParts(d, st);
+    const std::string dst = slot(st.dst);
+    if (p.prelude.empty())
+        return "  " + dst + " = " + p.expr + ";\n";
+    return "  { " + p.prelude + dst + " = " + p.expr + "; }\n";
 }
 
 /** "(s[en] & 1ull)" or "" when the port has no enable. */
@@ -184,49 +203,13 @@ enableExpr(rtl::NodeId en, const rtl::EvalPlan &plan)
     return "(" + slot(plan.slotOf[en]) + " & 1ull)";
 }
 
-} // namespace
-
-std::string
-emitSimulatorSource(const rtl::Design &d, const rtl::EvalPlan &plan)
+/** Append strober_commit: latch registers and sync-read data
+ *  (read-before-write), apply memory writes (last port wins), then
+ *  store the pendings — the same order as Simulator::commitEdge. */
+void
+emitCommit(std::string &out, const rtl::Design &d,
+           const rtl::EvalPlan &plan)
 {
-    std::string out;
-    out.reserve(64 * 1024);
-    out += "// Specialized simulator for design '" + d.name() +
-           "' — generated by strober codegen; do not edit.\n";
-    out += "// slots=" + dec(plan.numSlots) +
-           " hot=" + dec(plan.hotProgram.size()) +
-           " folded=" + dec(plan.stats.folded) +
-           " aliased=" + dec(plan.stats.aliased) +
-           " cold=" + dec(plan.stats.cold) + "\n";
-    out += "#include <cstdint>\n\n";
-
-    // Eval: the hot program as straight-line code, chunked so no one
-    // function overwhelms the host compiler's per-function analyses.
-    size_t numChunks =
-        (plan.hotProgram.size() + kChunkStmts - 1) / kChunkStmts;
-    for (size_t chunk = 0; chunk < numChunks; ++chunk) {
-        out += "static void eval_" + dec(chunk) +
-               "(uint64_t* __restrict__ s, uint64_t* const* __restrict__ "
-               "m) {\n";
-        out += "  (void)m;\n";
-        size_t lo = chunk * kChunkStmts;
-        size_t hi = std::min(lo + kChunkStmts, plan.hotProgram.size());
-        for (size_t i = lo; i < hi; ++i)
-            out += stepStmt(d, plan.hotProgram[i]);
-        out += "}\n\n";
-    }
-
-    out += "extern \"C\" void strober_eval(uint64_t* s, uint64_t* const* "
-           "m) {\n";
-    if (numChunks == 0)
-        out += "  (void)s; (void)m;\n";
-    for (size_t chunk = 0; chunk < numChunks; ++chunk)
-        out += "  eval_" + dec(chunk) + "(s, m);\n";
-    out += "}\n\n";
-
-    // Commit: latch registers and sync-read data (read-before-write),
-    // apply memory writes (last port wins), then store the pendings —
-    // the same order as Simulator::commitEdge.
     out += "extern \"C\" void strober_commit(uint64_t* s, uint64_t* const* "
            "m) {\n";
     out += "  (void)m;\n";
@@ -285,13 +268,171 @@ emitSimulatorSource(const rtl::Design &d, const rtl::EvalPlan &plan)
         }
     }
     out += "}\n\n";
+}
 
-    // Geometry stamps; the loader cross-checks them before trusting
-    // the module (a stale .so over a changed design is a hard error).
+/** Append the geometry stamps; the loader cross-checks them before
+ *  trusting the module (a stale .so over a changed design is a hard
+ *  error). */
+void
+emitStamps(std::string &out, const rtl::Design &d,
+           const rtl::EvalPlan &plan, size_t numChunks)
+{
     out += "extern \"C\" const uint64_t strober_num_slots = " +
            dec(plan.numSlots) + ";\n";
     out += "extern \"C\" const uint64_t strober_num_mems = " +
            dec(d.mems().size()) + ";\n";
+    if (numChunks > 0)
+        out += "extern \"C\" const uint64_t strober_num_chunks = " +
+               dec(numChunks) + ";\n";
+}
+
+} // namespace
+
+std::string
+emitSimulatorSource(const rtl::Design &d, const rtl::EvalPlan &plan)
+{
+    std::string out;
+    out.reserve(64 * 1024);
+    out += "// Specialized simulator for design '" + d.name() +
+           "' — generated by strober codegen; do not edit.\n";
+    out += "// slots=" + dec(plan.numSlots) +
+           " hot=" + dec(plan.hotProgram.size()) +
+           " folded=" + dec(plan.stats.folded) +
+           " aliased=" + dec(plan.stats.aliased) +
+           " cold=" + dec(plan.stats.cold) + "\n";
+    out += "#include <cstdint>\n\n";
+
+    // Eval: the hot program as straight-line code, chunked so no one
+    // function overwhelms the host compiler's per-function analyses.
+    size_t numChunks =
+        (plan.hotProgram.size() + kChunkStmts - 1) / kChunkStmts;
+    for (size_t chunk = 0; chunk < numChunks; ++chunk) {
+        out += "static void eval_" + dec(chunk) +
+               "(uint64_t* __restrict__ s, uint64_t* const* __restrict__ "
+               "m) {\n";
+        out += "  (void)m;\n";
+        size_t lo = chunk * kChunkStmts;
+        size_t hi = std::min(lo + kChunkStmts, plan.hotProgram.size());
+        for (size_t i = lo; i < hi; ++i)
+            out += stepStmt(d, plan.hotProgram[i]);
+        out += "}\n\n";
+    }
+
+    out += "extern \"C\" void strober_eval(uint64_t* s, uint64_t* const* "
+           "m) {\n";
+    if (numChunks == 0)
+        out += "  (void)s; (void)m;\n";
+    for (size_t chunk = 0; chunk < numChunks; ++chunk)
+        out += "  eval_" + dec(chunk) + "(s, m);\n";
+    out += "}\n\n";
+
+    emitCommit(out, d, plan);
+    emitStamps(out, d, plan, 0);
+    return out;
+}
+
+std::string
+emitPartitionedSource(const rtl::Design &d, const rtl::EvalPlan &plan,
+                      const rtl::EvalPartition &part)
+{
+    const auto &hot = plan.hotProgram;
+    const uint32_t numChunks = static_cast<uint32_t>(part.chunks.size());
+    const uint32_t words = part.dirtyWords();
+
+    std::string out;
+    out.reserve(64 * 1024);
+    out += "// Partitioned simulator for design '" + d.name() +
+           "' — generated by strober codegen; do not edit.\n";
+    out += "// slots=" + dec(plan.numSlots) + " hot=" + dec(hot.size()) +
+           " chunks=" + dec(numChunks) + " levels=" +
+           dec(part.numLevels()) + " clusters=" + dec(part.clusters) +
+           "\n";
+    out += "#include <cstdint>\n\n";
+
+    // One function per chunk. Each step stores its slot only when the
+    // value changed, accumulating the consumer chunks' dirty bits in
+    // locals; the accumulated words are published once at the end with
+    // relaxed atomic ORs (chunks of one level run concurrently; the
+    // level barrier orders the reads that follow).
+    for (uint32_t c = 0; c < numChunks; ++c) {
+        out += "extern \"C\" void " + std::string(kChunkSymbolPrefix) +
+               dec(c) +
+               "(uint64_t* __restrict__ s, uint64_t* const* __restrict__ "
+               "m, uint64_t* __restrict__ d) {\n";
+        out += "  (void)m; (void)d;\n";
+
+        // Dirty words this chunk's outputs can touch, in first-use order.
+        std::vector<uint32_t> usedWords;
+        auto wordVar = [&](uint32_t word) {
+            return "w" + dec(word);
+        };
+        std::string body;
+        for (uint32_t i : part.chunks[c].steps) {
+            const EvalStep &st = hot[i];
+            StepParts p = stepParts(d, st);
+            const std::string dst = slot(st.dst);
+
+            // Consumer chunks of this step's slot, as (word, mask).
+            std::vector<std::pair<uint32_t, uint64_t>> marks;
+            for (uint32_t k = part.slotChunksBegin[st.dst];
+                 k < part.slotChunksBegin[st.dst + 1]; ++k) {
+                uint32_t consumer = part.slotChunks[k];
+                uint32_t word = consumer >> 6;
+                uint64_t bit = 1ULL << (consumer & 63);
+                if (!marks.empty() && marks.back().first == word)
+                    marks.back().second |= bit;
+                else
+                    marks.emplace_back(word, bit);
+            }
+            if (marks.empty()) {
+                // No cross-chunk consumer: a plain store suffices.
+                if (p.prelude.empty())
+                    body += "  " + dst + " = " + p.expr + ";\n";
+                else
+                    body += "  { " + p.prelude + dst + " = " + p.expr +
+                            "; }\n";
+                continue;
+            }
+            for (const auto &[word, mask] : marks) {
+                if (std::find(usedWords.begin(), usedWords.end(), word) ==
+                    usedWords.end())
+                    usedWords.push_back(word);
+            }
+            body += "  { " + p.prelude + "const uint64_t nv = " + p.expr +
+                    "; if (" + dst + " != nv) { " + dst + " = nv;";
+            for (const auto &[word, mask] : marks)
+                body += " " + wordVar(word) + " |= " + hexU64(mask) + ";";
+            body += " } }\n";
+        }
+        std::sort(usedWords.begin(), usedWords.end());
+        for (uint32_t word : usedWords)
+            out += "  uint64_t " + wordVar(word) + " = 0ull;\n";
+        out += body;
+        for (uint32_t word : usedWords)
+            out += "  if (" + wordVar(word) + ") __atomic_fetch_or(d + " +
+                   dec(word) + ", " + wordVar(word) +
+                   ", __ATOMIC_RELAXED);\n";
+        out += "}\n\n";
+    }
+
+    // Sequential full sweep over all chunks (chunk ids are level-major,
+    // hence topologically ordered); dirty marks land in a scratch
+    // bitmap. The runtime uses this for whole-design sanity sweeps —
+    // per-cycle evaluation drives the chunk functions directly.
+    out += "extern \"C\" void strober_eval(uint64_t* s, uint64_t* const* "
+           "m) {\n";
+    if (numChunks == 0) {
+        out += "  (void)s; (void)m;\n";
+    } else {
+        out += "  uint64_t scratch[" + dec(words) + "] = {0};\n";
+        for (uint32_t c = 0; c < numChunks; ++c)
+            out += "  " + std::string(kChunkSymbolPrefix) + dec(c) +
+                   "(s, m, scratch);\n";
+    }
+    out += "}\n\n";
+
+    emitCommit(out, d, plan);
+    emitStamps(out, d, plan, numChunks == 0 ? 0 : numChunks);
     return out;
 }
 

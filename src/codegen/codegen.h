@@ -32,6 +32,10 @@ constexpr const char *kEvalSymbol = "strober_eval";
 constexpr const char *kCommitSymbol = "strober_commit";
 constexpr const char *kNumSlotsSymbol = "strober_num_slots";
 constexpr const char *kNumMemsSymbol = "strober_num_mems";
+/** Chunk count stamp; absent (0) in non-partitioned modules. */
+constexpr const char *kNumChunksSymbol = "strober_num_chunks";
+/** Per-chunk eval functions: strober_eval_chunk_<k>, k in [0,chunks). */
+constexpr const char *kChunkSymbolPrefix = "strober_eval_chunk_";
 
 /**
  * Emit the specialized C++ translation unit for @p design under
@@ -39,6 +43,18 @@ constexpr const char *kNumMemsSymbol = "strober_num_mems";
  */
 std::string emitSimulatorSource(const rtl::Design &design,
                                 const rtl::EvalPlan &plan);
+
+/**
+ * Emit the partitioned (compiled-parallel) translation unit: one
+ * `strober_eval_chunk_<k>(slots, mems, dirty)` per chunk of @p part —
+ * each step stores only on change and ORs its consumer chunks' bits
+ * into the caller's dirty bitmap — plus a sequential strober_eval full
+ * sweep, the shared strober_commit, and geometry stamps including
+ * strober_num_chunks. Deterministic: a pure function of its arguments.
+ */
+std::string emitPartitionedSource(const rtl::Design &design,
+                                  const rtl::EvalPlan &plan,
+                                  const rtl::EvalPartition &part);
 
 } // namespace codegen
 } // namespace strober

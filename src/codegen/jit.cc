@@ -159,6 +159,24 @@ compileSimulator(const std::string &source, const std::string &tag)
                       "compiled module is missing entry points");
     sim->slots = *numSlots;
     sim->mems = *numMems;
+
+    // Partitioned modules additionally stamp a chunk count and export
+    // one eval function per chunk; a plain module has neither.
+    const auto *numChunks = reinterpret_cast<const uint64_t *>(
+        ::dlsym(handle, kNumChunksSymbol));
+    if (numChunks != nullptr) {
+        sim->chunkFns.reserve(*numChunks);
+        for (uint64_t c = 0; c < *numChunks; ++c) {
+            std::string sym = kChunkSymbolPrefix + std::to_string(c);
+            auto fn = reinterpret_cast<CompiledSim::ChunkFn>(
+                ::dlsym(handle, sym.c_str()));
+            if (fn == nullptr)
+                return errorf(ErrorCode::Corrupt,
+                              "partitioned module is missing '%s'",
+                              sym.c_str());
+            sim->chunkFns.push_back(fn);
+        }
+    }
     return sim;
 }
 

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "util/status.h"
 
@@ -36,6 +37,10 @@ class CompiledSim
 {
   public:
     using Fn = void (*)(uint64_t *, uint64_t *const *);
+    /** Per-chunk eval over (slots, memory pointers, dirty bitmap):
+     *  evaluates one partition chunk, ORing consumer-chunk dirty bits
+     *  into the bitmap with relaxed atomics. */
+    using ChunkFn = void (*)(uint64_t *, uint64_t *const *, uint64_t *);
 
     CompiledSim(const CompiledSim &) = delete;
     CompiledSim &operator=(const CompiledSim &) = delete;
@@ -48,6 +53,8 @@ class CompiledSim
     /** Geometry stamps baked into the module (cross-checked on load). */
     uint64_t numSlots() const { return slots; }
     uint64_t numMems() const { return mems; }
+    /** Chunk functions of a partitioned module; empty for plain ones. */
+    const std::vector<ChunkFn> &chunks() const { return chunkFns; }
 
   private:
     friend util::Result<std::unique_ptr<CompiledSim>>
@@ -59,6 +66,7 @@ class CompiledSim
     Fn commitFn = nullptr;
     uint64_t slots = 0;
     uint64_t mems = 0;
+    std::vector<ChunkFn> chunkFns;
 };
 
 /**

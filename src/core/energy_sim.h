@@ -143,10 +143,13 @@ class EnergySimulator
         double clockHz = 1e9;           //!< target clock (paper: 1 GHz)
         bool samplingEnabled = true;
         /** Fast-simulator backend for phase 1. Every backend is
-         *  observationally equivalent (locked down three ways by
+         *  observationally equivalent (locked down four ways by
          *  tests/test_differential.cc); InterpretedActivity scales with
          *  per-cycle activity instead of design size, Compiled trades a
-         *  one-time host-compiler invocation for the fastest sweeps. */
+         *  one-time host-compiler invocation for the fastest sweeps,
+         *  and CompiledParallel adds chunk-granular activity gating
+         *  plus a worker pool (sim::setSimThreads / --sim-threads)
+         *  with results bit-identical to every other backend. */
         sim::Backend backend = sim::Backend::InterpretedActivity;
         gate::LoaderKind loader = gate::LoaderKind::FastVpi;
         /** Host-service stall modeling: every @p hostServiceInterval

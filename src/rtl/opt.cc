@@ -1,5 +1,6 @@
 #include "rtl/opt.h"
 
+#include <algorithm>
 #include <array>
 #include <map>
 
@@ -315,6 +316,221 @@ buildEvalPlan(const Design &d)
     stats.hot = static_cast<uint32_t>(plan.hotProgram.size());
     plan.stats = stats;
     return plan;
+}
+
+namespace {
+
+/** Visit the operand slots of one hot step (MemRead reads only the
+ *  address slot; its memory dependence is tracked via memChunks). */
+template <typename Fn>
+void
+forEachStepOperand(const EvalStep &s, Fn &&fn)
+{
+    if (s.op == Op::MemRead) {
+        fn(s.b);
+        return;
+    }
+    unsigned arity = opArity(s.op);
+    if (arity >= 1)
+        fn(s.a);
+    if (arity >= 2)
+        fn(s.b);
+    if (arity >= 3)
+        fn(s.c);
+}
+
+constexpr uint32_t kNoStep = UINT32_MAX;
+
+/** Union-find root with path halving. */
+uint32_t
+findRoot(std::vector<uint32_t> &parent, uint32_t x)
+{
+    while (parent[x] != x) {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+    }
+    return x;
+}
+
+} // namespace
+
+EvalPartition
+partitionEvalPlan(const EvalPlan &plan, size_t numMems, uint32_t clusters,
+                  uint32_t minLevelSteps)
+{
+    if (clusters == 0)
+        clusters = 1;
+    if (minLevelSteps == 0)
+        minLevelSteps = 1;
+    const auto &hot = plan.hotProgram;
+    const uint32_t numSteps = static_cast<uint32_t>(hot.size());
+
+    EvalPartition part;
+    part.clusters = clusters;
+    part.stepChunk.assign(numSteps, 0);
+    part.memChunks.assign(numMems, {});
+    if (numSteps == 0) {
+        part.levelBegin = {0};
+        part.slotChunksBegin.assign(plan.numSlots + 1, 0);
+        return part;
+    }
+
+    // Producing hot step of every slot (kNoStep: leaf/constant slot).
+    std::vector<uint32_t> producer(plan.numSlots, kNoStep);
+    for (uint32_t i = 0; i < numSteps; ++i)
+        producer[hot[i].dst] = i;
+
+    // Topological rank of every step: 1 + max over hot producers. The
+    // hot program is topologically ordered, so producers of step i sit
+    // at indices < i and their ranks are already final.
+    std::vector<uint32_t> rank(numSteps, 0);
+    uint32_t maxRank = 0;
+    for (uint32_t i = 0; i < numSteps; ++i) {
+        uint32_t r = 0;
+        forEachStepOperand(hot[i], [&](SlotId slot) {
+            uint32_t p = producer[slot];
+            if (p != kNoStep && rank[p] + 1 > r)
+                r = rank[p] + 1;
+        });
+        rank[i] = r;
+        maxRank = std::max(maxRank, r);
+    }
+
+    // Merge consecutive ranks into levels of at least minLevelSteps
+    // steps, bounding the barriers per evaluation.
+    std::vector<uint32_t> rankCount(maxRank + 1, 0);
+    for (uint32_t i = 0; i < numSteps; ++i)
+        ++rankCount[rank[i]];
+    std::vector<uint32_t> rankLevel(maxRank + 1, 0);
+    uint32_t numLevels = 0;
+    uint32_t acc = 0;
+    for (uint32_t r = 0; r <= maxRank; ++r) {
+        rankLevel[r] = numLevels;
+        acc += rankCount[r];
+        if (acc >= minLevelSteps) {
+            ++numLevels;
+            acc = 0;
+        }
+    }
+    if (acc > 0 || numLevels == 0)
+        ++numLevels; // trailing partial level
+    std::vector<uint32_t> stepLevel(numSteps);
+    for (uint32_t i = 0; i < numSteps; ++i)
+        stepLevel[i] = rankLevel[rank[i]];
+
+    // Within one level, steps connected by a dependency must share a
+    // cluster (chunks of a level run concurrently with no ordering).
+    // Union-find over intra-level edges yields the components.
+    std::vector<uint32_t> parent(numSteps);
+    for (uint32_t i = 0; i < numSteps; ++i)
+        parent[i] = i;
+    for (uint32_t i = 0; i < numSteps; ++i) {
+        forEachStepOperand(hot[i], [&](SlotId slot) {
+            uint32_t p = producer[slot];
+            if (p != kNoStep && stepLevel[p] == stepLevel[i]) {
+                uint32_t ra = findRoot(parent, i);
+                uint32_t rb = findRoot(parent, p);
+                if (ra != rb)
+                    parent[std::max(ra, rb)] = std::min(ra, rb);
+            }
+        });
+    }
+
+    // Per level: gather components, then bin-pack them into at most
+    // `clusters` balanced chunks (largest component first into the
+    // lightest bin; ties break on lowest bin id — fully deterministic).
+    std::vector<std::vector<uint32_t>> levelSteps(numLevels);
+    for (uint32_t i = 0; i < numSteps; ++i)
+        levelSteps[stepLevel[i]].push_back(i); // ascending per level
+    part.levelBegin.assign(numLevels + 1, 0);
+    for (uint32_t lvl = 0; lvl < numLevels; ++lvl) {
+        part.levelBegin[lvl] = static_cast<uint32_t>(part.chunks.size());
+        if (levelSteps[lvl].empty())
+            continue;
+        // Components of this level, keyed by union-find root.
+        std::map<uint32_t, std::vector<uint32_t>> byRoot;
+        for (uint32_t i : levelSteps[lvl])
+            byRoot[findRoot(parent, i)].push_back(i);
+        struct Comp
+        {
+            uint32_t size;
+            uint32_t minStep;
+            const std::vector<uint32_t> *steps;
+        };
+        std::vector<Comp> comps;
+        comps.reserve(byRoot.size());
+        for (const auto &[root, steps] : byRoot)
+            comps.push_back({static_cast<uint32_t>(steps.size()),
+                             steps.front(), &steps});
+        std::sort(comps.begin(), comps.end(),
+                  [](const Comp &a, const Comp &b) {
+                      if (a.size != b.size)
+                          return a.size > b.size;
+                      return a.minStep < b.minStep;
+                  });
+        uint32_t bins =
+            std::min<uint32_t>(clusters,
+                               static_cast<uint32_t>(comps.size()));
+        std::vector<std::vector<uint32_t>> binSteps(bins);
+        std::vector<uint64_t> binLoad(bins, 0);
+        for (const Comp &c : comps) {
+            uint32_t lightest = 0;
+            for (uint32_t b = 1; b < bins; ++b)
+                if (binLoad[b] < binLoad[lightest])
+                    lightest = b;
+            binLoad[lightest] += c.size;
+            binSteps[lightest].insert(binSteps[lightest].end(),
+                                      c.steps->begin(), c.steps->end());
+        }
+        for (uint32_t b = 0; b < bins; ++b) {
+            if (binSteps[b].empty())
+                continue;
+            std::sort(binSteps[b].begin(), binSteps[b].end());
+            uint32_t id = static_cast<uint32_t>(part.chunks.size());
+            EvalChunk chunk;
+            chunk.level = lvl;
+            chunk.steps = std::move(binSteps[b]);
+            for (uint32_t i : chunk.steps)
+                part.stepChunk[i] = id;
+            part.chunks.push_back(std::move(chunk));
+        }
+    }
+    part.levelBegin[numLevels] = static_cast<uint32_t>(part.chunks.size());
+
+    // Slot -> consumer chunks (deduplicated, ascending), excluding the
+    // producing chunk: in-chunk edges are handled by the chunk's own
+    // ascending execution order, and marking the producer would only
+    // schedule a no-op re-evaluation next sweep.
+    std::vector<std::vector<uint32_t>> consumers(plan.numSlots);
+    for (uint32_t i = 0; i < numSteps; ++i) {
+        uint32_t chunk = part.stepChunk[i];
+        forEachStepOperand(hot[i], [&](SlotId slot) {
+            uint32_t p = producer[slot];
+            if (p != kNoStep && part.stepChunk[p] == chunk)
+                return; // in-chunk edge
+            consumers[slot].push_back(chunk);
+        });
+        if (hot[i].op == Op::MemRead)
+            part.memChunks[hot[i].a].push_back(chunk);
+    }
+    auto sortUnique = [](std::vector<uint32_t> &v) {
+        std::sort(v.begin(), v.end());
+        v.erase(std::unique(v.begin(), v.end()), v.end());
+    };
+    for (auto &list : consumers)
+        sortUnique(list);
+    for (auto &list : part.memChunks)
+        sortUnique(list);
+    part.slotChunksBegin.assign(plan.numSlots + 1, 0);
+    for (SlotId s = 0; s < plan.numSlots; ++s)
+        part.slotChunksBegin[s + 1] =
+            part.slotChunksBegin[s] +
+            static_cast<uint32_t>(consumers[s].size());
+    part.slotChunks.reserve(part.slotChunksBegin.back());
+    for (SlotId s = 0; s < plan.numSlots; ++s)
+        part.slotChunks.insert(part.slotChunks.end(), consumers[s].begin(),
+                               consumers[s].end());
+    return part;
 }
 
 } // namespace rtl

@@ -111,6 +111,80 @@ struct EvalPlan
  */
 EvalPlan buildEvalPlan(const Design &design);
 
+// --- Partitioning pass (compiled-parallel backend) ---------------------
+//
+// The hot program is clustered into *chunks* — balanced groups of steps
+// evaluated as a unit — arranged into *levels* executed in order with a
+// barrier between them. All data dependencies between steps either stay
+// inside one chunk or cross a level boundary (never between two chunks
+// of the same level), so the chunks of one level can run on any number
+// of threads in any order and still produce exactly the full sweep's
+// values. Each chunk carries a dirty bit: a chunk is re-evaluated only
+// when one of its input slots changed — the chunk-granular
+// generalization of InterpretedActivity's per-step dirty bitmap that
+// the compiled-parallel backend's JIT'd chunk functions test and
+// propagate (src/codegen).
+
+/** Target clusters (parallel chunks) per level. Fixed — NOT derived
+ *  from the thread count — so the partition, the emitted code, and
+ *  every evaluation counter are identical whatever --sim-threads is. */
+constexpr uint32_t kDefaultPartitionClusters = 8;
+
+/** Minimum hot steps per level: consecutive topological ranks are
+ *  merged until a level carries at least this much work, bounding the
+ *  number of per-cycle barriers. */
+constexpr uint32_t kDefaultPartitionGrain = 512;
+
+/** One cluster of hot-program steps evaluated as a unit. */
+struct EvalChunk
+{
+    uint32_t level = 0;           //!< executing level (barrier group)
+    std::vector<uint32_t> steps;  //!< hot-program indices, ascending
+};
+
+/** Level-ordered clustering of an EvalPlan's hot program. */
+struct EvalPartition
+{
+    uint32_t clusters = 0;  //!< requested clusters per level
+    /** Chunks in level-major order: level of chunk c is
+     *  nondecreasing in c, so one level is a contiguous id range. */
+    std::vector<EvalChunk> chunks;
+    /** Per level l: chunks [levelBegin[l], levelBegin[l+1]). */
+    std::vector<uint32_t> levelBegin;
+    /** Per hot-program step: owning chunk id. */
+    std::vector<uint32_t> stepChunk;
+    /** CSR: per slot, the chunks that consume it and must go dirty
+     *  when it changes — excluding the chunk producing it (in-chunk
+     *  edges are satisfied by the chunk's own ascending execution). */
+    std::vector<uint32_t> slotChunksBegin;
+    std::vector<uint32_t> slotChunks;
+    /** Per memory: chunks with an async MemRead of it (marked dirty
+     *  on memory mutation, mirroring the interpreter's memReadSteps). */
+    std::vector<std::vector<uint32_t>> memChunks;
+
+    uint32_t numLevels() const
+    {
+        return levelBegin.empty()
+                   ? 0
+                   : static_cast<uint32_t>(levelBegin.size() - 1);
+    }
+    /** Words of the chunk dirty bitmap. */
+    uint32_t dirtyWords() const
+    {
+        return static_cast<uint32_t>((chunks.size() + 63) / 64);
+    }
+};
+
+/**
+ * Cluster @p plan's hot program into a level-ordered, balanced
+ * partition. Deterministic: a pure function of its arguments.
+ * @p numMems is the design's memory count (for memChunks).
+ */
+EvalPartition
+partitionEvalPlan(const EvalPlan &plan, size_t numMems,
+                  uint32_t clusters = kDefaultPartitionClusters,
+                  uint32_t minLevelSteps = kDefaultPartitionGrain);
+
 } // namespace rtl
 } // namespace strober
 

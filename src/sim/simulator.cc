@@ -29,6 +29,8 @@ backendName(Backend backend)
         return "activity";
       case Backend::Compiled:
         return "compiled";
+      case Backend::CompiledParallel:
+        return "compiled-parallel";
     }
     return "?";
 }
@@ -42,6 +44,8 @@ parseBackend(const std::string &text, Backend *out)
         *out = Backend::InterpretedActivity;
     else if (text == "compiled")
         *out = Backend::Compiled;
+    else if (text == "compiled-parallel" || text == "parallel")
+        *out = Backend::CompiledParallel;
     else
         return false;
     return true;
@@ -59,7 +63,8 @@ Simulator::Simulator(const rtl::Design &design, Backend backend)
     }
     evalPlan = rtl::buildEvalPlan(dsn);
     buildTables();
-    if (requested == Backend::Compiled)
+    if (requested == Backend::Compiled ||
+        requested == Backend::CompiledParallel)
         attachCompiledModule();
     reset();
 }
@@ -142,18 +147,30 @@ Simulator::buildTables()
 void
 Simulator::attachCompiledModule()
 {
+    const bool parallel = requested == Backend::CompiledParallel;
     std::string tag = "sim_" + dsn.name();
     for (char &c : tag) {
         if (!(std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_'))
             c = '_';
     }
-    std::string source = codegen::emitSimulatorSource(dsn, evalPlan);
+    std::string source;
+    if (parallel) {
+        partition = rtl::partitionEvalPlan(evalPlan, dsn.mems().size());
+        source = codegen::emitPartitionedSource(dsn, evalPlan, partition);
+    } else {
+        source = codegen::emitSimulatorSource(dsn, evalPlan);
+    }
     auto result = codegen::compileSimulator(source, tag);
     if (!result.isOk()) {
+        // Degradation mirrors what the compiled code would have done:
+        // the plain module re-evaluates everything (-> full), the
+        // partitioned one gates on activity (-> activity interpreter).
         warn("compiled backend unavailable for '%s' (%s); falling back "
-             "to the full interpreter",
-             dsn.name().c_str(), result.status().toString().c_str());
-        effective = Backend::InterpretedFull;
+             "to the %s interpreter",
+             dsn.name().c_str(), result.status().toString().c_str(),
+             parallel ? "activity" : "full");
+        effective = parallel ? Backend::InterpretedActivity
+                             : Backend::InterpretedFull;
         return;
     }
     module = std::move(result.value());
@@ -164,6 +181,18 @@ Simulator::attachCompiledModule()
               dsn.name().c_str(), (unsigned long long)module->numSlots(),
               evalPlan.numSlots, (unsigned long long)module->numMems(),
               dsn.mems().size());
+    if (parallel) {
+        if (module->chunks().size() != partition.chunks.size())
+            panic("partitioned module chunk mismatch for '%s' "
+                  "(%zu != %zu)",
+                  dsn.name().c_str(), module->chunks().size(),
+                  partition.chunks.size());
+        chunkDirty.assign(partition.dirtyWords(), 0);
+        unsigned threads = simThreads();
+        dispatchGrain = parallelDispatchGrain(threads);
+        if (threads > 1 && !partition.chunks.empty())
+            pool.reset(new WorkerPool(threads));
+    }
 }
 
 void
@@ -193,6 +222,7 @@ Simulator::reset()
     minDirtyWord = static_cast<uint32_t>(dirtyBits.size());
     maxDirtyWord = 0;
     fullSweepPending = true;
+    std::fill(chunkDirty.begin(), chunkDirty.end(), 0);
 
     cycleCount = 0;
     combStale = true;
@@ -223,12 +253,34 @@ Simulator::markMemChanged(size_t memIdx)
 }
 
 void
+Simulator::markSlotChunks(SlotId slot)
+{
+    for (uint32_t i = partition.slotChunksBegin[slot];
+         i < partition.slotChunksBegin[slot + 1]; ++i) {
+        uint32_t c = partition.slotChunks[i];
+        chunkDirty[c >> 6] |= 1ULL << (c & 63);
+    }
+}
+
+void
+Simulator::markMemChunks(size_t memIdx)
+{
+    for (uint32_t c : partition.memChunks[memIdx])
+        chunkDirty[c >> 6] |= 1ULL << (c & 63);
+}
+
+void
 Simulator::updateSlot(SlotId slot, uint64_t value)
 {
     if (effective == Backend::InterpretedActivity) {
         if (slots[slot] != value) {
             slots[slot] = value;
             markSlotChanged(slot);
+        }
+    } else if (effective == Backend::CompiledParallel) {
+        if (slots[slot] != value) {
+            slots[slot] = value;
+            markSlotChunks(slot);
         }
     } else {
         slots[slot] = value;
@@ -341,6 +393,68 @@ Simulator::evalCombActivity()
 }
 
 void
+Simulator::evalCombParallel()
+{
+    if (fullSweepPending) {
+        // First sweep after reset: everything is potentially stale.
+        // The module's strober_eval runs all chunks sequentially in
+        // topological (level-major) order; afterwards nothing is stale,
+        // so pending chunk marks are dropped, exactly like the
+        // activity interpreter's post-reset sweep.
+        module->eval()(slots.data(), memPtrs.data());
+        std::fill(chunkDirty.begin(), chunkDirty.end(), 0);
+        fullSweepPending = false;
+        evalCount += evalPlan.hotProgram.size();
+        combStale = false;
+        return;
+    }
+
+    // Drain dirty chunks level by level. All cross-chunk data edges
+    // point to a *later* level (intra-level dependencies are kept
+    // in-chunk by the partitioner), so the dirty chunks of one level
+    // are independent: they can run on any number of threads in any
+    // order, and a chunk's dirty marks always target levels not yet
+    // drained. That makes the executed set — and hence every value and
+    // counter — independent of thread scheduling.
+    const auto &chunkFns = module->chunks();
+    uint64_t *slotData = slots.data();
+    uint64_t *const *memData = memPtrs.data();
+    uint64_t *dirty = chunkDirty.data();
+    uint64_t executed = 0;
+    for (uint32_t lvl = 0; lvl < partition.numLevels(); ++lvl) {
+        liveChunks.clear();
+        uint32_t steps = 0;
+        for (uint32_t c = partition.levelBegin[lvl];
+             c < partition.levelBegin[lvl + 1]; ++c) {
+            if ((chunkDirty[c >> 6] & (1ULL << (c & 63))) != 0) {
+                liveChunks.push_back(c);
+                steps += static_cast<uint32_t>(
+                    partition.chunks[c].steps.size());
+            }
+        }
+        if (liveChunks.empty())
+            continue;
+        for (uint32_t c : liveChunks)
+            chunkDirty[c >> 6] &= ~(1ULL << (c & 63));
+        executed += steps;
+        if (pool != nullptr && liveChunks.size() >= 2 &&
+            steps >= dispatchGrain) {
+            const std::vector<uint32_t> &live = liveChunks;
+            pool->run(static_cast<uint32_t>(live.size()),
+                      [&](uint32_t i) {
+                          chunkFns[live[i]](slotData, memData, dirty);
+                      });
+        } else {
+            for (uint32_t c : liveChunks)
+                chunkFns[c](slotData, memData, dirty);
+        }
+    }
+    evalCount += executed;
+    skipCount += evalPlan.hotProgram.size() - executed;
+    combStale = false;
+}
+
+void
 Simulator::evalComb()
 {
     switch (effective) {
@@ -354,6 +468,9 @@ Simulator::evalComb()
         module->eval()(slots.data(), memPtrs.data());
         evalCount += evalPlan.hotProgram.size();
         combStale = false;
+        break;
+      case Backend::CompiledParallel:
+        evalCombParallel();
         break;
     }
 }
@@ -371,6 +488,10 @@ Simulator::evalCold()
 void
 Simulator::commitEdge()
 {
+    // CompiledParallel commits through the interpreter path below: the
+    // per-slot updateSlot change detection is what seeds the chunk
+    // dirty bitmap for the next sweep, which the module's monolithic
+    // strober_commit cannot do.
     if (effective == Backend::Compiled) {
         module->commit()(slots.data(), memPtrs.data());
         ++cycleCount;
@@ -399,6 +520,7 @@ Simulator::commitEdge()
 
     // Memory writes (last port wins on a collision).
     bool activity = effective == Backend::InterpretedActivity;
+    bool chunked = effective == Backend::CompiledParallel;
     for (const MemWriteCommit &c : memWriteCommits) {
         bool en = c.en == kNoSlot || (slots[c.en] & 1) != 0;
         if (!en)
@@ -408,6 +530,8 @@ Simulator::commitEdge()
             mems[c.mem][addr] = slots[c.data];
             if (activity)
                 markMemChanged(c.mem);
+            else if (chunked)
+                markMemChunks(c.mem);
         }
     }
 
@@ -478,6 +602,8 @@ Simulator::setMemWord(size_t memIdx, uint64_t addr, uint64_t value)
         contents[addr] = nv;
         if (effective == Backend::InterpretedActivity)
             markMemChanged(memIdx);
+        else if (effective == Backend::CompiledParallel)
+            markMemChunks(memIdx);
     }
     combStale = true;
     coldStale = true;
@@ -525,6 +651,8 @@ Simulator::loadMem(size_t memIdx, uint64_t base,
     }
     if (changed && effective == Backend::InterpretedActivity)
         markMemChanged(memIdx);
+    else if (changed && effective == Backend::CompiledParallel)
+        markMemChunks(memIdx);
     combStale = true;
     coldStale = true;
 }

@@ -32,6 +32,16 @@
  *     specialized C++ (src/codegen), built with the host toolchain
  *     and dlopen()ed. When no compiler is available construction
  *     degrades to InterpretedFull with a warning — never an error.
+ *   - CompiledParallel: the hot schedule partitioned into balanced,
+ *     level-ordered chunks (rtl::partitionEvalPlan), each lowered to a
+ *     JIT'd function that evaluates only when one of its input slots
+ *     changed — the chunk-granular generalization of the activity
+ *     bitmap. Dirty chunks of one level are independent and execute
+ *     across a persistent worker pool (sim/worker_pool.h) with a
+ *     barrier per level; cross-chunk dirty bits are published with
+ *     atomic ORs, so results (and every counter) are bit-identical
+ *     whatever the thread count or schedule. Degrades to
+ *     InterpretedActivity when no compiler is available.
  *
  * All state access (peek of *any* node, scan-chain capture, snapshot
  * load, VCD) behaves identically across backends: optimized-away
@@ -50,6 +60,7 @@
 #include "codegen/jit.h"
 #include "rtl/ir.h"
 #include "rtl/opt.h"
+#include "sim/worker_pool.h"
 
 namespace strober {
 namespace sim {
@@ -59,15 +70,19 @@ enum class Backend : uint8_t {
     InterpretedFull,     //!< reference interpreter, full sweep
     InterpretedActivity, //!< interpreter, change propagation
     Compiled,            //!< JIT-compiled native code (dlopen)
+    CompiledParallel,    //!< JIT'd chunks, activity-gated, worker pool
 };
 
-/** @return "full", "activity" or "compiled" (reports and benches). */
+/** @return "full", "activity", "compiled" or "compiled-parallel"
+ *  (reports and benches). */
 const char *backendName(Backend backend);
 
 /**
- * Parse a --backend= value ("full", "activity", "compiled"; the
- * spelled-out "interpreted-full"/"interpreted-activity" also work).
- * @return false when @p text names no backend (@p out untouched).
+ * Parse a --backend= value ("full", "activity", "compiled",
+ * "compiled-parallel"; the spelled-out
+ * "interpreted-full"/"interpreted-activity" and the short "parallel"
+ * also work). @return false when @p text names no backend (@p out
+ * untouched).
  */
 bool parseBackend(const std::string &text, Backend *out);
 
@@ -204,16 +219,28 @@ class Simulator
     // --- Compiled backend ----------------------------------------------
     std::unique_ptr<codegen::CompiledSim> module;
 
+    // --- CompiledParallel machinery ------------------------------------
+    rtl::EvalPartition partition;   //!< chunking of the hot program
+    std::vector<uint64_t> chunkDirty; //!< bitmap over chunk ids
+    std::vector<uint32_t> liveChunks; //!< per-level scratch (no alloc)
+    std::unique_ptr<WorkerPool> pool;
+    uint32_t dispatchGrain = 0;     //!< min dirty steps to use the pool
+
     void buildTables();
     void attachCompiledModule();
     void commitEdge();
     uint64_t evalStep(const rtl::EvalStep &s) const;
     void evalCombFull();
     void evalCombActivity();
+    void evalCombParallel();
     void evalCold();
     void markStepDirty(uint32_t stepIdx);
     void markSlotChanged(rtl::SlotId slot);
     void markMemChanged(size_t memIdx);
+    /** Mark the chunks consuming @p slot dirty (CompiledParallel). */
+    void markSlotChunks(rtl::SlotId slot);
+    /** Mark the chunks async-reading memory @p memIdx dirty. */
+    void markMemChunks(size_t memIdx);
     /** Store @p value into @p slot, tracking dirtiness per backend. */
     void updateSlot(rtl::SlotId slot, uint64_t value);
 };

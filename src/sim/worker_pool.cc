@@ -1,0 +1,179 @@
+#include "sim/worker_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace strober {
+namespace sim {
+
+namespace {
+
+std::atomic<unsigned> g_simThreadsOverride{0};
+
+/** Parse a positive integer env var; 0 when unset/invalid. */
+unsigned long
+envULong(const char *name, bool *present = nullptr)
+{
+    if (present != nullptr)
+        *present = false;
+    const char *v = std::getenv(name);
+    if (v == nullptr || v[0] == '\0')
+        return 0;
+    char *end = nullptr;
+    unsigned long n = std::strtoul(v, &end, 10);
+    if (end == v || (end != nullptr && *end != '\0'))
+        return 0;
+    if (present != nullptr)
+        *present = true;
+    return n;
+}
+
+} // namespace
+
+unsigned
+simThreads()
+{
+    unsigned o = g_simThreadsOverride.load(std::memory_order_relaxed);
+    if (o != 0)
+        return o;
+    unsigned long env = envULong("STROBER_SIM_THREADS");
+    if (env >= 1)
+        return static_cast<unsigned>(std::min(env, 256ul));
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    return std::min(hw, 8u);
+}
+
+void
+setSimThreads(unsigned n)
+{
+    g_simThreadsOverride.store(std::min(n, 256u),
+                               std::memory_order_relaxed);
+}
+
+uint32_t
+parallelDispatchGrain(unsigned poolThreads)
+{
+    bool present = false;
+    unsigned long env = envULong("STROBER_SIM_PARALLEL_GRAIN", &present);
+    if (present)
+        return static_cast<uint32_t>(std::min(env, 0xfffffffful));
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    if (poolThreads > hw)
+        return 0xffffffffu; // oversubscribed: inline unless forced
+    return 512;
+}
+
+WorkerPool::WorkerPool(unsigned threads)
+{
+    unsigned extra = threads > 1 ? threads - 1 : 0;
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    spinLimit = threads <= hw ? 1u << 14 : 0;
+    workers.reserve(extra);
+    for (unsigned i = 0; i < extra; ++i)
+        workers.emplace_back([this] { workerBody(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(wakeMutex);
+        stopping = true;
+    }
+    wakeCv.notify_all();
+    for (std::thread &t : workers)
+        t.join();
+}
+
+void
+WorkerPool::drain(uint64_t gen)
+{
+    for (;;) {
+        uint64_t t = ticket.load(std::memory_order_acquire);
+        if ((t >> 32) != gen)
+            return; // another batch started (or none yet): not ours
+        uint32_t idx = static_cast<uint32_t>(t);
+        if (idx >= taskCount.load(std::memory_order_relaxed))
+            return; // batch fully claimed
+        if (!ticket.compare_exchange_weak(t, t + 1,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed))
+            continue; // lost the race; retry on the fresh value
+        (*taskFn)(idx);
+        completed.fetch_add(1, std::memory_order_release);
+    }
+}
+
+void
+WorkerPool::workerBody()
+{
+    uint64_t lastGen = 0;
+    for (;;) {
+        // Spin briefly for the next batch before parking: per-level
+        // dispatch arrives in bursts many times per simulated cycle.
+        uint64_t gen = lastGen;
+        for (unsigned spin = 0; spin < spinLimit; ++spin) {
+            uint64_t t = ticket.load(std::memory_order_acquire);
+            if ((t >> 32) != lastGen) {
+                gen = t >> 32;
+                break;
+            }
+        }
+        if (gen == lastGen) {
+            std::unique_lock<std::mutex> lk(wakeMutex);
+            wakeCv.wait(lk,
+                        [&] { return stopping || wakeGen != lastGen; });
+            if (stopping)
+                return;
+            gen = wakeGen;
+        }
+        lastGen = gen;
+        drain(gen);
+    }
+}
+
+void
+WorkerPool::run(uint32_t count, const std::function<void(uint32_t)> &fn)
+{
+    if (count == 0)
+        return;
+    if (workers.empty()) {
+        for (uint32_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    // Publish the batch, then the ticket (release): a worker's acquire
+    // load of the new generation makes taskFn/taskCount visible.
+    taskFn = &fn;
+    taskCount.store(count, std::memory_order_relaxed);
+    completed.store(0, std::memory_order_relaxed);
+    // Only run() ever advances wakeGen, and one run() executes at a
+    // time, so reading it unguarded here is race-free. The ticket must
+    // carry the new generation *before* wakeGen announces it: a worker
+    // waking on wakeGen would otherwise find a stale ticket, drain
+    // nothing, and park again with lastGen already advanced.
+    uint64_t gen = wakeGen + 1;
+    ticket.store(gen << 32, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lk(wakeMutex);
+        wakeGen = gen;
+    }
+    wakeCv.notify_all();
+
+    drain(gen);
+
+    // All tasks are claimed; wait for in-flight ones to finish. The
+    // caller drained alongside the workers, so this wait is short.
+    while (completed.load(std::memory_order_acquire) != count)
+        std::this_thread::yield();
+    taskFn = nullptr;
+}
+
+} // namespace sim
+} // namespace strober

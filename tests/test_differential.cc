@@ -1,24 +1,33 @@
 /**
  * @file
- * Differential tests between the Simulator backends — the lock-down for
- * both the activity-driven optimization and the compiled backend.
+ * Differential tests between the Simulator backends — the lock-down
+ * for the activity-driven optimization, the compiled backend, and the
+ * partitioned compiled-parallel backend.
  * Backend::InterpretedFull is the naive reference sweep;
- * Backend::InterpretedActivity and Backend::Compiled must be
- * observationally equivalent on *every* design and stimulus:
+ * Backend::InterpretedActivity, Backend::Compiled and
+ * Backend::CompiledParallel must be observationally equivalent on
+ * *every* design and stimulus:
  *   - 50 randomized designs (shared fuzz generator, tests/fuzz_designs.h)
  *     driven for 1000+ cycles of random pokes, with cycle-by-cycle output
  *     equality and periodic whole-state sweeps (every node value, every
- *     register, every memory word, every sync read latch) — three-way,
+ *     register, every memory word, every sync read latch) — four-way,
  *     all backends in lockstep;
  *   - reset() mid-run, repeated evalComb(), and partially-driven cycles
  *     (undriven inputs hold their values, creating the low-activity
  *     cycles the optimization exists for);
  *   - end-to-end: full Strober flows on the Rocket and BOOM SoCs, one
  *     per backend, must produce identical run statistics, identical
- *     sampled snapshots and *identical* energy estimates.
+ *     sampled snapshots and *identical* energy estimates;
+ *   - thread independence: the compiled-parallel backend's boom2w
+ *     energy report is byte-identical across a {1,2,4,8}-thread matrix
+ *     and to the single-threaded compiled backend (the same property
+ *     also runs as a ctest $STROBER_SIM_THREADS env matrix, see
+ *     tests/CMakeLists.txt).
  */
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -78,8 +87,9 @@ class Differential : public ::testing::TestWithParam<uint64_t> {};
 
 /**
  * The core equivalence property: under identical random stimulus, the
- * activity-driven and compiled simulators are cycle-for-cycle
- * indistinguishable from the full sweep — a three-way lockstep.
+ * activity-driven, compiled and compiled-parallel simulators are
+ * cycle-for-cycle indistinguishable from the full sweep — a four-way
+ * lockstep.
  * Roughly a quarter of the pokes are withheld each cycle so inputs
  * frequently hold their values — the low-activity condition the
  * dirty-propagation machinery actually optimizes — and a burst of
@@ -92,11 +102,13 @@ TEST_P(Differential, RandomDesignLockstep)
     Simulator full(d, Backend::InterpretedFull);
     Simulator act(d, Backend::InterpretedActivity);
     Simulator comp(d, Backend::Compiled);
+    Simulator par(d, Backend::CompiledParallel);
     ASSERT_EQ(full.backend(), Backend::InterpretedFull);
     ASSERT_EQ(act.backend(), Backend::InterpretedActivity);
     ASSERT_EQ(comp.requestedBackend(), Backend::Compiled);
+    ASSERT_EQ(par.requestedBackend(), Backend::CompiledParallel);
 
-    Simulator *sims[] = {&full, &act, &comp};
+    Simulator *sims[] = {&full, &act, &comp, &par};
     stats::Rng rng(seed * 7919 + 13);
     for (int cycle = 0; cycle < 1000; ++cycle) {
         bool quiet = cycle >= 600 && cycle < 620;
@@ -117,20 +129,27 @@ TEST_P(Differential, RandomDesignLockstep)
             ASSERT_EQ(comp.peek(d.outputs()[o].node), refv)
                 << "compiled seed " << seed << " cycle " << cycle
                 << " output " << o;
+            ASSERT_EQ(par.peek(d.outputs()[o].node), refv)
+                << "compiled-parallel seed " << seed << " cycle "
+                << cycle << " output " << o;
         }
         if (cycle % 97 == 0) {
             ASSERT_NO_FATAL_FAILURE(
                 expectStateEqual(d, full, act, seed, cycle));
             ASSERT_NO_FATAL_FAILURE(
                 expectStateEqual(d, full, comp, seed, cycle));
+            ASSERT_NO_FATAL_FAILURE(
+                expectStateEqual(d, full, par, seed, cycle));
         }
         for (Simulator *s : sims)
             s->step();
     }
     ASSERT_NO_FATAL_FAILURE(expectStateEqual(d, full, act, seed, 1000));
     ASSERT_NO_FATAL_FAILURE(expectStateEqual(d, full, comp, seed, 1000));
+    ASSERT_NO_FATAL_FAILURE(expectStateEqual(d, full, par, seed, 1000));
     EXPECT_EQ(full.cycle(), act.cycle());
     EXPECT_EQ(full.cycle(), comp.cycle());
+    EXPECT_EQ(full.cycle(), par.cycle());
     EXPECT_EQ(full.nodeEvalsSkipped(), 0u);
 }
 
@@ -141,12 +160,15 @@ TEST_P(Differential, ResetMidRunStaysEquivalent)
     Design d = randomDesign(seed);
     Simulator full(d, Backend::InterpretedFull);
     Simulator act(d, Backend::InterpretedActivity);
-    // Every fifth seed also resets the compiled backend mid-run;
-    // bounding the JIT invocations keeps the suite fast while still
-    // covering reset() on compiled state across varied designs.
+    // Every fifth seed also resets the compiled backend mid-run (and
+    // a different fifth the compiled-parallel one); bounding the JIT
+    // invocations keeps the suite fast while still covering reset()
+    // on compiled state across varied designs.
     std::unique_ptr<Simulator> comp;
     if (seed % 5 == 0)
         comp = std::make_unique<Simulator>(d, Backend::Compiled);
+    else if (seed % 5 == 2)
+        comp = std::make_unique<Simulator>(d, Backend::CompiledParallel);
     stats::Rng rng(seed + 0xabcd);
 
     auto drive = [&](int cycles) {
@@ -184,12 +206,14 @@ TEST_P(Differential, ResetMidRunStaysEquivalent)
     if (comp)
         comp->reset();
     ASSERT_NO_FATAL_FAILURE(expectStateEqual(d, full, act, seed, -1));
-    if (comp)
+    if (comp) {
         ASSERT_NO_FATAL_FAILURE(expectStateEqual(d, full, *comp, seed, -1));
+    }
     drive(80);
     ASSERT_NO_FATAL_FAILURE(expectStateEqual(d, full, act, seed, -2));
-    if (comp)
+    if (comp) {
         ASSERT_NO_FATAL_FAILURE(expectStateEqual(d, full, *comp, seed, -2));
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Differential,
@@ -270,7 +294,8 @@ expectFlowIdenticalAcrossBackends(const rtl::Design &soc,
 
     FlowResult full = runFlow(Backend::InterpretedFull);
     for (Backend backend :
-         {Backend::InterpretedActivity, Backend::Compiled}) {
+         {Backend::InterpretedActivity, Backend::Compiled,
+          Backend::CompiledParallel}) {
         SCOPED_TRACE(sim::backendName(backend));
         FlowResult alt = runFlow(backend);
 
@@ -327,6 +352,133 @@ TEST(Differential, BoomEnergyEstimateIdenticalAcrossBackends)
                                    : cores::SocConfig::boom2w();
         rtl::Design soc = cores::buildSoc(cfg);
         expectFlowIdenticalAcrossBackends(soc, workloads::vvadd(), 5);
+    }
+}
+
+/**
+ * Serialize every field of a flow result to exact bytes — doubles in
+ * hex-float form, so two reports compare equal iff they are
+ * bit-identical, not merely close.
+ */
+std::string
+serializeReport(const core::RunStats &run, const core::EnergyReport &rep,
+                const std::vector<uint64_t> &snapCycles)
+{
+    std::string out;
+    char buf[128];
+    auto num = [&](const char *k, double v) {
+        std::snprintf(buf, sizeof buf, "%s=%a\n", k, v);
+        out += buf;
+    };
+    auto u64 = [&](const char *k, unsigned long long v) {
+        std::snprintf(buf, sizeof buf, "%s=%llu\n", k, v);
+        out += buf;
+    };
+    u64("targetCycles", run.targetCycles);
+    u64("hostCycles", run.hostCycles);
+    u64("recordCount", run.recordCount);
+    u64("intervalsSeen", run.intervalsSeen);
+    for (uint64_t c : snapCycles)
+        u64("snapCycle", c);
+    num("mean", rep.averagePower.mean);
+    num("halfWidth", rep.averagePower.halfWidth);
+    num("confidence", rep.averagePower.confidence);
+    u64("population", rep.population);
+    u64("snapshots", rep.snapshots);
+    u64("dropped", rep.droppedSnapshots);
+    u64("mismatches", rep.replayMismatches);
+    num("modeledLoadSeconds", rep.modeledLoadSeconds);
+    u64("cacheHits", rep.cacheHits);
+    u64("cacheMisses", rep.cacheMisses);
+    u64("degraded", rep.degraded ? 1 : 0);
+    u64("valid", rep.valid ? 1 : 0);
+    out += "status=" + rep.statusMessage + "\n";
+    for (const core::GroupEstimate &g : rep.groups) {
+        out += "group=" + g.group + "\n";
+        num("groupMean", g.power.mean);
+        num("groupHalfWidth", g.power.halfWidth);
+    }
+    for (const core::SnapshotOutcome &oc : rep.outcomes) {
+        u64("ocIndex", oc.index);
+        u64("ocCycle", oc.cycle);
+        out += std::string("ocStatus=") +
+               core::snapshotStatusName(oc.status) + "\n";
+        u64("ocAttempts", oc.attempts);
+        u64("ocRetried", oc.retriedOnAlternateLoader ? 1 : 0);
+        u64("ocMismatches", oc.mismatches);
+        out += "ocDetail=" + oc.detail + "\n";
+    }
+    return out;
+}
+
+/** Scoped thread-count override + zero dispatch grain (forcing every
+ *  dirty level through the worker pool), restored on scope exit —
+ *  including any grain the surrounding ctest env matrix exported. */
+class SimThreadsGuard
+{
+  public:
+    explicit SimThreadsGuard(unsigned threads)
+    {
+        const char *prev = std::getenv("STROBER_SIM_PARALLEL_GRAIN");
+        hadGrain = prev != nullptr;
+        if (hadGrain)
+            prevGrain = prev;
+        sim::setSimThreads(threads);
+        ::setenv("STROBER_SIM_PARALLEL_GRAIN", "0", 1);
+    }
+    ~SimThreadsGuard()
+    {
+        sim::setSimThreads(0);
+        if (hadGrain)
+            ::setenv("STROBER_SIM_PARALLEL_GRAIN", prevGrain.c_str(), 1);
+        else
+            ::unsetenv("STROBER_SIM_PARALLEL_GRAIN");
+    }
+
+  private:
+    bool hadGrain = false;
+    std::string prevGrain;
+};
+
+/**
+ * Thread-scheduling independence, the property the partition design
+ * argues for (fixed clusters, level barriers, OR-published dirty
+ * bits): the boom2w energy report from the compiled-parallel backend
+ * is byte-identical — every double bit-for-bit — across a
+ * {1,2,4,8}-thread matrix, and identical to the single-threaded
+ * compiled backend's report. The dispatch grain is forced to zero so
+ * every dirty level actually crosses the worker pool. The same
+ * property runs cross-process as a ctest $STROBER_SIM_THREADS env
+ * matrix (tests/CMakeLists.txt).
+ */
+TEST(Differential, Boom2wEnergyReportByteIdenticalAcrossThreadCounts)
+{
+    rtl::Design soc = cores::buildSoc(cores::SocConfig::boom2w());
+    workloads::Workload wl = workloads::vvadd();
+
+    auto runFlow = [&](Backend backend) {
+        core::EnergySimulator::Config cfg;
+        cfg.sampleSize = 5;
+        cfg.replayLength = 64;
+        cfg.backend = backend;
+        core::EnergySimulator strober(soc, cfg);
+        cores::SocDriver driver(soc, wl.program);
+        core::RunStats run = strober.run(driver, wl.maxCycles);
+        EXPECT_TRUE(driver.done());
+        std::vector<uint64_t> snapCycles;
+        for (const fame::ReplayableSnapshot *s :
+             strober.sampler().snapshots())
+            snapCycles.push_back(s->cycle());
+        return serializeReport(run, strober.estimate(), snapCycles);
+    };
+
+    std::string compiled = runFlow(Backend::Compiled);
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        SCOPED_TRACE(threads);
+        SimThreadsGuard guard(threads);
+        EXPECT_EQ(runFlow(Backend::CompiledParallel), compiled)
+            << "compiled-parallel report diverged at " << threads
+            << " thread(s)";
     }
 }
 

@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Unit tests for the EvalPlan partitioner (rtl::partitionEvalPlan) —
+ * the structural guarantees the compiled-parallel backend's
+ * correctness argument rests on:
+ *   - every hot step is assigned to exactly one chunk, chunks are
+ *     level-major and their step lists ascending;
+ *   - no data dependency crosses chunks within one level (so the
+ *     chunks of a level can run concurrently in any order);
+ *   - the dirty-propagation tables are closed: every cross-chunk
+ *     consumer of a slot (and every chunk async-reading a memory) is
+ *     listed, so a changed value can never fail to re-evaluate its
+ *     consumers;
+ *   - per-level chunk sizes respect the greedy balance bound;
+ *   - the partition is a deterministic pure function of its inputs.
+ * Plus the worker-pool thread-count resolution order
+ * (setSimThreads > $STROBER_SIM_THREADS > hardware default) and the
+ * pool's exactly-once task execution.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rtl/ir.h"
+#include "rtl/opt.h"
+#include "sim/worker_pool.h"
+
+#include "fuzz_designs.h"
+
+namespace strober {
+namespace {
+
+using rtl::Design;
+using rtl::EvalPartition;
+using rtl::EvalPlan;
+using rtl::EvalStep;
+using rtl::Op;
+using rtl::SlotId;
+
+/** Visit the operand slots of @p s (mirrors the partitioner/simulator). */
+template <typename Fn>
+void
+forEachOperand(const EvalStep &s, Fn fn)
+{
+    if (s.op == Op::MemRead) {
+        fn(s.b);
+        return;
+    }
+    unsigned arity = rtl::opArity(s.op);
+    if (arity >= 1)
+        fn(s.a);
+    if (arity >= 2)
+        fn(s.b);
+    if (arity >= 3)
+        fn(s.c);
+}
+
+/** Per slot: the hot step producing it, or UINT32_MAX for leaves. */
+std::vector<uint32_t>
+producerMap(const EvalPlan &plan)
+{
+    std::vector<uint32_t> producer(plan.numSlots, UINT32_MAX);
+    for (uint32_t i = 0; i < plan.hotProgram.size(); ++i)
+        producer[plan.hotProgram[i].dst] = i;
+    return producer;
+}
+
+/** Assert every structural invariant of @p part over @p plan. */
+void
+expectPartitionInvariants(const Design &d, const EvalPlan &plan,
+                          const EvalPartition &part, uint32_t clusters,
+                          uint32_t minLevelSteps)
+{
+    const auto &hot = plan.hotProgram;
+    if (hot.empty()) {
+        EXPECT_TRUE(part.chunks.empty());
+        return;
+    }
+
+    // -- Coverage: every hot step in exactly one chunk, consistent with
+    //    stepChunk, lists ascending, chunk ids level-major.
+    ASSERT_EQ(part.stepChunk.size(), hot.size());
+    std::vector<uint32_t> seen(hot.size(), 0);
+    for (uint32_t c = 0; c < part.chunks.size(); ++c) {
+        const rtl::EvalChunk &chunk = part.chunks[c];
+        EXPECT_FALSE(chunk.steps.empty()) << "chunk " << c;
+        for (size_t k = 0; k < chunk.steps.size(); ++k) {
+            uint32_t s = chunk.steps[k];
+            ASSERT_LT(s, hot.size());
+            ++seen[s];
+            EXPECT_EQ(part.stepChunk[s], c);
+            if (k > 0) {
+                EXPECT_LT(chunk.steps[k - 1], s) << "chunk " << c;
+            }
+        }
+        if (c > 0) {
+            EXPECT_GE(chunk.level, part.chunks[c - 1].level);
+        }
+    }
+    for (uint32_t s = 0; s < hot.size(); ++s)
+        EXPECT_EQ(seen[s], 1u) << "step " << s;
+
+    // -- levelBegin describes the level-major chunk ranges exactly.
+    ASSERT_EQ(part.levelBegin.size(), part.numLevels() + 1);
+    EXPECT_EQ(part.levelBegin.front(), 0u);
+    EXPECT_EQ(part.levelBegin.back(), part.chunks.size());
+    for (uint32_t lvl = 0; lvl < part.numLevels(); ++lvl) {
+        EXPECT_LE(static_cast<size_t>(part.levelBegin[lvl + 1] -
+                                      part.levelBegin[lvl]),
+                  static_cast<size_t>(clusters))
+            << "level " << lvl;
+        for (uint32_t c = part.levelBegin[lvl];
+             c < part.levelBegin[lvl + 1]; ++c)
+            EXPECT_EQ(part.chunks[c].level, lvl);
+    }
+
+    // -- Grain: every level except the last carries >= minLevelSteps.
+    for (uint32_t lvl = 0; lvl + 1 < part.numLevels(); ++lvl) {
+        size_t steps = 0;
+        for (uint32_t c = part.levelBegin[lvl];
+             c < part.levelBegin[lvl + 1]; ++c)
+            steps += part.chunks[c].steps.size();
+        EXPECT_GE(steps, static_cast<size_t>(minLevelSteps))
+            << "level " << lvl;
+    }
+
+    // -- Dependencies: a hot operand's producer is in the same chunk or
+    //    a strictly earlier level; cross-chunk edges are in the dirty
+    //    CSR (closure), as are all leaf-slot uses and async mem reads.
+    std::vector<uint32_t> producer = producerMap(plan);
+    ASSERT_EQ(part.slotChunksBegin.size(), plan.numSlots + 1);
+    auto slotListed = [&](SlotId slot, uint32_t chunk) {
+        for (uint32_t i = part.slotChunksBegin[slot];
+             i < part.slotChunksBegin[slot + 1]; ++i) {
+            if (part.slotChunks[i] == chunk)
+                return true;
+        }
+        return false;
+    };
+    for (uint32_t t = 0; t < hot.size(); ++t) {
+        uint32_t tc = part.stepChunk[t];
+        forEachOperand(hot[t], [&](SlotId slot) {
+            uint32_t p = producer[slot];
+            if (p != UINT32_MAX && part.stepChunk[p] == tc)
+                return; // in-chunk edge: ascending execution covers it
+            if (p != UINT32_MAX) {
+                EXPECT_LT(part.chunks[part.stepChunk[p]].level,
+                          part.chunks[tc].level)
+                    << "intra-level cross-chunk edge: step " << p
+                    << " -> " << t;
+            }
+            EXPECT_TRUE(slotListed(slot, tc))
+                << "dirty CSR misses slot " << slot << " -> chunk " << tc;
+        });
+        if (hot[t].op == Op::MemRead) {
+            ASSERT_LT(hot[t].a, part.memChunks.size());
+            const auto &mc = part.memChunks[hot[t].a];
+            EXPECT_NE(std::find(mc.begin(), mc.end(), tc), mc.end())
+                << "memChunks misses mem " << hot[t].a << " -> chunk "
+                << tc;
+        }
+    }
+    ASSERT_EQ(part.memChunks.size(), d.mems().size());
+
+    // -- The CSR lists are deduplicated (codegen relies on this to
+    //    emit each mask bit once).
+    for (SlotId slot = 0; slot < plan.numSlots; ++slot) {
+        std::set<uint32_t> uniq;
+        for (uint32_t i = part.slotChunksBegin[slot];
+             i < part.slotChunksBegin[slot + 1]; ++i)
+            EXPECT_TRUE(uniq.insert(part.slotChunks[i]).second)
+                << "duplicate consumer chunk for slot " << slot;
+    }
+
+    // -- Balance: greedy largest-component-first into the lightest bin
+    //    guarantees max <= ceil(total/bins) + largest component, where
+    //    components are the intra-level dependency closures.
+    for (uint32_t lvl = 0; lvl < part.numLevels(); ++lvl) {
+        uint32_t bins = part.levelBegin[lvl + 1] - part.levelBegin[lvl];
+        if (bins < 2)
+            continue;
+        size_t total = 0, maxChunk = 0;
+        for (uint32_t c = part.levelBegin[lvl];
+             c < part.levelBegin[lvl + 1]; ++c) {
+            total += part.chunks[c].steps.size();
+            maxChunk = std::max(maxChunk, part.chunks[c].steps.size());
+        }
+        // Independent union-find over the level's dependency edges.
+        std::map<uint32_t, uint32_t> root; // step -> component root
+        std::vector<uint32_t> levelSteps;
+        for (uint32_t c = part.levelBegin[lvl];
+             c < part.levelBegin[lvl + 1]; ++c)
+            for (uint32_t s : part.chunks[c].steps)
+                levelSteps.push_back(s);
+        for (uint32_t s : levelSteps)
+            root[s] = s;
+        std::function<uint32_t(uint32_t)> find = [&](uint32_t x) {
+            while (root[x] != x)
+                x = root[x] = root[root[x]];
+            return x;
+        };
+        for (uint32_t t : levelSteps) {
+            forEachOperand(hot[t], [&](SlotId slot) {
+                uint32_t p = producer[slot];
+                if (p != UINT32_MAX && root.count(p) != 0)
+                    root[find(t)] = find(p);
+            });
+        }
+        std::map<uint32_t, size_t> compSize;
+        for (uint32_t s : levelSteps)
+            ++compSize[find(s)];
+        size_t maxComp = 0;
+        for (const auto &[r, n] : compSize)
+            maxComp = std::max(maxComp, n);
+        EXPECT_LE(maxChunk, (total + bins - 1) / bins + maxComp)
+            << "level " << lvl << " unbalanced";
+    }
+}
+
+class Partition : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Partition, InvariantsHoldOnFuzzDesigns)
+{
+    const uint64_t seed = GetParam();
+    Design d = testing::randomDesign(seed);
+    EvalPlan plan = rtl::buildEvalPlan(d);
+
+    // Default parameters (what the backend uses)...
+    EvalPartition def = rtl::partitionEvalPlan(plan, d.mems().size());
+    expectPartitionInvariants(d, plan, def, rtl::kDefaultPartitionClusters,
+                              rtl::kDefaultPartitionGrain);
+
+    // ...and a tiny grain / few clusters, forcing the multi-level,
+    // multi-chunk shape even on these small designs.
+    EvalPartition fine = rtl::partitionEvalPlan(plan, d.mems().size(),
+                                                /*clusters=*/3,
+                                                /*minLevelSteps=*/4);
+    expectPartitionInvariants(d, plan, fine, 3, 4);
+    if (plan.hotProgram.size() >= 8) {
+        EXPECT_GT(fine.numLevels(), 1u) << "grain 4 should split levels";
+    }
+}
+
+TEST_P(Partition, DeterministicAcrossCalls)
+{
+    const uint64_t seed = GetParam();
+    Design d = testing::randomDesign(seed);
+    EvalPlan plan = rtl::buildEvalPlan(d);
+    EvalPartition a = rtl::partitionEvalPlan(plan, d.mems().size(), 3, 4);
+    EvalPartition b = rtl::partitionEvalPlan(plan, d.mems().size(), 3, 4);
+    ASSERT_EQ(a.chunks.size(), b.chunks.size());
+    for (size_t c = 0; c < a.chunks.size(); ++c) {
+        EXPECT_EQ(a.chunks[c].level, b.chunks[c].level);
+        EXPECT_EQ(a.chunks[c].steps, b.chunks[c].steps);
+    }
+    EXPECT_EQ(a.levelBegin, b.levelBegin);
+    EXPECT_EQ(a.stepChunk, b.stepChunk);
+    EXPECT_EQ(a.slotChunksBegin, b.slotChunksBegin);
+    EXPECT_EQ(a.slotChunks, b.slotChunks);
+    EXPECT_EQ(a.memChunks, b.memChunks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Partition,
+                         ::testing::Range<uint64_t>(1, 51));
+
+TEST(Partition, EmptyPlanYieldsEmptyPartition)
+{
+    EvalPlan plan;
+    EvalPartition part = rtl::partitionEvalPlan(plan, 0);
+    EXPECT_EQ(part.chunks.size(), 0u);
+    EXPECT_EQ(part.numLevels(), 0u);
+    EXPECT_EQ(part.dirtyWords(), 0u);
+}
+
+// --- Thread-count resolution and the worker pool -----------------------
+
+/** Scoped env var so a failing assertion can't leak state. */
+class EnvGuard
+{
+  public:
+    EnvGuard(const char *name, const char *value) : var(name)
+    {
+        ::setenv(name, value, 1);
+    }
+    ~EnvGuard() { ::unsetenv(var); }
+
+  private:
+    const char *var;
+};
+
+TEST(WorkerPool, ThreadCountResolutionOrder)
+{
+    sim::setSimThreads(0);
+    {
+        EnvGuard env("STROBER_SIM_THREADS", "5");
+        EXPECT_EQ(sim::simThreads(), 5u); // env wins over the default
+        sim::setSimThreads(3);
+        EXPECT_EQ(sim::simThreads(), 3u); // explicit override wins
+        sim::setSimThreads(0);
+        EXPECT_EQ(sim::simThreads(), 5u); // cleared: env again
+    }
+    EXPECT_GE(sim::simThreads(), 1u); // default: always at least one
+    sim::setSimThreads(0);
+}
+
+TEST(WorkerPool, GrainEnvOverride)
+{
+    EXPECT_GT(sim::parallelDispatchGrain(), 0u);
+    // A pool oversubscribing the host cores saturates the grain (inline
+    // evaluation — no parallel capacity to exploit)...
+    unsigned hw = std::thread::hardware_concurrency();
+    EXPECT_EQ(sim::parallelDispatchGrain((hw == 0 ? 1 : hw) + 1),
+              0xffffffffu);
+    // ...but the env override forces dispatch regardless.
+    EnvGuard env("STROBER_SIM_PARALLEL_GRAIN", "0");
+    EXPECT_EQ(sim::parallelDispatchGrain(), 0u);
+    EXPECT_EQ(sim::parallelDispatchGrain(1024), 0u);
+}
+
+TEST(WorkerPool, RunsEveryTaskExactlyOnce)
+{
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        sim::WorkerPool pool(threads);
+        EXPECT_EQ(pool.threads(), threads);
+        for (uint32_t count : {0u, 1u, 7u, 256u}) {
+            std::vector<std::atomic<uint32_t>> hits(count);
+            for (auto &h : hits)
+                h.store(0);
+            pool.run(count, [&](uint32_t i) {
+                hits[i].fetch_add(1, std::memory_order_relaxed);
+            });
+            for (uint32_t i = 0; i < count; ++i)
+                EXPECT_EQ(hits[i].load(), 1u)
+                    << "threads " << threads << " count " << count
+                    << " task " << i;
+        }
+        // Back-to-back batches must not leak work across generations.
+        std::atomic<uint64_t> sum{0};
+        for (int round = 0; round < 50; ++round)
+            pool.run(17, [&](uint32_t i) {
+                sum.fetch_add(i + 1, std::memory_order_relaxed);
+            });
+        EXPECT_EQ(sum.load(), 50u * (17u * 18u / 2u));
+    }
+}
+
+} // namespace
+} // namespace strober

@@ -6,7 +6,10 @@
  *   strober info                           # list cores and workloads
  *   strober run    <core> <workload>       # fast sim + energy estimate
  *       [--backend B]                      #   fast-sim backend: full |
- *                                          #   activity (default) | compiled
+ *                                          #   activity (default) |
+ *                                          #   compiled | compiled-parallel
+ *       [--sim-threads N]                  #   threads for the
+ *                                          #   compiled-parallel backend
  *       [--jobs N | -j N]                  #   parallel replay workers
  *       [--cache-dir DIR]                  #   persistent replay-result
  *                                          #   cache (src/farm); a warm
@@ -252,7 +255,9 @@ usage()
     std::fprintf(stderr,
                  "usage: strober info\n"
                  "       strober run    <core> <workload>\n"
-                 "                      [--backend full|activity|compiled]\n"
+                 "                      [--backend full|activity|compiled\n"
+                 "                                 |compiled-parallel]\n"
+                 "                      [--sim-threads N]\n"
                  "                      [--jobs N | -j N]\n"
                  "                      [--cache-dir DIR]\n"
                  "                      [--max-dropped-snapshots N]\n"
@@ -293,10 +298,13 @@ main(int argc, char **argv)
                 if (!sim::parseBackend(argv[++i], &opts.backend)) {
                     std::fprintf(stderr,
                                  "unknown backend '%s' (full | activity "
-                                 "| compiled)\n",
+                                 "| compiled | compiled-parallel)\n",
                                  argv[i]);
                     return 2;
                 }
+            } else if (arg == "--sim-threads" && i + 1 < argc) {
+                sim::setSimThreads(
+                    static_cast<unsigned>(std::stoul(argv[++i])));
             } else if (arg.rfind("--", 0) == 0) {
                 std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
                 usage();

@@ -326,7 +326,9 @@ usage()
         "                    [--sample-size N] [--replay-length L]\n"
         "                    [--max-dropped-snapshots N]\n"
         "                    [--replay-timeout CYCLES]\n"
-        "                    [--backend full|activity|compiled]\n"
+        "                    [--backend full|activity|compiled\n"
+        "                               |compiled-parallel]\n"
+        "                    [--sim-threads N]\n"
         "       strober-farm worker --dir D [--shard K]\n"
         "       strober-farm status --dir D [--cache-dir C]\n"
         "       strober-farm gc --cache-dir C --keep N\n");
@@ -373,10 +375,12 @@ parseCommon(const std::vector<std::string> &args, FarmCliOptions &opts,
             if (!sim::parseBackend(name, &opts.sim.backend)) {
                 std::fprintf(stderr,
                              "unknown backend '%s' (full | activity | "
-                             "compiled)\n",
+                             "compiled | compiled-parallel)\n",
                              name.c_str());
                 return false;
             }
+        } else if (arg == "--sim-threads") {
+            sim::setSimThreads(static_cast<unsigned>(std::stoul(next())));
         } else if (arg.rfind("--", 0) == 0 || arg.rfind("-", 0) == 0) {
             std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
             return false;
