@@ -19,6 +19,10 @@ envULong(const char *name, bool *present = nullptr)
     const char *v = std::getenv(name);
     if (v == nullptr || v[0] == '\0')
         return 0;
+    // strtoul() accepts "-1" and wraps it to ULONG_MAX; treat any sign
+    // as invalid so negative values fall back like other bad input.
+    if (v[0] == '-' || v[0] == '+')
+        return 0;
     char *end = nullptr;
     unsigned long n = std::strtoul(v, &end, 10);
     if (end == v || (end != nullptr && *end != '\0'))
@@ -91,15 +95,15 @@ WorkerPool::~WorkerPool()
 }
 
 void
-WorkerPool::drain(uint64_t gen)
+WorkerPool::drain(uint32_t gen)
 {
     for (;;) {
         uint64_t t = ticket.load(std::memory_order_acquire);
-        if ((t >> 32) != gen)
+        if (static_cast<uint32_t>(t >> 32) != gen)
             return; // another batch started (or none yet): not ours
         uint32_t idx = static_cast<uint32_t>(t);
         if (idx >= taskCount.load(std::memory_order_relaxed))
-            return; // batch fully claimed
+            return; // batch fully claimed (or index saturated post-run)
         if (!ticket.compare_exchange_weak(t, t + 1,
                                           std::memory_order_acq_rel,
                                           std::memory_order_relaxed))
@@ -112,15 +116,15 @@ WorkerPool::drain(uint64_t gen)
 void
 WorkerPool::workerBody()
 {
-    uint64_t lastGen = 0;
+    uint32_t lastGen = 0;
     for (;;) {
         // Spin briefly for the next batch before parking: per-level
         // dispatch arrives in bursts many times per simulated cycle.
-        uint64_t gen = lastGen;
+        uint32_t gen = lastGen;
         for (unsigned spin = 0; spin < spinLimit; ++spin) {
             uint64_t t = ticket.load(std::memory_order_acquire);
-            if ((t >> 32) != lastGen) {
-                gen = t >> 32;
+            if (static_cast<uint32_t>(t >> 32) != lastGen) {
+                gen = static_cast<uint32_t>(t >> 32);
                 break;
             }
         }
@@ -158,8 +162,9 @@ WorkerPool::run(uint32_t count, const std::function<void(uint32_t)> &fn)
     // carry the new generation *before* wakeGen announces it: a worker
     // waking on wakeGen would otherwise find a stale ticket, drain
     // nothing, and park again with lastGen already advanced.
-    uint64_t gen = wakeGen + 1;
-    ticket.store(gen << 32, std::memory_order_release);
+    uint32_t gen = wakeGen + 1; // wraps mod 2^32 with the packed ticket
+    ticket.store(static_cast<uint64_t>(gen) << 32,
+                 std::memory_order_release);
     {
         std::lock_guard<std::mutex> lk(wakeMutex);
         wakeGen = gen;
@@ -172,6 +177,16 @@ WorkerPool::run(uint32_t count, const std::function<void(uint32_t)> &fn)
     // caller drained alongside the workers, so this wait is short.
     while (completed.load(std::memory_order_acquire) != count)
         std::this_thread::yield();
+
+    // Saturate the index half before the next run() touches
+    // taskFn/taskCount: a worker still holding a ticket value loaded
+    // during this batch must not be able to CAS it once the next
+    // batch's (possibly larger) taskCount is published, or it would
+    // claim an index the new generation also runs and bump `completed`
+    // past the next batch's count. With the index at UINT32_MAX every
+    // stale CAS fails and the reload exits on idx >= taskCount.
+    ticket.store((static_cast<uint64_t>(gen) << 32) | 0xffffffffu,
+                 std::memory_order_release);
     taskFn = nullptr;
 }
 

@@ -7,10 +7,13 @@
  * The unit of work is an index: run(count, fn) has every participant
  * repeatedly claim the next unclaimed index via a CAS on a packed
  * {generation, index} ticket and call fn(index). Claims from a stale
- * generation always fail (the generation half mismatches), and run()
- * returns only once every task of the current generation finished, so
- * batches never overlap and fn may touch caller-owned state without
- * synchronization beyond the run() boundary.
+ * generation always fail: the generation half mismatches, and run()
+ * additionally saturates the index half to UINT32_MAX before it
+ * returns, so a ticket value loaded during a finished batch can never
+ * be CASed once the next batch publishes its (possibly larger) task
+ * count. run() returns only once every task of the current generation
+ * finished, so batches never overlap and fn may touch caller-owned
+ * state without synchronization beyond the run() boundary.
  *
  * Because the caller drains tasks itself, a pool on a single-core host
  * degenerates to a plain loop plus one predictable-branch check — the
@@ -88,7 +91,7 @@ class WorkerPool
   private:
     void workerBody();
     /** Claim-and-execute loop shared by caller and workers. */
-    void drain(uint64_t gen);
+    void drain(uint32_t gen);
 
     // Iterations a worker spins for the next batch before parking.
     // Zero when the pool oversubscribes the host (more threads than
@@ -98,6 +101,9 @@ class WorkerPool
 
     // Ticket packs {generation:32 | next-index:32}; a CAS that loses
     // the race or sees a foreign generation simply retries/leaves.
+    // Generations wrap mod 2^32 (all comparisons are on the 32-bit
+    // value), and run() parks the index at UINT32_MAX between batches
+    // so stale claims from a finished generation always fail.
     std::atomic<uint64_t> ticket{0};
     std::atomic<uint32_t> taskCount{0};
     std::atomic<uint32_t> completed{0};
@@ -105,7 +111,7 @@ class WorkerPool
 
     std::mutex wakeMutex;
     std::condition_variable wakeCv;
-    uint64_t wakeGen = 0; // generation workers should work on (guarded)
+    uint32_t wakeGen = 0; // generation workers should work on (guarded)
     bool stopping = false;
 
     std::vector<std::thread> workers;

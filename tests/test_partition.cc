@@ -24,6 +24,7 @@
 #include <functional>
 #include <map>
 #include <set>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -281,18 +282,35 @@ TEST(Partition, EmptyPlanYieldsEmptyPartition)
 
 // --- Thread-count resolution and the worker pool -----------------------
 
-/** Scoped env var so a failing assertion can't leak state. */
+/** Scoped env var (nullptr = unset); restores the previous value on
+ *  exit so a failing assertion can't leak state into later tests and
+ *  an outer thread-matrix value survives the scope. */
 class EnvGuard
 {
   public:
     EnvGuard(const char *name, const char *value) : var(name)
     {
-        ::setenv(name, value, 1);
+        const char *old = ::getenv(name);
+        hadValue = old != nullptr;
+        if (hadValue)
+            saved = old;
+        if (value != nullptr)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
     }
-    ~EnvGuard() { ::unsetenv(var); }
+    ~EnvGuard()
+    {
+        if (hadValue)
+            ::setenv(var, saved.c_str(), 1);
+        else
+            ::unsetenv(var);
+    }
 
   private:
     const char *var;
+    std::string saved;
+    bool hadValue = false;
 };
 
 TEST(WorkerPool, ThreadCountResolutionOrder)
@@ -310,8 +328,30 @@ TEST(WorkerPool, ThreadCountResolutionOrder)
     sim::setSimThreads(0);
 }
 
+TEST(WorkerPool, NegativeEnvValuesFallBackToDefault)
+{
+    sim::setSimThreads(0);
+    {
+        // Baselines with the vars unset (an outer test matrix may have
+        // them exported); strtoul() would wrap "-1" to ULONG_MAX
+        // (clamped to 256 threads / a saturated grain), but negative
+        // input must be rejected like any other junk.
+        EnvGuard noThreads("STROBER_SIM_THREADS", nullptr);
+        unsigned defaultThreads = sim::simThreads();
+        EnvGuard env("STROBER_SIM_THREADS", "-1");
+        EXPECT_EQ(sim::simThreads(), defaultThreads);
+    }
+    {
+        EnvGuard noGrain("STROBER_SIM_PARALLEL_GRAIN", nullptr);
+        uint32_t defaultGrain = sim::parallelDispatchGrain();
+        EnvGuard env("STROBER_SIM_PARALLEL_GRAIN", "-1");
+        EXPECT_EQ(sim::parallelDispatchGrain(), defaultGrain);
+    }
+}
+
 TEST(WorkerPool, GrainEnvOverride)
 {
+    EnvGuard noGrain("STROBER_SIM_PARALLEL_GRAIN", nullptr);
     EXPECT_GT(sim::parallelDispatchGrain(), 0u);
     // A pool oversubscribing the host cores saturates the grain (inline
     // evaluation — no parallel capacity to exploit)...
@@ -348,6 +388,32 @@ TEST(WorkerPool, RunsEveryTaskExactlyOnce)
                 sum.fetch_add(i + 1, std::memory_order_relaxed);
             });
         EXPECT_EQ(sum.load(), 50u * (17u * 18u / 2u));
+    }
+}
+
+// Regression stress for the stale-ticket cross-batch race: a worker
+// preempted between its ticket load and taskCount load in a tiny batch
+// must not be able to claim an index of the next, larger batch (which
+// would double-execute the index and over-bump the completion counter,
+// hanging run()). Alternating 1-task and wide batches maximizes the
+// window; exactly-once is checked per round so any leak is caught in
+// the round it happens.
+TEST(WorkerPool, CrossBatchAlternatingCountsExactlyOnce)
+{
+    sim::WorkerPool pool(4);
+    constexpr uint32_t kWide = 192;
+    std::vector<std::atomic<uint32_t>> hits(kWide);
+    for (int round = 0; round < 400; ++round) {
+        uint32_t count = (round & 1) ? kWide : 1u;
+        for (uint32_t i = 0; i < count; ++i)
+            hits[i].store(0, std::memory_order_relaxed);
+        pool.run(count, [&](uint32_t i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+        });
+        for (uint32_t i = 0; i < count; ++i)
+            ASSERT_EQ(hits[i].load(), 1u)
+                << "round " << round << " count " << count << " task "
+                << i;
     }
 }
 
