@@ -11,6 +11,7 @@
 
 #include "lint/lint.h"
 #include "rtl/analysis.h"
+#include "rtl/dataflow.h"
 #include "util/bits.h"
 #include "util/logging.h"
 
@@ -1003,6 +1004,269 @@ class UninitSyncReadPass : public Pass
 
 } // namespace
 
+// --- dataflow-powered semantic rules --------------------------------------
+//
+// All six rules below consume rtl::analyzeDataflow() reset-reachable
+// facts (known-bits + ranges iterated to a fixed point across register
+// feedback). On a malformed design dataflowAnalyzable() fails inside
+// the analysis and every fact degrades to top, which proves nothing —
+// so the rules are automatically silent (and crash-free) there; the
+// error-severity structural rules own those findings.
+
+namespace {
+
+/** Shared shape of the dataflow rules: one analysis, one sweep. */
+class DataflowPass : public Pass
+{
+  public:
+    Severity severity() const override { return Severity::Warning; }
+
+    void
+    run(const Design &d, Diagnostics &out) const override
+    {
+        rtl::DataflowResult df = rtl::analyzeDataflow(d);
+        if (df.facts.size() != d.numNodes())
+            return;
+        check(d, df, out);
+    }
+
+  protected:
+    virtual void check(const Design &d, const rtl::DataflowResult &df,
+                       Diagnostics &out) const = 0;
+
+    /** Apply @p fn to every state-element enable of the design. */
+    template <typename Fn>
+    static void
+    forEachEnable(const Design &d, Fn &&fn)
+    {
+        for (const RegInfo &r : d.regs()) {
+            if (validRef(d, r.en) && validRef(d, r.node))
+                fn(r.en, r.node, std::string("register"), nodePath(d, r.node));
+        }
+        for (const MemInfo &m : d.mems()) {
+            for (size_t p = 0; p < m.writes.size(); ++p) {
+                if (validRef(d, m.writes[p].en)) {
+                    fn(m.writes[p].en, kNoNode,
+                       strfmt("write port %zu of memory", p), m.name);
+                }
+            }
+            if (!m.syncRead)
+                continue;
+            for (size_t p = 0; p < m.reads.size(); ++p) {
+                if (validRef(d, m.reads[p].en)) {
+                    fn(m.reads[p].en, m.reads[p].data,
+                       strfmt("sync read port %zu of memory", p), m.name);
+                }
+            }
+        }
+    }
+};
+
+class ConstConditionPass : public DataflowPass
+{
+  public:
+    const char *rule() const override { return "const-condition"; }
+    const char *description() const override
+    {
+        return "state-element enables that are provably always asserted "
+               "(the enable is vacuous)";
+    }
+
+  protected:
+    void
+    check(const Design &d, const rtl::DataflowResult &df,
+          Diagnostics &out) const override
+    {
+        forEachEnable(d, [&](NodeId en, NodeId subject,
+                             const std::string &what,
+                             const std::string &path) {
+            if ((df.facts[en].ones & 1) != 0) {
+                out.warning(rule(), subject != kNoNode ? subject : en,
+                            path,
+                            strfmt("%s enable '%s' is provably always "
+                                   "1: the condition is vacuous",
+                                   what.c_str(),
+                                   nodePath(d, en).c_str()));
+            }
+        });
+    }
+};
+
+class NeverEnabledPass : public DataflowPass
+{
+  public:
+    const char *rule() const override { return "never-enabled"; }
+    const char *description() const override
+    {
+        return "state-element enables that provably never assert (the "
+               "register or port is dead)";
+    }
+
+  protected:
+    void
+    check(const Design &d, const rtl::DataflowResult &df,
+          Diagnostics &out) const override
+    {
+        forEachEnable(d, [&](NodeId en, NodeId subject,
+                             const std::string &what,
+                             const std::string &path) {
+            if ((df.facts[en].zeros & 1) != 0) {
+                out.warning(rule(), subject != kNoNode ? subject : en,
+                            path,
+                            strfmt("%s enable '%s' is provably never "
+                                   "asserted: the state never changes "
+                                   "after reset",
+                                   what.c_str(),
+                                   nodePath(d, en).c_str()));
+            }
+        });
+    }
+};
+
+class UnreachableMuxArmPass : public DataflowPass
+{
+  public:
+    const char *rule() const override { return "unreachable-mux-arm"; }
+    const char *description() const override
+    {
+        return "mux arms that can never be selected (selector provably "
+               "constant)";
+    }
+
+  protected:
+    void
+    check(const Design &d, const rtl::DataflowResult &df,
+          Diagnostics &out) const override
+    {
+        for (NodeId id = 0; id < d.numNodes(); ++id) {
+            const Node &n = d.node(id);
+            if (n.op != Op::Mux || !argsValid(d, n))
+                continue;
+            const rtl::ValueFact &sel = df.facts[n.args[0]];
+            if ((sel.zeros & 1) != 0) {
+                out.warning(rule(), id, nodePath(d, id),
+                            "selector is provably 0: the then-arm is "
+                            "unreachable");
+            } else if ((sel.ones & 1) != 0) {
+                out.warning(rule(), id, nodePath(d, id),
+                            "selector is provably 1: the else-arm is "
+                            "unreachable");
+            }
+        }
+    }
+};
+
+class ConstComparePass : public DataflowPass
+{
+  public:
+    const char *rule() const override { return "const-compare"; }
+    const char *description() const override
+    {
+        return "comparisons whose outcome is provably constant (operand "
+               "facts can never overlap, or always coincide)";
+    }
+
+  protected:
+    void
+    check(const Design &d, const rtl::DataflowResult &df,
+          Diagnostics &out) const override
+    {
+        for (NodeId id = 0; id < d.numNodes(); ++id) {
+            const Node &n = d.node(id);
+            if (n.op != Op::Eq && n.op != Op::Ne && n.op != Op::Ltu &&
+                n.op != Op::Lts)
+                continue;
+            if (!argsValid(d, n) || !df.facts[id].isConst())
+                continue;
+            // Two literal operands are plain dead code, not a semantic
+            // surprise; leave that to dead-node/fold reporting.
+            if (d.node(n.args[0]).op == Op::Const &&
+                d.node(n.args[1]).op == Op::Const)
+                continue;
+            out.warning(rule(), id, nodePath(d, id),
+                        strfmt("(%s): comparison is provably always %u",
+                               opName(n.op),
+                               static_cast<unsigned>(
+                                   df.facts[id].constVal())));
+        }
+    }
+};
+
+class TruncationDropsBitsPass : public DataflowPass
+{
+  public:
+    const char *rule() const override { return "truncation-drops-bits"; }
+    const char *description() const override
+    {
+        return "bit extracts that discard provably-set bits (the "
+               "truncation loses live information in every state)";
+    }
+
+  protected:
+    void
+    check(const Design &d, const rtl::DataflowResult &df,
+          Diagnostics &out) const override
+    {
+        for (NodeId id = 0; id < d.numNodes(); ++id) {
+            const Node &n = d.node(id);
+            if (n.op != Op::Bits || !argsValid(d, n))
+                continue;
+            unsigned argW = widthOf(d, n.args[0]);
+            if (n.bitsHi() < n.bitsLo() || n.bitsHi() >= argW)
+                continue; // op-width owns malformed extracts
+            uint64_t kept =
+                bitMask(n.bitsHi() + 1) & ~bitMask(n.bitsLo());
+            uint64_t dropped =
+                bitMask(argW) & ~kept & df.facts[n.args[0]].ones;
+            if (dropped != 0) {
+                out.warning(
+                    rule(), id, nodePath(d, id),
+                    strfmt("extract [%u:%u] of '%s' discards bits that "
+                           "are provably 1 (mask 0x%llx)",
+                           n.bitsHi(), n.bitsLo(),
+                           nodePath(d, n.args[0]).c_str(),
+                           static_cast<unsigned long long>(dropped)));
+            }
+        }
+    }
+};
+
+class SextNonnegPass : public DataflowPass
+{
+  public:
+    const char *rule() const override { return "sext-nonneg"; }
+    const char *description() const override
+    {
+        return "sign-extensions of provably non-negative values (behaves "
+               "as a plain zero-extend; suspect signedness)";
+    }
+
+  protected:
+    void
+    check(const Design &d, const rtl::DataflowResult &df,
+          Diagnostics &out) const override
+    {
+        for (NodeId id = 0; id < d.numNodes(); ++id) {
+            const Node &n = d.node(id);
+            if (n.op != Op::SExt || !argsValid(d, n))
+                continue;
+            unsigned argW = widthOf(d, n.args[0]);
+            if (argW == 0 || n.width <= argW)
+                continue; // width-preserving sext is a plain alias
+            if (bit(df.facts[n.args[0]].zeros, argW - 1) != 0) {
+                out.warning(rule(), id, nodePath(d, id),
+                            strfmt("operand '%s' is provably "
+                                   "non-negative (bit %u known 0): this "
+                                   "sign-extension is a zero-extension",
+                                   nodePath(d, n.args[0]).c_str(),
+                                   argW - 1));
+            }
+        }
+    }
+};
+
+} // namespace
+
 Registry
 Registry::makeDefault()
 {
@@ -1019,6 +1283,12 @@ Registry::makeDefault()
     r.add(std::make_unique<UnreadableRegPass>());
     r.add(std::make_unique<WriteOnlyMemPass>());
     r.add(std::make_unique<UninitSyncReadPass>());
+    r.add(std::make_unique<ConstConditionPass>());
+    r.add(std::make_unique<NeverEnabledPass>());
+    r.add(std::make_unique<UnreachableMuxArmPass>());
+    r.add(std::make_unique<ConstComparePass>());
+    r.add(std::make_unique<TruncationDropsBitsPass>());
+    r.add(std::make_unique<SextNonnegPass>());
     return r;
 }
 

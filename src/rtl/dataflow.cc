@@ -1,0 +1,675 @@
+#include "rtl/dataflow.h"
+
+#include <algorithm>
+
+#include "rtl/analysis.h"
+#include "rtl/eval.h"
+
+namespace strober {
+namespace rtl {
+
+namespace {
+
+/** Build a fact from a bit view plus an extra (sound) range bound. */
+ValueFact
+fromBitsAndRange(uint64_t zeros, uint64_t ones, uint64_t lo, uint64_t hi,
+                 unsigned w)
+{
+    ValueFact f;
+    f.width = static_cast<uint16_t>(w);
+    f.zeros = zeros;
+    f.ones = ones;
+    f.lo = lo;
+    f.hi = hi;
+    return normalizeFact(f);
+}
+
+/** Build a fact from a bit view alone (range = bits-implied bounds). */
+ValueFact
+fromBits(uint64_t zeros, uint64_t ones, unsigned w)
+{
+    return fromBitsAndRange(zeros, ones, 0, ~0ull, w);
+}
+
+/** Build a fact from a range alone (bits = common [lo, hi] prefix). */
+ValueFact
+fromRange(uint64_t lo, uint64_t hi, unsigned w)
+{
+    return fromBitsAndRange(~bitMask(w), 0, lo, hi, w);
+}
+
+/**
+ * Known bits of truncate(a + b + carryIn, w), where b's bit view is
+ * passed directly so Sub can reuse this as a + ~b + 1. Classic per-bit
+ * possible-value propagation: track the set of carries that can enter
+ * each bit and which sum bits are forced.
+ */
+ValueFact
+addKnownBits(const ValueFact &a, uint64_t bZeros, uint64_t bOnes,
+             unsigned carryIn, unsigned w)
+{
+    uint64_t zeros = 0, ones = 0;
+    bool c0 = carryIn == 0, c1 = carryIn == 1;
+    for (unsigned i = 0; i < w; ++i) {
+        bool aMay0 = !bit(a.ones, i), aMay1 = !bit(a.zeros, i);
+        bool bMay0 = !bit(bOnes, i), bMay1 = !bit(bZeros, i);
+        bool sum0 = false, sum1 = false, next0 = false, next1 = false;
+        for (int av = 0; av <= 1; ++av) {
+            if (av != 0 ? !aMay1 : !aMay0)
+                continue;
+            for (int bv = 0; bv <= 1; ++bv) {
+                if (bv != 0 ? !bMay1 : !bMay0)
+                    continue;
+                for (int cv = 0; cv <= 1; ++cv) {
+                    if (cv != 0 ? !c1 : !c0)
+                        continue;
+                    int s = av + bv + cv;
+                    ((s & 1) != 0 ? sum1 : sum0) = true;
+                    (s >= 2 ? next1 : next0) = true;
+                }
+            }
+        }
+        if (!sum1)
+            zeros |= 1ull << i;
+        if (!sum0)
+            ones |= 1ull << i;
+        c0 = next0;
+        c1 = next1;
+    }
+    return fromBits(zeros | ~bitMask(w), ones, w);
+}
+
+/** Number of low-order bits of @p f proven zero. */
+unsigned
+trailingKnownZeros(const ValueFact &f)
+{
+    uint64_t notZero = ~f.zeros;
+    return notZero == 0 ? 64
+                        : static_cast<unsigned>(__builtin_ctzll(notZero));
+}
+
+/** Shl by the compile-time amount @p v. */
+ValueFact
+shlConst(const ValueFact &a, uint64_t v, unsigned w)
+{
+    uint64_t m = bitMask(w);
+    if (v >= w)
+        return ValueFact::constant(0, w);
+    unsigned sh = static_cast<unsigned>(v);
+    uint64_t zeros = (a.zeros << sh) | bitMask(sh) | ~m;
+    uint64_t ones = (a.ones << sh) & m;
+    uint64_t lo = 0, hi = ~0ull;
+    if (a.hi <= (m >> sh)) {
+        lo = a.lo << sh;
+        hi = a.hi << sh;
+    }
+    return fromBitsAndRange(zeros, ones, lo, hi, w);
+}
+
+/** Shru by the compile-time amount @p v. */
+ValueFact
+shruConst(const ValueFact &a, uint64_t v, unsigned w)
+{
+    if (v >= w)
+        return ValueFact::constant(0, w);
+    unsigned sh = static_cast<unsigned>(v);
+    uint64_t zeros = (a.zeros >> sh) | ~(bitMask(w) >> sh);
+    uint64_t ones = a.ones >> sh;
+    return fromBitsAndRange(zeros, ones, a.lo >> sh, a.hi >> sh, w);
+}
+
+/**
+ * Sra by the compile-time amount @p v: result bit j is operand bit
+ * (j + amt) below the operand width and the sign bit at or above it,
+ * mirroring evalOp's sign-extend-then-shift.
+ */
+ValueFact
+sraConst(const ValueFact &a, uint64_t v, unsigned w, unsigned widthA)
+{
+    uint64_t amt = std::min<uint64_t>(v, w);
+    if (amt > 63)
+        amt = 63;
+    unsigned sign = widthA > 0 ? widthA - 1 : 0;
+    uint64_t zeros = 0, ones = 0;
+    for (unsigned j = 0; j < w; ++j) {
+        uint64_t src = j + amt;
+        unsigned s = src < sign ? static_cast<unsigned>(src) : sign;
+        if (bit(a.zeros, s) != 0)
+            zeros |= 1ull << j;
+        else if (bit(a.ones, s) != 0)
+            ones |= 1ull << j;
+    }
+    return fromBits(zeros | ~bitMask(w), ones, w);
+}
+
+/**
+ * Join the const-amount transfer @p perAmount over every shift amount
+ * the fact @p b allows. Amounts >= the result width all behave alike
+ * (evalOp clamps), so the enumeration is bounded by w + 1 <= 65 cases.
+ */
+template <typename Fn>
+ValueFact
+enumerateShift(const ValueFact &b, unsigned w, Fn &&perAmount)
+{
+    bool any = false;
+    ValueFact acc;
+    uint64_t start = std::min<uint64_t>(b.lo, w);
+    uint64_t cap = std::min<uint64_t>(b.hi, w);
+    for (uint64_t v = start; v <= cap; ++v) {
+        // v == w stands for the whole "shift out everything" class; a
+        // specific amount below w must actually be allowed by b's bits.
+        if (v < w && !b.contains(v))
+            continue;
+        ValueFact one = perAmount(v);
+        acc = any ? joinFacts(acc, one) : one;
+        any = true;
+    }
+    // b's fact is non-empty in any sound analysis, but stay defensive.
+    return any ? acc : ValueFact::top(w);
+}
+
+ValueFact
+transferMul(const ValueFact &a, const ValueFact &b, unsigned w)
+{
+    uint64_t m = bitMask(w);
+    // Multiplication by a power of two is a shift; by zero, zero. The
+    // symmetric cases are handled by the caller swapping operands.
+    for (int swap = 0; swap < 2; ++swap) {
+        const ValueFact &k = swap != 0 ? b : a;
+        const ValueFact &x = swap != 0 ? a : b;
+        if (!k.isConst())
+            continue;
+        uint64_t c = k.constVal();
+        if (c == 0)
+            return ValueFact::constant(0, w);
+        if (isPow2(c)) {
+            unsigned sh = static_cast<unsigned>(__builtin_ctzll(c));
+            if (sh >= w)
+                return ValueFact::constant(0, w);
+            uint64_t zeros = (x.zeros << sh) | bitMask(sh) | ~m;
+            uint64_t ones = (x.ones << sh) & m;
+            uint64_t lo = 0, hi = ~0ull;
+            if (x.hi <= (m >> sh)) {
+                lo = x.lo << sh;
+                hi = x.hi << sh;
+            }
+            return fromBitsAndRange(zeros, ones, lo, hi, w);
+        }
+    }
+    // General case: trailing zeros add, and the range is exact when the
+    // full product provably fits the result width.
+    unsigned tz = trailingKnownZeros(a) + trailingKnownZeros(b);
+    uint64_t zeros = bitMask(std::min(64u, tz)) | ~m;
+    uint64_t lo = 0, hi = ~0ull;
+    uint64_t hiProd = 0;
+    if (!__builtin_mul_overflow(a.hi, b.hi, &hiProd) && hiProd <= m) {
+        lo = a.lo * b.lo;
+        hi = hiProd;
+    }
+    return fromBitsAndRange(zeros, 0, lo, hi, w);
+}
+
+} // namespace
+
+ValueFact
+normalizeFact(ValueFact f)
+{
+    uint64_t m = bitMask(f.width);
+    f.ones &= m;
+    f.zeros |= ~m;
+    f.zeros &= ~f.ones; // defensive: keep the views disjoint
+    uint64_t maxP = f.ones | (m & ~f.zeros);
+    uint64_t minP = f.ones;
+    f.lo = std::max(f.lo, minP);
+    f.hi = std::min(f.hi, maxP);
+    if (f.lo > f.hi) {
+        // Contradictory views cannot arise from sound transfers over
+        // non-empty inputs; fall back to the bit view alone.
+        f.lo = minP;
+        f.hi = maxP;
+    }
+    if (f.lo == f.hi) {
+        f.ones = f.lo;
+        f.zeros = ~f.lo;
+        return f;
+    }
+    // The common leading bits of lo and hi are known: every value in
+    // between shares them.
+    uint64_t diff = f.lo ^ f.hi;
+    unsigned top = 63 - static_cast<unsigned>(__builtin_clzll(diff));
+    uint64_t prefix = ~bitMask(top + 1);
+    uint64_t ones = f.ones | (f.hi & prefix);
+    uint64_t zeros = f.zeros | (~f.hi & prefix);
+    if ((ones & zeros) == 0) {
+        f.ones = ones;
+        f.zeros = zeros;
+    }
+    return f;
+}
+
+ValueFact
+joinFacts(const ValueFact &a, const ValueFact &b)
+{
+    ValueFact f;
+    f.width = std::max(a.width, b.width);
+    f.zeros = a.zeros & b.zeros;
+    f.ones = a.ones & b.ones;
+    f.lo = std::min(a.lo, b.lo);
+    f.hi = std::max(a.hi, b.hi);
+    return normalizeFact(f);
+}
+
+ValueFact
+transferOp(Op op, unsigned width, unsigned widthA, unsigned widthB,
+           uint64_t imm, const ValueFact &a, const ValueFact &b,
+           const ValueFact &c)
+{
+    uint64_t m = bitMask(width);
+    if (op == Op::MemRead || op == Op::Input || op == Op::Const ||
+        op == Op::Reg)
+        return ValueFact::top(width);
+
+    // All-constant operands: defer to evalOp itself, the single source
+    // of truth, so the abstract and concrete folders can never disagree.
+    unsigned arity = opArity(op);
+    bool allConst = a.isConst() && (arity < 2 || b.isConst()) &&
+                    (arity < 3 || c.isConst());
+    if (allConst) {
+        return ValueFact::constant(evalOp(op, width, widthA, widthB, imm,
+                                          a.constVal(), b.constVal(),
+                                          c.constVal()),
+                                   width);
+    }
+
+    switch (op) {
+      case Op::Not:
+        return fromBits((a.ones & m) | ~m, a.zeros & m, width);
+      case Op::Neg: {
+        // Negation preserves trailing zeros; nothing else is cheap.
+        unsigned tz = std::min(trailingKnownZeros(a),
+                               static_cast<unsigned>(width));
+        return fromBits(bitMask(tz) | ~m, 0, width);
+      }
+      case Op::RedOr:
+        if (a.ones != 0 || a.lo > 0)
+            return ValueFact::constant(1, 1);
+        if (a.maxPossible() == 0)
+            return ValueFact::constant(0, 1);
+        return ValueFact::top(1);
+      case Op::RedAnd: {
+        uint64_t ma = bitMask(widthA);
+        if ((a.zeros & ma) != 0)
+            return ValueFact::constant(0, 1);
+        if ((a.ones & ma) == ma)
+            return ValueFact::constant(1, 1);
+        return ValueFact::top(1);
+      }
+      case Op::RedXor:
+        if ((~a.knownMask() & bitMask(widthA)) == 0) {
+            return ValueFact::constant(
+                static_cast<uint64_t>(__builtin_popcountll(a.ones)) & 1,
+                1);
+        }
+        return ValueFact::top(1);
+      case Op::SExt: {
+        if (widthA >= width || widthA == 0) {
+            // Truncating (or degenerate) extension: the result is just
+            // the operand masked to the result width.
+            return fromBits((a.zeros & m) | ~m, a.ones & m, width);
+        }
+        uint64_t low = bitMask(widthA - 1);
+        if (bit(a.zeros, widthA - 1) != 0) {
+            ValueFact f = a; // sign known 0: a zero-extension
+            f.width = static_cast<uint16_t>(width);
+            return normalizeFact(f);
+        }
+        if (bit(a.ones, widthA - 1) != 0) {
+            return fromBits(a.zeros & low,
+                            (a.ones & low) | (m & ~low), width);
+        }
+        return fromBits(a.zeros & low, a.ones & low, width);
+      }
+      case Op::Pad: {
+        // evalOp passes the (already masked) value through untouched.
+        ValueFact f = a;
+        f.width = static_cast<uint16_t>(width);
+        return normalizeFact(f);
+      }
+      case Op::Bits: {
+        unsigned hiBit = static_cast<unsigned>(imm >> 8);
+        unsigned loBit = static_cast<unsigned>(imm & 0xff);
+        if (hiBit > 63 || loBit > hiBit)
+            return ValueFact::top(width);
+        uint64_t zeros = (a.zeros >> loBit) | ~m;
+        uint64_t ones = (a.ones >> loBit) & m;
+        uint64_t lo = 0, hi = ~0ull;
+        if (loBit == 0 && a.hi <= m) {
+            lo = a.lo; // no high bit can be populated: a passthrough
+            hi = a.hi;
+        }
+        return fromBitsAndRange(zeros, ones, lo, hi, width);
+      }
+      case Op::Add: {
+        ValueFact f = addKnownBits(a, b.zeros, b.ones, 0, width);
+        uint64_t sum = 0;
+        if (!__builtin_add_overflow(a.hi, b.hi, &sum) && sum <= m) {
+            f.lo = a.lo + b.lo;
+            f.hi = sum;
+            f = normalizeFact(f);
+        }
+        return f;
+      }
+      case Op::Sub: {
+        // a - b == a + ~b + 1: feed the adder b's flipped bit view.
+        ValueFact f = addKnownBits(a, b.ones, b.zeros, 1, width);
+        if (a.lo >= b.hi) {
+            f.lo = a.lo - b.hi;
+            f.hi = a.hi - b.lo;
+            f = normalizeFact(f);
+        }
+        return f;
+      }
+      case Op::Mul:
+        return transferMul(a, b, width);
+      case Op::Divu:
+        if (b.hi == 0)
+            return ValueFact::constant(m, width); // x / 0 == all-ones
+        if (b.lo >= 1)
+            return fromRange(a.lo / b.hi, a.hi / b.lo, width);
+        return fromRange(a.lo / b.hi, m, width);
+      case Op::Remu:
+        if (b.hi == 0) { // x % 0 == x
+            ValueFact f = a;
+            f.width = static_cast<uint16_t>(width);
+            return normalizeFact(f);
+        }
+        if (b.lo >= 1)
+            return fromRange(0, std::min(a.hi, b.hi - 1), width);
+        return fromRange(0, a.hi, width);
+      case Op::And:
+        return fromBitsAndRange(a.zeros | b.zeros, a.ones & b.ones, 0,
+                                std::min(a.hi, b.hi), width);
+      case Op::Or:
+        return fromBitsAndRange((a.zeros & b.zeros) | ~m,
+                                (a.ones | b.ones) & m,
+                                std::max(a.lo, b.lo), ~0ull, width);
+      case Op::Xor: {
+        uint64_t zeros = (a.zeros & b.zeros) | (a.ones & b.ones) | ~m;
+        uint64_t ones = ((a.zeros & b.ones) | (a.ones & b.zeros)) & m;
+        return fromBits(zeros, ones, width);
+      }
+      case Op::Shl:
+        return enumerateShift(b, width, [&](uint64_t v) {
+            return shlConst(a, v, width);
+        });
+      case Op::Shru:
+        return enumerateShift(b, width, [&](uint64_t v) {
+            return shruConst(a, v, width);
+        });
+      case Op::Sra:
+        return enumerateShift(b, width, [&](uint64_t v) {
+            return sraConst(a, v, width, widthA);
+        });
+      case Op::Eq:
+      case Op::Ne: {
+        bool conflict = (a.ones & b.zeros) != 0 ||
+                        (b.ones & a.zeros) != 0 || a.hi < b.lo ||
+                        b.hi < a.lo;
+        if (conflict)
+            return ValueFact::constant(op == Op::Eq ? 0 : 1, 1);
+        return ValueFact::top(1);
+      }
+      case Op::Ltu:
+        if (a.hi < b.lo)
+            return ValueFact::constant(1, 1);
+        if (a.lo >= b.hi)
+            return ValueFact::constant(0, 1);
+        return ValueFact::top(1);
+      case Op::Lts: {
+        if (widthA == 0 || widthB == 0 || widthA != widthB)
+            return ValueFact::top(1);
+        unsigned sa = widthA - 1, sb = widthB - 1;
+        bool aNeg = bit(a.ones, sa) != 0, aPos = bit(a.zeros, sa) != 0;
+        bool bNeg = bit(b.ones, sb) != 0, bPos = bit(b.zeros, sb) != 0;
+        if (aPos && bNeg)
+            return ValueFact::constant(0, 1); // a >= 0 > b
+        if (aNeg && bPos)
+            return ValueFact::constant(1, 1); // a < 0 <= b
+        if ((aPos && bPos) || (aNeg && bNeg)) {
+            // Same known sign and equal widths: two's-complement order
+            // coincides with unsigned order.
+            if (a.hi < b.lo)
+                return ValueFact::constant(1, 1);
+            if (a.lo >= b.hi)
+                return ValueFact::constant(0, 1);
+        }
+        return ValueFact::top(1);
+      }
+      case Op::Cat: {
+        if (widthB >= 64)
+            return ValueFact::top(width);
+        uint64_t mb = bitMask(widthB);
+        uint64_t zeros = (a.zeros << widthB) | (b.zeros & mb);
+        uint64_t ones = ((a.ones << widthB) | (b.ones & mb)) & m;
+        uint64_t lo = 0, hi = ~0ull;
+        uint64_t hiShift = 0;
+        if (!__builtin_mul_overflow(a.hi, mb + 1, &hiShift) &&
+            hiShift <= ~0ull - b.hi) {
+            lo = a.lo * (mb + 1) + b.lo;
+            hi = hiShift + b.hi;
+        }
+        return fromBitsAndRange(zeros | ~m, ones, lo, hi, width);
+      }
+      case Op::Mux:
+        if (bit(a.zeros, 0) != 0)
+            return normalizeFact(c);
+        if (bit(a.ones, 0) != 0)
+            return normalizeFact(b);
+        return joinFacts(b, c);
+      default:
+        return ValueFact::top(width);
+    }
+}
+
+bool
+dataflowAnalyzable(const Design &d)
+{
+    size_t n = d.numNodes();
+    auto valid = [&](NodeId id) { return id != kNoNode && id < n; };
+    auto widthOk = [&](NodeId id) {
+        return d.node(id).width >= 1 && d.node(id).width <= 64;
+    };
+    for (NodeId id = 0; id < n; ++id) {
+        const Node &node = d.node(id);
+        if (node.width == 0 || node.width > 64)
+            return false;
+        if (node.op == Op::MemRead) {
+            uint32_t mi = node.aux >> 16, pi = node.aux & 0xffff;
+            if (mi >= d.mems().size())
+                return false;
+            const MemInfo &mem = d.mems()[mi];
+            if (pi >= mem.reads.size())
+                return false;
+            if (!mem.syncRead &&
+                (!valid(mem.reads[pi].addr) ||
+                 !widthOk(mem.reads[pi].addr)))
+                return false;
+            continue;
+        }
+        unsigned arity = opArity(node.op);
+        for (unsigned i = 0; i < arity; ++i) {
+            if (!valid(node.args[i]) || !widthOk(node.args[i]))
+                return false;
+        }
+        auto argW = [&](unsigned i) {
+            return static_cast<unsigned>(d.node(node.args[i]).width);
+        };
+        switch (node.op) {
+          case Op::Const:
+            if (truncate(node.imm, node.width) != node.imm)
+                return false;
+            break;
+          case Op::Add: case Op::Sub: case Op::Divu: case Op::Remu:
+          case Op::And: case Op::Or: case Op::Xor:
+            if (argW(0) != node.width || argW(1) != node.width)
+                return false;
+            break;
+          case Op::Mul:
+            if (node.width != std::min(64u, argW(0) + argW(1)))
+                return false;
+            break;
+          case Op::Shl: case Op::Shru: case Op::Sra:
+          case Op::Not: case Op::Neg:
+            if (argW(0) != node.width)
+                return false;
+            break;
+          case Op::Eq: case Op::Ne: case Op::Ltu: case Op::Lts:
+            if (node.width != 1 || argW(0) != argW(1))
+                return false;
+            break;
+          case Op::RedOr: case Op::RedAnd: case Op::RedXor:
+            if (node.width != 1)
+                return false;
+            break;
+          case Op::Cat:
+            if (node.width != argW(0) + argW(1))
+                return false;
+            break;
+          case Op::Bits:
+            if (node.bitsHi() < node.bitsLo() ||
+                node.bitsHi() >= argW(0) ||
+                node.width != node.bitsHi() - node.bitsLo() + 1)
+                return false;
+            break;
+          case Op::SExt: case Op::Pad:
+            if (node.width < argW(0))
+                return false;
+            break;
+          case Op::Mux:
+            if (argW(0) != 1 || argW(1) != node.width ||
+                argW(2) != node.width)
+                return false;
+            break;
+          default:
+            break;
+        }
+    }
+    for (const RegInfo &r : d.regs()) {
+        if (!valid(r.node) || d.node(r.node).op != Op::Reg)
+            return false;
+        if (!valid(r.next) ||
+            d.node(r.next).width != d.node(r.node).width)
+            return false;
+        if (r.en != kNoNode && (!valid(r.en) || d.node(r.en).width != 1))
+            return false;
+        if (truncate(r.init, d.node(r.node).width) != r.init)
+            return false;
+    }
+    return combSccs(d).empty();
+}
+
+DataflowResult
+analyzeDataflow(const Design &d, const DataflowOptions &options)
+{
+    DataflowResult res;
+    size_t n = d.numNodes();
+    res.facts.resize(n);
+    for (NodeId id = 0; id < n; ++id) {
+        unsigned w = d.node(id).width;
+        res.facts[id] = ValueFact::top(w >= 1 && w <= 64 ? w : 64);
+    }
+    if (!dataflowAnalyzable(d)) {
+        res.converged = false;
+        return res;
+    }
+
+    for (NodeId id = 0; id < n; ++id) {
+        const Node &node = d.node(id);
+        if (node.op == Op::Const)
+            res.facts[id] = ValueFact::constant(node.imm, node.width);
+    }
+    if (options.assumeReset) {
+        for (const RegInfo &r : d.regs()) {
+            res.facts[r.node] =
+                ValueFact::constant(r.init, d.node(r.node).width);
+        }
+    }
+
+    CombSchedule sched = analyzeComb(d);
+    auto sweep = [&] {
+        for (NodeId id : sched.order) {
+            const Node &node = d.node(id);
+            switch (node.op) {
+              case Op::Input:
+              case Op::Const:
+              case Op::Reg:
+              case Op::MemRead: // memory contents are untracked: top
+                continue;
+              default:
+                break;
+            }
+            unsigned arity = opArity(node.op);
+            static const ValueFact kUnused = ValueFact::top(1);
+            const ValueFact &a = res.facts[node.args[0]];
+            const ValueFact &b =
+                arity >= 2 ? res.facts[node.args[1]] : kUnused;
+            const ValueFact &c =
+                arity >= 3 ? res.facts[node.args[2]] : kUnused;
+            res.facts[id] = transferOp(
+                node.op, node.width, d.node(node.args[0]).width,
+                arity >= 2 ? d.node(node.args[1]).width : 1, node.imm,
+                a, b, c);
+        }
+    };
+
+    unsigned iter = 0;
+    bool changed = true;
+    while (changed) {
+        sweep();
+        ++iter;
+        changed = false;
+        for (const RegInfo &r : d.regs()) {
+            ValueFact &cur = res.facts[r.node];
+            if (r.en != kNoNode &&
+                bit(res.facts[r.en].zeros, 0) != 0)
+                continue; // enable provably stuck at 0: never updates
+            ValueFact next = res.facts[r.next];
+            ValueFact nf = joinFacts(cur, next);
+            if (iter >= options.widenAfter) {
+                // Widen the range to the bits-implied bounds so
+                // counters (lo/hi creeping one per sweep) terminate;
+                // the known-bits half of the lattice is finite.
+                nf.lo = nf.minPossible();
+                nf.hi = nf.maxPossible();
+                nf = normalizeFact(nf);
+            }
+            if (nf != cur) {
+                // Second widening stage: a register still unstable this
+                // deep into the solve is not going to settle anywhere
+                // interesting (think free-running counters) — drop it
+                // to top so convergence tracks chain depth, not width.
+                if (iter >= options.topAfter)
+                    nf = ValueFact::top(d.node(r.node).width);
+                if (nf != cur) {
+                    cur = nf;
+                    changed = true;
+                }
+            }
+        }
+        if (changed && iter >= options.maxIterations) {
+            // Give up soundly: drop every register to top and resweep.
+            for (const RegInfo &r : d.regs())
+                res.facts[r.node] =
+                    ValueFact::top(d.node(r.node).width);
+            sweep();
+            ++iter;
+            res.converged = false;
+            break;
+        }
+    }
+    res.iterations = iter;
+    return res;
+}
+
+} // namespace rtl
+} // namespace strober

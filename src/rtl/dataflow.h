@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Forward abstract interpretation over a Design: per-node known-bits
+ * (zero/one masks) and unsigned constant-range facts, with a fixed-point
+ * solver across register feedback.
+ *
+ * Two soundness regimes, selected by DataflowOptions::assumeReset:
+ *
+ *  - assumeReset = true ("reset-reachable"): registers start at their
+ *    declared init value and the solver iterates reg -> next -> reg
+ *    until a fixed point (with range widening so counters terminate).
+ *    The facts hold in every state reachable from reset under arbitrary
+ *    inputs. This is what the semantic lint rules use: it can prove a
+ *    mux arm unreachable or an enable stuck even through feedback.
+ *
+ *  - assumeReset = false ("arbitrary-state"): registers, inputs and
+ *    memory read data are unconstrained (top within their width mask),
+ *    so every fact holds in *any* masked state — including states
+ *    manufactured by setRegValue(), scan-chain restore, snapshot load
+ *    and fault injection. This is the only regime rtl::buildEvalPlan
+ *    may fold against: the EvalPlan observability contract promises
+ *    peek() matches the unoptimized sweep in whatever state the
+ *    simulator has been put.
+ *
+ * Transfer functions mirror rtl::evalOp() bit-for-bit (division by
+ * zero, shift-past-width, Mux on sel&1, operand-width corners); the
+ * conformance fuzz in tests/test_dataflow.cc drives a Simulator and
+ * asserts every computed fact contains every observed node value.
+ */
+
+#ifndef STROBER_RTL_DATAFLOW_H
+#define STROBER_RTL_DATAFLOW_H
+
+#include <cstdint>
+#include <vector>
+
+#include "rtl/ir.h"
+#include "util/bits.h"
+
+namespace strober {
+namespace rtl {
+
+/**
+ * What is known about one node's value. A fact is a set of possible
+ * values: the intersection of a known-bits constraint (bit i is 0
+ * wherever zeros has it, 1 wherever ones has it) and an unsigned range
+ * [lo, hi]. Invariants after normalize():
+ *  - zeros and ones are disjoint; ones is within the width mask and
+ *    zeros covers everything above it (values are always masked);
+ *  - ones <= lo <= hi <= maxPossible();
+ *  - lo == hi exactly when the value is a proven constant.
+ */
+struct ValueFact
+{
+    uint64_t zeros = ~0ull; //!< bits known to be 0 (includes >= width)
+    uint64_t ones = 0;      //!< bits known to be 1
+    uint64_t lo = 0;        //!< least possible value
+    uint64_t hi = 0;        //!< greatest possible value
+    uint16_t width = 1;     //!< declared width of the node (1..64)
+
+    /** Nothing known beyond the width mask. */
+    static ValueFact
+    top(unsigned w)
+    {
+        ValueFact f;
+        f.width = static_cast<uint16_t>(w);
+        f.zeros = ~bitMask(w);
+        f.ones = 0;
+        f.lo = 0;
+        f.hi = bitMask(w);
+        return f;
+    }
+
+    /** The single value @p v (truncated to @p w bits). */
+    static ValueFact
+    constant(uint64_t v, unsigned w)
+    {
+        ValueFact f;
+        f.width = static_cast<uint16_t>(w);
+        v = truncate(v, w);
+        f.ones = v;
+        f.zeros = ~v;
+        f.lo = v;
+        f.hi = v;
+        return f;
+    }
+
+    uint64_t mask() const { return bitMask(width); }
+    /** Bits with a proven value (either polarity). */
+    uint64_t knownMask() const { return zeros | ones; }
+    /** Greatest value consistent with the known bits alone. */
+    uint64_t maxPossible() const { return ones | (mask() & ~zeros); }
+    /** Least value consistent with the known bits alone. */
+    uint64_t minPossible() const { return ones; }
+
+    bool isConst() const { return lo == hi; }
+    uint64_t constVal() const { return lo; }
+
+    /** Is the concrete value @p v (already masked) allowed by this fact? */
+    bool
+    contains(uint64_t v) const
+    {
+        return (v & zeros) == 0 && (v & ones) == ones && v >= lo &&
+               v <= hi;
+    }
+
+    bool
+    operator==(const ValueFact &o) const
+    {
+        return zeros == o.zeros && ones == o.ones && lo == o.lo &&
+               hi == o.hi && width == o.width;
+    }
+    bool operator!=(const ValueFact &o) const { return !(*this == o); }
+};
+
+/**
+ * Restore ValueFact invariants and exchange information between the
+ * bit-level and range views (range bounds clamp to the bits; the common
+ * leading bits of [lo, hi] become known bits). Every transfer result
+ * passes through here. Exposed for tests.
+ */
+ValueFact normalizeFact(ValueFact f);
+
+/** Least upper bound: the fact allowing any value either input allows. */
+ValueFact joinFacts(const ValueFact &a, const ValueFact &b);
+
+/**
+ * Abstract counterpart of rtl::evalOp() with the same signature shape:
+ * the result fact contains evalOp(op, ...a, b, c) for every concrete
+ * (a, b, c) drawn from the operand facts. Operand facts that the op
+ * does not consume are ignored. Op::MemRead yields top (memory contents
+ * are not tracked). Exposed for per-op unit tests.
+ */
+ValueFact transferOp(Op op, unsigned width, unsigned widthA,
+                     unsigned widthB, uint64_t imm, const ValueFact &a,
+                     const ValueFact &b, const ValueFact &c);
+
+struct DataflowOptions
+{
+    /** See the file comment: reset-reachable vs arbitrary-state facts. */
+    bool assumeReset = true;
+    /**
+     * Iteration after which register range growth is widened straight
+     * to the bits-implied bounds, so counters (whose ranges creep one
+     * step per iteration) start converging.
+     */
+    unsigned widenAfter = 4;
+    /**
+     * Second widening stage: a register still changing after this many
+     * iterations drops straight to top. Without it a w-bit counter
+     * erodes one known bit per sweep and needs w iterations; with it
+     * convergence is bounded by topAfter plus the register-chain depth.
+     */
+    unsigned topAfter = 16;
+    /**
+     * Hard iteration cap. If the solver has not converged by then it
+     * drops every register to top and performs one final sweep, so the
+     * returned facts are sound regardless (converged reports false).
+     */
+    unsigned maxIterations = 64;
+};
+
+struct DataflowResult
+{
+    std::vector<ValueFact> facts; //!< per node, indexed by NodeId
+    unsigned iterations = 0;      //!< sweeps performed
+    bool converged = true;        //!< false: widened to top at the cap
+};
+
+/**
+ * Can @p design be analyzed without risking undefined behaviour?
+ * Checks node references, per-op width legality, state bookkeeping and
+ * combinational acyclicity — the same obligations the error-severity
+ * lint rules enforce, rechecked cheaply here because the dataflow lint
+ * passes must never crash on arbitrarily malformed designs.
+ */
+bool dataflowAnalyzable(const Design &design);
+
+/**
+ * Run the analysis. On a design that fails dataflowAnalyzable() the
+ * result is all-top with converged == false (a safe, useless answer —
+ * callers that require precision should gate on the error lint rules,
+ * as buildEvalPlan's callers already do).
+ */
+DataflowResult analyzeDataflow(const Design &design,
+                               const DataflowOptions &options = {});
+
+} // namespace rtl
+} // namespace strober
+
+#endif // STROBER_RTL_DATAFLOW_H

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "rtl/analysis.h"
+#include "rtl/dataflow.h"
 #include "rtl/eval.h"
 #include "util/logging.h"
 
@@ -77,10 +78,22 @@ argLess(const ArgRef &x, const ArgRef &y)
 } // namespace
 
 EvalPlan
-buildEvalPlan(const Design &d)
+buildEvalPlan(const Design &d, const EvalPlanOptions &options)
 {
     CombSchedule sched = rtl::analyzeComb(d);
     const size_t numNodes = d.numNodes();
+
+    // Arbitrary-state-sound facts (registers/inputs/memory reads are
+    // top): every proof below survives setRegValue, scan-chain restore
+    // and fault injection, which is what keeps peek() bit-identical to
+    // the unoptimized sweep in *any* state, not just reachable ones.
+    DataflowResult df;
+    if (options.dataflow) {
+        DataflowOptions dfOpt;
+        dfOpt.assumeReset = false;
+        df = analyzeDataflow(d, dfOpt);
+    }
+    const bool useDf = options.dataflow && df.facts.size() == numNodes;
 
     // --- Pass 1: classify every node in topological order -------------
     // rep[n] == n      : n carries its own value (leaf or scheduled op)
@@ -88,6 +101,7 @@ buildEvalPlan(const Design &d)
     // folded[n]        : n is a compile-time constant constVal[n]
     std::vector<NodeId> rep(numNodes, kNoNode);
     std::vector<uint8_t> folded(numNodes, 0);
+    std::vector<uint8_t> dfConst(numNodes, 0);
     std::vector<uint8_t> scheduled(numNodes, 0);
     std::vector<uint64_t> constVal(numNodes, 0);
     std::map<CseKey, NodeId> cse;
@@ -160,6 +174,19 @@ buildEvalPlan(const Design &d)
             continue;
         }
 
+        // Dataflow-provable constants: the facts pin a single value
+        // even though not every operand folded structurally (e.g. a
+        // comparison whose operands' known bits conflict).
+        if (useDf && df.facts[id].isConst()) {
+            folded[id] = 1;
+            dfConst[id] = 1;
+            constVal[id] = df.facts[id].constVal();
+            rep[id] = id;
+            ++stats.folded;
+            ++stats.dfFolded;
+            continue;
+        }
+
         // Value-passthrough identities: the node's value equals one
         // operand's value bit-for-bit, so it needs no slot of its own.
         // (Pad zero-extends an already-masked value: a no-op. SExt and
@@ -173,8 +200,109 @@ buildEvalPlan(const Design &d)
             continue;
         }
         if (n.op == Op::Mux && args[0].isConst) {
+            // Mux selectors are contractually 1 bit, so a dataflow
+            // fact that decides sel's low bit is always a *constant*
+            // fact — the selector node folds above and the arm is
+            // pruned here. Attribute the prune to dataflow when the
+            // selector's constness was a dataflow proof rather than a
+            // structural one.
+            if (useDf && dfConst[n.args[0]])
+                ++stats.dfMuxPruned;
             aliasTo(id, args[0].value & 1 ? args[1] : args[2]);
             continue;
+        }
+
+        // Dataflow-proven identity/absorption aliases: the node's
+        // value equals one operand's bit-for-bit in every masked state
+        // (the facts are arbitrary-state-sound), so sharing the
+        // operand's slot keeps peek() exact. Aliasing across widths is
+        // safe: consumers record the *original* operand width
+        // (EvalStep::widthA), and the facts prove the values equal.
+        if (useDf) {
+            const ValueFact &fa = df.facts[n.args[0]];
+            int same = -1;
+            uint64_t m = bitMask(n.width);
+            switch (n.op) {
+              case Op::SExt:
+                // Sign bit provably 0: behaves as Pad, i.e. the value.
+                if (n.width > args[0].width && args[0].width >= 1 &&
+                    bit(fa.zeros, args[0].width - 1) != 0)
+                    same = 0;
+                break;
+              case Op::Bits:
+                // Only provably-zero high bits dropped, none below.
+                if (n.bitsLo() == 0 &&
+                    (fa.maxPossible() & ~bitMask(n.bitsHi() + 1)) == 0)
+                    same = 0;
+                break;
+              case Op::And: {
+                const ValueFact &fb = df.facts[n.args[1]];
+                if ((fa.maxPossible() & ~fb.ones & m) == 0)
+                    same = 0; // b known 1 wherever a can be 1
+                else if ((fb.maxPossible() & ~fa.ones & m) == 0)
+                    same = 1;
+                break;
+              }
+              case Op::Or: {
+                const ValueFact &fb = df.facts[n.args[1]];
+                if ((fb.maxPossible() & ~fa.ones & m) == 0)
+                    same = 0; // b can only set bits a already has
+                else if ((fa.maxPossible() & ~fb.ones & m) == 0)
+                    same = 1;
+                break;
+              }
+              case Op::Xor:
+              case Op::Add: {
+                const ValueFact &fb = df.facts[n.args[1]];
+                if (fb.isConst() && fb.constVal() == 0)
+                    same = 0;
+                else if (fa.isConst() && fa.constVal() == 0)
+                    same = 1;
+                break;
+              }
+              case Op::Sub:
+              case Op::Shl:
+              case Op::Shru: {
+                const ValueFact &fb = df.facts[n.args[1]];
+                if (fb.isConst() && fb.constVal() == 0)
+                    same = 0;
+                break;
+              }
+              case Op::Sra: {
+                const ValueFact &fb = df.facts[n.args[1]];
+                if (fb.isConst() && fb.constVal() == 0 &&
+                    args[0].width == n.width)
+                    same = 0;
+                break;
+              }
+              case Op::Divu: {
+                const ValueFact &fb = df.facts[n.args[1]];
+                if (fb.isConst() && fb.constVal() == 1)
+                    same = 0;
+                break;
+              }
+              case Op::Remu: {
+                const ValueFact &fb = df.facts[n.args[1]];
+                if (fb.isConst() && fb.constVal() == 0)
+                    same = 0; // x % 0 == x by evalOp's convention
+                break;
+              }
+              case Op::Mul: {
+                const ValueFact &fb = df.facts[n.args[1]];
+                if (fb.isConst() && fb.constVal() == 1)
+                    same = 0; // full product of x and 1 is x, widened
+                else if (fa.isConst() && fa.constVal() == 1)
+                    same = 1;
+                break;
+              }
+              default:
+                break;
+            }
+            if (same >= 0) {
+                ++stats.dfAliased;
+                aliasTo(id, args[same]);
+                continue;
+            }
         }
 
         // CSE with canonical operand order for commutative ops.
@@ -531,6 +659,224 @@ partitionEvalPlan(const EvalPlan &plan, size_t numMems, uint32_t clusters,
         part.slotChunks.insert(part.slotChunks.end(), consumers[s].begin(),
                                consumers[s].end());
     return part;
+}
+
+lint::Diagnostics
+verifyPartition(const EvalPlan &plan, const EvalPartition &part,
+                size_t numMems)
+{
+    lint::Diagnostics out;
+    const auto &hot = plan.hotProgram;
+    const uint32_t numSteps = static_cast<uint32_t>(hot.size());
+    const uint32_t numChunks = static_cast<uint32_t>(part.chunks.size());
+
+    auto geometry = [&](const std::string &msg) {
+        out.error("partition-geometry", kNoNode, "partition", msg);
+    };
+
+    // --- Geometry: everything below indexes through these tables, so
+    // any inconsistency here aborts the remaining checks.
+    bool shapeOk = true;
+    if (part.stepChunk.size() != numSteps) {
+        geometry(strfmt("stepChunk has %zu entries for %u hot steps",
+                        part.stepChunk.size(), numSteps));
+        shapeOk = false;
+    }
+    if (part.slotChunksBegin.size() !=
+        static_cast<size_t>(plan.numSlots) + 1) {
+        geometry(strfmt("slotChunksBegin has %zu entries for %u slots",
+                        part.slotChunksBegin.size(), plan.numSlots));
+        shapeOk = false;
+    } else {
+        for (size_t s = 0; s + 1 < part.slotChunksBegin.size(); ++s) {
+            if (part.slotChunksBegin[s] > part.slotChunksBegin[s + 1]) {
+                geometry(strfmt("slotChunksBegin decreases at slot %zu",
+                                s));
+                shapeOk = false;
+                break;
+            }
+        }
+        if (shapeOk &&
+            part.slotChunksBegin.back() != part.slotChunks.size()) {
+            geometry("slotChunksBegin does not span slotChunks");
+            shapeOk = false;
+        }
+    }
+    if (part.memChunks.size() != numMems) {
+        geometry(strfmt("memChunks has %zu entries for %zu memories",
+                        part.memChunks.size(), numMems));
+        shapeOk = false;
+    }
+    if (part.levelBegin.empty() || part.levelBegin.front() != 0 ||
+        part.levelBegin.back() != numChunks) {
+        geometry("levelBegin does not tile the chunk list");
+        shapeOk = false;
+    } else {
+        for (size_t l = 0; l + 1 < part.levelBegin.size(); ++l) {
+            if (part.levelBegin[l] > part.levelBegin[l + 1]) {
+                geometry(strfmt("levelBegin decreases at level %zu", l));
+                shapeOk = false;
+            }
+        }
+    }
+    auto chunkIdsOk = [&](const std::vector<uint32_t> &v) {
+        return std::all_of(v.begin(), v.end(),
+                           [&](uint32_t c) { return c < numChunks; });
+    };
+    if (!chunkIdsOk(part.stepChunk) || !chunkIdsOk(part.slotChunks) ||
+        !std::all_of(part.memChunks.begin(), part.memChunks.end(),
+                     chunkIdsOk)) {
+        geometry("chunk id out of range");
+        shapeOk = false;
+    }
+    if (!shapeOk)
+        return out;
+    for (uint32_t l = 0; l < part.numLevels(); ++l) {
+        for (uint32_t c = part.levelBegin[l]; c < part.levelBegin[l + 1];
+             ++c) {
+            if (part.chunks[c].level != l) {
+                geometry(strfmt("chunk %u has level %u but sits in "
+                                "levelBegin range %u",
+                                c, part.chunks[c].level, l));
+            }
+        }
+    }
+
+    // --- Coverage: every hot step in exactly one chunk, chunk lists
+    // ascending and consistent with stepChunk, no empty chunk.
+    std::vector<uint32_t> seen(numSteps, 0);
+    for (uint32_t c = 0; c < numChunks; ++c) {
+        const EvalChunk &chunk = part.chunks[c];
+        if (chunk.steps.empty()) {
+            out.error("partition-coverage", kNoNode, "partition",
+                      strfmt("chunk %u is empty", c));
+            continue;
+        }
+        uint32_t prev = 0;
+        bool first = true;
+        for (uint32_t i : chunk.steps) {
+            if (i >= numSteps) {
+                out.error("partition-coverage", kNoNode, "partition",
+                          strfmt("chunk %u lists step %u of %u", c, i,
+                                 numSteps));
+                continue;
+            }
+            if (!first && i <= prev) {
+                out.error("partition-coverage", kNoNode, "partition",
+                          strfmt("chunk %u steps not ascending at %u", c,
+                                 i));
+            }
+            first = false;
+            prev = i;
+            ++seen[i];
+            if (part.stepChunk[i] != c) {
+                out.error("partition-coverage", kNoNode, "partition",
+                          strfmt("step %u listed in chunk %u but "
+                                 "stepChunk says %u",
+                                 i, c, part.stepChunk[i]));
+            }
+        }
+    }
+    for (uint32_t i = 0; i < numSteps; ++i) {
+        if (seen[i] != 1) {
+            out.error("partition-coverage", kNoNode, "partition",
+                      strfmt("hot step %u appears in %u chunks", i,
+                             seen[i]));
+        }
+    }
+
+    // Producing hot step of each slot, and the CSR membership test the
+    // closure check needs (lists are sorted by construction; a mutated
+    // unsorted list still answers correctly via linear fallback).
+    std::vector<uint32_t> producer(plan.numSlots, kNoStep);
+    for (uint32_t i = 0; i < numSteps; ++i) {
+        if (hot[i].dst < plan.numSlots)
+            producer[hot[i].dst] = i;
+        else
+            geometry(strfmt("step %u writes slot %u of %u", i,
+                            hot[i].dst, plan.numSlots));
+    }
+    auto csrHas = [&](SlotId slot, uint32_t chunk) {
+        auto begin = part.slotChunks.begin() + part.slotChunksBegin[slot];
+        auto end =
+            part.slotChunks.begin() + part.slotChunksBegin[slot + 1];
+        return std::find(begin, end, chunk) != end;
+    };
+
+    // --- Same-level races, dirty closure --------------------------------
+    for (uint32_t i = 0; i < numSteps; ++i) {
+        uint32_t myChunk = part.stepChunk[i];
+        forEachStepOperand(hot[i], [&](SlotId slot) {
+            if (slot >= plan.numSlots) {
+                geometry(strfmt("step %u reads slot %u of %u", i, slot,
+                                plan.numSlots));
+                return;
+            }
+            uint32_t p = producer[slot];
+            if (p != kNoStep) {
+                uint32_t pChunk = part.stepChunk[p];
+                if (pChunk != myChunk &&
+                    part.chunks[pChunk].level ==
+                        part.chunks[myChunk].level) {
+                    out.error(
+                        "partition-level-race", kNoNode, "partition",
+                        strfmt("step %u (chunk %u) reads slot %u "
+                               "produced by step %u (chunk %u) in the "
+                               "same level %u",
+                               i, myChunk, slot, p, pChunk,
+                               part.chunks[myChunk].level));
+                }
+                if (pChunk == myChunk)
+                    return; // in-chunk edge: no dirty propagation needed
+            }
+            if (!csrHas(slot, myChunk)) {
+                out.error("partition-dirty-closure", kNoNode, "partition",
+                          strfmt("chunk %u consumes slot %u but is "
+                                 "missing from its consumer list",
+                                 myChunk, slot));
+            }
+        });
+        if (hot[i].op == Op::MemRead) {
+            uint32_t mem = hot[i].a;
+            if (mem >= numMems) {
+                geometry(strfmt("step %u reads memory %u of %zu", i, mem,
+                                numMems));
+            } else if (std::find(part.memChunks[mem].begin(),
+                                 part.memChunks[mem].end(),
+                                 myChunk) == part.memChunks[mem].end()) {
+                out.error("partition-dirty-closure", kNoNode, "partition",
+                          strfmt("chunk %u has an async read of memory "
+                                 "%u but is missing from memChunks",
+                                 myChunk, mem));
+            }
+        }
+    }
+
+    // --- Double writers: two chunks of one level storing to one slot.
+    {
+        std::vector<uint32_t> writer(plan.numSlots, kNoStep);
+        for (uint32_t i = 0; i < numSteps; ++i) {
+            uint32_t slot = hot[i].dst;
+            if (slot >= plan.numSlots)
+                continue; // reported above
+            uint32_t prev = writer[slot];
+            if (prev != kNoStep) {
+                uint32_t pc = part.stepChunk[prev];
+                uint32_t mc = part.stepChunk[i];
+                if (pc != mc &&
+                    part.chunks[pc].level == part.chunks[mc].level) {
+                    out.error(
+                        "partition-double-writer", kNoNode, "partition",
+                        strfmt("steps %u (chunk %u) and %u (chunk %u) "
+                               "both write slot %u in level %u",
+                               prev, pc, i, mc, slot,
+                               part.chunks[mc].level));
+                }
+            }
+            writer[slot] = i;
+        }
+    }
+    return out;
 }
 
 } // namespace rtl

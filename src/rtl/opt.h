@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "lint/diagnostics.h"
 #include "rtl/ir.h"
 
 namespace strober {
@@ -80,6 +81,12 @@ struct EvalPlanStats
     uint32_t cold = 0;     //!< live-value dead nodes moved off the hot path
     uint32_t hot = 0;      //!< scheduled per-cycle operations
     uint32_t constSlots = 0; //!< deduplicated constant slots
+    // Dataflow-powered subsets of the above (see rtl/dataflow.h; all
+    // proofs use arbitrary-state-sound facts, so they hold under
+    // setRegValue/scan-restore/fault injection too):
+    uint32_t dfFolded = 0;    //!< folded via known-bits/range proofs
+    uint32_t dfMuxPruned = 0; //!< Mux arms pruned via a decided selector
+    uint32_t dfAliased = 0;   //!< identity/absorption aliases proven
 };
 
 /** The optimized evaluation schedule of one Design. */
@@ -105,11 +112,29 @@ struct EvalPlan
     EvalPlanStats stats;
 };
 
+/** Knobs for buildEvalPlan (tests and benchmarks compare with/without
+ *  the dataflow strengthening; production callers use the defaults). */
+struct EvalPlanOptions
+{
+    /**
+     * Use rtl::analyzeDataflow arbitrary-state facts for bit-level
+     * dead-code elimination: provably-constant net folding, decided-Mux
+     * arm pruning, and identity/absorption aliasing (And with a proven
+     * superset mask, Or into proven ones, shift/add/sub/xor by proven
+     * zero, SExt of a proven-nonnegative value, Bits dropping only
+     * proven-zero bits). Every transform is value-preserving in every
+     * reachable *or manufactured* state, so the observability contract
+     * (peek == unoptimized sweep) still holds bit-for-bit.
+     */
+    bool dataflow = true;
+};
+
 /**
  * Build the optimized evaluation plan for @p design. Same contract as
  * analyzeComb(): calls fatal() naming a node on a combinational cycle.
  */
-EvalPlan buildEvalPlan(const Design &design);
+EvalPlan buildEvalPlan(const Design &design,
+                       const EvalPlanOptions &options = {});
 
 // --- Partitioning pass (compiled-parallel backend) ---------------------
 //
@@ -184,6 +209,35 @@ EvalPartition
 partitionEvalPlan(const EvalPlan &plan, size_t numMems,
                   uint32_t clusters = kDefaultPartitionClusters,
                   uint32_t minLevelSteps = kDefaultPartitionGrain);
+
+/**
+ * Statically prove @p partition data-race-free for @p plan: any thread
+ * assignment of one level's chunks produces exactly the full sweep's
+ * values. Obligations checked (one lint rule id per violation class):
+ *
+ *  - "partition-coverage": every hot-program step appears in exactly
+ *    one chunk, chunk step lists are ascending, stepChunk agrees with
+ *    the chunk contents, and no chunk is empty.
+ *  - "partition-geometry": chunks are level-major, levelBegin tiles
+ *    them exactly, and every CSR index/chunk id is in range
+ *    (slotChunksBegin spans plan.numSlots, memChunks spans numMems).
+ *  - "partition-level-race": no step depends on a slot produced by a
+ *    *different* chunk of the *same* level (such an edge would race
+ *    under concurrent chunk execution).
+ *  - "partition-double-writer": no two chunks of one level write the
+ *    same slot (concurrent writers - the store order would matter).
+ *  - "partition-dirty-closure": every cross-chunk consumer of a slot
+ *    is listed in the slot's CSR entry, and every chunk with an async
+ *    MemRead of memory m is listed in memChunks[m]; a missing edge
+ *    would leave a chunk clean after its input changed.
+ *
+ * Pure and non-fatal: returns the accumulated diagnostics (empty =
+ * proven). sim::Simulator panics on any error from this gate before
+ * attaching a compiled-parallel module.
+ */
+lint::Diagnostics verifyPartition(const EvalPlan &plan,
+                                  const EvalPartition &partition,
+                                  size_t numMems);
 
 } // namespace rtl
 } // namespace strober

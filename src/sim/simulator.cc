@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdlib>
 
 #include "codegen/codegen.h"
 #include "lint/lint.h"
@@ -61,7 +62,14 @@ Simulator::Simulator(const rtl::Design &design, Backend backend)
         fatal("cannot simulate design '%s': %zu lint error(s):\n%s",
               dsn.name().c_str(), diags.errorCount(), diags.str().c_str());
     }
-    evalPlan = rtl::buildEvalPlan(dsn);
+    rtl::EvalPlanOptions planOpts;
+    // Debugging escape hatch (also used by the differential suite to
+    // pit an unstrengthened reference against the dataflow-optimized
+    // plan): any non-empty value disables the known-bits pass.
+    const char *noDf = std::getenv("STROBER_SIM_NO_DATAFLOW");
+    if (noDf != nullptr && noDf[0] != '\0')
+        planOpts.dataflow = false;
+    evalPlan = rtl::buildEvalPlan(dsn, planOpts);
     buildTables();
     if (requested == Backend::Compiled ||
         requested == Backend::CompiledParallel)
@@ -156,6 +164,15 @@ Simulator::attachCompiledModule()
     std::string source;
     if (parallel) {
         partition = rtl::partitionEvalPlan(evalPlan, dsn.mems().size());
+        // Mandatory static race gate: the partition must be *proven*
+        // data-race-free before any code is generated from it. This
+        // turns the properties TSan and the differential fuzz only
+        // sample into a checked invariant of every construction.
+        lint::Diagnostics proof =
+            rtl::verifyPartition(evalPlan, partition, dsn.mems().size());
+        if (proof.errorCount() != 0)
+            panic("partition of '%s' failed static race validation:\n%s",
+                  dsn.name().c_str(), proof.str().c_str());
         source = codegen::emitPartitionedSource(dsn, evalPlan, partition);
     } else {
         source = codegen::emitSimulatorSource(dsn, evalPlan);

@@ -1,0 +1,554 @@
+/**
+ * @file
+ * Tests for the known-bits dataflow framework (src/rtl/dataflow):
+ * ValueFact algebra, per-Op transfer-function soundness (exhaustive over
+ * small widths against rtl::evalOp), fixed-point convergence and
+ * widening across register feedback, the two soundness regimes, and the
+ * buildEvalPlan strengthening that consumes the facts.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cores/soc.h"
+#include "fuzz_designs.h"
+#include "rtl/builder.h"
+#include "rtl/dataflow.h"
+#include "rtl/eval.h"
+#include "rtl/opt.h"
+#include "sim/simulator.h"
+#include "stats/rng.h"
+
+namespace strober {
+namespace {
+
+using rtl::analyzeDataflow;
+using rtl::Builder;
+using rtl::DataflowOptions;
+using rtl::DataflowResult;
+using rtl::Design;
+using rtl::joinFacts;
+using rtl::normalizeFact;
+using rtl::Op;
+using rtl::Signal;
+using rtl::transferOp;
+using rtl::ValueFact;
+
+/** transferOp with matching operand widths (the common case). */
+ValueFact
+xfer(Op op, unsigned width, const ValueFact &a,
+     const ValueFact &b = ValueFact::top(1),
+     const ValueFact &c = ValueFact::top(1), uint64_t imm = 0)
+{
+    return transferOp(op, width, a.width, b.width, imm, a, b, c);
+}
+
+// --- ValueFact basics -----------------------------------------------------
+
+TEST(ValueFact, TopAndConstant)
+{
+    ValueFact t = ValueFact::top(8);
+    EXPECT_EQ(t.zeros, ~0xffull);
+    EXPECT_EQ(t.ones, 0u);
+    EXPECT_EQ(t.lo, 0u);
+    EXPECT_EQ(t.hi, 0xffu);
+    EXPECT_FALSE(t.isConst());
+    EXPECT_TRUE(t.contains(0));
+    EXPECT_TRUE(t.contains(0xff));
+
+    ValueFact c = ValueFact::constant(0x1234, 8); // truncates to 0x34
+    EXPECT_TRUE(c.isConst());
+    EXPECT_EQ(c.constVal(), 0x34u);
+    EXPECT_TRUE(c.contains(0x34));
+    EXPECT_FALSE(c.contains(0x35));
+}
+
+TEST(ValueFact, NormalizeExchangesBitsAndRange)
+{
+    // A pure range [8, 11] implies bits [7:2] = 000010.
+    ValueFact f = ValueFact::top(8);
+    f.lo = 8;
+    f.hi = 11;
+    f = normalizeFact(f);
+    EXPECT_NE(f.zeros & 0xf0, 0u) << "high bits should become known 0";
+    EXPECT_NE(f.ones & 0x08, 0u) << "bit 3 should become known 1";
+    EXPECT_TRUE(f.contains(8));
+    EXPECT_TRUE(f.contains(11));
+    EXPECT_FALSE(f.contains(12));
+
+    // Pure known-bits clamp the range: bit 7 known 1 forces lo >= 0x80.
+    ValueFact g = ValueFact::top(8);
+    g.ones = 0x80;
+    g.zeros |= 0x01;
+    g = normalizeFact(g);
+    EXPECT_GE(g.lo, 0x80u);
+    EXPECT_EQ(g.hi, 0xfeu);
+
+    // Equal bounds collapse to a constant with full known bits.
+    ValueFact h = ValueFact::top(8);
+    h.lo = h.hi = 42;
+    h = normalizeFact(h);
+    EXPECT_TRUE(h.isConst());
+    EXPECT_EQ(h.ones, 42u);
+}
+
+TEST(ValueFact, JoinIsLeastUpperBound)
+{
+    ValueFact a = ValueFact::constant(0x10, 8);
+    ValueFact b = ValueFact::constant(0x12, 8);
+    ValueFact j = joinFacts(a, b);
+    EXPECT_TRUE(j.contains(0x10));
+    EXPECT_TRUE(j.contains(0x12));
+    EXPECT_FALSE(j.contains(0x20));
+    EXPECT_NE(j.ones & 0x10, 0u) << "common bit 4 stays known";
+    EXPECT_EQ(j.lo, 0x10u);
+    EXPECT_EQ(j.hi, 0x12u);
+}
+
+// --- Targeted per-op transfers --------------------------------------------
+
+TEST(Transfer, AddPropagatesLowKnownZeros)
+{
+    // Both operands have the low 2 bits known 0: so does the sum.
+    ValueFact a = ValueFact::top(8);
+    a.zeros |= 0x3;
+    a = normalizeFact(a);
+    ValueFact r = xfer(Op::Add, 8, a, a);
+    EXPECT_EQ(r.zeros & 0x3, 0x3u);
+}
+
+TEST(Transfer, AddRangeWithoutWraparound)
+{
+    ValueFact a = ValueFact::top(8);
+    a.lo = 10;
+    a.hi = 20;
+    a = normalizeFact(a);
+    ValueFact b = ValueFact::constant(5, 8);
+    ValueFact r = xfer(Op::Add, 8, a, b);
+    EXPECT_EQ(r.lo, 15u);
+    EXPECT_EQ(r.hi, 25u);
+}
+
+TEST(Transfer, MulByPowerOfTwoShifts)
+{
+    ValueFact a = ValueFact::top(4);
+    ValueFact four = ValueFact::constant(4, 4);
+    ValueFact r = transferOp(Op::Mul, 8, 4, 4, 0, a, four,
+                             ValueFact::top(1));
+    EXPECT_EQ(r.zeros & 0x3, 0x3u) << "low 2 bits must be 0";
+    EXPECT_EQ(r.hi, 60u);
+}
+
+TEST(Transfer, DivRemByZeroMatchEvalOp)
+{
+    ValueFact a = ValueFact::constant(0x2a, 8);
+    ValueFact z = ValueFact::constant(0, 8);
+    EXPECT_EQ(xfer(Op::Divu, 8, a, z).constVal(), 0xffu); // x/0 = ones
+    EXPECT_EQ(xfer(Op::Remu, 8, a, z).constVal(), 0x2au); // x%0 = x
+}
+
+TEST(Transfer, ShiftsPastWidth)
+{
+    ValueFact a = ValueFact::top(8);
+    ValueFact amt = ValueFact::constant(8, 8);
+    EXPECT_EQ(xfer(Op::Shl, 8, a, amt).constVal(), 0u);
+    EXPECT_EQ(xfer(Op::Shru, 8, a, amt).constVal(), 0u);
+
+    // Sra saturates at the sign bit: a known-negative operand goes to
+    // all-ones, a known-nonnegative one to zero.
+    ValueFact neg = ValueFact::top(8);
+    neg.ones |= 0x80;
+    neg = normalizeFact(neg);
+    EXPECT_EQ(xfer(Op::Sra, 8, neg, amt).constVal(), 0xffu);
+}
+
+TEST(Transfer, ComparisonsFromDisjointRanges)
+{
+    ValueFact lo = ValueFact::top(8);
+    lo.hi = 10;
+    lo = normalizeFact(lo);
+    ValueFact hi = ValueFact::top(8);
+    hi.lo = 20;
+    hi = normalizeFact(hi);
+    EXPECT_EQ(xfer(Op::Ltu, 1, lo, hi).constVal(), 1u);
+    EXPECT_EQ(xfer(Op::Ltu, 1, hi, lo).constVal(), 0u);
+    EXPECT_EQ(xfer(Op::Eq, 1, lo, hi).constVal(), 0u);
+    EXPECT_EQ(xfer(Op::Ne, 1, lo, hi).constVal(), 1u);
+}
+
+TEST(Transfer, MuxDecidedBySelectorBit)
+{
+    ValueFact t = ValueFact::constant(3, 8);
+    ValueFact e = ValueFact::constant(7, 8);
+    ValueFact sel0 = ValueFact::constant(0, 1);
+    ValueFact sel1 = ValueFact::constant(1, 1);
+    ValueFact selU = ValueFact::top(1);
+    EXPECT_EQ(transferOp(Op::Mux, 8, 1, 8, 0, sel1, t, e).constVal(), 3u);
+    EXPECT_EQ(transferOp(Op::Mux, 8, 1, 8, 0, sel0, t, e).constVal(), 7u);
+    ValueFact join = transferOp(Op::Mux, 8, 1, 8, 0, selU, t, e);
+    EXPECT_TRUE(join.contains(3));
+    EXPECT_TRUE(join.contains(7));
+    EXPECT_FALSE(join.isConst());
+}
+
+TEST(Transfer, SExtThreeSignCases)
+{
+    ValueFact nonneg = ValueFact::top(4);
+    nonneg.zeros |= 0x8;
+    nonneg = normalizeFact(nonneg);
+    ValueFact r = transferOp(Op::SExt, 8, 4, 0, 0, nonneg,
+                             ValueFact::top(1), ValueFact::top(1));
+    EXPECT_EQ(r.zeros & 0xf0, 0xf0u) << "upper bits known 0";
+
+    ValueFact negf = ValueFact::top(4);
+    negf.ones |= 0x8;
+    negf = normalizeFact(negf);
+    r = transferOp(Op::SExt, 8, 4, 0, 0, negf, ValueFact::top(1),
+                   ValueFact::top(1));
+    EXPECT_EQ(r.ones & 0xf0, 0xf0u) << "upper bits known 1";
+
+    r = transferOp(Op::SExt, 8, 4, 0, 0, ValueFact::top(4),
+                   ValueFact::top(1), ValueFact::top(1));
+    EXPECT_FALSE(r.isConst());
+    EXPECT_TRUE(r.contains(0x07));
+    EXPECT_TRUE(r.contains(0xf8));
+}
+
+TEST(Transfer, CatIsExactOnRanges)
+{
+    ValueFact a = ValueFact::constant(0x5, 4);
+    ValueFact b = ValueFact::top(4);
+    b.lo = 1;
+    b.hi = 3;
+    b = normalizeFact(b);
+    ValueFact r = transferOp(Op::Cat, 8, 4, 4, 0, a, b,
+                             ValueFact::top(1));
+    EXPECT_EQ(r.lo, 0x51u);
+    EXPECT_EQ(r.hi, 0x53u);
+    EXPECT_EQ(r.ones & 0xf0, 0x50u);
+}
+
+TEST(Transfer, BitsExtractsKnownBits)
+{
+    ValueFact a = ValueFact::constant(0xa5, 8);
+    ValueFact r = transferOp(Op::Bits, 4, 8, 0, (7ull << 8) | 4, a,
+                             ValueFact::top(1), ValueFact::top(1));
+    EXPECT_TRUE(r.isConst());
+    EXPECT_EQ(r.constVal(), 0xau);
+}
+
+TEST(Transfer, Reductions)
+{
+    ValueFact hasOne = ValueFact::top(8);
+    hasOne.ones |= 0x10;
+    hasOne = normalizeFact(hasOne);
+    EXPECT_EQ(xfer(Op::RedOr, 1, hasOne).constVal(), 1u);
+
+    ValueFact hasZero = ValueFact::top(8);
+    hasZero.zeros |= 0x10;
+    hasZero = normalizeFact(hasZero);
+    EXPECT_EQ(xfer(Op::RedAnd, 1, hasZero).constVal(), 0u);
+
+    EXPECT_EQ(xfer(Op::RedXor, 1, ValueFact::constant(0xa5, 8))
+                  .constVal(),
+              0u); // 10100101 -> 4 ones, even parity
+}
+
+// --- Exhaustive per-op soundness over small widths ------------------------
+
+/** Every pure combinational op with plausible width combinations. */
+struct OpShape
+{
+    Op op;
+    unsigned width, widthA, widthB;
+    uint64_t imm;
+};
+
+std::vector<OpShape>
+allShapes()
+{
+    std::vector<OpShape> shapes;
+    for (Op op : {Op::Not, Op::Neg})
+        shapes.push_back({op, 4, 4, 0, 0});
+    for (Op op : {Op::RedOr, Op::RedAnd, Op::RedXor})
+        shapes.push_back({op, 1, 4, 0, 0});
+    shapes.push_back({Op::SExt, 6, 3, 0, 0});
+    shapes.push_back({Op::Pad, 6, 3, 0, 0});
+    shapes.push_back({Op::Bits, 2, 4, 0, (2ull << 8) | 1});
+    shapes.push_back({Op::Bits, 3, 4, 0, (3ull << 8) | 1});
+    for (Op op : {Op::Add, Op::Sub, Op::And, Op::Or, Op::Xor, Op::Shl,
+                  Op::Shru, Op::Sra, Op::Divu, Op::Remu})
+        shapes.push_back({op, 4, 4, 4, 0});
+    shapes.push_back({Op::Mul, 6, 3, 3, 0});
+    for (Op op : {Op::Eq, Op::Ne, Op::Ltu, Op::Lts})
+        shapes.push_back({op, 1, 4, 4, 0});
+    shapes.push_back({Op::Cat, 7, 3, 4, 0});
+    shapes.push_back({Op::Mux, 4, 1, 4, 0});
+    return shapes;
+}
+
+/** A random sound fact of width @p w: the join of a few constants,
+ *  optionally pre-joined so both views carry partial information. */
+ValueFact
+randomFact(stats::Rng &rng, unsigned w)
+{
+    unsigned n = 1 + static_cast<unsigned>(rng.nextBounded(4));
+    ValueFact f =
+        ValueFact::constant(rng.nextBounded(bitMask(w) + 1), w);
+    for (unsigned i = 1; i < n; ++i)
+        f = joinFacts(
+            f, ValueFact::constant(rng.nextBounded(bitMask(w) + 1), w));
+    return f;
+}
+
+TEST(Transfer, ExhaustiveSoundnessOnSmallWidths)
+{
+    stats::Rng rng(7);
+    for (const OpShape &s : allShapes()) {
+        for (unsigned trial = 0; trial < 24; ++trial) {
+            ValueFact fa = randomFact(rng, s.widthA ? s.widthA : 1);
+            ValueFact fb = randomFact(rng, s.widthB ? s.widthB : 1);
+            ValueFact fc =
+                s.op == Op::Mux ? randomFact(rng, s.width)
+                                : ValueFact::top(1);
+            unsigned wA = s.widthA, wB = s.widthB;
+            unsigned wC = s.op == Op::Mux ? s.width : 1;
+            ValueFact r = transferOp(s.op, s.width, wA, wB, s.imm, fa,
+                                     fb, fc);
+            // Enumerate every concrete combination the operand facts
+            // allow; the result fact must contain every outcome.
+            for (uint64_t a = 0; a <= bitMask(wA ? wA : 1); ++a) {
+                if (!fa.contains(a))
+                    continue;
+                for (uint64_t b = 0; b <= bitMask(wB ? wB : 1); ++b) {
+                    if (wB != 0 && !fb.contains(b))
+                        continue;
+                    for (uint64_t c = 0; c <= bitMask(wC); ++c) {
+                        if (s.op == Op::Mux && !fc.contains(c))
+                            continue;
+                        uint64_t v = rtl::evalOp(s.op, s.width, wA, wB,
+                                                 s.imm, a, b, c);
+                        ASSERT_TRUE(r.contains(v))
+                            << rtl::opName(s.op) << " trial " << trial
+                            << ": evalOp(" << a << ", " << b << ", "
+                            << c << ") = " << v
+                            << " escapes the transfer fact";
+                        if (s.op != Op::Mux)
+                            break; // c unused
+                    }
+                    if (wB == 0)
+                        break; // b unused
+                }
+            }
+        }
+    }
+}
+
+// --- Fixed point, widening, regimes ---------------------------------------
+
+TEST(Dataflow, FixedPointThroughRegisterFeedback)
+{
+    // r' = r | 0x10 from init 0: reachable values are exactly {0, 0x10}.
+    Builder b("sticky");
+    Signal in = b.input("in", 8);
+    Signal r = b.reg("r", 8, 0);
+    b.next(r, r | b.lit(0x10, 8));
+    b.output("o", r + in);
+    Design d = b.finish();
+
+    DataflowResult res = analyzeDataflow(d);
+    EXPECT_TRUE(res.converged);
+    EXPECT_LE(res.iterations, 4u);
+    const ValueFact &f = res.facts[d.regs()[0].node];
+    EXPECT_TRUE(f.contains(0x00));
+    EXPECT_TRUE(f.contains(0x10));
+    EXPECT_FALSE(f.contains(0x01));
+    EXPECT_FALSE(f.contains(0x20));
+}
+
+TEST(Dataflow, CounterWidensAndConverges)
+{
+    // A free-running 32-bit counter must not need 2^32 (or even 32)
+    // iterations: widening drops it to top quickly.
+    Builder b("ctr");
+    Signal r = b.reg("r", 32, 0);
+    b.next(r, r + b.lit(1, 32));
+    b.output("o", r);
+    Design d = b.finish();
+
+    DataflowOptions opts;
+    DataflowResult res = analyzeDataflow(d, opts);
+    EXPECT_TRUE(res.converged);
+    EXPECT_LE(res.iterations, opts.topAfter + 4);
+    EXPECT_EQ(res.facts[d.regs()[0].node], ValueFact::top(32));
+}
+
+TEST(Dataflow, StuckEnableKeepsInitInResetRegimeOnly)
+{
+    Builder b("stuck");
+    Signal in = b.input("in", 8);
+    Signal r = b.reg("r", 8, 7);
+    b.next(r, in, b.lit(0, 1)); // enable provably never asserts
+    b.output("o", r);
+    Design d = b.finish();
+
+    DataflowResult reset = analyzeDataflow(d);
+    const ValueFact &f = reset.facts[d.regs()[0].node];
+    EXPECT_TRUE(f.isConst());
+    EXPECT_EQ(f.constVal(), 7u);
+
+    // Arbitrary-state: setRegValue() can force any value, so the same
+    // register must be top.
+    DataflowOptions arb;
+    arb.assumeReset = false;
+    DataflowResult any = analyzeDataflow(d, arb);
+    EXPECT_EQ(any.facts[d.regs()[0].node], ValueFact::top(8));
+}
+
+TEST(Dataflow, MalformedDesignYieldsAllTop)
+{
+    Builder b("bad");
+    Signal in = b.input("in", 8);
+    b.output("o", in);
+    Design d = b.finish();
+    d.node(d.inputs()[0]).width = 0; // illegal width
+    EXPECT_FALSE(rtl::dataflowAnalyzable(d));
+    DataflowResult res = analyzeDataflow(d);
+    EXPECT_FALSE(res.converged);
+    for (rtl::NodeId id = 0; id < d.numNodes(); ++id)
+        EXPECT_EQ(res.facts[id].ones, 0u);
+}
+
+// --- Conformance fuzz: facts contain every simulated value ---------------
+
+void
+expectFactsContainSimulation(const Design &d, const DataflowResult &df,
+                             sim::Simulator &s, uint64_t seed,
+                             bool scrambleRegs)
+{
+    stats::Rng rng(seed * 977 + 11);
+    for (unsigned cycle = 0; cycle < 40; ++cycle) {
+        for (rtl::NodeId in : d.inputs())
+            s.poke(in, rng.next() & bitMask(d.node(in).width));
+        if (scrambleRegs) {
+            for (size_t r = 0; r < d.regs().size(); ++r) {
+                if (rng.nextBounded(3) == 0) {
+                    unsigned w = d.node(d.regs()[r].node).width;
+                    s.setRegValue(r, rng.next() & bitMask(w));
+                }
+            }
+        }
+        s.evalComb();
+        for (rtl::NodeId id = 0; id < d.numNodes(); ++id) {
+            ASSERT_TRUE(df.facts[id].contains(s.peek(id)))
+                << "seed " << seed << " cycle " << cycle << " node "
+                << id << " (" << rtl::opName(d.node(id).op)
+                << "): value " << s.peek(id)
+                << " escapes its dataflow fact";
+        }
+        s.step();
+    }
+}
+
+TEST(DataflowConformance, ResetReachableFactsHoldOverFuzzDesigns)
+{
+    for (uint64_t seed = 1; seed <= 25; ++seed) {
+        Design d = testing::randomDesign(seed);
+        DataflowResult df = analyzeDataflow(d);
+        sim::Simulator s(d);
+        s.reset();
+        expectFactsContainSimulation(d, df, s, seed,
+                                     /*scrambleRegs=*/false);
+    }
+}
+
+TEST(DataflowConformance, ArbitraryStateFactsSurviveRegScrambling)
+{
+    DataflowOptions arb;
+    arb.assumeReset = false;
+    for (uint64_t seed = 1; seed <= 25; ++seed) {
+        Design d = testing::randomDesign(seed);
+        DataflowResult df = analyzeDataflow(d, arb);
+        sim::Simulator s(d);
+        s.reset();
+        expectFactsContainSimulation(d, df, s, seed,
+                                     /*scrambleRegs=*/true);
+    }
+}
+
+// --- EvalPlan strengthening ----------------------------------------------
+
+TEST(EvalPlanDataflow, ProvablyConstantLogicFoldsAway)
+{
+    // pad(in4, 8) >> 4 is provably 0, and a comparison against 200 is
+    // provably true — invisible to structural folding, provable by
+    // range analysis even in the arbitrary-state regime.
+    Builder b("shrink");
+    Signal in = b.input("in", 4);
+    Signal wide = b.pad(in, 8);
+    Signal top4 = shru(wide, b.lit(4, 8));
+    Signal always = ltu(wide, b.lit(200, 8));
+    Signal m = b.mux(always, wide + b.lit(1, 8), wide - b.lit(1, 8));
+    b.output("top", top4);
+    b.output("m", m);
+    Design d = b.finish();
+
+    rtl::EvalPlanOptions off;
+    off.dataflow = false;
+    rtl::EvalPlan base = rtl::buildEvalPlan(d, off);
+    rtl::EvalPlan strong = rtl::buildEvalPlan(d);
+    EXPECT_GT(base.hotProgram.size(), strong.hotProgram.size());
+    EXPECT_GT(strong.stats.dfFolded, 0u);
+    EXPECT_GT(strong.stats.dfMuxPruned, 0u);
+
+    // The simulator (which uses the strengthened plan) still computes
+    // the exact values.
+    sim::Simulator s(d);
+    s.reset();
+    for (uint64_t v = 0; v < 16; ++v) {
+        s.poke("in", v);
+        s.evalComb();
+        EXPECT_EQ(s.peek("top"), 0u);
+        EXPECT_EQ(s.peek("m"), (v + 1) & 0xff);
+    }
+}
+
+TEST(EvalPlanDataflow, ValuePreservingAliasing)
+{
+    // sext of a provably-nonnegative value is bit-for-bit its zext,
+    // which CSE/aliasing can then collapse.
+    Builder b("alias");
+    Signal in = b.input("in", 4);
+    Signal wide = b.pad(in, 8);
+    Signal se = b.sext(wide, 16);
+    b.output("o", se);
+    Design d = b.finish();
+
+    rtl::EvalPlan plan = rtl::buildEvalPlan(d);
+    EXPECT_GT(plan.stats.dfAliased, 0u);
+
+    sim::Simulator s(d);
+    s.reset();
+    for (uint64_t v = 0; v < 16; ++v) {
+        s.poke("in", v);
+        s.evalComb();
+        EXPECT_EQ(s.peek("o"), v);
+    }
+}
+
+TEST(EvalPlanDataflow, ReducesHotStepsOnBoom)
+{
+    Design d = cores::buildSoc(cores::SocConfig::boom1w());
+    rtl::EvalPlanOptions off;
+    off.dataflow = false;
+    rtl::EvalPlan base = rtl::buildEvalPlan(d, off);
+    rtl::EvalPlan strong = rtl::buildEvalPlan(d);
+    EXPECT_LT(strong.hotProgram.size(), base.hotProgram.size());
+    EXPECT_GT(strong.stats.dfFolded + strong.stats.dfAliased +
+                  strong.stats.dfMuxPruned,
+              0u);
+}
+
+} // namespace
+} // namespace strober

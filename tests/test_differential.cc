@@ -99,7 +99,13 @@ TEST_P(Differential, RandomDesignLockstep)
 {
     const uint64_t seed = GetParam();
     Design d = randomDesign(seed);
+    // The reference sweep runs on the *unstrengthened* plan (dataflow
+    // folding disabled), so every seed also differentially checks the
+    // known-bits EvalPlan strengthening the other three backends use
+    // by default against a plan that never consulted the facts.
+    setenv("STROBER_SIM_NO_DATAFLOW", "1", 1);
     Simulator full(d, Backend::InterpretedFull);
+    unsetenv("STROBER_SIM_NO_DATAFLOW");
     Simulator act(d, Backend::InterpretedActivity);
     Simulator comp(d, Backend::Compiled);
     Simulator par(d, Backend::CompiledParallel);
@@ -218,6 +224,53 @@ TEST_P(Differential, ResetMidRunStaysEquivalent)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Differential,
                          ::testing::Range<uint64_t>(1, 51));
+
+/**
+ * $STROBER_SIM_NO_DATAFLOW pins the exact property the known-bits
+ * strengthening must preserve: two interpreters differing *only* in
+ * whether buildEvalPlan consulted the dataflow facts are
+ * observationally indistinguishable — every node peek, every register,
+ * every memory word — while the strengthened plan really is smaller
+ * on a design with provably-constant logic.
+ */
+TEST(Differential, DataflowStrengtheningIsObservationallyInvisible)
+{
+    rtl::Builder b("df_invisible");
+    rtl::Signal in = b.input("in", 4);
+    rtl::Signal wide = b.pad(in, 16);
+    // Provably dead logic: high bits of a 4-bit value, an always-true
+    // bound check steering a mux.
+    rtl::Signal hi = shru(wide, b.lit(4, 16));
+    rtl::Signal inBounds = ltu(wide, b.lit(100, 16));
+    b.output("sum", b.mux(inBounds, wide + b.lit(3, 16), hi));
+    b.output("hi", hi);
+    rtl::Signal acc = b.reg("acc", 16, 0);
+    b.next(acc, acc + wide);
+    b.output("acc", acc);
+    Design d = b.finish();
+
+    setenv("STROBER_SIM_NO_DATAFLOW", "1", 1);
+    Simulator plain(d, Backend::InterpretedFull);
+    unsetenv("STROBER_SIM_NO_DATAFLOW");
+    Simulator strong(d, Backend::InterpretedFull);
+    EXPECT_GT(plain.plan().hotProgram.size(),
+              strong.plan().hotProgram.size());
+    EXPECT_GT(strong.plan().stats.dfFolded + strong.plan().stats.dfAliased +
+                  strong.plan().stats.dfMuxPruned,
+              0u);
+    EXPECT_EQ(plain.plan().stats.dfFolded, 0u);
+
+    stats::Rng rng(20260808);
+    for (int cycle = 0; cycle < 200; ++cycle) {
+        uint64_t v = rng.nextBounded(16);
+        plain.poke("in", v);
+        strong.poke("in", v);
+        ASSERT_NO_FATAL_FAILURE(
+            expectStateEqual(d, plain, strong, 0, cycle));
+        plain.step();
+        strong.step();
+    }
+}
 
 /**
  * The whole point of InterpretedActivity: combinational cones whose

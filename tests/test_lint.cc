@@ -438,6 +438,131 @@ TEST(LintWarn, UninitSyncReadDetected)
     EXPECT_FALSE(lint::run(b2.finish()).hasRule("uninit-sync-read"));
 }
 
+// --- dataflow-powered semantic rules --------------------------------------
+
+TEST(LintDataflow, ConstConditionDetected)
+{
+    Builder b("cc");
+    Signal in = b.input("in", 8);
+    Signal en = b.input("en", 1);
+    Signal r = b.reg("r", 8, 0);
+    // en | 1 is provably always asserted: the enable is vacuous.
+    b.next(r, in, en | b.lit(1, 1));
+    b.output("o", r);
+    EXPECT_TRUE(lint::run(b.finish()).hasRule("const-condition"));
+
+    Builder b2("cc_ok");
+    Signal in2 = b2.input("in", 8);
+    Signal en2 = b2.input("en", 1);
+    Signal r2 = b2.reg("r", 8, 0);
+    b2.next(r2, in2, en2);
+    b2.output("o", r2);
+    EXPECT_FALSE(lint::run(b2.finish()).hasRule("const-condition"));
+}
+
+TEST(LintDataflow, NeverEnabledDetected)
+{
+    Builder b("ne");
+    Signal in = b.input("in", 8);
+    Signal en = b.input("en", 1);
+    Signal r = b.reg("r", 8, 0);
+    b.next(r, in, en & b.lit(0, 1));
+    b.output("o", r);
+    EXPECT_TRUE(lint::run(b.finish()).hasRule("never-enabled"));
+
+    Builder b2("ne_ok");
+    Signal in2 = b2.input("in", 8);
+    Signal en2 = b2.input("en", 1);
+    Signal r2 = b2.reg("r", 8, 0);
+    b2.next(r2, in2, en2);
+    b2.output("o", r2);
+    EXPECT_FALSE(lint::run(b2.finish()).hasRule("never-enabled"));
+}
+
+TEST(LintDataflow, NeverEnabledThroughRegisterFeedback)
+{
+    // done starts 0 and can only stay 0 (done & in), so the write port
+    // gated on it can never fire — provable only through the fixed
+    // point across register feedback.
+    Builder b("ne_fb");
+    Signal in = b.input("in", 1);
+    Signal addr = b.input("addr", 4);
+    Signal data = b.input("data", 8);
+    Signal done = b.reg("done", 1, 0);
+    b.next(done, done & in);
+    rtl::MemHandle m = b.mem("buf", 8, 16, false);
+    b.memWrite(m, addr, data, done);
+    b.output("o", b.memRead(m, addr));
+    EXPECT_TRUE(lint::run(b.finish()).hasRule("never-enabled"));
+}
+
+TEST(LintDataflow, UnreachableMuxArmDetected)
+{
+    Builder b("uma");
+    Signal in = b.input("in", 8);
+    Signal sel = b.input("sel", 1);
+    // sel & 0 is provably 0: the then-arm can never be selected.
+    b.output("o", b.mux(sel & b.lit(0, 1), in, in + b.lit(1, 8)));
+    // sel | 1 is provably 1: the else-arm can never be selected.
+    b.output("p", b.mux(sel | b.lit(1, 1), in, in + b.lit(2, 8)));
+    lint::Diagnostics diags = lint::run(b.finish());
+    EXPECT_EQ(diags.countRule("unreachable-mux-arm"), 2u);
+
+    Builder b2("uma_ok");
+    Signal in2 = b2.input("in", 8);
+    Signal sel2 = b2.input("sel", 1);
+    b2.output("o", b2.mux(sel2, in2, in2 + b2.lit(1, 8)));
+    EXPECT_FALSE(lint::run(b2.finish()).hasRule("unreachable-mux-arm"));
+}
+
+TEST(LintDataflow, TruncationDropsBitsDetected)
+{
+    Builder b("tdb");
+    Signal in = b.input("in", 8);
+    // Bit 7 is provably 1 after the or, and [3:0] discards it.
+    b.output("o", (in | b.lit(0x80, 8)).bits(3, 0));
+    EXPECT_TRUE(lint::run(b.finish()).hasRule("truncation-drops-bits"));
+
+    Builder b2("tdb_ok");
+    Signal in2 = b2.input("in", 8);
+    b2.output("o", in2.bits(3, 0));
+    EXPECT_FALSE(lint::run(b2.finish()).hasRule("truncation-drops-bits"));
+}
+
+TEST(LintDataflow, ConstCompareDetected)
+{
+    Builder b("ccmp");
+    Signal in = b.input("in", 4);
+    // pad(in, 8) <= 15 < 200, so the comparison is always true.
+    b.output("o", ltu(b.pad(in, 8), b.lit(200, 8)));
+    EXPECT_TRUE(lint::run(b.finish()).hasRule("const-compare"));
+
+    Builder b2("ccmp_ok");
+    Signal in2 = b2.input("in", 8);
+    b2.output("o", ltu(in2, b2.lit(200, 8)));
+    EXPECT_FALSE(lint::run(b2.finish()).hasRule("const-compare"));
+
+    // Two literal operands are plain dead code, not a semantic finding.
+    Builder b3("ccmp_lit");
+    Signal in3 = b3.input("in", 8);
+    b3.output("o", in3 & b3.pad(ltu(b3.lit(1, 8), b3.lit(2, 8)), 8));
+    EXPECT_FALSE(lint::run(b3.finish()).hasRule("const-compare"));
+}
+
+TEST(LintDataflow, SextNonnegDetected)
+{
+    Builder b("sn");
+    Signal in = b.input("in", 4);
+    // pad(in, 8) has bit 7 provably 0: the sext is a zext in disguise.
+    b.output("o", b.sext(b.pad(in, 8), 16));
+    EXPECT_TRUE(lint::run(b.finish()).hasRule("sext-nonneg"));
+
+    Builder b2("sn_ok");
+    Signal in2 = b2.input("in", 8);
+    b2.output("o", b2.sext(in2, 16));
+    EXPECT_FALSE(lint::run(b2.finish()).hasRule("sext-nonneg"));
+}
+
 // --- cross-layer verification passes --------------------------------------
 
 TEST(LintFame, GatingVerifiesCleanTransform)

@@ -29,6 +29,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cores/soc.h"
 #include "rtl/ir.h"
 #include "rtl/opt.h"
 #include "sim/worker_pool.h"
@@ -278,6 +279,223 @@ TEST(Partition, EmptyPlanYieldsEmptyPartition)
     EXPECT_EQ(part.chunks.size(), 0u);
     EXPECT_EQ(part.numLevels(), 0u);
     EXPECT_EQ(part.dirtyWords(), 0u);
+}
+
+// --- Static race validator (rtl::verifyPartition) -----------------------
+//
+// The real partitioner must prove out clean; each mutation below
+// manufactures exactly one class of violation and must be rejected
+// under its dedicated rule id.
+
+/** A fuzz design whose fine-grained partition has a level with two or
+ *  more chunks and an in-chunk dependency edge — the raw material the
+ *  mutation tests below need. Asserts one exists among the seeds. */
+struct MutationFixture
+{
+    Design d;
+    EvalPlan plan;
+    EvalPartition part;
+
+    MutationFixture() : d(testing::randomDesign(1))
+    {
+        for (uint64_t seed = 1; seed <= 50; ++seed) {
+            d = testing::randomDesign(seed);
+            plan = rtl::buildEvalPlan(d);
+            part = rtl::partitionEvalPlan(plan, d.mems().size(),
+                                          /*clusters=*/3,
+                                          /*minLevelSteps=*/4);
+            if (findSplittableStep(nullptr, nullptr))
+                return;
+        }
+        ADD_FAILURE() << "no fuzz seed yields a splittable partition";
+    }
+
+    /** Find a hot step movable to a sibling chunk of its own level such
+     *  that an in-chunk dependency becomes a same-level cross-chunk
+     *  edge. Writes the step and the destination chunk when found. */
+    bool
+    findSplittableStep(uint32_t *stepOut, uint32_t *destChunkOut) const
+    {
+        std::vector<uint32_t> producer = producerMap(plan);
+        for (uint32_t i = 0; i < plan.hotProgram.size(); ++i) {
+            uint32_t myChunk = part.stepChunk[i];
+            if (part.chunks[myChunk].steps.size() < 2)
+                continue; // moving i would leave an empty chunk
+            uint32_t lvl = part.chunks[myChunk].level;
+            if (part.levelBegin[lvl + 1] - part.levelBegin[lvl] < 2)
+                continue; // no sibling chunk to move to
+            bool inChunkDep = false;
+            forEachOperand(plan.hotProgram[i], [&](SlotId slot) {
+                uint32_t p = producer[slot];
+                if (p != UINT32_MAX && p != i &&
+                    part.stepChunk[p] == myChunk)
+                    inChunkDep = true;
+            });
+            if (!inChunkDep)
+                continue;
+            for (uint32_t c = part.levelBegin[lvl];
+                 c < part.levelBegin[lvl + 1]; ++c) {
+                if (c == myChunk)
+                    continue;
+                if (stepOut)
+                    *stepOut = i;
+                if (destChunkOut)
+                    *destChunkOut = c;
+                return true;
+            }
+        }
+        return false;
+    }
+};
+
+TEST(VerifyPartition, RealPartitionsProveClean)
+{
+    MutationFixture fx;
+    lint::Diagnostics diags =
+        rtl::verifyPartition(fx.plan, fx.part, fx.d.mems().size());
+    EXPECT_EQ(diags.errorCount(), 0u) << diags.str();
+
+    // Default-grain partitions of every fuzz seed must also prove out.
+    for (uint64_t seed = 1; seed <= 50; ++seed) {
+        Design d = testing::randomDesign(seed);
+        EvalPlan plan = rtl::buildEvalPlan(d);
+        EvalPartition part =
+            rtl::partitionEvalPlan(plan, d.mems().size());
+        lint::Diagnostics dg =
+            rtl::verifyPartition(plan, part, d.mems().size());
+        EXPECT_EQ(dg.errorCount(), 0u) << "seed " << seed << "\n"
+                                       << dg.str();
+    }
+}
+
+TEST(VerifyPartition, DuplicateStepRejected)
+{
+    MutationFixture fx;
+    // List one hot step in a second chunk as well.
+    uint32_t victim = fx.part.chunks[0].steps[0];
+    ASSERT_GE(fx.part.chunks.size(), 2u);
+    fx.part.chunks[1].steps.push_back(victim);
+    std::sort(fx.part.chunks[1].steps.begin(),
+              fx.part.chunks[1].steps.end());
+    lint::Diagnostics diags =
+        rtl::verifyPartition(fx.plan, fx.part, fx.d.mems().size());
+    EXPECT_TRUE(diags.hasRule("partition-coverage")) << diags.str();
+}
+
+TEST(VerifyPartition, MissingStepRejected)
+{
+    MutationFixture fx;
+    uint32_t c = 0;
+    while (fx.part.chunks[c].steps.size() < 2)
+        ++c;
+    fx.part.chunks[c].steps.pop_back();
+    lint::Diagnostics diags =
+        rtl::verifyPartition(fx.plan, fx.part, fx.d.mems().size());
+    EXPECT_TRUE(diags.hasRule("partition-coverage")) << diags.str();
+}
+
+TEST(VerifyPartition, SplitSameLevelDependencyRejected)
+{
+    MutationFixture fx;
+    uint32_t step = 0, dest = 0;
+    ASSERT_TRUE(fx.findSplittableStep(&step, &dest));
+    uint32_t src = fx.part.stepChunk[step];
+    auto &steps = fx.part.chunks[src].steps;
+    steps.erase(std::find(steps.begin(), steps.end(), step));
+    auto &destSteps = fx.part.chunks[dest].steps;
+    destSteps.insert(std::upper_bound(destSteps.begin(), destSteps.end(),
+                                      step),
+                     step);
+    fx.part.stepChunk[step] = dest;
+    lint::Diagnostics diags =
+        rtl::verifyPartition(fx.plan, fx.part, fx.d.mems().size());
+    EXPECT_TRUE(diags.hasRule("partition-level-race")) << diags.str();
+}
+
+TEST(VerifyPartition, MissingDirtyClosureEdgeRejected)
+{
+    MutationFixture fx;
+    // Remove the first CSR consumer entry of some slot that has one.
+    SlotId slot = 0;
+    while (slot < fx.plan.numSlots &&
+           fx.part.slotChunksBegin[slot] ==
+               fx.part.slotChunksBegin[slot + 1])
+        ++slot;
+    ASSERT_LT(slot, fx.plan.numSlots) << "no slot has consumers";
+    fx.part.slotChunks.erase(fx.part.slotChunks.begin() +
+                             fx.part.slotChunksBegin[slot]);
+    for (SlotId s = slot + 1; s <= fx.plan.numSlots; ++s)
+        --fx.part.slotChunksBegin[s];
+    lint::Diagnostics diags =
+        rtl::verifyPartition(fx.plan, fx.part, fx.d.mems().size());
+    EXPECT_TRUE(diags.hasRule("partition-dirty-closure")) << diags.str();
+}
+
+TEST(VerifyPartition, ClearedMemChunksRejected)
+{
+    // rocket's caches give the plan hot async memory reads.
+    Design d = cores::buildSoc(cores::SocConfig::rocket());
+    EvalPlan plan = rtl::buildEvalPlan(d);
+    EvalPartition part = rtl::partitionEvalPlan(plan, d.mems().size());
+    ASSERT_EQ(rtl::verifyPartition(plan, part, d.mems().size())
+                  .errorCount(),
+              0u);
+    size_t mem = 0;
+    while (mem < part.memChunks.size() && part.memChunks[mem].empty())
+        ++mem;
+    ASSERT_LT(mem, part.memChunks.size()) << "no hot async mem read";
+    part.memChunks[mem].clear();
+    lint::Diagnostics diags =
+        rtl::verifyPartition(plan, part, d.mems().size());
+    EXPECT_TRUE(diags.hasRule("partition-dirty-closure")) << diags.str();
+}
+
+TEST(VerifyPartition, DoubleWriterRejected)
+{
+    MutationFixture fx;
+    // Retarget a store so two chunks of one level write the same slot.
+    uint32_t first = UINT32_MAX, second = UINT32_MAX;
+    for (uint32_t i = 0;
+         i < fx.plan.hotProgram.size() && second == UINT32_MAX; ++i) {
+        for (uint32_t j = i + 1; j < fx.plan.hotProgram.size(); ++j) {
+            uint32_t ci = fx.part.stepChunk[i];
+            uint32_t cj = fx.part.stepChunk[j];
+            if (ci != cj &&
+                fx.part.chunks[ci].level == fx.part.chunks[cj].level) {
+                first = i;
+                second = j;
+                break;
+            }
+        }
+    }
+    ASSERT_NE(second, UINT32_MAX) << "no same-level chunk pair";
+    fx.plan.hotProgram[second].dst = fx.plan.hotProgram[first].dst;
+    lint::Diagnostics diags =
+        rtl::verifyPartition(fx.plan, fx.part, fx.d.mems().size());
+    EXPECT_TRUE(diags.hasRule("partition-double-writer")) << diags.str();
+}
+
+TEST(VerifyPartition, BrokenGeometryRejectedEarly)
+{
+    MutationFixture fx;
+    fx.part.stepChunk.pop_back();
+    lint::Diagnostics diags =
+        rtl::verifyPartition(fx.plan, fx.part, fx.d.mems().size());
+    EXPECT_TRUE(diags.hasRule("partition-geometry")) << diags.str();
+    // Geometry failures abort the remaining checks: only that rule.
+    for (const lint::Diagnostic &dg : diags.all())
+        EXPECT_EQ(dg.rule, "partition-geometry");
+}
+
+TEST(VerifyPartition, Boom2wRealPartitionProvesClean)
+{
+    Design d = cores::buildSoc(cores::SocConfig::boom2w());
+    EvalPlan plan = rtl::buildEvalPlan(d);
+    EvalPartition part = rtl::partitionEvalPlan(plan, d.mems().size());
+    lint::Diagnostics diags =
+        rtl::verifyPartition(plan, part, d.mems().size());
+    EXPECT_EQ(diags.errorCount(), 0u) << diags.str();
+    EXPECT_GT(part.chunks.size(), 1u);
 }
 
 // --- Thread-count resolution and the worker pool -----------------------

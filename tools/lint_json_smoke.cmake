@@ -1,0 +1,54 @@
+# Smoke test for strober-lint --json / --disable (driven by ctest; see
+# tools/CMakeLists.txt). Checks that the JSON findings file is written,
+# is syntactically valid, agrees with the expected warning set on the
+# rocket core, and that --disable removes a rule's findings.
+
+set(json "${WORK_DIR}/lint_smoke.json")
+
+execute_process(
+    COMMAND ${LINT_CLI} --json ${json} rocket
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "strober-lint --json failed (rc=${rc}): ${err}")
+endif()
+if(NOT EXISTS ${json})
+    message(FATAL_ERROR "--json did not write ${json}")
+endif()
+
+file(READ ${json} content)
+# string(JSON) validates syntax and lets us count the findings array.
+string(JSON nfindings LENGTH ${content} "findings")
+if(nfindings LESS 1)
+    message(FATAL_ERROR "expected findings on rocket, got ${nfindings}")
+endif()
+string(JSON rule GET ${content} "findings" 0 "rule")
+string(JSON sev GET ${content} "findings" 0 "severity")
+if(NOT sev STREQUAL "warning")
+    message(FATAL_ERROR "rocket must have warning-severity findings, "
+                        "first was '${sev}'")
+endif()
+
+# Disabling the first reported rule must remove its findings.
+execute_process(
+    COMMAND ${LINT_CLI} --json ${json} --disable ${rule} rocket
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "strober-lint --disable failed (rc=${rc}): ${err}")
+endif()
+file(READ ${json} content)
+string(JSON remaining LENGTH ${content} "findings")
+if(NOT remaining LESS nfindings)
+    message(FATAL_ERROR "--disable ${rule} left ${remaining} findings "
+                        "(had ${nfindings})")
+endif()
+string(JSON i LENGTH ${content} "findings")
+math(EXPR last "${remaining} - 1")
+foreach(idx RANGE 0 ${last})
+    string(JSON r GET ${content} "findings" ${idx} "rule")
+    if(r STREQUAL rule)
+        message(FATAL_ERROR "--disable ${rule} still reported it")
+    endif()
+endforeach()
+
+message(STATUS "lint --json smoke OK (${nfindings} -> ${remaining} "
+               "findings after --disable ${rule})")

@@ -9,6 +9,8 @@
  *   strober-lint --fame rocket        # + FAME1 gating / scan coverage
  *   strober-lint --werror             # exit 1 on warnings too
  *   strober-lint --rules              # list the registered rules
+ *   strober-lint --json out.json      # machine-readable findings
+ *   strober-lint --disable a,b        # skip the listed rule ids
  *
  * Exit status: 0 when every linted design is clean of errors (and of
  * warnings under --werror), 1 otherwise.
@@ -68,6 +70,81 @@ report(const char *subject, const lint::Diagnostics &diags, bool werror)
     return diags.errorCount() + (werror ? diags.warningCount() : 0);
 }
 
+/** Escape @p s for inclusion in a JSON string literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strfmt("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+/** Findings accumulated across designs for --json. */
+struct JsonFinding
+{
+    std::string design;
+    lint::Diagnostic diag;
+};
+
+void
+writeJson(const std::string &path, const std::vector<JsonFinding> &all)
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot write '%s'", path.c_str());
+    std::fprintf(f, "{\n  \"findings\": [\n");
+    for (size_t i = 0; i < all.size(); ++i) {
+        const JsonFinding &jf = all[i];
+        std::fprintf(
+            f,
+            "    {\"design\": \"%s\", \"rule\": \"%s\", "
+            "\"severity\": \"%s\", \"node\": %lld, \"path\": \"%s\", "
+            "\"message\": \"%s\"}%s\n",
+            jsonEscape(jf.design).c_str(),
+            jsonEscape(jf.diag.rule).c_str(),
+            lint::severityName(jf.diag.severity),
+            jf.diag.node == rtl::kNoNode
+                ? -1ll
+                : static_cast<long long>(jf.diag.node),
+            jsonEscape(jf.diag.path).c_str(),
+            jsonEscape(jf.diag.message).c_str(),
+            i + 1 < all.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+}
+
+/** Split a comma-separated rule list ("a,b,c"). */
+std::vector<std::string>
+splitRules(const std::string &arg)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= arg.size()) {
+        size_t comma = arg.find(',', start);
+        if (comma == std::string::npos)
+            comma = arg.size();
+        if (comma > start)
+            out.push_back(arg.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
 } // namespace
 
 int
@@ -75,6 +152,8 @@ main(int argc, char **argv)
 {
     bool fame = false;
     bool werror = false;
+    std::string jsonPath;
+    lint::Options options;
     std::vector<std::string> names;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--fame")) {
@@ -83,9 +162,23 @@ main(int argc, char **argv)
             werror = true;
         } else if (!std::strcmp(argv[i], "--rules")) {
             return listRules();
+        } else if (!std::strcmp(argv[i], "--json")) {
+            if (++i >= argc)
+                fatal("--json needs a path argument");
+            jsonPath = argv[i];
+        } else if (!std::strcmp(argv[i], "--disable")) {
+            if (++i >= argc)
+                fatal("--disable needs a comma-separated rule list");
+            for (std::string &rule : splitRules(argv[i])) {
+                if (!lint::Registry::global().find(rule))
+                    fatal("--disable: unknown rule '%s' (try --rules)",
+                          rule.c_str());
+                options.disabled.push_back(std::move(rule));
+            }
         } else if (!std::strcmp(argv[i], "--help")) {
             std::printf("usage: strober-lint [--fame] [--werror] "
-                        "[--rules] [core...]\n");
+                        "[--rules] [--json <path>] "
+                        "[--disable <rule,...>] [core...]\n");
             return 0;
         } else if (argv[i][0] == '-') {
             fatal("unknown option '%s' (try --help)", argv[i]);
@@ -97,10 +190,19 @@ main(int argc, char **argv)
         names = {"rocket", "boom1w", "boom2w"};
 
     size_t failures = 0;
+    std::vector<JsonFinding> jsonFindings;
+    auto collect = [&](const std::string &design,
+                       const lint::Diagnostics &diags) {
+        if (jsonPath.empty())
+            return;
+        for (const lint::Diagnostic &d : diags.all())
+            jsonFindings.push_back({design, d});
+    };
     for (const std::string &name : names) {
         rtl::Design design = cores::buildSoc(coreByName(name));
-        lint::Diagnostics diags = lint::run(design);
+        lint::Diagnostics diags = lint::run(design, options);
         failures += report(name.c_str(), diags, werror);
+        collect(name, diags);
         std::printf("%s: %zu error(s), %zu warning(s) over %zu nodes\n",
                     name.c_str(), diags.errorCount(),
                     diags.warningCount(), design.numNodes());
@@ -112,9 +214,12 @@ main(int argc, char **argv)
                 lint::verifyFame1Gating(f1.design, f1.hostEnable);
             gating.merge(fame::verifyScanCoverage(f1.design));
             failures += report(subject.c_str(), gating, werror);
+            collect(subject, gating);
             std::printf("%s: gating + scan coverage %s\n", subject.c_str(),
                         gating.hasErrors() ? "FAILED" : "verified");
         }
     }
+    if (!jsonPath.empty())
+        writeJson(jsonPath, jsonFindings);
     return failures ? 1 : 0;
 }
