@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include "codegen/codegen.h"
+#include "util/env.h"
 #include "util/logging.h"
 
 #ifndef STROBER_HOST_CXX
@@ -25,13 +26,6 @@ using util::Status;
 using util::errorf;
 
 namespace {
-
-bool
-envSet(const char *name)
-{
-    const char *v = std::getenv(name);
-    return v != nullptr && v[0] != '\0';
-}
 
 /** Can @p compiler be invoked? (`command -v` through the shell, so
  *  both bare names on $PATH and absolute paths work.) */
@@ -79,7 +73,7 @@ CompiledSim::~CompiledSim()
 std::string
 hostCompiler()
 {
-    if (envSet("STROBER_DISABLE_JIT"))
+    if (util::envFlag("STROBER_DISABLE_JIT"))
         return "";
     const char *env = std::getenv("STROBER_CXX");
     if (env != nullptr && env[0] != '\0')

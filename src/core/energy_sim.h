@@ -45,6 +45,7 @@ class StallPlan;
 namespace core {
 
 class ReplayExecutor;
+struct JobControl;
 
 /** Performance results of the fast simulation phase. */
 struct RunStats
@@ -192,6 +193,14 @@ class EnergySimulator
          *  re-estimate of an unchanged design replays nothing. Any
          *  executor must produce bit-identical reports (not owned). */
         ReplayExecutor *replayExecutor = nullptr;
+        /** Optional job-scoped cancel/deadline flags (core/job_control.h,
+         *  not owned). A passed deadline turns not-yet-started replays
+         *  into deterministic TimedOut outcomes (degraded report); a
+         *  cancel makes the farm orchestrator checkpoint and return
+         *  ErrorCode::Canceled so a later run resumes bit-identically.
+         *  Mutable because the flags are atomics the supervisor side
+         *  stores to while replay threads poll. */
+        JobControl *job = nullptr;
     };
 
     EnergySimulator(const rtl::Design &target, Config config);

@@ -1,0 +1,30 @@
+#include "core/job_control.h"
+
+#include "util/env.h"
+
+namespace strober {
+namespace core {
+
+bool
+JobControl::deadlineExpired() const
+{
+    uint64_t dl = deadlineUnixMs.load(std::memory_order_relaxed);
+    return dl != 0 && util::nowUnixMs() >= dl;
+}
+
+void
+JobControl::armDeadline(uint64_t budgetMs)
+{
+    uint64_t dl = budgetMs == 0 ? 0 : util::nowUnixMs() + budgetMs;
+    deadlineUnixMs.store(dl, std::memory_order_relaxed);
+}
+
+JobControl &
+globalJobControl()
+{
+    static JobControl control;
+    return control;
+}
+
+} // namespace core
+} // namespace strober

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Cooperative cancellation and deadlines for long-running estimate
+ * jobs (the service tier's supervision contract).
+ *
+ * A JobControl is a pair of lock-free flags shared between whoever
+ * supervises a job (daemon runner thread, signal handler, test) and
+ * the replay pipeline executing it:
+ *
+ *  - `cancel` requests a graceful *drain*: stop at the next safe
+ *    checkpoint, persist progress (leases reverted to Pending), and
+ *    return ErrorCode::Canceled. Nothing is quarantined — a later run
+ *    resumes and produces the bit-identical report.
+ *  - `deadlineUnixMs` is a hard wall-clock budget: replays that have
+ *    not *started* by the deadline are recorded as deterministic
+ *    SnapshotStatus::TimedOut outcomes, so the job still terminates
+ *    with a (degraded) report whose surviving numbers obey the pure
+ *    replay function. A timed-out job is a *result*, a drained job is
+ *    a checkpoint.
+ *
+ * Both fields are plain atomics so a signal handler may store to them
+ * (async-signal-safe) and replay worker threads may poll them without
+ * locks.
+ */
+
+#ifndef STROBER_CORE_JOB_CONTROL_H
+#define STROBER_CORE_JOB_CONTROL_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace strober {
+namespace core {
+
+/** Shared cancel/deadline flags for one estimate job. */
+struct JobControl
+{
+    /** Drain request: checkpoint at the next boundary and stop. */
+    std::atomic<bool> cancel{false};
+
+    /** Absolute wall-clock deadline (unix epoch ms); 0 = none. */
+    std::atomic<uint64_t> deadlineUnixMs{0};
+
+    bool canceled() const
+    {
+        return cancel.load(std::memory_order_relaxed);
+    }
+
+    /** True once the wall clock has passed an armed deadline. */
+    bool deadlineExpired() const;
+
+    /** Either drain requested or deadline passed. */
+    bool stopRequested() const
+    {
+        return canceled() || deadlineExpired();
+    }
+
+    /** Arm the deadline @p budgetMs from now (0 disarms). */
+    void armDeadline(uint64_t budgetMs);
+
+    /** Clear both flags (reuse between jobs). */
+    void reset()
+    {
+        cancel.store(false, std::memory_order_relaxed);
+        deadlineUnixMs.store(0, std::memory_order_relaxed);
+    }
+};
+
+/**
+ * Process-wide JobControl for single-job processes (farm worker, CLI
+ * run): SIGTERM handlers store to it, the orchestrator polls it.
+ */
+JobControl &globalJobControl();
+
+} // namespace core
+} // namespace strober
+
+#endif // STROBER_CORE_JOB_CONTROL_H

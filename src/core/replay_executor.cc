@@ -5,6 +5,7 @@
 #include <map>
 #include <thread>
 
+#include "core/job_control.h"
 #include "inject/fault_injector.h"
 #include "util/logging.h"
 
@@ -53,6 +54,17 @@ replaySnapshot(gate::GateSimulator &gsim, const ReplayContext &ctx,
     oc.index = unit.index;
     oc.cycle = unit.snap->cycle();
     const EnergySimulator::Config &cfg = ctx.cfg;
+    // Job deadline: a replay that has not started by the deadline is
+    // recorded as a deterministic TimedOut outcome (attempts = 0, fixed
+    // detail string) so the degraded report's bytes depend only on
+    // *which* snapshots were cut off, never on wall-clock noise — and
+    // the job still terminates with survivors-only statistics.
+    if (cfg.job != nullptr && cfg.job->deadlineExpired()) {
+        oc.status = SnapshotStatus::TimedOut;
+        oc.attempts = 0;
+        oc.detail = "job deadline exceeded before replay";
+        return out;
+    }
     const unsigned maxAttempts = cfg.retryFaultySnapshots ? 2 : 1;
     for (unsigned attempt = 0; attempt < maxAttempts; ++attempt) {
         oc.attempts = attempt + 1;

@@ -4,9 +4,11 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/job_control.h"
 #include "gate/netlist.h"
 #include "inject/fault_injector.h"
 #include "power/power_analysis.h"
+#include "util/env.h"
 #include "util/logging.h"
 
 namespace strober {
@@ -354,17 +356,36 @@ FarmOrchestrator::workShard(unsigned shard)
     uint64_t budget = core::resolveReplayBudget(applied, *synth);
     gate::GateSimulator gsim(synth->netlist);
 
+    core::JobControl *job = cfg.sim.job;
+
     // Drain our own shard: lease → cache-or-replay → publish → done.
     // One atomic manifest write per state change; a SIGKILL leaves at
-    // most one entry Leased, which the next reader reclaims.
+    // most one entry Leased, which the next reader reclaims (on resume,
+    // or by lease expiry while the run is still live).
     for (ManifestEntry &e : m.entries) {
         if (e.state == EntryState::Done ||
             e.state == EntryState::Quarantined)
             continue;
+        // Graceful drain: stop before taking new work. Everything not
+        // yet leased stays Pending; the queue on disk already says so.
+        if (job != nullptr && job->canceled())
+            return Status::ok();
         e.state = EntryState::Leased;
+        e.leaseDeadlineUnixMs = util::nowUnixMs() + cfg.leaseDurationMs;
         Status st = writeManifestFile(manifestPath(shard), m);
         if (!st.isOk())
             return st;
+
+        if (cfg.entryHook)
+            cfg.entryHook(shard, e);
+        if (job != nullptr && job->canceled()) {
+            // Drain arrived after the lease was persisted: checkpoint
+            // by reverting it to Pending — never a quarantine, so the
+            // resumed run replays it and reports bit-identically.
+            e.state = EntryState::Pending;
+            e.leaseDeadlineUnixMs = 0;
+            return writeManifestFile(manifestPath(shard), m);
+        }
 
         if (store.lookup(e.key)) {
             e.state = EntryState::Done; // stolen or previous-run result
@@ -394,22 +415,32 @@ FarmOrchestrator::workShard(unsigned shard)
             return st;
     }
 
-    // Work stealing: replay other shards' pending entries, publishing
-    // to the content-addressed cache ONLY. The owner (or the collector)
-    // observes the hit and marks the entry done — no manifest is ever
-    // written by a non-owner, so there is nothing to race on.
+    // Work stealing: replay other shards' pending entries — plus
+    // entries whose lease has expired on the wall clock (their worker
+    // is dead or wedged; waiting for it would serialize the farm on
+    // its corpse) — publishing to the content-addressed cache ONLY.
+    // The owner (or the collector) observes the hit and marks the
+    // entry done — no manifest is ever written by a non-owner, so
+    // there is nothing to race on. Note the expiry demotion here is
+    // in-memory only: if the leaseholder is merely slow and finishes
+    // anyway, both workers store the same content-addressed bytes.
     for (uint32_t other = 0; other < m.shards; ++other) {
         if (other == shard)
             continue;
+        if (job != nullptr && job->canceled())
+            return Status::ok();
         Result<ShardManifest> omr =
             readManifestFile(manifestPath(other), /*reclaimLeases=*/false);
         if (!omr.isOk())
             continue; // mid-rewrite or missing; its owner handles it
         if (!checkCompatible(*omr).isOk())
             continue;
+        reclaimLeases(*omr, util::nowUnixMs());
         for (const ManifestEntry &e : omr->entries) {
             if (e.state != EntryState::Pending)
                 continue;
+            if (job != nullptr && job->canceled())
+                return Status::ok();
             if (store.lookup(e.key))
                 continue;
             ReplayRecord rec = replayEntry(gsim, *omr, e, applied, budget);
@@ -504,6 +535,18 @@ FarmOrchestrator::collect()
                     // Unfinished entry, or a Done entry whose cache file
                     // was lost/corrupted: replay inline. One recompute,
                     // never a wrong number.
+                    if (cfg.sim.job != nullptr && cfg.sim.job->canceled()) {
+                        // Drain mid-collect: persist the Done markings
+                        // observed so far, then checkpoint. The next
+                        // collect() resumes from the cache and produces
+                        // the bit-identical report.
+                        if (dirty)
+                            writeManifestFile(manifestPath(m.shard), m);
+                        return errorf(ErrorCode::Canceled,
+                                      "collect drained before snapshot "
+                                      "%llu; run is checkpointed",
+                                      (unsigned long long)e.index);
+                    }
                     if (!gsim) {
                         gsim = std::make_unique<gate::GateSimulator>(
                             synth->netlist);

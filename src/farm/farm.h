@@ -27,6 +27,7 @@
 #ifndef STROBER_FARM_FARM_H
 #define STROBER_FARM_FARM_H
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -84,6 +85,15 @@ struct FarmConfig
     core::EnergySimulator::Config sim; //!< replay + aggregation knobs
     std::string coreName;              //!< design name (worker respawn)
     std::string workloadName;          //!< informational
+    /** Wall-clock lease duration: a Leased entry whose deadline passes
+     *  is presumed held by a dead or wedged worker, and peers reclaim
+     *  it (steal phase) without waiting for the process to exit. Must
+     *  comfortably exceed one replay's wall time. */
+    uint64_t leaseDurationMs = 10 * 60 * 1000;
+    /** Test hook: called right after an entry is leased, before its
+     *  replay. Fault-injection tests raise signals here to probe the
+     *  crash-only lifecycle at a deterministic point. */
+    std::function<void(unsigned shard, const ManifestEntry &)> entryHook;
 
     /** The effective cache directory. */
     std::string effectiveCacheDir() const
@@ -125,10 +135,17 @@ class FarmOrchestrator
      * it from the cache or replay it, publish the result, mark the
      * entry done (or quarantined) — one atomic manifest write per state
      * change. After draining its own shard the worker steals other
-     * shards' pending entries, publishing results to the cache only
+     * shards' pending entries — plus entries whose lease deadline has
+     * expired (a wedged peer) — publishing results to the cache only
      * (never writing a foreign manifest); owners and the collector
      * observe the hits. Fails if the manifest was planned against a
      * different design/config/power model.
+     *
+     * Honors cfg.sim.job: a cancel (drain) checkpoints — the in-flight
+     * lease reverts to Pending and the call returns ok with the rest
+     * of the queue untouched, so a later run resumes bit-identically.
+     * A passed deadline turns remaining replays into deterministic
+     * TimedOut quarantines (the job terminates with a degraded report).
      */
     util::Status workShard(unsigned shard);
 
@@ -138,7 +155,9 @@ class FarmOrchestrator
      * entry was lost or corrupted) inline. Must run after the workers
      * have exited. The report is bit-identical to a plain in-process
      * estimate() of the same sample — for any shard count, worker
-     * count, kill/resume history or cache state.
+     * count, kill/resume history or cache state. A cancel via
+     * cfg.sim.job checkpoints and returns ErrorCode::Canceled instead
+     * of a report.
      */
     util::Result<core::EnergyReport> collect();
 

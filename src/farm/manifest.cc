@@ -18,7 +18,10 @@ using util::Status;
 namespace {
 
 constexpr uint64_t kManifestMagic = 0x5354524246524d31ull; // "STRBFRM1"
-constexpr uint32_t kManifestVersion = 1;
+// v2 added ManifestEntry.leaseDeadlineUnixMs (time-based lease expiry
+// for the service tier). v1 manifests are still read; their leases
+// carry deadline 0, which reclaimLeases() treats as already expired.
+constexpr uint32_t kManifestVersion = 2;
 
 } // namespace
 
@@ -79,6 +82,25 @@ shardManifestName(uint32_t shard)
     return "shard_" + std::to_string(shard) + ".strbfarm";
 }
 
+size_t
+reclaimLeases(ShardManifest &manifest, uint64_t nowUnixMs)
+{
+    size_t reclaimed = 0;
+    for (ManifestEntry &e : manifest.entries) {
+        if (e.state != EntryState::Leased)
+            continue;
+        // deadline == now counts as expired: the lease promised work
+        // *before* now, and a worker that has not delivered by its own
+        // deadline forfeits the entry.
+        if (e.leaseDeadlineUnixMs <= nowUnixMs) {
+            e.state = EntryState::Pending;
+            e.leaseDeadlineUnixMs = 0;
+            ++reclaimed;
+        }
+    }
+    return reclaimed;
+}
+
 Status
 writeManifestFile(const std::string &path, const ShardManifest &m)
 {
@@ -111,6 +133,7 @@ writeManifestFile(const std::string &path, const ShardManifest &m)
         w.u64(e.key.lo);
         w.u64(static_cast<uint64_t>(e.state));
         w.u64(e.injectedStallCycles);
+        w.u64(e.leaseDeadlineUnixMs);
         w.u64(e.failStatus);
         w.u64(e.failAttempts);
         w.u64(e.failRetried);
@@ -166,7 +189,7 @@ readManifestFile(const std::string &path, bool reclaimLeases)
                       path.c_str());
     }
     uint64_t version = r.u64();
-    if (version != kManifestVersion) {
+    if (version < 1 || version > kManifestVersion) {
         return errorf(ErrorCode::Unsupported,
                       "'%s': unsupported manifest version %llu",
                       path.c_str(), (unsigned long long)version);
@@ -210,14 +233,17 @@ readManifestFile(const std::string &path, bool reclaimLeases)
         }
         e.state = static_cast<EntryState>(state);
         e.injectedStallCycles = r.u64();
+        e.leaseDeadlineUnixMs = version >= 2 ? r.u64() : 0;
         e.failStatus = static_cast<uint32_t>(r.u64());
         e.failAttempts = static_cast<uint32_t>(r.u64());
         e.failRetried = static_cast<uint32_t>(r.u64());
         e.failMismatches = r.u64();
         e.failLoadSeconds = r.f64();
         e.failDetail = r.str();
-        if (reclaimLeases && e.state == EntryState::Leased)
+        if (reclaimLeases && e.state == EntryState::Leased) {
             e.state = EntryState::Pending;
+            e.leaseDeadlineUnixMs = 0;
+        }
     }
     if (!r.atEnd()) {
         return errorf(ErrorCode::Corrupt,

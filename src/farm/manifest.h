@@ -65,6 +65,12 @@ struct ManifestEntry
     CacheKey key;             //!< content-address of its replay result
     EntryState state = EntryState::Pending;
     uint64_t injectedStallCycles = 0; //!< fault-injection plan (tests)
+    /** Wall-clock expiry of a Leased entry (unix epoch ms). A lease
+     *  past its deadline is presumed held by a wedged or dead worker:
+     *  reclaimLeases() demotes it to Pending so peers can steal the
+     *  work. 0 (manifest v1, or a lease taken without a duration)
+     *  counts as already expired. Meaningless for non-Leased states. */
+    uint64_t leaseDeadlineUnixMs = 0;
 
     // Recorded outcome for Quarantined entries (Done entries live in
     // the result cache; quarantines are per-run, not content, so they
@@ -127,6 +133,16 @@ util::Status writeManifestFile(const std::string &path,
  */
 util::Result<ShardManifest> readManifestFile(const std::string &path,
                                              bool reclaimLeases);
+
+/**
+ * Demote every Leased entry whose lease deadline has passed (deadline
+ * <= @p nowUnixMs, with 0 = unknown counting as expired) back to
+ * Pending, so live peers can steal work a wedged worker sat on without
+ * waiting for process exit. Live leases (deadline strictly in the
+ * future) are untouched. Returns the number of leases reclaimed; the
+ * caller persists the manifest if it cares.
+ */
+size_t reclaimLeases(ShardManifest &manifest, uint64_t nowUnixMs);
 
 } // namespace farm
 } // namespace strober

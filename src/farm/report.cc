@@ -1,0 +1,47 @@
+#include "farm/report.h"
+
+#include "util/logging.h"
+
+namespace strober {
+namespace farm {
+
+std::string
+renderReportDeterministic(const core::EnergyReport &rep)
+{
+    std::string out;
+    out += strfmt("population %llu\n", (unsigned long long)rep.population);
+    out += strfmt("snapshots %zu dropped %zu mismatches %llu\n",
+                  rep.snapshots, rep.droppedSnapshots,
+                  (unsigned long long)rep.replayMismatches);
+    out += strfmt("valid %d degraded %d\n", rep.valid ? 1 : 0,
+                  rep.degraded ? 1 : 0);
+    out += strfmt("status %s\n", rep.statusMessage.c_str());
+    out += strfmt("mean %.13a halfwidth %.13a confidence %.13a\n",
+                  rep.averagePower.mean, rep.averagePower.halfWidth,
+                  rep.averagePower.confidence);
+    out += strfmt("modeled-load-seconds %.13a\n", rep.modeledLoadSeconds);
+    for (const core::GroupEstimate &g : rep.groups) {
+        out += strfmt("group %s mean %.13a halfwidth %.13a\n",
+                      g.group.c_str(), g.power.mean, g.power.halfWidth);
+    }
+    for (const core::SnapshotOutcome &oc : rep.outcomes) {
+        out += strfmt("outcome %zu cycle %llu %s attempts %u retried %d "
+                      "mismatches %llu\n",
+                      oc.index, (unsigned long long)oc.cycle,
+                      core::snapshotStatusName(oc.status), oc.attempts,
+                      oc.retriedOnAlternateLoader ? 1 : 0,
+                      (unsigned long long)oc.mismatches);
+    }
+    return out;
+}
+
+int
+reportExitCode(const core::EnergyReport &rep)
+{
+    if (!rep.valid)
+        return 3;
+    return rep.degraded || rep.replayMismatches ? 1 : 0;
+}
+
+} // namespace farm
+} // namespace strober

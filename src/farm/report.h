@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Deterministic report rendering and the CLI/service exit-code
+ * convention, shared by `strober-farm`, the `strober-serve` daemon and
+ * the test suites (they compare report files with `cmp`, so rendering
+ * must be byte-stable across runs, workers, caches and kill histories).
+ */
+
+#ifndef STROBER_FARM_REPORT_H
+#define STROBER_FARM_REPORT_H
+
+#include <string>
+
+#include "core/energy_sim.h"
+
+namespace strober {
+namespace farm {
+
+/**
+ * Deterministic text rendering of a report. Doubles are printed as
+ * %.13a hex-floats, so two bit-identical reports produce byte-identical
+ * files and `cmp` is a sufficient bit-identity check (the CI
+ * kill/resume and service smoke tests rely on this). Wall-clock times
+ * and cache hit/miss counts are deliberately excluded: they
+ * legitimately differ between cold, warm and resumed runs while the
+ * *estimate* must not.
+ */
+std::string renderReportDeterministic(const core::EnergyReport &rep);
+
+/**
+ * Exit-code convention shared by `strober run`, `strober-farm` and the
+ * daemon's client mode: 0 clean estimate, 1 degraded-but-valid,
+ * 3 invalid estimate. (2 = usage error, 4 = admission refused /
+ * draining, 5 = wait timeout are assigned by the CLIs themselves.)
+ */
+int reportExitCode(const core::EnergyReport &rep);
+
+} // namespace farm
+} // namespace strober
+
+#endif // STROBER_FARM_REPORT_H

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -266,27 +267,68 @@ ResultCache::entryCount() const
     return n;
 }
 
-size_t
-ResultCache::trim(size_t keep)
+ResultCache::TrimResult
+ResultCache::trim(const TrimPolicy &policy)
 {
-    std::vector<std::pair<fs::file_time_type, fs::path>> entries;
+    struct Entry
+    {
+        fs::file_time_type mtime;
+        uint64_t bytes;
+        fs::path path;
+    };
+    std::vector<Entry> entries;
     std::error_code ec;
     for (const auto &e : fs::directory_iterator(root, ec)) {
         if (e.path().extension() != kEntrySuffix)
             continue;
-        entries.emplace_back(fs::last_write_time(e.path(), ec),
-                             e.path());
+        uint64_t sz = fs::file_size(e.path(), ec);
+        if (ec)
+            sz = 0;
+        entries.push_back({fs::last_write_time(e.path(), ec), sz,
+                           e.path()});
     }
-    if (entries.size() <= keep)
-        return 0;
+    // Newest first: every limit retains from the front.
     std::sort(entries.begin(), entries.end(),
-              [](const auto &a, const auto &b) { return a.first > b.first; });
-    size_t removed = 0;
-    for (size_t i = keep; i < entries.size(); ++i) {
-        if (fs::remove(entries[i].second, ec))
-            ++removed;
+              [](const Entry &a, const Entry &b) {
+                  return a.mtime > b.mtime;
+              });
+
+    TrimResult result;
+    result.examined = entries.size();
+    fs::file_time_type cutoff = fs::file_time_type::min();
+    if (policy.maxAgeSeconds != 0) {
+        cutoff = fs::file_time_type::clock::now() -
+                 std::chrono::seconds(policy.maxAgeSeconds);
     }
-    return removed;
+    uint64_t keptBytes = 0;
+    for (size_t i = 0; i < entries.size(); ++i) {
+        const Entry &e = entries[i];
+        bool evict = i >= policy.keepCount;
+        evict = evict || (policy.maxAgeSeconds != 0 && e.mtime < cutoff);
+        evict = evict || (policy.maxTotalBytes != 0 &&
+                          keptBytes + e.bytes > policy.maxTotalBytes);
+        if (!evict) {
+            keptBytes += e.bytes;
+            continue;
+        }
+        if (fs::remove(e.path, ec)) {
+            ++result.evicted;
+            result.bytesEvicted += e.bytes;
+        } else {
+            keptBytes += e.bytes; // still on disk; count it honestly
+        }
+    }
+    result.bytesKept = keptBytes;
+    counters.evictions += result.evicted;
+    return result;
+}
+
+size_t
+ResultCache::trim(size_t keep)
+{
+    TrimPolicy policy;
+    policy.keepCount = keep;
+    return trim(policy).evicted;
 }
 
 } // namespace farm

@@ -99,6 +99,34 @@ class ResultCache
     size_t entryCount() const;
 
     /**
+     * Garbage-collection policy: an entry survives only if it passes
+     * *every* enabled limit. Retention is always newest-first (by
+     * mtime; a cache hit does not touch mtime, so "age" is time since
+     * the result was computed).
+     */
+    struct TrimPolicy
+    {
+        /** Keep at most this many entries (SIZE_MAX = unlimited). */
+        size_t keepCount = SIZE_MAX;
+        /** Evict entries older than this many seconds (0 = no limit). */
+        uint64_t maxAgeSeconds = 0;
+        /** Evict oldest entries until the total size of what remains
+         *  fits this budget in bytes (0 = no budget). */
+        uint64_t maxTotalBytes = 0;
+    };
+
+    struct TrimResult
+    {
+        size_t examined = 0;      //!< entries present before the trim
+        size_t evicted = 0;       //!< entries removed
+        uint64_t bytesEvicted = 0;
+        uint64_t bytesKept = 0;   //!< total size of surviving entries
+    };
+
+    /** Garbage-collect per @p policy; bumps Stats::evictions. */
+    TrimResult trim(const TrimPolicy &policy);
+
+    /**
      * Garbage-collect: keep the @p keep most-recently-modified entries,
      * delete the rest. @return number of entries removed.
      */
@@ -110,6 +138,7 @@ class ResultCache
         uint64_t misses = 0;         //!< absent entries
         uint64_t corruptEntries = 0; //!< detected + degraded to miss
         uint64_t stores = 0;
+        uint64_t evictions = 0;      //!< entries removed by trim()
     };
     const Stats &stats() const { return counters; }
 

@@ -1,0 +1,183 @@
+#include "service/client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace strober {
+namespace service {
+
+using farm::wire::Reader;
+using farm::wire::Writer;
+using util::ErrorCode;
+using util::errorf;
+using util::Result;
+using util::Status;
+
+Result<int>
+ServiceClient::connect()
+{
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        return errorf(ErrorCode::IoError, "socket failed: %s",
+                      std::strerror(errno));
+    }
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        ::close(fd);
+        return errorf(ErrorCode::InvalidArgument,
+                      "socket path '%s' is too long", path.c_str());
+    }
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        int err = errno;
+        ::close(fd);
+        return errorf(ErrorCode::IoError,
+                      "cannot reach daemon at '%s': %s", path.c_str(),
+                      std::strerror(err));
+    }
+    return fd;
+}
+
+Result<Reader>
+ServiceClient::roundTrip(const Writer &w, uint64_t readTimeoutMs)
+{
+    Result<int> fd = connect();
+    if (!fd.isOk())
+        return fd.status();
+    Status st = writeFrame(*fd, w);
+    if (!st.isOk()) {
+        ::close(*fd);
+        return st;
+    }
+    Result<Reader> reply = readFrame(*fd, readTimeoutMs);
+    ::close(*fd);
+    return reply;
+}
+
+Result<SubmitResult>
+ServiceClient::submit(const SubmitRequest &req)
+{
+    Writer w;
+    req.encode(w);
+    Result<Reader> reply = roundTrip(w);
+    if (!reply.isOk())
+        return reply.status();
+    uint64_t type = reply->u64();
+    SubmitResult result;
+    if (type == static_cast<uint64_t>(MsgType::Accepted)) {
+        result.accepted = true;
+        result.jobId = reply->u64();
+        if (!reply->atEnd())
+            return errorf(ErrorCode::Corrupt, "malformed accept reply");
+        return result;
+    }
+    if (type == static_cast<uint64_t>(MsgType::Overloaded) ||
+        type == static_cast<uint64_t>(MsgType::Error)) {
+        result.accepted = false;
+        result.refusal = reply->str();
+        return result;
+    }
+    return errorf(ErrorCode::Corrupt, "unexpected submit reply type %llu",
+                  (unsigned long long)type);
+}
+
+Result<JobStatusReply>
+ServiceClient::status(uint64_t jobId)
+{
+    Writer w;
+    w.u64(static_cast<uint64_t>(MsgType::Status));
+    w.u64(jobId);
+    Result<Reader> reply = roundTrip(w);
+    if (!reply.isOk())
+        return reply.status();
+    uint64_t type = reply->u64();
+    if (type == static_cast<uint64_t>(MsgType::Error))
+        return errorf(ErrorCode::InvalidArgument, "%s",
+                      reply->str().c_str());
+    if (type != static_cast<uint64_t>(MsgType::JobStatus))
+        return errorf(ErrorCode::Corrupt, "unexpected status reply");
+    return JobStatusReply::decode(*reply);
+}
+
+Result<JobStatusReply>
+ServiceClient::wait(uint64_t jobId, uint64_t timeoutMs)
+{
+    Writer w;
+    w.u64(static_cast<uint64_t>(MsgType::Wait));
+    w.u64(jobId);
+    w.u64(timeoutMs);
+    // Give the socket read a margin past the daemon-side wait budget.
+    uint64_t readBudget = timeoutMs == 0 ? 0 : timeoutMs + 10'000;
+    Result<Reader> reply = roundTrip(w, readBudget);
+    if (!reply.isOk())
+        return reply.status();
+    uint64_t type = reply->u64();
+    if (type == static_cast<uint64_t>(MsgType::Error))
+        return errorf(ErrorCode::InvalidArgument, "%s",
+                      reply->str().c_str());
+    if (type != static_cast<uint64_t>(MsgType::JobStatus))
+        return errorf(ErrorCode::Corrupt, "unexpected wait reply");
+    Result<JobStatusReply> rep = JobStatusReply::decode(*reply);
+    if (rep.isOk() && timeoutMs != 0 && !jobStateFinal(rep->state)) {
+        return errorf(ErrorCode::Timeout,
+                      "job %llu still %s after %llu ms",
+                      (unsigned long long)jobId, jobStateName(rep->state),
+                      (unsigned long long)timeoutMs);
+    }
+    return rep;
+}
+
+Result<StatsVector>
+ServiceClient::stats()
+{
+    Writer w;
+    w.u64(static_cast<uint64_t>(MsgType::Stats));
+    Result<Reader> reply = roundTrip(w);
+    if (!reply.isOk())
+        return reply.status();
+    uint64_t type = reply->u64();
+    if (type != static_cast<uint64_t>(MsgType::StatsReply))
+        return errorf(ErrorCode::Corrupt, "unexpected stats reply");
+    return decodeStats(*reply);
+}
+
+Status
+ServiceClient::cancel(uint64_t jobId)
+{
+    Writer w;
+    w.u64(static_cast<uint64_t>(MsgType::Cancel));
+    w.u64(jobId);
+    Result<Reader> reply = roundTrip(w);
+    if (!reply.isOk())
+        return reply.status();
+    uint64_t type = reply->u64();
+    if (type == static_cast<uint64_t>(MsgType::Ack))
+        return Status::ok();
+    if (type == static_cast<uint64_t>(MsgType::Error))
+        return errorf(ErrorCode::InvalidArgument, "%s",
+                      reply->str().c_str());
+    return errorf(ErrorCode::Corrupt, "unexpected cancel reply");
+}
+
+Status
+ServiceClient::shutdownDaemon()
+{
+    Writer w;
+    w.u64(static_cast<uint64_t>(MsgType::Shutdown));
+    Result<Reader> reply = roundTrip(w);
+    if (!reply.isOk())
+        return reply.status();
+    if (reply->u64() != static_cast<uint64_t>(MsgType::Ack))
+        return errorf(ErrorCode::Corrupt, "unexpected shutdown reply");
+    return Status::ok();
+}
+
+} // namespace service
+} // namespace strober

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Client side of the strober-serve protocol. One connection per
+ * request: connect, send one frame, read one reply, close — stateless
+ * and safe to use from many processes/threads at once (the daemon
+ * serializes admission). Shared by `strober-farm`'s client subcommands
+ * and the service tests.
+ */
+
+#ifndef STROBER_SERVICE_CLIENT_H
+#define STROBER_SERVICE_CLIENT_H
+
+#include <cstdint>
+#include <string>
+
+#include "service/proto.h"
+#include "util/status.h"
+
+namespace strober {
+namespace service {
+
+/** Submit outcome: admitted with an id, or refused. */
+struct SubmitResult
+{
+    bool accepted = false;
+    uint64_t jobId = 0;
+    std::string refusal; //!< Overloaded/Error detail when !accepted
+};
+
+class ServiceClient
+{
+  public:
+    explicit ServiceClient(std::string socketPath)
+        : path(std::move(socketPath))
+    {
+    }
+
+    /** Enqueue a job. IoError means the daemon is unreachable;
+     *  !accepted with ok() status means an explicit refusal. */
+    util::Result<SubmitResult> submit(const SubmitRequest &req);
+
+    /** Non-blocking job query. */
+    util::Result<JobStatusReply> status(uint64_t jobId);
+
+    /**
+     * Block until the job reaches a final state. @p timeoutMs == 0
+     * waits forever; otherwise fails with Timeout once the daemon-side
+     * wait returns a non-final state past the budget.
+     */
+    util::Result<JobStatusReply> wait(uint64_t jobId, uint64_t timeoutMs);
+
+    util::Result<StatsVector> stats();
+
+    /** Cancel a queued/running job (ack'd even if already final). */
+    util::Status cancel(uint64_t jobId);
+
+    /** Ask the daemon to drain and exit (SIGTERM equivalent). */
+    util::Status shutdownDaemon();
+
+  private:
+    std::string path;
+
+    util::Result<int> connect();
+    util::Result<farm::wire::Reader>
+    roundTrip(const farm::wire::Writer &w, uint64_t readTimeoutMs = 0);
+};
+
+} // namespace service
+} // namespace strober
+
+#endif // STROBER_SERVICE_CLIENT_H

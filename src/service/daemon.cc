@@ -1,0 +1,650 @@
+#include "service/daemon.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/env.h"
+#include "util/logging.h"
+
+namespace strober {
+namespace service {
+
+namespace fs = std::filesystem;
+using farm::wire::Reader;
+using farm::wire::Writer;
+using util::ErrorCode;
+using util::errorf;
+using util::Status;
+
+namespace {
+
+void
+sendError(int fd, const std::string &message)
+{
+    Writer w;
+    w.u64(static_cast<uint64_t>(MsgType::Error));
+    w.str(message);
+    writeFrame(fd, w); // best effort; connection may already be gone
+}
+
+void
+sendAck(int fd)
+{
+    Writer w;
+    w.u64(static_cast<uint64_t>(MsgType::Ack));
+    writeFrame(fd, w);
+}
+
+bool
+trimEnabled(const farm::ResultCache::TrimPolicy &p)
+{
+    return p.keepCount != SIZE_MAX || p.maxAgeSeconds != 0 ||
+           p.maxTotalBytes != 0;
+}
+
+} // namespace
+
+ServiceDaemon::ServiceDaemon(DaemonConfig config)
+    : cfg(std::move(config)), store(cfg.effectiveCacheDir())
+{
+    if (!cfg.executor)
+        fatal("DaemonConfig.executor is required");
+    if (cfg.socketPath.empty() || cfg.rootDir.empty())
+        fatal("DaemonConfig.socketPath and rootDir are required");
+}
+
+ServiceDaemon::~ServiceDaemon()
+{
+    stop();
+}
+
+Status
+ServiceDaemon::start()
+{
+    std::error_code ec;
+    fs::create_directories(cfg.rootDir, ec);
+    if (ec) {
+        return errorf(ErrorCode::IoError, "cannot create root dir '%s': %s",
+                      cfg.rootDir.c_str(), ec.message().c_str());
+    }
+
+    if (::pipe(wakePipe) != 0) {
+        return errorf(ErrorCode::IoError, "pipe failed: %s",
+                      std::strerror(errno));
+    }
+
+    listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd < 0) {
+        return errorf(ErrorCode::IoError, "socket failed: %s",
+                      std::strerror(errno));
+    }
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (cfg.socketPath.size() >= sizeof(addr.sun_path)) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "socket path '%s' is too long (max %zu)",
+                      cfg.socketPath.c_str(), sizeof(addr.sun_path) - 1);
+    }
+    std::strncpy(addr.sun_path, cfg.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(cfg.socketPath.c_str()); // stale socket from a dead daemon
+    if (::bind(listenFd, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        return errorf(ErrorCode::IoError, "bind('%s') failed: %s",
+                      cfg.socketPath.c_str(), std::strerror(errno));
+    }
+    if (::listen(listenFd, 64) != 0) {
+        return errorf(ErrorCode::IoError, "listen failed: %s",
+                      std::strerror(errno));
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        started = true;
+    }
+    acceptThread = std::thread([this] { acceptLoop(); });
+    unsigned runners = std::max(1u, cfg.runners);
+    for (unsigned i = 0; i < runners; ++i)
+        runnerThreads.emplace_back([this] { runnerLoop(); });
+    return Status::ok();
+}
+
+void
+ServiceDaemon::requestDrain()
+{
+    // Async-signal-safe: one atomic store plus one pipe write. The
+    // accept thread observes the pipe and does the locked drain work
+    // (canceling jobs, waking waiters) outside signal context.
+    draining.store(true, std::memory_order_release);
+    char byte = 1;
+    if (wakePipe[1] >= 0) {
+        ssize_t n = ::write(wakePipe[1], &byte, 1);
+        (void)n; // a full pipe still wakes the poller
+    }
+}
+
+void
+ServiceDaemon::cancelQueuedLocked()
+{
+    while (!queue.empty()) {
+        uint64_t id = queue.front();
+        queue.pop_front();
+        auto it = jobs.find(id);
+        if (it == jobs.end() || it->second.state != JobState::Queued)
+            continue;
+        Job &job = it->second;
+        job.state = JobState::Canceled;
+        job.exitCode = 4;
+        job.detail = "canceled: daemon draining before the job started";
+        ++counters.completed;
+        ++counters.canceled;
+    }
+    for (auto &[id, job] : jobs) {
+        (void)id;
+        if (job.state == JobState::Running && job.control)
+            job.control->cancel.store(true, std::memory_order_relaxed);
+    }
+}
+
+void
+ServiceDaemon::acceptLoop()
+{
+    bool drainHandled = false;
+    for (;;) {
+        struct pollfd pfds[2];
+        pfds[0].fd = listenFd;
+        pfds[0].events = POLLIN;
+        pfds[1].fd = wakePipe[0];
+        pfds[1].events = POLLIN;
+        int rc = ::poll(pfds, 2, 200);
+        {
+            std::lock_guard<std::mutex> lk(mtx);
+            if (stopping)
+                break;
+        }
+        if (draining.load(std::memory_order_acquire) && !drainHandled) {
+            drainHandled = true;
+            {
+                std::lock_guard<std::mutex> lk(mtx);
+                cancelQueuedLocked();
+            }
+            jobCv.notify_all();
+            waiterCv.notify_all();
+            // Keep accepting: clients still need Wait/Status/Stats to
+            // observe the drain; only admission is refused.
+        }
+        if (rc <= 0)
+            continue;
+        if (pfds[1].revents & POLLIN) {
+            char buf[64];
+            ssize_t n = ::read(wakePipe[0], buf, sizeof(buf));
+            (void)n;
+        }
+        if (!(pfds[0].revents & POLLIN))
+            continue;
+        int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        std::lock_guard<std::mutex> lk(mtx);
+        if (stopping) {
+            ::close(fd);
+            break;
+        }
+        connFds.push_back(fd);
+        connThreads.emplace_back([this, fd] { serveConnection(fd); });
+    }
+}
+
+void
+ServiceDaemon::serveConnection(int fd)
+{
+    for (;;) {
+        util::Result<Reader> frame = readFrame(fd);
+        if (!frame.isOk()) {
+            // EOF/shutdown is normal; a CRC or length violation is a
+            // protocol error worth counting (and the connection dies
+            // with it — other clients are unaffected).
+            if (frame.status().code() == ErrorCode::Corrupt) {
+                std::lock_guard<std::mutex> lk(mtx);
+                ++counters.badFrames;
+            }
+            break;
+        }
+        Reader &r = *frame;
+        uint64_t type = r.u64();
+        if (r.failed()) {
+            std::lock_guard<std::mutex> lk(mtx);
+            ++counters.badFrames;
+            break;
+        }
+        switch (static_cast<MsgType>(type)) {
+          case MsgType::Submit:
+            handleSubmit(fd, r);
+            break;
+          case MsgType::Status:
+            handleStatusOrWait(fd, r, /*wait=*/false);
+            break;
+          case MsgType::Wait:
+            handleStatusOrWait(fd, r, /*wait=*/true);
+            break;
+          case MsgType::Stats:
+            handleStats(fd);
+            break;
+          case MsgType::Cancel:
+            handleCancel(fd, r);
+            break;
+          case MsgType::Shutdown:
+            sendAck(fd);
+            requestDrain();
+            break;
+          default: {
+            std::lock_guard<std::mutex> lk(mtx);
+            ++counters.badFrames;
+            sendError(fd, "unknown message type");
+            ::close(fd);
+            return;
+          }
+        }
+    }
+    ::close(fd);
+    std::lock_guard<std::mutex> lk(mtx);
+    connFds.erase(std::remove(connFds.begin(), connFds.end(), fd),
+                  connFds.end());
+}
+
+void
+ServiceDaemon::handleSubmit(int fd, Reader &r)
+{
+    util::Result<SubmitRequest> req = SubmitRequest::decode(r);
+    if (!req.isOk()) {
+        {
+            std::lock_guard<std::mutex> lk(mtx);
+            ++counters.badFrames;
+        }
+        sendError(fd, req.status().toString());
+        return;
+    }
+
+    uint64_t id = 0;
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        ++counters.submitted;
+        if (draining.load(std::memory_order_acquire) || stopping) {
+            ++counters.drainRejected;
+            Writer w;
+            w.u64(static_cast<uint64_t>(MsgType::Overloaded));
+            w.str("draining: daemon is shutting down");
+            writeFrame(fd, w);
+            return;
+        }
+        if (queue.size() >= cfg.maxQueue) {
+            // Admission control: the queue is bounded by construction.
+            // Refusing loudly beats buffering until the box OOMs.
+            ++counters.overloaded;
+            Writer w;
+            w.u64(static_cast<uint64_t>(MsgType::Overloaded));
+            w.str(strfmt("overloaded: %zu job(s) queued (bound %zu)",
+                         queue.size(), cfg.maxQueue));
+            writeFrame(fd, w);
+            return;
+        }
+        id = nextJobId++;
+        Job &job = jobs[id];
+        job.request.id = id;
+        job.request.submit = *req;
+        job.request.jobDir =
+            (fs::path(cfg.rootDir) / strfmt("job_%06llu",
+                                            (unsigned long long)id))
+                .string();
+        job.control = std::make_unique<core::JobControl>();
+        queue.push_back(id);
+    }
+    jobCv.notify_one();
+
+    Writer w;
+    w.u64(static_cast<uint64_t>(MsgType::Accepted));
+    w.u64(id);
+    writeFrame(fd, w);
+}
+
+JobStatusReply
+ServiceDaemon::replyFor(uint64_t id, const Job &job) const
+{
+    JobStatusReply rep;
+    rep.jobId = id;
+    rep.state = job.state;
+    rep.exitCode = job.exitCode;
+    rep.detail = job.detail;
+    if (jobStateFinal(job.state))
+        rep.reportText = job.reportText;
+    return rep;
+}
+
+void
+ServiceDaemon::handleStatusOrWait(int fd, Reader &r, bool wait)
+{
+    uint64_t id = r.u64();
+    uint64_t timeoutMs = wait ? r.u64() : 0;
+    if (!r.atEnd()) {
+        std::lock_guard<std::mutex> lk(mtx);
+        ++counters.badFrames;
+        sendError(fd, "malformed status/wait request");
+        return;
+    }
+    JobStatusReply rep;
+    {
+        std::unique_lock<std::mutex> lk(mtx);
+        auto it = jobs.find(id);
+        if (it == jobs.end()) {
+            lk.unlock();
+            sendError(fd, strfmt("unknown job %llu",
+                                 (unsigned long long)id));
+            return;
+        }
+        if (wait) {
+            auto final = [&] {
+                return jobStateFinal(jobs[id].state) || stopping;
+            };
+            if (timeoutMs == 0) {
+                waiterCv.wait(lk, final);
+            } else {
+                waiterCv.wait_for(lk,
+                                  std::chrono::milliseconds(timeoutMs),
+                                  final);
+            }
+        }
+        rep = replyFor(id, jobs[id]);
+    }
+    Writer w;
+    rep.encode(w);
+    writeFrame(fd, w);
+}
+
+void
+ServiceDaemon::handleStats(int fd)
+{
+    Writer w;
+    encodeStats(w, statsVector());
+    writeFrame(fd, w);
+}
+
+void
+ServiceDaemon::handleCancel(int fd, Reader &r)
+{
+    uint64_t id = r.u64();
+    if (!r.atEnd()) {
+        std::lock_guard<std::mutex> lk(mtx);
+        ++counters.badFrames;
+        sendError(fd, "malformed cancel request");
+        return;
+    }
+    bool known = false;
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        auto it = jobs.find(id);
+        if (it != jobs.end()) {
+            known = true;
+            Job &job = it->second;
+            if (job.state == JobState::Queued) {
+                queue.erase(std::remove(queue.begin(), queue.end(), id),
+                            queue.end());
+                job.state = JobState::Canceled;
+                job.exitCode = 4;
+                job.detail = "canceled by client before start";
+                ++counters.completed;
+                ++counters.canceled;
+            } else if (job.state == JobState::Running && job.control) {
+                job.control->cancel.store(true,
+                                          std::memory_order_relaxed);
+            }
+        }
+    }
+    waiterCv.notify_all();
+    if (known)
+        sendAck(fd);
+    else
+        sendError(fd, strfmt("unknown job %llu", (unsigned long long)id));
+}
+
+void
+ServiceDaemon::runnerLoop()
+{
+    for (;;) {
+        uint64_t id = 0;
+        {
+            std::unique_lock<std::mutex> lk(mtx);
+            jobCv.wait(lk, [&] { return stopping || !queue.empty(); });
+            if (queue.empty()) {
+                if (stopping)
+                    return;
+                continue;
+            }
+            id = queue.front();
+            queue.pop_front();
+            Job &job = jobs[id];
+            job.state = JobState::Running;
+        }
+
+        JobRequest request;
+        core::JobControl *control = nullptr;
+        uint64_t deadlineMs = 0;
+        {
+            std::lock_guard<std::mutex> lk(mtx);
+            Job &job = jobs[id];
+            request = job.request;
+            control = job.control.get();
+            deadlineMs = job.request.submit.deadlineMs != 0
+                             ? job.request.submit.deadlineMs
+                             : cfg.defaultDeadlineMs;
+        }
+        control->armDeadline(deadlineMs);
+
+        JobOutcome outcome;
+        try {
+            outcome = cfg.executor(request, *control);
+        } catch (const std::exception &e) {
+            outcome.state = JobState::Failed;
+            outcome.exitCode = 3;
+            outcome.detail =
+                strfmt("executor threw: %s (daemon survives)", e.what());
+        }
+        // A deadline that fired during execution wins the state label
+        // even if the executor returned a (degraded) report — the
+        // report text is kept either way, and the degraded-report rate
+        // still counts it (the relabel is about *why*, not *what*).
+        bool degradedReport = outcome.state == JobState::Degraded;
+        if (outcome.state != JobState::Canceled &&
+            control->deadlineExpired() &&
+            (outcome.state == JobState::Degraded ||
+             outcome.state == JobState::Failed)) {
+            outcome.state = JobState::TimedOut;
+        }
+
+        uint64_t evicted = 0;
+        if (trimEnabled(cfg.trim)) {
+            // One trimmer at a time: ResultCache's counters are not
+            // atomic, and concurrent directory sweeps would double-
+            // count each other's removals.
+            std::lock_guard<std::mutex> tlk(trimMutex);
+            evicted = store.trim(cfg.trim).evicted;
+        }
+
+        {
+            std::lock_guard<std::mutex> lk(mtx);
+            Job &job = jobs[id];
+            job.state = outcome.state;
+            job.exitCode = outcome.exitCode;
+            job.detail = outcome.detail;
+            job.reportText = outcome.reportText;
+            ++counters.completed;
+            if (degradedReport)
+                ++counters.degradedReports;
+            switch (outcome.state) {
+              case JobState::Degraded:
+                break;
+              case JobState::TimedOut:
+                ++counters.timedOut;
+                break;
+              case JobState::Failed:
+                ++counters.failed;
+                break;
+              case JobState::Canceled:
+                ++counters.canceled;
+                break;
+              default:
+                break;
+            }
+            counters.cacheHits += outcome.cacheHits;
+            counters.cacheMisses += outcome.cacheMisses;
+            counters.workerRetries += outcome.workerRetries;
+            counters.workerKills += outcome.workerKills;
+            counters.cacheEvictions += evicted;
+        }
+        waiterCv.notify_all();
+    }
+}
+
+void
+ServiceDaemon::waitDrained()
+{
+    std::unique_lock<std::mutex> lk(mtx);
+    waiterCv.wait(lk, [&] {
+        if (!draining.load(std::memory_order_acquire) && !stopping)
+            return false;
+        for (const auto &[id, job] : jobs) {
+            (void)id;
+            if (!jobStateFinal(job.state))
+                return false;
+        }
+        return true;
+    });
+}
+
+void
+ServiceDaemon::stop()
+{
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        if (!started || stopping) {
+            if (!started)
+                return;
+        }
+        stopping = true;
+        cancelQueuedLocked();
+    }
+    draining.store(true, std::memory_order_release);
+    if (wakePipe[1] >= 0) {
+        char byte = 1;
+        ssize_t n = ::write(wakePipe[1], &byte, 1);
+        (void)n;
+    }
+    jobCv.notify_all();
+    waiterCv.notify_all();
+
+    if (acceptThread.joinable())
+        acceptThread.join();
+    for (std::thread &t : runnerThreads) {
+        if (t.joinable())
+            t.join();
+    }
+
+    // Unblock connection threads parked in readFrame().
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        for (int fd : connFds)
+            ::shutdown(fd, SHUT_RDWR);
+    }
+    waiterCv.notify_all();
+    for (std::thread &t : connThreads) {
+        if (t.joinable())
+            t.join();
+    }
+    connThreads.clear();
+
+    if (listenFd >= 0) {
+        ::close(listenFd);
+        listenFd = -1;
+    }
+    if (wakePipe[0] >= 0) {
+        ::close(wakePipe[0]);
+        ::close(wakePipe[1]);
+        wakePipe[0] = wakePipe[1] = -1;
+    }
+    ::unlink(cfg.socketPath.c_str());
+}
+
+DaemonStats
+ServiceDaemon::statsSnapshot() const
+{
+    std::lock_guard<std::mutex> lk(mtx);
+    return counters;
+}
+
+StatsVector
+ServiceDaemon::statsVector() const
+{
+    std::lock_guard<std::mutex> lk(mtx);
+    uint64_t queued = 0, running = 0, done = 0, degraded = 0, timedOut = 0,
+             failed = 0, canceled = 0;
+    for (const auto &[id, job] : jobs) {
+        (void)id;
+        switch (job.state) {
+          case JobState::Queued:
+            ++queued;
+            break;
+          case JobState::Running:
+            ++running;
+            break;
+          case JobState::Done:
+            ++done;
+            break;
+          case JobState::Degraded:
+            ++degraded;
+            break;
+          case JobState::TimedOut:
+            ++timedOut;
+            break;
+          case JobState::Failed:
+            ++failed;
+            break;
+          case JobState::Canceled:
+            ++canceled;
+            break;
+        }
+    }
+    StatsVector v;
+    v.emplace_back("queue-depth", queue.size());
+    v.emplace_back("queue-bound", cfg.maxQueue);
+    v.emplace_back("draining",
+                   draining.load(std::memory_order_acquire) ? 1 : 0);
+    v.emplace_back("jobs-queued", queued);
+    v.emplace_back("jobs-running", running);
+    v.emplace_back("jobs-done", done);
+    v.emplace_back("jobs-degraded", degraded);
+    v.emplace_back("jobs-timed-out", timedOut);
+    v.emplace_back("jobs-failed", failed);
+    v.emplace_back("jobs-canceled", canceled);
+    v.emplace_back("submitted", counters.submitted);
+    v.emplace_back("overloaded-rejections", counters.overloaded);
+    v.emplace_back("drain-rejections", counters.drainRejected);
+    v.emplace_back("completed", counters.completed);
+    v.emplace_back("degraded-reports", counters.degradedReports);
+    v.emplace_back("cache-hits", counters.cacheHits);
+    v.emplace_back("cache-misses", counters.cacheMisses);
+    v.emplace_back("cache-evictions", counters.cacheEvictions);
+    v.emplace_back("worker-retries", counters.workerRetries);
+    v.emplace_back("worker-kills", counters.workerKills);
+    v.emplace_back("bad-frames", counters.badFrames);
+    return v;
+}
+
+} // namespace service
+} // namespace strober

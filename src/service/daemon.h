@@ -1,0 +1,208 @@
+/**
+ * @file
+ * The `strober-serve` daemon: a persistent estimate service owning the
+ * shared content-addressed result cache and the durable farm queues.
+ *
+ * Many clients submit estimate jobs over an AF_UNIX socket (see
+ * service/proto.h); the daemon admits them into a *bounded* queue —
+ * a full queue is an explicit Overloaded rejection, never an unbounded
+ * buffer — and a fixed pool of runner threads executes them, each
+ * under a per-job wall-clock deadline enforced through
+ * core::JobControl. Worker processes a job spawns are supervised
+ * (service/supervisor.h): wall/RSS caps, SIGKILL, lease reclaim,
+ * bounded backoff retry. Because the farm layer is crash-only, none
+ * of this can corrupt results — a killed worker costs wall time, not
+ * correctness.
+ *
+ * Graceful drain (SIGTERM / Shutdown request): admission stops
+ * (Overloaded with "draining"), queued jobs become Canceled, running
+ * jobs get their JobControl cancel flag (workers checkpoint leases
+ * back to Pending and exit 0), everything is flushed, and stop()
+ * returns so main() can exit 0. A drained job's work is resumable:
+ * re-submitting it replays only what was not finished.
+ *
+ * The actual estimation is delegated to a JobExecutor callback so the
+ * daemon layer stays free of design construction (the tool installs a
+ * cores::buildSoc-based executor; tests install synthetic ones and
+ * daemon-level tests run with zero forked processes — TSan-clean).
+ */
+
+#ifndef STROBER_SERVICE_DAEMON_H
+#define STROBER_SERVICE_DAEMON_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/job_control.h"
+#include "farm/result_cache.h"
+#include "service/proto.h"
+#include "util/status.h"
+
+namespace strober {
+namespace service {
+
+/** What a JobExecutor hands back for one job. */
+struct JobOutcome
+{
+    JobState state = JobState::Failed;
+    int exitCode = 3;
+    std::string detail;
+    std::string reportText; //!< deterministic rendering, if a report exists
+    // Observability (folded into the daemon's STATS counters).
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+    uint64_t workerRetries = 0;
+    uint64_t workerKills = 0; //!< wall + RSS SIGKILLs
+};
+
+/** One admitted job as the runner sees it. */
+struct JobRequest
+{
+    uint64_t id = 0;
+    SubmitRequest submit;
+    std::string jobDir; //!< per-job run directory (manifests, snapshots)
+};
+
+/**
+ * Executes one job under @p control: honor control.canceled() by
+ * checkpointing (state Canceled), and expect the replay layer to turn
+ * an expired deadline into TimedOut/degraded outcomes. Must not throw.
+ */
+using JobExecutor =
+    std::function<JobOutcome(const JobRequest &, core::JobControl &)>;
+
+struct DaemonConfig
+{
+    std::string socketPath;
+    std::string rootDir;  //!< per-job dirs live under here
+    std::string cacheDir; //!< shared result cache; empty = rootDir+"/cache"
+    size_t maxQueue = 16;    //!< admission bound (beyond = Overloaded)
+    unsigned runners = 2;    //!< concurrent jobs
+    uint64_t defaultDeadlineMs = 0; //!< for submits with deadlineMs == 0
+    /** Cache GC applied after every job (0/defaults = no trimming). */
+    farm::ResultCache::TrimPolicy trim;
+    JobExecutor executor;
+
+    std::string effectiveCacheDir() const
+    {
+        return cacheDir.empty() ? rootDir + "/cache" : cacheDir;
+    }
+};
+
+/** Aggregate daemon counters (the STATS endpoint renders these). */
+struct DaemonStats
+{
+    uint64_t submitted = 0;
+    uint64_t overloaded = 0;  //!< admission rejections (full queue)
+    uint64_t drainRejected = 0; //!< admission rejections while draining
+    uint64_t completed = 0;   //!< jobs that reached any final state
+    uint64_t degradedReports = 0;
+    uint64_t timedOut = 0;
+    uint64_t failed = 0;
+    uint64_t canceled = 0;
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+    uint64_t workerRetries = 0;
+    uint64_t workerKills = 0;
+    uint64_t cacheEvictions = 0;
+    uint64_t badFrames = 0;   //!< connections dropped on protocol errors
+};
+
+/**
+ * The daemon. start() spawns the accept + runner threads and returns;
+ * stop() drains and joins (idempotent). A SIGTERM handler should call
+ * requestDrain() (async-signal-safe) and let the main thread observe
+ * drained() — see tools/strober_serve.cc.
+ */
+class ServiceDaemon
+{
+  public:
+    explicit ServiceDaemon(DaemonConfig config);
+    ~ServiceDaemon();
+
+    ServiceDaemon(const ServiceDaemon &) = delete;
+    ServiceDaemon &operator=(const ServiceDaemon &) = delete;
+
+    /** Bind the socket and start serving. */
+    util::Status start();
+
+    /**
+     * Async-signal-safe drain trigger: stop admitting, cancel queued
+     * jobs, cancel running jobs' JobControls. Returns immediately;
+     * the drain completes in the background (waitDrained()).
+     */
+    void requestDrain();
+
+    /** Block until every admitted job reached a final state after a
+     *  requestDrain(). */
+    void waitDrained();
+
+    /** Drain (if not already draining) and join every thread. */
+    void stop();
+
+    /** Snapshot of the counters (also served by the Stats request). */
+    DaemonStats statsSnapshot() const;
+
+    /** Rendered name/value stats, exactly what StatsReply carries. */
+    StatsVector statsVector() const;
+
+    const DaemonConfig &config() const { return cfg; }
+
+  private:
+    struct Job
+    {
+        JobRequest request;
+        JobState state = JobState::Queued;
+        int exitCode = -1;
+        std::string detail;
+        std::string reportText;
+        std::unique_ptr<core::JobControl> control;
+    };
+
+    DaemonConfig cfg;
+    farm::ResultCache store; //!< owned shared cache (trim + stats)
+
+    mutable std::mutex mtx;
+    std::mutex trimMutex; //!< serializes post-job cache GC sweeps
+    std::condition_variable jobCv;    //!< runners wait for work
+    std::condition_variable waiterCv; //!< Wait requests + waitDrained
+    std::map<uint64_t, Job> jobs;
+    std::deque<uint64_t> queue;
+    uint64_t nextJobId = 1;
+    DaemonStats counters;
+    bool started = false;
+    bool stopping = false; //!< threads must exit
+
+    std::atomic<bool> draining{false};
+    int listenFd = -1;
+    int wakePipe[2] = {-1, -1}; //!< self-pipe: requestDrain → accept loop
+
+    std::thread acceptThread;
+    std::vector<std::thread> runnerThreads;
+    std::vector<std::thread> connThreads;
+    std::vector<int> connFds; //!< open connection fds (for shutdown)
+
+    void acceptLoop();
+    void runnerLoop();
+    void serveConnection(int fd);
+    void handleSubmit(int fd, farm::wire::Reader &r);
+    void handleStatusOrWait(int fd, farm::wire::Reader &r, bool wait);
+    void handleStats(int fd);
+    void handleCancel(int fd, farm::wire::Reader &r);
+    void cancelQueuedLocked();
+    JobStatusReply replyFor(uint64_t id, const Job &job) const;
+};
+
+} // namespace service
+} // namespace strober
+
+#endif // STROBER_SERVICE_DAEMON_H

@@ -1,0 +1,255 @@
+#include "service/proto.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <unistd.h>
+
+namespace strober {
+namespace service {
+
+using farm::wire::Reader;
+using farm::wire::Writer;
+using util::ErrorCode;
+using util::errorf;
+using util::Result;
+using util::Status;
+
+bool
+jobStateFinal(JobState s)
+{
+    switch (s) {
+      case JobState::Queued:
+      case JobState::Running:
+        return false;
+      case JobState::Done:
+      case JobState::Degraded:
+      case JobState::TimedOut:
+      case JobState::Failed:
+      case JobState::Canceled:
+        return true;
+    }
+    return true;
+}
+
+const char *
+jobStateName(JobState s)
+{
+    switch (s) {
+      case JobState::Queued:
+        return "queued";
+      case JobState::Running:
+        return "running";
+      case JobState::Done:
+        return "done";
+      case JobState::Degraded:
+        return "degraded";
+      case JobState::TimedOut:
+        return "timed-out";
+      case JobState::Failed:
+        return "failed";
+      case JobState::Canceled:
+        return "canceled";
+    }
+    return "unknown";
+}
+
+void
+SubmitRequest::encode(Writer &w) const
+{
+    w.u64(static_cast<uint64_t>(MsgType::Submit));
+    w.str(coreName);
+    w.str(workloadName);
+    w.u64(sampleSize);
+    w.u64(replayLength);
+    w.u64(deadlineMs);
+    w.u64(workers);
+}
+
+Result<SubmitRequest>
+SubmitRequest::decode(Reader &r)
+{
+    SubmitRequest req;
+    req.coreName = r.str();
+    req.workloadName = r.str();
+    req.sampleSize = r.u64();
+    req.replayLength = r.u64();
+    req.deadlineMs = r.u64();
+    req.workers = r.u64();
+    if (!r.atEnd())
+        return errorf(ErrorCode::Corrupt, "malformed submit request");
+    if (req.coreName.empty() || req.workloadName.empty() ||
+        req.sampleSize == 0 || req.replayLength == 0) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "submit request with empty core/workload or zero "
+                      "sample-size/replay-length");
+    }
+    return req;
+}
+
+void
+JobStatusReply::encode(Writer &w) const
+{
+    w.u64(static_cast<uint64_t>(MsgType::JobStatus));
+    w.u64(jobId);
+    w.u64(static_cast<uint64_t>(state));
+    w.u64(static_cast<uint64_t>(exitCode));
+    w.str(detail);
+    w.str(reportText);
+}
+
+Result<JobStatusReply>
+JobStatusReply::decode(Reader &r)
+{
+    JobStatusReply rep;
+    rep.jobId = r.u64();
+    uint64_t state = r.u64();
+    if (state > static_cast<uint64_t>(JobState::Canceled) || r.failed())
+        return errorf(ErrorCode::Corrupt, "malformed job-status reply");
+    rep.state = static_cast<JobState>(state);
+    rep.exitCode = static_cast<int64_t>(r.u64());
+    rep.detail = r.str();
+    rep.reportText = r.str();
+    if (!r.atEnd())
+        return errorf(ErrorCode::Corrupt, "malformed job-status reply");
+    return rep;
+}
+
+void
+encodeStats(Writer &w, const StatsVector &stats)
+{
+    w.u64(static_cast<uint64_t>(MsgType::StatsReply));
+    w.u64(stats.size());
+    for (const auto &[name, value] : stats) {
+        w.str(name);
+        w.u64(value);
+    }
+}
+
+Result<StatsVector>
+decodeStats(Reader &r)
+{
+    uint64_t n = r.u64();
+    if (r.failed() || n > farm::wire::kMaxDim)
+        return errorf(ErrorCode::Corrupt, "malformed stats reply");
+    StatsVector stats;
+    stats.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+        std::string name = r.str();
+        uint64_t value = r.u64();
+        stats.emplace_back(std::move(name), value);
+    }
+    if (!r.atEnd())
+        return errorf(ErrorCode::Corrupt, "malformed stats reply");
+    return stats;
+}
+
+namespace {
+
+/** write() the whole buffer, riding out EINTR and partial writes. */
+Status
+writeAll(int fd, const char *data, size_t len)
+{
+    size_t off = 0;
+    while (off < len) {
+        ssize_t n = ::write(fd, data + off, len - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return errorf(ErrorCode::IoError, "socket write failed: %s",
+                          std::strerror(errno));
+        }
+        if (n == 0)
+            return errorf(ErrorCode::IoError, "peer closed mid-write");
+        off += static_cast<size_t>(n);
+    }
+    return Status::ok();
+}
+
+/** read() exactly @p len bytes; IoError on EOF/err. */
+Status
+readAll(int fd, char *data, size_t len)
+{
+    size_t off = 0;
+    while (off < len) {
+        ssize_t n = ::read(fd, data + off, len - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return errorf(ErrorCode::IoError, "socket read failed: %s",
+                          std::strerror(errno));
+        }
+        if (n == 0)
+            return errorf(ErrorCode::IoError,
+                          "peer closed mid-frame (%zu of %zu bytes)", off,
+                          len);
+        off += static_cast<size_t>(n);
+    }
+    return Status::ok();
+}
+
+} // namespace
+
+Status
+writeFrame(int fd, const Writer &w)
+{
+    std::string payload = w.sealed();
+    if (payload.size() > kMaxFrameBytes)
+        return errorf(ErrorCode::InvalidArgument, "frame too large (%zu)",
+                      payload.size());
+    char hdr[4];
+    uint32_t len = static_cast<uint32_t>(payload.size());
+    for (int i = 0; i < 4; ++i)
+        hdr[i] = static_cast<char>(len >> (8 * i));
+    Status st = writeAll(fd, hdr, sizeof(hdr));
+    if (!st.isOk())
+        return st;
+    return writeAll(fd, payload.data(), payload.size());
+}
+
+Result<Reader>
+readFrame(int fd, uint64_t timeoutMs)
+{
+    if (timeoutMs > 0) {
+        struct pollfd pfd;
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        int rc;
+        do {
+            rc = ::poll(&pfd, 1,
+                        static_cast<int>(
+                            timeoutMs > INT32_MAX ? INT32_MAX : timeoutMs));
+        } while (rc < 0 && errno == EINTR);
+        if (rc == 0)
+            return errorf(ErrorCode::Timeout,
+                          "no frame within %llu ms",
+                          (unsigned long long)timeoutMs);
+        if (rc < 0)
+            return errorf(ErrorCode::IoError, "poll failed: %s",
+                          std::strerror(errno));
+    }
+    char hdr[4];
+    Status st = readAll(fd, hdr, sizeof(hdr));
+    if (!st.isOk())
+        return st;
+    uint32_t len = 0;
+    for (int i = 0; i < 4; ++i)
+        len |= static_cast<uint32_t>(static_cast<uint8_t>(hdr[i]))
+               << (8 * i);
+    if (len > kMaxFrameBytes)
+        return errorf(ErrorCode::Corrupt,
+                      "frame length %u exceeds the %u-byte cap", len,
+                      kMaxFrameBytes);
+    std::string payload(len, '\0');
+    st = readAll(fd, payload.data(), payload.size());
+    if (!st.isOk())
+        return st;
+    Reader r(std::move(payload));
+    if (r.failed())
+        return errorf(ErrorCode::Corrupt, "frame payload failed its CRC");
+    return r;
+}
+
+} // namespace service
+} // namespace strober

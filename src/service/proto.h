@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Wire protocol of the `strober-serve` daemon.
+ *
+ * Transport: a SOCK_STREAM byte stream (AF_UNIX in practice) carrying
+ * length-prefixed frames. Each frame is a little-endian u32 payload
+ * length followed by that many bytes, and the payload itself is a
+ * farm::wire sealed buffer (trailing CRC-32), so a frame is validated
+ * twice: the length prefix bounds the read, the CRC proves integrity.
+ * A malformed frame poisons only its connection — the daemon drops the
+ * connection and every other client is unaffected.
+ *
+ * Every request/reply message starts with a u64 message type. Requests
+ * and replies are strictly paired: one request frame in, one reply
+ * frame out. Clients open a fresh connection per request (the daemon
+ * also tolerates several requests per connection, in order).
+ */
+
+#ifndef STROBER_SERVICE_PROTO_H
+#define STROBER_SERVICE_PROTO_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "farm/wire.h"
+#include "util/status.h"
+
+namespace strober {
+namespace service {
+
+/** Largest frame either side will accept (reports are ~KBs). */
+constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+/** Request/reply discriminator (first u64 of every payload). */
+enum class MsgType : uint64_t
+{
+    // Requests.
+    Submit = 1,   //!< enqueue an estimate job
+    Status = 2,   //!< query one job, non-blocking
+    Wait = 3,     //!< block until a job reaches a final state
+    Stats = 4,    //!< daemon counters (name/value pairs)
+    Cancel = 5,   //!< cancel a queued or running job
+    Shutdown = 6, //!< request a graceful drain (same as SIGTERM)
+
+    // Replies.
+    Accepted = 100,   //!< Submit admitted; carries the job id
+    Overloaded = 101, //!< admission refused (queue full or draining)
+    JobStatus = 102,  //!< Status/Wait reply
+    StatsReply = 103,
+    Ack = 104,        //!< Cancel/Shutdown acknowledged
+    Error = 105,      //!< malformed request / unknown job
+};
+
+/** Lifecycle of a job inside the daemon. */
+enum class JobState : uint64_t
+{
+    Queued = 0,
+    Running = 1,
+    Done = 2,     //!< clean, valid, non-degraded report
+    Degraded = 3, //!< valid report with quarantined snapshots
+    TimedOut = 4, //!< deadline hit; report (if any) is degraded/invalid
+    Failed = 5,   //!< no report (setup failure, invalid estimate)
+    Canceled = 6, //!< canceled or drained before completion
+};
+
+/** True for states a job can never leave. */
+bool jobStateFinal(JobState s);
+
+/** Stable lowercase name ("queued", "running", ...). */
+const char *jobStateName(JobState s);
+
+/** Submit request body. */
+struct SubmitRequest
+{
+    std::string coreName;     //!< rocket | boom1w | boom2w
+    std::string workloadName;
+    uint64_t sampleSize = 10;
+    uint64_t replayLength = 64;
+    /** Per-job wall-clock budget in ms; 0 = daemon default. */
+    uint64_t deadlineMs = 0;
+    /** Replay worker processes; 0 = daemon default. */
+    uint64_t workers = 0;
+
+    void encode(farm::wire::Writer &w) const;
+    static util::Result<SubmitRequest> decode(farm::wire::Reader &r);
+};
+
+/** Status/Wait reply body (after the MsgType and job id). */
+struct JobStatusReply
+{
+    uint64_t jobId = 0;
+    JobState state = JobState::Queued;
+    int64_t exitCode = -1;   //!< report exit convention; -1 = not final
+    std::string detail;      //!< human-readable (error, status message)
+    std::string reportText;  //!< deterministic rendering; final states only
+
+    void encode(farm::wire::Writer &w) const;
+    static util::Result<JobStatusReply> decode(farm::wire::Reader &r);
+};
+
+/** Daemon counters: ordered name/value pairs. */
+using StatsVector = std::vector<std::pair<std::string, uint64_t>>;
+
+void encodeStats(farm::wire::Writer &w, const StatsVector &stats);
+util::Result<StatsVector> decodeStats(farm::wire::Reader &r);
+
+// --- Frame transport -----------------------------------------------------
+
+/**
+ * Write one frame: u32 length + @p w's sealed payload. Handles partial
+ * writes and EINTR; fails with IoError on a closed/broken peer.
+ */
+util::Status writeFrame(int fd, const farm::wire::Writer &w);
+
+/**
+ * Read one frame and return a Reader over its (CRC-verified) payload.
+ * @p timeoutMs > 0 bounds the wait for the *first* byte (poll); 0
+ * blocks indefinitely. Fails with IoError on EOF/timeout and Corrupt
+ * on an oversized or CRC-failing frame.
+ */
+util::Result<farm::wire::Reader> readFrame(int fd, uint64_t timeoutMs = 0);
+
+} // namespace service
+} // namespace strober
+
+#endif // STROBER_SERVICE_PROTO_H

@@ -1,0 +1,220 @@
+#include "service/supervisor.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "util/env.h"
+#include "util/logging.h"
+
+extern char **environ;
+
+namespace strober {
+namespace service {
+
+namespace {
+
+/** Per-slot supervision state. */
+struct Slot
+{
+    const WorkerSpec *spec = nullptr;
+    pid_t pid = -1;          //!< -1 = not running
+    uint64_t startMs = 0;    //!< monotonic start of this attempt
+    unsigned attempts = 0;   //!< spawns so far (1 = first run)
+    uint64_t respawnAtMs = 0; //!< backoff gate; 0 = may spawn now
+    bool finished = false;   //!< exited 0, or abandoned
+    bool abandoned = false;  //!< gave up after maxRetries
+    bool killedByUs = false; //!< this attempt was SIGKILLed for a cap
+};
+
+pid_t
+spawn(const WorkerSpec &spec)
+{
+    if (spec.body) {
+        pid_t pid = ::fork();
+        if (pid == 0)
+            _exit(spec.body());
+        return pid;
+    }
+
+    // fork+exec. Everything the child touches between fork() and
+    // execve() is prebuilt here so the child only runs
+    // async-signal-safe code — mandatory when the daemon forks from a
+    // thread.
+    std::vector<char *> argv;
+    for (const std::string &a : spec.argv)
+        argv.push_back(const_cast<char *>(a.c_str()));
+    argv.push_back(nullptr);
+    std::vector<char *> envp;
+    for (char **e = environ; *e != nullptr; ++e)
+        envp.push_back(*e);
+    for (const std::string &e : spec.env)
+        envp.push_back(const_cast<char *>(e.c_str()));
+    envp.push_back(nullptr);
+
+    pid_t pid = ::fork();
+    if (pid == 0) {
+        ::execve(argv[0], argv.data(), envp.data());
+        _exit(127); // exec failed
+    }
+    return pid;
+}
+
+} // namespace
+
+SupervisionStats
+superviseUntilDone(const std::vector<WorkerSpec> &specs,
+                   const SupervisorConfig &cfg)
+{
+    SupervisionStats stats;
+    if (specs.empty())
+        return stats;
+
+    std::vector<Slot> slots(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i)
+        slots[i].spec = &specs[i];
+
+    unsigned maxLive = std::max(1u, cfg.slots);
+    bool draining = false;
+    uint64_t drainKillAtMs = 0;
+
+    auto liveCount = [&slots] {
+        size_t n = 0;
+        for (const Slot &s : slots)
+            n += s.pid > 0;
+        return n;
+    };
+
+    for (;;) {
+        uint64_t now = util::monotonicMs();
+
+        if (!draining && cfg.stopRequested && cfg.stopRequested()) {
+            draining = true;
+            drainKillAtMs = now + cfg.stopGraceMs;
+            for (Slot &s : slots) {
+                if (s.pid > 0)
+                    ::kill(s.pid, SIGTERM);
+                // Never (re)spawn once draining.
+                if (s.pid <= 0 && !s.finished) {
+                    s.finished = true;
+                    ++stats.drained;
+                }
+            }
+        }
+        if (draining && now >= drainKillAtMs) {
+            for (Slot &s : slots) {
+                if (s.pid > 0)
+                    ::kill(s.pid, SIGKILL);
+            }
+        }
+
+        // Reap.
+        for (Slot &s : slots) {
+            if (s.pid <= 0)
+                continue;
+            int wstatus = 0;
+            pid_t r = ::waitpid(s.pid, &wstatus, WNOHANG);
+            if (r == 0)
+                continue;
+            bool clean = r > 0 && WIFEXITED(wstatus) &&
+                         WEXITSTATUS(wstatus) == 0;
+            s.pid = -1;
+            if (clean) {
+                ++stats.cleanExits;
+                s.finished = true;
+                continue;
+            }
+            if (draining) {
+                // Deaths during a drain (our own SIGKILL included) are
+                // the drain doing its job, not crashes to retry.
+                ++stats.drained;
+                s.finished = true;
+                continue;
+            }
+            ++stats.crashes;
+            if (s.attempts > cfg.maxRetries) {
+                // Out of budget: abandon the slot. Its unfinished work
+                // stays Pending/Leased on disk; lease expiry gives it
+                // to peers and collect() replays any remainder inline.
+                s.finished = true;
+                s.abandoned = true;
+                ++stats.givenUp;
+                warn("worker slot gave up after %u attempt(s)",
+                     s.attempts);
+                continue;
+            }
+            // Exponential backoff before the respawn: a worker that
+            // dies instantly (bad binary, full disk) must not busy-loop
+            // the supervisor.
+            uint64_t shift = std::min(s.attempts, 16u);
+            s.respawnAtMs =
+                now + cfg.backoffBaseMs * (1ull << (shift - 1));
+            ++stats.retries;
+        }
+
+        // Spawn / respawn.
+        if (!draining) {
+            for (Slot &s : slots) {
+                if (s.finished || s.pid > 0)
+                    continue;
+                if (liveCount() >= maxLive)
+                    break;
+                if (s.respawnAtMs > now)
+                    continue;
+                pid_t pid = spawn(*s.spec);
+                if (pid < 0) {
+                    warn("fork failed: %s; retrying", std::strerror(errno));
+                    s.respawnAtMs = now + cfg.backoffBaseMs;
+                    continue;
+                }
+                s.pid = pid;
+                s.startMs = now;
+                s.killedByUs = false;
+                ++s.attempts;
+                ++stats.spawned;
+            }
+        }
+
+        // Enforce the caps on live workers.
+        if (!draining) {
+            for (Slot &s : slots) {
+                if (s.pid <= 0 || s.killedByUs)
+                    continue;
+                if (cfg.wallCapMs != 0 &&
+                    now - s.startMs > cfg.wallCapMs) {
+                    ::kill(s.pid, SIGKILL);
+                    s.killedByUs = true;
+                    ++stats.wallKills;
+                    continue;
+                }
+                if (cfg.rssCapBytes != 0) {
+                    uint64_t rss = util::processRssBytes(s.pid);
+                    if (rss > cfg.rssCapBytes) {
+                        ::kill(s.pid, SIGKILL);
+                        s.killedByUs = true;
+                        ++stats.rssKills;
+                    }
+                }
+            }
+        }
+
+        bool allDone = true;
+        for (const Slot &s : slots)
+            allDone = allDone && s.finished && s.pid <= 0;
+        if (allDone)
+            return stats;
+
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(std::max<uint64_t>(
+                1, cfg.pollIntervalMs)));
+    }
+}
+
+} // namespace service
+} // namespace strober

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Crash-only supervision of a pool of replay worker processes.
+ *
+ * The farm's durability contract (atomic manifest/cache writes,
+ * content-addressed results) makes SIGKILL a *safe* — and therefore
+ * the default — way to deal with a misbehaving worker: kill it, let
+ * lease expiry hand its work to peers (or the collector), respawn.
+ * The supervisor enforces, per worker:
+ *
+ *  - a wall-clock cap: a worker alive past the cap is SIGKILLed;
+ *  - an RSS cap, polled from /proc/<pid>/status: a worker over budget
+ *    is SIGKILLed (workers additionally self-impose RLIMIT_AS via
+ *    STROBER_WORKER_RSS_MB as a belt-and-braces hard stop);
+ *  - bounded retry with exponential backoff: a crashed/killed worker
+ *    slot is respawned up to maxRetries times, after which the slot is
+ *    abandoned (the collector replays its work inline);
+ *  - graceful stop: when stopRequested() turns true the pool gets
+ *    SIGTERM (workers checkpoint their leases and exit 0), then
+ *    SIGKILL after a grace period.
+ *
+ * superviseUntilDone() is deliberately *synchronous* — the caller's
+ * thread is the supervisor loop — so tests can drive it from a plain
+ * single-threaded process and the daemon runs it inside a runner
+ * thread without any shared mutable state beyond the JobControl.
+ */
+
+#ifndef STROBER_SERVICE_SUPERVISOR_H
+#define STROBER_SERVICE_SUPERVISOR_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace strober {
+namespace service {
+
+/** How to start one worker. Exactly one of argv/body is used. */
+struct WorkerSpec
+{
+    /** fork+exec this argv (argv[0] = binary path). Production path:
+     *  safe to use from a multithreaded daemon because the child only
+     *  calls async-signal-safe functions before execve(). */
+    std::vector<std::string> argv;
+    /** Extra "NAME=VALUE" entries appended to the child environment. */
+    std::vector<std::string> env;
+    /** Test path: fork and run this in the child (no exec). Only safe
+     *  when the spawning process is single-threaded. Return value is
+     *  the child's exit code. */
+    std::function<int()> body;
+};
+
+struct SupervisorConfig
+{
+    unsigned slots = 1;            //!< concurrent workers
+    uint64_t wallCapMs = 0;        //!< per-attempt wall cap; 0 = none
+    uint64_t rssCapBytes = 0;      //!< per-worker RSS cap; 0 = none
+    unsigned maxRetries = 2;       //!< respawns per slot after failures
+    uint64_t backoffBaseMs = 50;   //!< retry n waits base * 2^n
+    uint64_t pollIntervalMs = 20;  //!< supervision loop period
+    uint64_t stopGraceMs = 2000;   //!< SIGTERM → SIGKILL window
+    /** Polled once per loop; true = drain (SIGTERM, grace, SIGKILL). */
+    std::function<bool()> stopRequested;
+};
+
+/** What happened across the whole supervised run. */
+struct SupervisionStats
+{
+    uint64_t spawned = 0;    //!< total forks (first starts + retries)
+    uint64_t cleanExits = 0; //!< workers that exited 0
+    uint64_t crashes = 0;    //!< nonzero exits + signal deaths
+    uint64_t wallKills = 0;  //!< SIGKILLs for the wall-clock cap
+    uint64_t rssKills = 0;   //!< SIGKILLs for the RSS cap
+    uint64_t retries = 0;    //!< respawns after a failure
+    uint64_t givenUp = 0;    //!< slots abandoned after maxRetries
+    uint64_t drained = 0;    //!< workers terminated by a stop request
+};
+
+/**
+ * Run @p specs.size() workers (bounded by cfg.slots at a time) to
+ * completion under the policy above. Returns the accumulated stats;
+ * the farm's own durability makes any outcome safe to collect() after.
+ */
+SupervisionStats superviseUntilDone(const std::vector<WorkerSpec> &specs,
+                                    const SupervisorConfig &cfg);
+
+} // namespace service
+} // namespace strober
+
+#endif // STROBER_SERVICE_SUPERVISOR_H

@@ -8,6 +8,7 @@
 #include "lint/lint.h"
 #include "rtl/eval.h"
 #include "util/bits.h"
+#include "util/env.h"
 #include "util/logging.h"
 
 namespace strober {
@@ -65,9 +66,8 @@ Simulator::Simulator(const rtl::Design &design, Backend backend)
     rtl::EvalPlanOptions planOpts;
     // Debugging escape hatch (also used by the differential suite to
     // pit an unstrengthened reference against the dataflow-optimized
-    // plan): any non-empty value disables the known-bits pass.
-    const char *noDf = std::getenv("STROBER_SIM_NO_DATAFLOW");
-    if (noDf != nullptr && noDf[0] != '\0')
+    // plan): a truthy value disables the known-bits pass.
+    if (util::envFlag("STROBER_SIM_NO_DATAFLOW"))
         planOpts.dataflow = false;
     evalPlan = rtl::buildEvalPlan(dsn, planOpts);
     buildTables();

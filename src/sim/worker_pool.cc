@@ -1,7 +1,8 @@
 #include "sim/worker_pool.h"
 
 #include <algorithm>
-#include <cstdlib>
+
+#include "util/env.h"
 
 namespace strober {
 namespace sim {
@@ -9,28 +10,6 @@ namespace sim {
 namespace {
 
 std::atomic<unsigned> g_simThreadsOverride{0};
-
-/** Parse a positive integer env var; 0 when unset/invalid. */
-unsigned long
-envULong(const char *name, bool *present = nullptr)
-{
-    if (present != nullptr)
-        *present = false;
-    const char *v = std::getenv(name);
-    if (v == nullptr || v[0] == '\0')
-        return 0;
-    // strtoul() accepts "-1" and wraps it to ULONG_MAX; treat any sign
-    // as invalid so negative values fall back like other bad input.
-    if (v[0] == '-' || v[0] == '+')
-        return 0;
-    char *end = nullptr;
-    unsigned long n = std::strtoul(v, &end, 10);
-    if (end == v || (end != nullptr && *end != '\0'))
-        return 0;
-    if (present != nullptr)
-        *present = true;
-    return n;
-}
 
 } // namespace
 
@@ -40,7 +19,7 @@ simThreads()
     unsigned o = g_simThreadsOverride.load(std::memory_order_relaxed);
     if (o != 0)
         return o;
-    unsigned long env = envULong("STROBER_SIM_THREADS");
+    unsigned long env = util::envULong("STROBER_SIM_THREADS");
     if (env >= 1)
         return static_cast<unsigned>(std::min(env, 256ul));
     unsigned hw = std::thread::hardware_concurrency();
@@ -60,7 +39,8 @@ uint32_t
 parallelDispatchGrain(unsigned poolThreads)
 {
     bool present = false;
-    unsigned long env = envULong("STROBER_SIM_PARALLEL_GRAIN", &present);
+    unsigned long env =
+        util::envULong("STROBER_SIM_PARALLEL_GRAIN", 0, &present);
     if (present)
         return static_cast<uint32_t>(std::min(env, 0xfffffffful));
     unsigned hw = std::thread::hardware_concurrency();

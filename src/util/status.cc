@@ -29,6 +29,10 @@ errorCodeName(ErrorCode code)
         return "timeout";
       case ErrorCode::InvalidArgument:
         return "invalid-argument";
+      case ErrorCode::Canceled:
+        return "canceled";
+      case ErrorCode::Overloaded:
+        return "overloaded";
     }
     return "unknown";
 }

@@ -42,6 +42,8 @@ enum class ErrorCode
     Divergence,       //!< replay outputs disagree with the recorded trace
     Timeout,          //!< replay exceeded its cycle budget (watchdog)
     InvalidArgument,  //!< malformed request (e.g. incomplete snapshot)
+    Canceled,         //!< job canceled / drained; work is checkpointed
+    Overloaded,       //!< admission refused: bounded queue is full
 };
 
 /** Stable lowercase name for an ErrorCode ("corrupt", "timeout", ...). */

@@ -13,6 +13,7 @@
  * replays.
  */
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
@@ -25,12 +26,14 @@
 
 #include "core/energy_sim.h"
 #include "core/harness.h"
+#include "core/job_control.h"
 #include "farm/farm.h"
 #include "farm/manifest.h"
 #include "farm/result_cache.h"
 #include "inject/fault_injector.h"
 #include "rtl/builder.h"
 #include "stats/rng.h"
+#include "util/env.h"
 #include "util/status.h"
 
 namespace strober {
@@ -297,6 +300,71 @@ TEST_F(FarmTest, ResultCacheTrimKeepsNewest)
     EXPECT_EQ(cache.trim(3), 0u);
 }
 
+TEST_F(FarmTest, TrimPolicyWarmEntriesSurviveStaleEntriesGo)
+{
+    ResultCache cache(sub("cache"));
+    ReplayRecord rec;
+    rec.outcome.status = SnapshotStatus::Replayed;
+    for (uint64_t i = 0; i < 6; ++i)
+        ASSERT_TRUE(cache.store(CacheKey{i, i}, rec).isOk());
+
+    // Age three entries past the cutoff by backdating their mtime; the
+    // other three stay warm.
+    namespace ch = std::chrono;
+    auto stale = fs::file_time_type::clock::now() - ch::hours(2);
+    size_t aged = 0;
+    for (const auto &ent : fs::directory_iterator(sub("cache"))) {
+        if (aged >= 3)
+            break;
+        fs::last_write_time(ent.path(), stale);
+        ++aged;
+    }
+    ASSERT_EQ(aged, 3u);
+
+    ResultCache::TrimPolicy policy;
+    policy.maxAgeSeconds = 3600; // 1h: the backdated three are stale
+    ResultCache::TrimResult res = cache.trim(policy);
+    EXPECT_EQ(res.examined, 6u);
+    EXPECT_EQ(res.evicted, 3u);
+    EXPECT_GT(res.bytesEvicted, 0u);
+    EXPECT_EQ(cache.entryCount(), 3u);
+    EXPECT_EQ(cache.stats().evictions, 3u);
+
+    // Warm survivors are untouched by a repeat sweep.
+    res = cache.trim(policy);
+    EXPECT_EQ(res.evicted, 0u);
+    EXPECT_EQ(cache.stats().evictions, 3u);
+}
+
+TEST_F(FarmTest, TrimPolicySizeBudgetEvictsOldestFirst)
+{
+    ResultCache cache(sub("cache"));
+    ReplayRecord rec;
+    rec.outcome.status = SnapshotStatus::Replayed;
+    rec.groups = {{"engine", 0.001}};
+    for (uint64_t i = 0; i < 4; ++i)
+        ASSERT_TRUE(cache.store(CacheKey{i, i}, rec).isOk());
+
+    uint64_t total = 0;
+    uint64_t one = 0;
+    for (const auto &ent : fs::directory_iterator(sub("cache"))) {
+        one = fs::file_size(ent.path());
+        total += one;
+    }
+    ASSERT_GT(one, 0u);
+
+    // Budget for roughly two entries: the two oldest must go, newest
+    // survive, and the byte accounting must add up.
+    ResultCache::TrimPolicy policy;
+    policy.maxTotalBytes = 2 * one;
+    ResultCache::TrimResult res = cache.trim(policy);
+    EXPECT_EQ(res.examined, 4u);
+    EXPECT_EQ(res.evicted, 2u);
+    EXPECT_EQ(res.bytesKept + res.bytesEvicted, total);
+    EXPECT_LE(res.bytesKept, policy.maxTotalBytes);
+    EXPECT_EQ(cache.entryCount(), 2u);
+}
+
 // ---------------------------------------------------------------------------
 // Manifest durability
 // ---------------------------------------------------------------------------
@@ -401,6 +469,54 @@ TEST_F(FarmTest, CorruptManifestIsRejectedNotTrusted)
             << inject::fileFaultName(kind) << ": "
             << r.status().toString();
     }
+}
+
+TEST_F(FarmTest, ReclaimLeasesExpiredVersusLiveBoundary)
+{
+    ShardManifest m;
+    m.shard = 0;
+    m.shards = 1;
+    m.mirrorFrom(standardConfig());
+    const uint64_t now = 1'000'000;
+    // Four leases straddling the boundary: long-expired, expired at
+    // exactly `now` (counts as expired), still live, and a v1-style
+    // lease with no recorded deadline (always reclaimable — the old
+    // format cannot prove the holder is alive).
+    for (uint64_t deadline : {now - 1, now, now + 1000, uint64_t(0)}) {
+        ManifestEntry e;
+        e.index = m.entries.size();
+        e.state = EntryState::Leased;
+        e.leaseDeadlineUnixMs = deadline;
+        m.entries.push_back(e);
+    }
+    ManifestEntry done;
+    done.index = 4;
+    done.state = EntryState::Done;
+    done.leaseDeadlineUnixMs = now - 1; // ignored: not Leased
+    m.entries.push_back(done);
+
+    EXPECT_EQ(reclaimLeases(m, now), 3u);
+    EXPECT_EQ(m.entries[0].state, EntryState::Pending);
+    EXPECT_EQ(m.entries[1].state, EntryState::Pending);
+    EXPECT_EQ(m.entries[2].state, EntryState::Leased); // still live
+    EXPECT_EQ(m.entries[2].leaseDeadlineUnixMs, now + 1000);
+    EXPECT_EQ(m.entries[3].state, EntryState::Pending);
+    EXPECT_EQ(m.entries[4].state, EntryState::Done);
+    // Reclaimed leases have their deadline cleared.
+    EXPECT_EQ(m.entries[0].leaseDeadlineUnixMs, 0u);
+    // Idempotent: a second sweep at the same instant reclaims nothing.
+    EXPECT_EQ(reclaimLeases(m, now), 0u);
+}
+
+TEST_F(FarmTest, ManifestPersistsLeaseDeadlines)
+{
+    ShardManifest m = sampleManifest();
+    m.entries[1].leaseDeadlineUnixMs = 0xdeadbeef; // the Leased entry
+    std::string path = sub("shard_1.strbfarm");
+    ASSERT_TRUE(writeManifestFile(path, m).isOk());
+    auto r = readManifestFile(path, /*reclaimLeases=*/false);
+    ASSERT_TRUE(r.isOk()) << r.status().toString();
+    EXPECT_EQ(r->entries[1].leaseDeadlineUnixMs, 0xdeadbeefu);
 }
 
 // ---------------------------------------------------------------------------
@@ -649,6 +765,151 @@ TEST_F(FarmTest, KillAndResumeReproducesTheUninterruptedReport)
     auto rep = resumed.collect();
     ASSERT_TRUE(rep.isOk()) << rep.status().toString();
     expectReportsBitIdentical(*refRep, *rep);
+}
+
+TEST_F(FarmTest, DrainMidShardCheckpointsAndResumesBitIdentically)
+{
+    Design d = makeDut();
+    EnergySimulator::Config cfg = standardConfig();
+
+    // Uninterrupted reference.
+    Standard ref = runStandard(d, cfg);
+    FarmOrchestrator refOrch(d, farmConfig(sub("ref"), 1, cfg));
+    ASSERT_TRUE(
+        refOrch.plan(ref.es->sampler().snapshots(), ref.population)
+            .isOk());
+    ASSERT_TRUE(refOrch.workShard(0).isOk());
+    auto refRep = refOrch.collect();
+    ASSERT_TRUE(refRep.isOk());
+
+    // The drained run: a SIGTERM-style cancel lands right after the
+    // second lease is taken (the entryHook models the signal arriving
+    // mid-replay). workShard must checkpoint — revert the lease, stop,
+    // return ok — exactly what a draining worker process does.
+    Standard s = runStandard(d, cfg);
+    core::JobControl job;
+    FarmConfig fcfg = farmConfig(sub("run"), 1, cfg);
+    fcfg.sim.job = &job;
+    unsigned leased = 0;
+    fcfg.entryHook = [&](unsigned, const ManifestEntry &) {
+        if (++leased == 2)
+            job.cancel.store(true, std::memory_order_relaxed);
+    };
+    {
+        FarmOrchestrator orch(d, fcfg);
+        ASSERT_TRUE(
+            orch.plan(s.es->sampler().snapshots(), s.population).isOk());
+        ASSERT_TRUE(orch.workShard(0).isOk());
+        auto mid = orch.progress();
+        ASSERT_TRUE(mid.isOk());
+        EXPECT_EQ(mid->done, 1u);   // first entry finished before the
+        EXPECT_EQ(mid->leased, 0u); // drain; the second was reverted
+        EXPECT_EQ(mid->quarantined, 0u); // a drain is never a failure
+        EXPECT_EQ(mid->pending, mid->total - 1);
+
+        // collect() under a drain refuses to produce a report and says
+        // the run is checkpointed instead.
+        auto rep = orch.collect();
+        ASSERT_FALSE(rep.isOk());
+        EXPECT_EQ(rep.status().code(), util::ErrorCode::Canceled);
+    }
+
+    // Resume without the cancel: only the unfinished work is redone and
+    // the report is bit-identical to the uninterrupted reference.
+    Standard s2 = runStandard(d, cfg);
+    FarmOrchestrator resumed(d, farmConfig(sub("run"), 1, cfg));
+    ASSERT_TRUE(
+        resumed.plan(s2.es->sampler().snapshots(), s2.population).isOk());
+    ASSERT_TRUE(resumed.workShard(0).isOk());
+    auto rep = resumed.collect();
+    ASSERT_TRUE(rep.isOk()) << rep.status().toString();
+    expectReportsBitIdentical(*refRep, *rep);
+}
+
+TEST_F(FarmTest, ExpiredDeadlineYieldsDeterministicTimedOutReport)
+{
+    Design d = makeDut();
+    EnergySimulator::Config cfg = standardConfig();
+    Standard s = runStandard(d, cfg);
+
+    core::JobControl job;
+    job.deadlineUnixMs.store(1, std::memory_order_relaxed); // long past
+    FarmConfig fcfg = farmConfig(sub("run"), 1, cfg);
+    fcfg.sim.job = &job;
+    fcfg.sim.maxDroppedSnapshots = 100; // keep the report valid
+    FarmOrchestrator orch(d, fcfg);
+    ASSERT_TRUE(
+        orch.plan(s.es->sampler().snapshots(), s.population).isOk());
+    ASSERT_TRUE(orch.workShard(0).isOk());
+
+    auto rep = orch.collect();
+    ASSERT_TRUE(rep.isOk()) << rep.status().toString();
+    EXPECT_TRUE(rep->degraded);
+    EXPECT_EQ(rep->droppedSnapshots, rep->outcomes.size());
+    for (const SnapshotOutcome &oc : rep->outcomes) {
+        EXPECT_EQ(oc.status, SnapshotStatus::TimedOut);
+        // The deadline early-out is deterministic: fixed detail, zero
+        // attempts — NOT a function of how far the replay got.
+        EXPECT_EQ(oc.attempts, 0u);
+        EXPECT_EQ(oc.detail, "job deadline exceeded before replay");
+    }
+
+    // Degradation is an artifact of the deadline, not the work queue: a
+    // fresh run of the same directory without the deadline heals every
+    // quarantine (plan resets them to Pending) and reports cleanly.
+    Standard s2 = runStandard(d, cfg);
+    FarmOrchestrator healed(d, farmConfig(sub("run"), 1, cfg));
+    ASSERT_TRUE(
+        healed.plan(s2.es->sampler().snapshots(), s2.population).isOk());
+    ASSERT_TRUE(healed.workShard(0).isOk());
+    auto rep2 = healed.collect();
+    ASSERT_TRUE(rep2.isOk());
+    EXPECT_FALSE(rep2->degraded);
+}
+
+TEST_F(FarmTest, ExpiredLeaseIsStolenByPeersLiveLeaseIsNot)
+{
+    Design d = makeDut();
+    EnergySimulator::Config cfg = standardConfig();
+    Standard s = runStandard(d, cfg);
+    EnergyReport inProcess = s.es->estimate();
+
+    FarmConfig fcfg = farmConfig(sub("run"), 2, cfg);
+    FarmOrchestrator orch(d, fcfg);
+    ASSERT_TRUE(
+        orch.plan(s.es->sampler().snapshots(), s.population).isOk());
+
+    // Wedge shard 1: mark every entry Leased. Half with a deadline far
+    // in the future (a live worker), half long expired (a dead one).
+    std::string path = sub("run") + "/" + shardManifestName(1);
+    auto m = readManifestFile(path, false);
+    ASSERT_TRUE(m.isOk());
+    ASSERT_GE(m->entries.size(), 2u);
+    uint64_t now = util::nowUnixMs();
+    for (size_t i = 0; i < m->entries.size(); ++i) {
+        m->entries[i].state = EntryState::Leased;
+        m->entries[i].leaseDeadlineUnixMs =
+            i % 2 == 0 ? now - 60'000 : now + 60 * 60 * 1000;
+    }
+    ASSERT_TRUE(writeManifestFile(path, *m).isOk());
+
+    // Worker 0 drains its shard then steals: expired leases are redone
+    // (published to the cache), live leases are left to their holder.
+    ASSERT_TRUE(orch.workShard(0).isOk());
+    size_t ownShard = inProcess.snapshots - m->entries.size();
+    size_t expired = (m->entries.size() + 1) / 2;
+    EXPECT_EQ(orch.cache().entryCount(), ownShard + expired);
+
+    // The foreign manifest was never written by the thief.
+    auto after = readManifestFile(path, false);
+    ASSERT_TRUE(after.isOk());
+    EXPECT_EQ(after->count(EntryState::Leased), after->entries.size());
+
+    // collect() still completes everything (inline for the "live"
+    // leaseholder's work) and the report is bit-identical.
+    auto rep = orch.collect();
+    ASSERT_TRUE(rep.isOk()) << rep.status().toString();
+    expectReportsBitIdentical(inProcess, *rep);
 }
 
 TEST_F(FarmTest, MultiProcessWorkersMatchInProcessEstimate)

@@ -1,11 +1,17 @@
 /**
  * @file
- * Unit tests for bit utilities and logging helpers.
+ * Unit tests for bit utilities, logging helpers, and environment
+ * variable parsing.
  */
+
+#include <cstdlib>
+
+#include <unistd.h>
 
 #include <gtest/gtest.h>
 
 #include "util/bits.h"
+#include "util/env.h"
 #include "util/logging.h"
 
 namespace strober {
@@ -99,6 +105,97 @@ TEST(Logging, QuietSuppression)
     warn("this must not appear");
     setQuiet(false);
     EXPECT_FALSE(isQuiet());
+}
+
+TEST(Env, ParseULongAcceptsPlainDecimal)
+{
+    EXPECT_EQ(util::parseULong("0"), 0ul);
+    EXPECT_EQ(util::parseULong("42"), 42ul);
+    EXPECT_EQ(util::parseULong("18446744073709551615"),
+              18446744073709551615ul);
+}
+
+TEST(Env, ParseULongRejectsSignedAndGarbage)
+{
+    // strtoul would happily wrap "-1" to ULONG_MAX; the strict parser
+    // must treat every one of these like an unset variable.
+    EXPECT_FALSE(util::parseULong("").has_value());
+    EXPECT_FALSE(util::parseULong("-1").has_value());
+    EXPECT_FALSE(util::parseULong("+3").has_value());
+    EXPECT_FALSE(util::parseULong(" 7").has_value());
+    EXPECT_FALSE(util::parseULong("7 ").has_value());
+    EXPECT_FALSE(util::parseULong("0x10").has_value());
+    EXPECT_FALSE(util::parseULong("12abc").has_value());
+    EXPECT_FALSE(util::parseULong("abc").has_value());
+    // One digit past ULONG_MAX: overflow, not silent wrap.
+    EXPECT_FALSE(util::parseULong("18446744073709551616").has_value());
+}
+
+TEST(Env, EnvULongFallbackAndPresence)
+{
+    bool present = true;
+    ::unsetenv("STROBER_TEST_ENV_ULONG");
+    EXPECT_EQ(util::envULong("STROBER_TEST_ENV_ULONG", 9, &present), 9ul);
+    EXPECT_FALSE(present);
+
+    ::setenv("STROBER_TEST_ENV_ULONG", "17", 1);
+    EXPECT_EQ(util::envULong("STROBER_TEST_ENV_ULONG", 9, &present), 17ul);
+    EXPECT_TRUE(present);
+
+    // Garbage behaves exactly like unset: fallback, not-present.
+    ::setenv("STROBER_TEST_ENV_ULONG", "-4", 1);
+    EXPECT_EQ(util::envULong("STROBER_TEST_ENV_ULONG", 9, &present), 9ul);
+    EXPECT_FALSE(present);
+    ::unsetenv("STROBER_TEST_ENV_ULONG");
+}
+
+TEST(Env, EnvFlag)
+{
+    ::unsetenv("STROBER_TEST_ENV_FLAG");
+    EXPECT_FALSE(util::envFlag("STROBER_TEST_ENV_FLAG"));
+    ::setenv("STROBER_TEST_ENV_FLAG", "", 1);
+    EXPECT_FALSE(util::envFlag("STROBER_TEST_ENV_FLAG"));
+    ::setenv("STROBER_TEST_ENV_FLAG", "0", 1);
+    EXPECT_FALSE(util::envFlag("STROBER_TEST_ENV_FLAG"));
+    ::setenv("STROBER_TEST_ENV_FLAG", "1", 1);
+    EXPECT_TRUE(util::envFlag("STROBER_TEST_ENV_FLAG"));
+    ::setenv("STROBER_TEST_ENV_FLAG", "yes", 1);
+    EXPECT_TRUE(util::envFlag("STROBER_TEST_ENV_FLAG"));
+    ::unsetenv("STROBER_TEST_ENV_FLAG");
+}
+
+TEST(Env, ParseDurationMs)
+{
+    EXPECT_EQ(util::parseDurationMs("250ms"), 250ull);
+    EXPECT_EQ(util::parseDurationMs("3s"), 3000ull);
+    EXPECT_EQ(util::parseDurationMs("3"), 3000ull); // bare means seconds
+    EXPECT_EQ(util::parseDurationMs("2m"), 120000ull);
+    EXPECT_EQ(util::parseDurationMs("1h"), 3600000ull);
+    EXPECT_EQ(util::parseDurationMs("0ms"), 0ull);
+
+    EXPECT_FALSE(util::parseDurationMs("").has_value());
+    EXPECT_FALSE(util::parseDurationMs("ms").has_value());
+    EXPECT_FALSE(util::parseDurationMs("-5s").has_value());
+    EXPECT_FALSE(util::parseDurationMs("5 s").has_value());
+    EXPECT_FALSE(util::parseDurationMs("5d").has_value());
+    // 2^64 ms-worth of hours overflows the multiply.
+    EXPECT_FALSE(util::parseDurationMs("18446744073709551615h").has_value());
+}
+
+TEST(Env, Clocks)
+{
+    // Coarse sanity only: unix time is after 2020, monotonic advances.
+    EXPECT_GT(util::nowUnixMs(), 1577836800000ull);
+    uint64_t a = util::monotonicMs();
+    uint64_t b = util::monotonicMs();
+    EXPECT_GE(b, a);
+}
+
+TEST(Env, ProcessRssBytesSelf)
+{
+    // Our own RSS must be readable and nonzero; a dead pid reads as 0.
+    EXPECT_GT(util::processRssBytes(::getpid()), 0ull);
+    EXPECT_EQ(util::processRssBytes(-1), 0ull);
 }
 
 TEST(LoggingDeath, PanicAborts)

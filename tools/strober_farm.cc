@@ -11,24 +11,48 @@
  *   strober-farm worker --dir D --shard K       # one detached worker
  *   strober-farm status --dir D                 # work-queue progress
  *   strober-farm gc --cache-dir C --keep N      # trim the result cache
+ *       [--max-age DUR] [--max-bytes B]
+ *
+ * Client subcommands talk to a running `strober-serve` daemon:
+ *
+ *   strober-farm submit <core> <workload> --socket S [--deadline DUR]
+ *       [--workers N] [--wait [--timeout DUR]]
+ *   strober-farm wait --socket S --job ID [--timeout DUR] [--report F]
+ *   strober-farm jobstat --socket S --job ID
+ *   strober-farm stats --socket S
+ *   strober-farm cancel --socket S --job ID
+ *   strober-farm shutdown --socket S
  *
  * Exit codes (same convention as `strober run`): 0 clean estimate,
- * 1 degraded-but-valid, 2 usage error, 3 invalid estimate / run failure.
+ * 1 degraded-but-valid, 2 usage error, 3 invalid estimate / run
+ * failure / unreachable daemon, 4 refused (overloaded or draining) or
+ * canceled, 5 wait timeout.
+ *
+ * A worker receiving SIGTERM drains: the in-flight lease is
+ * checkpointed back to Pending and the process exits 0; a resumed run
+ * produces the bit-identical report.
  */
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include "core/energy_sim.h"
+#include "core/job_control.h"
 #include "cores/soc.h"
 #include "cores/soc_driver.h"
 #include "farm/farm.h"
+#include "farm/report.h"
+#include "service/client.h"
+#include "util/env.h"
 #include "util/logging.h"
 #include "workloads/workloads.h"
 
@@ -46,52 +70,6 @@ coreByName(const std::string &name)
     if (name == "boom2w")
         return cores::SocConfig::boom2w();
     fatal("unknown core '%s' (rocket | boom1w | boom2w)", name.c_str());
-}
-
-/**
- * Deterministic text rendering of a report. Doubles are printed as %.13a
- * hex-floats, so two bit-identical reports produce byte-identical files
- * and `cmp` is a sufficient bit-identity check (the CI kill/resume smoke
- * test relies on this). Wall-clock times and cache hit/miss counts are
- * deliberately excluded: they legitimately differ between cold, warm
- * and resumed runs while the *estimate* must not.
- */
-std::string
-renderReportDeterministic(const core::EnergyReport &rep)
-{
-    std::string out;
-    out += strfmt("population %llu\n", (unsigned long long)rep.population);
-    out += strfmt("snapshots %zu dropped %zu mismatches %llu\n",
-                  rep.snapshots, rep.droppedSnapshots,
-                  (unsigned long long)rep.replayMismatches);
-    out += strfmt("valid %d degraded %d\n", rep.valid ? 1 : 0,
-                  rep.degraded ? 1 : 0);
-    out += strfmt("status %s\n", rep.statusMessage.c_str());
-    out += strfmt("mean %.13a halfwidth %.13a confidence %.13a\n",
-                  rep.averagePower.mean, rep.averagePower.halfWidth,
-                  rep.averagePower.confidence);
-    out += strfmt("modeled-load-seconds %.13a\n", rep.modeledLoadSeconds);
-    for (const core::GroupEstimate &g : rep.groups) {
-        out += strfmt("group %s mean %.13a halfwidth %.13a\n",
-                      g.group.c_str(), g.power.mean, g.power.halfWidth);
-    }
-    for (const core::SnapshotOutcome &oc : rep.outcomes) {
-        out += strfmt("outcome %zu cycle %llu %s attempts %u retried %d "
-                      "mismatches %llu\n",
-                      oc.index, (unsigned long long)oc.cycle,
-                      core::snapshotStatusName(oc.status), oc.attempts,
-                      oc.retriedOnAlternateLoader ? 1 : 0,
-                      (unsigned long long)oc.mismatches);
-    }
-    return out;
-}
-
-int
-reportExitCode(const core::EnergyReport &rep)
-{
-    if (!rep.valid)
-        return 3;
-    return rep.degraded || rep.replayMismatches ? 1 : 0;
 }
 
 void
@@ -124,9 +102,30 @@ struct FarmCliOptions
     unsigned shards = 0; //!< 0 = same as jobs
     unsigned shard = 0;  //!< `worker` only
     bool haveShard = false;
-    size_t keep = 0; //!< `gc` only
+    unsigned slot = 0;  //!< `worker` only: this worker's slot index
+    unsigned slots = 0; //!< `worker` only: pool size (0 = not slotted)
+    uint64_t deadlineUnixMs = 0; //!< `worker` only: absolute job deadline
+    size_t keep = 0;             //!< `gc` only
+    bool haveKeep = false;
+    uint64_t gcMaxAgeSec = 0;    //!< `gc` only: 0 = no age limit
+    uint64_t gcMaxBytes = 0;     //!< `gc` only: 0 = no size budget
+    std::string socketPath;      //!< client subcommands
+    uint64_t jobId = 0;
+    bool haveJob = false;
+    uint64_t timeoutMs = 0;      //!< client wait budget; 0 = forever
+    uint64_t deadlineMs = 0;     //!< submit: per-job deadline
+    unsigned serveWorkers = 0;   //!< submit: worker count (0 = daemon's)
+    bool waitAfterSubmit = false;
     core::EnergySimulator::Config sim;
 };
+
+void
+onWorkerSigterm(int)
+{
+    // Drain: the worker loop checkpoints the in-flight lease back to
+    // Pending and exits 0. One atomic store — async-signal-safe.
+    core::globalJobControl().cancel.store(true, std::memory_order_relaxed);
+}
 
 /**
  * Worker body shared by `run` (forked children) and `worker` (detached
@@ -137,14 +136,38 @@ int
 workerBody(const rtl::Design &soc, const FarmCliOptions &opts,
            unsigned slot, unsigned slots, unsigned totalShards)
 {
+    // SIGTERM = drain (checkpoint the lease, exit 0); the supervisor in
+    // strober-serve relies on this for graceful stop. SIGKILL needs no
+    // handling — the farm is crash-only by design.
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onWorkerSigterm;
+    ::sigaction(SIGTERM, &sa, nullptr);
+
+    // Belt-and-braces memory cap (the supervisor also polls our RSS).
+    bool haveRss = false;
+    unsigned long rssMb =
+        util::envULong("STROBER_WORKER_RSS_MB", 0, &haveRss);
+    if (haveRss && rssMb != 0)
+        util::applyMemoryRlimitMb(rssMb);
+
+    core::JobControl &job = core::globalJobControl();
+    if (opts.deadlineUnixMs != 0) {
+        job.deadlineUnixMs.store(opts.deadlineUnixMs,
+                                 std::memory_order_relaxed);
+    }
+
     farm::FarmConfig fcfg;
     fcfg.dir = opts.dir;
     fcfg.cacheDir = opts.cacheDir;
     fcfg.shards = totalShards;
     fcfg.sim = opts.sim;
+    fcfg.sim.job = &job;
     farm::FarmOrchestrator orch(soc, fcfg);
     int rc = 0;
     for (unsigned k = slot; k < totalShards; k += slots) {
+        if (job.canceled())
+            break;
         util::Status st = orch.workShard(k);
         if (!st.isOk()) {
             std::fprintf(stderr, "worker: shard %u failed: %s\n", k,
@@ -226,12 +249,12 @@ cmdRun(const std::string &coreName, const std::string &wlName,
         opts.reportPath.empty() ? opts.dir + "/report.txt"
                                 : opts.reportPath;
     std::ofstream out(reportPath, std::ios::trunc);
-    out << renderReportDeterministic(*rep);
+    out << farm::renderReportDeterministic(*rep);
     out.close();
     if (!out)
         fatal("cannot write report '%s'", reportPath.c_str());
     std::printf("report written to %s\n", reportPath.c_str());
-    return reportExitCode(*rep);
+    return farm::reportExitCode(*rep);
 }
 
 int
@@ -258,6 +281,14 @@ cmdWorker(const FarmCliOptions &opts)
             fatal("--shard %u out of range (%u shards)", opts.shard,
                   shards);
         return workerBody(soc, worker, opts.shard, shards, shards);
+    }
+    if (opts.slots != 0) {
+        // Slotted pool member (strober-serve's supervisor spawns these):
+        // drain every shard congruent to slot mod slots, steal the rest.
+        if (opts.slot >= opts.slots)
+            fatal("--slot %u out of range (%u slots)", opts.slot,
+                  opts.slots);
+        return workerBody(soc, worker, opts.slot, opts.slots, shards);
     }
     return workerBody(soc, worker, 0, 1, shards);
 }
@@ -309,10 +340,155 @@ int
 cmdGc(const FarmCliOptions &opts)
 {
     farm::ResultCache cache(opts.cacheDir);
-    size_t before = cache.entryCount();
-    size_t removed = cache.trim(opts.keep);
-    std::printf("cache '%s': %zu entr(ies), removed %zu, kept %zu\n",
-                opts.cacheDir.c_str(), before, removed, before - removed);
+    farm::ResultCache::TrimPolicy policy;
+    if (opts.haveKeep)
+        policy.keepCount = opts.keep;
+    policy.maxAgeSeconds = opts.gcMaxAgeSec;
+    policy.maxTotalBytes = opts.gcMaxBytes;
+    farm::ResultCache::TrimResult res = cache.trim(policy);
+    std::printf("cache '%s': %zu entr(ies) examined, evictions %zu "
+                "(%llu bytes), kept %zu (%llu bytes)\n",
+                opts.cacheDir.c_str(), res.examined, res.evicted,
+                (unsigned long long)res.bytesEvicted,
+                res.examined - res.evicted,
+                (unsigned long long)res.bytesKept);
+    return 0;
+}
+
+// --- client subcommands (talk to a running strober-serve daemon) ----
+
+/** Map a final JobStatusReply onto this tool's exit-code convention. */
+int
+finishFromReply(const service::JobStatusReply &rep,
+                const FarmCliOptions &opts)
+{
+    std::printf("job %llu: %s", (unsigned long long)rep.jobId,
+                service::jobStateName(rep.state));
+    if (!rep.detail.empty())
+        std::printf(" (%s)", rep.detail.c_str());
+    std::printf("\n");
+    if (!rep.reportText.empty()) {
+        if (!opts.reportPath.empty()) {
+            std::ofstream out(opts.reportPath, std::ios::trunc);
+            out << rep.reportText;
+            out.close();
+            if (!out)
+                fatal("cannot write report '%s'",
+                      opts.reportPath.c_str());
+            std::printf("report written to %s\n",
+                        opts.reportPath.c_str());
+        } else {
+            std::fputs(rep.reportText.c_str(), stdout);
+        }
+    }
+    return rep.exitCode >= 0 ? static_cast<int>(rep.exitCode) : 3;
+}
+
+int
+cmdWait(const FarmCliOptions &opts)
+{
+    service::ServiceClient client(opts.socketPath);
+    util::Result<service::JobStatusReply> rep =
+        client.wait(opts.jobId, opts.timeoutMs);
+    if (!rep.isOk()) {
+        std::fprintf(stderr, "wait: %s\n",
+                     rep.status().toString().c_str());
+        return rep.status().code() == util::ErrorCode::Timeout ? 5 : 3;
+    }
+    return finishFromReply(*rep, opts);
+}
+
+int
+cmdSubmit(const std::string &coreName, const std::string &wlName,
+          const FarmCliOptions &opts)
+{
+    service::SubmitRequest req;
+    req.coreName = coreName;
+    req.workloadName = wlName;
+    req.sampleSize = opts.sim.sampleSize;
+    req.replayLength = opts.sim.replayLength;
+    req.deadlineMs = opts.deadlineMs;
+    req.workers = opts.serveWorkers;
+    service::ServiceClient client(opts.socketPath);
+    util::Result<service::SubmitResult> res = client.submit(req);
+    if (!res.isOk()) {
+        std::fprintf(stderr, "submit: %s\n",
+                     res.status().toString().c_str());
+        return 3;
+    }
+    if (!res->accepted) {
+        std::fprintf(stderr, "submit refused: %s\n",
+                     res->refusal.c_str());
+        return 4;
+    }
+    std::printf("job %llu accepted\n", (unsigned long long)res->jobId);
+    if (!opts.waitAfterSubmit)
+        return 0;
+    FarmCliOptions waitOpts = opts;
+    waitOpts.jobId = res->jobId;
+    return cmdWait(waitOpts);
+}
+
+int
+cmdJobstat(const FarmCliOptions &opts)
+{
+    service::ServiceClient client(opts.socketPath);
+    util::Result<service::JobStatusReply> rep = client.status(opts.jobId);
+    if (!rep.isOk()) {
+        std::fprintf(stderr, "jobstat: %s\n",
+                     rep.status().toString().c_str());
+        return 3;
+    }
+    std::printf("job %llu: %s exit %lld%s%s\n",
+                (unsigned long long)rep->jobId,
+                service::jobStateName(rep->state),
+                (long long)rep->exitCode,
+                rep->detail.empty() ? "" : " ",
+                rep->detail.c_str());
+    return 0;
+}
+
+int
+cmdStats(const FarmCliOptions &opts)
+{
+    service::ServiceClient client(opts.socketPath);
+    util::Result<service::StatsVector> stats = client.stats();
+    if (!stats.isOk()) {
+        std::fprintf(stderr, "stats: %s\n",
+                     stats.status().toString().c_str());
+        return 3;
+    }
+    for (const auto &kv : *stats) {
+        std::printf("%s %llu\n", kv.first.c_str(),
+                    (unsigned long long)kv.second);
+    }
+    return 0;
+}
+
+int
+cmdCancel(const FarmCliOptions &opts)
+{
+    service::ServiceClient client(opts.socketPath);
+    util::Status st = client.cancel(opts.jobId);
+    if (!st.isOk()) {
+        std::fprintf(stderr, "cancel: %s\n", st.toString().c_str());
+        return 3;
+    }
+    std::printf("job %llu cancel requested\n",
+                (unsigned long long)opts.jobId);
+    return 0;
+}
+
+int
+cmdShutdown(const FarmCliOptions &opts)
+{
+    service::ServiceClient client(opts.socketPath);
+    util::Status st = client.shutdownDaemon();
+    if (!st.isOk()) {
+        std::fprintf(stderr, "shutdown: %s\n", st.toString().c_str());
+        return 3;
+    }
+    std::printf("daemon drain requested\n");
     return 0;
 }
 
@@ -330,8 +506,30 @@ usage()
         "                               |compiled-parallel]\n"
         "                    [--sim-threads N]\n"
         "       strober-farm worker --dir D [--shard K]\n"
+        "                    [--slot I --slots N] [--deadline-unix-ms T]\n"
         "       strober-farm status --dir D [--cache-dir C]\n"
-        "       strober-farm gc --cache-dir C --keep N\n");
+        "       strober-farm gc --cache-dir C [--keep N] [--max-age DUR]\n"
+        "                    [--max-bytes B]\n"
+        "       strober-farm submit <core> <workload> --socket S\n"
+        "                    [--deadline DUR] [--workers N]\n"
+        "                    [--sample-size N] [--replay-length L]\n"
+        "                    [--wait [--timeout DUR]] [--report F]\n"
+        "       strober-farm wait --socket S --job ID [--timeout DUR]\n"
+        "                    [--report F]\n"
+        "       strober-farm jobstat --socket S --job ID\n"
+        "       strober-farm stats --socket S\n"
+        "       strober-farm cancel --socket S --job ID\n"
+        "       strober-farm shutdown --socket S\n");
+}
+
+uint64_t
+durationArg(const char *flag, const std::string &text)
+{
+    std::optional<uint64_t> ms = util::parseDurationMs(text);
+    if (!ms.has_value())
+        fatal("%s: '%s' is not a duration (try 250ms, 30s, 5m, 1h)",
+              flag, text.c_str());
+    return *ms;
 }
 
 bool
@@ -358,8 +556,32 @@ parseCommon(const std::vector<std::string> &args, FarmCliOptions &opts,
         } else if (arg == "--shard") {
             opts.shard = static_cast<unsigned>(std::stoul(next()));
             opts.haveShard = true;
+        } else if (arg == "--slot") {
+            opts.slot = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--slots") {
+            opts.slots = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--deadline-unix-ms") {
+            opts.deadlineUnixMs = std::stoull(next());
         } else if (arg == "--keep") {
             opts.keep = static_cast<size_t>(std::stoull(next()));
+            opts.haveKeep = true;
+        } else if (arg == "--max-age") {
+            opts.gcMaxAgeSec = durationArg("--max-age", next()) / 1000;
+        } else if (arg == "--max-bytes") {
+            opts.gcMaxBytes = std::stoull(next());
+        } else if (arg == "--socket") {
+            opts.socketPath = next();
+        } else if (arg == "--job") {
+            opts.jobId = std::stoull(next());
+            opts.haveJob = true;
+        } else if (arg == "--timeout") {
+            opts.timeoutMs = durationArg("--timeout", next());
+        } else if (arg == "--deadline") {
+            opts.deadlineMs = durationArg("--deadline", next());
+        } else if (arg == "--workers") {
+            opts.serveWorkers = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--wait") {
+            opts.waitAfterSubmit = true;
         } else if (arg == "--sample-size") {
             opts.sim.sampleSize = static_cast<size_t>(std::stoull(next()));
         } else if (arg == "--replay-length") {
@@ -430,11 +652,58 @@ main(int argc, char **argv)
         return cmdStatus(opts);
     }
     if (cmd == "gc") {
-        if (!positional.empty() || opts.cacheDir.empty()) {
+        bool haveLimit =
+            opts.haveKeep || opts.gcMaxAgeSec != 0 || opts.gcMaxBytes != 0;
+        if (!positional.empty() || opts.cacheDir.empty() || !haveLimit) {
             usage();
             return 2;
         }
         return cmdGc(opts);
+    }
+    if (cmd == "submit") {
+        if (positional.size() != 2 || opts.socketPath.empty()) {
+            usage();
+            return 2;
+        }
+        return cmdSubmit(positional[0], positional[1], opts);
+    }
+    if (cmd == "wait") {
+        if (!positional.empty() || opts.socketPath.empty() ||
+            !opts.haveJob) {
+            usage();
+            return 2;
+        }
+        return cmdWait(opts);
+    }
+    if (cmd == "jobstat") {
+        if (!positional.empty() || opts.socketPath.empty() ||
+            !opts.haveJob) {
+            usage();
+            return 2;
+        }
+        return cmdJobstat(opts);
+    }
+    if (cmd == "stats") {
+        if (!positional.empty() || opts.socketPath.empty()) {
+            usage();
+            return 2;
+        }
+        return cmdStats(opts);
+    }
+    if (cmd == "cancel") {
+        if (!positional.empty() || opts.socketPath.empty() ||
+            !opts.haveJob) {
+            usage();
+            return 2;
+        }
+        return cmdCancel(opts);
+    }
+    if (cmd == "shutdown") {
+        if (!positional.empty() || opts.socketPath.empty()) {
+            usage();
+            return 2;
+        }
+        return cmdShutdown(opts);
     }
     usage();
     return 2;

@@ -1,0 +1,395 @@
+/**
+ * @file
+ * The `strober-serve` daemon binary: Strober as a long-running service.
+ *
+ *   strober-serve --socket /run/strober.sock --root /var/lib/strober \
+ *       [--cache-dir C] [--runners N] [--max-queue N] [--workers N] \
+ *       [--default-deadline DUR] [--worker-wall-cap DUR] \
+ *       [--worker-rss-mb MB] [--worker-retries N] [--trim-keep N] \
+ *       [--trim-max-age DUR] [--trim-max-bytes B] [--farm-bin PATH]
+ *
+ * Clients talk to it with `strober-farm submit/wait/stats/...` (or the
+ * service::ServiceClient library). Estimate jobs run under per-job
+ * wall-clock deadlines; replay workers are separate supervised
+ * processes (strober-farm worker) with wall and RSS caps, SIGKILL
+ * recovery and bounded backoff retries. SIGTERM drains gracefully:
+ * admission stops, running jobs checkpoint their farm leases, the
+ * process exits 0 — a later daemon (or a plain `strober-farm run`)
+ * resumes the work bit-identically.
+ *
+ * Durations accept ms/s/m/h suffixes (bare numbers are seconds).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include "core/energy_sim.h"
+#include "core/job_control.h"
+#include "cores/soc.h"
+#include "cores/soc_driver.h"
+#include "farm/farm.h"
+#include "farm/report.h"
+#include "service/daemon.h"
+#include "service/supervisor.h"
+#include "util/env.h"
+#include "util/logging.h"
+#include "workloads/workloads.h"
+
+using namespace strober;
+
+namespace {
+
+service::ServiceDaemon *g_daemon = nullptr;
+
+void
+onDrainSignal(int)
+{
+    // Async-signal-safe by construction: one atomic store, one write().
+    if (g_daemon != nullptr)
+        g_daemon->requestDrain();
+}
+
+bool
+knownCore(const std::string &name)
+{
+    return name == "rocket" || name == "boom1w" || name == "boom2w";
+}
+
+cores::SocConfig
+coreByName(const std::string &name)
+{
+    if (name == "rocket")
+        return cores::SocConfig::rocket();
+    if (name == "boom1w")
+        return cores::SocConfig::boom1w();
+    return cores::SocConfig::boom2w();
+}
+
+bool
+knownWorkload(const std::string &name)
+{
+    for (const workloads::Workload &w : workloads::microbenchmarks()) {
+        if (w.name == name)
+            return true;
+    }
+    for (const workloads::Workload &w : workloads::caseStudies()) {
+        if (w.name == name)
+            return true;
+    }
+    return false;
+}
+
+/** Knobs of the production executor (fixed at daemon startup). */
+struct ServeOptions
+{
+    std::string farmBin;       //!< strober-farm binary for workers
+    unsigned defaultWorkers = 2;
+    uint64_t workerWallCapMs = 10 * 60 * 1000;
+    unsigned long workerRssMb = 0; //!< 0 = uncapped
+    unsigned workerRetries = 2;
+    uint64_t leaseDurationMs = 60 * 1000;
+};
+
+/** Directory of our own binary ("/proc/self/exe" parent). */
+std::string
+selfDir()
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0)
+        return ".";
+    buf[n] = '\0';
+    std::string path(buf);
+    size_t slash = path.rfind('/');
+    return slash == std::string::npos ? "." : path.substr(0, slash);
+}
+
+service::JobOutcome
+failedOutcome(std::string detail)
+{
+    service::JobOutcome out;
+    out.state = service::JobState::Failed;
+    out.exitCode = 3;
+    out.detail = std::move(detail);
+    return out;
+}
+
+service::JobOutcome
+canceledOutcome(std::string detail)
+{
+    service::JobOutcome out;
+    out.state = service::JobState::Canceled;
+    out.exitCode = 4;
+    out.detail = std::move(detail);
+    return out;
+}
+
+/**
+ * The production executor: fast sim + farm plan + supervised worker
+ * pool + collect, all scoped to the job's own run directory but
+ * sharing the daemon-wide result cache.
+ */
+service::JobOutcome
+runEstimateJob(const service::JobRequest &req, core::JobControl &control,
+               const ServeOptions &opts, const std::string &cacheDir)
+{
+    const service::SubmitRequest &sub = req.submit;
+    if (!knownCore(sub.coreName))
+        return failedOutcome("unknown core '" + sub.coreName +
+                             "' (rocket | boom1w | boom2w)");
+    if (!knownWorkload(sub.workloadName))
+        return failedOutcome("unknown workload '" + sub.workloadName + "'");
+
+    rtl::Design soc = cores::buildSoc(coreByName(sub.coreName));
+    workloads::Workload wl = workloads::byName(sub.workloadName);
+
+    core::EnergySimulator::Config simCfg;
+    simCfg.sampleSize = sub.sampleSize;
+    simCfg.replayLength = static_cast<unsigned>(sub.replayLength);
+    simCfg.job = &control;
+
+    // Phase 1: fast simulation + sampling (cheap, deterministic).
+    core::EnergySimulator sim(soc, simCfg);
+    cores::SocDriver driver(soc, wl.program);
+    core::RunStats run = sim.run(driver, wl.maxCycles);
+    if (!driver.done())
+        return failedOutcome("workload did not finish in its cycle budget");
+    if (control.canceled())
+        return canceledOutcome("drained during fast simulation");
+
+    unsigned workers = sub.workers != 0
+                           ? static_cast<unsigned>(sub.workers)
+                           : opts.defaultWorkers;
+
+    farm::FarmConfig fcfg;
+    fcfg.dir = req.jobDir;
+    fcfg.cacheDir = cacheDir;
+    fcfg.shards = std::max(1u, workers);
+    fcfg.sim = simCfg;
+    fcfg.coreName = sub.coreName;
+    fcfg.workloadName = wl.name;
+    fcfg.leaseDurationMs = opts.leaseDurationMs;
+    farm::FarmOrchestrator orch(soc, fcfg);
+
+    uint64_t population = run.targetCycles / simCfg.replayLength;
+    util::Status st = orch.plan(sim.sampler().snapshots(), population);
+    if (!st.isOk())
+        return failedOutcome("plan failed: " + st.toString());
+    if (control.canceled())
+        return canceledOutcome("drained after planning; work is queued");
+
+    service::SupervisionStats sup;
+    if (workers > 0) {
+        uint64_t deadline =
+            control.deadlineUnixMs.load(std::memory_order_relaxed);
+        std::vector<service::WorkerSpec> specs(workers);
+        for (unsigned i = 0; i < workers; ++i) {
+            service::WorkerSpec &spec = specs[i];
+            spec.argv = {opts.farmBin,
+                         "worker",
+                         "--dir",
+                         req.jobDir,
+                         "--cache-dir",
+                         cacheDir,
+                         "--slot",
+                         std::to_string(i),
+                         "--slots",
+                         std::to_string(workers)};
+            if (deadline != 0) {
+                spec.argv.push_back("--deadline-unix-ms");
+                spec.argv.push_back(std::to_string(deadline));
+            }
+            if (opts.workerRssMb != 0) {
+                spec.env.push_back("STROBER_WORKER_RSS_MB=" +
+                                   std::to_string(opts.workerRssMb));
+            }
+        }
+        service::SupervisorConfig scfg;
+        scfg.slots = workers;
+        scfg.wallCapMs = opts.workerWallCapMs;
+        scfg.rssCapBytes =
+            static_cast<uint64_t>(opts.workerRssMb) * 1024 * 1024;
+        scfg.maxRetries = opts.workerRetries;
+        scfg.stopRequested = [&control] { return control.stopRequested(); };
+        sup = service::superviseUntilDone(specs, scfg);
+    }
+
+    if (control.canceled()) {
+        service::JobOutcome out =
+            canceledOutcome("drained; leases are checkpointed");
+        out.workerRetries = sup.retries;
+        out.workerKills = sup.wallKills + sup.rssKills;
+        return out;
+    }
+
+    util::Result<core::EnergyReport> rep = orch.collect();
+    service::JobOutcome out;
+    out.workerRetries = sup.retries;
+    out.workerKills = sup.wallKills + sup.rssKills;
+    if (!rep.isOk()) {
+        if (rep.status().code() == util::ErrorCode::Canceled)
+            return canceledOutcome(rep.status().toString());
+        out.state = service::JobState::Failed;
+        out.exitCode = 3;
+        out.detail = "collect failed: " + rep.status().toString();
+        return out;
+    }
+
+    out.reportText = farm::renderReportDeterministic(*rep);
+    out.exitCode = farm::reportExitCode(*rep);
+    out.detail = rep->statusMessage;
+    out.cacheHits = rep->cacheHits;
+    out.cacheMisses = rep->cacheMisses;
+    if (control.deadlineExpired() && (rep->degraded || !rep->valid))
+        out.state = service::JobState::TimedOut;
+    else if (!rep->valid)
+        out.state = service::JobState::Failed;
+    else if (rep->degraded)
+        out.state = service::JobState::Degraded;
+    else
+        out.state = service::JobState::Done;
+    return out;
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: strober-serve --socket S --root D [--cache-dir C]\n"
+        "                     [--runners N] [--max-queue N] [--workers N]\n"
+        "                     [--default-deadline DUR]\n"
+        "                     [--worker-wall-cap DUR] [--worker-rss-mb MB]\n"
+        "                     [--worker-retries N] [--lease-duration DUR]\n"
+        "                     [--trim-keep N] [--trim-max-age DUR]\n"
+        "                     [--trim-max-bytes B] [--farm-bin PATH]\n");
+}
+
+uint64_t
+parseDurationArg(const char *flag, const std::string &text)
+{
+    std::optional<uint64_t> ms = util::parseDurationMs(text);
+    if (!ms.has_value())
+        fatal("%s: '%s' is not a duration (try 250ms, 30s, 5m, 1h)",
+              flag, text.c_str());
+    return *ms;
+}
+
+unsigned long
+parseCountArg(const char *flag, const std::string &text)
+{
+    std::optional<unsigned long> n = util::parseULong(text);
+    if (!n.has_value())
+        fatal("%s: '%s' is not a non-negative integer", flag,
+              text.c_str());
+    return *n;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    service::DaemonConfig dcfg;
+    ServeOptions opts;
+    std::vector<std::string> args(argv + 1, argv + argc);
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        auto next = [&]() -> const std::string & {
+            if (i + 1 >= args.size())
+                fatal("flag '%s' needs a value", arg.c_str());
+            return args[++i];
+        };
+        if (arg == "--socket") {
+            dcfg.socketPath = next();
+        } else if (arg == "--root") {
+            dcfg.rootDir = next();
+        } else if (arg == "--cache-dir") {
+            dcfg.cacheDir = next();
+        } else if (arg == "--runners") {
+            dcfg.runners =
+                static_cast<unsigned>(parseCountArg("--runners", next()));
+        } else if (arg == "--max-queue") {
+            dcfg.maxQueue = parseCountArg("--max-queue", next());
+        } else if (arg == "--default-deadline") {
+            dcfg.defaultDeadlineMs =
+                parseDurationArg("--default-deadline", next());
+        } else if (arg == "--workers") {
+            opts.defaultWorkers =
+                static_cast<unsigned>(parseCountArg("--workers", next()));
+        } else if (arg == "--worker-wall-cap") {
+            opts.workerWallCapMs =
+                parseDurationArg("--worker-wall-cap", next());
+        } else if (arg == "--worker-rss-mb") {
+            opts.workerRssMb = parseCountArg("--worker-rss-mb", next());
+        } else if (arg == "--worker-retries") {
+            opts.workerRetries = static_cast<unsigned>(
+                parseCountArg("--worker-retries", next()));
+        } else if (arg == "--lease-duration") {
+            opts.leaseDurationMs =
+                parseDurationArg("--lease-duration", next());
+        } else if (arg == "--trim-keep") {
+            dcfg.trim.keepCount = parseCountArg("--trim-keep", next());
+        } else if (arg == "--trim-max-age") {
+            dcfg.trim.maxAgeSeconds =
+                parseDurationArg("--trim-max-age", next()) / 1000;
+        } else if (arg == "--trim-max-bytes") {
+            dcfg.trim.maxTotalBytes =
+                parseCountArg("--trim-max-bytes", next());
+        } else if (arg == "--farm-bin") {
+            opts.farmBin = next();
+        } else {
+            usage();
+            return 2;
+        }
+    }
+    if (dcfg.socketPath.empty() || dcfg.rootDir.empty()) {
+        usage();
+        return 2;
+    }
+    if (opts.farmBin.empty())
+        opts.farmBin = selfDir() + "/strober-farm";
+    if (::access(opts.farmBin.c_str(), X_OK) != 0) {
+        fatal("worker binary '%s' is not executable (use --farm-bin)",
+              opts.farmBin.c_str());
+    }
+
+    std::string cacheDir = dcfg.effectiveCacheDir();
+    dcfg.executor = [&opts, cacheDir](const service::JobRequest &req,
+                                      core::JobControl &control) {
+        return runEstimateJob(req, control, opts, cacheDir);
+    };
+
+    service::ServiceDaemon daemon(dcfg);
+    util::Status st = daemon.start();
+    if (!st.isOk())
+        fatal("cannot start daemon: %s", st.toString().c_str());
+
+    g_daemon = &daemon;
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onDrainSignal;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+
+    std::printf("strober-serve: listening on %s (root %s, cache %s, "
+                "%u runner(s), queue bound %zu)\n",
+                dcfg.socketPath.c_str(), dcfg.rootDir.c_str(),
+                cacheDir.c_str(), std::max(1u, dcfg.runners),
+                dcfg.maxQueue);
+    std::fflush(stdout);
+
+    // Serve until a drain is requested (SIGTERM/SIGINT or a Shutdown
+    // frame), then finish/checkpoint admitted jobs and exit 0.
+    daemon.waitDrained();
+    daemon.stop();
+    std::printf("strober-serve: drained; exiting\n");
+    return 0;
+}
