@@ -22,10 +22,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 
 #include "bench_common.h"
 #include "rtl/opt.h"
+#include "sim/vcd.h"
 #include "stats/sampling.h"
+#include "trace/stimulus.h"
+#include "trace/vcd_reader.h"
 
 using namespace strober;
 
@@ -178,6 +182,114 @@ planStatsContrast(bench::JsonSink &json)
     }
 }
 
+/**
+ * Trace-interchange ingest rates (src/trace): dump each workload's
+ * fast-phase run as a ports-only VCD, then measure (a) the raw parser
+ * streaming rate over the file and (b) the end-to-end simulation rate
+ * when the same harness is driven from the trace instead of the
+ * instruction-level generator. The gap between (b) and the generated
+ * run is the stimulus-delivery overhead a `--stimulus` user pays.
+ */
+void
+traceIngestContrast(const rtl::Design &soc, bench::JsonSink &json)
+{
+    bench::banner("trace interchange: VCD ingest vs generated stimulus");
+    std::printf("%-12s %9s %10s %12s %14s %14s\n", "benchmark", "MiB",
+                "parse(s)", "parse MiB/s", "gen cyc/s", "trace cyc/s");
+    workloads::Workload wls[] = {
+        workloads::linuxbootLike(24),
+        workloads::coremarkLite(40),
+    };
+    for (const workloads::Workload &wl : wls) {
+        std::string path = "BENCH_trace_" + wl.name + ".vcd";
+        {
+            std::ofstream out(path, std::ios::binary);
+            core::RtlHarness harness(soc);
+            sim::VcdWriter::Options vopts;
+            vopts.portsOnly = true;
+            sim::VcdWriter vcd(out, harness.simulator(), vopts);
+            cores::SocDriver driver(soc, wl.program);
+            while (!driver.done() && harness.cycles() < wl.maxCycles) {
+                driver.drive(harness);
+                vcd.sample();
+                harness.clock();
+            }
+        }
+        double mib = 0;
+        {
+            std::ifstream in(path, std::ios::binary | std::ios::ate);
+            mib = static_cast<double>(in.tellg()) / (1024.0 * 1024.0);
+        }
+
+        // (a) Raw streaming-parser rate, no simulation attached.
+        double parseStart = nowSeconds();
+        uint64_t parsedSteps = 0;
+        {
+            std::ifstream in(path, std::ios::binary);
+            util::Result<trace::VcdHeader> hdr = trace::parseVcdHeader(in);
+            if (!hdr.isOk())
+                fatal("trace parse failed: %s",
+                           hdr.status().toString().c_str());
+            trace::VcdCursor cur(in, hdr.value());
+            for (;;) {
+                util::Result<bool> r = cur.advance();
+                if (!r.isOk())
+                    fatal("trace walk failed: %s",
+                               r.status().toString().c_str());
+                if (!r.value())
+                    break;
+            }
+            parsedSteps = cur.stepsDelivered();
+        }
+        double parseSec = nowSeconds() - parseStart;
+
+        // (b) Generated vs trace-driven fast-phase rate on a bare
+        // harness (default backend, no sampling — stimulus rate only).
+        cores::SocDriver genDriver(soc, wl.program);
+        core::RtlHarness genHarness(soc);
+        double genStart = nowSeconds();
+        core::runLoop(genHarness, genDriver, wl.maxCycles);
+        double genSec = nowSeconds() - genStart;
+
+        util::Result<std::unique_ptr<trace::TraceDriver>> trc =
+            trace::TraceDriver::open(path, soc);
+        if (!trc.isOk())
+            fatal("trace bind failed: %s",
+                       trc.status().toString().c_str());
+        core::RtlHarness trcHarness(soc);
+        double trcStart = nowSeconds();
+        core::runLoop(trcHarness, *trc.value(), UINT64_MAX);
+        double trcSec = nowSeconds() - trcStart;
+        if (!trc.value()->status().isOk())
+            fatal("trace stream failed: %s",
+                       trc.value()->status().toString().c_str());
+
+        double genRate =
+            genSec > 0 ? static_cast<double>(genHarness.cycles()) / genSec
+                       : 0;
+        double trcRate =
+            trcSec > 0 ? static_cast<double>(trcHarness.cycles()) / trcSec
+                       : 0;
+        std::printf("%-12s %9.1f %10.3f %12.1f %14.0f %14.0f\n",
+                    wl.name.c_str(), mib, parseSec,
+                    parseSec > 0 ? mib / parseSec : 0, genRate, trcRate);
+        json.row("trace_ingest_" + wl.name)
+            .str("design", "boom2w")
+            .str("workload", wl.name)
+            .num("cycles", static_cast<double>(trcHarness.cycles()))
+            .num("timesteps", static_cast<double>(parsedSteps))
+            .num("file_mib", mib)
+            .num("parse_seconds", parseSec)
+            .num("parse_mib_per_sec", parseSec > 0 ? mib / parseSec : 0)
+            .num("gen_wall_seconds", genSec)
+            .num("gen_cycles_per_sec", genRate)
+            .num("trace_wall_seconds", trcSec)
+            .num("trace_cycles_per_sec", trcRate)
+            .num("trace_vs_gen", genRate > 0 ? trcRate / genRate : 0);
+        std::remove(path.c_str());
+    }
+}
+
 } // namespace
 
 int
@@ -249,6 +361,7 @@ main(int argc, char **argv)
 
     planStatsContrast(json);
     backendContrast(soc, json);
+    traceIngestContrast(soc, json);
     json.write();
     return 0;
 }

@@ -201,6 +201,14 @@ class EnergySimulator
          *  Mutable because the flags are atomics the supervisor side
          *  stores to while replay threads poll. */
         JobControl *job = nullptr;
+
+        // --- Trace stimulus (src/trace) ---------------------------------
+        /** Content hash of the external stimulus file driving this run
+         *  (0 for generated workloads). Folded into the replay cache
+         *  fingerprint so results from different traces never alias,
+         *  and mirrored into farm shard manifests so detached workers
+         *  reconstruct matching cache keys. */
+        uint64_t stimulusFingerprint = 0;
     };
 
     EnergySimulator(const rtl::Design &target, Config config);

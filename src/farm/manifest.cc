@@ -21,7 +21,7 @@ constexpr uint64_t kManifestMagic = 0x5354524246524d31ull; // "STRBFRM1"
 // v2 added ManifestEntry.leaseDeadlineUnixMs (time-based lease expiry
 // for the service tier). v1 manifests are still read; their leases
 // carry deadline 0, which reclaimLeases() treats as already expired.
-constexpr uint32_t kManifestVersion = 2;
+constexpr uint32_t kManifestVersion = 3; // v3: + stimulusFingerprint mirror
 
 } // namespace
 
@@ -52,6 +52,7 @@ ShardManifest::applyTo(core::EnergySimulator::Config &cfg) const
     cfg.confidence = confidence;
     cfg.minSurvivingSamples = minSurvivingSamples;
     cfg.maxDroppedSnapshots = maxDroppedSnapshots;
+    cfg.stimulusFingerprint = stimulusFingerprint;
 }
 
 void
@@ -65,6 +66,7 @@ ShardManifest::mirrorFrom(const core::EnergySimulator::Config &cfg)
     confidence = cfg.confidence;
     minSurvivingSamples = cfg.minSurvivingSamples;
     maxDroppedSnapshots = cfg.maxDroppedSnapshots;
+    stimulusFingerprint = cfg.stimulusFingerprint;
 }
 
 size_t
@@ -124,6 +126,7 @@ writeManifestFile(const std::string &path, const ShardManifest &m)
     w.f64(m.confidence);
     w.u64(m.minSurvivingSamples);
     w.u64(m.maxDroppedSnapshots);
+    w.u64(m.stimulusFingerprint);
     w.u64(m.entries.size());
     for (const ManifestEntry &e : m.entries) {
         w.u64(e.index);
@@ -212,6 +215,7 @@ readManifestFile(const std::string &path, bool reclaimLeases)
     m.confidence = r.f64();
     m.minSurvivingSamples = r.u64();
     m.maxDroppedSnapshots = r.u64();
+    m.stimulusFingerprint = version >= 3 ? r.u64() : 0;
     uint64_t count = r.u64();
     if (r.failed() || count > wire::kMaxDim) {
         return errorf(ErrorCode::Corrupt, "'%s': manifest corrupt",

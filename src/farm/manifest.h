@@ -106,6 +106,10 @@ struct ShardManifest
     double confidence = 0.99;
     uint64_t minSurvivingSamples = 2;
     uint64_t maxDroppedSnapshots = UINT64_MAX;
+    /** Trace-stimulus content hash (0 = generated workload). Part of
+     *  the mirror so detached workers fold the same value into their
+     *  replay cache keys (manifest v3+; reads as 0 from older files). */
+    uint64_t stimulusFingerprint = 0;
 
     std::vector<ManifestEntry> entries;
 

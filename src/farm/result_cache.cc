@@ -139,6 +139,10 @@ replayConfigFingerprint(const core::EnergySimulator::Config &cfg)
     fold(static_cast<uint64_t>(cfg.loader));
     fold(cfg.replayTimeoutCycles);
     fold(cfg.retryFaultySnapshots ? 1 : 0);
+    // Trace-stimulus identity: generated workloads fold 0, preserving
+    // every pre-trace fingerprint; trace runs can never alias them.
+    if (cfg.stimulusFingerprint != 0)
+        fold(cfg.stimulusFingerprint);
     return h;
 }
 

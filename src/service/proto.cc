@@ -65,6 +65,7 @@ SubmitRequest::encode(Writer &w) const
     w.u64(replayLength);
     w.u64(deadlineMs);
     w.u64(workers);
+    w.str(stimulusPath);
 }
 
 Result<SubmitRequest>
@@ -77,13 +78,22 @@ SubmitRequest::decode(Reader &r)
     req.replayLength = r.u64();
     req.deadlineMs = r.u64();
     req.workers = r.u64();
+    // Pre-trace clients end the payload here; stimulusPath is an
+    // appended field and reads as empty from their frames.
+    if (!r.atEnd())
+        req.stimulusPath = r.str();
     if (!r.atEnd())
         return errorf(ErrorCode::Corrupt, "malformed submit request");
-    if (req.coreName.empty() || req.workloadName.empty() ||
-        req.sampleSize == 0 || req.replayLength == 0) {
+    if (req.coreName.empty() || req.sampleSize == 0 ||
+        req.replayLength == 0) {
         return errorf(ErrorCode::InvalidArgument,
-                      "submit request with empty core/workload or zero "
+                      "submit request with empty core or zero "
                       "sample-size/replay-length");
+    }
+    if (req.workloadName.empty() == req.stimulusPath.empty()) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "submit request must name exactly one of a "
+                      "workload or a stimulus trace");
     }
     return req;
 }

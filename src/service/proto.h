@@ -75,7 +75,13 @@ const char *jobStateName(JobState s);
 struct SubmitRequest
 {
     std::string coreName;     //!< rocket | boom1w | boom2w
+    /** Built-in workload name. Exactly one of workloadName /
+     *  stimulusPath must be set. */
     std::string workloadName;
+    /** Daemon-local path of a VCD trace to stream as stimulus
+     *  (src/trace). The daemon streams the file from disk during the
+     *  run — the trace is never buffered in memory or on the wire. */
+    std::string stimulusPath;
     uint64_t sampleSize = 10;
     uint64_t replayLength = 64;
     /** Per-job wall-clock budget in ms; 0 = daemon default. */

@@ -1,5 +1,7 @@
 #include "sim/vcd.h"
 
+#include <algorithm>
+
 #include "util/bits.h"
 
 namespace strober {
@@ -29,19 +31,52 @@ vcdName(const std::string &name)
     return out;
 }
 
+/** A value this writer can represent faithfully in its uint64_t cache. */
+bool
+representable(const rtl::Node &n)
+{
+    return n.width >= 1 && n.width <= 64;
+}
+
 } // namespace
 
 VcdWriter::VcdWriter(std::ostream &out, Simulator &sim,
                      const std::string &prefix)
+    : VcdWriter(out, sim, Options{prefix, false})
+{
+}
+
+VcdWriter::VcdWriter(std::ostream &out, Simulator &sim, const Options &opts)
     : os(out), simulator(sim)
 {
     const rtl::Design &d = sim.design();
-    for (rtl::NodeId id = 0; id < d.numNodes(); ++id) {
+    std::vector<rtl::NodeId> candidates;
+    if (opts.portsOnly) {
+        candidates = d.inputs();
+        for (const rtl::OutputPort &p : d.outputs())
+            if (p.node != rtl::kNoNode)
+                candidates.push_back(p.node);
+        // Ports can alias (an input fed straight to an output);
+        // keep the first occurrence only so id codes stay unique.
+        std::vector<rtl::NodeId> uniq;
+        for (rtl::NodeId id : candidates)
+            if (std::find(uniq.begin(), uniq.end(), id) == uniq.end())
+                uniq.push_back(id);
+        candidates = uniq;
+    } else {
+        for (rtl::NodeId id = 0; id < d.numNodes(); ++id)
+            candidates.push_back(id);
+    }
+    for (rtl::NodeId id : candidates) {
         const rtl::Node &n = d.node(id);
         if (n.name.empty())
             continue;
-        if (!prefix.empty() && n.name.rfind(prefix, 0) != 0)
+        if (!opts.prefix.empty() && n.name.rfind(opts.prefix, 0) != 0)
             continue;
+        if (!representable(n)) {
+            ++wideSkipped;
+            continue;
+        }
         nodes.push_back(id);
         codes.push_back(idCode(nodes.size() - 1));
     }
@@ -54,8 +89,11 @@ VcdWriter::writeHeader()
 {
     const rtl::Design &d = simulator.design();
     os << "$date strober $end\n$version strober-vcd $end\n"
-          "$timescale 1ns $end\n$scope module "
-       << d.name() << " $end\n";
+          "$timescale 1ns $end\n";
+    if (wideSkipped > 0)
+        os << "$comment strober: skipped " << wideSkipped
+           << " signal(s) wider than 64 bits $end\n";
+    os << "$scope module " << d.name() << " $end\n";
     for (size_t i = 0; i < nodes.size(); ++i) {
         const rtl::Node &n = d.node(nodes[i]);
         os << "$var wire " << n.width << " " << codes[i] << " "

@@ -4,6 +4,9 @@
  * simulator. Not part of the paper's flow, but the debugging facility
  * any RTL framework ships with: dump every named signal of a design
  * while a simulation runs, viewable in GTKWave or any VCD consumer.
+ * Also the export half of the trace interchange loop: a ports-only
+ * dump of a generator-driven run is a valid `--stimulus` input for a
+ * later trace-driven run (see src/trace).
  */
 
 #ifndef STROBER_SIM_VCD_H
@@ -22,6 +25,21 @@ namespace sim {
 class VcdWriter
 {
   public:
+    /** Signal-selection knobs for the dump. */
+    struct Options
+    {
+        /** Only nodes whose name starts with this (empty = all). */
+        std::string prefix;
+
+        /**
+         * Dump only top-level ports (inputs + named outputs). This is
+         * the stimulus-interchange mode: the resulting file binds
+         * cleanly back onto the design's input ports via
+         * `trace::Stimulus`.
+         */
+        bool portsOnly = false;
+    };
+
     /**
      * @param out     destination stream (kept by reference).
      * @param sim     the simulator to observe.
@@ -31,11 +49,22 @@ class VcdWriter
     VcdWriter(std::ostream &out, Simulator &sim,
               const std::string &prefix = "");
 
+    VcdWriter(std::ostream &out, Simulator &sim, const Options &opts);
+
     /** Record the current cycle's values (call once per cycle). */
     void sample();
 
     /** Number of signals being traced. */
     size_t signalCount() const { return nodes.size(); }
+
+    /**
+     * Nodes excluded from the dump because their declared width does
+     * not fit the writer's one-uint64_t-per-node value cache (width 0
+     * or > 64). Each skip is counted once and announced in the VCD
+     * header as a `$comment`; emitting a truncated value silently
+     * would corrupt any downstream activity analysis.
+     */
+    size_t wideSignalsSkipped() const { return wideSkipped; }
 
   private:
     std::ostream &os;
@@ -43,6 +72,7 @@ class VcdWriter
     std::vector<rtl::NodeId> nodes;
     std::vector<std::string> codes;
     std::vector<uint64_t> last;
+    size_t wideSkipped = 0;
     bool first = true;
 
     void writeHeader();

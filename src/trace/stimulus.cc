@@ -1,0 +1,203 @@
+#include "trace/stimulus.h"
+
+#include <algorithm>
+
+namespace strober {
+namespace trace {
+
+namespace {
+
+/** Normalize a user-facing name to the '/' hierarchy convention. */
+std::string
+normalize(const std::string &name)
+{
+    std::string out;
+    for (char c : name)
+        out += c == '.' ? '/' : c;
+    return out;
+}
+
+/** Leaf component of a hierarchical name. */
+std::string
+baseName(const std::string &name)
+{
+    size_t pos = name.rfind('/');
+    return pos == std::string::npos ? name : name.substr(pos + 1);
+}
+
+/** Case-insensitive "looks like a clock" name heuristic. */
+bool
+clockLike(const std::string &name)
+{
+    std::string lower = baseName(name);
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return lower.find("clk") != std::string::npos ||
+           lower.find("clock") != std::string::npos;
+}
+
+/** @p varName matches @p portName exactly or after dropping leading
+ *  trace scopes ("top/io_a" drives port "io_a"). */
+bool
+suffixMatch(const std::string &varName, const std::string &portName)
+{
+    if (varName.size() <= portName.size())
+        return false;
+    return varName.compare(varName.size() - portName.size(),
+                           portName.size(), portName) == 0 &&
+           varName[varName.size() - portName.size() - 1] == '/';
+}
+
+} // namespace
+
+util::Result<Stimulus>
+Stimulus::bind(const rtl::Design &design, const VcdHeader &header,
+               const StimulusOptions &opts, lint::Diagnostics *diags)
+{
+    lint::Diagnostics local;
+    lint::Diagnostics &d = diags ? *diags : local;
+    const std::string clockName = normalize(opts.clockSignal);
+
+    Stimulus st;
+    std::vector<bool> bound(header.vars.size(), false);
+    const std::vector<rtl::NodeId> &inputs = design.inputs();
+    for (size_t port = 0; port < inputs.size(); ++port) {
+        const rtl::Node &node = design.node(inputs[port]);
+        std::vector<size_t> exact, suffix;
+        for (size_t v = 0; v < header.vars.size(); ++v) {
+            const std::string &vn = header.vars[v].name;
+            if (!clockName.empty() && vn == clockName)
+                continue;
+            if (vn == node.name)
+                exact.push_back(v);
+            else if (suffixMatch(vn, node.name))
+                suffix.push_back(v);
+        }
+        const std::vector<size_t> &cands = exact.empty() ? suffix : exact;
+        if (cands.empty()) {
+            d.error("trace-unbound-input", inputs[port], node.name,
+                    "no trace signal drives this input port");
+            continue;
+        }
+        if (cands.size() > 1) {
+            d.error("trace-ambiguous", inputs[port], node.name,
+                    "multiple trace signals match this input port ('" +
+                        header.vars[cands[0]].name + "', '" +
+                        header.vars[cands[1]].name + "', ...)");
+            continue;
+        }
+        const VcdVar &var = header.vars[cands[0]];
+        if (var.width != node.width) {
+            d.error("trace-width-mismatch", inputs[port], node.name,
+                    "trace signal '" + var.name + "' is " +
+                        std::to_string(var.width) + " bits, port is " +
+                        std::to_string(node.width));
+            continue;
+        }
+        st.portBindings.push_back(PortBinding{cands[0], port});
+        bound[cands[0]] = true;
+    }
+
+    for (size_t v = 0; v < header.vars.size(); ++v) {
+        if (bound[v])
+            continue;
+        const VcdVar &var = header.vars[v];
+        if (var.name == clockName ||
+            (var.width == 1 && clockLike(var.name)))
+            d.warning("trace-clock-ignored", rtl::kNoNode, var.name,
+                      "clock-like trace signal ignored (the target clock "
+                      "is implicit: one timestep per cycle)");
+        else
+            d.info("trace-unused", rtl::kNoNode, var.name,
+                   "trace signal not bound to any input port");
+    }
+
+    if (d.hasErrors())
+        return util::errorf(util::ErrorCode::InvalidArgument,
+                            "trace binding failed (%zu error(s)): %s",
+                            d.errorCount(), d.firstError()->str().c_str());
+    return st;
+}
+
+util::Result<std::unique_ptr<TraceDriver>>
+TraceDriver::open(const std::string &path, const rtl::Design &design,
+                  const StimulusOptions &opts, lint::Diagnostics *diags)
+{
+    std::unique_ptr<TraceDriver> drv(new TraceDriver());
+    drv->file.open(path, std::ios::binary);
+    if (!drv->file)
+        return util::errorf(util::ErrorCode::IoError,
+                            "cannot open stimulus file '%s'", path.c_str());
+    util::Result<VcdHeader> hdr = parseVcdHeader(drv->file);
+    if (!hdr.isOk())
+        return hdr.status();
+    drv->header.reset(new VcdHeader(std::move(hdr.value())));
+    util::Result<Stimulus> st =
+        Stimulus::bind(design, *drv->header, opts, diags);
+    if (!st.isOk())
+        return st.status();
+    drv->bindings = st.value().bindings();
+    drv->cursor.reset(new VcdCursor(drv->file, *drv->header));
+    util::Result<bool> first = drv->cursor->advance();
+    if (!first.isOk())
+        return first.status();
+    if (!first.value())
+        return util::errorf(util::ErrorCode::InvalidArgument,
+                            "stimulus '%s' contains no timesteps",
+                            path.c_str());
+    drv->sawStep = true;
+    return drv;
+}
+
+void
+TraceDriver::drive(core::TargetHarness &harness)
+{
+    if (done())
+        return;
+    const uint64_t c = harness.cycles();
+    while (cursor->hasPending() && cursor->pendingTime() <= c) {
+        util::Result<bool> r = cursor->advance();
+        if (!r.isOk()) {
+            err = r.status();
+            return;
+        }
+    }
+    for (const PortBinding &b : bindings)
+        harness.setInput(b.portIndex, cursor->value(b.varIndex));
+    ++driven;
+    if (!cursor->hasPending() && c >= cursor->time())
+        finished = true; // final timestamped cycle is now driven
+}
+
+util::Result<std::unique_ptr<TraceDriver>>
+TraceWorkload::openDriver(const rtl::Design &design,
+                          lint::Diagnostics *diags) const
+{
+    return TraceDriver::open(path, design, StimulusOptions{}, diags);
+}
+
+util::Result<TraceWorkload>
+loadTraceWorkload(const std::string &path)
+{
+    util::Result<uint64_t> fp = fileFingerprint(path);
+    if (!fp.isOk())
+        return fp.status();
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return util::errorf(util::ErrorCode::IoError,
+                            "cannot open stimulus file '%s'", path.c_str());
+    util::Result<VcdHeader> hdr = parseVcdHeader(in);
+    if (!hdr.isOk())
+        return hdr.status();
+    TraceWorkload wl;
+    size_t slash = path.find_last_of('/');
+    wl.name =
+        "trace:" + (slash == std::string::npos ? path
+                                               : path.substr(slash + 1));
+    wl.path = path;
+    wl.fingerprint = fp.value();
+    return wl;
+}
+
+} // namespace trace
+} // namespace strober

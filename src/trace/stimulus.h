@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Trace stimulus: bind VCD signals to a design's input ports and
+ * replay the trace through any `core::TargetHarness` as a
+ * `core::HostDriver`. This is the adapter that makes an external
+ * `.vcd` behave exactly like a built-in generated workload — the
+ * same EnergySimulator pipeline (sampling, snapshots, replay, farm
+ * caching) runs unchanged on top of it.
+ *
+ * Ingest model: VCD timestamp t carries the input-port values for
+ * target cycle t (the convention `sim::VcdWriter` ports-only dumps
+ * follow: sample after poking the cycle's inputs, before the clock
+ * edge). Values are sticky across timestamp gaps. The trace ends the
+ * workload: the driver reports done() after driving the final
+ * timestamped cycle.
+ *
+ * Binding rules (lint-style `Diagnostics`, rule ids "trace-*"):
+ *  - exact hierarchical name match first ('.' and '/' equivalent),
+ *    then a unique suffix match ignoring leading trace scopes;
+ *  - every design input must bind to exactly one trace signal
+ *    (missing -> error[trace-unbound-input], multiple candidates ->
+ *    error[trace-ambiguous]);
+ *  - widths must agree exactly (error[trace-width-mismatch]);
+ *  - clock-like 1-bit signals that match no input are ignored with
+ *    warning[trace-clock-ignored] (strober's clock is implicit in
+ *    clock()); other unbound trace signals are info[trace-unused].
+ */
+
+#ifndef STROBER_TRACE_STIMULUS_H
+#define STROBER_TRACE_STIMULUS_H
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/harness.h"
+#include "lint/diagnostics.h"
+#include "rtl/ir.h"
+#include "trace/vcd_reader.h"
+#include "util/status.h"
+
+namespace strober {
+namespace trace {
+
+/** Binding knobs. */
+struct StimulusOptions
+{
+    /**
+     * Name of a trace signal to treat as the (implicit) clock and
+     * exclude from binding, in addition to the clock-name heuristic.
+     */
+    std::string clockSignal;
+};
+
+/** One resolved input binding: trace variable -> harness input port. */
+struct PortBinding
+{
+    size_t varIndex = 0;  //!< index into VcdHeader::vars
+    size_t portIndex = 0; //!< positional input port in the harness
+};
+
+/** The signal-to-port map produced by binding a header to a design. */
+class Stimulus
+{
+  public:
+    /**
+     * Resolve every design input against the trace header. All
+     * findings (including non-fatal ones) land in @p diags when
+     * provided; the Result is an error iff any binding rule failed.
+     */
+    static util::Result<Stimulus> bind(const rtl::Design &design,
+                                       const VcdHeader &header,
+                                       const StimulusOptions &opts = {},
+                                       lint::Diagnostics *diags = nullptr);
+
+    const std::vector<PortBinding> &bindings() const { return portBindings; }
+
+  private:
+    std::vector<PortBinding> portBindings;
+};
+
+/**
+ * HostDriver that streams a bound VCD through a harness. Owns the
+ * file stream: memory use is bounded by the trace's signal count, not
+ * its length, so the service daemon can run multi-gigabyte stimulus
+ * jobs without buffering.
+ *
+ * drive() cannot return a Status (the HostDriver contract is
+ * void), so a mid-body parse error makes the driver report done()
+ * immediately and parks the error in status() — callers must check
+ * status() after the run loop exits.
+ */
+class TraceDriver : public core::HostDriver
+{
+  public:
+    /** Open @p path, parse the header, bind, prime the cursor. */
+    static util::Result<std::unique_ptr<TraceDriver>>
+    open(const std::string &path, const rtl::Design &design,
+         const StimulusOptions &opts = {},
+         lint::Diagnostics *diags = nullptr);
+
+    void drive(core::TargetHarness &harness) override;
+    bool done() const override { return finished || !err.isOk(); }
+
+    /** Sticky first parse error encountered while streaming. */
+    const util::Status &status() const { return err; }
+
+    /** Target cycles driven so far. */
+    uint64_t cyclesDriven() const { return driven; }
+
+    /** Last timestamp in the trace seen so far (valid once done). */
+    uint64_t lastTimestamp() const { return cursor->time(); }
+
+  private:
+    TraceDriver() = default;
+
+    std::ifstream file;
+    std::unique_ptr<VcdHeader> header; //!< stable address for cursor
+    std::unique_ptr<VcdCursor> cursor;
+    std::vector<PortBinding> bindings;
+    util::Status err;
+    uint64_t driven = 0;
+    bool finished = false;
+    bool sawStep = false;
+};
+
+/**
+ * A trace file packaged as a workload: name, identity fingerprint and
+ * a driver factory. The fingerprint joins the replay `CacheKey` (via
+ * EnergySimulator::Config::stimulusFingerprint) so cached results can
+ * never alias across different stimulus files.
+ */
+struct TraceWorkload
+{
+    std::string name;        //!< "trace:<basename>" for reports/manifests
+    std::string path;        //!< stimulus file (streamed per run)
+    uint64_t fingerprint = 0; //!< FNV-1a 64 of the file contents
+
+    util::Result<std::unique_ptr<TraceDriver>>
+    openDriver(const rtl::Design &design,
+               lint::Diagnostics *diags = nullptr) const;
+};
+
+/**
+ * Fingerprint @p path and validate its header parses. Does not read
+ * the body; binding errors surface when a driver is opened against a
+ * concrete design.
+ */
+util::Result<TraceWorkload> loadTraceWorkload(const std::string &path);
+
+} // namespace trace
+} // namespace strober
+
+#endif // STROBER_TRACE_STIMULUS_H

@@ -1,0 +1,363 @@
+#include "trace/vcd_reader.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace strober {
+namespace trace {
+
+namespace {
+
+/** Join scope path + leaf name into strober's '/' convention. */
+std::string
+normalizeName(const std::vector<std::string> &scopes, const std::string &leaf)
+{
+    std::string full;
+    for (const std::string &s : scopes) {
+        full += s;
+        full += '/';
+    }
+    // VCD consumers write '.' hierarchy inside leaf names (our own
+    // VcdWriter does); fold those into the same separator.
+    for (char c : leaf)
+        full += c == '.' ? '/' : c;
+    return full;
+}
+
+/** Read one whitespace-delimited token; false at EOF. */
+bool
+nextToken(std::istream &in, std::string &tok)
+{
+    return static_cast<bool>(in >> tok);
+}
+
+/** Consume tokens until "$end"; false if EOF hits first. */
+bool
+skipToEnd(std::istream &in)
+{
+    std::string tok;
+    while (nextToken(in, tok))
+        if (tok == "$end")
+            return true;
+    return false;
+}
+
+/** Strict decimal parse; false on empty/garbage/overflow. */
+bool
+parseU64(const std::string &s, uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    uint64_t v = 0;
+    for (char c : s) {
+        if (c < '0' || c > '9')
+            return false;
+        uint64_t d = static_cast<uint64_t>(c - '0');
+        if (v > (~0ULL - d) / 10)
+            return false;
+        v = v * 10 + d;
+    }
+    out = v;
+    return true;
+}
+
+} // namespace
+
+int
+VcdHeader::findVar(const std::string &name) const
+{
+    for (size_t i = 0; i < vars.size(); ++i)
+        if (vars[i].name == name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+util::Result<VcdHeader>
+parseVcdHeader(std::istream &in)
+{
+    VcdHeader hdr;
+    std::vector<std::string> scopes;
+    std::string tok;
+    while (nextToken(in, tok)) {
+        if (tok == "$enddefinitions") {
+            if (!skipToEnd(in))
+                return util::errorf(util::ErrorCode::Corrupt,
+                                    "vcd: truncated header: missing $end "
+                                    "after $enddefinitions");
+            return hdr;
+        }
+        if (tok == "$scope") {
+            // "$scope <type> <name> $end"
+            std::string type, name;
+            if (!nextToken(in, type) || !nextToken(in, name))
+                return util::errorf(util::ErrorCode::Corrupt,
+                                    "vcd: truncated $scope declaration");
+            if (name == "$end")
+                return util::errorf(util::ErrorCode::Corrupt,
+                                    "vcd: $scope missing name");
+            scopes.push_back(name);
+            if (!skipToEnd(in))
+                return util::errorf(util::ErrorCode::Corrupt,
+                                    "vcd: truncated $scope declaration");
+            continue;
+        }
+        if (tok == "$upscope") {
+            if (!scopes.empty())
+                scopes.pop_back();
+            if (!skipToEnd(in))
+                return util::errorf(util::ErrorCode::Corrupt,
+                                    "vcd: truncated $upscope");
+            continue;
+        }
+        if (tok == "$var") {
+            // "$var <type> <width> <code> <name> [index] $end"
+            std::string type, widthTok, code, name;
+            if (!nextToken(in, type) || !nextToken(in, widthTok) ||
+                !nextToken(in, code) || !nextToken(in, name))
+                return util::errorf(util::ErrorCode::Corrupt,
+                                    "vcd: truncated $var declaration");
+            uint64_t width = 0;
+            if (!parseU64(widthTok, width) || width == 0)
+                return util::errorf(util::ErrorCode::Corrupt,
+                                    "vcd: bad $var width '%s' for '%s'",
+                                    widthTok.c_str(), name.c_str());
+            if (name == "$end" || code == "$end")
+                return util::errorf(util::ErrorCode::Corrupt,
+                                    "vcd: $var declaration missing fields");
+            VcdVar v;
+            v.code = code;
+            v.name = normalizeName(scopes, name);
+            v.width = static_cast<unsigned>(width);
+            hdr.vars.push_back(std::move(v));
+            if (!skipToEnd(in))
+                return util::errorf(util::ErrorCode::Corrupt,
+                                    "vcd: truncated $var declaration");
+            continue;
+        }
+        if (!tok.empty() && tok[0] == '$') {
+            // $date, $version, $comment, $timescale, anything else:
+            // capture timescale text, skip the rest.
+            bool isTimescale = tok == "$timescale";
+            std::string text;
+            bool closed = false;
+            std::string t;
+            while (nextToken(in, t)) {
+                if (t == "$end") {
+                    closed = true;
+                    break;
+                }
+                if (!text.empty())
+                    text += ' ';
+                text += t;
+            }
+            if (!closed)
+                return util::errorf(util::ErrorCode::Corrupt,
+                                    "vcd: truncated %s section",
+                                    tok.c_str());
+            if (isTimescale)
+                hdr.timescale = text;
+            continue;
+        }
+        return util::errorf(util::ErrorCode::Corrupt,
+                            "vcd: unexpected token '%s' in header "
+                            "(missing $enddefinitions?)",
+                            tok.c_str());
+    }
+    return util::errorf(util::ErrorCode::Corrupt,
+                        "vcd: truncated header: EOF before $enddefinitions");
+}
+
+VcdCursor::VcdCursor(std::istream &in, const VcdHeader &header)
+    : is(in), hdr(header)
+{
+    values.assign(hdr.vars.size(), 0);
+    for (size_t i = 0; i < hdr.vars.size(); ++i)
+        byCode[hdr.vars[i].code].push_back(i);
+}
+
+util::Status
+VcdCursor::applyScalar(const std::string &token)
+{
+    char v = token[0];
+    std::string code = token.substr(1);
+    if (code.empty())
+        return util::errorf(util::ErrorCode::Corrupt,
+                            "vcd: scalar change '%s' missing identifier",
+                            token.c_str());
+    auto it = byCode.find(code);
+    if (it == byCode.end())
+        return util::errorf(util::ErrorCode::Corrupt,
+                            "vcd: unknown identifier code '%s'",
+                            code.c_str());
+    if (v == 'x' || v == 'X' || v == 'z' || v == 'Z')
+        return util::errorf(util::ErrorCode::Unsupported,
+                            "vcd: 4-state value '%c' on '%s' unsupported "
+                            "(strober values are 2-state)",
+                            v, hdr.vars[it->second.front()].name.c_str());
+    uint64_t bitVal = v == '1' ? 1 : 0;
+    for (size_t idx : it->second)
+        if (!hdr.vars[idx].wide())
+            values[idx] = bitVal;
+    return util::Status();
+}
+
+util::Status
+VcdCursor::applyVector(const std::string &bitsToken)
+{
+    // "b<bits>" already consumed as one token; identifier follows.
+    std::string code;
+    if (!nextToken(is, code))
+        return util::errorf(util::ErrorCode::Corrupt,
+                            "vcd: vector change '%s' missing identifier",
+                            bitsToken.c_str());
+    auto it = byCode.find(code);
+    if (it == byCode.end())
+        return util::errorf(util::ErrorCode::Corrupt,
+                            "vcd: unknown identifier code '%s'",
+                            code.c_str());
+    const VcdVar &var = hdr.vars[it->second.front()];
+    const std::string bits = bitsToken.substr(1);
+    if (bits.empty())
+        return util::errorf(util::ErrorCode::Corrupt,
+                            "vcd: empty vector value for '%s'",
+                            var.name.c_str());
+    if (bits.size() > var.width)
+        return util::errorf(util::ErrorCode::Corrupt,
+                            "vcd: value '%s' wider than declared width %u "
+                            "of '%s'",
+                            bitsToken.c_str(), var.width, var.name.c_str());
+    uint64_t v = 0;
+    for (char c : bits) {
+        if (c == 'x' || c == 'X' || c == 'z' || c == 'Z')
+            return util::errorf(util::ErrorCode::Unsupported,
+                                "vcd: 4-state value '%s' on '%s' "
+                                "unsupported (strober values are 2-state)",
+                                bitsToken.c_str(), var.name.c_str());
+        if (c != '0' && c != '1')
+            return util::errorf(util::ErrorCode::Corrupt,
+                                "vcd: bad vector digit '%c' in '%s'", c,
+                                bitsToken.c_str());
+        if (!var.wide())
+            v = (v << 1) | static_cast<uint64_t>(c - '0');
+    }
+    for (size_t idx : it->second)
+        if (!hdr.vars[idx].wide())
+            values[idx] = v;
+    return util::Status();
+}
+
+util::Status
+VcdCursor::prime()
+{
+    // Consume initial-value changes ($dumpvars block and any changes
+    // before the first '#'), stopping at the first timestamp or EOF.
+    primed = true;
+    std::string tok;
+    while (nextToken(is, tok)) {
+        if (tok[0] == '#') {
+            uint64_t t = 0;
+            if (!parseU64(tok.substr(1), t))
+                return util::errorf(util::ErrorCode::Corrupt,
+                                    "vcd: bad timestamp '%s'", tok.c_str());
+            pending = t;
+            pendingValid = true;
+            return util::Status();
+        }
+        util::Status s = bodyToken(tok);
+        if (!s.isOk())
+            return s;
+    }
+    return util::Status(); // empty body: no timesteps at all
+}
+
+/** Handle one non-timestamp body token (value change or directive). */
+util::Status
+VcdCursor::bodyToken(const std::string &tok)
+{
+    if (tok == "$dumpvars" || tok == "$dumpall" || tok == "$dumpon" ||
+        tok == "$dumpoff" || tok == "$end")
+        return util::Status();
+    if (tok == "$comment") {
+        if (!skipToEnd(is))
+            return util::errorf(util::ErrorCode::Corrupt,
+                                "vcd: truncated $comment in body");
+        return util::Status();
+    }
+    if (tok[0] == 'b' || tok[0] == 'B')
+        return applyVector(tok);
+    if (tok[0] == 'r' || tok[0] == 'R' || tok[0] == 's' || tok[0] == 'S')
+        return util::errorf(util::ErrorCode::Unsupported,
+                            "vcd: real/string value change '%s' unsupported",
+                            tok.c_str());
+    if (tok[0] == '0' || tok[0] == '1' || tok[0] == 'x' || tok[0] == 'X' ||
+        tok[0] == 'z' || tok[0] == 'Z')
+        return applyScalar(tok);
+    return util::errorf(util::ErrorCode::Corrupt,
+                        "vcd: unexpected token '%s' in value-change section",
+                        tok.c_str());
+}
+
+util::Result<bool>
+VcdCursor::advance()
+{
+    if (!primed) {
+        util::Status s = prime();
+        if (!s.isOk())
+            return s;
+    }
+    if (!pendingValid)
+        return false;
+    if (haveCurrent && pending <= currentTime)
+        return util::errorf(util::ErrorCode::Corrupt,
+                            "vcd: out-of-order timestamp #%llu after #%llu",
+                            static_cast<unsigned long long>(pending),
+                            static_cast<unsigned long long>(currentTime));
+    currentTime = pending;
+    haveCurrent = true;
+    pendingValid = false;
+    ++steps;
+
+    std::string tok;
+    while (nextToken(is, tok)) {
+        if (tok[0] == '#') {
+            uint64_t t = 0;
+            if (!parseU64(tok.substr(1), t))
+                return util::errorf(util::ErrorCode::Corrupt,
+                                    "vcd: bad timestamp '%s'", tok.c_str());
+            pending = t;
+            pendingValid = true;
+            return true;
+        }
+        util::Status s = bodyToken(tok);
+        if (!s.isOk())
+            return s;
+    }
+    return true; // EOF: this was the final timestep
+}
+
+util::Result<uint64_t>
+fileFingerprint(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return util::errorf(util::ErrorCode::IoError,
+                            "cannot open stimulus file '%s'", path.c_str());
+    uint64_t h = 0xcbf29ce484222325ULL;
+    char buf[1 << 16];
+    while (in) {
+        in.read(buf, sizeof(buf));
+        std::streamsize n = in.gcount();
+        for (std::streamsize i = 0; i < n; ++i) {
+            h ^= static_cast<unsigned char>(buf[i]);
+            h *= 0x100000001b3ULL;
+        }
+    }
+    if (in.bad())
+        return util::errorf(util::ErrorCode::IoError,
+                            "read error on stimulus file '%s'",
+                            path.c_str());
+    return h;
+}
+
+} // namespace trace
+} // namespace strober

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Streaming VCD (Value Change Dump) ingest — the import half of the
+ * trace interchange loop (ROADMAP: "External stimulus + activity
+ * interchange"). The reader is two-pass over a single forward scan:
+ *
+ *  1. `parseVcdHeader()` tokenizes the declaration section ($scope /
+ *     $var / $timescale / $upscope / $enddefinitions), producing a
+ *     `VcdHeader` with one `VcdVar` per declaration, hierarchical
+ *     names normalized to strober's '/'-separated convention.
+ *  2. `VcdCursor` then walks the value-change body one timestep at a
+ *     time. Memory is bounded by the number of declared signals (one
+ *     sticky uint64_t per variable), never by file length — a
+ *     multi-gigabyte trace streams through a fixed-size cursor.
+ *
+ * Malformed input is a `Status` error, never a crash: truncated
+ * headers, unknown identifier codes, vector values wider than their
+ * declaration and out-of-order timestamps all surface as
+ * ErrorCode::Corrupt; real-number and 4-state (x/z) value changes are
+ * rejected as ErrorCode::Unsupported (strober's RTL values are
+ * 2-state, <= 64 bits).
+ */
+
+#ifndef STROBER_TRACE_VCD_READER_H
+#define STROBER_TRACE_VCD_READER_H
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace strober {
+namespace trace {
+
+/** One $var declaration. */
+struct VcdVar
+{
+    std::string code;   //!< short printable identifier code
+    std::string name;   //!< full hierarchical name, '/'-separated
+    unsigned width = 1; //!< declared bit width
+
+    /** Wider than the 64-bit value cursor; declared but not tracked. */
+    bool wide() const { return width > 64; }
+};
+
+/** Parsed declaration section of a VCD document. */
+struct VcdHeader
+{
+    std::string timescale; //!< e.g. "1ns"; empty if not declared
+    std::vector<VcdVar> vars;
+
+    /** Index of the variable with exactly @p name, or -1. */
+    int findVar(const std::string &name) const;
+};
+
+/**
+ * Parse the header, leaving @p in positioned at the first body token.
+ * Fails with Corrupt on a truncated or malformed declaration section
+ * (EOF before $enddefinitions, bad $var arity, zero/garbage widths).
+ */
+util::Result<VcdHeader> parseVcdHeader(std::istream &in);
+
+/**
+ * Per-timestep cursor over the value-change body. Values are sticky:
+ * after `advance()` returns true, `value(i)` is variable i's value as
+ * of `time()` (initial-value changes before the first '#' timestamp
+ * are folded into the first step). Variables with width > 64 are
+ * syntax-checked but not stored.
+ */
+class VcdCursor
+{
+  public:
+    /** @p in must be positioned just past the header (same stream). */
+    VcdCursor(std::istream &in, const VcdHeader &header);
+
+    /**
+     * Load the next timestep. @return true when a step was loaded,
+     * false at end of trace; errors are Corrupt (unknown id code,
+     * over-wide value, out-of-order timestamp) or Unsupported (real
+     * or x/z value change).
+     */
+    util::Result<bool> advance();
+
+    /** Timestamp of the step most recently loaded by advance(). */
+    uint64_t time() const { return currentTime; }
+
+    /** True when another timestep is buffered ahead of the cursor. */
+    bool hasPending() const { return pendingValid; }
+    /** Timestamp of that buffered step (valid iff hasPending()). */
+    uint64_t pendingTime() const { return pending; }
+
+    /** Sticky value of variable @p varIndex (0 until first change). */
+    uint64_t value(size_t varIndex) const { return values[varIndex]; }
+
+    /** Timesteps delivered so far. */
+    uint64_t stepsDelivered() const { return steps; }
+
+  private:
+    std::istream &is;
+    const VcdHeader &hdr;
+    std::unordered_map<std::string, std::vector<size_t>> byCode;
+    std::vector<uint64_t> values;
+    uint64_t currentTime = 0;
+    uint64_t pending = 0;
+    uint64_t steps = 0;
+    bool pendingValid = false;
+    bool primed = false;
+    bool haveCurrent = false;
+
+    util::Status prime();
+    util::Status bodyToken(const std::string &token);
+    util::Status applyScalar(const std::string &token);
+    util::Status applyVector(const std::string &bitsToken);
+};
+
+/**
+ * Streaming FNV-1a 64 content hash of @p path — the trace identity
+ * folded into replay cache keys so results from different stimulus
+ * files can never alias. IoError if the file cannot be read.
+ */
+util::Result<uint64_t> fileFingerprint(const std::string &path);
+
+} // namespace trace
+} // namespace strober
+
+#endif // STROBER_TRACE_VCD_READER_H

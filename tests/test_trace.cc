@@ -1,0 +1,746 @@
+/**
+ * @file
+ * Tests for the trace interchange subsystem (src/trace) and its export
+ * half (sim::VcdWriter ports-only dumps, gate::writeSaif):
+ *
+ *  - streaming VCD header/body parsing, including every malformed-input
+ *    class the reader must reject with a Status (truncated header,
+ *    unknown identifier code, value wider than declared, out-of-order
+ *    timestamps, 4-state and real values) — never a crash;
+ *  - a never-crash sweep over the checked-in fuzz corpus
+ *    (the .vcd files under tests/vcd_corpus/);
+ *  - signal-to-port binding diagnostics (trace-unbound-input,
+ *    trace-ambiguous, trace-width-mismatch, trace-clock-ignored);
+ *  - the round-trip gate: a generator-driven flow dumped with
+ *    sim::VcdWriter and re-ingested through trace::TraceDriver must
+ *    produce a bit-identical EnergyReport, on a small design and on
+ *    the Rocket SoC, across all four simulator backends;
+ *  - the VcdWriter wide-signal regression (>64-bit nodes are skipped
+ *    with a counted $comment, never emitted truncated);
+ *  - SAIF golden files: gate::writeSaif output is byte-exact against
+ *    checked-in references, with and without duty tracking, and
+ *    T0 + T1 == DURATION for every net entry when duty is tracked.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/energy_sim.h"
+#include "core/harness.h"
+#include "cores/soc.h"
+#include "cores/soc_driver.h"
+#include "farm/report.h"
+#include "gate/gate_sim.h"
+#include "gate/saif.h"
+#include "gate/synthesis.h"
+#include "lint/diagnostics.h"
+#include "rtl/builder.h"
+#include "sim/vcd.h"
+#include "stats/rng.h"
+#include "trace/stimulus.h"
+#include "trace/vcd_reader.h"
+#include "workloads/workloads.h"
+
+#ifndef STROBER_TEST_DATA_DIR
+#error "STROBER_TEST_DATA_DIR must point at the tests/ source directory"
+#endif
+
+namespace strober {
+namespace {
+
+using rtl::Builder;
+using rtl::Design;
+using rtl::Scope;
+using rtl::Signal;
+using sim::Backend;
+using trace::parseVcdHeader;
+using trace::VcdCursor;
+using trace::VcdHeader;
+using util::ErrorCode;
+
+// --- Small shared fixtures ----------------------------------------------
+
+/** 8-bit accumulator: one data input, one output, a couple of regs. */
+Design
+makeAccumulator()
+{
+    Builder b("dut");
+    Signal in = b.input("in", 8);
+    Signal acc;
+    {
+        Scope unit(b, "u");
+        acc = b.reg("acc", 16, 0);
+        b.next(acc, acc + b.pad(in, 16));
+    }
+    b.output("acc", acc);
+    return b.finish();
+}
+
+/** Deterministic random stimulus with a fixed cycle budget. */
+class NoiseDriver : public core::HostDriver
+{
+  public:
+    explicit NoiseDriver(uint64_t seed, int cycles)
+        : rng(seed), budget(cycles)
+    {
+    }
+    void
+    drive(core::TargetHarness &h) override
+    {
+        h.setInput(0, rng.nextBounded(256));
+        --budget;
+    }
+    bool done() const override { return budget == 0; }
+
+  private:
+    stats::Rng rng;
+    int budget;
+};
+
+util::Result<VcdHeader>
+parse(const std::string &text)
+{
+    std::istringstream in(text);
+    return parseVcdHeader(in);
+}
+
+/** A well-formed two-signal header used by several body tests. */
+const char *kSmallHeader =
+    "$date today $end\n"
+    "$timescale 1ns $end\n"
+    "$scope module top $end\n"
+    "$var wire 1 ! en $end\n"
+    "$var wire 8 \" u.cnt $end\n"
+    "$upscope $end\n"
+    "$enddefinitions $end\n";
+
+/** Parse header + walk the whole body; return the first error (or Ok). */
+util::Status
+walkBody(const std::string &text, uint64_t *stepsOut = nullptr)
+{
+    std::istringstream in(text);
+    util::Result<VcdHeader> hdr = parseVcdHeader(in);
+    if (!hdr.isOk())
+        return hdr.status();
+    VcdCursor cur(in, hdr.value());
+    for (;;) {
+        util::Result<bool> r = cur.advance();
+        if (!r.isOk())
+            return r.status();
+        if (!r.value())
+            break;
+    }
+    if (stepsOut)
+        *stepsOut = cur.stepsDelivered();
+    return util::Status();
+}
+
+// --- Header parsing ------------------------------------------------------
+
+TEST(VcdHeaderParse, ScopesWidthsAndTimescale)
+{
+    util::Result<VcdHeader> r = parse(
+        "$timescale 1ns $end\n"
+        "$scope module soc $end\n"
+        "$scope module core $end\n"
+        "$var wire 32 ! pc $end\n"
+        "$upscope $end\n"
+        "$var wire 1 \" io.valid $end\n"
+        "$upscope $end\n"
+        "$enddefinitions $end\n");
+    ASSERT_TRUE(r.isOk()) << r.status().toString();
+    const VcdHeader &h = r.value();
+    EXPECT_EQ(h.timescale, "1ns");
+    ASSERT_EQ(h.vars.size(), 2u);
+    EXPECT_EQ(h.vars[0].name, "soc/core/pc");
+    EXPECT_EQ(h.vars[0].width, 32u);
+    // '.' in leaf names folds into the '/' convention.
+    EXPECT_EQ(h.vars[1].name, "soc/io/valid");
+    EXPECT_EQ(h.findVar("soc/core/pc"), 0);
+    EXPECT_EQ(h.findVar("nope"), -1);
+}
+
+TEST(VcdHeaderParse, SkipsUnknownSections)
+{
+    util::Result<VcdHeader> r = parse(
+        "$date some day $end\n"
+        "$version tool 1.0 $end\n"
+        "$somethingcustom a b c $end\n"
+        "$var wire 4 ! x $end\n"
+        "$enddefinitions $end\n");
+    ASSERT_TRUE(r.isOk()) << r.status().toString();
+    EXPECT_EQ(r.value().vars.size(), 1u);
+}
+
+TEST(VcdHeaderParse, TruncatedHeaderRejected)
+{
+    // EOF before $enddefinitions.
+    util::Result<VcdHeader> r1 =
+        parse("$scope module top $end\n$var wire 1 ! en $end\n");
+    ASSERT_FALSE(r1.isOk());
+    EXPECT_EQ(r1.status().code(), ErrorCode::Corrupt);
+
+    // $var cut off mid-declaration.
+    util::Result<VcdHeader> r2 = parse("$var wire 8");
+    ASSERT_FALSE(r2.isOk());
+    EXPECT_EQ(r2.status().code(), ErrorCode::Corrupt);
+
+    // $scope without a name.
+    util::Result<VcdHeader> r3 = parse("$scope module $end\n");
+    ASSERT_FALSE(r3.isOk());
+    EXPECT_EQ(r3.status().code(), ErrorCode::Corrupt);
+
+    // Garbage width.
+    util::Result<VcdHeader> r4 =
+        parse("$var wire eight ! en $end\n$enddefinitions $end\n");
+    ASSERT_FALSE(r4.isOk());
+    EXPECT_EQ(r4.status().code(), ErrorCode::Corrupt);
+
+    // Value-change token before the header ended.
+    util::Result<VcdHeader> r5 = parse("#0\n");
+    ASSERT_FALSE(r5.isOk());
+    EXPECT_EQ(r5.status().code(), ErrorCode::Corrupt);
+}
+
+// --- Body streaming ------------------------------------------------------
+
+TEST(VcdCursor, StickyValuesAcrossTimestampGaps)
+{
+    std::string text = std::string(kSmallHeader) +
+                       "$dumpvars\n0!\nb0 \"\n$end\n"
+                       "#0\n1!\nb101 \"\n"
+                       "#3\n0!\n"
+                       "#10\nb11111111 \"\n";
+    std::istringstream in(text);
+    util::Result<VcdHeader> hdr = parseVcdHeader(in);
+    ASSERT_TRUE(hdr.isOk());
+    VcdCursor cur(in, hdr.value());
+
+    util::Result<bool> s1 = cur.advance();
+    ASSERT_TRUE(s1.isOk() && s1.value());
+    EXPECT_EQ(cur.time(), 0u);
+    EXPECT_EQ(cur.value(0), 1u);
+    EXPECT_EQ(cur.value(1), 5u);
+
+    util::Result<bool> s2 = cur.advance();
+    ASSERT_TRUE(s2.isOk() && s2.value());
+    EXPECT_EQ(cur.time(), 3u);
+    EXPECT_EQ(cur.value(0), 0u);
+    EXPECT_EQ(cur.value(1), 5u); // sticky across the change-less gap
+
+    util::Result<bool> s3 = cur.advance();
+    ASSERT_TRUE(s3.isOk() && s3.value());
+    EXPECT_EQ(cur.time(), 10u);
+    EXPECT_EQ(cur.value(1), 255u);
+    EXPECT_EQ(cur.stepsDelivered(), 3u);
+
+    util::Result<bool> s4 = cur.advance();
+    ASSERT_TRUE(s4.isOk());
+    EXPECT_FALSE(s4.value()); // end of trace
+}
+
+TEST(VcdCursor, RejectsUnknownIdentifierCode)
+{
+    util::Status s =
+        walkBody(std::string(kSmallHeader) + "#0\n1%\n");
+    ASSERT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), ErrorCode::Corrupt);
+    EXPECT_NE(s.message().find("unknown identifier"), std::string::npos);
+
+    util::Status v =
+        walkBody(std::string(kSmallHeader) + "#0\nb101 %\n");
+    ASSERT_FALSE(v.isOk());
+    EXPECT_EQ(v.code(), ErrorCode::Corrupt);
+}
+
+TEST(VcdCursor, RejectsValueWiderThanDeclared)
+{
+    // 'en' is declared 1 bit wide; 9 bits on the 8-bit counter too.
+    util::Status s =
+        walkBody(std::string(kSmallHeader) + "#0\nb10 !\n");
+    ASSERT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), ErrorCode::Corrupt);
+    EXPECT_NE(s.message().find("wider than declared"), std::string::npos);
+
+    util::Status t =
+        walkBody(std::string(kSmallHeader) + "#0\nb111111111 \"\n");
+    ASSERT_FALSE(t.isOk());
+    EXPECT_EQ(t.code(), ErrorCode::Corrupt);
+}
+
+TEST(VcdCursor, RejectsOutOfOrderTimestamps)
+{
+    util::Status s =
+        walkBody(std::string(kSmallHeader) + "#5\n1!\n#3\n0!\n");
+    ASSERT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), ErrorCode::Corrupt);
+    EXPECT_NE(s.message().find("out-of-order"), std::string::npos);
+
+    // Duplicate timestamps are out-of-order too.
+    util::Status d =
+        walkBody(std::string(kSmallHeader) + "#5\n1!\n#5\n0!\n");
+    ASSERT_FALSE(d.isOk());
+    EXPECT_EQ(d.code(), ErrorCode::Corrupt);
+}
+
+TEST(VcdCursor, RejectsFourStateAndRealValues)
+{
+    util::Status x = walkBody(std::string(kSmallHeader) + "#0\nx!\n");
+    ASSERT_FALSE(x.isOk());
+    EXPECT_EQ(x.code(), ErrorCode::Unsupported);
+
+    util::Status z =
+        walkBody(std::string(kSmallHeader) + "#0\nbz01 \"\n");
+    ASSERT_FALSE(z.isOk());
+    EXPECT_EQ(z.code(), ErrorCode::Unsupported);
+
+    util::Status r =
+        walkBody(std::string(kSmallHeader) + "#0\nr3.14 !\n");
+    ASSERT_FALSE(r.isOk());
+    EXPECT_EQ(r.code(), ErrorCode::Unsupported);
+}
+
+TEST(VcdCursor, WideVarsSyntaxCheckedButNotStored)
+{
+    std::string header =
+        "$var wire 128 ! big $end\n"
+        "$var wire 8 \" small $end\n"
+        "$enddefinitions $end\n";
+    // A 70-bit value on the 128-bit var is legal syntax and ignored.
+    std::string good = header + "#0\nb" + std::string(70, '1') +
+                       " !\nb11 \"\n#1\nb1 \"\n";
+    std::istringstream in(good);
+    util::Result<VcdHeader> hdr = parseVcdHeader(in);
+    ASSERT_TRUE(hdr.isOk());
+    EXPECT_TRUE(hdr.value().vars[0].wide());
+    VcdCursor cur(in, hdr.value());
+    ASSERT_TRUE(cur.advance().isOk());
+    EXPECT_EQ(cur.value(0), 0u); // wide: never stored
+    EXPECT_EQ(cur.value(1), 3u);
+
+    // Width checks still apply to wide vars.
+    util::Status s =
+        walkBody(header + "#0\nb" + std::string(129, '1') + " !\n");
+    ASSERT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), ErrorCode::Corrupt);
+}
+
+TEST(VcdFingerprint, ContentHashAndMissingFile)
+{
+    std::string a = testing::TempDir() + "fp_a.vcd";
+    std::string b = testing::TempDir() + "fp_b.vcd";
+    std::ofstream(a) << "$enddefinitions $end\n#0\n";
+    std::ofstream(b) << "$enddefinitions $end\n#1\n";
+    util::Result<uint64_t> fa = trace::fileFingerprint(a);
+    util::Result<uint64_t> fb = trace::fileFingerprint(b);
+    ASSERT_TRUE(fa.isOk());
+    ASSERT_TRUE(fb.isOk());
+    EXPECT_NE(fa.value(), fb.value());
+    EXPECT_EQ(fa.value(), trace::fileFingerprint(a).value());
+
+    util::Result<uint64_t> missing =
+        trace::fileFingerprint(testing::TempDir() + "no_such_file.vcd");
+    ASSERT_FALSE(missing.isOk());
+    EXPECT_EQ(missing.status().code(), ErrorCode::IoError);
+}
+
+// --- Fuzz corpus: malformed input is an error, never a crash -------------
+
+TEST(VcdCorpus, NeverCrashes)
+{
+    namespace fs = std::filesystem;
+    fs::path dir = fs::path(STROBER_TEST_DATA_DIR) / "vcd_corpus";
+    ASSERT_TRUE(fs::is_directory(dir)) << dir;
+    size_t seen = 0;
+    for (const fs::directory_entry &e : fs::directory_iterator(dir)) {
+        if (e.path().extension() != ".vcd")
+            continue;
+        ++seen;
+        SCOPED_TRACE(e.path().filename().string());
+        std::ifstream in(e.path(), std::ios::binary);
+        ASSERT_TRUE(in.good());
+        util::Result<VcdHeader> hdr = parseVcdHeader(in);
+        if (!hdr.isOk())
+            continue; // rejected cleanly
+        VcdCursor cur(in, hdr.value());
+        for (uint64_t steps = 0; steps < 100000; ++steps) {
+            util::Result<bool> r = cur.advance();
+            if (!r.isOk() || !r.value())
+                break; // error or end of trace, both fine
+        }
+        // Workload loading must survive the same inputs.
+        (void)trace::loadTraceWorkload(e.path().string());
+    }
+    EXPECT_GE(seen, 8u) << "fuzz corpus went missing";
+}
+
+// --- Binding diagnostics -------------------------------------------------
+
+TEST(StimulusBind, ExactAndSuffixMatch)
+{
+    Design d = makeAccumulator();
+    util::Result<VcdHeader> hdr = parse(
+        "$scope module dut $end\n"
+        "$var wire 1 ! clock $end\n"
+        "$var wire 8 \" in $end\n"
+        "$var wire 16 # acc $end\n"
+        "$upscope $end\n"
+        "$enddefinitions $end\n");
+    ASSERT_TRUE(hdr.isOk());
+    lint::Diagnostics diags;
+    util::Result<trace::Stimulus> st =
+        trace::Stimulus::bind(d, hdr.value(), {}, &diags);
+    ASSERT_TRUE(st.isOk()) << st.status().toString();
+    ASSERT_EQ(st.value().bindings().size(), 1u);
+    EXPECT_EQ(st.value().bindings()[0].varIndex, 1u); // dut/in by suffix
+    EXPECT_EQ(st.value().bindings()[0].portIndex, 0u);
+    EXPECT_TRUE(diags.hasRule("trace-clock-ignored"));
+    EXPECT_TRUE(diags.hasRule("trace-unused")); // the 'acc' output
+    EXPECT_FALSE(diags.hasErrors());
+}
+
+TEST(StimulusBind, ReportsUnboundInput)
+{
+    Design d = makeAccumulator();
+    util::Result<VcdHeader> hdr =
+        parse("$var wire 8 ! other $end\n$enddefinitions $end\n");
+    ASSERT_TRUE(hdr.isOk());
+    lint::Diagnostics diags;
+    util::Result<trace::Stimulus> st =
+        trace::Stimulus::bind(d, hdr.value(), {}, &diags);
+    ASSERT_FALSE(st.isOk());
+    EXPECT_EQ(st.status().code(), ErrorCode::InvalidArgument);
+    EXPECT_TRUE(diags.hasRule("trace-unbound-input"));
+}
+
+TEST(StimulusBind, ReportsAmbiguousMatch)
+{
+    Design d = makeAccumulator();
+    util::Result<VcdHeader> hdr = parse(
+        "$scope module a $end\n$var wire 8 ! in $end\n$upscope $end\n"
+        "$scope module b $end\n$var wire 8 \" in $end\n$upscope $end\n"
+        "$enddefinitions $end\n");
+    ASSERT_TRUE(hdr.isOk());
+    lint::Diagnostics diags;
+    util::Result<trace::Stimulus> st =
+        trace::Stimulus::bind(d, hdr.value(), {}, &diags);
+    ASSERT_FALSE(st.isOk());
+    EXPECT_TRUE(diags.hasRule("trace-ambiguous"));
+}
+
+TEST(StimulusBind, ReportsWidthMismatch)
+{
+    Design d = makeAccumulator();
+    util::Result<VcdHeader> hdr =
+        parse("$var wire 16 ! in $end\n$enddefinitions $end\n");
+    ASSERT_TRUE(hdr.isOk());
+    lint::Diagnostics diags;
+    util::Result<trace::Stimulus> st =
+        trace::Stimulus::bind(d, hdr.value(), {}, &diags);
+    ASSERT_FALSE(st.isOk());
+    EXPECT_TRUE(diags.hasRule("trace-width-mismatch"));
+}
+
+TEST(StimulusBind, ExplicitClockSignalExcluded)
+{
+    // An 8-bit signal named like the input but designated as the clock
+    // must not shadow the real binding.
+    Design d = makeAccumulator();
+    util::Result<VcdHeader> hdr = parse(
+        "$scope module dut $end\n"
+        "$var wire 8 ! in $end\n"
+        "$var wire 8 \" tick/in $end\n"
+        "$upscope $end\n"
+        "$enddefinitions $end\n");
+    ASSERT_TRUE(hdr.isOk());
+    trace::StimulusOptions opts;
+    opts.clockSignal = "dut.tick.in";
+    lint::Diagnostics diags;
+    util::Result<trace::Stimulus> st =
+        trace::Stimulus::bind(d, hdr.value(), opts, &diags);
+    ASSERT_TRUE(st.isOk()) << st.status().toString();
+    ASSERT_EQ(st.value().bindings().size(), 1u);
+    EXPECT_EQ(st.value().bindings()[0].varIndex, 0u);
+    EXPECT_TRUE(diags.hasRule("trace-clock-ignored"));
+}
+
+// --- TraceDriver behavior ------------------------------------------------
+
+TEST(TraceDriver, EmptyTraceRejected)
+{
+    std::string path = testing::TempDir() + "empty_trace.vcd";
+    std::ofstream(path) << "$var wire 8 ! in $end\n$enddefinitions $end\n";
+    Design d = makeAccumulator();
+    util::Result<std::unique_ptr<trace::TraceDriver>> drv =
+        trace::TraceDriver::open(path, d);
+    ASSERT_FALSE(drv.isOk());
+    EXPECT_EQ(drv.status().code(), ErrorCode::InvalidArgument);
+}
+
+TEST(TraceDriver, MidBodyErrorParksStatusAndFinishes)
+{
+    std::string path = testing::TempDir() + "midbody_error.vcd";
+    std::ofstream(path) << "$var wire 8 ! in $end\n$enddefinitions $end\n"
+                        << "#0\nb1 !\n#1\nb10 !\n#2\nqqq\n";
+    Design d = makeAccumulator();
+    util::Result<std::unique_ptr<trace::TraceDriver>> drv =
+        trace::TraceDriver::open(path, d);
+    ASSERT_TRUE(drv.isOk()) << drv.status().toString();
+    core::RtlHarness h(d);
+    while (!drv.value()->done() && h.cycles() < 100) {
+        drv.value()->drive(h);
+        h.clock();
+    }
+    EXPECT_TRUE(drv.value()->done());
+    EXPECT_FALSE(drv.value()->status().isOk());
+    EXPECT_EQ(drv.value()->status().code(), ErrorCode::Corrupt);
+}
+
+TEST(TraceWorkload, NamesAndFingerprints)
+{
+    std::string path = testing::TempDir() + "named_trace.vcd";
+    std::ofstream(path) << "$var wire 8 ! in $end\n$enddefinitions $end\n"
+                        << "#0\nb1 !\n";
+    util::Result<trace::TraceWorkload> wl = trace::loadTraceWorkload(path);
+    ASSERT_TRUE(wl.isOk()) << wl.status().toString();
+    EXPECT_EQ(wl.value().name, "trace:named_trace.vcd");
+    EXPECT_NE(wl.value().fingerprint, 0u);
+    EXPECT_EQ(wl.value().path, path);
+
+    util::Result<trace::TraceWorkload> bad =
+        trace::loadTraceWorkload(testing::TempDir() + "nope.vcd");
+    ASSERT_FALSE(bad.isOk());
+    EXPECT_EQ(bad.status().code(), ErrorCode::IoError);
+}
+
+// --- The round-trip gate -------------------------------------------------
+
+/**
+ * Dump a generator-driven run as a ports-only VCD, re-ingest it, and
+ * require the trace-driven EnergyReport to render byte-identically to
+ * the generator-driven one — per backend, via the same deterministic
+ * rendering the farm and the service daemon cmp against.
+ */
+template <typename MakeDriver>
+void
+expectRoundTripIdentical(const Design &soc, MakeDriver makeDriver,
+                         uint64_t genMaxCycles, size_t sampleSize,
+                         const std::string &vcdPath)
+{
+    {
+        std::ofstream out(vcdPath, std::ios::binary);
+        ASSERT_TRUE(out.good());
+        core::RtlHarness harness(soc);
+        sim::VcdWriter::Options vopts;
+        vopts.portsOnly = true;
+        sim::VcdWriter vcd(out, harness.simulator(), vopts);
+        std::unique_ptr<core::HostDriver> driver = makeDriver();
+        // Same per-cycle contract as the energy-sim loop: timestamp t
+        // carries the inputs of target cycle t.
+        while (!driver->done() && harness.cycles() < genMaxCycles) {
+            driver->drive(harness);
+            vcd.sample();
+            harness.clock();
+        }
+        ASSERT_TRUE(driver->done());
+        ASSERT_EQ(vcd.wideSignalsSkipped(), 0u);
+    }
+
+    for (Backend backend :
+         {Backend::InterpretedFull, Backend::InterpretedActivity,
+          Backend::Compiled, Backend::CompiledParallel}) {
+        SCOPED_TRACE(sim::backendName(backend));
+
+        core::EnergySimulator::Config cfg;
+        cfg.sampleSize = sampleSize;
+        cfg.replayLength = 64;
+        cfg.backend = backend;
+
+        core::EnergySimulator gen(soc, cfg);
+        std::unique_ptr<core::HostDriver> genDriver = makeDriver();
+        core::RunStats genRun = gen.run(*genDriver, genMaxCycles);
+        std::string genText = farm::renderReportDeterministic(gen.estimate());
+
+        lint::Diagnostics diags;
+        util::Result<std::unique_ptr<trace::TraceDriver>> trc =
+            trace::TraceDriver::open(vcdPath, soc, {}, &diags);
+        ASSERT_TRUE(trc.isOk())
+            << trc.status().toString() << "\n" << diags.str();
+        core::EnergySimulator replay(soc, cfg);
+        core::RunStats trcRun = replay.run(*trc.value(), UINT64_MAX);
+        ASSERT_TRUE(trc.value()->status().isOk())
+            << trc.value()->status().toString();
+        std::string trcText =
+            farm::renderReportDeterministic(replay.estimate());
+
+        EXPECT_EQ(genRun.targetCycles, trcRun.targetCycles);
+        EXPECT_EQ(genText, trcText);
+    }
+}
+
+TEST(RoundTrip, SmallDesignIdenticalAcrossBackends)
+{
+    Design d = makeAccumulator();
+    expectRoundTripIdentical(
+        d,
+        [] { return std::make_unique<NoiseDriver>(7, 20000); },
+        UINT64_MAX, 16, testing::TempDir() + "roundtrip_small.vcd");
+}
+
+/** The acceptance gate: bit-identical round trip on the Rocket SoC,
+ *  all four backends. */
+TEST(RoundTrip, RocketIdenticalAcrossBackends)
+{
+    rtl::Design soc = cores::buildSoc(cores::SocConfig::rocket());
+    workloads::Workload wl = workloads::towers();
+    expectRoundTripIdentical(
+        soc,
+        [&] { return std::make_unique<cores::SocDriver>(soc, wl.program); },
+        wl.maxCycles, 8, testing::TempDir() + "roundtrip_rocket.vcd");
+}
+
+// --- VcdWriter wide-signal regression (satellite) ------------------------
+
+TEST(VcdWriterWide, SkipsWideSignalsWithCountedComment)
+{
+    Design d = makeAccumulator();
+    sim::Simulator s(d);
+    // The IR cannot build a >64-bit node, but the writer must stay
+    // defensive: force one post-construction and require a clean skip
+    // instead of a truncated (or UB-shifted) emission.
+    rtl::NodeId wideId = rtl::kNoNode;
+    for (rtl::NodeId id = 0; id < d.numNodes(); ++id) {
+        if (d.node(id).name == "u/acc") {
+            wideId = id;
+            break;
+        }
+    }
+    ASSERT_NE(wideId, rtl::kNoNode);
+    d.node(wideId).width = 128;
+
+    std::ostringstream out;
+    sim::VcdWriter vcd(out, s);
+    EXPECT_EQ(vcd.wideSignalsSkipped(), 1u);
+    for (int i = 0; i < 3; ++i) {
+        vcd.sample();
+        s.step();
+    }
+    std::string text = out.str();
+    EXPECT_NE(
+        text.find("$comment strober: skipped 1 signal(s) wider than 64"),
+        std::string::npos);
+    // The wide node is neither declared nor sampled.
+    EXPECT_EQ(text.find("u.acc"), std::string::npos);
+
+    // And the dump must still be ingestible.
+    std::istringstream in(text);
+    util::Result<VcdHeader> hdr = parseVcdHeader(in);
+    ASSERT_TRUE(hdr.isOk()) << hdr.status().toString();
+    EXPECT_EQ(hdr.value().findVar("dut/u/acc"), -1);
+    VcdCursor cur(in, hdr.value());
+    util::Result<bool> step = cur.advance();
+    ASSERT_TRUE(step.isOk()) << step.status().toString();
+    EXPECT_TRUE(step.value());
+}
+
+// --- SAIF golden files (satellite) ---------------------------------------
+
+Design
+makeToggler()
+{
+    Builder b("toggler");
+    Signal en = b.input("en", 1);
+    Signal cnt;
+    {
+        Scope unit(b, "unit");
+        cnt = b.reg("cnt", 8, 0);
+        b.next(cnt, cnt + b.lit(1, 8), en);
+    }
+    b.output("o", cnt);
+    return b.finish();
+}
+
+/** Render the deterministic toggler activity as SAIF. */
+std::string
+togglerSaif(bool duty)
+{
+    Design d = makeToggler();
+    gate::SynthesisResult synth = gate::synthesize(d);
+    gate::GateSimulator gs(synth.netlist);
+    if (duty)
+        gs.enableDutyTracking();
+    gs.pokePort(0, 1);
+    gs.clearActivity();
+    gs.step(100);
+    gate::ActivityReport act{gs.toggleCounts(), gs.macroStats(),
+                             gs.activityCycles()};
+    gate::SaifOptions opt;
+    opt.designName = "toggler";
+    opt.clockHz = 1e9;
+    if (duty)
+        opt.highCycles = &gs.highCycles();
+    return gate::writeSaif(synth.netlist, act, opt);
+}
+
+/** Byte-exact comparison against a checked-in golden file. Set
+ *  STROBER_UPDATE_GOLDEN=1 to regenerate the references. */
+void
+expectMatchesGolden(const std::string &text, const std::string &fileName)
+{
+    namespace fs = std::filesystem;
+    fs::path path = fs::path(STROBER_TEST_DATA_DIR) / "golden" / fileName;
+    if (std::getenv("STROBER_UPDATE_GOLDEN")) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out.good()) << path;
+        out << text;
+        return;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good()) << "missing golden file " << path
+                           << " (regenerate with STROBER_UPDATE_GOLDEN=1)";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(text, buf.str()) << "SAIF output drifted from " << path;
+}
+
+TEST(SaifGolden, ByteExactWithoutDuty)
+{
+    expectMatchesGolden(togglerSaif(false), "toggler_noduty.saif");
+}
+
+TEST(SaifGolden, ByteExactWithDuty)
+{
+    expectMatchesGolden(togglerSaif(true), "toggler_duty.saif");
+}
+
+TEST(SaifGolden, DutyTimesSumToWindowDuration)
+{
+    std::string saif = togglerSaif(true);
+    // Extract the window duration.
+    size_t dpos = saif.find("(DURATION ");
+    ASSERT_NE(dpos, std::string::npos);
+    long long duration = std::stoll(saif.substr(dpos + 10));
+    ASSERT_GT(duration, 0);
+    // Every net entry: T0 + T1 == DURATION, exactly.
+    size_t entries = 0;
+    for (size_t pos = saif.find("(T0 "); pos != std::string::npos;
+         pos = saif.find("(T0 ", pos + 1)) {
+        long long t0 = std::stoll(saif.substr(pos + 4));
+        size_t p1 = saif.find("(T1 ", pos);
+        ASSERT_NE(p1, std::string::npos);
+        long long t1 = std::stoll(saif.substr(p1 + 4));
+        EXPECT_EQ(t0 + t1, duration) << "entry " << entries;
+        ++entries;
+    }
+    EXPECT_GT(entries, 4u);
+}
+
+} // namespace
+} // namespace strober

@@ -5,6 +5,9 @@
  *
  *   strober info                           # list cores and workloads
  *   strober run    <core> <workload>       # fast sim + energy estimate
+ *   strober run    <core> --stimulus F.vcd # ... driven by an external
+ *                                          #   VCD trace instead of a
+ *                                          #   built-in workload
  *       [--backend B]                      #   fast-sim backend: full |
  *                                          #   activity (default) |
  *                                          #   compiled | compiled-parallel
@@ -17,14 +20,26 @@
  *                                          #   zero gate-level replays
  *       [--max-dropped-snapshots N]        #   invalidate report past N
  *       [--replay-timeout CYCLES]          #   per-replay watchdog budget
+ *       [--dump-stimulus F.vcd]            #   dump a ports-only VCD of
+ *                                          #   the workload run and exit
+ *                                          #   (re-ingestable through
+ *                                          #   --stimulus)
+ *       [--report FILE]                    #   write the deterministic
+ *                                          #   report rendering (cmp-able
+ *                                          #   across backends/machines)
  *   strober truth  <core> <workload>       # exhaustive gate-level power
+ *   strober truth  <core> --stimulus F.vcd # ... driven by a VCD trace
+ *       [--saif FILE]                      #   export the measured
+ *                                          #   activity as duty-tracked
+ *                                          #   SAIF (VCD in, SAIF out)
  *   strober synth  <core> [out.v]          # synthesis stats / Verilog
  *   strober chase  <core> <KiB> [latency]  # pointer-chase latency
  *   strober asm    <file.s>                # assemble + run on the ISS
  *
  * Exit codes of `run`: 0 clean estimate, 1 degraded but valid (some
  * snapshots quarantined / replay mismatches), 2 usage error, 3 invalid
- * estimate (no trustworthy number; see the report's status line).
+ * estimate (no trustworthy number; see the report's status line), 4
+ * stimulus error (unreadable/malformed/unbindable trace file).
  */
 
 #include <algorithm>
@@ -41,6 +56,11 @@
 #include "cores/soc.h"
 #include "cores/soc_driver.h"
 #include "farm/farm.h"
+#include "farm/report.h"
+#include "lint/diagnostics.h"
+#include "sim/vcd.h"
+#include "trace/stimulus.h"
+#include "gate/saif.h"
 #include "gate/verilog.h"
 #include "isa/assembler.h"
 #include "isa/iss.h"
@@ -91,14 +111,72 @@ struct RunOptions
     unsigned jobs = 1;                //!< parallel replay workers
     std::string cacheDir;             //!< empty = no persistent cache
     sim::Backend backend = sim::Backend::InterpretedActivity;
+    std::string stimulus;             //!< VCD trace instead of a workload
+    std::string dumpStimulus;         //!< write a ports-only VCD and exit
+    std::string reportFile;           //!< deterministic report rendering
 };
+
+/** Ports-only VCD dump of a generator-driven run (no estimate). */
+int
+cmdDumpStimulus(const rtl::Design &soc, const workloads::Workload &wl,
+                const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot create '%s'", path.c_str());
+    core::RtlHarness harness(soc);
+    sim::VcdWriter::Options vopts;
+    vopts.portsOnly = true;
+    sim::VcdWriter vcd(out, harness.simulator(), vopts);
+    cores::SocDriver driver(soc, wl.program);
+    // Same per-cycle contract as the energy-sim loop, with the sample
+    // taken after the cycle's inputs are poked and before the edge --
+    // VCD timestamp t carries the inputs of target cycle t.
+    while (!driver.done() && harness.cycles() < wl.maxCycles) {
+        driver.drive(harness);
+        vcd.sample();
+        harness.clock();
+    }
+    if (!driver.done())
+        fatal("workload did not finish");
+    out.close();
+    if (!out)
+        fatal("writing '%s' failed", path.c_str());
+    std::printf("dumped %llu cycles, %zu port signal(s), %zu wide "
+                "signal(s) skipped, to %s\n",
+                (unsigned long long)harness.cycles(), vcd.signalCount(),
+                vcd.wideSignalsSkipped(), path.c_str());
+    return 0;
+}
 
 int
 cmdRun(const std::string &coreName, const std::string &wlName,
        const RunOptions &opts)
 {
     rtl::Design soc = cores::buildSoc(coreByName(coreName));
-    workloads::Workload wl = workloads::byName(wlName);
+    const bool fromTrace = !opts.stimulus.empty();
+    workloads::Workload wl;
+    trace::TraceWorkload twl;
+    if (fromTrace) {
+        util::Result<trace::TraceWorkload> r =
+            trace::loadTraceWorkload(opts.stimulus);
+        if (!r.isOk()) {
+            std::fprintf(stderr, "stimulus: %s\n",
+                         r.status().toString().c_str());
+            return 4;
+        }
+        twl = r.value();
+    } else {
+        wl = workloads::byName(wlName);
+    }
+    if (!opts.dumpStimulus.empty()) {
+        if (fromTrace) {
+            std::fprintf(stderr, "--dump-stimulus requires a generated "
+                                 "workload, not --stimulus\n");
+            return 2;
+        }
+        return cmdDumpStimulus(soc, wl, opts.dumpStimulus);
+    }
 
     core::EnergySimulator::Config cfg;
     cfg.sampleSize = 30;
@@ -107,6 +185,7 @@ cmdRun(const std::string &coreName, const std::string &wlName,
     cfg.replayTimeoutCycles = opts.replayTimeoutCycles;
     cfg.parallelReplays = std::max(1u, opts.jobs);
     cfg.backend = opts.backend;
+    cfg.stimulusFingerprint = fromTrace ? twl.fingerprint : 0;
     std::unique_ptr<farm::CachingReplayExecutor> cachingExec;
     if (!opts.cacheDir.empty()) {
         cachingExec =
@@ -114,22 +193,66 @@ cmdRun(const std::string &coreName, const std::string &wlName,
         cfg.replayExecutor = cachingExec.get();
     }
     core::EnergySimulator strober(soc, cfg);
-    cores::SocDriver driver(soc, wl.program);
-    core::RunStats run = strober.run(driver, wl.maxCycles);
-    if (!driver.done())
+
+    std::unique_ptr<cores::SocDriver> socDriver;
+    std::unique_ptr<trace::TraceDriver> traceDriver;
+    core::HostDriver *driver = nullptr;
+    uint64_t maxCycles = 0;
+    if (fromTrace) {
+        lint::Diagnostics diags;
+        util::Result<std::unique_ptr<trace::TraceDriver>> r =
+            twl.openDriver(soc, &diags);
+        for (const lint::Diagnostic &d : diags.all())
+            std::fprintf(stderr, "%s\n", d.str().c_str());
+        if (!r.isOk()) {
+            std::fprintf(stderr, "stimulus: %s\n",
+                         r.status().toString().c_str());
+            return 4;
+        }
+        traceDriver = std::move(r.value());
+        driver = traceDriver.get();
+        maxCycles = std::numeric_limits<uint64_t>::max();
+    } else {
+        socDriver = std::make_unique<cores::SocDriver>(soc, wl.program);
+        driver = socDriver.get();
+        maxCycles = wl.maxCycles;
+    }
+    core::RunStats run = strober.run(*driver, maxCycles);
+    if (traceDriver && !traceDriver->status().isOk()) {
+        std::fprintf(stderr, "stimulus: %s\n",
+                     traceDriver->status().toString().c_str());
+        return 4;
+    }
+    if (!driver->done())
         fatal("workload did not finish");
-    std::printf("%s on %s: %llu cycles, %llu instructions "
-                "(CPI %.2f), exit 0x%x%s\n",
-                wl.name.c_str(), coreName.c_str(),
-                (unsigned long long)run.targetCycles,
-                (unsigned long long)driver.commitsSeen(),
-                static_cast<double>(run.targetCycles) /
-                    static_cast<double>(driver.commitsSeen()),
-                driver.exitCode(),
-                wl.expectedExit && driver.exitCode() == wl.expectedExit
-                    ? " (checksum OK)"
-                    : "");
+    if (socDriver) {
+        std::printf("%s on %s: %llu cycles, %llu instructions "
+                    "(CPI %.2f), exit 0x%x%s\n",
+                    wl.name.c_str(), coreName.c_str(),
+                    (unsigned long long)run.targetCycles,
+                    (unsigned long long)socDriver->commitsSeen(),
+                    static_cast<double>(run.targetCycles) /
+                        static_cast<double>(socDriver->commitsSeen()),
+                    socDriver->exitCode(),
+                    wl.expectedExit &&
+                            socDriver->exitCode() == wl.expectedExit
+                        ? " (checksum OK)"
+                        : "");
+    } else {
+        std::printf("%s on %s: %llu cycles driven from trace\n",
+                    twl.name.c_str(), coreName.c_str(),
+                    (unsigned long long)run.targetCycles);
+    }
     core::EnergyReport rep = strober.estimate();
+    if (!opts.reportFile.empty()) {
+        std::ofstream rout(opts.reportFile, std::ios::binary);
+        if (!rout)
+            fatal("cannot create '%s'", opts.reportFile.c_str());
+        rout << farm::renderReportDeterministic(rep);
+        rout.close();
+        if (!rout)
+            fatal("writing '%s' failed", opts.reportFile.c_str());
+    }
     std::printf("average power: %.3f mW +/- %.3f (99%% CI, %zu "
                 "snapshots, %zu dropped, %llu replay mismatches)\n",
                 rep.averagePower.mean * 1e3,
@@ -169,22 +292,97 @@ cmdRun(const std::string &coreName, const std::string &wlName,
     return rep.degraded || rep.replayMismatches ? 1 : 0;
 }
 
+/**
+ * Gate-level ground truth, optionally driven from a VCD trace instead
+ * of a generated workload, and optionally exporting the measured
+ * switching activity as a duty-tracked SAIF file — the export half of
+ * the VCD-in / SAIF-out interchange loop.
+ */
 int
-cmdTruth(const std::string &coreName, const std::string &wlName)
+cmdTruth(const std::string &coreName, const std::string &wlName,
+         const std::string &stimulus, const std::string &saifFile)
 {
     rtl::Design soc = cores::buildSoc(coreByName(coreName));
-    workloads::Workload wl = workloads::byName(wlName);
+    const bool fromTrace = !stimulus.empty();
+    workloads::Workload wl;
+    if (!fromTrace)
+        wl = workloads::byName(wlName);
     core::EnergySimulator::Config cfg;
     core::EnergySimulator strober(soc, cfg);
-    cores::SocDriver driver(soc, wl.program);
+
+    // Inline equivalent of core::measureGroundTruth(), opened up so the
+    // harness can enable duty tracking (T0/T1 in the SAIF output) and
+    // accept either driver kind.
+    const gate::SynthesisResult &synth = strober.synthesis();
+    core::GateHarness harness(synth.netlist);
+    if (!saifFile.empty())
+        harness.simulator().enableDutyTracking();
+    harness.simulator().clearActivity();
+
+    std::unique_ptr<cores::SocDriver> socDriver;
+    std::unique_ptr<trace::TraceDriver> traceDriver;
+    core::HostDriver *driver = nullptr;
+    uint64_t maxCycles = 0;
+    std::string runName;
+    if (fromTrace) {
+        lint::Diagnostics diags;
+        util::Result<std::unique_ptr<trace::TraceDriver>> r =
+            trace::TraceDriver::open(stimulus, soc, {}, &diags);
+        for (const lint::Diagnostic &d : diags.all())
+            std::fprintf(stderr, "%s\n", d.str().c_str());
+        if (!r.isOk()) {
+            std::fprintf(stderr, "stimulus: %s\n",
+                         r.status().toString().c_str());
+            return 4;
+        }
+        traceDriver = std::move(r.value());
+        driver = traceDriver.get();
+        maxCycles = std::numeric_limits<uint64_t>::max();
+        runName = stimulus;
+    } else {
+        socDriver = std::make_unique<cores::SocDriver>(soc, wl.program);
+        driver = socDriver.get();
+        maxCycles = wl.maxCycles;
+        runName = wl.name;
+    }
     std::printf("running %s to completion at gate level (slow; this is "
-                "the point)...\n", wl.name.c_str());
-    power::PowerReport truth =
-        core::measureGroundTruth(strober, driver, wl.maxCycles);
+                "the point)...\n", runName.c_str());
+    core::runLoop(harness, *driver, maxCycles);
+    if (traceDriver && !traceDriver->status().isOk()) {
+        std::fprintf(stderr, "stimulus: %s\n",
+                     traceDriver->status().toString().c_str());
+        return 4;
+    }
+    if (harness.cycles() == 0)
+        fatal("ground-truth run executed zero cycles");
+
+    gate::ActivityReport activity{harness.simulator().toggleCounts(),
+                                  harness.simulator().macroStats(),
+                                  harness.simulator().activityCycles()};
+    power::PowerReport truth = power::analyzePower(
+        synth.netlist, strober.placement(), activity, cfg.clockHz);
     std::printf("exact average power over %llu cycles: %.3f mW\n",
                 (unsigned long long)truth.cycles,
                 truth.totalWatts() * 1e3);
     std::printf("%s", truth.table().c_str());
+
+    if (!saifFile.empty()) {
+        gate::SaifOptions opt;
+        opt.designName = coreName;
+        opt.clockHz = cfg.clockHz;
+        opt.highCycles = &harness.simulator().highCycles();
+        std::ofstream out(saifFile, std::ios::binary);
+        if (!out)
+            fatal("cannot create '%s'", saifFile.c_str());
+        out << gate::writeSaif(synth.netlist, activity, opt);
+        out.close();
+        if (!out)
+            fatal("writing '%s' failed", saifFile.c_str());
+        std::printf("wrote duty-tracked SAIF activity (%llu cycles) "
+                    "to %s\n",
+                    (unsigned long long)harness.cycles(),
+                    saifFile.c_str());
+    }
     return 0;
 }
 
@@ -255,6 +453,7 @@ usage()
     std::fprintf(stderr,
                  "usage: strober info\n"
                  "       strober run    <core> <workload>\n"
+                 "       strober run    <core> --stimulus <file.vcd>\n"
                  "                      [--backend full|activity|compiled\n"
                  "                                 |compiled-parallel]\n"
                  "                      [--sim-threads N]\n"
@@ -262,7 +461,13 @@ usage()
                  "                      [--cache-dir DIR]\n"
                  "                      [--max-dropped-snapshots N]\n"
                  "                      [--replay-timeout CYCLES]\n"
+                 "                      [--dump-stimulus <file.vcd>]\n"
+                 "                      [--report FILE]\n"
                  "       strober truth  <core> <workload>\n"
+                 "       strober truth  <core> --stimulus <file.vcd>\n"
+                 "                      [--saif FILE]            # export\n"
+                 "                                               #   duty-tracked\n"
+                 "                                               #   SAIF activity\n"
                  "       strober synth  <core> [out.v]\n"
                  "       strober chase  <core> <KiB> [dram-latency]\n"
                  "       strober asm    <file.s>\n");
@@ -294,6 +499,12 @@ main(int argc, char **argv)
                 opts.jobs = static_cast<unsigned>(std::stoul(argv[++i]));
             } else if (arg == "--cache-dir" && i + 1 < argc) {
                 opts.cacheDir = argv[++i];
+            } else if (arg == "--stimulus" && i + 1 < argc) {
+                opts.stimulus = argv[++i];
+            } else if (arg == "--dump-stimulus" && i + 1 < argc) {
+                opts.dumpStimulus = argv[++i];
+            } else if (arg == "--report" && i + 1 < argc) {
+                opts.reportFile = argv[++i];
             } else if (arg == "--backend" && i + 1 < argc) {
                 if (!sim::parseBackend(argv[++i], &opts.backend)) {
                     std::fprintf(stderr,
@@ -313,14 +524,41 @@ main(int argc, char **argv)
                 positional.push_back(arg);
             }
         }
-        if (positional.size() != 2) {
+        // <core> <workload>, or <core> alone with --stimulus.
+        size_t expected = opts.stimulus.empty() ? 2 : 1;
+        if (positional.size() != expected) {
             usage();
             return 2;
         }
-        return cmdRun(positional[0], positional[1], opts);
+        return cmdRun(positional[0],
+                      expected == 2 ? positional[1] : std::string(), opts);
     }
-    if (cmd == "truth" && argc == 4)
-        return cmdTruth(argv[2], argv[3]);
+    if (cmd == "truth") {
+        std::string stimulus, saifFile;
+        std::vector<std::string> positional;
+        for (int i = 2; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--stimulus" && i + 1 < argc) {
+                stimulus = argv[++i];
+            } else if (arg == "--saif" && i + 1 < argc) {
+                saifFile = argv[++i];
+            } else if (arg.rfind("--", 0) == 0) {
+                std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+                usage();
+                return 2;
+            } else {
+                positional.push_back(arg);
+            }
+        }
+        size_t expected = stimulus.empty() ? 2 : 1;
+        if (positional.size() != expected) {
+            usage();
+            return 2;
+        }
+        return cmdTruth(positional[0],
+                        expected == 2 ? positional[1] : std::string(),
+                        stimulus, saifFile);
+    }
     if (cmd == "synth" && (argc == 3 || argc == 4))
         return cmdSynth(argv[2], argc == 4 ? argv[3] : nullptr);
     if (cmd == "chase" && (argc == 4 || argc == 5)) {

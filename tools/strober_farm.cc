@@ -36,6 +36,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <fstream>
 #include <optional>
 #include <string>
@@ -54,6 +55,7 @@
 #include "service/client.h"
 #include "util/env.h"
 #include "util/logging.h"
+#include "trace/stimulus.h"
 #include "workloads/workloads.h"
 
 using namespace strober;
@@ -116,6 +118,7 @@ struct FarmCliOptions
     uint64_t deadlineMs = 0;     //!< submit: per-job deadline
     unsigned serveWorkers = 0;   //!< submit: worker count (0 = daemon's)
     bool waitAfterSubmit = false;
+    std::string stimulus; //!< VCD trace instead of a built-in workload
     core::EnergySimulator::Config sim;
 };
 
@@ -183,30 +186,61 @@ cmdRun(const std::string &coreName, const std::string &wlName,
        FarmCliOptions opts)
 {
     rtl::Design soc = cores::buildSoc(coreByName(coreName));
-    workloads::Workload wl = workloads::byName(wlName);
+    const bool fromTrace = !opts.stimulus.empty();
+    workloads::Workload wl;
+    trace::TraceWorkload twl;
+    core::EnergySimulator::Config simCfg = opts.sim;
+    if (fromTrace) {
+        util::Result<trace::TraceWorkload> r =
+            trace::loadTraceWorkload(opts.stimulus);
+        if (!r.isOk())
+            fatal("stimulus: %s", r.status().toString().c_str());
+        twl = r.value();
+        simCfg.stimulusFingerprint = twl.fingerprint;
+    } else {
+        wl = workloads::byName(wlName);
+    }
     unsigned shards = opts.shards ? opts.shards : std::max(1u, opts.jobs);
 
     // Phase 1: fast simulation with snapshot sampling (always rerun —
     // it is cheap and deterministic; the expensive gate-level replays
     // are what the farm caches).
-    core::EnergySimulator sim(soc, opts.sim);
-    cores::SocDriver driver(soc, wl.program);
-    core::RunStats run = sim.run(driver, wl.maxCycles);
-    if (!driver.done())
+    core::EnergySimulator sim(soc, simCfg);
+    std::unique_ptr<cores::SocDriver> socDriver;
+    std::unique_ptr<trace::TraceDriver> traceDriver;
+    core::HostDriver *driver = nullptr;
+    uint64_t maxCycles = 0;
+    if (fromTrace) {
+        util::Result<std::unique_ptr<trace::TraceDriver>> r =
+            twl.openDriver(soc);
+        if (!r.isOk())
+            fatal("stimulus: %s", r.status().toString().c_str());
+        traceDriver = std::move(r.value());
+        driver = traceDriver.get();
+        maxCycles = UINT64_MAX; // the trace's last timestep ends the run
+    } else {
+        socDriver.reset(new cores::SocDriver(soc, wl.program));
+        driver = socDriver.get();
+        maxCycles = wl.maxCycles;
+    }
+    core::RunStats run = sim.run(*driver, maxCycles);
+    if (traceDriver && !traceDriver->status().isOk())
+        fatal("stimulus: %s", traceDriver->status().toString().c_str());
+    if (!driver->done())
         fatal("workload did not finish");
     std::printf("%s on %s: %llu target cycles sampled into %zu "
                 "snapshots\n",
-                wl.name.c_str(), coreName.c_str(),
-                (unsigned long long)run.targetCycles,
+                fromTrace ? twl.name.c_str() : wl.name.c_str(),
+                coreName.c_str(), (unsigned long long)run.targetCycles,
                 sim.sampler().snapshots().size());
 
     farm::FarmConfig fcfg;
     fcfg.dir = opts.dir;
     fcfg.cacheDir = opts.cacheDir;
     fcfg.shards = shards;
-    fcfg.sim = opts.sim;
+    fcfg.sim = simCfg;
     fcfg.coreName = coreName;
-    fcfg.workloadName = wl.name;
+    fcfg.workloadName = fromTrace ? twl.name : wl.name;
     farm::FarmOrchestrator orch(soc, fcfg);
 
     uint64_t population = run.targetCycles / opts.sim.replayLength;
@@ -405,6 +439,7 @@ cmdSubmit(const std::string &coreName, const std::string &wlName,
     service::SubmitRequest req;
     req.coreName = coreName;
     req.workloadName = wlName;
+    req.stimulusPath = opts.stimulus;
     req.sampleSize = opts.sim.sampleSize;
     req.replayLength = opts.sim.replayLength;
     req.deadlineMs = opts.deadlineMs;
@@ -498,6 +533,7 @@ usage()
     std::fprintf(
         stderr,
         "usage: strober-farm run <core> <workload> --dir D [-j N]\n"
+        "       strober-farm run <core> --stimulus F.vcd --dir D ...\n"
         "                    [--shards S] [--cache-dir C] [--report F]\n"
         "                    [--sample-size N] [--replay-length L]\n"
         "                    [--max-dropped-snapshots N]\n"
@@ -511,6 +547,7 @@ usage()
         "       strober-farm gc --cache-dir C [--keep N] [--max-age DUR]\n"
         "                    [--max-bytes B]\n"
         "       strober-farm submit <core> <workload> --socket S\n"
+        "       strober-farm submit <core> --stimulus F.vcd --socket S\n"
         "                    [--deadline DUR] [--workers N]\n"
         "                    [--sample-size N] [--replay-length L]\n"
         "                    [--wait [--timeout DUR]] [--report F]\n"
@@ -549,6 +586,8 @@ parseCommon(const std::vector<std::string> &args, FarmCliOptions &opts,
             opts.cacheDir = next();
         } else if (arg == "--report") {
             opts.reportPath = next();
+        } else if (arg == "--stimulus") {
+            opts.stimulus = next();
         } else if (arg == "-j" || arg == "--jobs") {
             opts.jobs = static_cast<unsigned>(std::stoul(next()));
         } else if (arg == "--shards") {
@@ -631,11 +670,14 @@ main(int argc, char **argv)
         return 2;
     }
     if (cmd == "run") {
-        if (positional.size() != 2 || opts.dir.empty()) {
+        size_t expected = opts.stimulus.empty() ? 2 : 1;
+        if (positional.size() != expected || opts.dir.empty()) {
             usage();
             return 2;
         }
-        return cmdRun(positional[0], positional[1], opts);
+        return cmdRun(positional[0],
+                      expected == 2 ? positional[1] : std::string(),
+                      opts);
     }
     if (cmd == "worker") {
         if (!positional.empty() || opts.dir.empty()) {
@@ -661,11 +703,14 @@ main(int argc, char **argv)
         return cmdGc(opts);
     }
     if (cmd == "submit") {
-        if (positional.size() != 2 || opts.socketPath.empty()) {
+        size_t expected = opts.stimulus.empty() ? 2 : 1;
+        if (positional.size() != expected || opts.socketPath.empty()) {
             usage();
             return 2;
         }
-        return cmdSubmit(positional[0], positional[1], opts);
+        return cmdSubmit(positional[0],
+                         expected == 2 ? positional[1] : std::string(),
+                         opts);
     }
     if (cmd == "wait") {
         if (!positional.empty() || opts.socketPath.empty() ||

@@ -23,6 +23,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -36,8 +37,10 @@
 #include "cores/soc_driver.h"
 #include "farm/farm.h"
 #include "farm/report.h"
+#include "lint/diagnostics.h"
 #include "service/daemon.h"
 #include "service/supervisor.h"
+#include "trace/stimulus.h"
 #include "util/env.h"
 #include "util/logging.h"
 #include "workloads/workloads.h"
@@ -141,25 +144,60 @@ runEstimateJob(const service::JobRequest &req, core::JobControl &control,
                const ServeOptions &opts, const std::string &cacheDir)
 {
     const service::SubmitRequest &sub = req.submit;
+    const bool fromTrace = !sub.stimulusPath.empty();
     if (!knownCore(sub.coreName))
         return failedOutcome("unknown core '" + sub.coreName +
                              "' (rocket | boom1w | boom2w)");
-    if (!knownWorkload(sub.workloadName))
+    if (!fromTrace && !knownWorkload(sub.workloadName))
         return failedOutcome("unknown workload '" + sub.workloadName + "'");
 
     rtl::Design soc = cores::buildSoc(coreByName(sub.coreName));
-    workloads::Workload wl = workloads::byName(sub.workloadName);
+    workloads::Workload wl;
+    trace::TraceWorkload twl;
+    if (fromTrace) {
+        // Fingerprint + header check only; the body is streamed from
+        // disk by the driver below, never buffered.
+        util::Result<trace::TraceWorkload> r =
+            trace::loadTraceWorkload(sub.stimulusPath);
+        if (!r.isOk())
+            return failedOutcome("stimulus: " + r.status().toString());
+        twl = r.value();
+    } else {
+        wl = workloads::byName(sub.workloadName);
+    }
 
     core::EnergySimulator::Config simCfg;
     simCfg.sampleSize = sub.sampleSize;
     simCfg.replayLength = static_cast<unsigned>(sub.replayLength);
     simCfg.job = &control;
+    simCfg.stimulusFingerprint = fromTrace ? twl.fingerprint : 0;
 
     // Phase 1: fast simulation + sampling (cheap, deterministic).
     core::EnergySimulator sim(soc, simCfg);
-    cores::SocDriver driver(soc, wl.program);
-    core::RunStats run = sim.run(driver, wl.maxCycles);
-    if (!driver.done())
+    std::unique_ptr<cores::SocDriver> socDriver;
+    std::unique_ptr<trace::TraceDriver> traceDriver;
+    core::HostDriver *driver = nullptr;
+    uint64_t maxCycles = 0;
+    if (fromTrace) {
+        lint::Diagnostics diags;
+        util::Result<std::unique_ptr<trace::TraceDriver>> r =
+            twl.openDriver(soc, &diags);
+        if (!r.isOk())
+            return failedOutcome("stimulus: " + r.status().toString() +
+                                 (diags.empty() ? "" : "\n" + diags.str()));
+        traceDriver = std::move(r.value());
+        driver = traceDriver.get();
+        maxCycles = UINT64_MAX; // the trace's last timestep ends the run
+    } else {
+        socDriver.reset(new cores::SocDriver(soc, wl.program));
+        driver = socDriver.get();
+        maxCycles = wl.maxCycles;
+    }
+    core::RunStats run = sim.run(*driver, maxCycles);
+    if (traceDriver && !traceDriver->status().isOk())
+        return failedOutcome("stimulus: " +
+                             traceDriver->status().toString());
+    if (!driver->done())
         return failedOutcome("workload did not finish in its cycle budget");
     if (control.canceled())
         return canceledOutcome("drained during fast simulation");
@@ -174,7 +212,7 @@ runEstimateJob(const service::JobRequest &req, core::JobControl &control,
     fcfg.shards = std::max(1u, workers);
     fcfg.sim = simCfg;
     fcfg.coreName = sub.coreName;
-    fcfg.workloadName = wl.name;
+    fcfg.workloadName = fromTrace ? twl.name : wl.name;
     fcfg.leaseDurationMs = opts.leaseDurationMs;
     farm::FarmOrchestrator orch(soc, fcfg);
 
