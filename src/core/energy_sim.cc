@@ -47,6 +47,7 @@ EnergySimulator::run(HostDriver &driver, uint64_t maxCycles)
     double start = nowSeconds();
     fame::TokenSimulator &tsim = fameHarness->tokenSim();
     uint64_t nextService = cfg.hostServiceInterval;
+    uint64_t nextProbe = cfg.earlyStopProbe ? cfg.replayLength : 0;
     while (!driver.done() && tsim.targetCycles() < maxCycles) {
         driver.drive(*fameHarness);
         fameHarness->clock();
@@ -54,6 +55,11 @@ EnergySimulator::run(HostDriver &driver, uint64_t maxCycles)
             tsim.targetCycles() >= nextService) {
             tsim.addHostStallCycles(cfg.hostServiceStall);
             nextService += cfg.hostServiceInterval;
+        }
+        if (nextProbe != 0 && tsim.targetCycles() >= nextProbe) {
+            if (cfg.earlyStopProbe())
+                break;
+            nextProbe += cfg.replayLength;
         }
     }
     stats.wallSeconds = nowSeconds() - start;
@@ -66,6 +72,7 @@ EnergySimulator::run(HostDriver &driver, uint64_t maxCycles)
                                   stats.wallSeconds
                             : 0;
     lastRunCycles = stats.targetCycles;
+    lastFastSimWall = stats.wallSeconds;
     return stats;
 }
 
@@ -119,6 +126,32 @@ snapshotStatusName(SnapshotStatus status)
     return "unknown";
 }
 
+// No complete interval was ever captured: there is nothing to replay
+// and (for a short run) N = floor(cycles/L) is zero, so any CI would be
+// meaningless. Report the condition instead of computing garbage.
+// Shared by the phased and streamed paths so both emit the exact same
+// invalid report.
+bool
+EnergySimulator::markShortRun(EnergyReport &report) const
+{
+    if (report.snapshots != 0 && report.population != 0)
+        return false;
+    report.valid = false;
+    report.degraded = true;
+    if (lastRunCycles < cfg.replayLength) {
+        report.statusMessage = strfmt(
+            "run of %llu target cycles is shorter than one replay "
+            "interval (L = %u): zero complete intervals, no estimate",
+            (unsigned long long)lastRunCycles, cfg.replayLength);
+    } else {
+        report.statusMessage =
+            "no complete snapshots; run a workload with sampling "
+            "enabled first";
+    }
+    warn("estimate(): %s", report.statusMessage.c_str());
+    return true;
+}
+
 EnergyReport
 EnergySimulator::estimate()
 {
@@ -128,27 +161,9 @@ EnergySimulator::estimate()
     auto snapshots = snapSampler->snapshots();
     report.population = lastRunCycles / cfg.replayLength;
     report.snapshots = snapshots.size();
-
-    // No complete interval was ever captured: there is nothing to
-    // replay and (for a short run) N = floor(cycles/L) is zero, so any
-    // CI would be meaningless. Report the condition instead of
-    // computing garbage.
-    if (snapshots.empty() || report.population == 0) {
-        report.valid = false;
-        report.degraded = true;
-        if (lastRunCycles < cfg.replayLength) {
-            report.statusMessage = strfmt(
-                "run of %llu target cycles is shorter than one replay "
-                "interval (L = %u): zero complete intervals, no estimate",
-                (unsigned long long)lastRunCycles, cfg.replayLength);
-        } else {
-            report.statusMessage =
-                "no complete snapshots; run a workload with sampling "
-                "enabled first";
-        }
-        warn("estimate(): %s", report.statusMessage.c_str());
+    report.fastSimWallSeconds = lastFastSimWall;
+    if (markShortRun(report))
         return report;
-    }
 
     double start = nowSeconds();
 
@@ -172,6 +187,7 @@ EnergySimulator::estimate()
     uint64_t population = report.population;
     report = aggregateReplayRecords(std::move(records), population, cfg);
     report.replayWallSeconds = nowSeconds() - start;
+    report.fastSimWallSeconds = lastFastSimWall;
     return report;
 }
 

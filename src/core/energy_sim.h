@@ -20,6 +20,7 @@
 #ifndef STROBER_CORE_ENERGY_SIM_H
 #define STROBER_CORE_ENERGY_SIM_H
 
+#include <functional>
 #include <limits>
 #include <memory>
 #include <string>
@@ -112,6 +113,22 @@ struct EnergyReport
     size_t droppedSnapshots = 0;    //!< quarantined, excluded from mean/CI
     uint64_t replayMismatches = 0;  //!< total mismatches observed
     double replayWallSeconds = 0;
+    /** Per-phase wall clocks. A phased run's total is fastSim + replay;
+     *  a streamed run (estimateStreaming) overlaps the two, and
+     *  overlapWallSeconds measures how much replay wall ran concurrent
+     *  with the fast sim — overlap / min(fastSim, replay) is the
+     *  pipeline's overlap efficiency. Wall clocks are excluded from the
+     *  deterministic rendering (farm::renderReportDeterministic). */
+    double fastSimWallSeconds = 0;
+    double overlapWallSeconds = 0;
+    /** Adaptive termination fired: the run stopped once the CI met
+     *  Config::ciBound. Only ever true for streamed runs; a
+     *  false value is part of the deterministic rendering (streamed
+     *  and phased reports stay byte-identical when no stop occurs). */
+    bool earlyStopped = false;
+    /** Streamed captures superseded by reservoir replacement (their
+     *  queued or completed work was canceled/discarded). */
+    size_t supersededReplays = 0;
     double modeledLoadSeconds = 0;  //!< Section IV-C2 loader accounting
     /** Replay-result cache accounting (src/farm). A plain in-process
      *  run counts every snapshot as a miss; a warm farm::ResultCache
@@ -202,6 +219,26 @@ class EnergySimulator
          *  stores to while replay threads poll. */
         JobControl *job = nullptr;
 
+        // --- Streaming / adaptive termination (src/core/streaming.h) ----
+        /** Adaptive accuracy knob for streamed runs: stop the fast sim
+         *  AND the replay stream as soon as the Section III-A estimate's
+         *  relativeError() (CI half-width over mean) drops below this
+         *  bound, with the Eq. 8 floor of n >= 30 surviving replays.
+         *  0 disables early termination (the default: streamed reports
+         *  stay bit-identical to phased ones). Ignored by the phased
+         *  estimate() path. */
+        double ciBound = 0;
+        /** Streamed-farm adaptive termination hook: polled at every
+         *  replay-interval boundary of run(); returning true stops the
+         *  fast sim there (the caller performs its own CI-bound check,
+         *  e.g. over farm::StreamFeed completions, and throttles
+         *  itself). Null = run to the driver/cycle-budget end.
+         *  estimateStreaming() ignores it — the in-process pipeline has
+         *  its own built-in check. Excluded from the replay cache
+         *  fingerprint (an aggregation/termination knob, never a
+         *  replay input). */
+        std::function<bool()> earlyStopProbe;
+
         // --- Trace stimulus (src/trace) ---------------------------------
         /** Content hash of the external stimulus file driving this run
          *  (0 for generated workloads). Folded into the replay cache
@@ -218,6 +255,21 @@ class EnergySimulator
 
     /** Phases 2-4: ASIC flow (cached), replay, power aggregation. */
     EnergyReport estimate();
+
+    /**
+     * Streamed pipeline: phases 1 and 3 run concurrently — snapshots
+     * replay on cfg.parallelReplays worker threads while the fast sim
+     * is still producing them (src/core/streaming.h), so end-to-end
+     * latency approaches max(fast-sim, replay) instead of the sum.
+     * Replaces run() + estimate() for one workload. With cfg.ciBound
+     * == 0 the report is byte-identical (deterministic rendering) to
+     * the phased path for any worker count; with a bound set, the run
+     * stops early once the CI is tight enough and report.earlyStopped
+     * records it. cfg.replayExecutor is not consulted (the stream has
+     * its own workers); use the farm's stream feed for cached runs.
+     */
+    EnergyReport estimateStreaming(HostDriver &driver, uint64_t maxCycles,
+                                   RunStats *outRun = nullptr);
 
     /** Re-arm phase 1 for another workload on the same design. */
     void resetSampling();
@@ -245,8 +297,13 @@ class EnergySimulator
     std::unique_ptr<gate::MatchTable> match;
 
     uint64_t lastRunCycles = 0;
+    double lastFastSimWall = 0;
 
     void buildAsicFlow();
+    /** Shared short-run guard: population/snapshots must already be
+     *  set; marks the report invalid (with the canonical status
+     *  message) and returns true when there is nothing to estimate. */
+    bool markShortRun(EnergyReport &report) const;
 };
 
 /**

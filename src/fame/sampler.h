@@ -9,6 +9,16 @@
  * costs one scan-chain read-out plus L cycles of I/O tracing; element k
  * is recorded with probability n/k, so the overhead fades as the run
  * grows (Table III).
+ *
+ * Streaming: an optional SampleObserver receives every snapshot the
+ * moment its L-cycle trace completes, plus an eviction notice whenever
+ * reservoir replacement supersedes a previously published capture. This
+ * is the seam the streaming replay pipeline (src/core/streaming.h) and
+ * the farm stream feed (src/farm/stream.h) hang off so replay can
+ * overlap the ongoing fast simulation. Slots hold shared_ptrs so an
+ * in-flight replay of an evicted snapshot stays valid after the slot is
+ * recaptured; with no observer installed the slot object is reused in
+ * place, exactly the historical behavior.
  */
 
 #ifndef STROBER_FAME_SAMPLER_H
@@ -24,6 +34,32 @@
 
 namespace strober {
 namespace fame {
+
+/**
+ * Receives streamed reservoir events. Generations count captures into a
+ * slot (first capture = 1): a (slot, generation) pair names one capture
+ * uniquely for the whole run, so consumers can match eviction notices
+ * against work they queued. Callbacks run on the fast-sim thread inside
+ * SnapshotSampler::poll(); keep them cheap.
+ */
+class SampleObserver
+{
+  public:
+    virtual ~SampleObserver() = default;
+
+    /** @p snap finished recording its L-cycle trace (complete == true).
+     *  Published exactly once per capture, in capture order. The
+     *  observer shares ownership; the pointer outlives any later
+     *  eviction of the slot. */
+    virtual void onSnapshotReady(size_t slot, uint64_t generation,
+                                 std::shared_ptr<const ReplayableSnapshot>
+                                     snap) = 0;
+
+    /** The slot was recaptured: generation @p generation is superseded
+     *  and must not contribute to the final report. Fired before the
+     *  replacement capture begins. */
+    virtual void onSlotEvicted(size_t slot, uint64_t generation) = 0;
+};
 
 /** Captures a reservoir of replayable snapshots from a TokenSimulator. */
 class SnapshotSampler
@@ -44,6 +80,15 @@ class SnapshotSampler
     }
 
     /**
+     * Install (or clear, with nullptr) the streaming observer. Must not
+     * change mid-recording; install before the run, clear after
+     * flushPending(). The reservoir's record/replace decisions are
+     * observer-independent, so a streamed run samples the identical
+     * reservoir a phased run would.
+     */
+    void setObserver(SampleObserver *obs) { observer = obs; }
+
+    /**
      * Call once per host cycle, *before* TokenSimulator::tryStep(). At
      * each L-cycle interval boundary this offers the interval to the
      * reservoir and, when recorded, captures a snapshot into its slot.
@@ -57,14 +102,58 @@ class SnapshotSampler
         uint64_t interval = cycle / cfg.replayLength;
         if (cycle % cfg.replayLength != 0 || interval < nextInterval)
             return;
+        // A capture started at the previous boundary has recorded
+        // exactly L fired cycles by now — publish it before this
+        // boundary's offer can evict anything.
+        flushPending();
         nextInterval = interval + 1;
         long slot = reservoir.offer();
         if (slot < 0)
             return;
-        auto &slotPtr = reservoir.sample()[static_cast<size_t>(slot)];
+        size_t s = static_cast<size_t>(slot);
+        if (slotGen.size() <= s)
+            slotGen.resize(s + 1, 0);
+        auto &slotPtr = reservoir.sample()[s];
+        if (slotPtr && observer) {
+            // Streaming: the old capture may be queued or replaying
+            // downstream. Hand consumers the eviction notice and give
+            // the slot a fresh object so their shared_ptr stays valid.
+            observer->onSlotEvicted(s, slotGen[s]);
+            slotPtr.reset();
+        }
         if (!slotPtr)
-            slotPtr = std::make_unique<ReplayableSnapshot>();
+            slotPtr = std::make_shared<ReplayableSnapshot>();
+        ++slotGen[s];
+        if (observer) {
+            pendingSlot = s;
+            pendingGen = slotGen[s];
+            pendingValid = true;
+        }
         tsim.captureSnapshot(chainMeta, slotPtr.get(), cfg.replayLength);
+    }
+
+    /**
+     * Publish the pending capture if its trace has completed. poll()
+     * calls this at every boundary; call it once more after the run so
+     * a capture that completed exactly at the final cycle is streamed.
+     * Idempotent; a trailing *incomplete* capture is simply dropped
+     * (snapshots() never returned it either).
+     */
+    void
+    flushPending()
+    {
+        if (!pendingValid)
+            return;
+        const auto &ptr = reservoir.sample()[pendingSlot];
+        if (observer && ptr && ptr->complete &&
+            pendingGen == slotGen[pendingSlot]) {
+            observer->onSnapshotReady(
+                pendingSlot, pendingGen,
+                std::shared_ptr<const ReplayableSnapshot>(ptr));
+            pendingValid = false;
+        } else if (ptr && ptr->complete) {
+            pendingValid = false;
+        }
     }
 
     const ScanChains &chains() const { return chainMeta; }
@@ -80,6 +169,31 @@ class SnapshotSampler
                 out.push_back(p.get());
         }
         return out;
+    }
+
+    /**
+     * Reservoir slot index of each snapshots() element, same order.
+     * Streaming consumers join this against their (slot, generation)
+     * keyed results to map final compacted sample indices back to the
+     * work they replayed.
+     */
+    std::vector<size_t>
+    completeSlots() const
+    {
+        std::vector<size_t> out;
+        const auto &sample = reservoir.sample();
+        for (size_t s = 0; s < sample.size(); ++s) {
+            if (sample[s] && sample[s]->complete)
+                out.push_back(s);
+        }
+        return out;
+    }
+
+    /** Capture generation currently occupying @p slot (0 = never). */
+    uint64_t
+    generationOf(size_t slot) const
+    {
+        return slot < slotGen.size() ? slotGen[slot] : 0;
     }
 
     /**
@@ -108,8 +222,14 @@ class SnapshotSampler
   private:
     Config cfg;
     ScanChains chainMeta;
-    stats::ReservoirSampler<std::unique_ptr<ReplayableSnapshot>> reservoir;
+    stats::ReservoirSampler<std::shared_ptr<ReplayableSnapshot>> reservoir;
     uint64_t nextInterval = 0;
+
+    SampleObserver *observer = nullptr;
+    std::vector<uint64_t> slotGen; //!< captures into each slot so far
+    size_t pendingSlot = 0;        //!< capture awaiting completion
+    uint64_t pendingGen = 0;
+    bool pendingValid = false;
 };
 
 } // namespace fame

@@ -42,6 +42,9 @@
 namespace strober {
 namespace farm {
 
+class StreamFeed;
+struct StreamDrainOutcome;
+
 /**
  * Cache-backed replay executor for EnergySimulator::estimate(). Misses
  * are replayed by the built-in in-process strided workers
@@ -160,6 +163,45 @@ class FarmOrchestrator
      * of a report.
      */
     util::Result<core::EnergyReport> collect();
+
+    // --- Streaming (src/farm/stream.h) ----------------------------------
+
+    /**
+     * Open the incremental work feed for a streamed run: creates the
+     * stream directory and its compatibility meta file, and returns
+     * the producer-side observer to install on the run's sampler.
+     * Call before spawning stream workers (they wait for the meta).
+     * The feed borrows this orchestrator's products; it must not
+     * outlive it.
+     */
+    util::Result<std::unique_ptr<StreamFeed>> openStreamFeed();
+
+    /**
+     * Worker side: drain the stream feed, replaying every
+     * non-tombstoned entry whose result is not already cached and
+     * publishing to the cache ONLY (the work-stealing discipline — no
+     * manifest exists yet). Entries are processed own-partition first
+     * (seq % @p slots == @p slot), then the rest. Returns when the
+     * done marker exists and everything is processed, when the marker
+     * says the run stopped early, or on job cancel. Polls every
+     * @p pollMs; gives up with DeadlineExceeded if the meta file does
+     * not appear within @p metaWaitMs.
+     */
+    util::Result<StreamDrainOutcome> drainStream(unsigned slot,
+                                                 unsigned slots,
+                                                 uint64_t pollMs = 25,
+                                                 uint64_t metaWaitMs =
+                                                     60 * 1000);
+
+    /**
+     * Early-stop aggregation: build the report from the completed
+     * subset of @p feed's live entries (the decision set the CI bound
+     * was met on) instead of plan()/collect(). The report is marked
+     * earlyStopped; its sample is whatever had finished when the bound
+     * was crossed.
+     */
+    util::Result<core::EnergyReport> collectStreamEarly(StreamFeed &feed,
+                                                        uint64_t population);
 
     /** Work-queue state summary (for `strober-farm status`). */
     struct Progress

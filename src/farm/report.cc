@@ -15,6 +15,10 @@ renderReportDeterministic(const core::EnergyReport &rep)
                   (unsigned long long)rep.replayMismatches);
     out += strfmt("valid %d degraded %d\n", rep.valid ? 1 : 0,
                   rep.degraded ? 1 : 0);
+    // Deterministic by definition: false for every phased run and for
+    // streamed runs without a CI bound, so streamed-vs-phased byte
+    // comparison still holds. Wall clocks stay excluded.
+    out += strfmt("early-stopped %d\n", rep.earlyStopped ? 1 : 0);
     out += strfmt("status %s\n", rep.statusMessage.c_str());
     out += strfmt("mean %.13a halfwidth %.13a confidence %.13a\n",
                   rep.averagePower.mean, rep.averagePower.halfWidth,

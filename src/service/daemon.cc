@@ -507,6 +507,11 @@ ServiceDaemon::runnerLoop()
             counters.workerRetries += outcome.workerRetries;
             counters.workerKills += outcome.workerKills;
             counters.cacheEvictions += evicted;
+            if (outcome.streamed)
+                ++counters.streamJobs;
+            if (outcome.earlyStopped)
+                ++counters.streamEarlyStops;
+            counters.streamSuperseded += outcome.supersededReplays;
         }
         waiterCv.notify_all();
     }
@@ -643,6 +648,18 @@ ServiceDaemon::statsVector() const
     v.emplace_back("worker-retries", counters.workerRetries);
     v.emplace_back("worker-kills", counters.workerKills);
     v.emplace_back("bad-frames", counters.badFrames);
+    v.emplace_back("stream-jobs", counters.streamJobs);
+    v.emplace_back("stream-early-stops", counters.streamEarlyStops);
+    v.emplace_back("stream-superseded-replays", counters.streamSuperseded);
+    // Live gauge: streamed replays published but not yet observed done.
+    // Clamped — the executor zeroes its residue at job end, but a
+    // racing read between decrements must never wrap the u64 wire type.
+    int64_t inFlight =
+        cfg.streamInFlight
+            ? cfg.streamInFlight->load(std::memory_order_relaxed)
+            : 0;
+    v.emplace_back("stream-inflight-replays",
+                   inFlight > 0 ? (uint64_t)inFlight : 0);
     return v;
 }
 

@@ -62,6 +62,9 @@ struct JobOutcome
     uint64_t cacheMisses = 0;
     uint64_t workerRetries = 0;
     uint64_t workerKills = 0; //!< wall + RSS SIGKILLs
+    bool streamed = false;    //!< job ran with the streaming feed
+    bool earlyStopped = false; //!< adaptive termination fired (CI bound)
+    uint64_t supersededReplays = 0; //!< streamed work canceled by eviction
 };
 
 /** One admitted job as the runner sees it. */
@@ -91,6 +94,12 @@ struct DaemonConfig
     /** Cache GC applied after every job (0/defaults = no trimming). */
     farm::ResultCache::TrimPolicy trim;
     JobExecutor executor;
+    /** Live gauge of streamed replays in flight (published to workers,
+     *  result not yet observed). The executor updates it through
+     *  farm::StreamFeed::inFlightHook; the Stats endpoint reads it.
+     *  Shared so the executor lambda can be built before the daemon.
+     *  Optional — null reads as 0. */
+    std::shared_ptr<std::atomic<int64_t>> streamInFlight;
 
     std::string effectiveCacheDir() const
     {
@@ -115,6 +124,9 @@ struct DaemonStats
     uint64_t workerKills = 0;
     uint64_t cacheEvictions = 0;
     uint64_t badFrames = 0;   //!< connections dropped on protocol errors
+    uint64_t streamJobs = 0;       //!< jobs run with the streaming feed
+    uint64_t streamEarlyStops = 0; //!< jobs stopped early on a CI bound
+    uint64_t streamSuperseded = 0; //!< streamed replays superseded
 };
 
 /**

@@ -66,6 +66,8 @@ SubmitRequest::encode(Writer &w) const
     w.u64(deadlineMs);
     w.u64(workers);
     w.str(stimulusPath);
+    w.f64(ciBound);
+    w.u64(stream ? 1 : 0);
 }
 
 Result<SubmitRequest>
@@ -82,8 +84,18 @@ SubmitRequest::decode(Reader &r)
     // appended field and reads as empty from their frames.
     if (!r.atEnd())
         req.stimulusPath = r.str();
+    // Streaming fields appended after that; pre-streaming clients'
+    // frames end before them (ciBound 0, stream off).
+    if (!r.atEnd())
+        req.ciBound = r.f64();
+    if (!r.atEnd())
+        req.stream = r.u64() != 0;
     if (!r.atEnd())
         return errorf(ErrorCode::Corrupt, "malformed submit request");
+    if (req.ciBound < 0 || req.ciBound != req.ciBound) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "submit request with negative or NaN ci-bound");
+    }
     if (req.coreName.empty() || req.sampleSize == 0 ||
         req.replayLength == 0) {
         return errorf(ErrorCode::InvalidArgument,

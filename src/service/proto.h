@@ -88,6 +88,15 @@ struct SubmitRequest
     uint64_t deadlineMs = 0;
     /** Replay worker processes; 0 = daemon default. */
     uint64_t workers = 0;
+    /** Adaptive termination: stop the run once the estimate's relative
+     *  CI half-width drops under this bound (0 disables). Implies a
+     *  streamed run. Appended field — absent from pre-streaming
+     *  clients' frames and decodes as 0. */
+    double ciBound = 0;
+    /** Run with the streaming pipeline (workers replay mid-run) even
+     *  without a CI bound. Appended field; decodes as false from old
+     *  clients. */
+    bool stream = false;
 
     void encode(farm::wire::Writer &w) const;
     static util::Result<SubmitRequest> decode(farm::wire::Reader &r);

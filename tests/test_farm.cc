@@ -29,7 +29,9 @@
 #include "core/job_control.h"
 #include "farm/farm.h"
 #include "farm/manifest.h"
+#include "farm/report.h"
 #include "farm/result_cache.h"
+#include "farm/stream.h"
 #include "inject/fault_injector.h"
 #include "rtl/builder.h"
 #include "stats/rng.h"
@@ -997,6 +999,169 @@ TEST_F(FarmTest, ConfigDriftDiscardsStaleResultsOnReplan)
     ASSERT_TRUE(progress.isOk());
     EXPECT_EQ(progress->done, 0u);
     EXPECT_EQ(progress->pending, progress->total);
+}
+
+// ---------------------------------------------------------------------------
+// Streamed farm runs (farm/stream.h)
+// ---------------------------------------------------------------------------
+
+/** Publish the standard workload's captures into @p feed exactly as a
+ *  streamed producer does, and return the run's simulator. */
+Standard
+runStandardStreamed(const Design &d, EnergySimulator::Config cfg,
+                    StreamFeed &feed, core::RunStats *outRun = nullptr,
+                    uint64_t cycles = 10'000)
+{
+    Standard s;
+    s.es = std::make_unique<EnergySimulator>(d, cfg);
+    s.es->sampler().setObserver(&feed);
+    NoiseDriver driver(42, cycles);
+    core::RunStats run = s.es->run(driver, UINT64_MAX);
+    s.es->sampler().flushPending();
+    s.es->sampler().setObserver(nullptr);
+    s.population = run.targetCycles / cfg.replayLength;
+    if (outRun)
+        *outRun = run;
+    return s;
+}
+
+TEST_F(FarmTest, StreamedRunIsBitIdenticalToPhasedAndWarmsCache)
+{
+    Design d = makeDut();
+    EnergySimulator::Config cfg = standardConfig();
+
+    // Phased reference: plan everything after the fast sim ends.
+    Standard ref = runStandard(d, cfg);
+    FarmOrchestrator phased(d, farmConfig(sub("phased"), 1, cfg));
+    ASSERT_TRUE(
+        phased.plan(ref.es->sampler().snapshots(), ref.population).isOk());
+    ASSERT_TRUE(phased.workShard(0).isOk());
+    auto phasedRep = phased.collect();
+    ASSERT_TRUE(phasedRep.isOk()) << phasedRep.status().toString();
+
+    // Streamed run: captures publish into the feed as they happen.
+    FarmOrchestrator producer(d, farmConfig(sub("stream"), 1, cfg));
+    auto feed = producer.openStreamFeed();
+    ASSERT_TRUE(feed.isOk()) << feed.status().toString();
+    core::RunStats run;
+    Standard s = runStandardStreamed(d, cfg, **feed, &run);
+    ASSERT_TRUE((*feed)->finish(false).isOk());
+    EXPECT_TRUE((*feed)->status().isOk());
+
+    // Every record event was published; evictions superseded the rest.
+    size_t survivors = s.es->sampler().snapshots().size();
+    EXPECT_EQ((*feed)->published(), run.recordCount);
+    EXPECT_EQ((*feed)->superseded(), run.recordCount - survivors);
+    ASSERT_GT((*feed)->superseded(), 0u);
+
+    // Worker drain: superseded entries are tombstoned and never
+    // replayed — eviction cancels streamed work.
+    FarmOrchestrator worker(d, farmConfig(sub("stream"), 1, cfg));
+    auto out = worker.drainStream(0, 1, /*pollMs=*/1);
+    ASSERT_TRUE(out.isOk()) << out.status().toString();
+    EXPECT_TRUE(out->sawDoneMarker);
+    EXPECT_FALSE(out->earlyStop);
+    EXPECT_FALSE(out->canceled);
+    EXPECT_EQ(out->tombstoned, (*feed)->superseded());
+    EXPECT_EQ(out->replayed, survivors);
+    EXPECT_EQ(out->cacheHits, 0u);
+
+    // A second sweep finds every live result already published: the
+    // drain is idempotent and eviction never poisoned the cache.
+    FarmOrchestrator worker2(d, farmConfig(sub("stream"), 1, cfg));
+    auto again = worker2.drainStream(0, 1, /*pollMs=*/1);
+    ASSERT_TRUE(again.isOk()) << again.status().toString();
+    EXPECT_EQ(again->replayed, 0u);
+    EXPECT_EQ(again->cacheHits, survivors);
+    EXPECT_EQ(again->tombstoned, (*feed)->superseded());
+
+    // The plan marker gates workers' manifest phase.
+    EXPECT_FALSE(planMarkerExists(sub("stream")));
+    ASSERT_TRUE(writePlanMarker(sub("stream")).isOk());
+    EXPECT_TRUE(planMarkerExists(sub("stream")));
+
+    // The ordinary plan/collect flow now finds the cache fully warm
+    // and the final report is bit-identical to the phased farm run.
+    ASSERT_TRUE(
+        producer.plan(s.es->sampler().snapshots(), s.population).isOk());
+    ASSERT_TRUE(producer.workShard(0).isOk());
+    EXPECT_EQ(producer.replaysExecuted(), 0u)
+        << "streamed drain should have pre-paid every replay";
+    auto rep = producer.collect();
+    ASSERT_TRUE(rep.isOk()) << rep.status().toString();
+    expectReportsBitIdentical(*phasedRep, *rep);
+    EXPECT_EQ(renderReportDeterministic(*phasedRep),
+              renderReportDeterministic(*rep));
+}
+
+TEST_F(FarmTest, EarlyStopMarkerAbandonsPendingStreamWork)
+{
+    Design d = makeDut();
+    EnergySimulator::Config cfg = standardConfig();
+
+    FarmOrchestrator producer(d, farmConfig(sub("run"), 1, cfg));
+    auto feed = producer.openStreamFeed();
+    ASSERT_TRUE(feed.isOk()) << feed.status().toString();
+    Standard s = runStandardStreamed(d, cfg, **feed);
+    ASSERT_TRUE((*feed)->finish(/*earlyStop=*/true).isOk());
+
+    // The marker arrives before the worker replays anything: the whole
+    // backlog is abandoned, not finished.
+    FarmOrchestrator worker(d, farmConfig(sub("run"), 1, cfg));
+    auto out = worker.drainStream(0, 1, /*pollMs=*/1);
+    ASSERT_TRUE(out.isOk()) << out.status().toString();
+    EXPECT_TRUE(out->sawDoneMarker);
+    EXPECT_TRUE(out->earlyStop);
+    EXPECT_EQ(out->replayed, 0u);
+    EXPECT_EQ(worker.replaysExecuted(), 0u);
+    (void)s;
+}
+
+TEST_F(FarmTest, CollectStreamEarlyAggregatesCompletedLiveSubset)
+{
+    Design d = makeDut();
+    EnergySimulator::Config cfg = standardConfig();
+
+    FarmOrchestrator producer(d, farmConfig(sub("run"), 1, cfg));
+    auto feed = producer.openStreamFeed();
+    ASSERT_TRUE(feed.isOk()) << feed.status().toString();
+    Standard s = runStandardStreamed(d, cfg, **feed);
+    ASSERT_TRUE((*feed)->finish(false).isOk());
+
+    FarmOrchestrator worker(d, farmConfig(sub("run"), 1, cfg));
+    auto out = worker.drainStream(0, 1, /*pollMs=*/1);
+    ASSERT_TRUE(out.isOk()) << out.status().toString();
+    size_t survivors = s.es->sampler().snapshots().size();
+    ASSERT_EQ(out->replayed, survivors);
+
+    // With every live entry completed, the CI check trivially passes
+    // for a loose bound and never for an unattainable one.
+    EXPECT_TRUE((*feed)->ciBoundMet(producer.cache(), /*bound=*/10.0,
+                                    cfg.confidence, s.population,
+                                    cfg.sampleSize));
+    EXPECT_FALSE((*feed)->ciBoundMet(producer.cache(), /*bound=*/1e-12,
+                                     cfg.confidence, s.population,
+                                     cfg.sampleSize));
+
+    // The early aggregate over the complete live set is the same
+    // Section III-A estimate the in-process path computes.
+    auto early = producer.collectStreamEarly(**feed, s.population);
+    ASSERT_TRUE(early.isOk()) << early.status().toString();
+    EXPECT_TRUE(early->valid);
+    EXPECT_TRUE(early->earlyStopped);
+    EXPECT_EQ(early->snapshots, survivors);
+    EXPECT_EQ(early->supersededReplays,
+              static_cast<size_t>((*feed)->superseded()));
+    EXPECT_NE(renderReportDeterministic(*early)
+                  .find("early-stopped 1"),
+              std::string::npos);
+
+    Standard ref = runStandard(d, cfg);
+    EnergyReport inProcess = ref.es->estimate();
+    EXPECT_EQ(early->averagePower.mean, inProcess.averagePower.mean);
+    EXPECT_EQ(early->averagePower.halfWidth,
+              inProcess.averagePower.halfWidth);
+    EXPECT_EQ(early->population, inProcess.population);
 }
 
 } // namespace

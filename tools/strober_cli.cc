@@ -27,6 +27,13 @@
  *       [--report FILE]                    #   write the deterministic
  *                                          #   report rendering (cmp-able
  *                                          #   across backends/machines)
+ *       [--stream]                         #   streamed pipeline: replay
+ *                                          #   overlaps the fast sim
+ *                                          #   (same report, byte for byte)
+ *       [--ci-bound R]                     #   adaptive termination: stop
+ *                                          #   once the CI half-width over
+ *                                          #   the mean drops under R
+ *                                          #   (implies --stream)
  *   strober truth  <core> <workload>       # exhaustive gate-level power
  *   strober truth  <core> --stimulus F.vcd # ... driven by a VCD trace
  *       [--saif FILE]                      #   export the measured
@@ -114,6 +121,8 @@ struct RunOptions
     std::string stimulus;             //!< VCD trace instead of a workload
     std::string dumpStimulus;         //!< write a ports-only VCD and exit
     std::string reportFile;           //!< deterministic report rendering
+    bool stream = false;              //!< overlap replay with the fast sim
+    double ciBound = 0;               //!< adaptive stop (implies --stream)
 };
 
 /** Ports-only VCD dump of a generator-driven run (no estimate). */
@@ -186,11 +195,22 @@ cmdRun(const std::string &coreName, const std::string &wlName,
     cfg.parallelReplays = std::max(1u, opts.jobs);
     cfg.backend = opts.backend;
     cfg.stimulusFingerprint = fromTrace ? twl.fingerprint : 0;
+    cfg.ciBound = opts.ciBound;
+    const bool streamed = opts.stream || opts.ciBound > 0;
     std::unique_ptr<farm::CachingReplayExecutor> cachingExec;
     if (!opts.cacheDir.empty()) {
-        cachingExec =
-            std::make_unique<farm::CachingReplayExecutor>(opts.cacheDir);
-        cfg.replayExecutor = cachingExec.get();
+        if (streamed) {
+            // estimateStreaming() replays on its own in-process worker
+            // threads and never consults cfg.replayExecutor; a cached
+            // streamed run is the farm's job (strober-farm run --stream).
+            std::printf("note: --cache-dir is ignored with --stream/"
+                        "--ci-bound (use strober-farm run --stream for a "
+                        "cached streamed run)\n");
+        } else {
+            cachingExec = std::make_unique<farm::CachingReplayExecutor>(
+                opts.cacheDir);
+            cfg.replayExecutor = cachingExec.get();
+        }
     }
     core::EnergySimulator strober(soc, cfg);
 
@@ -217,15 +237,23 @@ cmdRun(const std::string &coreName, const std::string &wlName,
         driver = socDriver.get();
         maxCycles = wl.maxCycles;
     }
-    core::RunStats run = strober.run(*driver, maxCycles);
+    core::RunStats run;
+    core::EnergyReport rep;
+    if (streamed) {
+        // One call: fast sim and gate-level replay overlap on the
+        // streaming pipeline (and --ci-bound may stop the run early).
+        rep = strober.estimateStreaming(*driver, maxCycles, &run);
+    } else {
+        run = strober.run(*driver, maxCycles);
+    }
     if (traceDriver && !traceDriver->status().isOk()) {
         std::fprintf(stderr, "stimulus: %s\n",
                      traceDriver->status().toString().c_str());
         return 4;
     }
-    if (!driver->done())
+    if (!driver->done() && !(streamed && rep.earlyStopped))
         fatal("workload did not finish");
-    if (socDriver) {
+    if (socDriver && driver->done()) {
         std::printf("%s on %s: %llu cycles, %llu instructions "
                     "(CPI %.2f), exit 0x%x%s\n",
                     wl.name.c_str(), coreName.c_str(),
@@ -238,12 +266,18 @@ cmdRun(const std::string &coreName, const std::string &wlName,
                             socDriver->exitCode() == wl.expectedExit
                         ? " (checksum OK)"
                         : "");
+    } else if (socDriver) {
+        std::printf("%s on %s: stopped early at %llu cycles "
+                    "(--ci-bound met)\n",
+                    wl.name.c_str(), coreName.c_str(),
+                    (unsigned long long)run.targetCycles);
     } else {
         std::printf("%s on %s: %llu cycles driven from trace\n",
                     twl.name.c_str(), coreName.c_str(),
                     (unsigned long long)run.targetCycles);
     }
-    core::EnergyReport rep = strober.estimate();
+    if (!streamed)
+        rep = strober.estimate();
     if (!opts.reportFile.empty()) {
         std::ofstream rout(opts.reportFile, std::ios::binary);
         if (!rout)
@@ -259,6 +293,15 @@ cmdRun(const std::string &coreName, const std::string &wlName,
                 rep.averagePower.halfWidth * 1e3, rep.snapshots,
                 rep.droppedSnapshots,
                 (unsigned long long)rep.replayMismatches);
+    if (streamed) {
+        std::printf("pipeline: fast sim %.3f s, replay %.3f s, overlap "
+                    "%.3f s%s; %zu superseded replay(s)\n",
+                    rep.fastSimWallSeconds, rep.replayWallSeconds,
+                    rep.overlapWallSeconds,
+                    rep.earlyStopped ? "; early-stopped on --ci-bound"
+                                     : "",
+                    rep.supersededReplays);
+    }
     if (cachingExec) {
         std::printf("replay cache: %zu hit(s), %zu miss(es), %llu "
                     "replay(s) executed\n",
@@ -463,6 +506,10 @@ usage()
                  "                      [--replay-timeout CYCLES]\n"
                  "                      [--dump-stimulus <file.vcd>]\n"
                  "                      [--report FILE]\n"
+                 "                      [--stream]       # overlap replay\n"
+                 "                                       #   with the fast sim\n"
+                 "                      [--ci-bound R]   # stop early once\n"
+                 "                                       #   CI/mean < R\n"
                  "       strober truth  <core> <workload>\n"
                  "       strober truth  <core> --stimulus <file.vcd>\n"
                  "                      [--saif FILE]            # export\n"
@@ -505,6 +552,16 @@ main(int argc, char **argv)
                 opts.dumpStimulus = argv[++i];
             } else if (arg == "--report" && i + 1 < argc) {
                 opts.reportFile = argv[++i];
+            } else if (arg == "--stream") {
+                opts.stream = true;
+            } else if (arg == "--ci-bound" && i + 1 < argc) {
+                opts.ciBound = std::stod(argv[++i]);
+                if (!(opts.ciBound > 0)) {
+                    std::fprintf(stderr,
+                                 "--ci-bound needs a positive relative "
+                                 "half-width (e.g. 0.05)\n");
+                    return 2;
+                }
             } else if (arg == "--backend" && i + 1 < argc) {
                 if (!sim::parseBackend(argv[++i], &opts.backend)) {
                     std::fprintf(stderr,

@@ -52,6 +52,7 @@
 #include "cores/soc_driver.h"
 #include "farm/farm.h"
 #include "farm/report.h"
+#include "farm/stream.h"
 #include "service/client.h"
 #include "util/env.h"
 #include "util/logging.h"
@@ -119,6 +120,8 @@ struct FarmCliOptions
     unsigned serveWorkers = 0;   //!< submit: worker count (0 = daemon's)
     bool waitAfterSubmit = false;
     std::string stimulus; //!< VCD trace instead of a built-in workload
+    bool stream = false;  //!< workers replay while the fast sim runs
+    double ciBound = 0;   //!< adaptive stop bound (implies --stream)
     core::EnergySimulator::Config sim;
 };
 
@@ -167,6 +170,39 @@ workerBody(const rtl::Design &soc, const FarmCliOptions &opts,
     fcfg.sim = opts.sim;
     fcfg.sim.job = &job;
     farm::FarmOrchestrator orch(soc, fcfg);
+    if (opts.stream) {
+        // Overlap phase: replay feed entries into the cache while the
+        // producer's fast sim is still running. An early-stop marker
+        // (--ci-bound met) ends the job here; otherwise fall through to
+        // the ordinary manifest phase, which finds the cache warm.
+        util::Result<farm::StreamDrainOutcome> dr =
+            orch.drainStream(slot, slots);
+        if (!dr.isOk()) {
+            std::fprintf(stderr, "worker: stream drain: %s\n",
+                         dr.status().toString().c_str());
+            // Not fatal: the plan phase replays whatever was missed.
+        } else if (dr->earlyStop || dr->canceled) {
+            return 0;
+        }
+        // The producer plans the manifests only after the fast sim
+        // ends; wait for its marker so we never race a stale prior
+        // run's queue.
+        const uint64_t waitCapMs = 10 * 60 * 1000;
+        uint64_t waitedMs = 0;
+        while (!farm::planMarkerExists(opts.dir)) {
+            if (job.canceled() || job.deadlineExpired())
+                return 0;
+            if (waitedMs >= waitCapMs) {
+                std::fprintf(stderr,
+                             "worker: no plan marker after %llu ms; "
+                             "exiting (collect replays inline)\n",
+                             (unsigned long long)waitedMs);
+                return 0;
+            }
+            ::usleep(50 * 1000);
+            waitedMs += 50;
+        }
+    }
     int rc = 0;
     for (unsigned k = slot; k < totalShards; k += slots) {
         if (job.canceled())
@@ -201,11 +237,87 @@ cmdRun(const std::string &coreName, const std::string &wlName,
         wl = workloads::byName(wlName);
     }
     unsigned shards = opts.shards ? opts.shards : std::max(1u, opts.jobs);
+    if (opts.ciBound > 0)
+        opts.stream = true; // the bound is evaluated over streamed results
+    simCfg.ciBound = opts.ciBound;
+
+    farm::FarmConfig fcfg;
+    fcfg.dir = opts.dir;
+    fcfg.cacheDir = opts.cacheDir;
+    fcfg.shards = shards;
+    fcfg.sim = simCfg;
+    fcfg.coreName = coreName;
+    fcfg.workloadName = fromTrace ? twl.name : wl.name;
+    farm::FarmOrchestrator orch(soc, fcfg);
+
+    // Streamed runs open the feed (building the ASIC flow up front) so
+    // the forked workers replay captures while the fast sim still runs.
+    std::unique_ptr<farm::StreamFeed> feed;
+    core::EnergySimulator *probeSim = nullptr;
+    bool ciStopped = false;
+    if (opts.stream) {
+        util::Result<std::unique_ptr<farm::StreamFeed>> f =
+            orch.openStreamFeed();
+        if (!f.isOk())
+            fatal("stream feed: %s", f.status().toString().c_str());
+        feed = std::move(f.value());
+        if (opts.ciBound > 0) {
+            // Throttled CI check: every 8th interval boundary, fold the
+            // results workers published so far and stop once tight.
+            simCfg.earlyStopProbe = [&opts, &simCfg, &orch, &feed,
+                                     &probeSim, &ciStopped,
+                                     calls = uint64_t(0)]() mutable {
+                if (++calls % 8 != 0)
+                    return false;
+                uint64_t population = std::max<uint64_t>(
+                    probeSim->sampler().intervalsSeen(), 1);
+                ciStopped = feed->ciBoundMet(orch.cache(), opts.ciBound,
+                                             simCfg.confidence, population,
+                                             simCfg.sampleSize);
+                return ciStopped;
+            };
+        }
+    }
 
     // Phase 1: fast simulation with snapshot sampling (always rerun —
     // it is cheap and deterministic; the expensive gate-level replays
     // are what the farm caches).
     core::EnergySimulator sim(soc, simCfg);
+    probeSim = &sim;
+    if (feed)
+        sim.sampler().setObserver(feed.get());
+
+    // Streamed: the worker pool forks before the fast sim and drains
+    // the feed concurrently (children inherit soc read-only; each opens
+    // its own orchestrator over the shared run directory).
+    unsigned jobs = std::max(1u, opts.jobs);
+    std::vector<pid_t> kids;
+    auto forkWorkers = [&] {
+        for (unsigned w = 0; w < jobs; ++w) {
+            pid_t pid = fork();
+            if (pid < 0)
+                fatal("fork failed");
+            if (pid == 0)
+                _exit(workerBody(soc, opts, w, jobs, shards));
+            kids.push_back(pid);
+        }
+    };
+    auto reapWorkers = [&] {
+        for (pid_t pid : kids) {
+            int wstatus = 0;
+            waitpid(pid, &wstatus, 0);
+            if (!WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0) {
+                std::fprintf(stderr,
+                             "worker %d exited abnormally; collect() "
+                             "will finish its shard inline\n",
+                             (int)pid);
+            }
+        }
+        kids.clear();
+    };
+    if (opts.stream)
+        forkWorkers();
+
     std::unique_ptr<cores::SocDriver> socDriver;
     std::unique_ptr<trace::TraceDriver> traceDriver;
     core::HostDriver *driver = nullptr;
@@ -224,59 +336,73 @@ cmdRun(const std::string &coreName, const std::string &wlName,
         maxCycles = wl.maxCycles;
     }
     core::RunStats run = sim.run(*driver, maxCycles);
-    if (traceDriver && !traceDriver->status().isOk())
-        fatal("stimulus: %s", traceDriver->status().toString().c_str());
-    if (!driver->done())
-        fatal("workload did not finish");
-    std::printf("%s on %s: %llu target cycles sampled into %zu "
-                "snapshots\n",
-                fromTrace ? twl.name.c_str() : wl.name.c_str(),
-                coreName.c_str(), (unsigned long long)run.targetCycles,
-                sim.sampler().snapshots().size());
-
-    farm::FarmConfig fcfg;
-    fcfg.dir = opts.dir;
-    fcfg.cacheDir = opts.cacheDir;
-    fcfg.shards = shards;
-    fcfg.sim = simCfg;
-    fcfg.coreName = coreName;
-    fcfg.workloadName = fromTrace ? twl.name : wl.name;
-    farm::FarmOrchestrator orch(soc, fcfg);
-
-    uint64_t population = run.targetCycles / opts.sim.replayLength;
-    util::Status st = orch.plan(sim.sampler().snapshots(), population);
-    if (!st.isOk())
-        fatal("plan failed: %s", st.toString().c_str());
-
-    // Phase 3: the worker pool. Plain fork(): each child is a real
-    // process with its own gate simulator, publishing through the
-    // filesystem exactly like a detached `strober-farm worker` would.
-    unsigned jobs = std::max(1u, opts.jobs);
-    std::vector<pid_t> kids;
-    for (unsigned w = 0; w < jobs; ++w) {
-        pid_t pid = fork();
-        if (pid < 0)
-            fatal("fork failed");
-        if (pid == 0)
-            _exit(workerBody(soc, opts, w, jobs, shards));
-        kids.push_back(pid);
-    }
-    for (pid_t pid : kids) {
-        int wstatus = 0;
-        waitpid(pid, &wstatus, 0);
-        if (!WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0) {
-            std::fprintf(stderr,
-                         "worker %d exited abnormally; collect() will "
-                         "finish its shard inline\n",
-                         (int)pid);
+    if (feed) {
+        // Publish a capture completed exactly at the final cycle, then
+        // seal the feed — the done marker is what releases draining
+        // workers, so write it before any failure exit below.
+        sim.sampler().flushPending();
+        sim.sampler().setObserver(nullptr);
+        util::Status fst = feed->finish(ciStopped);
+        if (!fst.isOk()) {
+            std::fprintf(stderr, "stream done marker: %s\n",
+                         fst.toString().c_str());
         }
     }
+    if (traceDriver && !traceDriver->status().isOk())
+        fatal("stimulus: %s", traceDriver->status().toString().c_str());
+    if (!driver->done() && !ciStopped)
+        fatal("workload did not finish");
+    std::printf("%s on %s: %llu target cycles sampled into %zu "
+                "snapshots%s\n",
+                fromTrace ? twl.name.c_str() : wl.name.c_str(),
+                coreName.c_str(), (unsigned long long)run.targetCycles,
+                sim.sampler().snapshots().size(),
+                ciStopped ? " (stopped early: --ci-bound met)" : "");
+    if (feed) {
+        std::printf("stream: %llu capture(s) published, %llu "
+                    "superseded by reservoir replacement\n",
+                    (unsigned long long)feed->published(),
+                    (unsigned long long)feed->superseded());
+    }
 
-    // Phase 4: collect. Stragglers (dead workers, lost cache entries)
-    // are replayed inline, so a report always comes out.
-    util::Result<core::EnergyReport> rep = orch.collect();
-    if (!rep.isOk())
-        fatal("collect failed: %s", rep.status().toString().c_str());
+    uint64_t population = run.targetCycles / opts.sim.replayLength;
+    util::Result<core::EnergyReport> rep =
+        util::Status(util::ErrorCode::InvalidArgument, "unreachable");
+    if (ciStopped) {
+        // Early stop: workers abandon the feed on the "early" marker;
+        // aggregate the completed subset — no plan/collect phase.
+        reapWorkers();
+        rep = orch.collectStreamEarly(*feed, population);
+        if (!rep.isOk())
+            fatal("collect failed: %s", rep.status().toString().c_str());
+    } else {
+        util::Status st =
+            orch.plan(sim.sampler().snapshots(), population);
+        if (!st.isOk())
+            fatal("plan failed: %s", st.toString().c_str());
+
+        // Phase 3: the worker pool. Plain fork(): each child is a real
+        // process with its own gate simulator, publishing through the
+        // filesystem exactly like a detached `strober-farm worker`
+        // would. Streamed workers are already running — release them
+        // into the manifest phase with the plan marker.
+        if (opts.stream) {
+            util::Status pm = farm::writePlanMarker(opts.dir);
+            if (!pm.isOk()) {
+                std::fprintf(stderr, "plan marker: %s\n",
+                             pm.toString().c_str());
+            }
+        } else {
+            forkWorkers();
+        }
+        reapWorkers();
+
+        // Phase 4: collect. Stragglers (dead workers, lost cache
+        // entries) are replayed inline, so a report always comes out.
+        rep = orch.collect();
+        if (!rep.isOk())
+            fatal("collect failed: %s", rep.status().toString().c_str());
+    }
     printReportSummary(*rep, orch.cache().stats());
 
     std::string reportPath =
@@ -295,9 +421,20 @@ int
 cmdWorker(const FarmCliOptions &opts)
 {
     // Reconstruct the design from the manifest's recorded core name so
-    // a detached worker only needs --dir and --shard.
-    util::Result<farm::ShardManifest> head = farm::readManifestFile(
-        opts.dir + "/" + farm::shardManifestName(0), false);
+    // a detached worker only needs --dir and --shard. Stream workers
+    // start before any shard manifest exists — they read the feed's
+    // compatibility meta file (same format, header only) instead.
+    std::string headPath =
+        opts.stream ? farm::streamMetaPath(opts.dir)
+                    : opts.dir + "/" + farm::shardManifestName(0);
+    util::Result<farm::ShardManifest> head =
+        farm::readManifestFile(headPath, false);
+    for (unsigned waited = 0; opts.stream && !head.isOk() && waited < 600;
+         ++waited) {
+        // The producer may still be opening the feed; give it a minute.
+        ::usleep(100 * 1000);
+        head = farm::readManifestFile(headPath, false);
+    }
     if (!head.isOk())
         fatal("cannot read work queue in '%s': %s", opts.dir.c_str(),
               head.status().toString().c_str());
@@ -444,6 +581,8 @@ cmdSubmit(const std::string &coreName, const std::string &wlName,
     req.replayLength = opts.sim.replayLength;
     req.deadlineMs = opts.deadlineMs;
     req.workers = opts.serveWorkers;
+    req.ciBound = opts.ciBound;
+    req.stream = opts.stream;
     service::ServiceClient client(opts.socketPath);
     util::Result<service::SubmitResult> res = client.submit(req);
     if (!res.isOk()) {
@@ -541,7 +680,8 @@ usage()
         "                    [--backend full|activity|compiled\n"
         "                               |compiled-parallel]\n"
         "                    [--sim-threads N]\n"
-        "       strober-farm worker --dir D [--shard K]\n"
+        "                    [--stream] [--ci-bound X]\n"
+        "       strober-farm worker --dir D [--shard K] [--stream]\n"
         "                    [--slot I --slots N] [--deadline-unix-ms T]\n"
         "       strober-farm status --dir D [--cache-dir C]\n"
         "       strober-farm gc --cache-dir C [--keep N] [--max-age DUR]\n"
@@ -550,6 +690,7 @@ usage()
         "       strober-farm submit <core> --stimulus F.vcd --socket S\n"
         "                    [--deadline DUR] [--workers N]\n"
         "                    [--sample-size N] [--replay-length L]\n"
+        "                    [--stream] [--ci-bound X]\n"
         "                    [--wait [--timeout DUR]] [--report F]\n"
         "       strober-farm wait --socket S --job ID [--timeout DUR]\n"
         "                    [--report F]\n"
@@ -621,6 +762,16 @@ parseCommon(const std::vector<std::string> &args, FarmCliOptions &opts,
             opts.serveWorkers = static_cast<unsigned>(std::stoul(next()));
         } else if (arg == "--wait") {
             opts.waitAfterSubmit = true;
+        } else if (arg == "--stream") {
+            opts.stream = true;
+        } else if (arg == "--ci-bound") {
+            opts.ciBound = std::stod(next());
+            if (!(opts.ciBound > 0)) {
+                std::fprintf(stderr,
+                             "--ci-bound must be a positive relative "
+                             "error (e.g. 0.05)\n");
+                return false;
+            }
         } else if (arg == "--sample-size") {
             opts.sim.sampleSize = static_cast<size_t>(std::stoull(next()));
         } else if (arg == "--replay-length") {

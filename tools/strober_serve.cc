@@ -21,11 +21,13 @@
  */
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <signal.h>
@@ -37,6 +39,7 @@
 #include "cores/soc_driver.h"
 #include "farm/farm.h"
 #include "farm/report.h"
+#include "farm/stream.h"
 #include "lint/diagnostics.h"
 #include "service/daemon.h"
 #include "service/supervisor.h"
@@ -98,6 +101,9 @@ struct ServeOptions
     unsigned long workerRssMb = 0; //!< 0 = uncapped
     unsigned workerRetries = 2;
     uint64_t leaseDurationMs = 60 * 1000;
+    /** Shared with the daemon's Stats endpoint: streamed replays in
+     *  flight across every running job. */
+    std::shared_ptr<std::atomic<int64_t>> streamGauge;
 };
 
 /** Directory of our own binary ("/proc/self/exe" parent). */
@@ -171,9 +177,81 @@ runEstimateJob(const service::JobRequest &req, core::JobControl &control,
     simCfg.replayLength = static_cast<unsigned>(sub.replayLength);
     simCfg.job = &control;
     simCfg.stimulusFingerprint = fromTrace ? twl.fingerprint : 0;
+    simCfg.ciBound = sub.ciBound;
+
+    unsigned workers = sub.workers != 0
+                           ? static_cast<unsigned>(sub.workers)
+                           : opts.defaultWorkers;
+    const bool streamedJob = sub.stream || sub.ciBound > 0;
+
+    farm::FarmConfig fcfg;
+    fcfg.dir = req.jobDir;
+    fcfg.cacheDir = cacheDir;
+    fcfg.shards = std::max(1u, workers);
+    fcfg.sim = simCfg;
+    fcfg.coreName = sub.coreName;
+    fcfg.workloadName = fromTrace ? twl.name : wl.name;
+    fcfg.leaseDurationMs = opts.leaseDurationMs;
+    farm::FarmOrchestrator orch(soc, fcfg);
+
+    // Streamed jobs open the feed (building the ASIC flow up front) so
+    // worker processes replay captures while the fast sim still runs.
+    std::unique_ptr<farm::StreamFeed> feed;
+    core::EnergySimulator *probeSim = nullptr;
+    bool ciStopped = false;
+    if (streamedJob) {
+        util::Result<std::unique_ptr<farm::StreamFeed>> f =
+            orch.openStreamFeed();
+        if (!f.isOk())
+            return failedOutcome("stream feed: " + f.status().toString());
+        feed = std::move(f.value());
+        if (opts.streamGauge) {
+            std::atomic<int64_t> *g = opts.streamGauge.get();
+            feed->inFlightHook = [g](int64_t d) {
+                g->fetch_add(d, std::memory_order_relaxed);
+            };
+        }
+        if (sub.ciBound > 0) {
+            // Adaptive termination: every 8th interval boundary, fold
+            // the completions workers have published so far and stop
+            // the fast sim once the CI is tight enough (each real
+            // check costs one cache lookup per outstanding capture,
+            // hence the throttle).
+            simCfg.earlyStopProbe = [&sub, &simCfg, &orch, &feed,
+                                     &probeSim, &ciStopped,
+                                     calls = uint64_t(0)]() mutable {
+                if (++calls % 8 != 0)
+                    return false;
+                uint64_t population = std::max<uint64_t>(
+                    probeSim->sampler().intervalsSeen(), 1);
+                ciStopped = feed->ciBoundMet(orch.cache(), sub.ciBound,
+                                             simCfg.confidence, population,
+                                             simCfg.sampleSize);
+                return ciStopped;
+            };
+        }
+    }
+    // Zero the in-flight gauge residue however the job exits.
+    struct GaugeReset
+    {
+        farm::StreamFeed *feed = nullptr;
+        std::atomic<int64_t> *g = nullptr;
+        ~GaugeReset()
+        {
+            if (feed != nullptr && g != nullptr) {
+                g->fetch_sub(static_cast<int64_t>(feed->outstanding()),
+                             std::memory_order_relaxed);
+            }
+        }
+    } gaugeReset;
+    gaugeReset.feed = feed.get();
+    gaugeReset.g = opts.streamGauge ? opts.streamGauge.get() : nullptr;
 
     // Phase 1: fast simulation + sampling (cheap, deterministic).
     core::EnergySimulator sim(soc, simCfg);
+    probeSim = &sim;
+    if (feed)
+        sim.sampler().setObserver(feed.get());
     std::unique_ptr<cores::SocDriver> socDriver;
     std::unique_ptr<trace::TraceDriver> traceDriver;
     core::HostDriver *driver = nullptr;
@@ -193,38 +271,7 @@ runEstimateJob(const service::JobRequest &req, core::JobControl &control,
         driver = socDriver.get();
         maxCycles = wl.maxCycles;
     }
-    core::RunStats run = sim.run(*driver, maxCycles);
-    if (traceDriver && !traceDriver->status().isOk())
-        return failedOutcome("stimulus: " +
-                             traceDriver->status().toString());
-    if (!driver->done())
-        return failedOutcome("workload did not finish in its cycle budget");
-    if (control.canceled())
-        return canceledOutcome("drained during fast simulation");
-
-    unsigned workers = sub.workers != 0
-                           ? static_cast<unsigned>(sub.workers)
-                           : opts.defaultWorkers;
-
-    farm::FarmConfig fcfg;
-    fcfg.dir = req.jobDir;
-    fcfg.cacheDir = cacheDir;
-    fcfg.shards = std::max(1u, workers);
-    fcfg.sim = simCfg;
-    fcfg.coreName = sub.coreName;
-    fcfg.workloadName = fromTrace ? twl.name : wl.name;
-    fcfg.leaseDurationMs = opts.leaseDurationMs;
-    farm::FarmOrchestrator orch(soc, fcfg);
-
-    uint64_t population = run.targetCycles / simCfg.replayLength;
-    util::Status st = orch.plan(sim.sampler().snapshots(), population);
-    if (!st.isOk())
-        return failedOutcome("plan failed: " + st.toString());
-    if (control.canceled())
-        return canceledOutcome("drained after planning; work is queued");
-
-    service::SupervisionStats sup;
-    if (workers > 0) {
+    auto makeSpecs = [&](bool stream) {
         uint64_t deadline =
             control.deadlineUnixMs.load(std::memory_order_relaxed);
         std::vector<service::WorkerSpec> specs(workers);
@@ -240,6 +287,8 @@ runEstimateJob(const service::JobRequest &req, core::JobControl &control,
                          std::to_string(i),
                          "--slots",
                          std::to_string(workers)};
+            if (stream)
+                spec.argv.push_back("--stream");
             if (deadline != 0) {
                 spec.argv.push_back("--deadline-unix-ms");
                 spec.argv.push_back(std::to_string(deadline));
@@ -249,13 +298,133 @@ runEstimateJob(const service::JobRequest &req, core::JobControl &control,
                                    std::to_string(opts.workerRssMb));
             }
         }
-        service::SupervisorConfig scfg;
-        scfg.slots = workers;
-        scfg.wallCapMs = opts.workerWallCapMs;
-        scfg.rssCapBytes =
-            static_cast<uint64_t>(opts.workerRssMb) * 1024 * 1024;
-        scfg.maxRetries = opts.workerRetries;
-        scfg.stopRequested = [&control] { return control.stopRequested(); };
+        return specs;
+    };
+    service::SupervisorConfig scfg;
+    scfg.slots = workers;
+    scfg.wallCapMs = opts.workerWallCapMs;
+    scfg.rssCapBytes = static_cast<uint64_t>(opts.workerRssMb) * 1024 * 1024;
+    scfg.maxRetries = opts.workerRetries;
+    scfg.stopRequested = [&control] { return control.stopRequested(); };
+
+    // Streamed jobs spawn (supervised) workers before the fast sim so
+    // they drain the feed concurrently; superviseUntilDone blocks, so
+    // it runs on its own thread. Joined on every exit path.
+    service::SupervisionStats sup;
+    std::thread supThread;
+    struct JoinGuard
+    {
+        std::thread *t;
+        ~JoinGuard()
+        {
+            if (t->joinable())
+                t->join();
+        }
+    } joinGuard{&supThread};
+    auto joinSupervisor = [&] {
+        if (supThread.joinable())
+            supThread.join();
+    };
+    if (streamedJob && workers > 0) {
+        std::vector<service::WorkerSpec> specs = makeSpecs(true);
+        supThread = std::thread([specs, scfg, &sup] {
+            sup = service::superviseUntilDone(specs, scfg);
+        });
+    }
+
+    core::RunStats run = sim.run(*driver, maxCycles);
+    if (feed) {
+        // Publish a capture that completed exactly at the final cycle,
+        // then seal the feed: the done marker is what lets stream
+        // workers leave their drain loop, so write it before any
+        // failure return below.
+        sim.sampler().flushPending();
+        sim.sampler().setObserver(nullptr);
+        util::Status fst = feed->finish(ciStopped);
+        if (!fst.isOk()) {
+            warn("stream done marker: %s (workers fall back to their "
+                 "wall cap)",
+                 fst.toString().c_str());
+        }
+    }
+    if (traceDriver && !traceDriver->status().isOk())
+        return failedOutcome("stimulus: " +
+                             traceDriver->status().toString());
+    if (!driver->done() && !ciStopped)
+        return failedOutcome("workload did not finish in its cycle budget");
+    if (control.canceled()) {
+        joinSupervisor();
+        return canceledOutcome("drained during fast simulation");
+    }
+
+    uint64_t population = run.targetCycles / simCfg.replayLength;
+
+    auto assemble = [&](util::Result<core::EnergyReport> rep)
+        -> service::JobOutcome {
+        service::JobOutcome out;
+        out.workerRetries = sup.retries;
+        out.workerKills = sup.wallKills + sup.rssKills;
+        out.streamed = streamedJob;
+        out.supersededReplays = feed ? feed->superseded() : 0;
+        if (!rep.isOk()) {
+            if (rep.status().code() == util::ErrorCode::Canceled) {
+                service::JobOutcome c =
+                    canceledOutcome(rep.status().toString());
+                c.workerRetries = out.workerRetries;
+                c.workerKills = out.workerKills;
+                c.streamed = out.streamed;
+                c.supersededReplays = out.supersededReplays;
+                return c;
+            }
+            out.state = service::JobState::Failed;
+            out.exitCode = 3;
+            out.detail = "collect failed: " + rep.status().toString();
+            return out;
+        }
+        out.earlyStopped = rep->earlyStopped;
+        out.reportText = farm::renderReportDeterministic(*rep);
+        out.exitCode = farm::reportExitCode(*rep);
+        out.detail = rep->statusMessage;
+        out.cacheHits = rep->cacheHits;
+        out.cacheMisses = rep->cacheMisses;
+        if (control.deadlineExpired() && (rep->degraded || !rep->valid))
+            out.state = service::JobState::TimedOut;
+        else if (!rep->valid)
+            out.state = service::JobState::Failed;
+        else if (rep->degraded)
+            out.state = service::JobState::Degraded;
+        else
+            out.state = service::JobState::Done;
+        return out;
+    };
+
+    if (ciStopped) {
+        // Early stop: workers abandon the feed on the "early" marker;
+        // aggregate the completed subset — no plan/collect phase.
+        joinSupervisor();
+        return assemble(orch.collectStreamEarly(*feed, population));
+    }
+
+    util::Status st = orch.plan(sim.sampler().snapshots(), population);
+    if (!st.isOk())
+        return failedOutcome("plan failed: " + st.toString());
+    if (control.canceled()) {
+        joinSupervisor();
+        return canceledOutcome("drained after planning; work is queued");
+    }
+
+    if (streamedJob) {
+        // Tell the stream workers the manifests on disk are this run's
+        // (not a stale prior run's), then wait for them to finish.
+        util::Status pm = farm::writePlanMarker(req.jobDir);
+        if (!pm.isOk()) {
+            warn("plan marker: %s (stream workers give up on their own; "
+                 "collect replays inline)",
+                 pm.toString().c_str());
+        }
+        joinSupervisor();
+    } else if (workers > 0) {
+        std::vector<service::WorkerSpec> specs = makeSpecs(false);
         sup = service::superviseUntilDone(specs, scfg);
     }
 
@@ -264,36 +433,11 @@ runEstimateJob(const service::JobRequest &req, core::JobControl &control,
             canceledOutcome("drained; leases are checkpointed");
         out.workerRetries = sup.retries;
         out.workerKills = sup.wallKills + sup.rssKills;
+        out.streamed = streamedJob;
         return out;
     }
 
-    util::Result<core::EnergyReport> rep = orch.collect();
-    service::JobOutcome out;
-    out.workerRetries = sup.retries;
-    out.workerKills = sup.wallKills + sup.rssKills;
-    if (!rep.isOk()) {
-        if (rep.status().code() == util::ErrorCode::Canceled)
-            return canceledOutcome(rep.status().toString());
-        out.state = service::JobState::Failed;
-        out.exitCode = 3;
-        out.detail = "collect failed: " + rep.status().toString();
-        return out;
-    }
-
-    out.reportText = farm::renderReportDeterministic(*rep);
-    out.exitCode = farm::reportExitCode(*rep);
-    out.detail = rep->statusMessage;
-    out.cacheHits = rep->cacheHits;
-    out.cacheMisses = rep->cacheMisses;
-    if (control.deadlineExpired() && (rep->degraded || !rep->valid))
-        out.state = service::JobState::TimedOut;
-    else if (!rep->valid)
-        out.state = service::JobState::Failed;
-    else if (rep->degraded)
-        out.state = service::JobState::Degraded;
-    else
-        out.state = service::JobState::Done;
-    return out;
+    return assemble(orch.collect());
 }
 
 void
@@ -400,6 +544,8 @@ main(int argc, char **argv)
     }
 
     std::string cacheDir = dcfg.effectiveCacheDir();
+    opts.streamGauge = std::make_shared<std::atomic<int64_t>>(0);
+    dcfg.streamInFlight = opts.streamGauge;
     dcfg.executor = [&opts, cacheDir](const service::JobRequest &req,
                                       core::JobControl &control) {
         return runEstimateJob(req, control, opts, cacheDir);
